@@ -1,0 +1,113 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! bloom-filter width, whole-filter pre-check, 2-hop dedup stamps,
+//! candidate-adjacency index, min-degree-neighbor scan, BaseSky early
+//! exit, and CELF lazy evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsky_centrality::greedy::{greedy_group, GreedyOptions};
+use nsky_centrality::measure::Harmonic;
+use nsky_graph::generators::leafy_preferential;
+use nsky_graph::Graph;
+use nsky_skyline::{base_sky, base_sky_early_exit, filter_refine_sky, RefineConfig};
+
+fn graph() -> Graph {
+    leafy_preferential(10_000, 0.95, 1.5, 5, 42)
+}
+
+fn bench_ablation_bloom_width(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation_bloom");
+    group.sample_size(10);
+    for bits in [0.5f64, 1.0, 2.0, 8.0] {
+        let cfg = RefineConfig {
+            bloom_bits_per_element: bits,
+            ..RefineConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{bits}b/elem")),
+            &cfg,
+            |b, cfg| b.iter(|| filter_refine_sky(&g, cfg)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ablation_switches(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation_switches");
+    group.sample_size(10);
+    let variants: Vec<(&str, RefineConfig)> = vec![
+        ("default", RefineConfig::default()),
+        (
+            "no-prefilter",
+            RefineConfig {
+                use_word_prefilter: false,
+                ..RefineConfig::default()
+            },
+        ),
+        (
+            "no-dedup",
+            RefineConfig {
+                dedup_two_hop: false,
+                ..RefineConfig::default()
+            },
+        ),
+        (
+            "no-candidate-index",
+            RefineConfig {
+                candidate_index: false,
+                ..RefineConfig::default()
+            },
+        ),
+        (
+            "no-min-neighbor",
+            RefineConfig {
+                scan_min_neighbor: false,
+                ..RefineConfig::default()
+            },
+        ),
+        ("paper-faithful", RefineConfig::paper_faithful()),
+    ];
+    for (name, cfg) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| filter_refine_sky(&g, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_early_exit(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation_early_exit");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("BaseSky-faithful"), |b| {
+        b.iter(|| base_sky(&g))
+    });
+    group.bench_function(BenchmarkId::from_parameter("BaseSky-early-exit"), |b| {
+        b.iter(|| base_sky_early_exit(&g))
+    });
+    group.finish();
+}
+
+fn bench_ablation_celf(c: &mut Criterion) {
+    let g = leafy_preferential(1_500, 0.94, 1.5, 8, 7);
+    let k = 10;
+    let mut group = c.benchmark_group("ablation_celf");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("plain-greedy"), |b| {
+        b.iter(|| greedy_group(&g, Harmonic, k, &GreedyOptions::default()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("celf-lazy"), |b| {
+        b.iter(|| greedy_group(&g, Harmonic, k, &GreedyOptions::optimized()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation_bloom_width,
+    bench_ablation_switches,
+    bench_ablation_early_exit,
+    bench_ablation_celf
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion benches for the substrate layers: graph construction, BFS,
+//! core decomposition, bloom filter operations and the containment join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsky_bloom::{BloomConfig, NeighborhoodFilters};
+use nsky_graph::degeneracy::core_decomposition;
+use nsky_graph::generators::{chung_lu_power_law, erdos_renyi};
+use nsky_graph::traversal::Bfs;
+use nsky_graph::Graph;
+use nsky_setjoin::InvertedIndex;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let edges: Vec<(u32, u32)> = erdos_renyi(20_000, 0.001, 7).edges().collect();
+    let mut group = c.benchmark_group("substrate/graph");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("csr-build-20k"), |b| {
+        b.iter(|| Graph::from_edges(20_000, edges.iter().copied()))
+    });
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let g = chung_lu_power_law(20_000, 2.7, 8.0, 7);
+    let mut bfs = Bfs::new(g.num_vertices());
+    let mut group = c.benchmark_group("substrate/bfs");
+    group.sample_size(50);
+    group.bench_function(BenchmarkId::from_parameter("single-source-20k"), |b| {
+        b.iter(|| bfs.run(&g, 0))
+    });
+    group.finish();
+}
+
+fn bench_core_decomposition(c: &mut Criterion) {
+    let g = chung_lu_power_law(20_000, 2.7, 8.0, 7);
+    let mut group = c.benchmark_group("substrate/cores");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("peeling-20k"), |b| {
+        b.iter(|| core_decomposition(&g))
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let g = chung_lu_power_law(10_000, 2.7, 8.0, 7);
+    let cfg = BloomConfig::for_max_degree(g.max_degree(), 2.0);
+    let filters = NeighborhoodFilters::build(&g, g.vertices(), cfg);
+    let mut group = c.benchmark_group("substrate/bloom");
+    group.bench_function(BenchmarkId::from_parameter("build-10k"), |b| {
+        b.iter(|| NeighborhoodFilters::build(&g, g.vertices(), cfg))
+    });
+    group.bench_function(BenchmarkId::from_parameter("subset-probe"), |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for u in 0..64u32 {
+                for w in 64..128u32 {
+                    if filters.filter_subset(u, w) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_containment_join(c: &mut Criterion) {
+    let g = chung_lu_power_law(5_000, 2.7, 8.0, 7);
+    let records: Vec<Vec<u32>> = g
+        .vertices()
+        .map(|u| {
+            let mut r = g.neighbors(u).to_vec();
+            let pos = r.partition_point(|&x| x < u);
+            r.insert(pos, u);
+            r
+        })
+        .collect();
+    let mut group = c.benchmark_group("substrate/setjoin");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("index-build-5k"), |b| {
+        b.iter(|| InvertedIndex::build(&records, g.num_vertices()))
+    });
+    let idx = InvertedIndex::build(&records, g.num_vertices());
+    group.bench_function(BenchmarkId::from_parameter("superset-probes"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for u in g.vertices().take(200) {
+                total += idx.supersets_of(g.neighbors(u)).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use nsky_clique::mis::reducing_peeling_mis;
+    use nsky_graph::generators::leafy_preferential;
+    use nsky_skyline::approx::approx_sky;
+    let g = leafy_preferential(10_000, 0.95, 1.0, 5, 7);
+    let mut group = c.benchmark_group("substrate/extensions");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("approx-sky-eps0.3"), |b| {
+        b.iter(|| approx_sky(&g, 0.3))
+    });
+    group.bench_function(BenchmarkId::from_parameter("mis-reducing-peeling"), |b| {
+        b.iter(|| reducing_peeling_mis(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_bfs,
+    bench_core_decomposition,
+    bench_bloom,
+    bench_containment_join,
+    bench_extensions
+);
+criterion_main!(benches);

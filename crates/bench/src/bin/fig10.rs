@@ -1,0 +1,19 @@
+//! Prints Fig. 10: BaseSky vs FilterRefineSky scalability (vary n, ρ).
+
+use nsky_bench::figures::Axis;
+use nsky_bench::harness::{fmt_secs, quick_mode};
+
+fn main() {
+    println!("Fig. 10 — skyline scalability on the LiveJournal stand-in");
+    println!("{:<5} {:>5} | {:>10} {:>10} {:>8}", "axis", "frac", "BaseSky", "FRSky", "speedup");
+    for r in nsky_bench::figures::fig10(quick_mode()) {
+        println!(
+            "{:<5} {:>4.0}% | {:>10} {:>10} {:>7.1}x",
+            if r.axis == Axis::N { "n" } else { "rho" },
+            r.fraction * 100.0,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_fast),
+            r.secs_base / r.secs_fast,
+        );
+    }
+}

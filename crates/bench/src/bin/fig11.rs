@@ -1,0 +1,19 @@
+//! Prints Fig. 11: Greedy++ vs NeiSkyGC scalability (vary n, ρ).
+
+use nsky_bench::figures::Axis;
+use nsky_bench::harness::{fmt_secs, quick_mode};
+
+fn main() {
+    println!("Fig. 11 — group closeness scalability on LiveJournal stand-in");
+    println!("{:<5} {:>5} | {:>10} {:>10} {:>8}", "axis", "frac", "Greedy++", "NeiSkyGC", "speedup");
+    for r in nsky_bench::figures::fig11(quick_mode()) {
+        println!(
+            "{:<5} {:>4.0}% | {:>10} {:>10} {:>7.2}x",
+            if r.axis == Axis::N { "n" } else { "rho" },
+            r.fraction * 100.0,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_fast),
+            r.secs_base / r.secs_fast,
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Prints Fig. 13: case studies on Karate and Bombing.
+
+fn main() {
+    println!("Fig. 13 — case studies");
+    for r in nsky_bench::figures::fig13() {
+        let frac = r.skyline.len() as f64 / r.n as f64;
+        println!(
+            "{:<8} n={:<3} m={:<4} skyline={:<3} ({:.0}%, paper {:.0}%)  avg deg: skyline {:.1} vs dominated {:.1}",
+            r.network,
+            r.n,
+            r.m,
+            r.skyline.len(),
+            frac * 100.0,
+            r.paper_fraction * 100.0,
+            r.skyline_avg_degree,
+            r.dominated_avg_degree,
+        );
+        println!("  skyline vertices: {:?}", r.skyline);
+    }
+}

@@ -1,0 +1,14 @@
+//! Prints Fig. 2: skyline/candidate sizes on special graph families.
+
+fn main() {
+    println!("Fig. 2 — |R| and |C| on special families");
+    println!("{:<12} {:>6} {:>6} {:>6} {:>9}", "family", "n", "|R|", "|C|", "expected");
+    for r in nsky_bench::figures::fig2() {
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>9}",
+            r.family, r.n, r.skyline, r.candidates, r.expected
+        );
+        assert_eq!(r.skyline, r.expected, "{} skyline off", r.family);
+        assert_eq!(r.candidates, r.expected, "{} candidates off", r.family);
+    }
+}

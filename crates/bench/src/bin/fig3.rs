@@ -1,0 +1,26 @@
+//! Prints Fig. 3: runtimes of the five skyline algorithms.
+
+use nsky_bench::harness::{fmt_secs, quick_mode};
+
+fn main() {
+    println!("Fig. 3 — skyline computation runtime (seconds)");
+    println!(
+        "{:<11} {:>7} {:>8} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>7} {:>7}",
+        "dataset", "n", "m", "LC-Join", "BaseSky", "Base2Hop", "BaseCSet", "FRSky", "spd/LC", "spd/Base"
+    );
+    for r in nsky_bench::figures::fig3(quick_mode()) {
+        println!(
+            "{:<11} {:>7} {:>8} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>6.1}x {:>6.1}x",
+            r.dataset,
+            r.n,
+            r.m,
+            fmt_secs(r.secs_lc_join),
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_two_hop),
+            fmt_secs(r.secs_cset),
+            fmt_secs(r.secs_refine),
+            r.secs_lc_join / r.secs_refine,
+            r.secs_base / r.secs_refine,
+        );
+    }
+}

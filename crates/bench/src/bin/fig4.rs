@@ -1,0 +1,23 @@
+//! Prints Fig. 4: working-memory footprints of the skyline algorithms.
+
+use nsky_bench::harness::{fmt_bytes, quick_mode};
+
+fn main() {
+    println!("Fig. 4 — working memory (graph excluded)");
+    println!(
+        "{:<11} {:>7} | {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "dataset", "n", "LC-Join", "BaseSky", "Base2Hop", "BaseCSet", "FRSky"
+    );
+    for r in nsky_bench::figures::fig4(quick_mode()) {
+        println!(
+            "{:<11} {:>7} | {:>10} {:>10} {:>10} {:>10} {:>10}",
+            r.dataset,
+            r.n,
+            fmt_bytes(r.mem_lc_join),
+            fmt_bytes(r.mem_base),
+            fmt_bytes(r.mem_two_hop),
+            fmt_bytes(r.mem_cset),
+            fmt_bytes(r.mem_refine),
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Prints Fig. 6: |R|, |C|, |V| on synthetic ER and power-law sweeps.
+
+use nsky_bench::harness::quick_mode;
+
+fn main() {
+    let quick = quick_mode();
+    println!("Fig. 6(a) — ER graphs, vary Δp (p = Δp·ln n / n)");
+    println!("{:>5} {:>8} {:>8} {:>8}", "Δp", "|R|", "|C|", "|V|");
+    for r in nsky_bench::figures::fig6_er(quick) {
+        println!("{:>5.1} {:>8} {:>8} {:>8}", r.parameter, r.skyline, r.candidates, r.total);
+    }
+    println!();
+    println!("Fig. 6(b) — power-law graphs, vary β");
+    println!("{:>5} {:>8} {:>8} {:>8}", "β", "|R|", "|C|", "|V|");
+    for r in nsky_bench::figures::fig6_pl(quick) {
+        println!("{:>5.1} {:>8} {:>8} {:>8}", r.parameter, r.skyline, r.candidates, r.total);
+    }
+}

@@ -1,0 +1,25 @@
+//! Prints Fig. 8: Greedy-H vs NeiSkyGH (group harmonic), varying k.
+
+use nsky_bench::harness::{fmt_secs, quick_mode};
+
+fn main() {
+    println!("Fig. 8 — group harmonic maximization (CELF engine both sides)");
+    println!(
+        "{:<11} {:>3} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
+        "dataset", "k", "Greedy-H", "NeiSkyGH", "speedup", "evals-H", "evalsNS", "r=|R|"
+    );
+    for r in nsky_bench::figures::fig8(quick_mode()) {
+        assert!(r.score_neisky >= r.score_base - 1e-9, "pruning lost quality");
+        println!(
+            "{:<11} {:>3} | {:>9} {:>9} {:>6.2}x | {:>9} {:>9} {:>7}",
+            r.dataset,
+            r.k,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_neisky),
+            r.secs_base / r.secs_neisky,
+            r.evals_base,
+            r.evals_neisky,
+            r.skyline_size
+        );
+    }
+}

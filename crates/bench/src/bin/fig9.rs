@@ -1,0 +1,23 @@
+//! Prints Fig. 9: BaseTopkMCC vs NeiSkyTopkMCC, varying k.
+
+use nsky_bench::harness::{fmt_secs, quick_mode};
+
+fn main() {
+    println!("Fig. 9 — top-k maximum cliques");
+    println!(
+        "{:<8} {:>3} | {:>10} {:>10} {:>8} | sizes",
+        "dataset", "k", "BaseTopk", "NeiSkyTopk", "speedup"
+    );
+    for r in nsky_bench::figures::fig9(quick_mode()) {
+        println!(
+            "{:<8} {:>3} | {:>10} {:>10} {:>7.2}x | base {:?} neisky {:?}",
+            r.dataset,
+            r.k,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_neisky),
+            r.secs_base / r.secs_neisky,
+            r.sizes_base,
+            r.sizes_neisky,
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Prints Table I: dataset statistics, original vs stand-in.
+
+fn main() {
+    println!("Table I — datasets (original → scaled stand-in)");
+    println!(
+        "{:<12} {:<24} {:>10} {:>11} {:>8}   {:>7} {:>8} {:>6}",
+        "dataset", "description", "orig n", "orig m", "orig dx", "n", "m", "dmax"
+    );
+    for r in nsky_bench::figures::table1() {
+        println!(
+            "{:<12} {:<24} {:>10} {:>11} {:>8}   {:>7} {:>8} {:>6}",
+            r.name,
+            r.description,
+            r.original.0,
+            r.original.1,
+            r.original.2,
+            r.standin.0,
+            r.standin.1,
+            r.standin.2
+        );
+    }
+}

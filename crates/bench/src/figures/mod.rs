@@ -1,0 +1,21 @@
+//! Experiment implementations, one module per paper exhibit.
+//!
+//! Every function is deterministic given its arguments (generator seeds
+//! are fixed in `nsky-datasets`), returns plain row structs, and is
+//! exercised structurally by the integration tests in `tests/`.
+
+mod case_study;
+mod centrality_sweeps;
+mod scalability;
+mod skyline_compare;
+mod synthetic_sizes;
+mod table1;
+mod topk_cliques;
+
+pub use case_study::{fig13, Fig13Row};
+pub use centrality_sweeps::{fig7, fig8, CentralitySweepRow};
+pub use scalability::{fig10, fig11, fig12, table2, Axis, ScalabilityRow, Table2Row};
+pub use skyline_compare::{fig2, fig3, fig4, fig5, Fig2Row, SkylineCompareRow};
+pub use synthetic_sizes::{fig6_er, fig6_pl, Fig6Row};
+pub use table1::{table1, Table1Row};
+pub use topk_cliques::{fig9, Fig9Row};

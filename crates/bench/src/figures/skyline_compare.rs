@@ -1,0 +1,201 @@
+//! Fig. 2 (special families), Fig. 3 (runtime), Fig. 4 (memory) and
+//! Fig. 5 (set sizes) — the skyline-algorithm comparison.
+
+use crate::harness::time;
+use nsky_datasets::{paper_datasets, DatasetSpec};
+use nsky_graph::generators::special;
+use nsky_graph::Graph;
+use nsky_setjoin::{lc_join_cost_estimate, lc_join_memory, lc_join_skyline};
+use nsky_skyline::{
+    base_sky, cset_sky, filter_phase, filter_refine_sky, memory, two_hop_sky, RefineConfig,
+};
+
+/// One Fig. 2 row: skyline and candidate sizes on a special family.
+#[derive(Clone, Debug)]
+pub struct Fig2Row {
+    /// Family name.
+    pub family: &'static str,
+    /// Vertex count.
+    pub n: usize,
+    /// `|R|`.
+    pub skyline: usize,
+    /// `|C|`.
+    pub candidates: usize,
+    /// The closed-form value the paper states for `|R| = |C|`.
+    pub expected: usize,
+}
+
+/// Fig. 2: clique, complete binary tree, circle, path.
+pub fn fig2() -> Vec<Fig2Row> {
+    let levels = 5u32;
+    let families: Vec<(&'static str, Graph, usize)> = vec![
+        ("clique", special::clique(32), 1),
+        (
+            "binary-tree",
+            special::complete_binary_tree(levels),
+            special::binary_tree_internal_count(levels),
+        ),
+        ("circle", special::cycle(32), 32),
+        ("path", special::path(32), 30),
+    ];
+    families
+        .into_iter()
+        .map(|(family, g, expected)| {
+            let r = filter_refine_sky(&g, &RefineConfig::default());
+            Fig2Row {
+                family,
+                n: g.num_vertices(),
+                skyline: r.len(),
+                candidates: r.candidates.as_ref().map_or(0, |c| c.len()),
+                expected,
+            }
+        })
+        .collect()
+}
+
+/// One dataset row of the Fig. 3/4/5 comparison. A seconds value of
+/// `f64::INFINITY` (paired with a `usize::MAX` memory value) means the
+/// algorithm was skipped because its estimated footprint exceeded the
+/// budget — the paper's "INF" entries for LC-Join/Base2Hop on WikiTalk.
+#[derive(Clone, Debug)]
+pub struct SkylineCompareRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Stand-in vertex count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// LC-Join seconds (or `INFINITY`).
+    pub secs_lc_join: f64,
+    /// `BaseSky` seconds.
+    pub secs_base: f64,
+    /// `Base2Hop` seconds (or `INFINITY`).
+    pub secs_two_hop: f64,
+    /// `BaseCSet` seconds.
+    pub secs_cset: f64,
+    /// `FilterRefineSky` seconds.
+    pub secs_refine: f64,
+    /// LC-Join index bytes (or `usize::MAX`).
+    pub mem_lc_join: usize,
+    /// `BaseSky` bytes.
+    pub mem_base: usize,
+    /// `Base2Hop` bytes (or `usize::MAX`).
+    pub mem_two_hop: usize,
+    /// `BaseCSet` bytes.
+    pub mem_cset: usize,
+    /// `FilterRefineSky` bytes.
+    pub mem_refine: usize,
+    /// `|R|` (Fig. 5).
+    pub skyline: usize,
+    /// `|C|` (Fig. 5).
+    pub candidates: usize,
+}
+
+/// Budget beyond which memory-hungry baselines are skipped ("INF").
+const INF_BUDGET_BYTES: u64 = 1 << 31; // 2 GiB
+
+fn fig3_specs(quick: bool) -> Vec<DatasetSpec> {
+    let mut specs = paper_datasets();
+    for s in &mut specs {
+        // The registry defaults to 1/100 scale (fast unit tests); the
+        // runtime/memory comparison uses 1/25 so the asymptotic gaps
+        // have room to show.
+        s.n = s.original_n / if quick { 400 } else { 25 };
+    }
+    if quick {
+        specs.truncate(2);
+    }
+    specs
+}
+
+/// Runs all five skyline algorithms on every Table I stand-in
+/// (`quick` restricts to two small datasets).
+pub fn fig3(quick: bool) -> Vec<SkylineCompareRow> {
+    fig3_specs(quick)
+        .into_iter()
+        .map(|spec| {
+            let g = spec.build();
+            let refine = time(|| filter_refine_sky(&g, &RefineConfig::default()));
+            let base = time(|| base_sky(&g));
+            let cset = time(|| cset_sky(&g));
+            assert_eq!(base.value.skyline, refine.value.skyline, "{}", spec.name);
+            assert_eq!(base.value.skyline, cset.value.skyline, "{}", spec.name);
+
+            // LC-Join: skip when the join output estimate blows the
+            // budget (entries ≈ 4 bytes each).
+            let (secs_lc, mem_lc) = if lc_join_cost_estimate(&g) * 4 > INF_BUDGET_BYTES {
+                (f64::INFINITY, usize::MAX)
+            } else {
+                let lc = time(|| lc_join_skyline(&g));
+                assert_eq!(lc.value.skyline, base.value.skyline, "{}", spec.name);
+                // The baseline's memory includes its Q-side prefix tree.
+                (lc.seconds, lc_join_memory(&g))
+            };
+
+            // Base2Hop: skip when the materialization bound blows the
+            // budget.
+            let (secs_two, mem_two) =
+                if memory::two_hop_upper_bound_bytes(&g) > INF_BUDGET_BYTES {
+                    (f64::INFINITY, usize::MAX)
+                } else {
+                    let two = time(|| two_hop_sky(&g));
+                    assert_eq!(two.value.skyline, base.value.skyline, "{}", spec.name);
+                    (two.seconds, two.value.stats.peak_bytes)
+                };
+
+            let candidates = refine.value.candidates.as_ref().map_or(0, |c| c.len());
+            SkylineCompareRow {
+                dataset: spec.name,
+                n: g.num_vertices(),
+                m: g.num_edges(),
+                secs_lc_join: secs_lc,
+                secs_base: base.seconds,
+                secs_two_hop: secs_two,
+                secs_cset: cset.seconds,
+                secs_refine: refine.seconds,
+                mem_lc_join: mem_lc,
+                mem_base: memory::base_sky_memory(&g).working_bytes,
+                mem_two_hop: mem_two,
+                mem_cset: memory::cset_memory(&g, candidates).working_bytes,
+                mem_refine: refine.value.stats.peak_bytes,
+                skyline: refine.value.len(),
+                candidates,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4 is the memory columns of [`fig3`]; alias for harness clarity.
+pub fn fig4(quick: bool) -> Vec<SkylineCompareRow> {
+    fig3(quick)
+}
+
+/// Fig. 5 is the size columns of [`fig3`], computed cheaply (sizes only,
+/// no baseline timing).
+pub fn fig5(quick: bool) -> Vec<SkylineCompareRow> {
+    fig3_specs(quick)
+        .into_iter()
+        .map(|spec| {
+            let g = spec.build();
+            let c = filter_phase(&g);
+            let r = filter_refine_sky(&g, &RefineConfig::default());
+            SkylineCompareRow {
+                dataset: spec.name,
+                n: g.num_vertices(),
+                m: g.num_edges(),
+                secs_lc_join: 0.0,
+                secs_base: 0.0,
+                secs_two_hop: 0.0,
+                secs_cset: 0.0,
+                secs_refine: 0.0,
+                mem_lc_join: 0,
+                mem_base: 0,
+                mem_two_hop: 0,
+                mem_cset: 0,
+                mem_refine: 0,
+                skyline: r.len(),
+                candidates: c.candidates.len(),
+            }
+        })
+        .collect()
+}

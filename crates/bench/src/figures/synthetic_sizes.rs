@@ -1,0 +1,49 @@
+//! Fig. 6 — `|R|`, `|C|`, `|V|` on synthetic ER and power-law graphs.
+
+use nsky_graph::generators::{erdos_renyi_scaled, power_law_configuration};
+use nsky_skyline::{filter_refine_sky, RefineConfig};
+
+/// One sweep point of Fig. 6.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// The varied parameter (`Δp` for ER, `β` for PL).
+    pub parameter: f64,
+    /// `|V|`.
+    pub total: usize,
+    /// `|C|`.
+    pub candidates: usize,
+    /// `|R|`.
+    pub skyline: usize,
+}
+
+fn measure(g: &nsky_graph::Graph, parameter: f64) -> Fig6Row {
+    let r = filter_refine_sky(g, &RefineConfig::default());
+    Fig6Row {
+        parameter,
+        total: g.num_vertices(),
+        candidates: r.candidates.as_ref().map_or(0, |c| c.len()),
+        skyline: r.len(),
+    }
+}
+
+/// Fig. 6(a): ER graphs with `p = Δp · ln(n)/n`, `Δp ∈ {0.2 … 1.0}`.
+///
+/// Paper n = 1e5; we default to `n = 20_000` (quick: 4 000).
+pub fn fig6_er(quick: bool) -> Vec<Fig6Row> {
+    let n = if quick { 4_000 } else { 20_000 };
+    [0.2, 0.4, 0.6, 0.8, 1.0]
+        .iter()
+        .map(|&dp| measure(&erdos_renyi_scaled(n, dp, 61), dp))
+        .collect()
+}
+
+/// Fig. 6(b): power-law graphs with `β ∈ {2.6 … 3.4}` — exact power-law
+/// degree sequences with `dmin = 1` (the NetworKit semantics the paper
+/// uses), so most vertices have degree 1 and are dominated.
+pub fn fig6_pl(quick: bool) -> Vec<Fig6Row> {
+    let n = if quick { 4_000 } else { 20_000 };
+    [2.6, 2.8, 3.0, 3.2, 3.4]
+        .iter()
+        .map(|&beta| measure(&power_law_configuration(n, beta, 1, 62), beta))
+        .collect()
+}

@@ -1,0 +1,59 @@
+//! Fig. 9 — BaseTopkMCC vs NeiSkyTopkMCC on the Pokec and Orkut
+//! stand-ins, varying `k ∈ {1, 3, 5, 7, 9}`.
+
+use crate::harness::time;
+use nsky_clique::{top_k_cliques, TopkMode};
+use nsky_datasets::scalability_dataset;
+
+/// One `(dataset, k)` point of Fig. 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Number of cliques requested.
+    pub k: usize,
+    /// `BaseTopkMCC` seconds.
+    pub secs_base: f64,
+    /// `NeiSkyTopkMCC` seconds (includes skyline maintenance).
+    pub secs_neisky: f64,
+    /// Per-round clique sizes from the base run.
+    pub sizes_base: Vec<usize>,
+    /// Per-round clique sizes from the pruned run.
+    pub sizes_neisky: Vec<usize>,
+}
+
+/// Runs the Fig. 9 sweep.
+pub fn fig9(quick: bool) -> Vec<Fig9Row> {
+    let ks: &[usize] = if quick { &[1, 3] } else { &[1, 3, 5, 7, 9] };
+    let datasets: &[&str] = if quick {
+        &["Pokec"]
+    } else {
+        &["Pokec", "Orkut"]
+    };
+    let mut rows = Vec::new();
+    for &name in datasets {
+        let mut spec = scalability_dataset(name);
+        if quick {
+            spec.n /= 4;
+        }
+        let g = spec.build();
+        for &k in ks {
+            let base = time(|| top_k_cliques(&g, k, TopkMode::Base));
+            let pruned = time(|| top_k_cliques(&g, k, TopkMode::NeiSky));
+            assert_eq!(
+                base.value.cliques[0].len(),
+                pruned.value.cliques[0].len(),
+                "{name}: round-1 maximum cliques must agree"
+            );
+            rows.push(Fig9Row {
+                dataset: spec.name,
+                k,
+                secs_base: base.seconds,
+                secs_neisky: pruned.seconds,
+                sizes_base: base.value.cliques.iter().map(Vec::len).collect(),
+                sizes_neisky: pruned.value.cliques.iter().map(Vec::len).collect(),
+            });
+        }
+    }
+    rows
+}

@@ -1,0 +1,85 @@
+//! Timing and formatting helpers shared by the figure harnesses.
+
+use std::time::Instant;
+
+/// A value together with the wall-clock seconds it took to produce.
+#[derive(Clone, Debug)]
+pub struct Timed<T> {
+    /// The computed value.
+    pub value: T,
+    /// Elapsed wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> Timed<T> {
+    let start = Instant::now();
+    let value = f();
+    Timed {
+        value,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Whether quick mode is requested (`NSKY_QUICK=1`): harness binaries
+/// shrink their sweeps so CI smoke runs stay fast.
+pub fn quick_mode() -> bool {
+    std::env::var("NSKY_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Formats seconds with sensible precision for table output
+/// (`INF` for skipped algorithms).
+pub fn fmt_secs(s: f64) -> String {
+    if s.is_infinite() {
+        "INF".to_string()
+    } else if s < 0.001 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Formats a byte count as a human-readable string
+/// (`INF` for skipped algorithms).
+pub fn fmt_bytes(b: usize) -> String {
+    const KB: f64 = 1024.0;
+    if b == usize::MAX {
+        return "INF".to_string();
+    }
+    let b = b as f64;
+    if b < KB {
+        format!("{b:.0}B")
+    } else if b < KB * KB {
+        format!("{:.1}KB", b / KB)
+    } else if b < KB * KB * KB {
+        format!("{:.1}MB", b / KB / KB)
+    } else {
+        format!("{:.2}GB", b / KB / KB / KB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_and_returns() {
+        let t = time(|| (0..1000).sum::<u64>());
+        assert_eq!(t.value, 499_500);
+        assert!(t.seconds >= 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(f64::INFINITY), "INF");
+        assert_eq!(fmt_bytes(usize::MAX), "INF");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(0.0000005), "0.5µs");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+}

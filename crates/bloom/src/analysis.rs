@@ -1,0 +1,100 @@
+//! False-positive-rate analysis for the single-hash neighborhood filters
+//! (the paper's Lemma 2).
+
+/// Lemma 2: the probability that the filter-based subset test
+/// `N(u) ⊆ N(v)` answers "maybe" although the inclusion is false, given
+/// filter width `b = dmax` bits, is
+///
+/// `(1 − (1 − 1/dmax)^{deg(v)})^{|N(u) \ N(v)|}`
+///
+/// — each of the `|N(u) \ N(v)|` offending neighbors must collide with one
+/// of `deg(v)` occupied positions.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn subset_false_positive_probability(
+    bits: usize,
+    deg_v: usize,
+    uncovered: usize,
+) -> f64 {
+    assert!(bits > 0, "filter width must be positive");
+    if uncovered == 0 {
+        return 1.0; // inclusion actually holds: "maybe" is correct.
+    }
+    let occupied = 1.0 - (1.0 - 1.0 / bits as f64).powi(deg_v as i32);
+    occupied.powi(uncovered as i32)
+}
+
+/// Expected number of exact `NBRcheck` probes saved by the whole-filter
+/// pre-check for a non-included pair: `deg(u) · (1 − p_fp)` probes are
+/// avoided when the pre-check rejects.
+pub fn expected_probes_saved(bits: usize, deg_u: usize, deg_v: usize, uncovered: usize) -> f64 {
+    let p_fp = subset_false_positive_probability(bits, deg_v, uncovered);
+    deg_u as f64 * (1.0 - p_fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{BloomConfig, NeighborhoodFilters};
+    use nsky_graph::generators::erdos_renyi;
+
+    #[test]
+    fn probability_basics() {
+        // Zero uncovered neighbors: the test must pass (probability 1).
+        assert_eq!(subset_false_positive_probability(128, 10, 0), 1.0);
+        // More uncovered neighbors → smaller FP probability.
+        let p1 = subset_false_positive_probability(128, 10, 1);
+        let p3 = subset_false_positive_probability(128, 10, 3);
+        assert!(p3 < p1);
+        assert!((0.0..=1.0).contains(&p1));
+        // Wider filter → smaller FP probability.
+        let narrow = subset_false_positive_probability(64, 10, 2);
+        let wide = subset_false_positive_probability(1024, 10, 2);
+        assert!(wide < narrow);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        subset_false_positive_probability(0, 1, 1);
+    }
+
+    #[test]
+    fn empirical_fp_rate_matches_lemma_order_of_magnitude() {
+        // Measure the single-neighbor membership FP rate and compare with
+        // the occupancy term of Lemma 2.
+        let g = erdos_renyi(400, 0.05, 9);
+        let bits = 256;
+        let f = NeighborhoodFilters::build(&g, g.vertices(), BloomConfig { bits });
+        let mut fp = 0usize;
+        let mut trials = 0usize;
+        for u in g.vertices().take(100) {
+            for x in g.vertices() {
+                if x == u || g.has_edge(u, x) {
+                    continue;
+                }
+                trials += 1;
+                if f.maybe_contains(u, x) {
+                    fp += 1;
+                }
+            }
+        }
+        let measured = fp as f64 / trials as f64;
+        // Expected occupancy for deg ≈ 20 over 256 bits ≈ 7.5 %.
+        let avg_deg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        let predicted = 1.0 - (1.0 - 1.0 / bits as f64).powf(avg_deg);
+        assert!(
+            measured < predicted * 3.0 + 0.02,
+            "measured {measured:.4} vs predicted {predicted:.4}"
+        );
+    }
+
+    #[test]
+    fn probes_saved_monotone_in_degree() {
+        let a = expected_probes_saved(128, 5, 10, 2);
+        let b = expected_probes_saved(128, 50, 10, 2);
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,203 @@
+//! A fixed-capacity bit set over `u64` words.
+
+/// Fixed-capacity bit set.
+///
+/// Used directly by tests/ablations and as the storage idiom of
+/// [`crate::NeighborhoodFilters`] (which packs many same-width sets into
+/// one allocation instead of one `BitSet` each).
+///
+/// # Examples
+///
+/// ```
+/// use nsky_bloom::BitSet;
+///
+/// let mut a = BitSet::new(128);
+/// a.insert(3);
+/// a.insert(70);
+/// assert!(a.contains(3) && !a.contains(4));
+/// assert_eq!(a.count_ones(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`. Returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `i`. Returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears all bits (keeps capacity).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Whether `self ⊆ other` bit-wise (`self & other == self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity mismatch.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & b == a)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Size of the intersection.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over set bit positions, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(!s.contains(5));
+        assert!(!s.contains(1_000)); // out of range is just "absent"
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in [1, 65, 130] {
+            a.insert(i);
+            b.insert(i);
+        }
+        b.insert(199);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        a.union_with(&b);
+        assert!(b.is_subset_of(&a));
+        assert_eq!(a.intersection_count(&b), 4);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(300);
+        for i in [255, 0, 64, 63, 299] {
+            s.insert(i);
+        }
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![0, 63, 64, 255, 299]);
+        assert_eq!(s.count_ones(), 5);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s = BitSet::new(64);
+        assert!(s.is_empty());
+        s.insert(63);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 64);
+    }
+
+    #[test]
+    fn empty_subset_of_everything() {
+        let a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        b.insert(3);
+        assert!(a.is_subset_of(&b));
+        assert!(a.is_subset_of(&a));
+    }
+}

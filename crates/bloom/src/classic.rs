@@ -1,0 +1,122 @@
+//! A classic k-hash bloom filter, for comparison with the paper's
+//! single-hash variant (used by the `ablation_bloom` bench and by tests).
+
+use crate::hash::mix32;
+
+/// Classic bloom filter over `u32` elements with `k` derived hash
+/// functions (double hashing: `h_i = h1 + i·h2`).
+///
+/// # Examples
+///
+/// ```
+/// use nsky_bloom::ClassicBloom;
+///
+/// let mut b = ClassicBloom::new(1024, 3);
+/// b.insert(42);
+/// assert!(b.maybe_contains(42));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClassicBloom {
+    words: Vec<u64>,
+    mask: u64,
+    k: u32,
+    inserted: usize,
+}
+
+impl ClassicBloom {
+    /// A filter with `bits` capacity (rounded up to a power of two, ≥ 64)
+    /// and `k ≥ 1` hash functions.
+    pub fn new(bits: usize, k: u32) -> Self {
+        assert!(k >= 1, "need at least one hash function");
+        let bits = bits.next_power_of_two().max(64);
+        ClassicBloom {
+            words: vec![0; bits / 64],
+            mask: (bits - 1) as u64,
+            k,
+            inserted: 0,
+        }
+    }
+
+    #[inline]
+    fn positions(&self, x: u32) -> impl Iterator<Item = u64> + '_ {
+        let h = mix32(x);
+        let h1 = h & self.mask;
+        let h2 = ((h >> 32) | 1) & self.mask; // odd increment
+        (0..self.k as u64).map(move |i| (h1 + i * h2) & self.mask)
+    }
+
+    /// Inserts an element.
+    pub fn insert(&mut self, x: u32) {
+        let positions: Vec<u64> = self.positions(x).collect();
+        for p in positions {
+            self.words[(p >> 6) as usize] |= 1u64 << (p & 63);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership test; `false` is exact, `true` may be a false positive.
+    pub fn maybe_contains(&self, x: u32) -> bool {
+        self.positions(x)
+            .all(|p| self.words[(p >> 6) as usize] & (1u64 << (p & 63)) != 0)
+    }
+
+    /// Number of `insert` calls so far.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// The textbook false-positive estimate
+    /// `(1 − e^{−k·n/m})^k` for the current fill.
+    pub fn estimated_fp_rate(&self) -> f64 {
+        let m = (self.words.len() * 64) as f64;
+        let n = self.inserted as f64;
+        let k = self.k as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = ClassicBloom::new(2048, 4);
+        for x in 0..200 {
+            b.insert(x * 7);
+        }
+        for x in 0..200 {
+            assert!(b.maybe_contains(x * 7));
+        }
+        assert_eq!(b.inserted(), 200);
+    }
+
+    #[test]
+    fn fp_rate_is_low_when_underfilled() {
+        let mut b = ClassicBloom::new(1 << 14, 4);
+        for x in 0..100 {
+            b.insert(x);
+        }
+        let fps = (10_000..20_000).filter(|&x| b.maybe_contains(x)).count();
+        assert!(fps < 50, "too many false positives: {fps}");
+        assert!(b.estimated_fp_rate() < 0.01);
+    }
+
+    #[test]
+    fn more_hashes_fewer_fps_at_low_fill() {
+        let mut one = ClassicBloom::new(4096, 1);
+        let mut four = ClassicBloom::new(4096, 4);
+        for x in 0..150 {
+            one.insert(x);
+            four.insert(x);
+        }
+        let fp = |b: &ClassicBloom| (100_000..110_000).filter(|&x| b.maybe_contains(x)).count();
+        assert!(fp(&four) <= fp(&one));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash")]
+    fn zero_hashes_rejected() {
+        ClassicBloom::new(64, 0);
+    }
+}

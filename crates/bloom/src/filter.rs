@@ -1,0 +1,258 @@
+//! Per-vertex neighborhood bloom filters — the refine-phase accelerator of
+//! `FilterRefineSky`.
+
+use crate::hash::mix32;
+use nsky_graph::{Graph, VertexId};
+
+/// Sizing policy for the per-vertex filters.
+///
+/// The paper sizes each filter by `dmax` ("BK is the number of bytes
+/// determined by dmax"); the candidate filters then occupy `|C| · dmax`
+/// bits — the `O(m + |C|·dmax)` space term of Theorem 3. The
+/// `bits_per_element` knob exists for the bloom-width ablation bench.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BloomConfig {
+    /// Filter width in bits; always a power of two ≥ 64.
+    pub bits: usize,
+}
+
+impl BloomConfig {
+    /// Maximum filter width (bits). The paper sizes filters purely by
+    /// `dmax`, which on hub-heavy graphs (WikiTalk: `dmax ≈ 10^5`) makes
+    /// every filter kilobytes wide and lets allocation dominate the
+    /// refine phase. Capping the width only raises the false-positive
+    /// rate of the *pre*-checks — the exact `NBRcheck` keeps the result
+    /// correct — and the `ablation_bloom` bench quantifies the trade.
+    pub const MAX_BITS: usize = 8 * 1024;
+
+    /// Paper-style sizing: the filter width is the next power of two of
+    /// `dmax · bits_per_element`, clamped to `[64, MAX_BITS]` bits.
+    ///
+    /// `bits_per_element = 1.0` reproduces the paper's `dmax`-proportional
+    /// sizing; larger multipliers trade memory for a lower false-positive
+    /// rate (see the `ablation_bloom` bench).
+    pub fn for_max_degree(dmax: usize, bits_per_element: f64) -> Self {
+        assert!(bits_per_element > 0.0, "multiplier must be positive");
+        let want = ((dmax as f64) * bits_per_element).ceil() as usize;
+        BloomConfig {
+            bits: want.next_power_of_two().clamp(64, Self::MAX_BITS),
+        }
+    }
+
+    /// Default paper-style sizing (1 bit per potential neighbor).
+    pub fn paper_default(dmax: usize) -> Self {
+        Self::for_max_degree(dmax, 1.0)
+    }
+
+    fn words(&self) -> usize {
+        self.bits / 64
+    }
+}
+
+/// Single-hash bloom filters over the open neighborhoods of a chosen set
+/// of vertices, packed into one allocation.
+///
+/// Construction inserts every `v ∈ N(u)` by setting bit
+/// `mix32(v) mod bits` of `u`'s filter — the 64-bit generalization of the
+/// paper's `BF[h(v)>>5 % BK] |= 1 << (h(v) & 31)`.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::Graph;
+/// use nsky_bloom::{BloomConfig, NeighborhoodFilters};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3)]);
+/// let f = NeighborhoodFilters::build(&g, g.vertices(), BloomConfig::paper_default(g.max_degree()));
+/// // N(0) = {1,2} ⊆ N(1) = {0,2,3}? No — and the filter can prove the
+/// // *negative* only; here bit(1) is set for 0 but 1 ∉ N(1).
+/// assert!(!f.filter_subset(0, 1) || g.neighbors(0).iter().all(|&x| g.has_edge(1, x)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NeighborhoodFilters {
+    /// Packed filter words: slot `s` occupies
+    /// `words[s * wpf .. (s + 1) * wpf]`.
+    words: Vec<u64>,
+    /// `slot[u]` is `u`'s filter slot, or `u32::MAX` if `u` has none.
+    slot: Vec<u32>,
+    /// Words per filter.
+    wpf: usize,
+    /// Bit mask (`bits − 1`).
+    mask: u64,
+}
+
+impl NeighborhoodFilters {
+    /// Builds filters for `members` (typically the candidate set `C`).
+    pub fn build<I>(g: &Graph, members: I, cfg: BloomConfig) -> Self
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let wpf = cfg.words();
+        let mask = (cfg.bits - 1) as u64;
+        let mut slot = vec![u32::MAX; g.num_vertices()];
+        let mut count = 0u32;
+        let members: Vec<VertexId> = members
+            .into_iter()
+            .inspect(|&u| {
+                debug_assert!((u as usize) < g.num_vertices());
+                debug_assert_eq!(slot[u as usize], u32::MAX, "duplicate member {u}");
+                slot[u as usize] = count;
+                count += 1;
+            })
+            .collect();
+        let mut words = vec![0u64; count as usize * wpf];
+        for &u in &members {
+            let base = slot[u as usize] as usize * wpf;
+            for &v in g.neighbors(u) {
+                let h = mix32(v) & mask;
+                words[base + (h >> 6) as usize] |= 1u64 << (h & 63);
+            }
+        }
+        NeighborhoodFilters {
+            words,
+            slot,
+            wpf,
+            mask,
+        }
+    }
+
+    /// Whether `u` has a filter.
+    #[inline]
+    pub fn has_filter(&self, u: VertexId) -> bool {
+        self.slot[u as usize] != u32::MAX
+    }
+
+    #[inline]
+    fn filter(&self, u: VertexId) -> &[u64] {
+        let s = self.slot[u as usize] as usize;
+        debug_assert_ne!(self.slot[u as usize], u32::MAX, "no filter for {u}");
+        &self.words[s * self.wpf..(s + 1) * self.wpf]
+    }
+
+    /// Whole-filter pre-check: `BF(u) & BF(w) == BF(u)`.
+    ///
+    /// Returns `false` only when `N(u) ⊄ N(w)` is *certain*; `true` may be
+    /// a false positive (paper line 14 of Algorithm 3).
+    #[inline]
+    pub fn filter_subset(&self, u: VertexId, w: VertexId) -> bool {
+        self.filter(u)
+            .iter()
+            .zip(self.filter(w))
+            .all(|(&a, &b)| a & b == a)
+    }
+
+    /// `BFcheck`: whether `x` *may* be in `N(w)` per `w`'s filter.
+    ///
+    /// A `false` answer is exact (`x ∉ N(w)`); a `true` answer needs the
+    /// exact `NBRcheck` against the adjacency list.
+    #[inline]
+    pub fn maybe_contains(&self, w: VertexId, x: VertexId) -> bool {
+        let h = mix32(x) & self.mask;
+        self.filter(w)[(h >> 6) as usize] & (1u64 << (h & 63)) != 0
+    }
+
+    /// Filter width in bits.
+    pub fn bits(&self) -> usize {
+        self.wpf * 64
+    }
+
+    /// Words per filter — the cost of one [`filter_subset`]
+    /// (callers use this to decide between the whole-filter compare and
+    /// per-element [`maybe_contains`] probes).
+    ///
+    /// [`filter_subset`]: Self::filter_subset
+    /// [`maybe_contains`]: Self::maybe_contains
+    pub fn words_per_filter(&self) -> usize {
+        self.wpf
+    }
+
+    /// Total resident bytes (the Fig. 4 memory accounting term).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8 + self.slot.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsky_graph::generators::chung_lu_power_law;
+
+    #[test]
+    fn config_sizing() {
+        assert_eq!(BloomConfig::for_max_degree(0, 1.0).bits, 64);
+        assert_eq!(BloomConfig::for_max_degree(100, 1.0).bits, 128);
+        assert_eq!(BloomConfig::for_max_degree(100, 4.0).bits, 512);
+        assert_eq!(BloomConfig::paper_default(1000).bits, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn config_rejects_zero_multiplier() {
+        BloomConfig::for_max_degree(10, 0.0);
+    }
+
+    #[test]
+    fn no_false_negatives_on_membership() {
+        let g = chung_lu_power_law(500, 2.7, 8.0, 3);
+        let cfg = BloomConfig::paper_default(g.max_degree());
+        let f = NeighborhoodFilters::build(&g, g.vertices(), cfg);
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                assert!(f.maybe_contains(u, v), "false negative ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_on_subset() {
+        // Whenever N(u) ⊆ N(w) truly holds, the word-level pre-check must
+        // pass.
+        let g = chung_lu_power_law(300, 2.7, 6.0, 5);
+        let cfg = BloomConfig::paper_default(g.max_degree());
+        let f = NeighborhoodFilters::build(&g, g.vertices(), cfg);
+        let mut checked = 0;
+        for u in g.vertices() {
+            for w in g.vertices() {
+                if u == w {
+                    continue;
+                }
+                let truly = g
+                    .neighbors(u)
+                    .iter()
+                    .all(|&x| g.neighbors(w).binary_search(&x).is_ok());
+                if truly {
+                    assert!(f.filter_subset(u, w), "false negative subset {u}⊆{w}");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "test vacuous: no true inclusions in sample");
+    }
+
+    #[test]
+    fn negative_answers_are_exact() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (3, 4)]);
+        let f = NeighborhoodFilters::build(&g, g.vertices(), BloomConfig { bits: 4096 });
+        // With a wide filter, distinct singletons should separate.
+        assert!(!f.maybe_contains(3, 1), "bit for 1 not set in N(3)={{4}}");
+        assert!(!f.filter_subset(0, 3));
+    }
+
+    #[test]
+    fn partial_membership_build() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let f = NeighborhoodFilters::build(&g, [1, 2], BloomConfig { bits: 64 });
+        assert!(f.has_filter(1));
+        assert!(f.has_filter(2));
+        assert!(!f.has_filter(0));
+        assert!(f.size_bytes() >= 2 * 8);
+    }
+
+    #[test]
+    fn empty_neighborhood_filter_is_subset_of_all() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let f = NeighborhoodFilters::build(&g, g.vertices(), BloomConfig { bits: 64 });
+        assert!(f.filter_subset(2, 0));
+        assert!(f.filter_subset(2, 1));
+    }
+}

@@ -1,0 +1,53 @@
+//! The single hash function used by the neighborhood filters.
+
+/// Mixes a 32-bit vertex id into a well-distributed 64-bit value
+/// (the finalizer of SplitMix64 applied to the id).
+///
+/// The paper uses one cheap bit-wise hash (following Wei et al.'s
+/// reachability labeling); a multiply–xor–shift finalizer is the modern
+/// equivalent: two multiplications, three shifts, no table lookups.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_bloom::mix32;
+///
+/// assert_eq!(mix32(7), mix32(7));
+/// assert_ne!(mix32(7), mix32(8));
+/// ```
+#[inline]
+pub fn mix32(x: u32) -> u64 {
+    let mut z = (x as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits_are_well_distributed() {
+        // Consecutive ids should not collide in their low 6 bits too often
+        // (those bits pick the bit-in-word position).
+        let mut buckets = [0u32; 64];
+        for x in 0..64_000u32 {
+            buckets[(mix32(x) & 63) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "skewed low bits: {b}");
+        }
+    }
+
+    #[test]
+    fn word_index_bits_are_well_distributed() {
+        let mut buckets = [0u32; 16];
+        for x in 0..16_000u32 {
+            buckets[((mix32(x) >> 6) & 15) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "skewed word bits: {b}");
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Betweenness centrality (Brandes' algorithm) and group betweenness
+//! maximization with neighborhood-skyline pruning — the extension the
+//! paper flags as future work in Sec. IV-D ("our pruning technique can
+//! also be used to handle ... group betweenness maximization").
+//!
+//! Group betweenness of `S` is the total fraction of shortest paths
+//! covered by `S`:
+//! `GB(S) = Σ_{s<t, s,t∉S} (σ_st − σ_st^{¬S}) / σ_st`,
+//! where `σ_st^{¬S}` counts shortest `s–t` paths (of the *original*
+//! length) avoiding `S`. Evaluation runs one BFS path-count pass per
+//! source in `G` and one in `G ∖ S` — `O(n·m)` per group — so the greedy
+//! maximizer is meant for the small/medium graphs of the examples and
+//! tests, mirroring how exact group betweenness is used in practice.
+
+use nsky_graph::{Graph, VertexId};
+use nsky_skyline::{filter_refine_sky, RefineConfig};
+use std::collections::VecDeque;
+
+/// Vertex betweenness centrality of every vertex (Brandes' algorithm,
+/// undirected, unweighted; each unordered pair counted once).
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::special::path;
+/// use nsky_centrality::betweenness::betweenness;
+///
+/// let b = betweenness(&path(5));
+/// assert_eq!(b[0], 0.0);          // endpoints lie on no interior paths
+/// assert!(b[2] > b[1]);           // the midpoint carries the most
+/// ```
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut bc = vec![0.0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+
+    for s in g.vertices() {
+        dist.fill(i64::MAX);
+        sigma.fill(0.0);
+        delta.fill(0.0);
+        order.clear();
+        dist[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == i64::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                }
+            }
+        }
+        for &w in order.iter().rev() {
+            for &v in g.neighbors(w) {
+                if dist[v as usize] + 1 == dist[w as usize] {
+                    delta[v as usize] +=
+                        sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                }
+            }
+            if w != s {
+                bc[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    // Each unordered pair was accumulated from both endpoints.
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Shortest-path counts from `s`: distances and σ values, optionally
+/// forbidding relay through `blocked` vertices (the source itself is
+/// never blocked; blocked vertices get σ = 0 and do not propagate).
+fn path_counts(
+    g: &Graph,
+    s: VertexId,
+    blocked: Option<&[bool]>,
+    dist: &mut [i64],
+    sigma: &mut [f64],
+) {
+    dist.fill(i64::MAX);
+    sigma.fill(0.0);
+    let mut queue = VecDeque::new();
+    dist[s as usize] = 0;
+    sigma[s as usize] = 1.0;
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        if let Some(b) = blocked {
+            if v != s && b[v as usize] {
+                continue; // reachable, but does not relay paths
+            }
+        }
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == i64::MAX {
+                dist[w as usize] = dist[v as usize] + 1;
+                queue.push_back(w);
+            }
+            if dist[w as usize] == dist[v as usize] + 1 {
+                sigma[w as usize] += sigma[v as usize];
+            }
+        }
+    }
+}
+
+/// Exact group betweenness `GB(S)`.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::special::path;
+/// use nsky_centrality::betweenness::group_betweenness;
+///
+/// // The midpoint of P5 covers all pairs crossing it: {0,1}×{3,4} plus
+/// // none within the sides ⇒ 4 covered pairs.
+/// assert_eq!(group_betweenness(&path(5), &[2]), 4.0);
+/// ```
+pub fn group_betweenness(g: &Graph, group: &[VertexId]) -> f64 {
+    let n = g.num_vertices();
+    let mut in_group = vec![false; n];
+    for &s in group {
+        in_group[s as usize] = true;
+    }
+    let mut dist = vec![i64::MAX; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist_b = vec![i64::MAX; n];
+    let mut sigma_b = vec![0.0f64; n];
+    let mut total = 0.0;
+    for s in g.vertices() {
+        if in_group[s as usize] {
+            continue;
+        }
+        path_counts(g, s, None, &mut dist, &mut sigma);
+        path_counts(g, s, Some(&in_group), &mut dist_b, &mut sigma_b);
+        for t in g.vertices() {
+            if t <= s || in_group[t as usize] || dist[t as usize] == i64::MAX {
+                continue;
+            }
+            let covered = if dist_b[t as usize] != dist[t as usize] {
+                1.0 // every shortest path passes through S
+            } else {
+                1.0 - sigma_b[t as usize] / sigma[t as usize]
+            };
+            total += covered;
+        }
+    }
+    total
+}
+
+/// Outcome of the greedy group-betweenness maximizers.
+#[derive(Clone, Debug)]
+pub struct BetweennessOutcome {
+    /// Selected group, in selection order.
+    pub group: Vec<VertexId>,
+    /// Final `GB(S)`.
+    pub score: f64,
+    /// Marginal-gain evaluations performed.
+    pub gain_evaluations: u64,
+    /// Candidate-pool size (`n`, or the skyline size when pruned).
+    pub pool_size: usize,
+}
+
+fn greedy_over_pool(g: &Graph, k: usize, pool: Vec<VertexId>) -> BetweennessOutcome {
+    let k = k.min(pool.len());
+    let mut group: Vec<VertexId> = Vec::with_capacity(k);
+    let mut best_score = 0.0;
+    let mut evals = 0u64;
+    for _ in 0..k {
+        let mut best: Option<(f64, VertexId)> = None;
+        for &u in &pool {
+            if group.contains(&u) {
+                continue;
+            }
+            evals += 1;
+            group.push(u);
+            let score = group_betweenness(g, &group);
+            group.pop();
+            let better = match best {
+                None => true,
+                Some((bs, bv)) => score > bs || (score == bs && u < bv),
+            };
+            if better {
+                best = Some((score, u));
+            }
+        }
+        let Some((score, v)) = best else { break };
+        group.push(v);
+        best_score = score;
+    }
+    BetweennessOutcome {
+        group,
+        score: best_score,
+        gain_evaluations: evals,
+        pool_size: pool.len(),
+    }
+}
+
+/// Plain greedy group-betweenness maximization (`BaseGB`): evaluates
+/// every remaining vertex each round. `O(k·n²·m)` — small graphs only.
+pub fn base_gb(g: &Graph, k: usize) -> BetweennessOutcome {
+    greedy_over_pool(g, k, g.vertices().collect())
+}
+
+/// Skyline-pruned greedy (`NeiSkyGB`): candidates restricted to the
+/// neighborhood skyline, the Sec. IV-D extension. The rerouting argument
+/// behind Lemma 3/4 carries over: a shortest path ending at a dominated
+/// vertex `v` reroutes through any adjacent dominator with equal length,
+/// so skyline vertices cover at least as many paths.
+pub fn nei_sky_gb(g: &Graph, k: usize) -> BetweennessOutcome {
+    let skyline = filter_refine_sky(g, &RefineConfig::default()).skyline;
+    greedy_over_pool(g, k, skyline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsky_graph::generators::special::{clique, cycle, path, star};
+    use nsky_graph::generators::{erdos_renyi, leafy_preferential};
+    use nsky_graph::Graph;
+
+    #[test]
+    fn brandes_known_values() {
+        // Star: the hub lies on every leaf pair: C(n−1, 2).
+        let b = betweenness(&star(6));
+        assert_eq!(b[0], 10.0);
+        assert!(b[1..].iter().all(|&x| x == 0.0));
+        // Path P4: interior vertices carry 2 pairs each.
+        let b = betweenness(&path(4));
+        assert_eq!(b, vec![0.0, 2.0, 2.0, 0.0]);
+        // Clique: no interior vertices on any shortest path.
+        let b = betweenness(&clique(5));
+        assert!(b.iter().all(|&x| x == 0.0));
+        // Cycle C5: each vertex bisects one pair's two paths: 2·(1/2)...
+        let b = betweenness(&cycle(5));
+        for &x in &b {
+            assert!((x - 1.0).abs() < 1e-9, "C5 betweenness {b:?}");
+        }
+    }
+
+    #[test]
+    fn group_betweenness_known_values() {
+        // Star hub covers all 10 leaf pairs.
+        assert_eq!(group_betweenness(&star(6), &[0]), 10.0);
+        // A leaf covers nothing.
+        assert_eq!(group_betweenness(&star(6), &[1]), 0.0);
+        // Two path interiors of P5 cover all cross pairs: pairs not
+        // within {0,1} or {3,4}... S = {1,3}: remaining 0,2,4: pairs
+        // (0,2): path through 1 ⇒ 1; (2,4): through 3 ⇒ 1; (0,4) ⇒ 1.
+        assert_eq!(group_betweenness(&path(5), &[1, 3]), 3.0);
+        // Empty group covers nothing; full group trivially zero terms.
+        assert_eq!(group_betweenness(&path(5), &[]), 0.0);
+    }
+
+    #[test]
+    fn group_betweenness_counts_partial_coverage() {
+        // C4: pairs of opposite corners have two shortest paths; one
+        // blocker covers half of each opposite pair's flow.
+        let g = cycle(4);
+        let s = group_betweenness(&g, &[0]);
+        // Remaining vertices 1,2,3: pair (1,3): paths via 0 and 2 ⇒ 1/2
+        // covered; pairs (1,2), (2,3) adjacent ⇒ 0.
+        assert!((s - 0.5).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn greedy_picks_the_star_hub() {
+        let out = base_gb(&star(8), 1);
+        assert_eq!(out.group, vec![0]);
+        let out = nei_sky_gb(&star(8), 1);
+        assert_eq!(out.group, vec![0]);
+        assert_eq!(out.pool_size, 1, "skyline of a star is the hub");
+    }
+
+    #[test]
+    fn pruned_greedy_matches_base_scores() {
+        for seed in 0..3 {
+            let g = leafy_preferential(120, 0.9, 1.0, 5, seed);
+            for k in [1usize, 3] {
+                let base = base_gb(&g, k);
+                let nei = nei_sky_gb(&g, k);
+                assert!(
+                    nei.score >= base.score - 1e-9,
+                    "seed {seed} k {k}: {} < {}",
+                    nei.score,
+                    base.score
+                );
+                assert!(nei.gain_evaluations <= base.gain_evaluations);
+            }
+        }
+        let g = erdos_renyi(60, 0.1, 7);
+        let base = base_gb(&g, 2);
+        let nei = nei_sky_gb(&g, 2);
+        assert!(nei.score >= base.score - 1e-9);
+    }
+
+    #[test]
+    fn disconnected_pairs_do_not_contribute() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        // S = {1}: covers pair (0,2) only; unreachable pairs skipped.
+        assert_eq!(group_betweenness(&g, &[1]), 1.0);
+    }
+}

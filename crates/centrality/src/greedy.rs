@@ -1,0 +1,464 @@
+//! The greedy group-centrality maximization engine.
+//!
+//! One engine covers the paper's four algorithm variants:
+//!
+//! | paper name | configuration |
+//! |---|---|
+//! | `BaseGC` / `BaseGH` | plain re-evaluation, all vertices |
+//! | `Greedy++` / `Greedy-H` | [`GreedyOptions::lazy`] CELF queue + pruned marginal-gain BFS |
+//! | `NeiSkyGC` / `NeiSkyGH` | either engine with [`GreedyOptions::candidates`] = skyline |
+//!
+//! The engine maximizes the *raw-total gain* each round (distance-sum
+//! reduction for closeness, contribution increase for harmonic/decay),
+//! which is a monotone transform of the score gain, so the selected
+//! vertex matches the paper's `argmax GC(S ∪ {u}) − GC(S)` rule. Raw
+//! gains are non-increasing as `S` grows (adding members only lowers
+//! `d(v, S)` pointwise), which justifies the CELF lazy queue.
+
+use crate::measure::GroupMeasure;
+use nsky_graph::{Graph, VertexId};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Options of [`greedy_group`].
+#[derive(Clone, Debug, Default)]
+pub struct GreedyOptions {
+    /// Use the CELF lazy-evaluation queue instead of re-evaluating every
+    /// candidate each round.
+    pub lazy: bool,
+    /// Prune marginal-gain BFS branches that can no longer improve any
+    /// distance (`d_u(v) ≥ d(v, S)` implies no descendant improves).
+    pub pruned_bfs: bool,
+    /// Restrict the candidate pool (e.g. to the neighborhood skyline).
+    /// `None` means all vertices.
+    pub candidates: Option<Vec<VertexId>>,
+}
+
+impl GreedyOptions {
+    /// The paper's optimized baseline (`Greedy++` / `Greedy-H`): CELF +
+    /// pruned BFS over all vertices.
+    pub fn optimized() -> Self {
+        GreedyOptions {
+            lazy: true,
+            pruned_bfs: true,
+            candidates: None,
+        }
+    }
+}
+
+/// Result of a greedy maximization run.
+#[derive(Clone, Debug)]
+pub struct GreedyOutcome {
+    /// Selected group, in selection order.
+    pub group: Vec<VertexId>,
+    /// Final score of the measure (e.g. `GC(S)`).
+    pub score: f64,
+    /// Number of marginal-gain evaluations performed — the quantity the
+    /// paper's `k(2n−k+1)/2` vs `k(2r−k+1)/2` comparison is about.
+    pub gain_evaluations: u64,
+    /// Score after each selection (length = |group|).
+    pub score_trace: Vec<f64>,
+}
+
+struct HeapEntry {
+    gain: f64,
+    vertex: VertexId,
+    round: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain && self.vertex == other.vertex
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on gain; ties broken toward the smaller vertex id for
+        // determinism.
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Scratch state shared by marginal evaluations.
+struct Evaluator<'g, M> {
+    g: &'g Graph,
+    measure: M,
+    n: usize,
+    /// `d(v, S)`; `u32::MAX` while `S = ∅` (or unreachable).
+    dist_s: Vec<u32>,
+    in_group: Vec<bool>,
+    /// Raw total `Σ_{v∉S} f(d(v, S))`.
+    total: f64,
+    // BFS scratch (stamped, reused across evaluations).
+    dist_u: Vec<u32>,
+    stamp: Vec<u32>,
+    round: u32,
+    queue: VecDeque<VertexId>,
+    improvements: Vec<(VertexId, u32)>,
+}
+
+impl<'g, M: GroupMeasure> Evaluator<'g, M> {
+    fn new(g: &'g Graph, measure: M) -> Self {
+        let n = g.num_vertices();
+        let total = n as f64 * measure.contribution(u32::MAX, n);
+        Evaluator {
+            g,
+            measure,
+            n,
+            dist_s: vec![u32::MAX; n],
+            in_group: vec![false; n],
+            total,
+            dist_u: vec![u32::MAX; n],
+            stamp: vec![u32::MAX; n],
+            round: 0,
+            queue: VecDeque::new(),
+            improvements: Vec::new(),
+        }
+    }
+
+    /// BFS from `src` collecting `(v, d_u(v))` for every vertex whose
+    /// distance improves on `d(v, S)`.
+    fn collect_improvements(&mut self, src: VertexId, prune: bool) {
+        self.round += 1;
+        let round = self.round;
+        self.queue.clear();
+        self.improvements.clear();
+        self.dist_u[src as usize] = 0;
+        self.stamp[src as usize] = round;
+        self.queue.push_back(src);
+        if self.dist_s[src as usize] > 0 {
+            self.improvements.push((src, 0));
+        }
+        while let Some(v) = self.queue.pop_front() {
+            let dv = self.dist_u[v as usize];
+            if prune && dv >= self.dist_s[v as usize] {
+                // No descendant can improve: d_u(w) ≥ d_u(v) + d(v,w)
+                // ≥ d(v,S) + d(v,w) ≥ d(w,S).
+                continue;
+            }
+            for &w in self.g.neighbors(v) {
+                if self.stamp[w as usize] == round {
+                    continue;
+                }
+                self.stamp[w as usize] = round;
+                self.dist_u[w as usize] = dv + 1;
+                if dv + 1 < self.dist_s[w as usize] {
+                    self.improvements.push((w, dv + 1));
+                }
+                self.queue.push_back(w);
+            }
+        }
+    }
+
+    /// Raw-total gain of adding `u` (non-negative, in the maximize
+    /// orientation of the measure).
+    fn gain(&mut self, u: VertexId, prune: bool) -> f64 {
+        debug_assert!(!self.in_group[u as usize]);
+        self.collect_improvements(u, prune);
+        let mut delta = 0.0; // new_total − total, excluding u's own term
+        for &(v, du) in &self.improvements {
+            if v == u || self.in_group[v as usize] {
+                continue;
+            }
+            delta += self.measure.contribution(du, self.n)
+                - self.measure.contribution(self.dist_s[v as usize], self.n);
+        }
+        // u leaves the sum.
+        let own = self.measure.contribution(self.dist_s[u as usize], self.n);
+        let new_total = self.total + delta - own;
+        if self.measure.maximize_total() {
+            new_total - self.total
+        } else {
+            self.total - new_total
+        }
+    }
+
+    /// Adds `u` to the group, updating `dist_s` and `total`.
+    fn commit(&mut self, u: VertexId) {
+        self.collect_improvements(u, true);
+        self.total -= self
+            .measure
+            .contribution(self.dist_s[u as usize], self.n);
+        self.in_group[u as usize] = true;
+        // Drain improvements to release the borrow while mutating state.
+        let improvements = std::mem::take(&mut self.improvements);
+        for &(v, du) in &improvements {
+            if v != u && !self.in_group[v as usize] {
+                self.total += self.measure.contribution(du, self.n)
+                    - self.measure.contribution(self.dist_s[v as usize], self.n);
+            }
+            self.dist_s[v as usize] = du;
+        }
+        self.improvements = improvements;
+        self.dist_s[u as usize] = 0;
+    }
+
+    fn score(&self) -> f64 {
+        self.measure.score(self.total, self.n)
+    }
+}
+
+/// Greedily selects a group of (at most) `k` vertices maximizing the
+/// group measure `M`.
+///
+/// Returns fewer than `k` vertices only when the candidate pool is
+/// smaller than `k`.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::special::star;
+/// use nsky_centrality::{greedy::{greedy_group, GreedyOptions}, measure::Harmonic};
+///
+/// let g = star(8);
+/// let out = greedy_group(&g, Harmonic, 1, &GreedyOptions::default());
+/// assert_eq!(out.group, vec![0]); // the hub maximizes GH for k = 1
+/// ```
+pub fn greedy_group<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    opts: &GreedyOptions,
+) -> GreedyOutcome {
+    let pool: Vec<VertexId> = match &opts.candidates {
+        Some(c) => c.clone(),
+        None => g.vertices().collect(),
+    };
+    let k = k.min(pool.len());
+    let mut ev = Evaluator::new(g, measure);
+    let mut outcome = GreedyOutcome {
+        group: Vec::with_capacity(k),
+        score: ev.score(),
+        gain_evaluations: 0,
+        score_trace: Vec::with_capacity(k),
+    };
+    if k == 0 {
+        return outcome;
+    }
+
+    if opts.lazy {
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(pool.len());
+        for &u in &pool {
+            outcome.gain_evaluations += 1;
+            let gain = ev.gain(u, opts.pruned_bfs);
+            heap.push(HeapEntry {
+                gain,
+                vertex: u,
+                round: 0,
+            });
+        }
+        let mut round = 0u32;
+        while outcome.group.len() < k {
+            let top = heap.pop().expect("pool ≥ k");
+            if ev.in_group[top.vertex as usize] {
+                continue;
+            }
+            if top.round == round {
+                ev.commit(top.vertex);
+                outcome.group.push(top.vertex);
+                outcome.score_trace.push(ev.score());
+                round += 1;
+            } else {
+                outcome.gain_evaluations += 1;
+                let gain = ev.gain(top.vertex, opts.pruned_bfs);
+                heap.push(HeapEntry {
+                    gain,
+                    vertex: top.vertex,
+                    round,
+                });
+            }
+        }
+    } else {
+        while outcome.group.len() < k {
+            let mut best: Option<(f64, VertexId)> = None;
+            for &u in &pool {
+                if ev.in_group[u as usize] {
+                    continue;
+                }
+                outcome.gain_evaluations += 1;
+                let gain = ev.gain(u, opts.pruned_bfs);
+                let better = match best {
+                    None => true,
+                    Some((bg, bv)) => gain > bg || (gain == bg && u < bv),
+                };
+                if better {
+                    best = Some((gain, u));
+                }
+            }
+            let (_, v) = best.expect("pool ≥ k");
+            ev.commit(v);
+            outcome.group.push(v);
+            outcome.score_trace.push(ev.score());
+        }
+    }
+    outcome.score = ev.score();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::group_score;
+    use crate::measure::{Closeness, Decay, Harmonic};
+    use nsky_graph::generators::special::{cycle, path, star};
+    use nsky_graph::generators::{chung_lu_power_law, erdos_renyi};
+
+    #[test]
+    fn star_hub_first() {
+        let g = star(10);
+        for lazy in [false, true] {
+            let opts = GreedyOptions {
+                lazy,
+                pruned_bfs: true,
+                candidates: None,
+            };
+            let gc = greedy_group(&g, Closeness, 3, &opts);
+            assert_eq!(gc.group[0], 0, "lazy={lazy}");
+            let gh = greedy_group(&g, Harmonic, 3, &opts);
+            assert_eq!(gh.group[0], 0, "lazy={lazy}");
+        }
+    }
+
+    #[test]
+    fn score_matches_independent_evaluation() {
+        let g = erdos_renyi(120, 0.05, 3);
+        for lazy in [false, true] {
+            let opts = GreedyOptions {
+                lazy,
+                pruned_bfs: lazy,
+                candidates: None,
+            };
+            let out = greedy_group(&g, Harmonic, 5, &opts);
+            let independent = group_score(&g, Harmonic, &out.group);
+            assert!(
+                (out.score - independent).abs() < 1e-9,
+                "incremental total drifted: {} vs {independent}",
+                out.score
+            );
+            let out = greedy_group(&g, Closeness, 5, &opts);
+            let independent = group_score(&g, Closeness, &out.group);
+            assert!((out.score - independent).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lazy_and_plain_agree() {
+        // CELF returns a group with the same greedy score sequence.
+        for seed in 0..4 {
+            let g = erdos_renyi(80, 0.06, seed);
+            let plain = greedy_group(&g, Harmonic, 6, &GreedyOptions::default());
+            let lazy = greedy_group(&g, Harmonic, 6, &GreedyOptions::optimized());
+            assert_eq!(plain.group, lazy.group, "seed {seed}");
+            assert!(lazy.gain_evaluations <= plain.gain_evaluations);
+        }
+    }
+
+    #[test]
+    fn pruned_bfs_changes_nothing() {
+        let g = chung_lu_power_law(300, 2.8, 5.0, 7);
+        let a = greedy_group(
+            &g,
+            Closeness,
+            5,
+            &GreedyOptions {
+                lazy: false,
+                pruned_bfs: false,
+                candidates: None,
+            },
+        );
+        let b = greedy_group(
+            &g,
+            Closeness,
+            5,
+            &GreedyOptions {
+                lazy: false,
+                pruned_bfs: true,
+                candidates: None,
+            },
+        );
+        assert_eq!(a.group, b.group);
+        assert!((a.score - b.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_restriction_respected() {
+        let g = cycle(12);
+        let opts = GreedyOptions {
+            lazy: false,
+            pruned_bfs: false,
+            candidates: Some(vec![0, 3, 6, 9]),
+        };
+        let out = greedy_group(&g, Harmonic, 3, &opts);
+        assert!(out.group.iter().all(|u| [0, 3, 6, 9].contains(u)));
+        assert_eq!(out.group.len(), 3);
+    }
+
+    #[test]
+    fn evaluation_counts_match_formula_for_plain_greedy() {
+        // BaseGC performs k(2n − k + 1)/2 gain evaluations.
+        let g = path(20);
+        let (n, k) = (20u64, 4u64);
+        let out = greedy_group(&g, Closeness, k as usize, &GreedyOptions::default());
+        assert_eq!(out.gain_evaluations, k * (2 * n - k + 1) / 2);
+    }
+
+    #[test]
+    fn greedy_monotone_score_trace() {
+        let g = erdos_renyi(100, 0.05, 11);
+        for lazy in [false, true] {
+            let out = greedy_group(
+                &g,
+                Harmonic,
+                8,
+                &GreedyOptions {
+                    lazy,
+                    pruned_bfs: true,
+                    candidates: None,
+                },
+            );
+            for w in out.score_trace.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "harmonic trace must not decrease");
+            }
+        }
+    }
+
+    #[test]
+    fn k_edge_cases() {
+        let g = path(5);
+        assert!(greedy_group(&g, Harmonic, 0, &GreedyOptions::default())
+            .group
+            .is_empty());
+        let all = greedy_group(&g, Harmonic, 99, &GreedyOptions::default());
+        assert_eq!(all.group.len(), 5);
+        let empty = greedy_group(&Graph::empty(0), Harmonic, 3, &GreedyOptions::default());
+        assert!(empty.group.is_empty());
+    }
+
+    #[test]
+    fn decay_measure_works_in_greedy() {
+        let g = star(8);
+        let out = greedy_group(&g, Decay::new(0.5), 2, &GreedyOptions::default());
+        assert_eq!(out.group[0], 0);
+        assert_eq!(out.group.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_selection_spans_components() {
+        let g = Graph::from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]);
+        let out = greedy_group(&g, Closeness, 2, &GreedyOptions::default());
+        let comp = |u: VertexId| u / 4;
+        assert_ne!(
+            comp(out.group[0]),
+            comp(out.group[1]),
+            "second pick should cover the other component: {:?}",
+            out.group
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Evaluating group centrality scores for explicit groups.
+
+use crate::measure::GroupMeasure;
+use nsky_graph::traversal::Bfs;
+use nsky_graph::{Graph, VertexId};
+
+/// `d(v, S)` for every vertex, via one multi-source BFS.
+/// Members of `S` get distance 0.
+pub fn group_distances(g: &Graph, group: &[VertexId]) -> Vec<u32> {
+    let mut bfs = Bfs::new(g.num_vertices());
+    bfs.run_multi(g, group.iter().copied());
+    bfs.distances().to_vec()
+}
+
+/// The raw total `Σ_{v∉S} f(d(v, S))` for measure `M`.
+pub fn group_total<M: GroupMeasure>(g: &Graph, measure: M, group: &[VertexId]) -> f64 {
+    let n = g.num_vertices();
+    let dist = group_distances(g, group);
+    let mut in_group = vec![false; n];
+    for &s in group {
+        in_group[s as usize] = true;
+    }
+    g.vertices()
+        .filter(|&v| !in_group[v as usize])
+        .map(|v| measure.contribution(dist[v as usize], n))
+        .sum()
+}
+
+/// The group score `GC(S)` / `GH(S)` / … for measure `M`
+/// (paper Definitions 7 and 9).
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::special::star;
+/// use nsky_centrality::{group::group_score, measure::{Closeness, Harmonic}};
+///
+/// let g = star(6);
+/// // The hub alone covers all leaves at distance 1.
+/// assert_eq!(group_score(&g, Closeness, &[0]), 6.0 / 5.0);
+/// assert_eq!(group_score(&g, Harmonic, &[0]), 5.0);
+/// ```
+pub fn group_score<M: GroupMeasure>(g: &Graph, measure: M, group: &[VertexId]) -> f64 {
+    measure.score(group_total(g, measure, group), g.num_vertices())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{Closeness, Decay, Harmonic};
+    use nsky_graph::generators::special::{cycle, path, star};
+
+    #[test]
+    fn distances_from_group() {
+        let g = path(6);
+        assert_eq!(group_distances(&g, &[0, 5]), vec![0, 1, 2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn larger_groups_never_hurt_closeness() {
+        let g = cycle(10);
+        let single = group_score(&g, Closeness, &[0]);
+        let pair = group_score(&g, Closeness, &[0, 5]);
+        assert!(pair > single);
+    }
+
+    #[test]
+    fn harmonic_group_score_on_star() {
+        let g = star(5);
+        // Group of two leaves: hub at 1, two other leaves at 2.
+        let s = group_score(&g, Harmonic, &[1, 2]);
+        assert!((s - (1.0 + 0.5 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_group_score() {
+        let g = path(4);
+        let s = group_score(&g, Decay::new(0.5), &[0]);
+        // distances 1, 2, 3 ⇒ 0.5 + 0.25 + 0.125.
+        assert!((s - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_component_penalized() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        // S = {0}: v1 at 1; v2, v3 unreachable ⇒ penalty 4 each.
+        assert!((group_total(&g, Closeness, &[0]) - 9.0).abs() < 1e-12);
+        assert!((group_total(&g, Harmonic, &[0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! The group-measure abstraction.
+//!
+//! Every measure the paper's pruning applies to (Sec. IV-D) is a sum of a
+//! non-increasing function of the shortest-path distance `d(v, S)` over
+//! `v ∉ S`, possibly with a final transform. The greedy engine only needs:
+//!
+//! * [`GroupMeasure::contribution`] — the per-vertex term `f(d)`;
+//! * [`GroupMeasure::maximize_total`] — whether a larger raw total is
+//!   better (harmonic/decay) or worse (closeness minimizes distance sum);
+//! * [`GroupMeasure::score`] — the reported score.
+
+/// A shortest-path-distance based group centrality measure.
+pub trait GroupMeasure: Copy + Send + Sync + 'static {
+    /// Human-readable name for harness output.
+    const NAME: &'static str;
+
+    /// Per-vertex contribution `f(d(v, S))` to the raw total, for
+    /// `v ∉ S`. `d == u32::MAX` means unreachable; `n` is the vertex
+    /// count (used for the closeness penalty).
+    fn contribution(self, d: u32, n: usize) -> f64;
+
+    /// `true` if greedy should maximize the raw total (harmonic, decay);
+    /// `false` if it should minimize it (closeness distance sum).
+    fn maximize_total(self) -> bool;
+
+    /// Final score from the raw total (e.g. `n / total` for closeness).
+    fn score(self, total: f64, n: usize) -> f64;
+}
+
+/// Group closeness centrality (paper Definition 7):
+/// `GC(S) = n / Σ_{v∉S} d(v, S)`; unreachable vertices contribute a
+/// penalty distance of `n`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Closeness;
+
+impl GroupMeasure for Closeness {
+    const NAME: &'static str = "group-closeness";
+
+    #[inline]
+    fn contribution(self, d: u32, n: usize) -> f64 {
+        if d == u32::MAX {
+            n as f64
+        } else {
+            d as f64
+        }
+    }
+
+    fn maximize_total(self) -> bool {
+        false
+    }
+
+    fn score(self, total: f64, n: usize) -> f64 {
+        if total <= 0.0 {
+            f64::INFINITY
+        } else {
+            n as f64 / total
+        }
+    }
+}
+
+/// Group harmonic centrality (paper Definition 9):
+/// `GH(S) = Σ_{v∉S} 1 / d(v, S)`; unreachable vertices contribute 0.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Harmonic;
+
+impl GroupMeasure for Harmonic {
+    const NAME: &'static str = "group-harmonic";
+
+    #[inline]
+    fn contribution(self, d: u32, _n: usize) -> f64 {
+        if d == u32::MAX || d == 0 {
+            0.0
+        } else {
+            1.0 / d as f64
+        }
+    }
+
+    fn maximize_total(self) -> bool {
+        true
+    }
+
+    fn score(self, total: f64, _n: usize) -> f64 {
+        total
+    }
+}
+
+/// Group decay centrality `Σ_{v∉S} δ^{d(v,S)}`, `0 < δ < 1` — a third
+/// shortest-path measure demonstrating that the skyline pruning extends
+/// beyond the two the paper evaluates (Sec. IV-D).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Decay {
+    /// The decay factor `δ ∈ (0, 1)`.
+    pub delta: f64,
+}
+
+impl Decay {
+    /// A decay measure with factor `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < delta < 1`.
+    pub fn new(delta: f64) -> Self {
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "decay factor must lie in (0,1), got {delta}"
+        );
+        Decay { delta }
+    }
+}
+
+impl GroupMeasure for Decay {
+    const NAME: &'static str = "group-decay";
+
+    #[inline]
+    fn contribution(self, d: u32, _n: usize) -> f64 {
+        if d == u32::MAX {
+            0.0
+        } else {
+            self.delta.powi(d as i32)
+        }
+    }
+
+    fn maximize_total(self) -> bool {
+        true
+    }
+
+    fn score(self, total: f64, _n: usize) -> f64 {
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closeness_contributions() {
+        assert_eq!(Closeness.contribution(3, 100), 3.0);
+        assert_eq!(Closeness.contribution(u32::MAX, 100), 100.0);
+        assert!(!Closeness.maximize_total());
+        assert_eq!(Closeness.score(50.0, 100), 2.0);
+        assert!(Closeness.score(0.0, 100).is_infinite());
+    }
+
+    #[test]
+    fn harmonic_contributions() {
+        assert_eq!(Harmonic.contribution(2, 10), 0.5);
+        assert_eq!(Harmonic.contribution(u32::MAX, 10), 0.0);
+        assert!(Harmonic.maximize_total());
+        assert_eq!(Harmonic.score(7.5, 10), 7.5);
+    }
+
+    #[test]
+    fn decay_contributions() {
+        let m = Decay::new(0.5);
+        assert_eq!(m.contribution(1, 10), 0.5);
+        assert_eq!(m.contribution(3, 10), 0.125);
+        assert_eq!(m.contribution(u32::MAX, 10), 0.0);
+        assert!(m.maximize_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn decay_rejects_out_of_range() {
+        Decay::new(1.0);
+    }
+}

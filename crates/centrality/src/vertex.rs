@@ -1,0 +1,103 @@
+//! Per-vertex closeness and harmonic centrality (paper Definitions 6, 8).
+
+use nsky_graph::traversal::{Bfs, UNREACHABLE};
+use nsky_graph::{Graph, VertexId};
+
+/// Vertex closeness centrality `C(u) = n / Σ_{v≠u} d(v, u)`;
+/// unreachable vertices contribute the penalty distance `n`.
+pub fn closeness(g: &Graph, u: VertexId) -> f64 {
+    let n = g.num_vertices();
+    let mut bfs = Bfs::new(n);
+    bfs.run(g, u);
+    let total: f64 = g
+        .vertices()
+        .filter(|&v| v != u)
+        .map(|v| match bfs.distance(v) {
+            UNREACHABLE => n as f64,
+            d => d as f64,
+        })
+        .sum();
+    if total <= 0.0 {
+        f64::INFINITY
+    } else {
+        n as f64 / total
+    }
+}
+
+/// Vertex harmonic centrality `H(u) = Σ_{v≠u} 1 / d(v, u)`.
+pub fn harmonic(g: &Graph, u: VertexId) -> f64 {
+    let mut bfs = Bfs::new(g.num_vertices());
+    bfs.run(g, u);
+    g.vertices()
+        .filter(|&v| v != u)
+        .map(|v| match bfs.distance(v) {
+            UNREACHABLE | 0 => 0.0,
+            d => 1.0 / d as f64,
+        })
+        .sum()
+}
+
+/// Harmonic centrality of every vertex — one BFS per vertex, `O(n·m)`;
+/// intended for the examples and small evaluation graphs.
+pub fn all_harmonic(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut bfs = Bfs::new(n);
+    let mut out = vec![0.0; n];
+    for u in g.vertices() {
+        bfs.run(g, u);
+        out[u as usize] = g
+            .vertices()
+            .filter(|&v| v != u)
+            .map(|v| match bfs.distance(v) {
+                UNREACHABLE | 0 => 0.0,
+                d => 1.0 / d as f64,
+            })
+            .sum();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsky_graph::generators::special::{path, star};
+
+    #[test]
+    fn star_center_has_highest_centrality() {
+        let g = star(6);
+        let c0 = closeness(&g, 0);
+        let h0 = harmonic(&g, 0);
+        for leaf in 1..6 {
+            assert!(c0 > closeness(&g, leaf));
+            assert!(h0 > harmonic(&g, leaf));
+        }
+        // Exact values: center at distance 1 from 5 leaves.
+        assert!((c0 - 6.0 / 5.0).abs() < 1e-12);
+        assert!((h0 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_midpoint_beats_endpoint() {
+        let g = path(7);
+        assert!(closeness(&g, 3) > closeness(&g, 0));
+        assert!(harmonic(&g, 3) > harmonic(&g, 0));
+    }
+
+    #[test]
+    fn disconnected_penalties() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        // closeness(0): d(1)=1, d(2)=d(3)=penalty 4 ⇒ 4/9.
+        assert!((closeness(&g, 0) - 4.0 / 9.0).abs() < 1e-12);
+        // harmonic(0): only vertex 1 reachable ⇒ 1.
+        assert!((harmonic(&g, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_harmonic_matches_single() {
+        let g = path(6);
+        let all = all_harmonic(&g);
+        for u in g.vertices() {
+            assert!((all[u as usize] - harmonic(&g, u)).abs() < 1e-12);
+        }
+    }
+}

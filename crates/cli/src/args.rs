@@ -1,0 +1,123 @@
+//! Minimal dependency-free argument parsing: positionals plus
+//! `--flag value` / `--switch` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order, options by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Args {
+    /// Positional arguments, in order.
+    pub positionals: Vec<String>,
+    /// `--name value` options (switches map to `"true"`).
+    pub options: BTreeMap<String, String>,
+}
+
+/// Option names that are value-less switches.
+const SWITCHES: &[&str] = &["no-prune", "help", "quiet"];
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a message for a dangling `--flag` that expects a value, or an
+/// unknown `-x` short option.
+pub fn parse(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = raw.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if SWITCHES.contains(&name) {
+                args.options.insert(name.to_string(), "true".to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{name} expects a value"))?;
+                args.options.insert(name.to_string(), value.clone());
+            }
+        } else if a.starts_with('-') && a.len() > 1 && !a[1..].chars().all(|c| c.is_ascii_digit()) {
+            match a.as_str() {
+                "-k" => {
+                    let value = it.next().ok_or("option -k expects a value")?;
+                    args.options.insert("k".to_string(), value.clone());
+                }
+                "-o" => {
+                    let value = it.next().ok_or("option -o expects a value")?;
+                    args.options.insert("output".to_string(), value.clone());
+                }
+                other => return Err(format!("unknown option {other}")),
+            }
+        } else {
+            args.positionals.push(a.clone());
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// Option value as string.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether a switch is present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.get(name) == Some("true")
+    }
+
+    /// Parsed numeric option with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&s(&["skyline", "g.txt", "--algorithm", "base", "-k", "5"])).unwrap();
+        assert_eq!(a.positionals, vec!["skyline", "g.txt"]);
+        assert_eq!(a.get("algorithm"), Some("base"));
+        assert_eq!(a.number::<usize>("k", 1).unwrap(), 5);
+    }
+
+    #[test]
+    fn switches() {
+        let a = parse(&s(&["clique", "g.txt", "--no-prune"])).unwrap();
+        assert!(a.switch("no-prune"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn negative_numbers_are_positionals() {
+        let a = parse(&s(&["-5"])).unwrap();
+        assert_eq!(a.positionals, vec!["-5"]);
+    }
+
+    #[test]
+    fn dangling_option_errors() {
+        assert!(parse(&s(&["--epsilon"])).is_err());
+        assert!(parse(&s(&["-x"])).is_err());
+    }
+
+    #[test]
+    fn number_defaults_and_parse_errors() {
+        let a = parse(&s(&["--epsilon", "abc"])).unwrap();
+        assert!(a.number::<f64>("epsilon", 0.0).is_err());
+        assert_eq!(a.number::<f64>("missing", 0.25).unwrap(), 0.25);
+    }
+}

@@ -1,0 +1,224 @@
+//! The `nsky` subcommands.
+
+use crate::args::Args;
+use nsky_graph::{io, Graph, VertexId};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn load(args: &Args) -> Result<Graph, String> {
+    let path = args
+        .positionals
+        .get(1)
+        .ok_or("expected an edge-list file argument")?;
+    io::read_edge_list_file(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn maybe_write(args: &Args, g: &Graph) -> Result<String, String> {
+    match args.get("output") {
+        None => Ok(String::new()),
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            io::write_edge_list(g, file).map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!("wrote {path}\n"))
+        }
+    }
+}
+
+/// `nsky stats <file>`.
+pub fn stats(args: &Args) -> Result<String, String> {
+    let g = load(args)?;
+    let s = nsky_graph::stats::graph_stats(&g);
+    let (_, components) = nsky_graph::traversal::connected_components(&g);
+    let deco = nsky_graph::degeneracy::core_decomposition(&g);
+    let mut out = String::new();
+    let _ = writeln!(out, "n = {}", s.n);
+    let _ = writeln!(out, "m = {}", s.m);
+    let _ = writeln!(out, "dmax = {}", s.dmax);
+    let _ = writeln!(out, "avg degree = {:.2}", s.avg_degree);
+    let _ = writeln!(out, "components = {components}");
+    let _ = writeln!(out, "degeneracy = {}", deco.degeneracy);
+    let _ = writeln!(out, "threshold graph = {}", nsky_graph::threshold::is_threshold(&g));
+    Ok(out)
+}
+
+/// `nsky skyline <file> [--algorithm ...] [--epsilon E] [-o out]`.
+pub fn skyline(args: &Args) -> Result<String, String> {
+    let g = load(args)?;
+    let algo = args.get("algorithm").unwrap_or("refine");
+    let cfg = nsky_skyline::RefineConfig::default();
+    let (name, skyline): (&str, Vec<VertexId>) = match algo {
+        "refine" => ("FilterRefineSky", nsky_skyline::filter_refine_sky(&g, &cfg).skyline),
+        "base" => ("BaseSky", nsky_skyline::base_sky(&g).skyline),
+        "cset" => ("BaseCSet", nsky_skyline::cset_sky(&g).skyline),
+        "2hop" => ("Base2Hop", nsky_skyline::two_hop_sky(&g).skyline),
+        "lcjoin" => ("LC-Join", nsky_setjoin::lc_join_skyline(&g).skyline),
+        "approx" => {
+            let eps: f64 = args.number("epsilon", 0.0)?;
+            if !(0.0..1.0).contains(&eps) {
+                return Err(format!("--epsilon must lie in [0, 1), got {eps}"));
+            }
+            ("ApproxSky", nsky_skyline::approx::approx_sky(&g, eps).skyline)
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm = {name}");
+    let _ = writeln!(
+        out,
+        "|R| = {} of {} ({:.1}%)",
+        skyline.len(),
+        g.num_vertices(),
+        100.0 * skyline.len() as f64 / g.num_vertices().max(1) as f64
+    );
+    if let Some(path) = args.get("output") {
+        let body: String = skyline.iter().map(|u| format!("{u}\n")).collect();
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path}");
+    } else {
+        let _ = writeln!(out, "skyline: {skyline:?}");
+    }
+    Ok(out)
+}
+
+/// `nsky group <file> -k K [--measure ...] [--no-prune]`.
+pub fn group(args: &Args) -> Result<String, String> {
+    let g = load(args)?;
+    let k: usize = args.number("k", 5)?;
+    let measure = args.get("measure").unwrap_or("closeness");
+    let prune = !args.switch("no-prune");
+    let mut out = String::new();
+    match measure {
+        "closeness" | "harmonic" => {
+            use nsky_centrality::greedy::{greedy_group, GreedyOptions};
+            use nsky_centrality::measure::{Closeness, Harmonic};
+            use nsky_centrality::neisky::nei_sky_group;
+            let (label, result) = match (measure, prune) {
+                ("closeness", true) => (
+                    "NeiSkyGC",
+                    nei_sky_group(&g, Closeness, k, true).greedy,
+                ),
+                ("closeness", false) => (
+                    "Greedy++",
+                    greedy_group(&g, Closeness, k, &GreedyOptions::optimized()),
+                ),
+                ("harmonic", true) => ("NeiSkyGH", nei_sky_group(&g, Harmonic, k, true).greedy),
+                (_, false) => (
+                    "Greedy-H",
+                    greedy_group(&g, Harmonic, k, &GreedyOptions::optimized()),
+                ),
+                _ => unreachable!(),
+            };
+            let _ = writeln!(out, "engine = {label} ({measure})");
+            let _ = writeln!(out, "group: {:?}", result.group);
+            let _ = writeln!(out, "score = {:.4}", result.score);
+            let _ = writeln!(out, "gain evaluations = {}", result.gain_evaluations);
+        }
+        "betweenness" => {
+            use nsky_centrality::betweenness::{base_gb, nei_sky_gb};
+            let result = if prune { nei_sky_gb(&g, k) } else { base_gb(&g, k) };
+            let _ = writeln!(
+                out,
+                "engine = {} (betweenness)",
+                if prune { "NeiSkyGB" } else { "BaseGB" }
+            );
+            let _ = writeln!(out, "group: {:?}", result.group);
+            let _ = writeln!(out, "GB = {:.4}", result.score);
+        }
+        other => return Err(format!("unknown measure {other:?}")),
+    }
+    Ok(out)
+}
+
+/// `nsky clique <file> [--top K] [--no-prune]`.
+pub fn clique(args: &Args) -> Result<String, String> {
+    let g = load(args)?;
+    let top: usize = args.number("top", 1)?;
+    let prune = !args.switch("no-prune");
+    let mut out = String::new();
+    if top <= 1 {
+        let (label, c) = if prune {
+            ("NeiSkyMC", nsky_clique::nei_sky_mc(&g).clique)
+        } else {
+            ("MC-BRB", nsky_clique::mc_brb(&g).0)
+        };
+        let _ = writeln!(out, "engine = {label}");
+        let _ = writeln!(out, "ω = {}", c.len());
+        let _ = writeln!(out, "clique: {c:?}");
+    } else {
+        let mode = if prune {
+            nsky_clique::TopkMode::NeiSky
+        } else {
+            nsky_clique::TopkMode::Base
+        };
+        let result = nsky_clique::top_k_cliques(&g, top, mode);
+        let _ = writeln!(out, "engine = {mode:?} top-{top}");
+        for (i, c) in result.cliques.iter().enumerate() {
+            let _ = writeln!(out, "#{}: size {} {:?}", i + 1, c.len(), c);
+        }
+    }
+    Ok(out)
+}
+
+/// `nsky mis <file>`.
+pub fn mis(args: &Args) -> Result<String, String> {
+    let g = load(args)?;
+    let set = nsky_clique::mis::reducing_peeling_mis(&g);
+    debug_assert!(nsky_clique::mis::is_independent_set(&g, &set));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "independent set of size {} ({} vertices total)",
+        set.len(),
+        g.num_vertices()
+    );
+    let _ = writeln!(out, "members: {set:?}");
+    Ok(out)
+}
+
+/// `nsky generate <family> --n N [--seed S] [family params] [-o out]`.
+pub fn generate(args: &Args) -> Result<String, String> {
+    use nsky_graph::generators as gen;
+    let family = args
+        .positionals
+        .get(1)
+        .ok_or("expected a generator family")?
+        .as_str();
+    let n: usize = args.number("n", 1_000)?;
+    let seed: u64 = args.number("seed", 42)?;
+    let g = match family {
+        "er" => gen::erdos_renyi(n, args.number("p", 0.01)?, seed),
+        "powerlaw" => gen::power_law_configuration(n, args.number("beta", 2.8)?, 1, seed),
+        "ba" => gen::barabasi_albert(n, args.number("m", 3)?, seed),
+        "leafy" => gen::leafy_preferential(
+            n,
+            args.number("p-leaf", 0.9)?,
+            args.number("extra", 1.0)?,
+            args.number("m", 8)?,
+            seed,
+        ),
+        "affiliation" => gen::affiliation_model(
+            n,
+            args.number("team-min", 4)?,
+            args.number("team-max", 8)?,
+            args.number("p-new", 0.7)?,
+            seed,
+        ),
+        "copying" => gen::copying_model(n, args.number("m", 3)?, args.number("copy-p", 0.8)?, seed),
+        "threshold" => {
+            nsky_graph::threshold::random_threshold_graph(n, args.number("p", 0.5)?, seed)
+        }
+        "karate" => nsky_datasets::karate(),
+        "bombing" => nsky_datasets::bombing(),
+        other => return Err(format!("unknown generator family {other:?}")),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "generated {family}: n = {} m = {} dmax = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
+    out.push_str(&maybe_write(args, &g)?);
+    Ok(out)
+}

@@ -1,0 +1,142 @@
+//! `nsky` — command-line interface to the neighborhood-skyline library.
+//!
+//! ```text
+//! nsky stats    <edge-list>
+//! nsky skyline  <edge-list> [--algorithm refine|base|cset|2hop|lcjoin|approx]
+//!                           [--epsilon E] [-o out.txt]
+//! nsky group    <edge-list> -k K [--measure closeness|harmonic|betweenness]
+//!                           [--no-prune]
+//! nsky clique   <edge-list> [--top K] [--no-prune]
+//! nsky mis      <edge-list>
+//! nsky generate <family> --n N [--seed S] [-o out.txt]
+//!     families: er, powerlaw, ba, leafy, affiliation, copying, threshold,
+//!               karate, bombing
+//! ```
+//!
+//! Edge lists are whitespace-separated `u v` lines; `#`/`%` comments are
+//! skipped (SNAP/KONECT conventions).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(&raw) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("nsky: {msg}");
+            eprintln!("run `nsky --help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatches a raw command line and returns the textual output
+/// (separated from `main` so tests can drive it).
+pub fn run(raw: &[String]) -> Result<String, String> {
+    let parsed = args::parse(raw)?;
+    if parsed.switch("help") || parsed.positionals.is_empty() {
+        return Ok(HELP.to_string());
+    }
+    let command = parsed.positionals[0].as_str();
+    match command {
+        "stats" => commands::stats(&parsed),
+        "skyline" => commands::skyline(&parsed),
+        "group" => commands::group(&parsed),
+        "clique" => commands::clique(&parsed),
+        "mis" => commands::mis(&parsed),
+        "generate" => commands::generate(&parsed),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+const HELP: &str = "\
+nsky — neighborhood skylines on graphs (ICDE 2023 reproduction)
+
+USAGE:
+  nsky stats    <edge-list>
+  nsky skyline  <edge-list> [--algorithm refine|base|cset|2hop|lcjoin|approx]
+                            [--epsilon E] [-o out.txt]
+  nsky group    <edge-list> -k K [--measure closeness|harmonic|betweenness]
+                            [--no-prune]
+  nsky clique   <edge-list> [--top K] [--no-prune]
+  nsky mis      <edge-list>
+  nsky generate <family> --n N [--seed S] [-o out.txt]
+                families: er powerlaw ba leafy affiliation copying
+                          threshold karate bombing
+";
+
+#[cfg(test)]
+mod tests {
+    use super::run;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn write_karate() -> String {
+        let path = std::env::temp_dir().join(format!("nsky-test-{}.txt", std::process::id()));
+        let g = nsky_datasets::karate();
+        let mut buf = Vec::new();
+        nsky_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        std::fs::write(&path, buf).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&s(&["--help"])).unwrap().contains("USAGE"));
+        assert!(run(&s(&[])).unwrap().contains("USAGE"));
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn stats_and_skyline_on_karate() {
+        let path = write_karate();
+        let out = run(&s(&["stats", &path])).unwrap();
+        assert!(out.contains("n = 34"), "{out}");
+        assert!(out.contains("m = 78"), "{out}");
+        for algo in ["refine", "base", "cset", "2hop", "lcjoin"] {
+            let out = run(&s(&["skyline", &path, "--algorithm", algo])).unwrap();
+            assert!(out.contains("|R| = 15"), "{algo}: {out}");
+        }
+        let out = run(&s(&["skyline", &path, "--algorithm", "approx", "--epsilon", "0.3"]))
+            .unwrap();
+        assert!(out.contains("|R| ="), "{out}");
+        let err = run(&s(&["skyline", &path, "--algorithm", "approx", "--epsilon", "1.5"]))
+            .unwrap_err();
+        assert!(err.contains("[0, 1)"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn group_clique_and_mis_on_karate() {
+        let path = write_karate();
+        let out = run(&s(&["group", &path, "-k", "3"])).unwrap();
+        assert!(out.contains("group:"), "{out}");
+        let out = run(&s(&["group", &path, "-k", "2", "--measure", "betweenness"])).unwrap();
+        assert!(out.contains("GB"), "{out}");
+        let out = run(&s(&["clique", &path])).unwrap();
+        assert!(out.contains("ω = 5"), "karate maximum clique is 5: {out}");
+        let out = run(&s(&["clique", &path, "--top", "3"])).unwrap();
+        assert!(out.contains("#3"), "{out}");
+        let out = run(&s(&["mis", &path])).unwrap();
+        assert!(out.contains("independent set"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generate_families() {
+        for fam in ["er", "powerlaw", "ba", "leafy", "affiliation", "copying", "threshold"] {
+            let out = run(&s(&["generate", fam, "--n", "50", "--seed", "7"])).unwrap();
+            assert!(out.contains("n = 50"), "{fam}: {out}");
+        }
+        assert!(run(&s(&["generate", "karate"])).unwrap().contains("n = 34"));
+        assert!(run(&s(&["generate", "nosuch"])).is_err());
+    }
+}

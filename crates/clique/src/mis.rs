@@ -1,0 +1,250 @@
+//! Independent-set reduction via neighborhood inclusion — the first
+//! application the paper's introduction cites for the relation
+//! ("in maximum independent set search, if the neighbors of a node are
+//! contained by that of others, then it can be safely pruned", refs
+//! [4, 5]).
+//!
+//! **Domination rule.** If `N[v] ⊆ N[u]` (`v` edge-constrained dominates
+//! nothing here — this is the MIS direction!), then some maximum
+//! independent set avoids `u`: if an MIS contains `u`, swapping `u` for
+//! `v` stays independent (`v`'s neighbors all neighbor `u`, hence are
+//! excluded already), so `u` may be deleted. This is the same
+//! edge-constrained inclusion the skyline **filter phase** evaluates,
+//! applied in the opposite direction (delete the *dominating* endpoint).
+//!
+//! [`reducing_peeling_mis`] applies the classic reduction cascade
+//! (degree-0 take, degree-1 take, domination delete) to exhaustion, then
+//! completes greedily by minimum degree — the "reducing–peeling"
+//! framework of Chang et al. \[4\]. [`exact_mis`] is a small
+//! branch-and-bound oracle used by the tests.
+
+use nsky_graph::{Graph, VertexId};
+
+/// Whether `set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, set: &[VertexId]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if u == v || g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Near-maximum independent set by reducing–peeling with the
+/// neighborhood-inclusion domination rule.
+///
+/// Exact on graphs fully resolved by reductions (forests, and any graph
+/// whose kernel empties); otherwise completes greedily and is a strong
+/// heuristic. Returns a sorted independent set.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::special::{path, star};
+/// use nsky_clique::mis::{is_independent_set, reducing_peeling_mis};
+///
+/// let g = star(7);
+/// let s = reducing_peeling_mis(&g);
+/// assert!(is_independent_set(&g, &s));
+/// assert_eq!(s.len(), 6); // all leaves
+/// assert_eq!(reducing_peeling_mis(&path(7)).len(), 4); // ⌈7/2⌉
+/// ```
+pub fn reducing_peeling_mis(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    // Vertex states: alive, taken (in the IS), or deleted.
+    let mut alive = vec![true; n];
+    let mut taken = vec![false; n];
+    let mut degree: Vec<usize> = g.vertices().map(|u| g.degree(u)).collect();
+
+    let mut queue: Vec<VertexId> = g.vertices().collect();
+    // Take `u` into the IS and delete its neighborhood.
+    fn take(
+        g: &Graph,
+        u: VertexId,
+        alive: &mut [bool],
+        taken: &mut [bool],
+        degree: &mut [usize],
+        queue: &mut Vec<VertexId>,
+    ) {
+        taken[u as usize] = true;
+        alive[u as usize] = false;
+        for &v in g.neighbors(u) {
+            if alive[v as usize] {
+                delete(g, v, alive, degree, queue);
+            }
+        }
+    }
+    fn delete(
+        g: &Graph,
+        v: VertexId,
+        alive: &mut [bool],
+        degree: &mut [usize],
+        queue: &mut Vec<VertexId>,
+    ) {
+        alive[v as usize] = false;
+        for &w in g.neighbors(v) {
+            if alive[w as usize] {
+                degree[w as usize] -= 1;
+                queue.push(w); // re-examine: its degree dropped
+            }
+        }
+    }
+
+    // Reduction cascade: degree-0 / degree-1 rules to exhaustion.
+    while let Some(u) = queue.pop() {
+        if !alive[u as usize] {
+            continue;
+        }
+        match degree[u as usize] {
+            0 => take(g, u, &mut alive, &mut taken, &mut degree, &mut queue),
+            1 => {
+                // A pendant vertex is always in some MIS.
+                take(g, u, &mut alive, &mut taken, &mut degree, &mut queue);
+            }
+            _ => {}
+        }
+    }
+
+    // Domination rule on the kernel: delete u when an alive v ≠ u has
+    // N_alive[v] ⊆ N_alive[u] (swap argument in the module docs). Scan
+    // edges of the kernel; repeat the pendant cascade afterwards.
+    loop {
+        let mut changed = false;
+        for u in g.vertices() {
+            if !alive[u as usize] {
+                continue;
+            }
+            let dominated_by_someone = g.neighbors(u).iter().any(|&v| {
+                alive[v as usize]
+                    && degree[v as usize] <= degree[u as usize]
+                    && g.neighbors(v)
+                        .iter()
+                        .filter(|&&x| alive[x as usize])
+                        .all(|&x| x == u || g.has_edge(u, x))
+            });
+            if dominated_by_someone {
+                delete(g, u, &mut alive, &mut degree, &mut queue);
+                changed = true;
+            }
+        }
+        while let Some(u) = queue.pop() {
+            if !alive[u as usize] {
+                continue;
+            }
+            if degree[u as usize] <= 1 {
+                take(g, u, &mut alive, &mut taken, &mut degree, &mut queue);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Greedy completion: repeatedly take an alive vertex of minimum
+    // residual degree.
+    while let Some(u) = g
+        .vertices()
+        .filter(|&u| alive[u as usize])
+        .min_by_key(|&u| degree[u as usize])
+    {
+        take(g, u, &mut alive, &mut taken, &mut degree, &mut queue);
+        queue.clear();
+    }
+
+    let mut out: Vec<VertexId> = g.vertices().filter(|&u| taken[u as usize]).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Exact maximum independent set by branch and bound (tiny graphs only —
+/// the testing oracle for [`reducing_peeling_mis`]).
+pub fn exact_mis(g: &Graph) -> Vec<VertexId> {
+    fn branch(g: &Graph, mut cand: Vec<VertexId>, current: &mut Vec<VertexId>, best: &mut Vec<VertexId>) {
+        if current.len() + cand.len() <= best.len() {
+            return;
+        }
+        let Some(u) = cand.pop() else {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        };
+        // Branch 1: take u.
+        current.push(u);
+        let without_nbrs: Vec<VertexId> = cand
+            .iter()
+            .copied()
+            .filter(|&v| !g.has_edge(u, v))
+            .collect();
+        branch(g, without_nbrs, current, best);
+        current.pop();
+        // Branch 2: skip u.
+        branch(g, cand, current, best);
+    }
+    let mut best = Vec::new();
+    branch(g, g.vertices().collect(), &mut Vec::new(), &mut best);
+    best.sort_unstable();
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsky_graph::generators::special::{clique, cycle, path, star};
+    use nsky_graph::generators::{erdos_renyi, leafy_preferential};
+
+    #[test]
+    fn special_families_exact() {
+        assert_eq!(reducing_peeling_mis(&path(7)).len(), 4);
+        assert_eq!(reducing_peeling_mis(&path(8)).len(), 4);
+        assert_eq!(reducing_peeling_mis(&cycle(8)).len(), 4);
+        assert_eq!(reducing_peeling_mis(&cycle(7)).len(), 3);
+        assert_eq!(reducing_peeling_mis(&star(9)).len(), 8);
+        assert_eq!(reducing_peeling_mis(&clique(6)).len(), 1);
+    }
+
+    #[test]
+    fn always_independent_and_near_exact_on_random_graphs() {
+        for seed in 0..8 {
+            let g = erdos_renyi(24, 0.2, seed);
+            let heur = reducing_peeling_mis(&g);
+            assert!(is_independent_set(&g, &heur), "seed {seed}");
+            let opt = exact_mis(&g);
+            assert!(heur.len() <= opt.len());
+            assert!(
+                heur.len() + 1 >= opt.len(),
+                "seed {seed}: heuristic {} vs optimum {}",
+                heur.len(),
+                opt.len()
+            );
+        }
+    }
+
+    #[test]
+    fn domination_rule_fires_on_leafy_graphs() {
+        // Hub-anchored graphs are where the neighborhood-inclusion rule
+        // shines: hubs are dominated (MIS-wise) by their leaves.
+        let g = leafy_preferential(300, 0.9, 0.5, 5, 3);
+        let s = reducing_peeling_mis(&g);
+        assert!(is_independent_set(&g, &s));
+        // The leaf population forces a big independent set.
+        assert!(s.len() * 2 > g.num_vertices(), "{} of {}", s.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert!(reducing_peeling_mis(&Graph::empty(0)).is_empty());
+        assert_eq!(reducing_peeling_mis(&Graph::empty(4)).len(), 4);
+        assert_eq!(exact_mis(&Graph::empty(3)).len(), 3);
+    }
+
+    #[test]
+    fn oracle_on_special_families() {
+        assert_eq!(exact_mis(&cycle(7)).len(), 3);
+        assert_eq!(exact_mis(&clique(5)).len(), 1);
+        assert_eq!(exact_mis(&star(6)).len(), 5);
+    }
+}

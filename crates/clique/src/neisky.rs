@@ -1,0 +1,144 @@
+//! `NeiSkyMC` (paper Algorithm 5): maximum clique with root branches
+//! restricted to neighborhood-skyline vertices.
+//!
+//! **Why it is sound (Lemma 5 made precise).** Let `H` be any maximum
+//! clique and `v ∈ H` dominated by `u ∉ H`. Every member of `H \ {v}` is
+//! a neighbor of `v`, hence in `N[u]`; so `H' = H \ {v} ∪ {u}` is a
+//! clique of the same size containing `u`. Iterating along the (acyclic)
+//! domination order, some maximum clique contains a *skyline* vertex —
+//! so searching only the ego networks of skyline vertices finds a
+//! maximum clique.
+
+use crate::bnb::{max_clique_containing, CliqueStats};
+use crate::heuristic::heuristic_clique;
+use nsky_graph::degeneracy::core_decomposition;
+use nsky_graph::{Graph, VertexId};
+use nsky_skyline::{filter_refine_sky, RefineConfig};
+
+/// Outcome of [`nei_sky_mc`].
+#[derive(Clone, Debug)]
+pub struct NeiSkyMcOutcome {
+    /// A maximum clique, sorted ascending.
+    pub clique: Vec<VertexId>,
+    /// Search counters.
+    pub stats: CliqueStats,
+    /// `|R|` — the number of root seeds considered before pruning.
+    pub skyline_size: usize,
+}
+
+/// Exact maximum clique with skyline-restricted roots.
+///
+/// Seeds are the skyline vertices in degeneracy order; already-processed
+/// seeds are excluded from later ego searches (a clique whose earliest
+/// skyline member is `z` is found in `z`'s run), and seeds with
+/// `core(u) + 1 ≤ |best|` are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::chung_lu_power_law;
+/// use nsky_clique::{mc_brb, nei_sky_mc};
+///
+/// let g = chung_lu_power_law(400, 2.7, 6.0, 3);
+/// assert_eq!(nei_sky_mc(&g).clique.len(), mc_brb(&g).0.len());
+/// ```
+pub fn nei_sky_mc(g: &Graph) -> NeiSkyMcOutcome {
+    let mut stats = CliqueStats::default();
+    if g.num_vertices() == 0 {
+        return NeiSkyMcOutcome {
+            clique: Vec::new(),
+            stats,
+            skyline_size: 0,
+        };
+    }
+    let skyline = filter_refine_sky(g, &RefineConfig::default()).skyline;
+    let skyline_size = skyline.len();
+    let deco = core_decomposition(g);
+    let mut seeds = skyline;
+    seeds.sort_by_key(|&u| deco.position[u as usize]);
+
+    let mut best = heuristic_clique(g, 16);
+    let mut allowed = vec![true; g.num_vertices()];
+    for &u in &seeds {
+        allowed[u as usize] = false; // exclude this seed from later runs
+        if (deco.core[u as usize] + 1) as usize <= best.len() {
+            continue;
+        }
+        // Re-allow u itself as the seed of its own search.
+        if let Some(c) = max_clique_containing(g, u, Some(&allowed), best.len(), &mut stats) {
+            best = c;
+        }
+    }
+    best.sort_unstable();
+    NeiSkyMcOutcome {
+        clique: best,
+        stats,
+        skyline_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::max_clique_bnb;
+    use crate::is_clique;
+    use nsky_graph::generators::special::{clique, cycle, star};
+    use nsky_graph::generators::{chung_lu_power_law, erdos_renyi, planted_partition};
+
+    #[test]
+    fn matches_exact_solvers() {
+        for seed in 0..8 {
+            let g = erdos_renyi(40, 0.25, seed);
+            let out = nei_sky_mc(&g);
+            assert!(is_clique(&g, &out.clique), "seed {seed}");
+            assert_eq!(
+                out.clique.len(),
+                max_clique_bnb(&g).0.len(),
+                "seed {seed}"
+            );
+        }
+        for seed in 0..3 {
+            let g = chung_lu_power_law(600, 2.7, 6.0, seed);
+            assert_eq!(nei_sky_mc(&g).clique.len(), max_clique_bnb(&g).0.len());
+        }
+        let g = planted_partition(80, 4, 0.6, 0.03, 9);
+        assert_eq!(nei_sky_mc(&g).clique.len(), max_clique_bnb(&g).0.len());
+    }
+
+    #[test]
+    fn special_families() {
+        assert_eq!(nei_sky_mc(&clique(9)).clique.len(), 9);
+        assert_eq!(nei_sky_mc(&cycle(9)).clique.len(), 2);
+        assert_eq!(nei_sky_mc(&star(9)).clique.len(), 2);
+        assert!(nei_sky_mc(&Graph::empty(0)).clique.is_empty());
+        assert_eq!(nei_sky_mc(&Graph::empty(4)).clique.len(), 1);
+    }
+
+    #[test]
+    fn lemma5_swap_argument() {
+        // Directly verify: for every max clique found and every dominated
+        // member v with dominator u ∉ H, the swap is a clique.
+        use nsky_skyline::domination::dominates;
+        let g = erdos_renyi(30, 0.3, 4);
+        let (h, _) = max_clique_bnb(&g);
+        for &v in &h {
+            for u in g.vertices() {
+                if h.contains(&u) || !dominates(&g, u, v) {
+                    continue;
+                }
+                let mut swapped: Vec<VertexId> =
+                    h.iter().copied().filter(|&x| x != v).collect();
+                swapped.push(u);
+                assert!(is_clique(&g, &swapped), "swap {v}→{u} broke the clique");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_roots_than_vertices_on_power_law() {
+        let g = chung_lu_power_law(2_000, 2.6, 8.0, 2);
+        let out = nei_sky_mc(&g);
+        assert!(out.skyline_size < g.num_vertices());
+        assert!(out.stats.root_calls <= out.skyline_size as u64);
+    }
+}

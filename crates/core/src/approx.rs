@@ -1,0 +1,257 @@
+//! ε-approximate neighborhood skyline — the future direction the paper
+//! names in its Sec. III remark ("approximate neighborhood skyline based
+//! on approximate domination relationships ... requires new definitions
+//! and new algorithms").
+//!
+//! # Definitions
+//!
+//! `v` is **ε-neighborhood-included** in `u` when all but an ε fraction
+//! of `v`'s neighbors lie in `N[u]`:
+//! `|N(v) \ N[u]| ≤ ε · |N(v)|`. `v ≤_ε u` (ε-dominated) when `v` is
+//! ε-included in `u` and either `u` is not ε-included in `v`, or they
+//! are mutually ε-included and `uid < vid` (the Definition 2 tie-break).
+//! The **ε-approximate skyline** `R_ε` is the set of vertices ε-dominated
+//! by nobody. `ε = 0` recovers the exact skyline.
+//!
+//! # What changes relative to the exact problem
+//!
+//! * ε-inclusion is **not transitive**, so the refine-phase shortcut
+//!   "skip already-dominated dominator candidates" is unsound; the
+//!   algorithm checks every 2-hop pair exactly (a `BaseSky`-style
+//!   counting scan with a relaxed threshold).
+//! * For `ε < 1`, an ε-dominator must still cover at least one neighbor,
+//!   so it still lives within two hops — the scan structure survives.
+//! * ε-**inclusion** is monotone in ε (more slack, more inclusions), but
+//!   `R_ε` itself is *not* globally antitone: raising ε can turn a
+//!   strict domination into a *mutual* one, and the ID tie-break then
+//!   favors the smaller vertex — resurrecting a previously dominated
+//!   larger-ID vertex. (Found by property testing; the pairwise
+//!   monotonicity is what is guaranteed and tested.) On hub-dominated
+//!   graphs the skyline still shrinks rapidly with ε in practice.
+
+use crate::result::{SkylineResult, SkylineStats};
+use nsky_graph::{Graph, VertexId};
+
+/// Whether `w` ε-dominates `u` (exact pairwise check; used by the oracle
+/// and exposed for downstream pruning rules).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ epsilon < 1` (at `ε ≥ 1` everything dominates
+/// everything and the concept degenerates).
+pub fn approx_dominates(g: &Graph, w: VertexId, u: VertexId, epsilon: f64) -> bool {
+    assert!((0.0..1.0).contains(&epsilon), "epsilon out of [0,1)");
+    if w == u {
+        return false;
+    }
+    let fwd = eps_included(g, u, w, epsilon);
+    if !fwd {
+        return false;
+    }
+    if eps_included(g, w, u, epsilon) {
+        w < u
+    } else {
+        true
+    }
+}
+
+/// `|N(u) \ N[w]| ≤ ε · deg(u)` — ε-neighborhood inclusion.
+fn eps_included(g: &Graph, u: VertexId, w: VertexId, epsilon: f64) -> bool {
+    let du = g.degree(u);
+    if du == 0 {
+        // Operational convention (crate docs): isolated vertices are
+        // never treated as dominated.
+        return false;
+    }
+    let missing = g
+        .neighbors(u)
+        .iter()
+        .filter(|&&x| x != w && !g.has_edge(w, x))
+        .count();
+    (missing as f64) <= epsilon * du as f64
+}
+
+/// Computes the ε-approximate neighborhood skyline with a counting scan
+/// over 2-hop neighborhoods (threshold `T(w) ≥ (1 − ε)·deg(u)`).
+///
+/// `O(m·dmax)` time like `BaseSky`; no filter phase is applicable
+/// because ε-inclusion is not transitive.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ epsilon < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::Graph;
+/// use nsky_skyline::approx::approx_sky;
+/// use nsky_skyline::base_sky;
+///
+/// // A near-follower: v3 shares 2 of its 3 neighbors with v0.
+/// let g = Graph::from_edges(
+///     6,
+///     [(0, 1), (0, 2), (1, 2), (3, 1), (3, 2), (3, 4), (0, 5)],
+/// );
+/// assert!(base_sky(&g).contains(3), "exactly: v3 is undominated");
+/// let r = approx_sky(&g, 0.34);
+/// assert!(!r.contains(3), "ε = 1/3 lets v0 dominate v3");
+/// // ε = 0 recovers the exact skyline.
+/// assert_eq!(approx_sky(&g, 0.0).skyline, base_sky(&g).skyline);
+/// ```
+pub fn approx_sky(g: &Graph, epsilon: f64) -> SkylineResult {
+    assert!((0.0..1.0).contains(&epsilon), "epsilon out of [0,1)");
+    let n = g.num_vertices();
+    let mut dominator: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut count: Vec<u32> = vec![0; n];
+    let mut stamp: Vec<u32> = vec![u32::MAX; n];
+    let mut stats = SkylineStats {
+        candidate_count: n,
+        peak_bytes: n * 12,
+        ..SkylineStats::default()
+    };
+
+    for u in g.vertices() {
+        if dominator[u as usize] != u {
+            continue; // status fixed by a mutual tie-break earlier
+        }
+        let du = g.degree(u);
+        if du == 0 {
+            continue;
+        }
+        // w ε-covers u when it reaches at least this overlap.
+        let needed = ((1.0 - epsilon) * du as f64).ceil() as u32;
+        let round = u;
+        'scan: for &v in g.neighbors(u) {
+            for w in g.neighbors(v).iter().copied().chain(std::iter::once(v)) {
+                if w == u {
+                    continue;
+                }
+                stats.adjacency_probes += 1;
+                let wi = w as usize;
+                if stamp[wi] != round {
+                    stamp[wi] = round;
+                    count[wi] = 0;
+                }
+                count[wi] += 1;
+                if count[wi] == needed {
+                    stats.pair_tests += 1;
+                    // u is ε-included in w; classify the pair exactly
+                    // (the reverse direction needs its own check — ε
+                    // breaks the equal-degree shortcut of Fact 3).
+                    if eps_included(g, w, u, epsilon) {
+                        if w < u {
+                            dominator[u as usize] = w;
+                            break 'scan;
+                        } else if dominator[wi] == w {
+                            dominator[wi] = u;
+                        }
+                    } else {
+                        dominator[u as usize] = w;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    SkylineResult::from_dominators(dominator, None, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::base_sky;
+    use nsky_graph::generators::special::{clique, path, star};
+    use nsky_graph::generators::{erdos_renyi, leafy_preferential};
+
+    /// Quadratic oracle over the pairwise definition.
+    fn naive_approx(g: &Graph, eps: f64) -> Vec<VertexId> {
+        g.vertices()
+            .filter(|&u| {
+                !g.vertices()
+                    .any(|w| w != u && approx_dominates(g, w, u, eps))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn epsilon_zero_equals_exact_skyline() {
+        for seed in 0..5 {
+            let g = erdos_renyi(70, 0.08, seed);
+            assert_eq!(approx_sky(&g, 0.0).skyline, base_sky(&g).skyline);
+        }
+    }
+
+    #[test]
+    fn matches_pairwise_oracle() {
+        for seed in 0..4 {
+            let g = erdos_renyi(60, 0.1, seed);
+            for eps in [0.0, 0.2, 0.4, 0.7] {
+                assert_eq!(
+                    approx_sky(&g, eps).skyline,
+                    naive_approx(&g, eps),
+                    "seed {seed} eps {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_shrinks_with_epsilon_on_hub_graphs() {
+        // Not a theorem (tie-breaks can resurrect vertices — see the
+        // module docs), but the typical behavior on hub-dominated
+        // graphs, asserted on this fixed instance.
+        let g = leafy_preferential(400, 0.9, 1.0, 6, 3);
+        let mut prev = usize::MAX;
+        for eps in [0.0, 0.15, 0.3, 0.5, 0.75] {
+            let r = approx_sky(&g, eps).len();
+            assert!(r <= prev, "R_ε grew on this instance: {r} after {prev} at ε={eps}");
+            prev = r;
+        }
+        assert!(
+            approx_sky(&g, 0.75).len() < approx_sky(&g, 0.0).len(),
+            "a large ε should strictly shrink the skyline on this graph"
+        );
+    }
+
+    #[test]
+    fn epsilon_can_resurrect_a_vertex() {
+        // Witness for the non-monotonicity documented above: w strictly
+        // dominates u at ε = 0; at large ε the pair turns mutual and the
+        // tie-break (w < u dominates) — if u < w — flips in u's favor.
+        // Path P3: 1 dominates 0 and 2 at ε = 0 (R = {1}); at ε = 0.5
+        // endpoints and the midpoint are mutually ε-included, so the
+        // smallest id sweeps (R = {0}).
+        use nsky_graph::generators::special::path;
+        let g = path(3);
+        assert_eq!(approx_sky(&g, 0.0).skyline, vec![1]);
+        let r = approx_sky(&g, 0.6);
+        assert!(r.contains(0), "vertex 0 resurrected by the tie-break: {:?}", r.skyline);
+    }
+
+    #[test]
+    fn special_families_under_epsilon() {
+        // Clique: already one vertex at ε = 0; stays one.
+        assert_eq!(approx_sky(&clique(8), 0.5).len(), 1);
+        // Star: hub only, any ε.
+        assert_eq!(approx_sky(&star(8), 0.3).skyline, vec![0]);
+        // Path interior at ε = 0.5: each interior vertex has 2 neighbors;
+        // missing 1 of 2 is allowed, so neighbors dominate each other and
+        // the smallest interior id sweeps.
+        let r = approx_sky(&path(8), 0.5);
+        assert!(r.len() < 6, "ε=0.5 collapses the path skyline: {:?}", r.skyline);
+    }
+
+    #[test]
+    fn isolated_vertices_stay_skyline() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let r = approx_sky(&g, 0.5);
+        assert!(r.contains(2) && r.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon out of")]
+    fn rejects_epsilon_one() {
+        approx_sky(&path(3), 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! `BaseCSet` — comparison baseline: filter phase for pruning, then the
+//! `BaseSky` counting scan restricted to candidates (no bloom filters).
+//!
+//! Time `O(dmax · Σ_{u∈C} deg(u))` — the candidate pruning without the
+//! bloom-filter refinement, isolating the contribution of each technique
+//! in the Fig. 3 comparison.
+
+use crate::filter_phase::filter_phase;
+use crate::result::{SkylineResult, SkylineStats};
+use nsky_graph::Graph;
+
+/// Computes the skyline with the candidate filter plus the counting scan.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::special::star;
+/// use nsky_skyline::cset_sky;
+///
+/// assert_eq!(cset_sky(&star(6)).skyline, vec![0]);
+/// ```
+pub fn cset_sky(g: &Graph) -> SkylineResult {
+    let n = g.num_vertices();
+    let filter = filter_phase(g);
+    let mut stats: SkylineStats = filter.seed_stats();
+    stats.peak_bytes = n * (4 + 4 + 4);
+    let mut dominator = filter.dominator.clone();
+
+    let mut count: Vec<u32> = vec![0; n];
+    let mut stamp: Vec<u32> = vec![u32::MAX; n];
+
+    for &u in &filter.candidates {
+        if dominator[u as usize] != u {
+            continue;
+        }
+        let du = g.degree(u) as u32;
+        if du == 0 {
+            continue;
+        }
+        let round = u;
+        'scan: for &v in g.neighbors(u) {
+            for w in g.neighbors(v).iter().copied().chain(std::iter::once(v)) {
+                if w == u {
+                    continue;
+                }
+                stats.adjacency_probes += 1;
+                let wi = w as usize;
+                if stamp[wi] != round {
+                    stamp[wi] = round;
+                    count[wi] = 0;
+                }
+                count[wi] += 1;
+                if count[wi] == du {
+                    stats.pair_tests += 1;
+                    if g.degree(w) as u32 == du {
+                        if w < u {
+                            dominator[u as usize] = w;
+                            break 'scan;
+                        } else if dominator[wi] == w {
+                            dominator[wi] = u;
+                        }
+                    } else {
+                        dominator[u as usize] = w;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    SkylineResult::from_dominators(dominator, Some(filter.candidates), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::naive_skyline;
+    use nsky_graph::generators::special::{clique, complete_binary_tree, cycle, path};
+    use nsky_graph::generators::{chung_lu_power_law, erdos_renyi};
+
+    #[test]
+    fn matches_oracle() {
+        for seed in 0..8 {
+            let g = erdos_renyi(85, 0.08, seed);
+            assert_eq!(
+                cset_sky(&g).skyline,
+                naive_skyline(&g).skyline,
+                "seed {seed}"
+            );
+        }
+        let g = chung_lu_power_law(200, 2.8, 5.0, 2);
+        assert_eq!(cset_sky(&g).skyline, naive_skyline(&g).skyline);
+    }
+
+    #[test]
+    fn special_families() {
+        assert_eq!(cset_sky(&clique(7)).len(), 1);
+        assert_eq!(cset_sky(&cycle(7)).len(), 7);
+        assert_eq!(cset_sky(&path(7)).len(), 5);
+        assert_eq!(
+            cset_sky(&complete_binary_tree(4)).len(),
+            nsky_graph::generators::special::binary_tree_internal_count(4)
+        );
+    }
+
+    #[test]
+    fn candidate_pruning_restricts_refine_scans() {
+        // On a star, only the hub survives the filter: the counting scan
+        // runs for a single vertex.
+        let g = nsky_graph::generators::special::star(40);
+        let cset = cset_sky(&g);
+        assert_eq!(cset.candidates.as_deref(), Some(&[0][..]));
+        assert_eq!(cset.skyline, crate::base::base_sky(&g).skyline);
+        assert_eq!(cset.stats.candidate_count, 1);
+    }
+
+    #[test]
+    fn trivial() {
+        assert!(cset_sky(&Graph::empty(0)).is_empty());
+        assert_eq!(cset_sky(&Graph::empty(3)).len(), 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! Exact pairwise domination tests (paper Definitions 1–5) and the
+//! structural facts the algorithms rely on.
+//!
+//! # Facts used by the algorithms (with proofs)
+//!
+//! **Fact 1 — dominators of non-isolated vertices live within two hops.**
+//! If `N(u) ≠ ∅` and `N(u) ⊆ N[w]` with `w ≠ u`, pick `v ∈ N(u)`. Then
+//! `v ∈ N[w]`, i.e. `v = w` (so `w ∈ N(u)`) or `v` is adjacent to `w` (so
+//! `w` is 2-hop reachable from `u` through `v`).
+//!
+//! **Fact 2 — the vicinal preorder is transitive.** Suppose
+//! `N(u) ⊆ N[w]` and `N(w) ⊆ N[z]`; take `y ∈ N(u)`. If `y ∈ N(w)` then
+//! `y ∈ N[z]`. Otherwise `y = w`, i.e. `w ∈ N(u)`, hence `u ∈ N(w) ⊆ N[z]`.
+//! If `u = z`, then `w ∈ N(u) = N(z) ⊆ N[z]`. If `u` is adjacent to `z`,
+//! then `z ∈ N(u) ⊆ N[w]`, so `z = w` (trivial) or `z ∈ N(w)`, giving
+//! `w ∈ N[z]`. In all cases `y ∈ N[z]`. ∎ Consequently every dominated
+//! vertex is dominated by some *skyline* vertex (follow the strict chain
+//! upward; finiteness + the ID tie-break make `≤` a strict partial order),
+//! which is what lets the refine phase skip already-dominated dominator
+//! candidates.
+//!
+//! **Fact 3 — equal degree + inclusion ⇒ mutual inclusion.** Let
+//! `N(u) ⊆ N[w]`, `deg(u) = deg(w) = d`, `u ≠ w`. If `u, w` adjacent:
+//! `N(u)\{w} ⊆ N(w)` and `w ∉ N(u)\{w}` give `N(u)\{w} ⊆ N(w)\{u}`
+//! … both sides have `d − 1` elements, so they are equal and
+//! `N(w) = (N(u)\{w}) ∪ {u} ⊆ N[u]`. If non-adjacent: `w ∉ N(u)` and
+//! `u ∉ N(w)`, so `N(u) ⊆ N(w)`, and equal cardinality forces
+//! `N(u) = N(w)`. ∎ This justifies the equal-degree branch of every
+//! algorithm treating inclusion as mutual.
+
+use nsky_graph::{Graph, VertexId};
+
+/// Outcome of comparing the neighborhoods of an ordered pair `(u, w)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairOrder {
+    /// Neither `N(u) ⊆ N[w]` nor `N(w) ⊆ N[u]`.
+    Incomparable,
+    /// `N(u) ⊆ N[w]` strictly (`w` dominates `u` regardless of IDs).
+    DominatedBy,
+    /// `N(w) ⊆ N[u]` strictly (`u` dominates `w`).
+    Dominates,
+    /// Mutual inclusion (twins): the smaller ID dominates.
+    Mutual,
+}
+
+/// Classifies the ordered pair `(u, w)` by Definition 1/2 set inclusion.
+///
+/// # Panics
+///
+/// Panics if `u == w`.
+pub fn classify_pair(g: &Graph, u: VertexId, w: VertexId) -> PairOrder {
+    assert_ne!(u, w, "classify_pair needs distinct vertices");
+    let uw = g.open_included_in_closed(u, w);
+    let wu = g.open_included_in_closed(w, u);
+    match (uw, wu) {
+        (true, true) => PairOrder::Mutual,
+        (true, false) => PairOrder::DominatedBy,
+        (false, true) => PairOrder::Dominates,
+        (false, false) => PairOrder::Incomparable,
+    }
+}
+
+/// Definition 2: whether `w` dominates `u` (`u ≤ w`), including the ID
+/// tie-break for twins.
+pub fn dominates(g: &Graph, w: VertexId, u: VertexId) -> bool {
+    if u == w {
+        return false;
+    }
+    match classify_pair(g, u, w) {
+        PairOrder::DominatedBy => true,
+        PairOrder::Mutual => w < u,
+        _ => false,
+    }
+}
+
+/// Definition 4/5: whether `w` *edge-constrained* dominates `u`
+/// (`u ⊑ w`): requires the edge `(u, w)` and `N[u] ⊆ N[w]`, with the same
+/// ID tie-break when `N[u] = N[w]`.
+pub fn edge_dominates(g: &Graph, w: VertexId, u: VertexId) -> bool {
+    if u == w || !g.has_edge(u, w) {
+        return false;
+    }
+    let uw = g.closed_included_in_closed(u, w);
+    if !uw {
+        return false;
+    }
+    let wu = g.closed_included_in_closed(w, u);
+    if wu {
+        w < u // adjacent true twins: smaller ID dominates
+    } else {
+        true
+    }
+}
+
+/// The 2-hop neighborhood `N2(u)` — vertices reachable in exactly one or
+/// two hops, excluding `u` — deduplicated and sorted.
+///
+/// This is the search space of `BaseSky` and of the refine phase; exposed
+/// for tests and for the `Base2Hop` baseline.
+pub fn two_hop_neighbors(g: &Graph, u: VertexId) -> Vec<VertexId> {
+    let mut out: Vec<VertexId> = Vec::new();
+    for &v in g.neighbors(u) {
+        out.push(v);
+        out.extend(g.neighbors(v).iter().copied().filter(|&w| w != u));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsky_graph::generators::erdos_renyi;
+    use nsky_graph::generators::special::{clique, path, star};
+
+    #[test]
+    fn clique_pairs_are_all_mutual() {
+        let g = clique(4);
+        for u in g.vertices() {
+            for w in g.vertices() {
+                if u != w {
+                    assert_eq!(classify_pair(&g, u, w), PairOrder::Mutual);
+                    assert_eq!(dominates(&g, w, u), w < u);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_center_dominates_leaves() {
+        let g = star(5);
+        for leaf in 1..5 {
+            assert!(dominates(&g, 0, leaf));
+            assert!(!dominates(&g, leaf, 0));
+            assert_eq!(classify_pair(&g, leaf, 0), PairOrder::DominatedBy);
+        }
+        // Leaves are mutual twins of each other (all have N = {0}).
+        assert_eq!(classify_pair(&g, 1, 2), PairOrder::Mutual);
+        assert!(dominates(&g, 1, 2));
+        assert!(!dominates(&g, 2, 1));
+    }
+
+    #[test]
+    fn path_interior_dominates_endpoint() {
+        let g = path(4); // 0-1-2-3
+        // N(0) = {1} ⊆ N[2] = {1,2,3}? yes ⇒ 2 dominates 0 (not mutual).
+        assert!(dominates(&g, 2, 0));
+        assert!(!dominates(&g, 0, 2));
+        // Interior vertices 1 and 2: N(1) = {0,2} ⊆ N[2] = {1,2,3}? 0 ∉ ⇒ no.
+        assert_eq!(classify_pair(&g, 1, 2), PairOrder::Incomparable);
+    }
+
+    #[test]
+    fn edge_constrained_is_stricter() {
+        let g = path(4);
+        // 2 dominates 0 but they are not adjacent: no edge-domination.
+        assert!(dominates(&g, 2, 0));
+        assert!(!edge_dominates(&g, 2, 0));
+        // 1 edge-dominates 0: N[0] = {0,1} ⊆ N[1] = {0,1,2} and edge (0,1).
+        assert!(edge_dominates(&g, 1, 0));
+        assert!(!edge_dominates(&g, 0, 1));
+    }
+
+    #[test]
+    fn edge_domination_implies_domination() {
+        let g = erdos_renyi(120, 0.08, 1);
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                if edge_dominates(&g, v, u) {
+                    assert!(dominates(&g, v, u), "edge-dom but not dom: {v} over {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transitivity_on_random_graphs() {
+        // Fact 2: v≤u and u≤w ⇒ v≤w (on inclusion, ignoring tie-breaks).
+        let g = erdos_renyi(60, 0.15, 3);
+        for a in g.vertices() {
+            for b in g.vertices() {
+                if a == b || !g.open_included_in_closed(a, b) {
+                    continue;
+                }
+                for c in g.vertices() {
+                    if c == b || c == a || !g.open_included_in_closed(b, c) {
+                        continue;
+                    }
+                    assert!(
+                        g.open_included_in_closed(a, c),
+                        "vicinal preorder not transitive: {a}→{b}→{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_degree_inclusion_is_mutual() {
+        // Fact 3 checked exhaustively on random graphs.
+        let g = erdos_renyi(80, 0.1, 5);
+        for u in g.vertices() {
+            for w in g.vertices() {
+                if u != w
+                    && g.degree(u) == g.degree(w)
+                    && g.open_included_in_closed(u, w)
+                {
+                    assert!(
+                        g.open_included_in_closed(w, u),
+                        "equal-degree inclusion must be mutual ({u},{w})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominator_within_two_hops() {
+        // Fact 1 checked exhaustively.
+        let g = erdos_renyi(70, 0.1, 8);
+        for u in g.vertices() {
+            if g.degree(u) == 0 {
+                continue;
+            }
+            let n2 = two_hop_neighbors(&g, u);
+            for w in g.vertices() {
+                if w != u && dominates(&g, w, u) {
+                    assert!(
+                        n2.binary_search(&w).is_ok(),
+                        "dominator {w} of {u} outside 2-hop set"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_hop_set_shape() {
+        let g = path(5);
+        assert_eq!(two_hop_neighbors(&g, 0), vec![1, 2]);
+        assert_eq!(two_hop_neighbors(&g, 2), vec![0, 1, 3, 4]);
+        let lonely = Graph::from_edges(3, [(0, 1)]);
+        assert!(two_hop_neighbors(&lonely, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn classify_same_vertex_panics() {
+        classify_pair(&path(3), 1, 1);
+    }
+}

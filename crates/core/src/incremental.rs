@@ -1,0 +1,278 @@
+//! Skyline maintenance under vertex removal.
+//!
+//! `NeiSkyTopkMCC` (paper Sec. IV-C.3) repeatedly retires a clique seed
+//! vertex and needs the skyline of the residual graph.
+//! [`DynamicSkyline::remove_vertex`] re-evaluates only the vertices whose
+//! status can actually change — the removed vertex's neighbors and the
+//! vertices whose recorded dominator was the removed vertex or one of its
+//! neighbors (see [`DynamicSkyline::remove_vertex_report`] for why that
+//! set is exhaustive) — with exact masked domination checks.
+
+use crate::refine::{filter_refine_sky, RefineConfig};
+use nsky_graph::{Graph, VertexId};
+
+/// Neighborhood skyline of a graph under a sequence of vertex removals.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::special::star;
+/// use nsky_skyline::incremental::DynamicSkyline;
+///
+/// let g = star(5);
+/// let mut dyn_sky = DynamicSkyline::new(&g);
+/// assert_eq!(dyn_sky.skyline(), vec![0]);
+/// // Removing the hub turns every leaf into an isolated skyline vertex.
+/// dyn_sky.remove_vertex(0);
+/// assert_eq!(dyn_sky.skyline(), vec![1, 2, 3, 4]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DynamicSkyline<'g> {
+    g: &'g Graph,
+    alive: Vec<bool>,
+    dominator: Vec<VertexId>,
+    alive_count: usize,
+    /// Reusable visited stamps for `recompute` (stamp == round ⇒ seen).
+    stamp: Vec<u32>,
+    round: u32,
+}
+
+impl<'g> DynamicSkyline<'g> {
+    /// Initializes from the full graph using [`filter_refine_sky`].
+    pub fn new(g: &'g Graph) -> Self {
+        let r = filter_refine_sky(g, &RefineConfig::default());
+        DynamicSkyline {
+            g,
+            alive: vec![true; g.num_vertices()],
+            dominator: r.dominator,
+            alive_count: g.num_vertices(),
+            stamp: vec![u32::MAX; g.num_vertices()],
+            round: 0,
+        }
+    }
+
+    /// Whether `u` is still present.
+    pub fn is_alive(&self, u: VertexId) -> bool {
+        self.alive[u as usize]
+    }
+
+    /// Number of remaining vertices.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Whether `u` is currently a skyline vertex of the residual graph.
+    pub fn is_skyline(&self, u: VertexId) -> bool {
+        self.alive[u as usize] && self.dominator[u as usize] == u
+    }
+
+    /// Current skyline, sorted ascending.
+    pub fn skyline(&self) -> Vec<VertexId> {
+        (0..self.g.num_vertices() as VertexId)
+            .filter(|&u| self.is_skyline(u))
+            .collect()
+    }
+
+    /// Removes `x` and repairs the skyline of the residual graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` was already removed.
+    pub fn remove_vertex(&mut self, x: VertexId) {
+        let _ = self.remove_vertex_report(x);
+    }
+
+    /// Like [`remove_vertex`](Self::remove_vertex), additionally
+    /// returning the vertices that *entered* the skyline because of this
+    /// removal (e.g. vertices that were dominated by `x`). Used by
+    /// `NeiSkyTopkMCC` to feed new seeds into its lazy queue.
+    ///
+    /// Only a targeted set needs re-evaluation. For an alive `u ∉ N[x]`,
+    /// `N_alive(u)` is unchanged and `x ∉ N_alive(u)`, so removing `x`
+    /// from other closed neighborhoods can neither create nor break an
+    /// inclusion `N(u) ⊆ N_alive[w]` — the only pairs at risk are those
+    /// whose recorded witness `w` lost `x` from its *own* open
+    /// neighborhood (mutuality can appear, voiding a larger-ID witness),
+    /// i.e. `dominator[u] ∈ N(x)`, plus the vertices whose witness *was*
+    /// `x`. Together with `N(x)` itself (whose neighborhoods did change)
+    /// this is the full affected set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` was already removed.
+    pub fn remove_vertex_report(&mut self, x: VertexId) -> Vec<VertexId> {
+        assert!(self.alive[x as usize], "vertex {x} already removed");
+        self.alive[x as usize] = false;
+        self.alive_count -= 1;
+        let mut affected: Vec<VertexId> = self
+            .g
+            .neighbors(x)
+            .iter()
+            .copied()
+            .filter(|&u| self.alive[u as usize])
+            .collect();
+        let neighbor_of_x = |w: VertexId| self.g.has_edge(w, x);
+        for u in 0..self.g.num_vertices() as VertexId {
+            if !self.alive[u as usize] {
+                continue;
+            }
+            let w = self.dominator[u as usize];
+            if w != u && (w == x || neighbor_of_x(w)) {
+                affected.push(u);
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let mut newly_skyline = Vec::new();
+        for &u in &affected {
+            debug_assert!(self.alive[u as usize]);
+            let was = self.dominator[u as usize] == u;
+            self.recompute(u);
+            if !was && self.dominator[u as usize] == u {
+                newly_skyline.push(u);
+            }
+        }
+        newly_skyline
+    }
+
+    /// Masked Definition 1: `N(u) ⊆ N[w]` over alive vertices.
+    fn masked_included(&self, u: VertexId, w: VertexId) -> bool {
+        self.g
+            .neighbors(u)
+            .iter()
+            .filter(|&&x| self.alive[x as usize])
+            .all(|&x| x == w || self.g.has_edge(w, x))
+    }
+
+    /// Masked Definition 2: does `w` dominate `u` in the residual graph?
+    fn masked_dominates(&self, w: VertexId, u: VertexId) -> bool {
+        if w == u || !self.alive[w as usize] {
+            return false;
+        }
+        if !self.masked_included(u, w) {
+            return false;
+        }
+        if self.masked_included(w, u) {
+            w < u
+        } else {
+            true
+        }
+    }
+
+    /// Exact status recomputation of one vertex.
+    ///
+    /// A dominator `w` of `u` satisfies `v ∈ N_alive[w]` — equivalently
+    /// `w ∈ N_alive[v]` — for **every** alive neighbor `v` of `u`, so
+    /// scanning the closed alive adjacency of a *single* such `v` covers
+    /// all possible dominators; we pick the one of minimum (unmasked)
+    /// degree to keep the scan short.
+    fn recompute(&mut self, u: VertexId) {
+        debug_assert!(self.alive[u as usize]);
+        self.dominator[u as usize] = u;
+        let vmin = self
+            .g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| self.alive[v as usize])
+            .min_by_key(|&v| self.g.degree(v));
+        let Some(vmin) = vmin else {
+            return; // isolated: skyline by convention
+        };
+        self.round = self.round.wrapping_add(1);
+        let round = self.round;
+        for wi in 0..=self.g.degree(vmin) {
+            let w = if wi == self.g.degree(vmin) {
+                vmin
+            } else {
+                self.g.neighbors(vmin)[wi]
+            };
+            if w == u || !self.alive[w as usize] || self.stamp[w as usize] == round {
+                continue;
+            }
+            self.stamp[w as usize] = round;
+            if self.masked_dominates(w, u) {
+                self.dominator[u as usize] = w;
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::naive_skyline;
+    use nsky_graph::generators::{chung_lu_power_law, erdos_renyi};
+    use nsky_graph::ops::induced_subgraph;
+    use nsky_graph::prng::SplitMix64;
+
+    /// Reference: skyline of the residual graph computed from scratch.
+    fn residual_oracle(g: &Graph, removed: &[VertexId]) -> Vec<VertexId> {
+        let keep: Vec<VertexId> = g
+            .vertices()
+            .filter(|u| !removed.contains(u))
+            .collect();
+        let (sub, map) = induced_subgraph(g, &keep);
+        naive_skyline(&sub)
+            .skyline
+            .iter()
+            .map(|&u| map[u as usize])
+            .collect()
+    }
+
+    #[test]
+    fn tracks_oracle_under_random_removals() {
+        for seed in 0..4 {
+            let g = erdos_renyi(60, 0.1, seed);
+            let mut dyn_sky = DynamicSkyline::new(&g);
+            let mut rng = SplitMix64::new(seed * 7 + 1);
+            let mut removed: Vec<VertexId> = Vec::new();
+            for _ in 0..10 {
+                let candidates: Vec<VertexId> =
+                    g.vertices().filter(|&u| dyn_sky.is_alive(u)).collect();
+                let x = candidates[rng.next_index(candidates.len())];
+                dyn_sky.remove_vertex(x);
+                removed.push(x);
+                assert_eq!(
+                    dyn_sky.skyline(),
+                    residual_oracle(&g, &removed),
+                    "seed {seed}, removed {removed:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracks_oracle_on_power_law_graph() {
+        let g = chung_lu_power_law(150, 2.7, 5.0, 3);
+        let mut dyn_sky = DynamicSkyline::new(&g);
+        // Remove the three highest-degree vertices — the most disruptive.
+        let mut by_degree: Vec<VertexId> = g.vertices().collect();
+        by_degree.sort_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+        let mut removed = Vec::new();
+        for &x in by_degree.iter().take(3) {
+            dyn_sky.remove_vertex(x);
+            removed.push(x);
+            assert_eq!(dyn_sky.skyline(), residual_oracle(&g, &removed));
+        }
+        assert_eq!(dyn_sky.alive_count(), 147);
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn double_removal_panics() {
+        let g = erdos_renyi(10, 0.3, 1);
+        let mut d = DynamicSkyline::new(&g);
+        d.remove_vertex(0);
+        d.remove_vertex(0);
+    }
+
+    #[test]
+    fn initial_state_matches_static_skyline() {
+        let g = erdos_renyi(80, 0.06, 9);
+        let d = DynamicSkyline::new(&g);
+        assert_eq!(d.skyline(), naive_skyline(&g).skyline);
+        assert_eq!(d.alive_count(), 80);
+    }
+}

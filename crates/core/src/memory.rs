@@ -1,0 +1,127 @@
+//! Analytic memory accounting for the Fig. 4 comparison.
+//!
+//! Wall-clock memory of a Rust process is allocator- and OS-dependent;
+//! following the paper's methodology we account the *algorithm-owned data
+//! structures* analytically, which is also what Theorem 1/3 bound. The
+//! numbers returned here are what the `fig4` harness prints.
+
+use crate::domination::two_hop_neighbors;
+use nsky_bloom::BloomConfig;
+use nsky_graph::Graph;
+
+/// Byte accounting for one algorithm run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// CSR graph footprint (shared by all algorithms).
+    pub graph_bytes: usize,
+    /// Algorithm-owned working state.
+    pub working_bytes: usize,
+}
+
+impl MemoryBreakdown {
+    /// Total footprint.
+    pub fn total(&self) -> usize {
+        self.graph_bytes + self.working_bytes
+    }
+}
+
+/// `BaseSky`: dominator, counting and stamp arrays (`O(n)`).
+pub fn base_sky_memory(g: &Graph) -> MemoryBreakdown {
+    MemoryBreakdown {
+        graph_bytes: g.size_bytes(),
+        working_bytes: g.num_vertices() * (4 + 4 + 4),
+    }
+}
+
+/// `BaseCSet`: same linear arrays plus the candidate list.
+pub fn cset_memory(g: &Graph, candidate_count: usize) -> MemoryBreakdown {
+    MemoryBreakdown {
+        graph_bytes: g.size_bytes(),
+        working_bytes: g.num_vertices() * (4 + 4 + 4) + candidate_count * 4,
+    }
+}
+
+/// `FilterRefineSky`: linear arrays plus `|C|` bloom filters of width
+/// `next_pow2(dmax · bits_per_element)` — the `O(m + |C|·dmax)` bound of
+/// Theorem 3.
+pub fn filter_refine_memory(
+    g: &Graph,
+    candidate_count: usize,
+    bits_per_element: f64,
+) -> MemoryBreakdown {
+    let bits = BloomConfig::for_max_degree(g.max_degree(), bits_per_element).bits;
+    MemoryBreakdown {
+        graph_bytes: g.size_bytes(),
+        working_bytes: g.num_vertices() * (4 + 4 + 4)
+            + candidate_count * (bits / 8)
+            + g.num_vertices() * 4, // filter slot map
+    }
+}
+
+/// Cheap upper bound on the `Base2Hop` materialization:
+/// `Σ_u Σ_{v∈N(u)} deg(v) = Σ_v deg(v)²` wedge entries (the dedup can
+/// only shrink it), in bytes. `O(n)`; the figure harness uses it to skip
+/// `Base2Hop` with an "INF" entry — the paper's out-of-memory outcome on
+/// WikiTalk.
+pub fn two_hop_upper_bound_bytes(g: &Graph) -> u64 {
+    g.vertices()
+        .map(|v| (g.degree(v) as u64).pow(2))
+        .sum::<u64>()
+        .saturating_mul(4)
+}
+
+/// `Base2Hop`: materialized 2-hop lists plus filters for *all* vertices.
+/// Computing the exact footprint walks every 2-hop list (`O(m·dmax)`), so
+/// call this only from the harness.
+pub fn two_hop_memory(g: &Graph) -> MemoryBreakdown {
+    let materialized: usize = g
+        .vertices()
+        .map(|u| two_hop_neighbors(g, u).len())
+        .sum();
+    let bits = BloomConfig::for_max_degree(g.max_degree(), 2.0).bits;
+    MemoryBreakdown {
+        graph_bytes: g.size_bytes(),
+        working_bytes: materialized * 4 + g.num_vertices() * (bits / 8 + 4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsky_graph::generators::chung_lu_power_law;
+    use nsky_graph::generators::special::clique;
+
+    #[test]
+    fn two_hop_dominates_other_footprints_on_dense_graphs() {
+        let g = clique(60);
+        let base = base_sky_memory(&g);
+        let two = two_hop_memory(&g);
+        assert!(two.working_bytes > 10 * base.working_bytes);
+        assert_eq!(base.graph_bytes, two.graph_bytes);
+    }
+
+    #[test]
+    fn refine_memory_scales_with_candidates_and_width() {
+        let g = chung_lu_power_law(2_000, 2.8, 6.0, 1);
+        let small = filter_refine_memory(&g, 100, 1.0);
+        let many = filter_refine_memory(&g, 1_000, 1.0);
+        let wide = filter_refine_memory(&g, 100, 8.0);
+        assert!(many.working_bytes > small.working_bytes);
+        assert!(wide.working_bytes > small.working_bytes);
+        assert!(small.total() > small.working_bytes);
+    }
+
+    #[test]
+    fn ordering_matches_fig4_on_power_law_graph() {
+        // Fig. 4: BaseSky ≈ BaseCSet < FilterRefineSky < Base2Hop.
+        let g = chung_lu_power_law(3_000, 2.7, 8.0, 2);
+        let c = crate::filter_phase(&g).candidates.len();
+        let base = base_sky_memory(&g).working_bytes;
+        let cset = cset_memory(&g, c).working_bytes;
+        let refine = filter_refine_memory(&g, c, 2.0).working_bytes;
+        let two = two_hop_memory(&g).working_bytes;
+        assert!(base <= cset);
+        assert!(cset < refine, "cset {cset} refine {refine}");
+        assert!(refine < two, "refine {refine} two-hop {two}");
+    }
+}

@@ -1,0 +1,152 @@
+//! A deliberately simple quadratic oracle used to validate every other
+//! algorithm in this crate (and by the property tests in `tests/`).
+
+use crate::domination::dominates;
+use crate::result::{SkylineResult, SkylineStats};
+use nsky_graph::{Graph, VertexId};
+
+/// Computes the neighborhood skyline by testing every ordered pair with
+/// the exact Definition 2 check. `O(n² · dmax)` — only for tests and tiny
+/// graphs.
+///
+/// Isolated vertices are skyline members (the paper's operational
+/// convention; see the crate docs).
+pub fn naive_skyline(g: &Graph) -> SkylineResult {
+    let n = g.num_vertices();
+    let mut dominator: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut stats = SkylineStats {
+        candidate_count: n,
+        ..SkylineStats::default()
+    };
+    for u in g.vertices() {
+        if g.degree(u) == 0 {
+            continue; // skyline by convention
+        }
+        for w in g.vertices() {
+            if w == u {
+                continue;
+            }
+            stats.pair_tests += 1;
+            if dominates(g, w, u) {
+                dominator[u as usize] = w;
+                break;
+            }
+        }
+    }
+    SkylineResult::from_dominators(dominator, None, stats)
+}
+
+/// Checks that `claimed` equals the oracle skyline of `g`; returns a
+/// human-readable discrepancy description on mismatch. Used by
+/// integration tests and fuzz harnesses.
+pub fn verify_skyline(g: &Graph, claimed: &[VertexId]) -> Result<(), String> {
+    let truth = naive_skyline(g);
+    if truth.skyline == claimed {
+        Ok(())
+    } else {
+        let extra: Vec<_> = claimed
+            .iter()
+            .filter(|u| !truth.skyline.contains(u))
+            .collect();
+        let missing: Vec<_> = truth
+            .skyline
+            .iter()
+            .filter(|u| !claimed.contains(u))
+            .collect();
+        Err(format!(
+            "skyline mismatch: spurious {extra:?}, missing {missing:?}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsky_graph::generators::special::{clique, cycle, path, star};
+
+    #[test]
+    fn figure_one_like_graph() {
+        // A 16-vertex graph engineered to reproduce the paper's Fig. 1
+        // outcome: skyline R = {v0, v1, v4, v5, v6, v7, v8, v9} and
+        // v13 ≤ v8 (Example 1). Each skyline hub owns one private
+        // degree-1 satellite: the satellite is dominated by its hub
+        // (N(s) = {h} ⊆ N[h]), and the private satellite prevents anyone
+        // from dominating the hub (a dominator would need the satellite
+        // in its closed neighborhood).
+        let g = fig1_like_graph();
+        let r = naive_skyline(&g);
+        assert_eq!(r.skyline, vec![0, 1, 4, 5, 6, 7, 8, 9]);
+        assert!(dominates(&g, 8, 13), "v13 ≤ v8 as in Example 1");
+        assert!(!r.contains(13));
+    }
+
+    pub(crate) fn fig1_like_graph() -> Graph {
+        Graph::from_edges(
+            16,
+            [
+                // hub — private satellite assignments
+                (2, 0),
+                (3, 1),
+                (10, 4),
+                (11, 5),
+                (12, 6),
+                (14, 7),
+                (13, 8),
+                (15, 9),
+                // hub mesh
+                (0, 1),
+                (0, 4),
+                (1, 5),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (6, 8),
+                (7, 8),
+                (8, 9),
+                (7, 9),
+            ],
+        )
+    }
+
+    #[test]
+    fn special_families_match_fig2() {
+        // Fig. 2(a): clique ⇒ |R| = 1.
+        assert_eq!(naive_skyline(&clique(7)).len(), 1);
+        assert_eq!(naive_skyline(&clique(7)).skyline, vec![0]);
+        // Fig. 2(c): cycle ⇒ everyone incomparable, |R| = n (n ≥ 5).
+        assert_eq!(naive_skyline(&cycle(8)).len(), 8);
+        // Fig. 2(d): path ⇒ endpoints dominated, |R| = n − 2 (n ≥ 4).
+        let p = naive_skyline(&path(6));
+        assert_eq!(p.len(), 4);
+        assert!(!p.contains(0) && !p.contains(5));
+    }
+
+    #[test]
+    fn star_skyline_is_center_plus_first_leaf() {
+        // Leaves are mutual twins; leaf 1 (smallest id) survives them,
+        // but is it dominated by the center? N(1) = {0} ⊆ N[0]? 0 ∈ N[0] ✓
+        // strict ⇒ leaf 1 dominated by center. R = {0}.
+        let r = naive_skyline(&star(6));
+        assert_eq!(r.skyline, vec![0]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_skyline() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let r = naive_skyline(&g);
+        assert!(r.contains(2) && r.contains(3));
+        // 0 and 1 are twins on an isolated edge: 0 dominates 1.
+        assert!(r.contains(0));
+        assert!(!r.contains(1));
+    }
+
+    #[test]
+    fn verify_skyline_reports_discrepancies() {
+        let g = star(4);
+        assert!(verify_skyline(&g, &[0]).is_ok());
+        let err = verify_skyline(&g, &[0, 2]).unwrap_err();
+        assert!(err.contains("spurious"), "{err}");
+        let err = verify_skyline(&g, &[]).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+}

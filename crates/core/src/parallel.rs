@@ -1,0 +1,187 @@
+//! A chunked parallel variant of the refine phase (extension beyond the
+//! paper; the per-candidate checks are read-only and embarrassingly
+//! parallel).
+
+use crate::filter_phase::filter_phase;
+use crate::refine::RefineConfig;
+use crate::result::{SkylineResult, SkylineStats};
+use nsky_bloom::{BloomConfig, NeighborhoodFilters};
+use nsky_graph::{Graph, VertexId};
+
+/// Computes the neighborhood skyline with the refine phase split across
+/// `threads` OS threads.
+///
+/// Unlike the sequential [`crate::filter_refine_sky`], workers do not
+/// observe each other's refine-time dominator updates; they skip a
+/// potential dominator `w` only when `w` failed the *filter phase*. This
+/// is still sound (every dominated vertex has a skyline dominator, and
+/// the skyline is contained in the candidate set) and the resulting
+/// skyline is identical — the skyline of a graph is unique.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::chung_lu_power_law;
+/// use nsky_skyline::{filter_refine_sky, filter_refine_sky_par, RefineConfig};
+///
+/// let g = chung_lu_power_law(1_000, 2.8, 6.0, 3);
+/// let cfg = RefineConfig::default();
+/// assert_eq!(
+///     filter_refine_sky_par(&g, &cfg, 4).skyline,
+///     filter_refine_sky(&g, &cfg).skyline,
+/// );
+/// ```
+pub fn filter_refine_sky_par(g: &Graph, cfg: &RefineConfig, threads: usize) -> SkylineResult {
+    assert!(threads > 0, "need at least one worker thread");
+    let n = g.num_vertices();
+    let filter = filter_phase(g);
+    let mut stats: SkylineStats = filter.seed_stats();
+
+    let bloom_cfg = BloomConfig::for_max_degree(g.max_degree(), cfg.bloom_bits_per_element);
+    let filters = NeighborhoodFilters::build(g, filter.candidates.iter().copied(), bloom_cfg);
+    stats.peak_bytes = filters.size_bytes() + n * 4 + threads * n * 4;
+
+    let candidates = &filter.candidates;
+    let is_candidate = &filter.dominator; // frozen: dominator[w] == w ⟺ w ∈ C
+    let chunk = candidates.len().div_ceil(threads).max(1);
+    let mut verdicts: Vec<Option<VertexId>> = vec![None; candidates.len()];
+
+    std::thread::scope(|scope| {
+        let filters = &filters;
+        for (slice, out) in candidates.chunks(chunk).zip(verdicts.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                let mut seen: Vec<u32> = vec![u32::MAX; n];
+                for (i, &u) in slice.iter().enumerate() {
+                    out[i] = refine_one(g, filters, is_candidate, cfg, &mut seen, u);
+                }
+            });
+        }
+    });
+
+    let mut dominator = filter.dominator.clone();
+    for (i, &u) in candidates.iter().enumerate() {
+        if let Some(w) = verdicts[i] {
+            dominator[u as usize] = w;
+        }
+    }
+    SkylineResult::from_dominators(dominator, Some(filter.candidates), stats)
+}
+
+/// Pure per-candidate check: the first 2-hop vertex that dominates `u`
+/// (strictly, or a smaller-ID twin), or `None` if `u` is skyline.
+fn refine_one(
+    g: &Graph,
+    filters: &NeighborhoodFilters,
+    is_candidate: &[VertexId],
+    cfg: &RefineConfig,
+    seen: &mut [u32],
+    u: VertexId,
+) -> Option<VertexId> {
+    let du = g.degree(u);
+    if du == 0 {
+        return None;
+    }
+    let word_prefilter = cfg.use_word_prefilter && du >= filters.words_per_filter();
+    let round = u;
+    let nbrs = g.neighbors(u);
+    let scan_vs: &[VertexId] = if cfg.scan_min_neighbor {
+        let mut best = 0usize;
+        for i in 1..nbrs.len() {
+            if g.degree(nbrs[i]) < g.degree(nbrs[best]) {
+                best = i;
+            }
+        }
+        &nbrs[best..=best]
+    } else {
+        nbrs
+    };
+    for &v in scan_vs {
+        for &w in g.neighbors(v) {
+            if w == u {
+                continue;
+            }
+            if cfg.dedup_two_hop {
+                if seen[w as usize] == round {
+                    continue;
+                }
+                seen[w as usize] = round;
+            }
+            if g.degree(w) < du || is_candidate[w as usize] != w {
+                continue;
+            }
+            if word_prefilter && !filters.filter_subset(u, w) {
+                continue;
+            }
+            let mut dominated = true;
+            for &x in g.neighbors(u) {
+                if x == w || x == v {
+                    continue;
+                }
+                if !filters.maybe_contains(w, x) || !g.has_edge(w, x) {
+                    dominated = false;
+                    break;
+                }
+            }
+            if !dominated {
+                continue;
+            }
+            if g.degree(w) == du {
+                if w < u {
+                    return Some(w);
+                }
+            } else {
+                return Some(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::filter_refine_sky;
+    use nsky_graph::generators::{chung_lu_power_law, erdos_renyi};
+
+    #[test]
+    fn agrees_with_sequential() {
+        let cfg = RefineConfig::default();
+        for seed in 0..4 {
+            let g = chung_lu_power_law(1_500, 2.7, 6.0, seed);
+            let seq = filter_refine_sky(&g, &cfg);
+            for threads in [1, 2, 4, 7] {
+                let par = filter_refine_sky_par(&g, &cfg, threads);
+                assert_eq!(par.skyline, seq.skyline, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn dominator_witnesses_are_valid() {
+        let g = erdos_renyi(300, 0.04, 9);
+        let r = filter_refine_sky_par(&g, &RefineConfig::default(), 3);
+        for u in g.vertices() {
+            let o = r.dominator[u as usize];
+            if o != u {
+                assert!(crate::domination::dominates(&g, o, u));
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let cfg = RefineConfig::default();
+        assert!(filter_refine_sky_par(&Graph::empty(0), &cfg, 2).is_empty());
+        assert_eq!(filter_refine_sky_par(&Graph::empty(5), &cfg, 2).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        filter_refine_sky_par(&Graph::empty(1), &RefineConfig::default(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Result and instrumentation types shared by every skyline algorithm.
+
+use nsky_graph::VertexId;
+
+/// Instrumentation counters collected while computing a skyline.
+///
+/// The benchmark harness prints these next to wall-clock numbers so the
+/// *mechanism* of each speedup (fewer pair tests, bloom rejections before
+/// adjacency probes) is visible, mirroring the paper's discussion of
+/// Exp-1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SkylineStats {
+    /// Ordered pairs `(u, w)` for which a domination check was started.
+    pub pair_tests: u64,
+    /// Pairs rejected by the whole-filter word comparison
+    /// (`BF(u) & BF(w) != BF(u)`, line 14 of Algorithm 3).
+    pub bf_word_rejects: u64,
+    /// Per-neighbor `BFcheck` rejections (bit absent ⇒ exact negative).
+    pub bf_bit_rejects: u64,
+    /// Exact adjacency probes performed (`NBRcheck` + merge steps).
+    pub adjacency_probes: u64,
+    /// Size of the candidate set `C` (equals `n` for algorithms without a
+    /// filter phase).
+    pub candidate_count: usize,
+    /// Estimated peak resident bytes of algorithm-owned state
+    /// (excludes the input graph; see [`crate::memory`]).
+    pub peak_bytes: usize,
+}
+
+/// Output of a skyline computation.
+#[derive(Clone, Debug)]
+pub struct SkylineResult {
+    /// Skyline vertices, sorted ascending.
+    pub skyline: Vec<VertexId>,
+    /// The paper's `O(*)` array: `dominator[u] == u` iff `u` is in the
+    /// skyline, otherwise one vertex that dominates `u`.
+    pub dominator: Vec<VertexId>,
+    /// The candidate set `C` when a filter phase ran (`None` otherwise),
+    /// sorted ascending.
+    pub candidates: Option<Vec<VertexId>>,
+    /// Instrumentation counters.
+    pub stats: SkylineStats,
+}
+
+impl SkylineResult {
+    /// Assembles the result from a finished dominator array.
+    pub(crate) fn from_dominators(
+        dominator: Vec<VertexId>,
+        candidates: Option<Vec<VertexId>>,
+        stats: SkylineStats,
+    ) -> Self {
+        let skyline = dominator
+            .iter()
+            .enumerate()
+            .filter(|&(u, &o)| o == u as VertexId)
+            .map(|(u, _)| u as VertexId)
+            .collect();
+        SkylineResult {
+            skyline,
+            dominator,
+            candidates,
+            stats,
+        }
+    }
+
+    /// Whether `u` belongs to the skyline.
+    #[inline]
+    pub fn contains(&self, u: VertexId) -> bool {
+        self.dominator[u as usize] == u
+    }
+
+    /// Skyline membership as a boolean mask (index = vertex id).
+    pub fn membership_mask(&self) -> Vec<bool> {
+        self.dominator
+            .iter()
+            .enumerate()
+            .map(|(u, &o)| o == u as VertexId)
+            .collect()
+    }
+
+    /// `|R|`.
+    pub fn len(&self) -> usize {
+        self.skyline.len()
+    }
+
+    /// Whether the skyline is empty (only for the 0-vertex graph).
+    pub fn is_empty(&self) -> bool {
+        self.skyline.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dominators_extracts_fixed_points() {
+        let r = SkylineResult::from_dominators(
+            vec![0, 0, 2, 2],
+            None,
+            SkylineStats::default(),
+        );
+        assert_eq!(r.skyline, vec![0, 2]);
+        assert!(r.contains(0));
+        assert!(!r.contains(1));
+        assert_eq!(r.membership_mask(), vec![true, false, true, false]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn empty_result() {
+        let r =
+            SkylineResult::from_dominators(Vec::new(), None, SkylineStats::default());
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

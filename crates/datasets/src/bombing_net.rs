@@ -1,0 +1,124 @@
+//! Synthetic stand-in for the Madrid train-bombing suspect contact
+//! network (KONECT `moreno_train`, 64 vertices / 243 edges).
+//!
+//! The original cannot be embedded, so we generate a contact topology
+//! with the same size/density and the structural feature the Fig. 13
+//! case study hinges on: a few densely interconnected *organizers* per
+//! operational cell, with many low-degree *peripheral* contacts whose
+//! neighborhoods are subsets of the organizers' — which is exactly what
+//! makes peripherals dominated and keeps the skyline small (~31 % in the
+//! paper).
+
+use nsky_graph::prng::SplitMix64;
+use nsky_graph::{Graph, GraphBuilder, VertexId};
+
+const CELLS: usize = 4;
+const CELL_SIZE: usize = 16;
+const ORGANIZERS_PER_CELL: usize = 4;
+
+/// The bombing-network proxy: 64 vertices, ≈243 edges, 4 cells of 16
+/// (4 organizers + 12 peripherals each).
+///
+/// Deterministic: the generator seed is fixed so every build of the
+/// library analyses the same graph.
+///
+/// # Examples
+///
+/// ```
+/// let g = nsky_datasets::bombing();
+/// assert_eq!(g.num_vertices(), 64);
+/// assert!((225..=265).contains(&g.num_edges()));
+/// ```
+pub fn bombing() -> Graph {
+    let n = CELLS * CELL_SIZE;
+    let mut rng = SplitMix64::new(0xB0B);
+    let mut b = GraphBuilder::new(n);
+    let organizer = |cell: usize, i: usize| (cell * CELL_SIZE + i) as VertexId;
+    let peripheral = |cell: usize, i: usize| {
+        (cell * CELL_SIZE + ORGANIZERS_PER_CELL + i) as VertexId
+    };
+
+    for cell in 0..CELLS {
+        // Organizers form a clique.
+        for i in 0..ORGANIZERS_PER_CELL {
+            for j in (i + 1)..ORGANIZERS_PER_CELL {
+                b.add_edge(organizer(cell, i), organizer(cell, j));
+            }
+        }
+        // Each peripheral contacts 3–4 of its cell's organizers.
+        for p in 0..(CELL_SIZE - ORGANIZERS_PER_CELL) {
+            let k = 3 + rng.next_index(2); // 3 or 4
+            let picks = rng.sample_distinct(ORGANIZERS_PER_CELL, k);
+            for o in picks {
+                b.add_edge(peripheral(cell, p), organizer(cell, o));
+            }
+            // Occasional peripheral-to-peripheral contact.
+            if p > 0 && rng.next_bool(0.6) {
+                let q = rng.next_index(p);
+                b.add_edge(peripheral(cell, p), peripheral(cell, q));
+            }
+        }
+    }
+    // Cross-cell coordination between organizers.
+    for a in 0..CELLS {
+        for c in (a + 1)..CELLS {
+            for _ in 0..4 {
+                let i = rng.next_index(ORGANIZERS_PER_CELL);
+                let j = rng.next_index(ORGANIZERS_PER_CELL);
+                b.add_edge(organizer(a, i), organizer(c, j));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_matches_original() {
+        let g = bombing();
+        assert_eq!(g.num_vertices(), 64);
+        assert!(
+            (225..=265).contains(&g.num_edges()),
+            "edge count {} strays from the original 243",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn clustered_structure() {
+        let g = bombing();
+        let block = |u: u32| u as usize / CELL_SIZE;
+        let (mut inside, mut across) = (0, 0);
+        for (u, v) in g.edges() {
+            if block(u) == block(v) {
+                inside += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(inside > 4 * across, "inside {inside} across {across}");
+    }
+
+    #[test]
+    fn peripherals_have_lower_degree_than_organizers() {
+        let g = bombing();
+        let avg = |ids: Vec<VertexId>| {
+            ids.iter().map(|&u| g.degree(u)).sum::<usize>() as f64 / ids.len() as f64
+        };
+        let organizers: Vec<VertexId> = (0..CELLS)
+            .flat_map(|c| (0..ORGANIZERS_PER_CELL).map(move |i| (c * CELL_SIZE + i) as u32))
+            .collect();
+        let peripherals: Vec<VertexId> = (0..64u32)
+            .filter(|u| (*u as usize % CELL_SIZE) >= ORGANIZERS_PER_CELL)
+            .collect();
+        assert!(avg(organizers) > 2.0 * avg(peripherals));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(bombing(), bombing());
+    }
+}

@@ -1,0 +1,147 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::csr::{Graph, VertexId};
+
+/// Accumulates undirected edges and produces a normalized [`Graph`].
+///
+/// Self-loops are ignored, duplicates (in either orientation) collapse, and
+/// the resulting adjacency lists are sorted — the invariants every skyline
+/// algorithm relies on.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, ignored
+/// b.add_edge(2, 2); // self-loop, ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Edge endpoints, stored once per undirected edge as (min, max).
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices with no edges yet.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex ids are u32");
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates room for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self-loops are silently dropped;
+    /// duplicates are removed at [`build`](Self::build) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        if u == v {
+            return;
+        }
+        self.edges.push((u.min(v), u.max(v)));
+    }
+
+    /// Number of (possibly duplicated) edges added so far.
+    pub fn num_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a CSR [`Graph`], deduplicating edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![0 as VertexId; self.edges.len() * 2];
+        for &(u, v) in &self.edges {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each list is filled in order of (sorted) edge scan: for vertex w
+        // its neighbors arrive ordered by the *other* endpoint only within
+        // the (w, x) pass, but the (x, w) pass interleaves, so sort ranges.
+        for u in 0..self.n {
+            adj[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let mut b = GraphBuilder::new(5);
+        for (u, v) in [(3, 1), (1, 3), (4, 0), (0, 4), (2, 1), (4, 1)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[2, 3, 4]);
+        assert_eq!(g.neighbors(4), &[0, 1]);
+    }
+
+    #[test]
+    fn with_capacity_builds_same_graph() {
+        let mut a = GraphBuilder::new(3);
+        let mut b = GraphBuilder::with_capacity(3, 10);
+        for (u, v) in [(0, 1), (1, 2)] {
+            a.add_edge(u, v);
+            b.add_edge(u, v);
+        }
+        assert_eq!(a.build(), b.build());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,380 @@
+//! The immutable CSR graph type.
+
+use crate::builder::GraphBuilder;
+
+/// Identifier of a vertex. Vertices of a graph with `n` vertices are the
+/// contiguous range `0..n`.
+///
+/// `u32` keeps hot arrays (adjacency, distance, order) half the size of
+/// `usize` on 64-bit targets, which matters for the cache behavior of the
+/// skyline scans; all graphs in the paper fit comfortably.
+pub type VertexId = u32;
+
+/// An undirected simple graph in compressed-sparse-row form.
+///
+/// * adjacency lists are **sorted ascending** and free of duplicates and
+///   self-loops — several algorithms (edge-constrained inclusion merges,
+///   `has_edge` binary search, clique candidate intersection) rely on this;
+/// * the structure is immutable after construction; "removing" vertices is
+///   done with [`crate::ops::induced_subgraph`] or with algorithm-side masks.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.neighbors(0), &[1, 3]);
+/// assert!(g.has_edge(2, 1));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[u]..offsets[u + 1]` indexes `adj` for vertex `u`;
+    /// length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists; length `2 m`.
+    adj: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an edge iterator.
+    ///
+    /// Self-loops are dropped and duplicate edges (in either orientation)
+    /// collapse to a single undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Builds a graph directly from CSR parts.
+    ///
+    /// Used by [`GraphBuilder`]; asserts the structural invariants in debug
+    /// builds.
+    pub(crate) fn from_csr(offsets: Vec<usize>, adj: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), adj.len());
+        let g = Graph { offsets, adj };
+        #[cfg(debug_assertions)]
+        g.check_invariants();
+        g
+    }
+
+    /// The empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            adj: Vec::new(),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        let n = self.num_vertices() as VertexId;
+        for u in self.vertices() {
+            let nbrs = self.neighbors(u);
+            for w in nbrs.windows(2) {
+                assert!(w[0] < w[1], "adjacency of {u} not strictly sorted");
+            }
+            for &v in nbrs {
+                assert!(v < n, "neighbor {v} out of range");
+                assert_ne!(v, u, "self-loop at {u}");
+                assert!(
+                    self.neighbors(v).binary_search(&u).is_ok(),
+                    "edge ({u},{v}) not symmetric"
+                );
+            }
+        }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// The open neighborhood `N(u)` as a sorted slice.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.adj[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Degree `deg(u) = |N(u)|`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Maximum degree `dmax` (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Whether the undirected edge `(u, v)` exists. `O(log deg)`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        // Search the shorter list: tiny win for hub vertices.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// `|N(u) ∩ N(v)|` by merging the two sorted adjacency lists.
+    ///
+    /// This is the primitive behind the edge-constrained inclusion test of
+    /// the paper's filter phase (Sec. III-B.1).
+    pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
+        sorted_intersection_count(self.neighbors(u), self.neighbors(v))
+    }
+
+    /// Whether `N(u) ⊆ N[v]`, i.e. `u` is *neighborhood-included* by `v`
+    /// (paper Definition 1). Bails at the first missing neighbor;
+    /// switches from a sorted merge to progressive binary search when
+    /// `deg(u) ≪ deg(v)` (a leaf probing a hub costs `O(log deg(v))`,
+    /// not `O(deg(v))`).
+    pub fn open_included_in_closed(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return true;
+        }
+        let nu = self.neighbors(u);
+        let nv = self.neighbors(v);
+        if nu.len() > nv.len() + 1 {
+            return false;
+        }
+        if nu.len() * 16 < nv.len() {
+            // Asymmetric pair: binary-search each neighbor.
+            let mut lo = 0;
+            for &x in nu {
+                if x == v {
+                    continue;
+                }
+                match nv[lo..].binary_search(&x) {
+                    Ok(i) => lo += i + 1,
+                    Err(_) => return false,
+                }
+            }
+            return true;
+        }
+        // Every x in N(u) must be in N(v) or equal v.
+        let mut j = 0;
+        for &x in nu {
+            if x == v {
+                continue;
+            }
+            while j < nv.len() && nv[j] < x {
+                j += 1;
+            }
+            if j >= nv.len() || nv[j] != x {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// Whether `N[u] ⊆ N[v]` (*edge-constrained* inclusion requires
+    /// additionally `(u, v) ∈ E`; see paper Definition 4).
+    pub fn closed_included_in_closed(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return true;
+        }
+        self.has_edge(u, v) && self.open_included_in_closed(u, v)
+    }
+
+    /// Estimated resident size of the CSR structure in bytes (used by the
+    /// Fig. 4 memory accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.adj.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+/// Size of the intersection of two strictly sorted slices.
+pub fn sorted_intersection_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Whether strictly sorted slice `a` is a subset of strictly sorted `b`.
+pub fn sorted_is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0-1, 0-2, 1-2, 1-3, 2-3
+        Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_edges_are_dropped() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.neighbors(4).is_empty());
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn has_edge_both_orientations() {
+        let g = diamond();
+        for (u, v) in [(0, 1), (1, 0), (2, 3), (3, 2)] {
+            assert!(g.has_edge(u, v), "missing ({u},{v})");
+        }
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 0));
+        assert!(!g.has_edge(0, 0), "self edge never present");
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = diamond();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn common_neighbors() {
+        let g = diamond();
+        assert_eq!(g.common_neighbor_count(1, 2), 2); // {0, 3}
+        assert_eq!(g.common_neighbor_count(0, 3), 2); // {1, 2}
+        assert_eq!(g.common_neighbor_count(0, 1), 1); // {2}
+    }
+
+    #[test]
+    fn open_in_closed_inclusion() {
+        let g = diamond();
+        // N(0) = {1,2} ⊆ N[1] = {0,1,2,3} ✓
+        assert!(g.open_included_in_closed(0, 1));
+        // N(0) = {1,2} ⊆ N[3] = {1,2,3} ✓ (0 and 3 are non-adjacent twins)
+        assert!(g.open_included_in_closed(0, 3));
+        // N(1) = {0,2,3} ⊆ N[0] = {0,1,2}? no.
+        assert!(!g.open_included_in_closed(1, 0));
+        // reflexive by convention
+        assert!(g.open_included_in_closed(2, 2));
+    }
+
+    #[test]
+    fn closed_in_closed_requires_edge() {
+        let g = diamond();
+        // N[0] = {0,1,2} ⊆ N[1] = {0,1,2,3} and (0,1) ∈ E.
+        assert!(g.closed_included_in_closed(0, 1));
+        // 0 and 3 are non-adjacent: edge-constrained inclusion fails.
+        assert!(!g.closed_included_in_closed(0, 3));
+    }
+
+    #[test]
+    fn isolated_vertex_inclusion_is_vacuous() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        // N(2) = ∅ ⊆ anything.
+        assert!(g.open_included_in_closed(2, 0));
+        assert!(g.open_included_in_closed(2, 1));
+        assert!(!g.closed_included_in_closed(2, 0), "no edge (2,0)");
+    }
+
+    #[test]
+    fn sorted_helpers() {
+        assert!(sorted_is_subset(&[], &[]));
+        assert!(sorted_is_subset(&[2], &[1, 2, 3]));
+        assert!(!sorted_is_subset(&[0, 2], &[1, 2, 3]));
+        assert!(!sorted_is_subset(&[1, 2, 3], &[1, 2]));
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 4, 5]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1]), 0);
+    }
+
+    #[test]
+    fn size_bytes_scales_with_graph() {
+        let g = diamond();
+        assert!(g.size_bytes() >= 5 * std::mem::size_of::<usize>() + 10 * 4);
+    }
+}

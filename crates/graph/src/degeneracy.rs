@@ -1,0 +1,163 @@
+//! Core decomposition and degeneracy ordering (Matula–Beck peeling).
+//!
+//! The maximum-clique substrate uses the degeneracy order both for its
+//! initial heuristic clique and to bound branching; core numbers give the
+//! classic `ω ≤ degeneracy + 1` upper bound.
+
+use crate::csr::{Graph, VertexId};
+
+/// Result of the `O(n + m)` core decomposition.
+#[derive(Clone, Debug)]
+pub struct CoreDecomposition {
+    /// `core[u]` is the core number of `u`.
+    pub core: Vec<u32>,
+    /// Vertices in degeneracy (peeling) order.
+    pub order: Vec<VertexId>,
+    /// Position of each vertex in `order` (inverse permutation).
+    pub position: Vec<u32>,
+    /// The graph degeneracy, `max_u core[u]`.
+    pub degeneracy: u32,
+}
+
+/// Computes the core decomposition by bucketed peeling.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::{Graph, degeneracy::core_decomposition};
+///
+/// // A triangle with a pendant vertex.
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let d = core_decomposition(&g);
+/// assert_eq!(d.degeneracy, 2);
+/// assert_eq!(d.core, vec![2, 2, 2, 1]);
+/// ```
+pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
+    let n = g.num_vertices();
+    let dmax = g.max_degree();
+    let mut deg: Vec<u32> = g.vertices().map(|u| g.degree(u) as u32).collect();
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; dmax + 2];
+    for &d in &deg {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0u32; n];
+    let mut vert = vec![0 as VertexId; n];
+    {
+        let mut cursor = bin.clone();
+        for u in g.vertices() {
+            let d = deg[u as usize] as usize;
+            pos[u as usize] = cursor[d] as u32;
+            vert[cursor[d]] = u;
+            cursor[d] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    let mut degeneracy = 0u32;
+    for i in 0..n {
+        let u = vert[i];
+        let du = deg[u as usize];
+        degeneracy = degeneracy.max(du);
+        core[u as usize] = degeneracy;
+        for &v in g.neighbors(u) {
+            if deg[v as usize] > du {
+                // Move v one bucket down: swap with the first vertex of
+                // its current bucket.
+                let dv = deg[v as usize] as usize;
+                let pv = pos[v as usize] as usize;
+                let pw = bin[dv];
+                let w = vert[pw];
+                if v != w {
+                    vert[pv] = w;
+                    vert[pw] = v;
+                    pos[v as usize] = pw as u32;
+                    pos[w as usize] = pv as u32;
+                }
+                bin[dv] += 1;
+                deg[v as usize] -= 1;
+            }
+        }
+    }
+
+    let mut position = vec![0u32; n];
+    for (i, &u) in vert.iter().enumerate() {
+        position[u as usize] = i as u32;
+    }
+    CoreDecomposition {
+        core,
+        order: vert,
+        position,
+        degeneracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::special::{clique, cycle, path, star};
+
+    #[test]
+    fn clique_cores() {
+        let d = core_decomposition(&clique(5));
+        assert_eq!(d.degeneracy, 4);
+        assert!(d.core.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn path_and_cycle_cores() {
+        assert_eq!(core_decomposition(&path(6)).degeneracy, 1);
+        let d = core_decomposition(&cycle(6));
+        assert_eq!(d.degeneracy, 2);
+        assert!(d.core.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn star_core() {
+        let d = core_decomposition(&star(10));
+        assert_eq!(d.degeneracy, 1);
+        assert!(d.core.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn order_is_permutation_with_inverse() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]);
+        let d = core_decomposition(&g);
+        let mut seen = [false; 6];
+        for (i, &u) in d.order.iter().enumerate() {
+            assert!(!seen[u as usize]);
+            seen[u as usize] = true;
+            assert_eq!(d.position[u as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn degeneracy_order_property() {
+        // Each vertex has ≤ degeneracy neighbors later in the order.
+        let g = crate::generators::erdos_renyi(200, 0.05, 5);
+        let d = core_decomposition(&g);
+        for u in g.vertices() {
+            let later = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| d.position[v as usize] > d.position[u as usize])
+                .count();
+            assert!(later as u32 <= d.degeneracy);
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let d = core_decomposition(&Graph::empty(3));
+        assert_eq!(d.degeneracy, 0);
+        assert_eq!(d.core, vec![0, 0, 0]);
+        assert_eq!(core_decomposition(&Graph::empty(0)).order.len(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Affiliation (team) network generator — the co-authorship /
+//! co-membership structure of collaboration graphs like DBLP.
+//!
+//! Vertices join the graph through *teams* (papers, groups): each team is
+//! a clique over its members, who are a mix of brand-new vertices and
+//! veterans re-picked preferentially by the number of teams they already
+//! joined. A vertex that belongs to a single team has its whole
+//! neighborhood inside that clique and is therefore neighborhood-
+//! dominated by any co-member with further contacts — the mechanism
+//! behind the modest skyline fractions of collaboration networks, and a
+//! natural source of the dense overlapping cliques the maximum-clique
+//! experiments need.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use crate::prng::SplitMix64;
+
+/// Samples an affiliation graph over exactly `n` vertices.
+///
+/// Teams of uniform size `team_min..=team_max` are created until every
+/// vertex has joined at least one team; each member slot is a new vertex
+/// with probability `p_new` (while unplaced vertices remain), otherwise
+/// a veteran chosen proportionally to its team count. Each *new* member
+/// additionally makes one cross-contact — a uniform existing neighbor of
+/// the team's most-senior veteran — with probability `cross_p`. The
+/// cross-contact keeps the newcomer inside the veteran's closed
+/// neighborhood (so it stays neighborhood-dominated, Definition 1) while
+/// making its contact list distinct from its teammates' (single-team
+/// members are otherwise exact twins, which lets `BaseSky`'s twin
+/// marking skip their scans and masks the cost the paper's Fig. 3
+/// measures).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `team_min < 2`, `team_min > team_max`,
+/// `p_new ∉ (0, 1]`, or `cross_p ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::affiliation_model;
+///
+/// let g = affiliation_model(5_000, 3, 7, 0.7, 9);
+/// assert_eq!(g.num_vertices(), 5_000);
+/// assert!(g.vertices().all(|u| g.degree(u) >= 1));
+/// ```
+pub fn affiliation_model(
+    n: usize,
+    team_min: usize,
+    team_max: usize,
+    p_new: f64,
+    seed: u64,
+) -> Graph {
+    affiliation_model_with_cross(n, team_min, team_max, p_new, 0.8, seed)
+}
+
+/// [`affiliation_model`] with an explicit cross-contact probability.
+pub fn affiliation_model_with_cross(
+    n: usize,
+    team_min: usize,
+    team_max: usize,
+    p_new: f64,
+    cross_p: f64,
+    seed: u64,
+) -> Graph {
+    assert!(n > 0, "need at least one vertex");
+    assert!(team_min >= 2, "teams need at least two members");
+    assert!(team_min <= team_max, "team_min must not exceed team_max");
+    assert!(p_new > 0.0 && p_new <= 1.0, "p_new out of (0,1]");
+    assert!((0.0..=1.0).contains(&cross_p), "cross_p out of [0,1]");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n);
+    // Veterans weighted by team count via a repeated-membership list;
+    // explicit adjacency for the cross-contact sampling.
+    let mut memberships: Vec<VertexId> = Vec::new();
+    let mut team_count: Vec<u32> = vec![0; n];
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut next_new: usize = 0;
+    let mut team: Vec<VertexId> = Vec::new();
+    let mut fresh: Vec<VertexId> = Vec::new();
+    while next_new < n || memberships.is_empty() {
+        let size = team_min + rng.next_index(team_max - team_min + 1);
+        team.clear();
+        fresh.clear();
+        for _ in 0..size {
+            let pick_new = next_new < n && (memberships.is_empty() || rng.next_bool(p_new));
+            let member = if pick_new {
+                next_new += 1;
+                fresh.push((next_new - 1) as VertexId);
+                (next_new - 1) as VertexId
+            } else {
+                // Super-linear veteran selection (best-of-five by team
+                // count): a minority of prolific veterans accumulates
+                // most memberships, as in real collaboration networks.
+                let mut vet = memberships[rng.next_index(memberships.len())];
+                for _ in 0..4 {
+                    let other = memberships[rng.next_index(memberships.len())];
+                    if team_count[other as usize] > team_count[vet as usize] {
+                        vet = other;
+                    }
+                }
+                vet
+            };
+            if !team.contains(&member) {
+                team.push(member);
+            }
+        }
+        let link = |adj: &mut Vec<Vec<VertexId>>, b: &mut GraphBuilder, x: VertexId, y: VertexId| {
+            if x != y && !adj[x as usize].contains(&y) {
+                adj[x as usize].push(y);
+                adj[y as usize].push(x);
+                b.add_edge(x, y);
+            }
+        };
+        for (i, &a) in team.iter().enumerate() {
+            for &c in &team[i + 1..] {
+                link(&mut adj, &mut b, a, c);
+            }
+        }
+        // Cross-contacts: each fresh member may link one neighbor of the
+        // team's senior veteran (stays inside N[veteran]).
+        let veteran = *team
+            .iter()
+            .max_by_key(|&&m| team_count[m as usize])
+            .expect("team non-empty");
+        for &f in &fresh {
+            if f != veteran && rng.next_bool(cross_p) && !adj[veteran as usize].is_empty() {
+                let i = rng.next_index(adj[veteran as usize].len());
+                let contact = adj[veteran as usize][i];
+                link(&mut adj, &mut b, f, contact);
+            }
+        }
+        for &m in &team {
+            team_count[m as usize] += 1;
+        }
+        memberships.extend_from_slice(&team);
+        if next_new >= n {
+            break;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::graph_stats;
+
+    #[test]
+    fn every_vertex_placed() {
+        let g = affiliation_model(3_000, 3, 7, 0.7, 1);
+        assert_eq!(g.num_vertices(), 3_000);
+        assert!(g.vertices().all(|u| g.degree(u) >= 1));
+    }
+
+    #[test]
+    fn contains_team_cliques() {
+        // Teams are cliques, so the graph has cliques of at least
+        // team_min vertices; triangle count must be substantial.
+        let g = affiliation_model(2_000, 4, 6, 0.7, 2);
+        let triangles: usize = g
+            .edges()
+            .map(|(u, v)| g.common_neighbor_count(u, v))
+            .sum();
+        assert!(triangles > g.num_edges(), "cliquey: {triangles} wedges");
+    }
+
+    #[test]
+    fn average_degree_scales_with_team_size() {
+        let small = graph_stats(&affiliation_model(4_000, 3, 5, 0.7, 3)).avg_degree;
+        let large = graph_stats(&affiliation_model(4_000, 6, 10, 0.7, 3)).avg_degree;
+        assert!(large > small + 2.0, "{small} vs {large}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            affiliation_model(800, 3, 6, 0.6, 4),
+            affiliation_model(800, 3, 6, 0.6, 4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two members")]
+    fn rejects_tiny_teams() {
+        affiliation_model(10, 1, 3, 0.5, 1);
+    }
+}

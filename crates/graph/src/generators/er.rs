@@ -1,0 +1,110 @@
+//! Erdős–Rényi `G(n, p)` generator.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use crate::prng::SplitMix64;
+
+/// Samples `G(n, p)` using geometric edge skipping, `O(n + m)` expected.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p ≤ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::erdos_renyi;
+///
+/// let g = erdos_renyi(100, 0.05, 1);
+/// assert_eq!(g.num_vertices(), 100);
+/// // E[m] = p · n(n−1)/2 ≈ 247; the draw stays in a broad band.
+/// assert!(g.num_edges() > 120 && g.num_edges() < 450);
+/// ```
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    let mut rng = SplitMix64::new(seed);
+    // Batagelj–Brandes skipping over the strictly-upper-triangular pairs.
+    let log1mp = (1.0 - p).ln();
+    let (mut u, mut v) = (0usize, 0usize);
+    loop {
+        let r = 1.0 - rng.next_f64(); // (0, 1]
+        let skip = (r.ln() / log1mp).floor() as usize + 1;
+        v += skip;
+        while v >= n {
+            u += 1;
+            if u >= n - 1 {
+                return b.build();
+            }
+            v = v - n + u + 1;
+        }
+        b.add_edge(u as VertexId, v as VertexId);
+    }
+}
+
+/// The paper's Fig. 6(a) parameterization: `p = Δp · ln(n) / n`.
+pub fn erdos_renyi_scaled(n: usize, delta_p: f64, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let p = (delta_p * (n as f64).ln() / n as f64).clamp(0.0, 1.0);
+    erdos_renyi(n, p, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_expectation() {
+        let n = 2_000;
+        let p = 0.01;
+        let g = erdos_renyi(n, p, 7);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < expected * 0.15,
+            "m={m} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn p_zero_and_one() {
+        assert_eq!(erdos_renyi(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(erdos_renyi(200, 0.05, 9), erdos_renyi(200, 0.05, 9));
+        assert_ne!(
+            erdos_renyi(200, 0.05, 9).num_edges(),
+            0,
+            "sanity: non-empty"
+        );
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(erdos_renyi(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(erdos_renyi(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn scaled_parameterization_density() {
+        let g = erdos_renyi_scaled(5_000, 1.0, 3);
+        // E[m] = ln(n)/n · n(n−1)/2 ≈ n·ln(n)/2 ≈ 21 293.
+        let expected = 5_000.0 * (5_000f64).ln() / 2.0;
+        let m = g.num_edges() as f64;
+        assert!((m - expected).abs() < expected * 0.15, "m={m}");
+    }
+}

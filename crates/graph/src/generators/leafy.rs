@@ -1,0 +1,180 @@
+//! Two-regime preferential attachment ("leafy" PA) with neighborhood-
+//! local leaf links.
+//!
+//! Real web/communication graphs (Notredame, WikiTalk, …) pair a huge
+//! population of low-degree vertices — whose few contacts all sit inside
+//! one hub's neighborhood — with a minority of high-degree connectors.
+//! The low-degree vertices are *edge-dominated* by their anchor hub
+//! (`N[leaf] ⊆ N[anchor]`), which is what makes the paper's skylines a
+//! small fraction of `V` and the 2-hop scans of `BaseSky` expensive
+//! (each dominated vertex re-walks its anchor's adjacency list).
+//!
+//! Each arriving vertex is a **leaf** with probability `p_leaf`: it
+//! draws one anchor by super-linear preferential attachment
+//! (best-of-eight degree sampling — the "power of choice" concentrates
+//! anchors on hubs, so leaves rarely receive anchor links themselves and
+//! stay dominated), plus on average `leaf_extra` further links to
+//! uniform members of the anchor's neighborhood (keeping
+//! `N(leaf) ⊆ N[anchor]`). Otherwise it is a **connector** with
+//! `m_rich` hub-seeking links.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use crate::prng::SplitMix64;
+
+/// Samples a leafy preferential-attachment graph.
+///
+/// Average degree ≈ `2·(p_leaf·(1 + leaf_extra) + (1 − p_leaf)·m_rich)`;
+/// the degree distribution is power-law with a large degree-1…4
+/// population.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `m_rich == 0`, `p_leaf ∉ [0, 1]`, or
+/// `leaf_extra < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::leafy_preferential;
+///
+/// let g = leafy_preferential(5_000, 0.95, 1.5, 5, 7);
+/// let low = g.vertices().filter(|&u| g.degree(u) <= 4).count();
+/// assert!(low * 2 > g.num_vertices(), "leaf-dominated population");
+/// ```
+pub fn leafy_preferential(
+    n: usize,
+    p_leaf: f64,
+    leaf_extra: f64,
+    m_rich: usize,
+    seed: u64,
+) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(m_rich >= 1, "connectors need at least one link");
+    assert!((0.0..=1.0).contains(&p_leaf), "p_leaf out of [0,1]");
+    assert!(leaf_extra >= 0.0, "leaf_extra must be non-negative");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n);
+    // Degree-proportional sampling via the repeated-endpoints list, plus
+    // explicit adjacency for neighborhood-local leaf links.
+    let mut endpoints: Vec<VertexId> = vec![0, 1];
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    adj[0].push(1);
+    adj[1].push(0);
+    b.add_edge(0, 1);
+    let link = |adj: &mut Vec<Vec<VertexId>>,
+                    endpoints: &mut Vec<VertexId>,
+                    b: &mut GraphBuilder,
+                    u: usize,
+                    v: VertexId| {
+        if u as VertexId == v || adj[u].contains(&v) {
+            return;
+        }
+        adj[u].push(v);
+        adj[v as usize].push(u as VertexId);
+        endpoints.push(u as VertexId);
+        endpoints.push(v);
+        b.add_edge(u as VertexId, v);
+    };
+    // Best-of-eight preferential pick.
+    let pick_hub = |adj: &Vec<Vec<VertexId>>, endpoints: &Vec<VertexId>, rng: &mut SplitMix64| {
+        let mut t = endpoints[rng.next_index(endpoints.len())];
+        for _ in 0..7 {
+            let other = endpoints[rng.next_index(endpoints.len())];
+            if adj[other as usize].len() > adj[t as usize].len() {
+                t = other;
+            }
+        }
+        t
+    };
+    for v in 2..n {
+        if rng.next_bool(p_leaf) {
+            let anchor = pick_hub(&adj, &endpoints, &mut rng);
+            link(&mut adj, &mut endpoints, &mut b, v, anchor);
+            // `extra` ~ floor + Bernoulli(frac) links into N(anchor).
+            let mut extra = leaf_extra.floor() as usize;
+            if rng.next_bool(leaf_extra.fract()) {
+                extra += 1;
+            }
+            for _ in 0..extra {
+                if adj[anchor as usize].is_empty() {
+                    break;
+                }
+                let i = rng.next_index(adj[anchor as usize].len());
+                let second = adj[anchor as usize][i];
+                link(&mut adj, &mut endpoints, &mut b, v, second);
+            }
+        } else {
+            // Connector: hub-seeking links interconnect the hub backbone
+            // rather than promote leaves out of their dominated spots.
+            for _ in 0..m_rich {
+                let t = pick_hub(&adj, &endpoints, &mut rng);
+                link(&mut adj, &mut endpoints, &mut b, v, t);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::graph_stats;
+
+    #[test]
+    fn average_degree_matches_formula() {
+        let (p, extra, m) = (0.95, 1.5, 8);
+        let g = leafy_preferential(20_000, p, extra, m, 3);
+        let want = 2.0 * (p * (1.0 + extra) + (1.0 - p) * m as f64);
+        let got = graph_stats(&g).avg_degree;
+        assert!(
+            (got - want).abs() < want * 0.2,
+            "avg degree {got} vs expected {want}"
+        );
+    }
+
+    #[test]
+    fn no_isolated_vertices_and_connected() {
+        let g = leafy_preferential(5_000, 0.9, 1.0, 10, 5);
+        assert!(g.vertices().all(|u| g.degree(u) >= 1));
+        let (_, k) = crate::traversal::connected_components(&g);
+        assert_eq!(k, 1, "preferential attachment builds one component");
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = leafy_preferential(10_000, 0.95, 1.0, 5, 9);
+        assert!(g.max_degree() > 200, "dmax {}", g.max_degree());
+    }
+
+    #[test]
+    fn leaf_links_stay_in_anchor_neighborhood() {
+        // With extra links drawn inside N(anchor), triangle density is
+        // high: many edges have common neighbors.
+        let wedge = |g: &Graph| -> usize {
+            g.edges().map(|(u, v)| g.common_neighbor_count(u, v)).sum()
+        };
+        let open = leafy_preferential(5_000, 0.95, 0.0, 5, 4);
+        let closed = leafy_preferential(5_000, 0.95, 1.5, 5, 4);
+        assert!(
+            wedge(&closed) > 2 * wedge(&open),
+            "neighborhood-local links should create triangles: {} vs {}",
+            wedge(&closed),
+            wedge(&open)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            leafy_preferential(1_000, 0.8, 0.5, 10, 11),
+            leafy_preferential(1_000, 0.8, 0.5, 10, 11)
+        );
+    }
+
+    #[test]
+    fn p_leaf_one_no_extra_is_a_tree() {
+        let g = leafy_preferential(500, 1.0, 0.0, 5, 2);
+        assert_eq!(g.num_edges(), 499);
+    }
+}

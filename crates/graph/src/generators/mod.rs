@@ -1,0 +1,27 @@
+//! Random and deterministic graph generators.
+//!
+//! These produce the workloads of the paper's evaluation:
+//!
+//! * [`erdos_renyi`] — the ER sweep of Fig. 6(a);
+//! * [`chung_lu_power_law`] / [`barabasi_albert`] — the power-law sweep of
+//!   Fig. 6(b) and the scaled stand-ins for the Table I datasets;
+//! * [`special`] — clique, complete binary tree, cycle, path of Fig. 2;
+//! * [`planted_partition`] — clustered contact networks for the Fig. 13
+//!   case-study substitution.
+//!
+//! All generators are deterministic in their seed (see [`crate::prng`]).
+
+mod affiliation;
+mod community;
+mod copying;
+mod er;
+mod leafy;
+mod powerlaw;
+pub mod special;
+
+pub use affiliation::{affiliation_model, affiliation_model_with_cross};
+pub use community::planted_partition;
+pub use copying::{copying_model, power_law_configuration};
+pub use er::{erdos_renyi, erdos_renyi_scaled};
+pub use leafy::leafy_preferential;
+pub use powerlaw::{barabasi_albert, chung_lu_power_law};

@@ -1,0 +1,202 @@
+//! Power-law graph generators: Chung–Lu and Barabási–Albert.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use crate::prng::SplitMix64;
+
+/// Samples a Chung–Lu random graph whose expected degree sequence follows a
+/// power law with exponent `beta` (`P(deg = d) ∝ d^{-β}`) and expected
+/// average degree `avg_degree`.
+///
+/// This is the generator behind the paper's Fig. 6(b) sweep
+/// (`β ∈ {2.6 … 3.4}`) and behind the scaled-down stand-ins for the Table I
+/// datasets. Uses the Miller–Hagberg `O(n + m)` skipping algorithm.
+///
+/// # Panics
+///
+/// Panics if `beta <= 1` or `avg_degree <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::chung_lu_power_law;
+///
+/// let g = chung_lu_power_law(5_000, 2.8, 6.0, 1);
+/// let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+/// assert!(avg > 3.0 && avg < 9.0);
+/// ```
+pub fn chung_lu_power_law(n: usize, beta: f64, avg_degree: f64, seed: u64) -> Graph {
+    assert!(beta > 1.0, "power-law exponent must exceed 1 (got {beta})");
+    assert!(avg_degree > 0.0, "average degree must be positive");
+    if n < 2 {
+        return GraphBuilder::new(n).build();
+    }
+    // Expected weights w_i ∝ (i + i0)^{-1/(β−1)} produce a degree
+    // distribution with exponent β; rescale so the mean weight equals the
+    // requested average degree.
+    let gamma = 1.0 / (beta - 1.0);
+    let i0 = 1.0;
+    let mut w: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-gamma)).collect();
+    let sum: f64 = w.iter().sum();
+    let scale = avg_degree * n as f64 / sum;
+    for x in &mut w {
+        *x *= scale;
+    }
+    // Cap weights so that max expected probability stays ≤ 1-ish; the
+    // Miller–Hagberg loop clamps per-pair anyway.
+    let total: f64 = w.iter().sum();
+    chung_lu_from_weights_sorted(&w, total, seed)
+}
+
+/// Miller–Hagberg fast Chung–Lu sampling. `w` must be sorted descending
+/// (our power-law weights already are).
+fn chung_lu_from_weights_sorted(w: &[f64], total: f64, seed: u64) -> Graph {
+    let n = w.len();
+    debug_assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        let mut j = i + 1;
+        let mut p = (w[i] * w[j] / total).min(1.0);
+        if p <= 0.0 {
+            continue;
+        }
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                let r = 1.0 - rng.next_f64();
+                let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
+                j += skip;
+            }
+            if j < n {
+                let q = (w[i] * w[j] / total).min(1.0);
+                if rng.next_f64() < q / p {
+                    b.add_edge(i as VertexId, j as VertexId);
+                }
+                p = q;
+                j += 1;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m_edges + 1` vertices, then each new vertex attaches to `m_edges`
+/// existing vertices chosen proportionally to degree.
+///
+/// Produces exponent ≈ 3 power-law graphs; used as an alternative stand-in
+/// generator and in ablations.
+///
+/// # Panics
+///
+/// Panics if `m_edges == 0` or `n <= m_edges`.
+pub fn barabasi_albert(n: usize, m_edges: usize, seed: u64) -> Graph {
+    assert!(m_edges >= 1, "m_edges must be ≥ 1");
+    assert!(n > m_edges, "need n > m_edges (got n={n}, m={m_edges})");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m_edges);
+    // Repeated-endpoint list: each endpoint appearance weights a vertex by
+    // its degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m_edges);
+    let core = m_edges + 1;
+    for u in 0..core as VertexId {
+        for v in (u + 1)..core as VertexId {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets = Vec::with_capacity(m_edges);
+    for u in core..n {
+        targets.clear();
+        // Rejection-sample m distinct targets by degree.
+        while targets.len() < m_edges {
+            let t = endpoints[rng.next_index(endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(u as VertexId, t);
+            endpoints.push(u as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_histogram;
+
+    #[test]
+    fn chung_lu_average_degree_close() {
+        let g = chung_lu_power_law(10_000, 2.8, 8.0, 42);
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((4.0..=10.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn chung_lu_is_heavy_tailed() {
+        let g = chung_lu_power_law(20_000, 2.6, 6.0, 7);
+        let dmax = g.max_degree();
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            dmax as f64 > 10.0 * avg,
+            "power-law graph should have hubs: dmax={dmax} avg={avg}"
+        );
+        // Most vertices have below-average degree (heavy-tail skew).
+        let hist = degree_histogram(&g);
+        let low: usize = hist.iter().take(avg.ceil() as usize + 1).sum();
+        assert!(low * 2 > g.num_vertices(), "majority below-average degree");
+    }
+
+    #[test]
+    fn chung_lu_deterministic() {
+        assert_eq!(
+            chung_lu_power_law(2_000, 3.0, 5.0, 11),
+            chung_lu_power_law(2_000, 3.0, 5.0, 11)
+        );
+    }
+
+    #[test]
+    fn chung_lu_tiny() {
+        assert_eq!(chung_lu_power_law(0, 2.5, 4.0, 1).num_vertices(), 0);
+        assert_eq!(chung_lu_power_law(1, 2.5, 4.0, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn higher_beta_means_lighter_tail() {
+        let lo = chung_lu_power_law(20_000, 2.6, 6.0, 5);
+        let hi = chung_lu_power_law(20_000, 3.4, 6.0, 5);
+        assert!(
+            lo.max_degree() > hi.max_degree(),
+            "β=2.6 dmax {} should exceed β=3.4 dmax {}",
+            lo.max_degree(),
+            hi.max_degree()
+        );
+    }
+
+    #[test]
+    fn ba_basic_shape() {
+        let g = barabasi_albert(3_000, 3, 9);
+        assert_eq!(g.num_vertices(), 3_000);
+        // m ≈ (core clique) + (n − core)·m_edges, minus occasional dups.
+        let expect = 6 + (3_000 - 4) * 3;
+        assert!(g.num_edges() <= expect);
+        assert!(g.num_edges() > expect - 100);
+        assert!(g.max_degree() > 30, "hubs emerge");
+    }
+
+    #[test]
+    fn ba_deterministic() {
+        assert_eq!(barabasi_albert(500, 2, 3), barabasi_albert(500, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m_edges")]
+    fn ba_rejects_small_n() {
+        barabasi_albert(3, 3, 1);
+    }
+}

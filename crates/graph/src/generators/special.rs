@@ -1,0 +1,172 @@
+//! The deterministic graph families of the paper's Fig. 2, plus a few more
+//! used in tests and ablations.
+//!
+//! Fig. 2 reports the exact skyline/candidate sizes for these families:
+//!
+//! | family | `\|R\|` | `\|C\|` |
+//! |---|---|---|
+//! | clique `K_n` | 1 | 1 |
+//! | complete binary tree | non-leaves | non-leaves |
+//! | cycle `C_n` (n ≥ 5) | n | n |
+//! | path `P_n` (n ≥ 4) | n − 2 | n − 2 |
+//!
+//! These are asserted by unit and integration tests.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+
+/// Complete graph `K_n`.
+pub fn clique(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Path `P_n`: `0 − 1 − … − (n−1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n as VertexId {
+        b.add_edge(u - 1, u);
+    }
+    b.build()
+}
+
+/// Cycle `C_n`.
+///
+/// # Panics
+///
+/// Panics for `n < 3` (a cycle needs three vertices).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n ≥ 3, got {n}");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        b.add_edge(u, ((u as usize + 1) % n) as VertexId);
+    }
+    b.build()
+}
+
+/// Star `S_n`: vertex 0 adjacent to all others.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n as VertexId {
+        b.add_edge(0, u);
+    }
+    b.build()
+}
+
+/// Complete binary tree with `levels` levels (`2^levels − 1` vertices);
+/// vertex `u`'s children are `2u + 1` and `2u + 2`.
+///
+/// # Panics
+///
+/// Panics for `levels == 0`.
+pub fn complete_binary_tree(levels: u32) -> Graph {
+    assert!(levels >= 1, "tree needs at least one level");
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for c in [2 * u + 1, 2 * u + 2] {
+            if c < n {
+                b.add_edge(u as VertexId, c as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    let at = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Number of internal (non-leaf) vertices of [`complete_binary_tree`] —
+/// the exact skyline size Fig. 2(b) reports.
+pub fn binary_tree_internal_count(levels: u32) -> usize {
+    if levels <= 1 {
+        0
+    } else {
+        (1usize << (levels - 1)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|u| g.degree(u) == 5));
+        assert_eq!(clique(0).num_vertices(), 0);
+        assert_eq!(clique(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.vertices().all(|u| g.degree(u) == 2));
+        assert!(g.has_edge(4, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 3")]
+    fn cycle_too_small() {
+        cycle(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|u| g.degree(u) == 1));
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = complete_binary_tree(3);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+        assert_eq!(binary_tree_internal_count(3), 3);
+        assert_eq!(binary_tree_internal_count(1), 0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+    }
+}

@@ -1,0 +1,168 @@
+//! Graph surgery: induced subgraphs and the sampling operators used by the
+//! paper's scalability experiments (Fig. 10–12, Table II), which vary the
+//! vertex count `n` and the edge density `ρ` of a base graph.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use crate::prng::SplitMix64;
+
+/// The subgraph induced by `keep` (need not be sorted; duplicates ignored),
+/// with vertices relabeled to `0..keep.len()` in the order of first
+/// occurrence after sorting.
+///
+/// Returns the subgraph and the mapping `new_id -> old_id`.
+pub fn induced_subgraph(g: &Graph, keep: &[VertexId]) -> (Graph, Vec<VertexId>) {
+    let mut sorted: Vec<VertexId> = keep.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut old_to_new = vec![u32::MAX; g.num_vertices()];
+    for (new, &old) in sorted.iter().enumerate() {
+        old_to_new[old as usize] = new as u32;
+    }
+    let mut b = GraphBuilder::new(sorted.len());
+    for &old_u in &sorted {
+        let new_u = old_to_new[old_u as usize];
+        for &old_v in g.neighbors(old_u) {
+            let new_v = old_to_new[old_v as usize];
+            if new_v != u32::MAX && new_u < new_v {
+                b.add_edge(new_u, new_v);
+            }
+        }
+    }
+    (b.build(), sorted)
+}
+
+/// Keeps a uniform `fraction` of the vertices (the paper's "vary `n`"
+/// scalability axis) and returns the induced subgraph plus the mapping.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ fraction ≤ 1`.
+pub fn sample_vertices(g: &Graph, fraction: f64, seed: u64) -> (Graph, Vec<VertexId>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of [0,1]");
+    let n = g.num_vertices();
+    let k = ((n as f64) * fraction).round() as usize;
+    let mut rng = SplitMix64::new(seed);
+    let keep: Vec<VertexId> = rng
+        .sample_distinct(n, k.min(n))
+        .into_iter()
+        .map(|u| u as VertexId)
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+/// Keeps a uniform `fraction` of the edges over the same vertex set (the
+/// paper's "vary `ρ`" density axis).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ fraction ≤ 1`.
+pub fn sample_edges(g: &Graph, fraction: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of [0,1]");
+    let m = g.num_edges();
+    let k = ((m as f64) * fraction).round() as usize;
+    let mut rng = SplitMix64::new(seed);
+    let chosen = rng.sample_distinct(m, k.min(m));
+    let mut b = GraphBuilder::with_capacity(g.num_vertices(), k);
+    let mut want = chosen.iter().copied().peekable();
+    for (idx, (u, v)) in g.edges().enumerate() {
+        match want.peek() {
+            Some(&w) if w == idx => {
+                b.add_edge(u, v);
+                want.next();
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    b.build()
+}
+
+/// Relabels vertices by the permutation `perm` (`perm[old] = new`).
+///
+/// Useful for testing label-independence of algorithms that do *not*
+/// tie-break on IDs, and for producing adversarial ID orders for those
+/// that do.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..n`.
+pub fn relabel(g: &Graph, perm: &[VertexId]) -> Graph {
+    assert_eq!(perm.len(), g.num_vertices(), "permutation length mismatch");
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        assert!(
+            (p as usize) < perm.len() && !seen[p as usize],
+            "not a permutation"
+        );
+        seen[p as usize] = true;
+    }
+    let mut b = GraphBuilder::with_capacity(g.num_vertices(), g.num_edges());
+    for (u, v) in g.edges() {
+        b.add_edge(perm[u as usize], perm[v as usize]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+    use crate::generators::special::cycle;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (s, map) = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(map, vec![0, 1, 2]);
+        assert_eq!(s.num_edges(), 2); // 0-1, 1-2 survive; 4-0, 2-3 cut
+        let (s2, map2) = induced_subgraph(&g, &[4, 0, 4]);
+        assert_eq!(map2, vec![0, 4]);
+        assert_eq!(s2.num_edges(), 1);
+        assert!(s2.has_edge(0, 1)); // relabeled 0-4 edge
+    }
+
+    #[test]
+    fn sample_vertices_fraction() {
+        let g = erdos_renyi(500, 0.05, 1);
+        let (s, map) = sample_vertices(&g, 0.4, 2);
+        assert_eq!(s.num_vertices(), 200);
+        assert_eq!(map.len(), 200);
+        let (all, _) = sample_vertices(&g, 1.0, 2);
+        assert_eq!(all, g);
+        let (none, _) = sample_vertices(&g, 0.0, 2);
+        assert_eq!(none.num_vertices(), 0);
+    }
+
+    #[test]
+    fn sample_edges_fraction() {
+        let g = erdos_renyi(300, 0.1, 3);
+        let m = g.num_edges();
+        let s = sample_edges(&g, 0.5, 4);
+        assert_eq!(s.num_vertices(), 300);
+        assert_eq!(s.num_edges(), (m as f64 * 0.5).round() as usize);
+        // Every sampled edge exists in the original.
+        for (u, v) in s.edges() {
+            assert!(g.has_edge(u, v));
+        }
+        assert_eq!(sample_edges(&g, 1.0, 4), g);
+        assert_eq!(sample_edges(&g, 0.0, 4).num_edges(), 0);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = cycle(5);
+        let perm: Vec<VertexId> = vec![4, 3, 2, 1, 0];
+        let h = relabel(&g, &perm);
+        assert_eq!(h.num_edges(), 5);
+        assert!(h.vertices().all(|u| h.degree(u) == 2));
+        assert!(h.has_edge(4, 3)); // old edge (0,1)
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_non_permutation() {
+        let g = cycle(3);
+        relabel(&g, &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Degree statistics — the Table I columns and generator diagnostics.
+
+use crate::csr::Graph;
+
+/// Summary statistics of a graph (the paper's Table I row shape).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count `n`.
+    pub n: usize,
+    /// Edge count `m`.
+    pub m: usize,
+    /// Maximum degree `dmax`.
+    pub dmax: usize,
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub avg_degree: f64,
+}
+
+/// Computes [`GraphStats`].
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    GraphStats {
+        n,
+        m,
+        dmax: g.max_degree(),
+        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+    }
+}
+
+/// Histogram `h[d] = #vertices of degree d`, length `dmax + 1`
+/// (empty for the 0-vertex graph).
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    if g.num_vertices() == 0 {
+        return Vec::new();
+    }
+    let mut h = vec![0usize; g.max_degree() + 1];
+    for u in g.vertices() {
+        h[g.degree(u)] += 1;
+    }
+    h
+}
+
+/// Least-squares slope of `log(count)` vs `log(degree)` over degrees with
+/// nonzero counts — a crude power-law exponent estimate used to sanity
+/// check the Chung–Lu stand-ins (returns `None` if fewer than 3 support
+/// points).
+pub fn power_law_slope_estimate(g: &Graph) -> Option<f64> {
+    let h = degree_histogram(g);
+    let pts: Vec<(f64, f64)> = h
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|&(_, &c)| c > 0)
+        .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::chung_lu_power_law;
+    use crate::generators::special::{clique, star};
+
+    #[test]
+    fn stats_basic() {
+        let s = graph_stats(&clique(5));
+        assert_eq!(
+            s,
+            GraphStats {
+                n: 5,
+                m: 10,
+                dmax: 4,
+                avg_degree: 4.0
+            }
+        );
+        let e = graph_stats(&Graph::empty(0));
+        assert_eq!(e.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn histogram_star() {
+        let h = degree_histogram(&star(6));
+        assert_eq!(h, vec![0, 5, 0, 0, 0, 1]);
+        assert!(degree_histogram(&Graph::empty(0)).is_empty());
+    }
+
+    #[test]
+    fn power_law_slope_is_negative_for_chung_lu() {
+        let g = chung_lu_power_law(20_000, 2.8, 6.0, 1);
+        let slope = power_law_slope_estimate(&g).expect("enough support");
+        assert!(
+            slope < -1.0,
+            "power-law degree histogram should fall steeply, slope={slope}"
+        );
+    }
+
+    #[test]
+    fn slope_none_for_degenerate() {
+        assert!(power_law_slope_estimate(&clique(4)).is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! Breadth-first traversals and connectivity.
+//!
+//! The group-centrality application (paper Sec. IV-A/B) performs one BFS
+//! per marginal-gain evaluation, so [`Bfs`] keeps its queue and distance
+//! array allocated across runs ("workhorse collection" pattern).
+
+use crate::csr::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Reusable BFS scratch space over a fixed vertex count.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::{Graph, traversal::{Bfs, UNREACHABLE}};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+/// let mut bfs = Bfs::new(g.num_vertices());
+/// bfs.run(&g, 0);
+/// assert_eq!(bfs.distance(2), 2);
+/// assert_eq!(bfs.distance(4), UNREACHABLE);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bfs {
+    dist: Vec<u32>,
+    queue: VecDeque<VertexId>,
+    /// Vertices touched by the last run (for sparse clearing).
+    touched: Vec<VertexId>,
+}
+
+impl Bfs {
+    /// Scratch space for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Bfs {
+            dist: vec![UNREACHABLE; n],
+            queue: VecDeque::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for &u in &self.touched {
+            self.dist[u as usize] = UNREACHABLE;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Single-source BFS from `src`.
+    pub fn run(&mut self, g: &Graph, src: VertexId) {
+        self.run_multi(g, std::iter::once(src));
+    }
+
+    /// Multi-source BFS: every source starts at distance 0. Used to compute
+    /// `d(v, S)` for group-centrality evaluation.
+    pub fn run_multi<I: IntoIterator<Item = VertexId>>(&mut self, g: &Graph, sources: I) {
+        self.clear();
+        for s in sources {
+            if self.dist[s as usize] != 0 {
+                self.dist[s as usize] = 0;
+                self.touched.push(s);
+                self.queue.push_back(s);
+            }
+        }
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u as usize];
+            for &v in g.neighbors(u) {
+                if self.dist[v as usize] == UNREACHABLE {
+                    self.dist[v as usize] = du + 1;
+                    self.touched.push(v);
+                    self.queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    /// Distance from the source set of the last run; [`UNREACHABLE`] if
+    /// unreached.
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> u32 {
+        self.dist[v as usize]
+    }
+
+    /// The full distance array of the last run.
+    #[inline]
+    pub fn distances(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Number of vertices reached by the last run (including sources).
+    pub fn reached(&self) -> usize {
+        self.touched.len()
+    }
+}
+
+/// Single-shot convenience wrapper around [`Bfs::run`].
+pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
+    let mut b = Bfs::new(g.num_vertices());
+    b.run(g, src);
+    b.dist
+}
+
+/// Connected components; returns `(component_id_per_vertex, count)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    let mut next = 0u32;
+    for s in g.vertices() {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// The vertex set of the largest connected component, sorted ascending.
+pub fn largest_component(g: &Graph) -> Vec<VertexId> {
+    let (comp, k) = connected_components(g);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = (0..k).max_by_key(|&c| sizes[c]).unwrap() as u32;
+    comp.iter()
+        .enumerate()
+        .filter(|(_, &c)| c == best)
+        .map(|(u, _)| u as VertexId)
+        .collect()
+}
+
+/// Eccentricity-bounded check: whether every vertex is within `radius`
+/// hops of `src` (used by tests).
+pub fn within_radius(g: &Graph, src: VertexId, radius: u32) -> bool {
+    bfs_distances(g, src)
+        .iter()
+        .all(|&d| d != UNREACHABLE && d <= radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::special::{cycle, path};
+
+    #[test]
+    fn path_distances() {
+        let g = path(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cycle_distances_wrap() {
+        let g = cycle(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let g = path(7);
+        let mut b = Bfs::new(7);
+        b.run_multi(&g, [0, 6]);
+        assert_eq!(b.distances(), &[0, 1, 2, 3, 2, 1, 0]);
+        assert_eq!(b.reached(), 7);
+    }
+
+    #[test]
+    fn scratch_reuse_resets_state() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let mut b = Bfs::new(4);
+        b.run(&g, 0);
+        assert_eq!(b.distance(1), 1);
+        assert_eq!(b.distance(3), UNREACHABLE);
+        b.run(&g, 2);
+        assert_eq!(b.distance(3), 1);
+        assert_eq!(b.distance(0), UNREACHABLE);
+    }
+
+    #[test]
+    fn duplicate_sources_are_fine() {
+        let g = path(3);
+        let mut b = Bfs::new(3);
+        b.run_multi(&g, [1, 1, 1]);
+        assert_eq!(b.distances(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn components() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+        let lcc = largest_component(&g);
+        assert_eq!(lcc, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = Graph::empty(0);
+        let (comp, k) = connected_components(&g);
+        assert!(comp.is_empty());
+        assert_eq!(k, 0);
+        assert!(largest_component(&g).is_empty());
+    }
+
+    #[test]
+    fn within_radius_checks() {
+        let g = cycle(8);
+        assert!(within_radius(&g, 0, 4));
+        assert!(!within_radius(&g, 0, 3));
+    }
+}

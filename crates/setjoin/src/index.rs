@@ -1,0 +1,225 @@
+//! Inverted index over set records and the list-crosscutting containment
+//! join.
+
+/// Inverted index over a collection of sets of `u32` elements.
+///
+/// `postings(e)` lists (ascending) the ids of all records containing `e`.
+/// Containment probes intersect the postings of the query's elements,
+/// starting from the rarest — the "list crosscutting" strategy of LC-Join.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_setjoin::InvertedIndex;
+///
+/// let records = vec![vec![1, 2, 3], vec![2, 3], vec![3, 4]];
+/// let idx = InvertedIndex::build(&records, 5);
+/// assert_eq!(idx.supersets_of(&[2, 3]), vec![0, 1]);
+/// assert_eq!(idx.supersets_of(&[3]), vec![0, 1, 2]);
+/// assert!(idx.supersets_of(&[1, 4]).is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct InvertedIndex {
+    /// Concatenated postings; `offsets[e]..offsets[e+1]` slices it.
+    postings: Vec<u32>,
+    offsets: Vec<usize>,
+    records: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index from `records`, whose elements must be drawn from
+    /// `0..universe`. Record elements need not be sorted; duplicates
+    /// within a record are tolerated (postings are deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is `>= universe`.
+    pub fn build(records: &[Vec<u32>], universe: usize) -> Self {
+        let mut counts = vec![0usize; universe + 1];
+        for rec in records {
+            for &e in rec {
+                assert!((e as usize) < universe, "element {e} out of universe");
+                counts[e as usize + 1] += 1;
+            }
+        }
+        let mut offsets = counts;
+        for i in 0..universe {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut postings = vec![0u32; offsets[universe]];
+        let mut cursor = offsets.clone();
+        for (rid, rec) in records.iter().enumerate() {
+            for &e in rec {
+                postings[cursor[e as usize]] = rid as u32;
+                cursor[e as usize] += 1;
+            }
+        }
+        // Record ids within one postings list arrive in ascending order
+        // already (records scanned in order), but duplicates may occur if
+        // a record repeats an element; dedup in place per list.
+        let mut deduped = Vec::with_capacity(postings.len());
+        let mut new_offsets = vec![0usize; universe + 1];
+        for e in 0..universe {
+            let start = deduped.len();
+            let mut last = u32::MAX;
+            for &rid in &postings[offsets[e]..offsets[e + 1]] {
+                if rid != last {
+                    deduped.push(rid);
+                    last = rid;
+                }
+            }
+            new_offsets[e] = start;
+        }
+        new_offsets[universe] = deduped.len();
+        InvertedIndex {
+            postings: deduped,
+            offsets: new_offsets,
+            records: records.len(),
+        }
+    }
+
+    /// The postings list of element `e`.
+    #[inline]
+    pub fn postings(&self, e: u32) -> &[u32] {
+        &self.postings[self.offsets[e as usize]..self.offsets[e as usize + 1]]
+    }
+
+    /// Number of indexed records.
+    pub fn num_records(&self) -> usize {
+        self.records
+    }
+
+    /// Ids of all records that are supersets of `query`, ascending.
+    ///
+    /// An empty query matches every record (vacuous containment); callers
+    /// that want different semantics must special-case it.
+    pub fn supersets_of(&self, query: &[u32]) -> Vec<u32> {
+        if query.is_empty() {
+            return (0..self.records as u32).collect();
+        }
+        // Rarest-first: order the query's postings lists by length.
+        let mut lists: Vec<&[u32]> = query.iter().map(|&e| self.postings(e)).collect();
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<u32> = lists[0].to_vec();
+        for list in &lists[1..] {
+            if result.is_empty() {
+                break;
+            }
+            result = crosscut(&result, list);
+        }
+        result
+    }
+
+    /// Resident bytes of the index (postings + offsets) — the Fig. 4
+    /// memory term of the LC-Join baseline.
+    pub fn size_bytes(&self) -> usize {
+        self.postings.len() * 4 + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Intersects a small sorted list with a (possibly much longer) sorted
+/// postings list by progressive binary search — `O(|small| · log |big|)`,
+/// the asymmetric-intersection core of list crosscutting.
+fn crosscut(small: &[u32], big: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(small.len());
+    let mut lo = 0usize;
+    for &x in small {
+        if lo >= big.len() {
+            break;
+        }
+        match big[lo..].binary_search(&x) {
+            Ok(i) => {
+                out.push(x);
+                lo += i + 1;
+            }
+            Err(i) => lo += i,
+        }
+    }
+    out
+}
+
+/// Full containment join: for every query in `queries`, the ids of the
+/// records containing it. Convenience wrapper used by tests and benches.
+pub fn containment_join(
+    records: &[Vec<u32>],
+    queries: &[Vec<u32>],
+    universe: usize,
+) -> Vec<Vec<u32>> {
+    let idx = InvertedIndex::build(records, universe);
+    queries.iter().map(|q| idx.supersets_of(q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_supersets(records: &[Vec<u32>], q: &[u32]) -> Vec<u32> {
+        records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| q.iter().all(|e| r.contains(e)))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_on_random_sets() {
+        let mut rng = nsky_graph::prng::SplitMix64::new(1);
+        let universe = 50;
+        let records: Vec<Vec<u32>> = (0..60)
+            .map(|_| {
+                let len = rng.next_index(8) + 1;
+                let mut r: Vec<u32> = (0..len)
+                    .map(|_| rng.next_below(universe as u64) as u32)
+                    .collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let idx = InvertedIndex::build(&records, universe);
+        for q in &records {
+            assert_eq!(idx.supersets_of(q), naive_supersets(&records, q));
+        }
+        // Queries that are not records themselves.
+        for probe in [vec![0, 1], vec![49], vec![10, 20, 30]] {
+            assert_eq!(idx.supersets_of(&probe), naive_supersets(&records, &probe));
+        }
+    }
+
+    #[test]
+    fn empty_query_matches_all() {
+        let records = vec![vec![1], vec![2]];
+        let idx = InvertedIndex::build(&records, 3);
+        assert_eq!(idx.supersets_of(&[]), vec![0, 1]);
+        assert_eq!(idx.num_records(), 2);
+    }
+
+    #[test]
+    fn duplicate_elements_in_record() {
+        let records = vec![vec![1, 1, 2]];
+        let idx = InvertedIndex::build(&records, 3);
+        assert_eq!(idx.postings(1), &[0]);
+        assert_eq!(idx.supersets_of(&[1, 2]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_universe_panics() {
+        InvertedIndex::build(&[vec![3]], 3);
+    }
+
+    #[test]
+    fn join_wrapper() {
+        let records = vec![vec![1, 2], vec![2, 3]];
+        let queries = vec![vec![2], vec![1, 3]];
+        let out = containment_join(&records, &queries, 4);
+        assert_eq!(out, vec![vec![0, 1], vec![]]);
+    }
+
+    #[test]
+    fn size_accounting_nonzero() {
+        let idx = InvertedIndex::build(&[vec![0, 1], vec![1, 2]], 3);
+        assert!(idx.size_bytes() >= 4 * 4);
+    }
+}

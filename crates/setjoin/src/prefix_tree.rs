@@ -1,0 +1,231 @@
+//! Prefix tree (trie) over the query set — the Q-side structure of
+//! LC-Join-class set-containment joins.
+//!
+//! Joins like TT-Join and LC-Join organize the *query* sets in a prefix
+//! tree sorted by global element frequency: queries sharing a rare
+//! prefix are probed together, so the postings intersections for a whole
+//! subtree are paid once. The paper's memory argument against using such
+//! joins for skyline search (Sec. I, Sec. II "Challenges") is precisely
+//! that `|Q| ≈ |S|` here, so this tree is as large as the data index —
+//! [`PrefixTree::size_bytes`] feeds the Fig. 4 accounting.
+
+use crate::index::InvertedIndex;
+
+/// A node of the query prefix tree.
+#[derive(Clone, Debug)]
+struct Node {
+    /// Element labeling the edge from the parent (meaningless for the
+    /// root).
+    element: u32,
+    /// Ids of queries ending exactly at this node.
+    queries: Vec<u32>,
+    /// Children, ordered by first-use.
+    children: Vec<usize>,
+}
+
+/// Prefix tree over a batch of queries, elements ordered rarest-first
+/// by a frequency oracle (typically postings lengths of the data index).
+///
+/// # Examples
+///
+/// ```
+/// use nsky_setjoin::{InvertedIndex, PrefixTree};
+///
+/// let records = vec![vec![0, 1, 2], vec![1, 2], vec![2]];
+/// let idx = InvertedIndex::build(&records, 3);
+/// let queries = vec![vec![1, 2], vec![2], vec![0, 2]];
+/// let tree = PrefixTree::build(&queries, &idx);
+/// let matches = tree.containment_join(&idx);
+/// assert_eq!(matches[0], vec![0, 1]); // records ⊇ {1,2}
+/// assert_eq!(matches[1], vec![0, 1, 2]); // records ⊇ {2}
+/// assert_eq!(matches[2], vec![0]); // records ⊇ {0,2}
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefixTree {
+    nodes: Vec<Node>,
+    num_queries: usize,
+}
+
+impl PrefixTree {
+    /// Builds the tree for `queries`, ordering each query's elements by
+    /// ascending frequency in `index` (rarest first), so that selective
+    /// elements sit near the root and subtree probes short-circuit early.
+    pub fn build(queries: &[Vec<u32>], index: &InvertedIndex) -> Self {
+        let mut tree = PrefixTree {
+            nodes: vec![Node {
+                element: u32::MAX,
+                queries: Vec::new(),
+                children: Vec::new(),
+            }],
+            num_queries: queries.len(),
+        };
+        for (qid, q) in queries.iter().enumerate() {
+            let mut sorted: Vec<u32> = q.clone();
+            sorted.sort_by_key(|&e| (index.postings(e).len(), e));
+            sorted.dedup();
+            let mut at = 0usize;
+            for &e in &sorted {
+                at = tree.child(at, e);
+            }
+            tree.nodes[at].queries.push(qid as u32);
+        }
+        tree
+    }
+
+    fn child(&mut self, parent: usize, element: u32) -> usize {
+        if let Some(&c) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].element == element)
+        {
+            return c;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            element,
+            queries: Vec::new(),
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Number of trie nodes (including the root).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Resident bytes of the tree — the Q-side term of the paper's
+    /// LC-Join memory comparison.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Node>()
+                    + n.queries.len() * 4
+                    + n.children.len() * std::mem::size_of::<usize>()
+            })
+            .sum()
+    }
+
+    /// Joins every query against `index` by walking the tree once:
+    /// each edge intersects the parent's candidate list with one
+    /// postings list, and the result is shared by the whole subtree.
+    /// Iterative (hub queries create paths tens of thousands deep).
+    ///
+    /// Returns, per query id, the ascending record ids containing it.
+    pub fn containment_join(&self, index: &InvertedIndex) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); self.num_queries];
+        let all: Vec<u32> = (0..index.num_records() as u32).collect();
+        // Explicit DFS stack of (node, candidate list at that node).
+        let mut stack: Vec<(usize, std::rc::Rc<Vec<u32>>)> =
+            vec![(0, std::rc::Rc::new(all))];
+        while let Some((node, cand)) = stack.pop() {
+            let n = &self.nodes[node];
+            for &q in &n.queries {
+                out[q as usize] = cand.as_ref().clone();
+            }
+            for &c in &n.children {
+                let postings = index.postings(self.nodes[c].element);
+                // The root's candidate list is the full record set:
+                // a child of the root *is* its postings list, no
+                // intersection needed.
+                let next = if node == 0 {
+                    postings.to_vec()
+                } else {
+                    intersect(&cand, postings)
+                };
+                stack.push((c, std::rc::Rc::new(next)));
+            }
+        }
+        out
+    }
+}
+
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    let mut lo = 0usize;
+    for &x in small {
+        if lo >= big.len() {
+            break;
+        }
+        match big[lo..].binary_search(&x) {
+            Ok(i) => {
+                out.push(x);
+                lo += i + 1;
+            }
+            Err(i) => lo += i,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(records: &[Vec<u32>], q: &[u32]) -> Vec<u32> {
+        records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| q.iter().all(|e| r.contains(e)))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_join() {
+        let mut rng = nsky_graph::prng::SplitMix64::new(3);
+        let universe = 30usize;
+        let records: Vec<Vec<u32>> = (0..50)
+            .map(|_| {
+                let len = rng.next_index(6) + 1;
+                let mut r: Vec<u32> = (0..len)
+                    .map(|_| rng.next_below(universe as u64) as u32)
+                    .collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let queries: Vec<Vec<u32>> = records.iter().take(30).cloned().collect();
+        let idx = InvertedIndex::build(&records, universe);
+        let tree = PrefixTree::build(&queries, &idx);
+        let joined = tree.containment_join(&idx);
+        for (qid, q) in queries.iter().enumerate() {
+            assert_eq!(joined[qid], naive(&records, q), "query {qid}");
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let records = vec![vec![0u32, 1, 2, 3]];
+        let idx = InvertedIndex::build(&records, 4);
+        // All queries share the same (frequency-ordered) prefix {0, 1}.
+        let queries = vec![vec![0u32, 1], vec![0, 1, 2], vec![0, 1, 3]];
+        let tree = PrefixTree::build(&queries, &idx);
+        // root + {0} + {0,1} + two leaves = 5 nodes, not 8.
+        assert_eq!(tree.num_nodes(), 5);
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let records = vec![vec![0u32], vec![1]];
+        let idx = InvertedIndex::build(&records, 2);
+        let tree = PrefixTree::build(&[vec![]], &idx);
+        assert_eq!(tree.containment_join(&idx)[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn size_accounting_grows_with_queries() {
+        let records = vec![vec![0u32, 1, 2]];
+        let idx = InvertedIndex::build(&records, 3);
+        let small = PrefixTree::build(&[vec![0]], &idx);
+        let large = PrefixTree::build(
+            &(0..3u32).map(|e| vec![e]).collect::<Vec<_>>(),
+            &idx,
+        );
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+}

@@ -1,0 +1,1 @@
+//! Example-only crate; see the example binaries.

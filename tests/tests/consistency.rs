@@ -1,0 +1,125 @@
+//! Cross-algorithm consistency: every skyline implementation in the
+//! workspace must agree with the quadratic oracle on arbitrary graphs.
+
+use nsky_graph::generators::{
+    affiliation_model, barabasi_albert, chung_lu_power_law, copying_model, erdos_renyi,
+    leafy_preferential, planted_partition, power_law_configuration,
+};
+use nsky_graph::{Graph, VertexId};
+use nsky_setjoin::lc_join_skyline;
+use nsky_skyline::oracle::naive_skyline;
+use nsky_skyline::{
+    base_sky, base_sky_early_exit, cset_sky, filter_refine_sky, filter_refine_sky_par,
+    two_hop_sky, RefineConfig,
+};
+use proptest::prelude::*;
+
+fn assert_all_agree(g: &Graph, label: &str) {
+    let truth = naive_skyline(g).skyline;
+    let cfg = RefineConfig::default();
+    assert_eq!(base_sky(g).skyline, truth, "{label}: base_sky");
+    assert_eq!(
+        base_sky_early_exit(g).skyline,
+        truth,
+        "{label}: base_sky_early_exit"
+    );
+    assert_eq!(
+        filter_refine_sky(g, &cfg).skyline,
+        truth,
+        "{label}: filter_refine_sky"
+    );
+    assert_eq!(
+        filter_refine_sky(g, &RefineConfig::paper_faithful()).skyline,
+        truth,
+        "{label}: filter_refine_sky (paper faithful)"
+    );
+    assert_eq!(
+        filter_refine_sky_par(g, &cfg, 3).skyline,
+        truth,
+        "{label}: filter_refine_sky_par"
+    );
+    assert_eq!(two_hop_sky(g).skyline, truth, "{label}: two_hop_sky");
+    assert_eq!(cset_sky(g).skyline, truth, "{label}: cset_sky");
+    assert_eq!(lc_join_skyline(g).skyline, truth, "{label}: lc_join");
+}
+
+#[test]
+fn all_generators_all_algorithms() {
+    for seed in 0..3 {
+        assert_all_agree(&erdos_renyi(70, 0.08, seed), &format!("er {seed}"));
+        assert_all_agree(
+            &chung_lu_power_law(120, 2.7, 5.0, seed),
+            &format!("chung-lu {seed}"),
+        );
+        assert_all_agree(
+            &leafy_preferential(150, 0.9, 1.2, 6, seed),
+            &format!("leafy {seed}"),
+        );
+        assert_all_agree(
+            &affiliation_model(120, 3, 6, 0.6, seed),
+            &format!("affiliation {seed}"),
+        );
+        assert_all_agree(
+            &copying_model(120, 3, 0.8, seed),
+            &format!("copying {seed}"),
+        );
+        assert_all_agree(
+            &power_law_configuration(140, 2.8, 1, seed),
+            &format!("config-model {seed}"),
+        );
+        assert_all_agree(
+            &planted_partition(80, 4, 0.4, 0.03, seed),
+            &format!("planted {seed}"),
+        );
+    }
+    assert_all_agree(&barabasi_albert(150, 2, 1), "ba");
+}
+
+#[test]
+fn datasets_and_special_graphs() {
+    assert_all_agree(&nsky_datasets::karate(), "karate");
+    assert_all_agree(&nsky_datasets::bombing(), "bombing");
+    use nsky_graph::generators::special::*;
+    assert_all_agree(&clique(10), "clique");
+    assert_all_agree(&path(10), "path");
+    assert_all_agree(&cycle(10), "cycle");
+    assert_all_agree(&star(10), "star");
+    assert_all_agree(&complete_binary_tree(4), "tree");
+    assert_all_agree(&grid(4, 5), "grid");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary edge lists: all algorithms equal the oracle.
+    #[test]
+    fn arbitrary_graphs_agree(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..120),
+    ) {
+        let edges: Vec<(VertexId, VertexId)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let g = Graph::from_edges(n, edges);
+        assert_all_agree(&g, "proptest");
+    }
+
+    /// Vertex relabeling changes IDs (and thus twin tie-breaks) but the
+    /// skyline *size* is label-independent.
+    #[test]
+    fn skyline_size_is_label_invariant(
+        seed in 0u64..50,
+        rot in 1usize..7,
+    ) {
+        let g = erdos_renyi(40, 0.12, seed);
+        let n = g.num_vertices();
+        let perm: Vec<VertexId> = (0..n)
+            .map(|u| ((u + rot) % n) as VertexId)
+            .collect();
+        let h = nsky_graph::ops::relabel(&g, &perm);
+        let a = filter_refine_sky(&g, &RefineConfig::default());
+        let b = filter_refine_sky(&h, &RefineConfig::default());
+        prop_assert_eq!(a.len(), b.len());
+    }
+}

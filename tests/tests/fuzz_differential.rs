@@ -1,0 +1,70 @@
+//! Differential fuzzing with an *independent* randomness source (`rand`,
+//! not the library's own SplitMix64): random multigraph edge soups are
+//! normalized by the builder and every skyline algorithm must agree.
+
+use nsky_graph::{Graph, VertexId};
+use nsky_setjoin::lc_join_skyline;
+use nsky_skyline::oracle::naive_skyline;
+use nsky_skyline::{base_sky, cset_sky, filter_refine_sky, two_hop_sky, RefineConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.random_range(1..60usize);
+    let m = rng.random_range(0..200usize);
+    let edges: Vec<(VertexId, VertexId)> = (0..m)
+        .map(|_| {
+            (
+                rng.random_range(0..n as u32),
+                rng.random_range(0..n as u32),
+            )
+        })
+        .collect();
+    Graph::from_edges(n, edges)
+}
+
+#[test]
+fn five_hundred_random_graphs_agree() {
+    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    for case in 0..500 {
+        let g = random_graph(&mut rng);
+        let truth = naive_skyline(&g).skyline;
+        let cfg = RefineConfig::default();
+        assert_eq!(filter_refine_sky(&g, &cfg).skyline, truth, "case {case}");
+        assert_eq!(base_sky(&g).skyline, truth, "case {case}");
+        assert_eq!(cset_sky(&g).skyline, truth, "case {case}");
+        assert_eq!(two_hop_sky(&g).skyline, truth, "case {case}");
+        assert_eq!(lc_join_skyline(&g).skyline, truth, "case {case}");
+    }
+}
+
+#[test]
+fn incremental_removals_match_from_scratch() {
+    use nsky_skyline::incremental::DynamicSkyline;
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..60 {
+        let g = random_graph(&mut rng);
+        if g.num_vertices() < 3 {
+            continue;
+        }
+        let mut dyn_sky = DynamicSkyline::new(&g);
+        let mut removed: Vec<VertexId> = Vec::new();
+        for _ in 0..(g.num_vertices() / 2).min(8) {
+            let alive: Vec<VertexId> =
+                g.vertices().filter(|&u| dyn_sky.is_alive(u)).collect();
+            let x = alive[rng.random_range(0..alive.len())];
+            dyn_sky.remove_vertex(x);
+            removed.push(x);
+            // Reference: recompute on the induced residual graph.
+            let keep: Vec<VertexId> =
+                g.vertices().filter(|u| !removed.contains(u)).collect();
+            let (sub, map) = nsky_graph::ops::induced_subgraph(&g, &keep);
+            let expect: Vec<VertexId> = naive_skyline(&sub)
+                .skyline
+                .iter()
+                .map(|&u| map[u as usize])
+                .collect();
+            assert_eq!(dyn_sky.skyline(), expect, "case {case}, removed {removed:?}");
+        }
+    }
+}

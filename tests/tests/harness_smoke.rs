@@ -1,0 +1,118 @@
+//! Smoke tests over the figure harness (quick configurations): the
+//! structural claims of each exhibit must hold on every run.
+
+use nsky_bench::figures;
+
+#[test]
+fn table1_reports_both_columns() {
+    let rows = figures::table1();
+    assert_eq!(rows.len(), 5);
+    for r in rows {
+        assert!(r.original.0 > r.standin.0, "{}: scaled down", r.name);
+        assert!(r.standin.1 > 0);
+    }
+}
+
+#[test]
+fn fig2_matches_closed_forms() {
+    for r in figures::fig2() {
+        assert_eq!(r.skyline, r.expected, "{}", r.family);
+        assert_eq!(r.candidates, r.expected, "{}", r.family);
+    }
+}
+
+#[test]
+fn fig3_filter_refine_wins() {
+    for r in figures::fig3(true) {
+        assert!(
+            r.secs_refine <= r.secs_base,
+            "{}: FilterRefineSky ({}s) slower than BaseSky ({}s)",
+            r.dataset,
+            r.secs_refine,
+            r.secs_base
+        );
+        assert!(r.skyline <= r.candidates);
+        assert!(r.candidates <= r.n);
+        // Fig. 4 ordering: Base2Hop is the memory hog when it runs.
+        if r.mem_two_hop != usize::MAX {
+            assert!(r.mem_two_hop > r.mem_base, "{}", r.dataset);
+        }
+    }
+}
+
+#[test]
+fn fig6_er_vs_powerlaw_contrast() {
+    let er = figures::fig6_er(true);
+    let pl = figures::fig6_pl(true);
+    // ER graphs: skyline close to the whole vertex set (paper Fig. 6a).
+    for r in &er {
+        assert!(
+            r.skyline as f64 > 0.6 * r.total as f64,
+            "ER Δp={}: |R|={} of {}",
+            r.parameter,
+            r.skyline,
+            r.total
+        );
+    }
+    // Power-law graphs: skyline well below the vertex set (Fig. 6b).
+    for r in &pl {
+        assert!(
+            (r.skyline as f64) < 0.6 * r.total as f64,
+            "PL β={}: |R|={} of {}",
+            r.parameter,
+            r.skyline,
+            r.total
+        );
+        assert!(r.skyline <= r.candidates);
+    }
+}
+
+#[test]
+fn fig7_fig8_pruning_never_loses_quality() {
+    for r in figures::fig7(true) {
+        assert!(r.score_neisky >= r.score_base - 1e-9, "{} k={}", r.dataset, r.k);
+        assert!(r.evals_neisky <= r.evals_base, "{} k={}", r.dataset, r.k);
+        assert!(r.skyline_size > 0);
+    }
+    for r in figures::fig8(true) {
+        assert!(r.score_neisky >= r.score_base - 1e-9, "{} k={}", r.dataset, r.k);
+        assert!(r.evals_neisky <= r.evals_base);
+    }
+}
+
+#[test]
+fn fig9_round_sizes_non_increasing() {
+    for r in figures::fig9(true) {
+        assert_eq!(r.sizes_base[0], r.sizes_neisky[0], "{} k={}", r.dataset, r.k);
+        for w in r.sizes_neisky.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}
+
+#[test]
+fn fig10_through_table2_run() {
+    for r in figures::fig10(true) {
+        assert!(r.secs_base > 0.0 && r.secs_fast > 0.0);
+    }
+    for r in figures::fig11(true) {
+        assert!(r.secs_base > 0.0 && r.secs_fast > 0.0);
+    }
+    for r in figures::table2(true) {
+        assert!(r.omega >= 2);
+    }
+}
+
+#[test]
+fn fig13_case_studies() {
+    let rows = figures::fig13();
+    assert_eq!(rows.len(), 2);
+    let karate = &rows[0];
+    assert_eq!(karate.skyline.len(), 15, "paper-exact Karate skyline");
+    let bombing = &rows[1];
+    let frac = bombing.skyline.len() as f64 / bombing.n as f64;
+    assert!((0.15..=0.45).contains(&frac));
+    for r in &rows {
+        assert!(r.skyline_avg_degree > r.dominated_avg_degree);
+    }
+}

@@ -1,0 +1,161 @@
+//! Structural claims from the paper, checked end-to-end.
+
+use nsky_datasets::{bombing, karate, paper_datasets};
+use nsky_graph::generators::special;
+use nsky_skyline::domination::dominates;
+use nsky_skyline::{filter_phase, filter_refine_sky, RefineConfig};
+
+/// Fig. 2: exact skyline/candidate sizes on the special families.
+#[test]
+fn fig2_special_family_sizes() {
+    for n in [3usize, 8, 33] {
+        let r = filter_refine_sky(&special::clique(n), &RefineConfig::default());
+        assert_eq!(r.len(), 1, "clique K{n}");
+        assert_eq!(r.skyline, vec![0], "smallest-id twin survives");
+    }
+    for n in [5usize, 9, 40] {
+        let r = filter_refine_sky(&special::cycle(n), &RefineConfig::default());
+        assert_eq!(r.len(), n, "cycle C{n}");
+    }
+    for n in [4usize, 9, 40] {
+        let r = filter_refine_sky(&special::path(n), &RefineConfig::default());
+        assert_eq!(r.len(), n - 2, "path P{n}");
+    }
+    for levels in [2u32, 4, 6] {
+        let t = special::complete_binary_tree(levels);
+        let r = filter_refine_sky(&t, &RefineConfig::default());
+        assert_eq!(
+            r.len(),
+            special::binary_tree_internal_count(levels),
+            "tree levels={levels}: skyline = internal vertices"
+        );
+    }
+}
+
+/// Lemma 1: `R ⊆ C` on every dataset stand-in.
+#[test]
+fn lemma1_on_dataset_standins() {
+    for spec in paper_datasets() {
+        let g = spec.build();
+        let c = filter_phase(&g);
+        let r = filter_refine_sky(&g, &RefineConfig::default());
+        for &u in &r.skyline {
+            assert!(c.is_candidate(u), "{}: {u} in R but not C", spec.name);
+        }
+        assert!(r.len() <= c.candidates.len());
+    }
+}
+
+/// Fig. 5's headline: `|R| ≪ |V|` on (power-law-like) dataset stand-ins.
+#[test]
+fn skyline_much_smaller_than_vertex_set() {
+    for spec in paper_datasets() {
+        let g = spec.build();
+        let r = filter_refine_sky(&g, &RefineConfig::default());
+        let frac = r.len() as f64 / g.num_vertices() as f64;
+        assert!(
+            frac < 0.55,
+            "{}: |R|/|V| = {frac:.2} should be well below 1",
+            spec.name
+        );
+    }
+}
+
+/// Fig. 13 (Karate): the embedded original graph gives exactly the
+/// paper's 15-vertex skyline (44 %).
+#[test]
+fn karate_case_study_exact() {
+    let g = karate();
+    let r = filter_refine_sky(&g, &RefineConfig::default());
+    assert_eq!(r.len(), 15);
+    assert_eq!(
+        r.skyline,
+        vec![0, 1, 2, 5, 6, 8, 13, 23, 24, 25, 27, 30, 31, 32, 33]
+    );
+    // The two club leaders (Mr. Hi = 0, John A. = 33) are skyline.
+    assert!(r.contains(0) && r.contains(33));
+}
+
+/// Fig. 13 (Bombing stand-in): a clearly sub-50 % skyline with low-degree
+/// vertices dominated, as the paper observes.
+#[test]
+fn bombing_case_study_shape() {
+    let g = bombing();
+    let r = filter_refine_sky(&g, &RefineConfig::default());
+    let frac = r.len() as f64 / g.num_vertices() as f64;
+    assert!(
+        (0.15..=0.45).contains(&frac),
+        "skyline share {frac:.2} out of the paper's band"
+    );
+    let mask = r.membership_mask();
+    let avg = |m: bool| {
+        let ids: Vec<_> = g.vertices().filter(|&u| mask[u as usize] == m).collect();
+        ids.iter().map(|&u| g.degree(u)).sum::<usize>() as f64 / ids.len() as f64
+    };
+    assert!(
+        avg(true) > avg(false),
+        "skyline vertices should out-degree dominated ones"
+    );
+}
+
+/// "Domination orders can only exist between a vertex and its 2-hop
+/// reachable vertices" — checked against the mathematical relation for
+/// non-isolated vertices.
+#[test]
+fn dominators_live_within_two_hops() {
+    let g = bombing();
+    for u in g.vertices() {
+        if g.degree(u) == 0 {
+            continue;
+        }
+        let n2 = nsky_skyline::domination::two_hop_neighbors(&g, u);
+        for w in g.vertices() {
+            if w != u && dominates(&g, w, u) {
+                assert!(n2.binary_search(&w).is_ok());
+            }
+        }
+    }
+}
+
+/// The dominator array is a certificate: every recorded witness truly
+/// dominates, on all dataset stand-ins.
+#[test]
+fn dominator_witnesses_are_certificates() {
+    for spec in paper_datasets().into_iter().take(2) {
+        let mut spec = spec;
+        spec.n /= 4;
+        let g = spec.build();
+        let r = filter_refine_sky(&g, &RefineConfig::default());
+        for u in g.vertices() {
+            let o = r.dominator[u as usize];
+            if o != u {
+                assert!(dominates(&g, o, u), "{}: {o} does not dominate {u}", spec.name);
+            }
+        }
+    }
+}
+
+/// Threshold graphs (introduction refs [7, 8]): the vicinal preorder is
+/// total, so every vertex but one is dominated — a connected threshold
+/// graph's skyline is a single vertex (isolated construction steps add
+/// one skyline member each, by the operational convention).
+#[test]
+fn threshold_graph_skyline_is_one_vertex() {
+    use nsky_graph::threshold::{random_threshold_graph, threshold_graph, ThresholdStep::*};
+    for seed in 0..6 {
+        let g = random_threshold_graph(40, 0.6, seed);
+        let isolated = g.vertices().filter(|&u| g.degree(u) == 0).count();
+        let r = filter_refine_sky(&g, &RefineConfig::default());
+        assert_eq!(
+            r.len(),
+            1 + isolated,
+            "seed {seed}: threshold skyline must be one non-isolated vertex"
+        );
+    }
+    // Fully dominated construction: a clique ends with skyline {0}.
+    let g = threshold_graph(&[Dominating, Dominating, Dominating]);
+    assert_eq!(
+        filter_refine_sky(&g, &RefineConfig::default()).skyline,
+        vec![0]
+    );
+}
