@@ -1,9 +1,10 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! bloom-filter width, whole-filter pre-check, 2-hop dedup stamps,
 //! candidate-adjacency index, min-degree-neighbor scan, BaseSky early
-//! exit, and CELF lazy evaluation.
+//! exit, and CELF lazy evaluation. Runs on the std-only
+//! `nsky_bench::micro` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsky_bench::micro::Group;
 use nsky_centrality::greedy::{greedy_group, GreedyOptions};
 use nsky_centrality::measure::Harmonic;
 use nsky_graph::generators::leafy_preferential;
@@ -14,27 +15,23 @@ fn graph() -> Graph {
     leafy_preferential(10_000, 0.95, 1.5, 5, 42)
 }
 
-fn bench_ablation_bloom_width(c: &mut Criterion) {
+fn bench_ablation_bloom_width() {
     let g = graph();
-    let mut group = c.benchmark_group("ablation_bloom");
+    let mut group = Group::new("ablation_bloom");
     group.sample_size(10);
     for bits in [0.5f64, 1.0, 2.0, 8.0] {
         let cfg = RefineConfig {
             bloom_bits_per_element: bits,
             ..RefineConfig::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{bits}b/elem")),
-            &cfg,
-            |b, cfg| b.iter(|| filter_refine_sky(&g, cfg)),
-        );
+        group.bench(&format!("{bits}b/elem"), || filter_refine_sky(&g, &cfg));
     }
     group.finish();
 }
 
-fn bench_ablation_switches(c: &mut Criterion) {
+fn bench_ablation_switches() {
     let g = graph();
-    let mut group = c.benchmark_group("ablation_switches");
+    let mut group = Group::new("ablation_switches");
     group.sample_size(10);
     let variants: Vec<(&str, RefineConfig)> = vec![
         ("default", RefineConfig::default()),
@@ -69,45 +66,39 @@ fn bench_ablation_switches(c: &mut Criterion) {
         ("paper-faithful", RefineConfig::paper_faithful()),
     ];
     for (name, cfg) in variants {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| filter_refine_sky(&g, cfg))
-        });
+        group.bench(name, || filter_refine_sky(&g, &cfg));
     }
     group.finish();
 }
 
-fn bench_ablation_early_exit(c: &mut Criterion) {
+fn bench_ablation_early_exit() {
     let g = graph();
-    let mut group = c.benchmark_group("ablation_early_exit");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("BaseSky-faithful"), |b| {
-        b.iter(|| base_sky(&g))
-    });
-    group.bench_function(BenchmarkId::from_parameter("BaseSky-early-exit"), |b| {
-        b.iter(|| base_sky_early_exit(&g))
-    });
-    group.finish();
+    let mut group = Group::new("ablation_early_exit");
+    group
+        .sample_size(10)
+        .bench("BaseSky-faithful", || base_sky(&g))
+        .bench("BaseSky-early-exit", || base_sky_early_exit(&g))
+        .finish();
 }
 
-fn bench_ablation_celf(c: &mut Criterion) {
+fn bench_ablation_celf() {
     let g = leafy_preferential(1_500, 0.94, 1.5, 8, 7);
     let k = 10;
-    let mut group = c.benchmark_group("ablation_celf");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("plain-greedy"), |b| {
-        b.iter(|| greedy_group(&g, Harmonic, k, &GreedyOptions::default()))
-    });
-    group.bench_function(BenchmarkId::from_parameter("celf-lazy"), |b| {
-        b.iter(|| greedy_group(&g, Harmonic, k, &GreedyOptions::optimized()))
-    });
-    group.finish();
+    let mut group = Group::new("ablation_celf");
+    group
+        .sample_size(10)
+        .bench("plain-greedy", || {
+            greedy_group(&g, Harmonic, k, &GreedyOptions::default())
+        })
+        .bench("celf-lazy", || {
+            greedy_group(&g, Harmonic, k, &GreedyOptions::optimized())
+        })
+        .finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ablation_bloom_width,
-    bench_ablation_switches,
-    bench_ablation_early_exit,
-    bench_ablation_celf
-);
-criterion_main!(benches);
+fn main() {
+    bench_ablation_bloom_width();
+    bench_ablation_switches();
+    bench_ablation_early_exit();
+    bench_ablation_celf();
+}

@@ -1,75 +1,69 @@
-//! Criterion benches for the application experiments: group centrality
+//! Micro-benches for the application experiments: group centrality
 //! maximization (Fig. 7/8), maximum clique (Table II) and top-k cliques
-//! (Fig. 9), baseline vs skyline-pruned.
+//! (Fig. 9), baseline vs skyline-pruned. Runs on the std-only
+//! `nsky_bench::micro` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsky_bench::micro::Group;
 use nsky_centrality::greedy::{greedy_group, GreedyOptions};
 use nsky_centrality::measure::{Closeness, Harmonic};
 use nsky_centrality::neisky::{nei_sky_gc, nei_sky_gh};
 use nsky_clique::{mc_brb, nei_sky_mc, top_k_cliques, TopkMode};
 use nsky_graph::generators::{affiliation_model, leafy_preferential};
 
-fn bench_gcm(c: &mut Criterion) {
+fn bench_gcm() {
     let g = leafy_preferential(2_000, 0.94, 1.5, 8, 7);
     let k = 10;
-    let mut group = c.benchmark_group("gcm");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("Greedy++"), |b| {
-        b.iter(|| greedy_group(&g, Closeness, k, &GreedyOptions::optimized()))
-    });
-    group.bench_function(BenchmarkId::from_parameter("NeiSkyGC"), |b| {
-        b.iter(|| nei_sky_gc(&g, k))
-    });
-    group.finish();
+    let mut group = Group::new("gcm");
+    group
+        .sample_size(10)
+        .bench("Greedy++", || {
+            greedy_group(&g, Closeness, k, &GreedyOptions::optimized())
+        })
+        .bench("NeiSkyGC", || nei_sky_gc(&g, k))
+        .finish();
 }
 
-fn bench_ghm(c: &mut Criterion) {
+fn bench_ghm() {
     let g = leafy_preferential(2_000, 0.94, 1.5, 8, 7);
     let k = 10;
-    let mut group = c.benchmark_group("ghm");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("Greedy-H"), |b| {
-        b.iter(|| greedy_group(&g, Harmonic, k, &GreedyOptions::optimized()))
-    });
-    group.bench_function(BenchmarkId::from_parameter("NeiSkyGH"), |b| {
-        b.iter(|| nei_sky_gh(&g, k))
-    });
-    group.finish();
+    let mut group = Group::new("ghm");
+    group
+        .sample_size(10)
+        .bench("Greedy-H", || {
+            greedy_group(&g, Harmonic, k, &GreedyOptions::optimized())
+        })
+        .bench("NeiSkyGH", || nei_sky_gh(&g, k))
+        .finish();
 }
 
-fn bench_max_clique(c: &mut Criterion) {
+fn bench_max_clique() {
     let g = affiliation_model(3_000, 5, 9, 0.5, 7);
-    let mut group = c.benchmark_group("max_clique");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("MC-BRB"), |b| {
-        b.iter(|| mc_brb(&g))
-    });
-    group.bench_function(BenchmarkId::from_parameter("NeiSkyMC"), |b| {
-        b.iter(|| nei_sky_mc(&g))
-    });
-    group.finish();
+    let mut group = Group::new("max_clique");
+    group
+        .sample_size(10)
+        .bench("MC-BRB", || mc_brb(&g))
+        .bench("NeiSkyMC", || nei_sky_mc(&g))
+        .finish();
 }
 
-fn bench_topk_clique(c: &mut Criterion) {
+fn bench_topk_clique() {
     let g = affiliation_model(2_000, 5, 9, 0.5, 7);
-    let mut group = c.benchmark_group("topk_clique");
+    let mut group = Group::new("topk_clique");
     group.sample_size(10);
     for k in [1usize, 5] {
-        group.bench_with_input(BenchmarkId::new("BaseTopkMCC", k), &k, |b, &k| {
-            b.iter(|| top_k_cliques(&g, k, TopkMode::Base))
+        group.bench(&format!("BaseTopkMCC/{k}"), || {
+            top_k_cliques(&g, k, TopkMode::Base)
         });
-        group.bench_with_input(BenchmarkId::new("NeiSkyTopkMCC", k), &k, |b, &k| {
-            b.iter(|| top_k_cliques(&g, k, TopkMode::NeiSky))
+        group.bench(&format!("NeiSkyTopkMCC/{k}"), || {
+            top_k_cliques(&g, k, TopkMode::NeiSky)
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_gcm,
-    bench_ghm,
-    bench_max_clique,
-    bench_topk_clique
-);
-criterion_main!(benches);
+fn main() {
+    bench_gcm();
+    bench_ghm();
+    bench_max_clique();
+    bench_topk_clique();
+}

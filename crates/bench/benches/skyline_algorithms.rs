@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks for the skyline algorithms (the Fig. 3
-//! comparison at micro scale). One group per dataset family; each
-//! algorithm is one benchmark function within the group.
+//! Micro-benchmarks for the skyline algorithms (the Fig. 3 comparison at
+//! micro scale). One group per dataset family; each algorithm is one
+//! benchmark within the group. Runs on the std-only `nsky_bench::micro`
+//! harness (DESIGN.md §3 dependency policy).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsky_bench::micro::Group;
 use nsky_graph::generators::{affiliation_model, leafy_preferential};
 use nsky_graph::Graph;
 use nsky_setjoin::lc_join_skyline;
@@ -12,42 +13,24 @@ use nsky_skyline::{
 
 fn graphs() -> Vec<(&'static str, Graph)> {
     vec![
-        (
-            "leafy-8k",
-            leafy_preferential(8_000, 0.95, 1.5, 5, 42),
-        ),
-        (
-            "affiliation-8k",
-            affiliation_model(8_000, 4, 8, 0.7, 42),
-        ),
+        ("leafy-8k", leafy_preferential(8_000, 0.95, 1.5, 5, 42)),
+        ("affiliation-8k", affiliation_model(8_000, 4, 8, 0.7, 42)),
     ]
 }
 
-fn bench_skyline_algorithms(c: &mut Criterion) {
+fn main() {
     for (name, g) in graphs() {
-        let mut group = c.benchmark_group(format!("skyline/{name}"));
-        group.sample_size(10);
-        group.bench_function(BenchmarkId::from_parameter("FilterRefineSky"), |b| {
-            b.iter(|| filter_refine_sky(&g, &RefineConfig::default()))
-        });
-        group.bench_function(BenchmarkId::from_parameter("BaseSky"), |b| {
-            b.iter(|| base_sky(&g))
-        });
-        group.bench_function(BenchmarkId::from_parameter("BaseSkyEarlyExit"), |b| {
-            b.iter(|| base_sky_early_exit(&g))
-        });
-        group.bench_function(BenchmarkId::from_parameter("BaseCSet"), |b| {
-            b.iter(|| cset_sky(&g))
-        });
-        group.bench_function(BenchmarkId::from_parameter("Base2Hop"), |b| {
-            b.iter(|| two_hop_sky(&g))
-        });
-        group.bench_function(BenchmarkId::from_parameter("LC-Join"), |b| {
-            b.iter(|| lc_join_skyline(&g))
-        });
-        group.finish();
+        let mut group = Group::new(&format!("skyline/{name}"));
+        group
+            .sample_size(10)
+            .bench("FilterRefineSky", || {
+                filter_refine_sky(&g, &RefineConfig::default())
+            })
+            .bench("BaseSky", || base_sky(&g))
+            .bench("BaseSkyEarlyExit", || base_sky_early_exit(&g))
+            .bench("BaseCSet", || cset_sky(&g))
+            .bench("Base2Hop", || two_hop_sky(&g))
+            .bench("LC-Join", || lc_join_skyline(&g))
+            .finish();
     }
 }
-
-criterion_group!(benches, bench_skyline_algorithms);
-criterion_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion benches for the substrate layers: graph construction, BFS,
+//! Micro-benches for the substrate layers: graph construction, BFS,
 //! core decomposition, bloom filter operations and the containment join.
+//! Runs on the std-only `nsky_bench::micro` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsky_bench::micro::Group;
 use nsky_bloom::{BloomConfig, NeighborhoodFilters};
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::generators::{chung_lu_power_law, erdos_renyi};
@@ -9,47 +10,46 @@ use nsky_graph::traversal::Bfs;
 use nsky_graph::Graph;
 use nsky_setjoin::InvertedIndex;
 
-fn bench_graph_build(c: &mut Criterion) {
+fn bench_graph_build() {
     let edges: Vec<(u32, u32)> = erdos_renyi(20_000, 0.001, 7).edges().collect();
-    let mut group = c.benchmark_group("substrate/graph");
-    group.sample_size(20);
-    group.bench_function(BenchmarkId::from_parameter("csr-build-20k"), |b| {
-        b.iter(|| Graph::from_edges(20_000, edges.iter().copied()))
-    });
-    group.finish();
+    let mut group = Group::new("substrate/graph");
+    group
+        .sample_size(20)
+        .bench("csr-build-20k", || {
+            Graph::from_edges(20_000, edges.iter().copied())
+        })
+        .finish();
 }
 
-fn bench_bfs(c: &mut Criterion) {
+fn bench_bfs() {
     let g = chung_lu_power_law(20_000, 2.7, 8.0, 7);
     let mut bfs = Bfs::new(g.num_vertices());
-    let mut group = c.benchmark_group("substrate/bfs");
-    group.sample_size(50);
-    group.bench_function(BenchmarkId::from_parameter("single-source-20k"), |b| {
-        b.iter(|| bfs.run(&g, 0))
-    });
-    group.finish();
+    let mut group = Group::new("substrate/bfs");
+    group
+        .sample_size(50)
+        .bench("single-source-20k", || bfs.run(&g, 0))
+        .finish();
 }
 
-fn bench_core_decomposition(c: &mut Criterion) {
+fn bench_core_decomposition() {
     let g = chung_lu_power_law(20_000, 2.7, 8.0, 7);
-    let mut group = c.benchmark_group("substrate/cores");
-    group.sample_size(20);
-    group.bench_function(BenchmarkId::from_parameter("peeling-20k"), |b| {
-        b.iter(|| core_decomposition(&g))
-    });
-    group.finish();
+    let mut group = Group::new("substrate/cores");
+    group
+        .sample_size(20)
+        .bench("peeling-20k", || core_decomposition(&g))
+        .finish();
 }
 
-fn bench_bloom(c: &mut Criterion) {
+fn bench_bloom() {
     let g = chung_lu_power_law(10_000, 2.7, 8.0, 7);
     let cfg = BloomConfig::for_max_degree(g.max_degree(), 2.0);
     let filters = NeighborhoodFilters::build(&g, g.vertices(), cfg);
-    let mut group = c.benchmark_group("substrate/bloom");
-    group.bench_function(BenchmarkId::from_parameter("build-10k"), |b| {
-        b.iter(|| NeighborhoodFilters::build(&g, g.vertices(), cfg))
-    });
-    group.bench_function(BenchmarkId::from_parameter("subset-probe"), |b| {
-        b.iter(|| {
+    let mut group = Group::new("substrate/bloom");
+    group
+        .bench("build-10k", || {
+            NeighborhoodFilters::build(&g, g.vertices(), cfg)
+        })
+        .bench("subset-probe", || {
             let mut hits = 0u32;
             for u in 0..64u32 {
                 for w in 64..128u32 {
@@ -60,11 +60,10 @@ fn bench_bloom(c: &mut Criterion) {
             }
             hits
         })
-    });
-    group.finish();
+        .finish();
 }
 
-fn bench_containment_join(c: &mut Criterion) {
+fn bench_containment_join() {
     let g = chung_lu_power_law(5_000, 2.7, 8.0, 7);
     let records: Vec<Vec<u32>> = g
         .vertices()
@@ -75,47 +74,40 @@ fn bench_containment_join(c: &mut Criterion) {
             r
         })
         .collect();
-    let mut group = c.benchmark_group("substrate/setjoin");
-    group.sample_size(20);
-    group.bench_function(BenchmarkId::from_parameter("index-build-5k"), |b| {
-        b.iter(|| InvertedIndex::build(&records, g.num_vertices()))
+    let mut group = Group::new("substrate/setjoin");
+    group.sample_size(20).bench("index-build-5k", || {
+        InvertedIndex::build(&records, g.num_vertices())
     });
     let idx = InvertedIndex::build(&records, g.num_vertices());
-    group.bench_function(BenchmarkId::from_parameter("superset-probes"), |b| {
-        b.iter(|| {
+    group
+        .bench("superset-probes", || {
             let mut total = 0usize;
             for u in g.vertices().take(200) {
                 total += idx.supersets_of(g.neighbors(u)).len();
             }
             total
         })
-    });
-    group.finish();
+        .finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
+fn bench_extensions() {
     use nsky_clique::mis::reducing_peeling_mis;
     use nsky_graph::generators::leafy_preferential;
     use nsky_skyline::approx::approx_sky;
     let g = leafy_preferential(10_000, 0.95, 1.0, 5, 7);
-    let mut group = c.benchmark_group("substrate/extensions");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("approx-sky-eps0.3"), |b| {
-        b.iter(|| approx_sky(&g, 0.3))
-    });
-    group.bench_function(BenchmarkId::from_parameter("mis-reducing-peeling"), |b| {
-        b.iter(|| reducing_peeling_mis(&g))
-    });
-    group.finish();
+    let mut group = Group::new("substrate/extensions");
+    group
+        .sample_size(10)
+        .bench("approx-sky-eps0.3", || approx_sky(&g, 0.3))
+        .bench("mis-reducing-peeling", || reducing_peeling_mis(&g))
+        .finish();
 }
 
-criterion_group!(
-    benches,
-    bench_graph_build,
-    bench_bfs,
-    bench_core_decomposition,
-    bench_bloom,
-    bench_containment_join,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    bench_graph_build();
+    bench_bfs();
+    bench_core_decomposition();
+    bench_bloom();
+    bench_containment_join();
+    bench_extensions();
+}

@@ -46,7 +46,7 @@ fn subgraphs(base: &Graph, quick: bool) -> Vec<(Axis, f64, Graph)> {
 }
 
 fn livejournal(quick: bool, target_n: usize) -> Graph {
-    let mut spec = scalability_dataset("LiveJournal");
+    let mut spec = scalability_dataset("LiveJournal").expect("registered dataset");
     spec.n = if quick { target_n / 4 } else { target_n };
     spec.build()
 }

@@ -32,7 +32,7 @@ pub fn fig9(quick: bool) -> Vec<Fig9Row> {
     };
     let mut rows = Vec::new();
     for &name in datasets {
-        let mut spec = scalability_dataset(name);
+        let mut spec = scalability_dataset(name).expect("registered dataset");
         if quick {
             spec.n /= 4;
         }

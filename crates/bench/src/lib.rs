@@ -7,8 +7,8 @@
 //! All experiment logic lives in [`figures`] as pure functions returning
 //! row structs, so that integration tests can assert the structural
 //! claims (who wins, subset relations) on reduced configurations; the
-//! `src/bin/*` binaries print the rows. Criterion micro-benchmarks live
-//! in `benches/`.
+//! `src/bin/*` binaries print the rows. Micro-benchmarks live in
+//! `benches/` on the dependency-free [`micro`] harness.
 //!
 //! Run `cargo run -p nsky-bench --release --bin repro_all` to regenerate
 //! everything at once.
@@ -18,3 +18,4 @@
 
 pub mod figures;
 pub mod harness;
+pub mod micro;

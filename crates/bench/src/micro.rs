@@ -1,0 +1,99 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The repo's dependency policy (DESIGN.md §3) keeps the workspace
+//! resolvable with no network access, so the `benches/` targets use this
+//! tiny harness instead of Criterion: warm-up, a fixed sample count,
+//! min/median/mean wall-clock reporting. It is deliberately simple —
+//! regressions are judged by eye against EXPERIMENTS.md, not by
+//! statistical change detection.
+//!
+//! Sample count defaults to 10 and can be overridden with
+//! `NSKY_BENCH_SAMPLES`; `NSKY_QUICK=1` drops it to 3 for smoke runs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::harness::{fmt_secs, quick_mode};
+
+/// A named group of benchmarks, mirroring the Criterion group shape so
+/// bench files read the same way.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+/// Samples requested via `NSKY_BENCH_SAMPLES`, if any.
+fn env_samples() -> Option<usize> {
+    std::env::var("NSKY_BENCH_SAMPLES").ok()?.parse().ok()
+}
+
+impl Group {
+    /// Starts a group; the name prefixes every benchmark line.
+    pub fn new(name: &str) -> Self {
+        let samples = env_samples().unwrap_or(if quick_mode() { 3 } else { 10 });
+        println!("# group {name}");
+        Group {
+            name: name.to_string(),
+            samples: samples.max(1),
+        }
+    }
+
+    /// Overrides the sample count for this group (environment variables
+    /// still take precedence, so CI can globally shrink sweeps).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if env_samples().is_none() && !quick_mode() {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    /// Runs one benchmark: one warm-up call, then `samples` timed calls.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) -> &mut Self {
+        black_box(f());
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{}/{id}: min {} median {} mean {} ({} samples)",
+            self.name,
+            fmt_secs(min),
+            fmt_secs(median),
+            fmt_secs(mean),
+            self.samples
+        );
+        self
+    }
+
+    /// Ends the group (marker for symmetry with Criterion's API).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut g = Group::new("selftest");
+        g.sample_size(2);
+        let mut calls = 0u32;
+        g.bench("sum", || {
+            calls += 1;
+            (0..100).sum::<u64>()
+        });
+        // one warm-up + two samples
+        assert_eq!(calls, 3);
+        g.finish();
+    }
+}

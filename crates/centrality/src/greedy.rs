@@ -256,7 +256,9 @@ pub fn greedy_group<M: GroupMeasure>(
         }
         let mut round = 0u32;
         while outcome.group.len() < k {
-            let top = heap.pop().expect("pool ≥ k");
+            let Some(top) = heap.pop() else {
+                break; // pool smaller than k: return the partial group
+            };
             if ev.in_group[top.vertex as usize] {
                 continue;
             }
@@ -292,7 +294,9 @@ pub fn greedy_group<M: GroupMeasure>(
                     best = Some((gain, u));
                 }
             }
-            let (_, v) = best.expect("pool ≥ k");
+            let Some((_, v)) = best else {
+                break; // pool smaller than k: return the partial group
+            };
             ev.commit(v);
             outcome.group.push(v);
             outcome.score_trace.push(ev.score());

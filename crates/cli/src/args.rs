@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 /// Parsed command line: positionals in order, options by name.
 #[derive(Clone, Debug, Default, PartialEq)]
-pub struct Args {
+pub(crate) struct Args {
     /// Positional arguments, in order.
     pub positionals: Vec<String>,
     /// `--name value` options (switches map to `"true"`).
@@ -21,7 +21,7 @@ const SWITCHES: &[&str] = &["no-prune", "help", "quiet"];
 ///
 /// Returns a message for a dangling `--flag` that expects a value, or an
 /// unknown `-x` short option.
-pub fn parse(raw: &[String]) -> Result<Args, String> {
+pub(crate) fn parse(raw: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = raw.iter().peekable();
     while let Some(a) = it.next() {
@@ -55,12 +55,12 @@ pub fn parse(raw: &[String]) -> Result<Args, String> {
 
 impl Args {
     /// Option value as string.
-    pub fn get(&self, name: &str) -> Option<&str> {
+    pub(crate) fn get(&self, name: &str) -> Option<&str> {
         self.options.get(name).map(String::as_str)
     }
 
     /// Whether a switch is present.
-    pub fn switch(&self, name: &str) -> bool {
+    pub(crate) fn switch(&self, name: &str) -> bool {
         self.get(name) == Some("true")
     }
 
@@ -69,7 +69,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns a message when the value does not parse.
-    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub(crate) fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v

@@ -25,7 +25,7 @@ fn maybe_write(args: &Args, g: &Graph) -> Result<String, String> {
 }
 
 /// `nsky stats <file>`.
-pub fn stats(args: &Args) -> Result<String, String> {
+pub(crate) fn stats(args: &Args) -> Result<String, String> {
     let g = load(args)?;
     let s = nsky_graph::stats::graph_stats(&g);
     let (_, components) = nsky_graph::traversal::connected_components(&g);
@@ -42,7 +42,7 @@ pub fn stats(args: &Args) -> Result<String, String> {
 }
 
 /// `nsky skyline <file> [--algorithm ...] [--epsilon E] [-o out]`.
-pub fn skyline(args: &Args) -> Result<String, String> {
+pub(crate) fn skyline(args: &Args) -> Result<String, String> {
     let g = load(args)?;
     let algo = args.get("algorithm").unwrap_or("refine");
     let cfg = nsky_skyline::RefineConfig::default();
@@ -81,7 +81,7 @@ pub fn skyline(args: &Args) -> Result<String, String> {
 }
 
 /// `nsky group <file> -k K [--measure ...] [--no-prune]`.
-pub fn group(args: &Args) -> Result<String, String> {
+pub(crate) fn group(args: &Args) -> Result<String, String> {
     let g = load(args)?;
     let k: usize = args.number("k", 5)?;
     let measure = args.get("measure").unwrap_or("closeness");
@@ -130,7 +130,7 @@ pub fn group(args: &Args) -> Result<String, String> {
 }
 
 /// `nsky clique <file> [--top K] [--no-prune]`.
-pub fn clique(args: &Args) -> Result<String, String> {
+pub(crate) fn clique(args: &Args) -> Result<String, String> {
     let g = load(args)?;
     let top: usize = args.number("top", 1)?;
     let prune = !args.switch("no-prune");
@@ -160,7 +160,7 @@ pub fn clique(args: &Args) -> Result<String, String> {
 }
 
 /// `nsky mis <file>`.
-pub fn mis(args: &Args) -> Result<String, String> {
+pub(crate) fn mis(args: &Args) -> Result<String, String> {
     let g = load(args)?;
     let set = nsky_clique::mis::reducing_peeling_mis(&g);
     debug_assert!(nsky_clique::mis::is_independent_set(&g, &set));
@@ -176,7 +176,7 @@ pub fn mis(args: &Args) -> Result<String, String> {
 }
 
 /// `nsky generate <family> --n N [--seed S] [family params] [-o out]`.
-pub fn generate(args: &Args) -> Result<String, String> {
+pub(crate) fn generate(args: &Args) -> Result<String, String> {
     use nsky_graph::generators as gen;
     let family = args
         .positionals

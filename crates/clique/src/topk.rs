@@ -174,11 +174,13 @@ fn top_k_neisky(g: &Graph, k: usize) -> TopkOutcome {
             if top.key <= floor {
                 // Nothing in the queue can beat the incumbent.
                 heap.push(top);
+                // nsky-lint: allow(panic-free) — invariant: key > 0 and key ≤ floor, so floor > 0 and the incumbent is set
                 let ans = incumbent.take().expect("floor > 0 ⇒ incumbent");
                 finish_round(g, ans, &mut out, &mut alive, &mut dyn_sky, &mut heap, &ub);
                 continue 'rounds;
             }
             if top.exact {
+                // nsky-lint: allow(panic-free) — invariant: `exact` entries are pushed only after caching the clique
                 let clique = cache[s as usize].as_ref().expect("exact ⇒ cached");
                 if clique.iter().all(|&v| alive[v as usize]) {
                     // Still fully alive ⇒ still maximum-containing (the

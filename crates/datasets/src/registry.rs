@@ -182,14 +182,12 @@ pub fn paper_datasets() -> Vec<DatasetSpec> {
     ]
 }
 
-/// Stand-ins for the scalability / clique experiment graphs
-/// (`"LiveJournal"`, `"Pokec"`, `"Orkut"`).
+/// Stand-ins for the scalability / clique experiment graphs.
 ///
-/// # Panics
-///
-/// Panics on an unknown name.
-pub fn scalability_dataset(name: &str) -> DatasetSpec {
-    match name {
+/// Returns `None` for any name other than `"LiveJournal"`, `"Pokec"`
+/// or `"Orkut"`.
+pub fn scalability_dataset(name: &str) -> Option<DatasetSpec> {
+    let spec = match name {
         "LiveJournal" => DatasetSpec {
             name: "LiveJournal",
             description: "Social network",
@@ -233,8 +231,9 @@ pub fn scalability_dataset(name: &str) -> DatasetSpec {
             },
             seed: 203,
         },
-        other => panic!("unknown scalability dataset {other:?}"),
-    }
+        _ => return None,
+    };
+    Some(spec)
 }
 
 #[cfg(test)]
@@ -281,15 +280,14 @@ mod tests {
     #[test]
     fn scalability_specs_exist() {
         for name in ["LiveJournal", "Pokec", "Orkut"] {
-            let g = scalability_dataset(name).build();
+            let g = scalability_dataset(name).expect("known dataset").build();
             assert!(g.num_vertices() > 1_000);
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown scalability dataset")]
-    fn unknown_dataset_panics() {
-        scalability_dataset("Friendster");
+    fn unknown_dataset_is_none() {
+        assert!(scalability_dataset("Friendster").is_none());
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl Graph {
     /// builds.
     pub(crate) fn from_csr(offsets: Vec<usize>, adj: Vec<VertexId>) -> Self {
         debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.last().unwrap(), adj.len());
+        debug_assert_eq!(offsets.last().copied(), Some(adj.len()));
         let g = Graph { offsets, adj };
         #[cfg(debug_assertions)]
         g.check_invariants();

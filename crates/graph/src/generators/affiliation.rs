@@ -119,15 +119,13 @@ pub fn affiliation_model_with_cross(
         }
         // Cross-contacts: each fresh member may link one neighbor of the
         // team's senior veteran (stays inside N[veteran]).
-        let veteran = *team
-            .iter()
-            .max_by_key(|&&m| team_count[m as usize])
-            .expect("team non-empty");
-        for &f in &fresh {
-            if f != veteran && rng.next_bool(cross_p) && !adj[veteran as usize].is_empty() {
-                let i = rng.next_index(adj[veteran as usize].len());
-                let contact = adj[veteran as usize][i];
-                link(&mut adj, &mut b, f, contact);
+        if let Some(&veteran) = team.iter().max_by_key(|&&m| team_count[m as usize]) {
+            for &f in &fresh {
+                if f != veteran && rng.next_bool(cross_p) && !adj[veteran as usize].is_empty() {
+                    let i = rng.next_index(adj[veteran as usize].len());
+                    let contact = adj[veteran as usize][i];
+                    link(&mut adj, &mut b, f, contact);
+                }
             }
         }
         for &m in &team {

@@ -138,7 +138,10 @@ pub fn largest_component(g: &Graph) -> Vec<VertexId> {
     for &c in &comp {
         sizes[c as usize] += 1;
     }
-    let best = (0..k).max_by_key(|&c| sizes[c]).unwrap() as u32;
+    let Some(best) = (0..k).max_by_key(|&c| sizes[c]) else {
+        return Vec::new();
+    };
+    let best = best as u32;
     comp.iter()
         .enumerate()
         .filter(|(_, &c)| c == best)

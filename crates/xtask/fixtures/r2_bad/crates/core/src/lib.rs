@@ -1,0 +1,18 @@
+//! Fixture: panicking escape hatches in non-test library code.
+
+/// Documented, so only `panic-free` fires here.
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+fn bad_panic() {
+    panic!("unreachable");
+}
+
+fn bad_todo() {
+    todo!()
+}

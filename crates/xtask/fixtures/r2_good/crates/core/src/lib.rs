@@ -1,0 +1,25 @@
+//! Fixture: every panic-family token here is out of rule scope.
+//!
+//! Doc comments may mention `x.unwrap()` freely.
+
+/// Strings mentioning panic!( are data, not code.
+pub fn strings_only() -> &'static str {
+    "call .unwrap() and panic!( here"
+}
+
+/// A justified expect, suppressed with an invariant message.
+pub fn justified(x: Option<u32>) -> u32 {
+    // nsky-lint: allow(panic-free) — invariant: caller checked is_some() above
+    x.expect("checked by caller")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Result<u32, ()> = Ok(2);
+        assert_eq!(w.expect("fine in tests"), 2);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: unsafe without a SAFETY comment.
+
+/// Documented, so only `safety-comment` fires here.
+pub fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}

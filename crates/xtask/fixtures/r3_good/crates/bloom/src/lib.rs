@@ -1,0 +1,15 @@
+//! Fixture: unsafe with the required SAFETY comment.
+
+/// Reads the first word.
+pub fn read_first(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so the
+    // pointer read is in bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+/// Mentions of unsafe_code in identifiers are not the keyword.
+pub fn not_the_keyword() -> bool {
+    let unsafe_count = 0;
+    unsafe_count == 0
+}

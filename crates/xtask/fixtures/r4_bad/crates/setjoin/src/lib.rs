@@ -1,0 +1,9 @@
+//! Fixture: undocumented public API.
+
+pub fn undocumented_fn() {}
+
+pub struct UndocumentedStruct;
+
+pub enum UndocumentedEnum {
+    A,
+}

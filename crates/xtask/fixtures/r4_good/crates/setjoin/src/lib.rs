@@ -1,0 +1,24 @@
+//! Fixture: documented public API, attributes between doc and item.
+
+/// Documented function.
+pub fn documented_fn() {}
+
+/// Documented struct with attributes after the doc comment.
+#[derive(Clone, Debug)]
+#[allow(dead_code)]
+pub struct DocumentedStruct {
+    field: u32,
+}
+
+/// Documented enum.
+pub enum DocumentedEnum {
+    /// A variant.
+    A,
+}
+
+pub(crate) fn crate_private_needs_no_docs() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helpers_need_no_docs() {}
+}

@@ -1,0 +1,12 @@
+//! Fixture: console output and process exit in a library crate.
+
+/// Documented, so only `no-stdout` fires here.
+pub fn noisy() {
+    println!("loading dataset");
+    eprintln!("warning");
+}
+
+/// Documented, so only `no-stdout` fires here.
+pub fn fatal() {
+    std::process::exit(1);
+}

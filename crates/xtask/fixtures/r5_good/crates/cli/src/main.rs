@@ -1,0 +1,6 @@
+//! Binary crates are exempt from no-stdout.
+
+fn main() {
+    println!("cli output is the product");
+    std::process::exit(0);
+}

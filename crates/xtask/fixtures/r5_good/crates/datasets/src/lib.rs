@@ -1,0 +1,16 @@
+//! Fixture: quiet library; `println!` appears only out of scope.
+//!
+//! Doc text may say println! freely.
+
+/// Returns a format string mentioning println!("...").
+pub fn silent() -> &'static str {
+    "println! is just data here"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging a test is fine");
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: source without the documented flag.
+
+/// Present but unrelated.
+pub fn unrelated() {}

@@ -1,0 +1,190 @@
+//! # nsky-xtask
+//!
+//! First-party static analysis for the neighborhood-skyline workspace:
+//! repo-specific policy rules that the stock toolchain (`rustc` lints +
+//! clippy) cannot express, enforced by `cargo run -p nsky-xtask -- lint`
+//! and by `scripts/verify.sh`. See DESIGN.md §8 for the policy table.
+//!
+//! The rules:
+//!
+//! | rule | name | what it enforces |
+//! |------|------|------------------|
+//! | R1 | `no-registry-deps`  | library crates declare zero registry dependencies (workspace-path deps only), keeping tier-1 resolvable offline |
+//! | R2 | `panic-free`        | no `unwrap()` / `expect(` / `panic!(` / `todo!` in non-test library code |
+//! | R3 | `safety-comment`    | every `unsafe` token is preceded by a `// SAFETY:` comment |
+//! | R4 | `doc-public`        | every `pub fn` / `pub struct` / `pub enum` in library crates carries a doc comment |
+//! | R5 | `no-stdout`         | no `println!` / `eprintln!` / `process::exit` in library crates (bench/cli/examples are exempt) |
+//! | R6 | `design-drift`      | ablation/config flags named in DESIGN.md §6 exist in source |
+//!
+//! A violation can be suppressed at the site with an inline comment
+//! carrying a justification:
+//!
+//! ```text
+//! // nsky-lint: allow(panic-free) — invariant: pool ≥ k, established above
+//! ```
+//!
+//! (`#` comments in `Cargo.toml` use the same syntax.) The suppression
+//! applies to the same line or the line directly below it, and an empty
+//! justification is itself a violation.
+//!
+//! The engine is plain `std` (the dependency policy applies to the tools
+//! that enforce it) and is driven entirely by a workspace-root path, so
+//! the fixture suites under `fixtures/` exercise every rule on miniature
+//! workspaces.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+mod manifest;
+mod rules;
+mod source;
+
+pub use source::SourceFile;
+
+/// Crates that must obey the library policy rules (R1, R2, R4, R5).
+/// `bench`, `cli` and `xtask` itself are tools: they may print, exit and
+/// pull workspace dev-paths, but they still get R3 and the workspace
+/// lint tables.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "graph",
+    "bloom",
+    "core",
+    "setjoin",
+    "centrality",
+    "clique",
+    "datasets",
+];
+
+/// The policy rules, in DESIGN.md §8 order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: library crates declare zero registry dependencies.
+    NoRegistryDeps,
+    /// R2: no `unwrap()`/`expect(`/`panic!(`/`todo!` in non-test library code.
+    PanicFree,
+    /// R3: every `unsafe` token is preceded by a `// SAFETY:` comment.
+    SafetyComment,
+    /// R4: every `pub fn`/`pub struct`/`pub enum` in library crates is documented.
+    DocPublic,
+    /// R5: no `println!`/`eprintln!`/`process::exit` in library crates.
+    NoStdout,
+    /// R6: DESIGN.md §6 ablation/config flags exist in source.
+    DesignDrift,
+}
+
+impl Rule {
+    /// The stable rule name used in reports and `allow(...)` suppressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoRegistryDeps => "no-registry-deps",
+            Rule::PanicFree => "panic-free",
+            Rule::SafetyComment => "safety-comment",
+            Rule::DocPublic => "doc-public",
+            Rule::NoStdout => "no-stdout",
+            Rule::DesignDrift => "design-drift",
+        }
+    }
+
+    /// Looks a rule up by its stable name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::all().iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Every rule, in report order.
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::NoRegistryDeps,
+            Rule::PanicFree,
+            Rule::SafetyComment,
+            Rule::DocPublic,
+            Rule::NoStdout,
+            Rule::DesignDrift,
+        ]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One policy violation: `file:line` (1-based), the rule and a message.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Runs every rule against the workspace rooted at `root` and returns
+/// the violations sorted by file and line.
+///
+/// `root` is any directory laid out like this repository: library crates
+/// under `crates/<name>` (the subset of [`LIBRARY_CRATES`] that exists),
+/// an optional root `Cargo.toml` with `[workspace.dependencies]`, and an
+/// optional `DESIGN.md` with a §6 ablation list (R6 is skipped when the
+/// file is absent, so rule fixtures stay minimal).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    violations.extend(rules::check_manifests(root)?);
+    violations.extend(rules::check_sources(root)?);
+    violations.extend(rules::check_design_drift(root)?);
+    violations.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.name().cmp(b.rule.name()))
+    });
+    Ok(violations)
+}
+
+/// Library crate source directories that exist under `root`.
+pub(crate) fn library_src_dirs(root: &Path) -> Vec<(String, PathBuf)> {
+    LIBRARY_CRATES
+        .iter()
+        .map(|c| (c.to_string(), root.join("crates").join(c).join("src")))
+        .filter(|(_, dir)| dir.is_dir())
+        .collect()
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+pub(crate) fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Strips the workspace root from a path for reporting.
+pub(crate) fn rel(root: &Path, path: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}

@@ -1,0 +1,108 @@
+//! `nsky-xtask` — workspace policy tooling.
+//!
+//! ```text
+//! cargo run -p nsky-xtask -- lint [--root <path>]
+//! ```
+//!
+//! `lint` runs the repo-specific policy rules R1–R6 (DESIGN.md §8)
+//! against the workspace and exits non-zero if any violation is found.
+//! `--root` points the engine at another workspace layout (used by the
+//! fixture self-tests).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nsky_xtask::{lint_workspace, Rule};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo run -p nsky-xtask -- lint [--root <path>]");
+    eprintln!("rules: {}", rule_list());
+}
+
+fn rule_list() -> String {
+    Rule::all()
+        .iter()
+        .map(|r| r.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("could not locate the workspace root (run from inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    match lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("nsky-xtask lint: clean ({})", rule_list());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("nsky-xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("nsky-xtask lint: I/O error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

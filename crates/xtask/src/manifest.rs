@@ -1,0 +1,151 @@
+//! Minimal `Cargo.toml` reader for rule R1.
+//!
+//! The workspace's manifests are plain: section headers, `key = value`
+//! entries and single-line inline tables. This reader covers exactly
+//! that shape (hand-rolled because the dependency policy applies to the
+//! linter itself), and records line numbers plus `# nsky-lint:
+//! allow(...)` suppressions so findings point at the offending entry.
+
+use std::path::Path;
+
+/// One `key = value` entry with its 1-based line number.
+#[derive(Debug)]
+pub(crate) struct Entry {
+    /// Key as written (may be dotted, e.g. `nsky-graph.workspace`).
+    pub key: String,
+    /// Raw value text (inline tables kept verbatim).
+    pub value: String,
+    /// 1-based line number in the manifest.
+    pub line: usize,
+}
+
+/// A `[section]` with its entries.
+#[derive(Debug)]
+pub(crate) struct Section {
+    /// Section name as written, e.g. `dependencies` or
+    /// `workspace.dependencies`.
+    pub name: String,
+    /// Entries in order of appearance.
+    pub entries: Vec<Entry>,
+}
+
+/// A parsed manifest: sections plus raw lines (for suppression lookup).
+#[derive(Debug)]
+pub(crate) struct Manifest {
+    /// Sections in order of appearance.
+    pub sections: Vec<Section>,
+    /// The raw file lines.
+    pub raw_lines: Vec<String>,
+}
+
+impl Manifest {
+    /// Reads and parses `path`.
+    pub(crate) fn read(path: &Path) -> std::io::Result<Manifest> {
+        Ok(Manifest::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// Parses manifest text.
+    pub(crate) fn parse(text: &str) -> Manifest {
+        let mut sections: Vec<Section> = Vec::new();
+        let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
+        for (idx, raw) in raw_lines.iter().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .trim_start_matches('[')
+                    .trim_end_matches(']')
+                    .trim()
+                    .to_string();
+                sections.push(Section {
+                    name,
+                    entries: Vec::new(),
+                });
+            } else if let Some((key, value)) = line.split_once('=') {
+                if let Some(section) = sections.last_mut() {
+                    section.entries.push(Entry {
+                        key: key.trim().to_string(),
+                        value: value.trim().to_string(),
+                        line: idx + 1,
+                    });
+                }
+            }
+        }
+        Manifest {
+            sections,
+            raw_lines,
+        }
+    }
+
+    /// All entries of the sections named `name` (TOML allows repeats).
+    pub(crate) fn entries(&self, name: &str) -> impl Iterator<Item = &Entry> {
+        let name = name.to_string();
+        self.sections
+            .iter()
+            .filter(move |s| s.name == name)
+            .flat_map(|s| s.entries.iter())
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A dependency entry is "workspace-local" when it resolves by path:
+/// either an inline `path = "..."` or `workspace = true` deferring to a
+/// root `[workspace.dependencies]` entry that is itself a path dep
+/// (membership in `workspace_path_deps` is checked by the caller).
+pub(crate) fn is_path_dep(entry: &Entry) -> bool {
+    entry.value.contains("path")
+        && entry.value.contains('=')
+        && entry.value.trim_start().starts_with('{')
+}
+
+/// Whether the entry defers to the workspace dependency table
+/// (`dep.workspace = true` or `dep = { workspace = true }`).
+pub(crate) fn is_workspace_ref(entry: &Entry) -> (bool, String) {
+    if let Some(base) = entry.key.strip_suffix(".workspace") {
+        return (entry.value == "true", base.to_string());
+    }
+    (
+        entry.value.contains("workspace") && entry.value.contains("true"),
+        entry.key.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_lines() {
+        let m = Manifest::parse(
+            "[package]\nname = \"x\"\n\n[dependencies]\nfoo.workspace = true\nbar = { path = \"../bar\" }\nbaz = \"1\" # registry!\n",
+        );
+        let deps: Vec<_> = m.entries("dependencies").collect();
+        assert_eq!(deps.len(), 3);
+        assert_eq!(deps[0].key, "foo.workspace");
+        assert_eq!(deps[2].line, 7);
+        assert!(is_path_dep(deps[1]));
+        assert!(!is_path_dep(deps[2]));
+        let (ws, base) = is_workspace_ref(deps[0]);
+        assert!(ws);
+        assert_eq!(base, "foo");
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        assert_eq!(strip_toml_comment("a = \"#notcomment\" # real"), "a = \"#notcomment\" ");
+    }
+}

@@ -1,0 +1,393 @@
+//! The policy rules R1–R6 (see crate docs and DESIGN.md §8).
+
+use std::path::Path;
+
+use crate::manifest::{is_path_dep, is_workspace_ref, Manifest};
+use crate::source::SourceFile;
+use crate::{library_src_dirs, rel, rust_files, Rule, Violation, LIBRARY_CRATES};
+
+/// R1 `no-registry-deps`: library crates must resolve every dependency
+/// (normal, dev and build) inside the workspace, so tier-1 builds with
+/// no network. A dependency passes when it is an inline `path` dep or a
+/// `workspace = true` reference to a root `[workspace.dependencies]`
+/// entry that is itself a path dep.
+pub(crate) fn check_manifests(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    let workspace_path_deps: Vec<String> = if root_manifest.is_file() {
+        Manifest::read(&root_manifest)?
+            .entries("workspace.dependencies")
+            .filter(|e| is_path_dep(e) || e.value.contains("path"))
+            .map(|e| e.key.clone())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    for name in LIBRARY_CRATES {
+        let path = root.join("crates").join(name).join("Cargo.toml");
+        if !path.is_file() {
+            continue;
+        }
+        let man = Manifest::read(&path)?;
+        for section in ["dependencies", "dev-dependencies", "build-dependencies"] {
+            for entry in man.entries(section) {
+                let ok = if is_path_dep(entry) {
+                    true
+                } else {
+                    let (is_ws, base) = is_workspace_ref(entry);
+                    is_ws && workspace_path_deps.contains(&base)
+                };
+                if !ok && !manifest_suppressed(&man, Rule::NoRegistryDeps, entry.line) {
+                    out.push(Violation {
+                        file: rel(root, &path),
+                        line: entry.line,
+                        rule: Rule::NoRegistryDeps,
+                        message: format!(
+                            "library crate `{name}` declares non-workspace dependency `{}` in [{section}] (registry deps break the hermetic tier-1 build)",
+                            entry.key
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Whether a manifest line (or the one above it) carries a justified
+/// `# nsky-lint: allow(<rule>)` suppression.
+fn manifest_suppressed(man: &Manifest, rule: Rule, lineno: usize) -> bool {
+    let hit = |idx: usize| {
+        man.raw_lines.get(idx).is_some_and(|raw| {
+            let (suppressed, _) = crate::source::parse_suppressions(raw);
+            suppressed.iter().any(|s| s == rule.name())
+        })
+    };
+    hit(lineno - 1) || (lineno >= 2 && hit(lineno - 2))
+}
+
+/// R2 `panic-free` patterns: panicking escape hatches that must not
+/// appear in non-test library code.
+const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!(", "todo!"];
+
+/// R5 `no-stdout` patterns: libraries must stay silent and must not
+/// terminate the process.
+const STDOUT_PATTERNS: &[&str] = &["println!", "eprintln!", "process::exit"];
+
+/// Source-level rules R2–R5 over the library crates.
+pub(crate) fn check_sources(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for (crate_name, src_dir) in library_src_dirs(root) {
+        for path in rust_files(&src_dir)? {
+            // `src/bin/*` targets are executables, not library surface.
+            if path.strip_prefix(&src_dir).is_ok_and(|p| p.starts_with("bin")) {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path)?;
+            let file = SourceFile::scan(&text);
+            check_file(root, &crate_name, &path, &file, &mut out);
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the per-line rules against one scanned library source file.
+fn check_file(
+    root: &Path,
+    crate_name: &str,
+    path: &Path,
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+
+        // A suppression without a justification never suppresses; flag
+        // it so it cannot linger as dead policy.
+        for name in &line.bare {
+            if let Some(rule) = Rule::from_name(name) {
+                out.push(Violation {
+                    file: rel(root, path),
+                    line: lineno,
+                    rule,
+                    message: format!(
+                        "`nsky-lint: allow({name})` without a justification (add `— <reason>`)"
+                    ),
+                });
+            }
+        }
+
+        if !line.in_test {
+            for pat in PANIC_PATTERNS {
+                if contains_pattern(&line.code, pat) && !file.is_suppressed(Rule::PanicFree, lineno) {
+                    out.push(Violation {
+                        file: rel(root, path),
+                        line: lineno,
+                        rule: Rule::PanicFree,
+                        message: format!(
+                            "`{pat}` in non-test library code of `{crate_name}` (return an error, restructure, or justify with a suppression)"
+                        ),
+                    });
+                }
+            }
+            for pat in STDOUT_PATTERNS {
+                if contains_pattern(&line.code, pat) && !file.is_suppressed(Rule::NoStdout, lineno) {
+                    out.push(Violation {
+                        file: rel(root, path),
+                        line: lineno,
+                        rule: Rule::NoStdout,
+                        message: format!("`{pat}` in library crate `{crate_name}`"),
+                    });
+                }
+            }
+        }
+
+        if has_unsafe_token(&line.code)
+            && !safety_commented(file, idx)
+            && !file.is_suppressed(Rule::SafetyComment, lineno)
+        {
+            out.push(Violation {
+                file: rel(root, path),
+                line: lineno,
+                rule: Rule::SafetyComment,
+                message: "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
+            });
+        }
+
+        if !line.in_test
+            && is_public_decl(&line.code)
+            && !is_documented(file, idx)
+            && !file.is_suppressed(Rule::DocPublic, lineno)
+        {
+            out.push(Violation {
+                file: rel(root, path),
+                line: lineno,
+                rule: Rule::DocPublic,
+                message: format!(
+                    "undocumented public item in `{crate_name}`: `{}`",
+                    line.code.trim()
+                ),
+            });
+        }
+    }
+}
+
+/// Substring match with a left word boundary when the pattern starts
+/// with an identifier character, so `eprintln!` does not also count as
+/// `println!` (while `.unwrap()` may follow any receiver).
+fn contains_pattern(code: &str, pat: &str) -> bool {
+    let ident_start = pat
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    if !ident_start {
+        return code.contains(pat);
+    }
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok {
+            return true;
+        }
+        start = abs + pat.len();
+    }
+    false
+}
+
+/// Word-boundary test for the `unsafe` keyword in blanked code.
+fn has_unsafe_token(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = rest[pos + 6..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + 6..];
+    }
+    false
+}
+
+/// R3: a `// SAFETY:` comment on the same line or one of the three
+/// lines above it.
+fn safety_commented(file: &SourceFile, idx: usize) -> bool {
+    (idx.saturating_sub(3)..=idx).any(|i| file.lines[i].raw.contains("SAFETY:"))
+}
+
+/// R4: `pub fn` / `pub struct` / `pub enum` declarations (plain `pub`
+/// only — `pub(crate)` and narrower are not public API).
+fn is_public_decl(code: &str) -> bool {
+    let mut tokens = code.split_whitespace();
+    if tokens.next() != Some("pub") {
+        return false;
+    }
+    for tok in tokens {
+        match tok {
+            "const" | "async" | "unsafe" | "extern" => continue,
+            "fn" | "struct" | "enum" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Walks upward over attributes looking for a doc comment
+/// (`///`, `/** ... */` or `#[doc]`).
+fn is_documented(file: &SourceFile, idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &file.lines[i];
+        let trimmed = line.raw.trim();
+        if trimmed.starts_with("///") || trimmed.starts_with("#[doc") || trimmed.ends_with("*/") {
+            return true;
+        }
+        // Skip attribute lines (including continuation lines of a
+        // multi-line attribute, which end with `]` or `,`).
+        if trimmed.starts_with("#[") || trimmed.ends_with(")]") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// R6 `design-drift`: every ablation/config identifier named in
+/// DESIGN.md §6 must occur somewhere under `crates/` (source, benches
+/// or binaries), so the documented levers cannot silently disappear.
+pub(crate) fn check_design_drift(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let design = root.join("DESIGN.md");
+    if !design.is_file() {
+        return Ok(Vec::new());
+    }
+    let text = std::fs::read_to_string(&design)?;
+    let flags = section6_flags(&text);
+    if flags.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // One concatenated haystack over every Rust file under crates/.
+    let mut haystack = String::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            if dir.is_dir() {
+                for path in rust_files(&dir)? {
+                    haystack.push_str(&std::fs::read_to_string(&path)?);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (flag, lineno) in flags {
+        if !haystack.contains(&flag) {
+            out.push(Violation {
+                file: rel(root, &design),
+                line: lineno,
+                rule: Rule::DesignDrift,
+                message: format!(
+                    "DESIGN.md §6 names `{flag}` but it does not occur anywhere under crates/ (doc drift)"
+                ),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts candidate flag identifiers from DESIGN.md §6: backticked
+/// snake_case identifiers (underscore required, so prose words and type
+/// names are skipped). Returns `(identifier, line)` pairs, deduplicated.
+fn section6_flags(text: &str) -> Vec<(String, usize)> {
+    let mut flags: Vec<(String, usize)> = Vec::new();
+    let mut in_section6 = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.starts_with("## ") {
+            in_section6 = line.starts_with("## 6");
+            continue;
+        }
+        if !in_section6 {
+            continue;
+        }
+        for span in backtick_spans(line) {
+            for token in span.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_')) {
+                if token.contains('_')
+                    && token.len() > 2
+                    && token.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                    && !flags.iter().any(|(f, _)| f == token)
+                {
+                    flags.push((token.to_string(), idx + 1));
+                }
+            }
+        }
+    }
+    flags
+}
+
+/// The contents of `` `...` `` spans in one line.
+fn backtick_spans(line: &str) -> Vec<&str> {
+    line.split('`').skip(1).step_by(2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_decl_detection() {
+        assert!(is_public_decl("pub fn foo() {"));
+        assert!(is_public_decl("pub struct Foo;"));
+        assert!(is_public_decl("pub const unsafe fn w() {"));
+        assert!(is_public_decl("pub enum E {"));
+        assert!(!is_public_decl("pub(crate) fn hidden() {"));
+        assert!(!is_public_decl("pub use foo::bar;"));
+        assert!(!is_public_decl("pub mod m;"));
+        assert!(!is_public_decl("fn private() {"));
+    }
+
+    #[test]
+    fn pattern_left_boundary() {
+        assert!(contains_pattern("println!(\"x\")", "println!"));
+        assert!(!contains_pattern("eprintln!(\"x\")", "println!"));
+        assert!(contains_pattern("eprintln!(\"x\")", "eprintln!"));
+        assert!(contains_pattern("x.unwrap()", ".unwrap()"));
+    }
+
+    #[test]
+    fn unsafe_token_boundaries() {
+        assert!(has_unsafe_token("unsafe { x }"));
+        assert!(has_unsafe_token("pub unsafe fn f()"));
+        assert!(!has_unsafe_token("let not_unsafe_name = 1;"));
+        assert!(!has_unsafe_token("unsafely()"));
+    }
+
+    #[test]
+    fn section6_extraction() {
+        let md = "\
+## 5. other
+`ignored_flag`
+## 6. Design choices
+* **bloom width** (`bloom_bits_per_element`) — `ablation_bloom`;
+* `RefineConfig::paper_faithful()` turns every lever off.
+## 7. next
+`also_ignored`
+";
+        let flags: Vec<String> = section6_flags(md).into_iter().map(|(f, _)| f).collect();
+        assert_eq!(
+            flags,
+            vec!["bloom_bits_per_element", "ablation_bloom", "paper_faithful"]
+        );
+    }
+}

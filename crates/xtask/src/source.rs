@@ -1,0 +1,364 @@
+//! Line-oriented Rust source scanner.
+//!
+//! The policy rules only need token-level facts ("does real code on this
+//! line call `unwrap()`?"), so instead of a full parser this module runs
+//! a small character state machine that blanks out comments, string
+//! literals and char literals, while tracking `#[cfg(test)]` regions by
+//! brace depth and collecting `nsky-lint: allow(...)` suppressions.
+//! The approximations (a `cfg(test)` substring match, brace-depth region
+//! tracking) are deliberate: they are stable under rustfmt and fail
+//! toward *reporting* rather than hiding a site.
+
+use crate::Rule;
+
+/// One scanned source line.
+#[derive(Debug)]
+pub struct Line {
+    /// The original text.
+    pub raw: String,
+    /// The text with comment, string-literal and char-literal contents
+    /// replaced by spaces — token searches run against this.
+    pub code: String,
+    /// Whether the line lies inside a `#[cfg(test)]` item body.
+    pub in_test: bool,
+    /// Rule names suppressed on this line via `nsky-lint: allow(...)`.
+    pub suppressed: Vec<String>,
+    /// Rule names in suppression comments that carried no justification
+    /// (these do not suppress, and are themselves flagged).
+    pub bare: Vec<String>,
+}
+
+/// A scanned file: lines plus derived per-line facts.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Scanned lines, in order.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl SourceFile {
+    /// Scans `text` (the contents of one `.rs` file).
+    pub fn scan(text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut state = State::Normal;
+        let mut depth: i32 = 0;
+        // Stack of brace depths at which a `#[cfg(test)]` body opened.
+        let mut test_regions: Vec<i32> = Vec::new();
+        let mut pending_cfg_test = false;
+
+        for raw in text.lines() {
+            let (code, next_state) = blank_line(raw, state);
+            state = next_state;
+
+            let in_test_before = !test_regions.is_empty();
+            let mut in_test = in_test_before;
+            if code.contains("cfg(test") {
+                pending_cfg_test = true;
+            }
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        if pending_cfg_test {
+                            test_regions.push(depth);
+                            pending_cfg_test = false;
+                            in_test = true;
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if test_regions.last().is_some_and(|&d| depth <= d) {
+                            test_regions.pop();
+                        }
+                    }
+                    // `#[cfg(test)]` directly on a braceless item
+                    // (e.g. `mod tests;`) attaches to nothing further.
+                    ';' if pending_cfg_test && test_regions.is_empty() => {
+                        pending_cfg_test = false;
+                    }
+                    _ => {}
+                }
+            }
+
+            let (suppressed, bare) = parse_suppressions(raw);
+            lines.push(Line {
+                raw: raw.to_string(),
+                code,
+                in_test,
+                suppressed,
+                bare,
+            });
+        }
+        SourceFile { lines }
+    }
+
+    /// Whether `rule` is suppressed for 1-based line `lineno` (a
+    /// suppression comment on the flagged line or the line directly
+    /// above it).
+    pub fn is_suppressed(&self, rule: Rule, lineno: usize) -> bool {
+        let hit = |idx: usize| {
+            self.lines
+                .get(idx)
+                .is_some_and(|l| l.suppressed.iter().any(|s| s == rule.name()))
+        };
+        hit(lineno - 1) || (lineno >= 2 && hit(lineno - 2))
+    }
+}
+
+/// Blanks comments/strings in one line, threading multi-line state.
+fn blank_line(raw: &str, mut state: State) -> (String, State) {
+    let mut out = String::with_capacity(raw.len());
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::BlockComment(d) => {
+                if c == '*' && next == Some('/') {
+                    state = if d == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(d - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(d + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Normal;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_str_closes(&chars, i, hashes) {
+                    state = State::Normal;
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Normal;
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Normal => {
+                if c == '/' && next == Some('/') {
+                    // Line comment: blank the rest of the line.
+                    for _ in i..chars.len() {
+                        out.push(' ');
+                    }
+                    i = chars.len();
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                } else if c == 'r' && is_raw_str_start(&chars, i) {
+                    let hashes = count_hashes(&chars, i + 1);
+                    state = State::RawStr(hashes);
+                    out.push('r');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    out.push('"');
+                    i += 2 + hashes as usize;
+                } else if c == '\'' && is_char_literal(&chars, i) {
+                    state = State::Char;
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Char literals cannot span lines (plain and raw strings can).
+    if state == State::Char {
+        state = State::Normal;
+    }
+    (out, state)
+}
+
+/// `r"` / `r#"`-style raw string start at position `i` (which holds 'r'),
+/// not preceded by an identifier character (so `for r"` matches but
+/// `var"` does not — and `r` as an identifier followed by `"` cannot
+/// occur in valid Rust).
+fn is_raw_str_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+/// Whether the `"` at `i` closes a raw string with `hashes` trailing `#`s.
+fn raw_str_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal from a lifetime: `'a'` vs `'a`. A char
+/// literal has a closing quote within a few characters (or an escape).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Parses `nsky-lint: allow(rule)` suppressions out of a raw line.
+/// Returns the justified rule names and the bare (unjustified) ones.
+pub(crate) fn parse_suppressions(raw: &str) -> (Vec<String>, Vec<String>) {
+    const MARKER: &str = "nsky-lint: allow(";
+    let mut suppressed = Vec::new();
+    let mut bare = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find(MARKER) {
+        rest = &rest[pos + MARKER.len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        // A justification is any alphanumeric text after the paren.
+        let justified = after.chars().any(|c| c.is_alphanumeric());
+        if justified {
+            suppressed.push(rule);
+        } else {
+            bare.push(rule);
+        }
+        rest = after;
+    }
+    (suppressed, bare)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings() {
+        let f = SourceFile::scan("let x = \"unwrap()\"; // unwrap()\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].raw.contains("unwrap"));
+    }
+
+    #[test]
+    fn blanks_block_comments_across_lines() {
+        let f = SourceFile::scan("/* panic!(\n panic!( */ let y = 1;\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(!f.lines[1].code.contains("panic"));
+        assert!(f.lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn blanks_raw_strings_and_chars() {
+        let f = SourceFile::scan("let s = r#\"todo!\"#; let c = '{';\n");
+        assert!(!f.lines[0].code.contains("todo"));
+        // The blanked char literal must not unbalance brace tracking.
+        assert!(!f.lines[0].code.contains('{'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::scan("fn f<'a>(x: &'a str) -> &'a str { x.trim() }\n");
+        assert!(f.lines[0].code.contains("trim"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "\
+fn real() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn real2() {}
+";
+        let f = SourceFile::scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn suppression_requires_justification() {
+        let (s, bare) = parse_suppressions("x(); // nsky-lint: allow(panic-free) — invariant");
+        assert_eq!(s, vec!["panic-free".to_string()]);
+        assert!(bare.is_empty());
+        let (s, bare) = parse_suppressions("x(); // nsky-lint: allow(panic-free)");
+        assert!(s.is_empty());
+        assert_eq!(bare, vec!["panic-free".to_string()]);
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let f = SourceFile::scan("let s = \"first line\nstill inside unwrap() {\n\"; let x = 1;\n");
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(!f.lines[1].code.contains('{'));
+        assert!(f.lines[2].code.contains("let x"));
+    }
+
+    #[test]
+    fn suppression_applies_to_line_below() {
+        let src = "// nsky-lint: allow(panic-free) — fine here\nx.unwrap();\n";
+        let f = SourceFile::scan(src);
+        assert!(f.is_suppressed(Rule::PanicFree, 2));
+        assert!(!f.is_suppressed(Rule::NoStdout, 2));
+    }
+}

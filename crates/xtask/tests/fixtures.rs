@@ -1,0 +1,168 @@
+//! Fixture-based self-tests for the policy lint engine: one
+//! true-positive and one true-negative miniature workspace per rule
+//! R1–R6, a CLI exit-code check, and the capstone assertion that the
+//! real workspace is lint-clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use nsky_xtask::{lint_workspace, Rule, Violation};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Violation> {
+    lint_workspace(&fixture(name)).expect("fixture lints without I/O errors")
+}
+
+/// Every violation in the bad fixture is of the expected rule, and
+/// there is at least one.
+fn assert_only_rule(name: &str, rule: Rule) -> Vec<Violation> {
+    let violations = lint_fixture(name);
+    assert!(
+        !violations.is_empty(),
+        "{name}: expected at least one {rule} violation"
+    );
+    for v in &violations {
+        assert_eq!(
+            v.rule, rule,
+            "{name}: unexpected cross-rule violation: {v}"
+        );
+        assert!(v.line > 0, "{name}: violations carry line numbers: {v}");
+    }
+    violations
+}
+
+fn assert_clean(name: &str) {
+    let violations = lint_fixture(name);
+    assert!(
+        violations.is_empty(),
+        "{name}: expected a clean fixture, got:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn r1_registry_deps_flagged() {
+    let violations = assert_only_rule("r1_bad", Rule::NoRegistryDeps);
+    // Both the [dependencies] and the [dev-dependencies] entry fire.
+    assert_eq!(violations.len(), 2);
+    assert!(violations[0].file.ends_with("crates/graph/Cargo.toml"));
+}
+
+#[test]
+fn r1_workspace_path_deps_clean() {
+    assert_clean("r1_good");
+}
+
+#[test]
+fn r2_panics_flagged() {
+    let violations = assert_only_rule("r2_bad", Rule::PanicFree);
+    // unwrap, expect, panic!, todo! — one site each.
+    assert_eq!(violations.len(), 4);
+}
+
+#[test]
+fn r2_tests_strings_docs_and_suppressions_clean() {
+    assert_clean("r2_good");
+}
+
+#[test]
+fn r3_unsafe_without_safety_flagged() {
+    assert_only_rule("r3_bad", Rule::SafetyComment);
+}
+
+#[test]
+fn r3_safety_commented_clean() {
+    assert_clean("r3_good");
+}
+
+#[test]
+fn r4_undocumented_public_items_flagged() {
+    let violations = assert_only_rule("r4_bad", Rule::DocPublic);
+    // pub fn + pub struct + pub enum.
+    assert_eq!(violations.len(), 3);
+}
+
+#[test]
+fn r4_documented_and_non_public_clean() {
+    assert_clean("r4_good");
+}
+
+#[test]
+fn r5_console_output_flagged() {
+    let violations = assert_only_rule("r5_bad", Rule::NoStdout);
+    // println!, eprintln!, process::exit.
+    assert_eq!(violations.len(), 3);
+}
+
+#[test]
+fn r5_quiet_library_and_exempt_cli_clean() {
+    assert_clean("r5_good");
+}
+
+#[test]
+fn r6_design_drift_flagged() {
+    let violations = assert_only_rule("r6_bad", Rule::DesignDrift);
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].message.contains("missing_flag_name"));
+    assert!(violations[0].file.ends_with("DESIGN.md"));
+}
+
+#[test]
+fn r6_documented_flags_present_clean() {
+    assert_clean("r6_good");
+}
+
+/// The capstone: the real workspace passes its own policy.
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let violations = lint_workspace(&root).expect("workspace lints");
+    assert!(
+        violations.is_empty(),
+        "workspace has policy violations:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// CLI contract: exit 0 on a clean root, exit 1 on each true-positive
+/// fixture, violations printed as `file:line: [rule] message`.
+#[test]
+fn cli_exit_codes_match_findings() {
+    let bin = env!("CARGO_BIN_EXE_nsky-xtask");
+    for bad in ["r1_bad", "r2_bad", "r3_bad", "r4_bad", "r5_bad", "r6_bad"] {
+        let out = Command::new(bin)
+            .args(["lint", "--root"])
+            .arg(fixture(bad))
+            .output()
+            .expect("lint runs");
+        assert_eq!(out.status.code(), Some(1), "{bad} should fail the lint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(": ["), "{bad}: report lines carry file:line: [rule]");
+    }
+    for good in ["r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good"] {
+        let out = Command::new(bin)
+            .args(["lint", "--root"])
+            .arg(fixture(good))
+            .output()
+            .expect("lint runs");
+        assert_eq!(out.status.code(), Some(0), "{good} should pass the lint");
+    }
+    let out = Command::new(bin).output().expect("runs without args");
+    assert_eq!(out.status.code(), Some(2), "usage error is exit 2");
+}

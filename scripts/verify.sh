@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification gate for the neighborhood-skyline workspace.
+#
+# Every step works offline: the workspace declares zero registry
+# dependencies (rule R1, enforced by the policy linter below).
+#
+#   ./scripts/verify.sh          # everything
+#   NSKY_QUICK=1 ./scripts/verify.sh   # shrink the test sweeps
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo fmt --all -- --check
+step cargo clippy --workspace --all-targets -- -D warnings
+step cargo run -q -p nsky-xtask -- lint
+step cargo build --release
+step cargo test -q
+
+echo
+echo "verify: all gates passed"

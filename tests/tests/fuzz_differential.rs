@@ -1,31 +1,55 @@
-//! Differential fuzzing with an *independent* randomness source (`rand`,
-//! not the library's own SplitMix64): random multigraph edge soups are
-//! normalized by the builder and every skyline algorithm must agree.
+//! Differential fuzzing with an *independent* randomness source (an
+//! inline xorshift64*, not the library's own SplitMix64): random
+//! multigraph edge soups are normalized by the builder and every skyline
+//! algorithm must agree.
+//!
+//! The generator is deliberately implemented here rather than imported:
+//! the point of this suite is that the workload stream shares no code
+//! with the generators under test, and being std-only keeps the suite
+//! hermetic (DESIGN.md §3 dependency policy).
 
 use nsky_graph::{Graph, VertexId};
 use nsky_setjoin::lc_join_skyline;
 use nsky_skyline::oracle::naive_skyline;
 use nsky_skyline::{base_sky, cset_sky, filter_refine_sky, two_hop_sky, RefineConfig};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
-fn random_graph(rng: &mut StdRng) -> Graph {
-    let n = rng.random_range(1..60usize);
-    let m = rng.random_range(0..200usize);
+/// Minimal xorshift64* stream (Vigna 2016), independent of
+/// `nsky_graph::prng::SplitMix64` by construction.
+struct XorShift64Star(u64);
+
+impl XorShift64Star {
+    fn new(seed: u64) -> Self {
+        // xorshift state must be non-zero.
+        XorShift64Star(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+fn random_graph(rng: &mut XorShift64Star) -> Graph {
+    let n = rng.range(1, 60);
+    let m = rng.range(0, 200);
     let edges: Vec<(VertexId, VertexId)> = (0..m)
-        .map(|_| {
-            (
-                rng.random_range(0..n as u32),
-                rng.random_range(0..n as u32),
-            )
-        })
+        .map(|_| (rng.range(0, n) as u32, rng.range(0, n) as u32))
         .collect();
     Graph::from_edges(n, edges)
 }
 
 #[test]
 fn five_hundred_random_graphs_agree() {
-    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    let mut rng = XorShift64Star::new(0xFACADE);
     for case in 0..500 {
         let g = random_graph(&mut rng);
         let truth = naive_skyline(&g).skyline;
@@ -41,7 +65,7 @@ fn five_hundred_random_graphs_agree() {
 #[test]
 fn incremental_removals_match_from_scratch() {
     use nsky_skyline::incremental::DynamicSkyline;
-    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut rng = XorShift64Star::new(0xBEEF);
     for case in 0..60 {
         let g = random_graph(&mut rng);
         if g.num_vertices() < 3 {
@@ -50,14 +74,12 @@ fn incremental_removals_match_from_scratch() {
         let mut dyn_sky = DynamicSkyline::new(&g);
         let mut removed: Vec<VertexId> = Vec::new();
         for _ in 0..(g.num_vertices() / 2).min(8) {
-            let alive: Vec<VertexId> =
-                g.vertices().filter(|&u| dyn_sky.is_alive(u)).collect();
-            let x = alive[rng.random_range(0..alive.len())];
+            let alive: Vec<VertexId> = g.vertices().filter(|&u| dyn_sky.is_alive(u)).collect();
+            let x = alive[rng.range(0, alive.len())];
             dyn_sky.remove_vertex(x);
             removed.push(x);
             // Reference: recompute on the induced residual graph.
-            let keep: Vec<VertexId> =
-                g.vertices().filter(|u| !removed.contains(u)).collect();
+            let keep: Vec<VertexId> = g.vertices().filter(|u| !removed.contains(u)).collect();
             let (sub, map) = nsky_graph::ops::induced_subgraph(&g, &keep);
             let expect: Vec<VertexId> = naive_skyline(&sub)
                 .skyline

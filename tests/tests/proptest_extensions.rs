@@ -1,44 +1,59 @@
 //! Property tests for the beyond-the-paper modules: approximate skyline,
 //! MIS reduction, threshold graphs, betweenness and the prefix tree.
+//!
+//! The always-on cases drive the properties with the library's own
+//! deterministic SplitMix64 stream so the suite is hermetic (no registry
+//! dependencies; DESIGN.md §3). The original proptest shrinking suite is
+//! kept behind the opt-in `--cfg nsky_proptest` (DESIGN.md §8).
 
 use nsky_clique::mis::{exact_mis, is_independent_set, reducing_peeling_mis};
+use nsky_graph::prng::SplitMix64;
 use nsky_graph::threshold::{random_threshold_graph, threshold_graph, ThresholdStep};
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::approx::{approx_dominates, approx_sky};
 use nsky_skyline::{base_sky, filter_refine_sky, RefineConfig};
-use proptest::prelude::*;
 
-fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (1usize..35, proptest::collection::vec((0u32..35, 0u32..35), 0..90)).prop_map(
-        |(n, edges)| {
-            Graph::from_edges(
-                n,
-                edges
-                    .into_iter()
-                    .map(|(a, b)| (a % n as u32, b % n as u32)),
+/// Deterministic stand-in for the proptest `arbitrary_graph` strategy:
+/// up to 35 vertices, up to 90 multigraph edges, normalized by the
+/// builder.
+fn arbitrary_graph(rng: &mut SplitMix64) -> Graph {
+    let n = 1 + rng.next_index(34);
+    let m = rng.next_index(90);
+    let edges: Vec<(VertexId, VertexId)> = (0..m)
+        .map(|_| {
+            (
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
             )
-        },
-    )
+        })
+        .collect();
+    Graph::from_edges(n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// ε = 0 approximate skyline equals the exact skyline.
-    #[test]
-    fn approx_zero_is_exact(g in arbitrary_graph()) {
-        prop_assert_eq!(approx_sky(&g, 0.0).skyline, base_sky(&g).skyline);
+/// ε = 0 approximate skyline equals the exact skyline.
+#[test]
+fn approx_zero_is_exact() {
+    let mut rng = SplitMix64::new(0xA110);
+    for _ in 0..48 {
+        let g = arbitrary_graph(&mut rng);
+        assert_eq!(approx_sky(&g, 0.0).skyline, base_sky(&g).skyline);
     }
+}
 
-    /// Pairwise ε-inclusion is monotone in ε (the guaranteed half of the
-    /// monotonicity story: the skyline itself is NOT antitone, because a
-    /// strict domination can turn mutual and the ID tie-break can
-    /// resurrect the dominated vertex — see `approx` module docs).
-    #[test]
-    fn approx_inclusion_is_monotone_in_epsilon(g in arbitrary_graph()) {
+/// Pairwise ε-inclusion is monotone in ε (the guaranteed half of the
+/// monotonicity story: the skyline itself is NOT antitone, because a
+/// strict domination can turn mutual and the ID tie-break can resurrect
+/// the dominated vertex — see `approx` module docs).
+#[test]
+fn approx_inclusion_is_monotone_in_epsilon() {
+    let mut rng = SplitMix64::new(0xA111);
+    for _ in 0..48 {
+        let g = arbitrary_graph(&mut rng);
         for u in g.vertices() {
             for w in g.vertices() {
-                if u == w { continue; }
+                if u == w {
+                    continue;
+                }
                 // Strict domination (forward holds, reverse fails at the
                 // SAME ε) may flip, but forward ε-inclusion itself only
                 // gains pairs as ε grows. approx_dominates(w, u, ε) with
@@ -49,7 +64,7 @@ proptest! {
                 let reverse_at_high = approx_dominates(&g, u, w, 0.7)
                     || approx_dominates(&g, w, u, 0.7); // pair comparable at ε2
                 if d1 {
-                    prop_assert!(
+                    assert!(
                         reverse_at_high,
                         "pair ({w},{u}) comparable at ε=0.2 but not at ε=0.7"
                     );
@@ -57,81 +72,121 @@ proptest! {
             }
         }
     }
+}
 
-    /// ε-domination: exact pairwise oracle agrees with the scan.
-    #[test]
-    fn approx_scan_matches_pairwise(g in arbitrary_graph(), e in 0usize..4) {
-        let eps = [0.0, 0.2, 0.45, 0.7][e];
+/// ε-domination: exact pairwise oracle agrees with the scan.
+#[test]
+fn approx_scan_matches_pairwise() {
+    let mut rng = SplitMix64::new(0xA112);
+    for case in 0..48 {
+        let g = arbitrary_graph(&mut rng);
+        let eps = [0.0, 0.2, 0.45, 0.7][case % 4];
         let expect: Vec<VertexId> = g
             .vertices()
-            .filter(|&u| !g.vertices().any(|w| w != u && approx_dominates(&g, w, u, eps)))
+            .filter(|&u| {
+                !g.vertices()
+                    .any(|w| w != u && approx_dominates(&g, w, u, eps))
+            })
             .collect();
-        prop_assert_eq!(approx_sky(&g, eps).skyline, expect);
+        assert_eq!(approx_sky(&g, eps).skyline, expect);
     }
+}
 
-    /// The reducing–peeling MIS is always independent and never worse
-    /// than the exact optimum minus a small gap on small graphs.
-    #[test]
-    fn mis_is_independent_and_near_optimal(g in arbitrary_graph()) {
+/// The reducing–peeling MIS is always independent and never worse than
+/// the exact optimum minus a small gap on small graphs.
+#[test]
+fn mis_is_independent_and_near_optimal() {
+    let mut rng = SplitMix64::new(0xA113);
+    for _ in 0..48 {
+        let g = arbitrary_graph(&mut rng);
         let heur = reducing_peeling_mis(&g);
-        prop_assert!(is_independent_set(&g, &heur));
+        assert!(is_independent_set(&g, &heur));
         if g.num_vertices() <= 26 {
             let opt = exact_mis(&g);
-            prop_assert!(heur.len() <= opt.len());
-            prop_assert!(heur.len() + 2 >= opt.len(),
-                "heuristic {} far below optimum {}", heur.len(), opt.len());
+            assert!(heur.len() <= opt.len());
+            assert!(
+                heur.len() + 2 >= opt.len(),
+                "heuristic {} far below optimum {}",
+                heur.len(),
+                opt.len()
+            );
         }
     }
+}
 
-    /// Constructed threshold graphs are recognized; their non-isolated
-    /// skyline is a single vertex.
-    #[test]
-    fn threshold_construction_roundtrip(steps in proptest::collection::vec(any::<bool>(), 1..30)) {
-        let steps: Vec<ThresholdStep> = steps
-            .into_iter()
-            .map(|d| if d { ThresholdStep::Dominating } else { ThresholdStep::Isolated })
+/// Constructed threshold graphs are recognized; their non-isolated
+/// skyline is a single vertex.
+#[test]
+fn threshold_construction_roundtrip() {
+    let mut rng = SplitMix64::new(0xA114);
+    for _ in 0..64 {
+        let len = 1 + rng.next_index(29);
+        let steps: Vec<ThresholdStep> = (0..len)
+            .map(|_| {
+                if rng.next_bool(0.5) {
+                    ThresholdStep::Dominating
+                } else {
+                    ThresholdStep::Isolated
+                }
+            })
             .collect();
         let g = threshold_graph(&steps);
-        prop_assert!(nsky_graph::threshold::is_threshold(&g));
+        assert!(nsky_graph::threshold::is_threshold(&g));
         let isolated = g.vertices().filter(|&u| g.degree(u) == 0).count();
         let r = filter_refine_sky(&g, &RefineConfig::default());
         if isolated < g.num_vertices() {
-            prop_assert_eq!(r.len(), isolated + 1);
+            assert_eq!(r.len(), isolated + 1);
         } else {
-            prop_assert_eq!(r.len(), g.num_vertices());
+            assert_eq!(r.len(), g.num_vertices());
         }
     }
+}
 
-    /// Adding one random edge to a threshold graph is either still a
-    /// threshold graph or correctly rejected — and recognition never
-    /// panics either way.
-    #[test]
-    fn threshold_recognition_is_total(seed in 0u64..500, a in 0u32..20, b in 0u32..20) {
+/// Adding one random edge to a threshold graph is either still a
+/// threshold graph or correctly rejected — and recognition never panics
+/// either way.
+#[test]
+fn threshold_recognition_is_total() {
+    let mut rng = SplitMix64::new(0xA115);
+    for seed in 0..500 {
         let g = random_threshold_graph(20, 0.5, seed);
         let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
-        edges.push((a, b));
+        edges.push((
+            rng.next_below(20) as u32,
+            rng.next_below(20) as u32,
+        ));
         let h = Graph::from_edges(20, edges);
         let _ = nsky_graph::threshold::is_threshold(&h);
     }
+}
 
-    /// Prefix-tree join equals the per-query join on arbitrary inputs.
-    #[test]
-    fn prefix_tree_join_matches_per_query(
-        records in proptest::collection::vec(
-            proptest::collection::btree_set(0u32..20, 0..6), 1..25),
-        queries in proptest::collection::vec(
-            proptest::collection::btree_set(0u32..20, 0..5), 0..25),
-    ) {
-        use nsky_setjoin::{InvertedIndex, PrefixTree};
-        let records: Vec<Vec<u32>> =
-            records.into_iter().map(|s| s.into_iter().collect()).collect();
-        let queries: Vec<Vec<u32>> =
-            queries.into_iter().map(|s| s.into_iter().collect()).collect();
+/// Prefix-tree join equals the per-query join on arbitrary inputs.
+#[test]
+fn prefix_tree_join_matches_per_query() {
+    use nsky_setjoin::{InvertedIndex, PrefixTree};
+    use std::collections::BTreeSet;
+    let mut rng = SplitMix64::new(0xA116);
+    let mut random_sets = |count_max: usize, set_max: usize, min_count: usize| -> Vec<Vec<u32>> {
+        let count = min_count + rng.next_index(count_max - min_count + 1);
+        (0..count)
+            .map(|_| {
+                let k = rng.next_index(set_max + 1);
+                let mut s = BTreeSet::new();
+                for _ in 0..k {
+                    s.insert(rng.next_below(20) as u32);
+                }
+                s.into_iter().collect()
+            })
+            .collect()
+    };
+    for case in 0..48 {
+        let records = random_sets(24, 5, 1);
+        let queries = random_sets(24, 4, 0);
         let idx = InvertedIndex::build(&records, 20);
         let tree = PrefixTree::build(&queries, &idx);
         let joined = tree.containment_join(&idx);
         for (qid, q) in queries.iter().enumerate() {
-            prop_assert_eq!(&joined[qid], &idx.supersets_of(q), "query {}", qid);
+            assert_eq!(&joined[qid], &idx.supersets_of(q), "case {case} query {qid}");
         }
     }
 }
@@ -157,6 +212,60 @@ fn betweenness_invariants() {
                 "seed {seed} vertex {u}: GB {gb} vs BC {}",
                 b[u as usize]
             );
+        }
+    }
+}
+
+/// Opt-in proptest shrinking suite (`RUSTFLAGS="--cfg nsky_proptest"`
+/// plus a manually added `proptest` dev-dependency; DESIGN.md §8).
+#[cfg(nsky_proptest)]
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_graph_strategy() -> impl Strategy<Value = Graph> {
+        (
+            1usize..35,
+            proptest::collection::vec((0u32..35, 0u32..35), 0..90),
+        )
+            .prop_map(|(n, edges)| {
+                Graph::from_edges(
+                    n,
+                    edges.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)),
+                )
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn approx_zero_is_exact_proptest(g in arbitrary_graph_strategy()) {
+            prop_assert_eq!(approx_sky(&g, 0.0).skyline, base_sky(&g).skyline);
+        }
+
+        #[test]
+        fn approx_scan_matches_pairwise_proptest(
+            g in arbitrary_graph_strategy(),
+            e in 0usize..4,
+        ) {
+            let eps = [0.0, 0.2, 0.45, 0.7][e];
+            let expect: Vec<VertexId> = g
+                .vertices()
+                .filter(|&u| !g.vertices().any(|w| w != u && approx_dominates(&g, w, u, eps)))
+                .collect();
+            prop_assert_eq!(approx_sky(&g, eps).skyline, expect);
+        }
+
+        #[test]
+        fn mis_is_independent_and_near_optimal_proptest(g in arbitrary_graph_strategy()) {
+            let heur = reducing_peeling_mis(&g);
+            prop_assert!(is_independent_set(&g, &heur));
+            if g.num_vertices() <= 26 {
+                let opt = exact_mis(&g);
+                prop_assert!(heur.len() <= opt.len());
+                prop_assert!(heur.len() + 2 >= opt.len());
+            }
         }
     }
 }
