@@ -5,7 +5,10 @@ use nsky_bench::harness::{fmt_secs, quick_mode};
 
 fn main() {
     println!("Fig. 10 — skyline scalability on the LiveJournal stand-in");
-    println!("{:<5} {:>5} | {:>10} {:>10} {:>8}", "axis", "frac", "BaseSky", "FRSky", "speedup");
+    println!(
+        "{:<5} {:>5} | {:>10} {:>10} {:>8}",
+        "axis", "frac", "BaseSky", "FRSky", "speedup"
+    );
     for r in nsky_bench::figures::fig10(quick_mode()) {
         println!(
             "{:<5} {:>4.0}% | {:>10} {:>10} {:>7.1}x",

@@ -5,7 +5,10 @@ use nsky_bench::harness::{fmt_secs, quick_mode};
 
 fn main() {
     println!("Fig. 12 — group harmonic scalability on LiveJournal stand-in");
-    println!("{:<5} {:>5} | {:>10} {:>10} {:>8}", "axis", "frac", "Greedy-H", "NeiSkyGH", "speedup");
+    println!(
+        "{:<5} {:>5} | {:>10} {:>10} {:>8}",
+        "axis", "frac", "Greedy-H", "NeiSkyGH", "speedup"
+    );
     for r in nsky_bench::figures::fig12(quick_mode()) {
         println!(
             "{:<5} {:>4.0}% | {:>10} {:>10} {:>7.2}x",

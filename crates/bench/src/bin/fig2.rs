@@ -2,7 +2,10 @@
 
 fn main() {
     println!("Fig. 2 — |R| and |C| on special families");
-    println!("{:<12} {:>6} {:>6} {:>6} {:>9}", "family", "n", "|R|", "|C|", "expected");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>9}",
+        "family", "n", "|R|", "|C|", "expected"
+    );
     for r in nsky_bench::figures::fig2() {
         println!(
             "{:<12} {:>6} {:>6} {:>6} {:>9}",

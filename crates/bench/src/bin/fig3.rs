@@ -6,7 +6,16 @@ fn main() {
     println!("Fig. 3 — skyline computation runtime (seconds)");
     println!(
         "{:<11} {:>7} {:>8} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>7} {:>7}",
-        "dataset", "n", "m", "LC-Join", "BaseSky", "Base2Hop", "BaseCSet", "FRSky", "spd/LC", "spd/Base"
+        "dataset",
+        "n",
+        "m",
+        "LC-Join",
+        "BaseSky",
+        "Base2Hop",
+        "BaseCSet",
+        "FRSky",
+        "spd/LC",
+        "spd/Base"
     );
     for r in nsky_bench::figures::fig3(quick_mode()) {
         println!(

@@ -4,7 +4,10 @@ use nsky_bench::harness::quick_mode;
 
 fn main() {
     println!("Fig. 5 — skyline vs candidate vs total vertices");
-    println!("{:<11} {:>8} {:>8} {:>8} {:>8}", "dataset", "|R|", "|C|", "|V|", "|V|/|R|");
+    println!(
+        "{:<11} {:>8} {:>8} {:>8} {:>8}",
+        "dataset", "|R|", "|C|", "|V|", "|V|/|R|"
+    );
     for r in nsky_bench::figures::fig5(quick_mode()) {
         println!(
             "{:<11} {:>8} {:>8} {:>8} {:>7.1}x",

@@ -7,12 +7,18 @@ fn main() {
     println!("Fig. 6(a) — ER graphs, vary Δp (p = Δp·ln n / n)");
     println!("{:>5} {:>8} {:>8} {:>8}", "Δp", "|R|", "|C|", "|V|");
     for r in nsky_bench::figures::fig6_er(quick) {
-        println!("{:>5.1} {:>8} {:>8} {:>8}", r.parameter, r.skyline, r.candidates, r.total);
+        println!(
+            "{:>5.1} {:>8} {:>8} {:>8}",
+            r.parameter, r.skyline, r.candidates, r.total
+        );
     }
     println!();
     println!("Fig. 6(b) — power-law graphs, vary β");
     println!("{:>5} {:>8} {:>8} {:>8}", "β", "|R|", "|C|", "|V|");
     for r in nsky_bench::figures::fig6_pl(quick) {
-        println!("{:>5.1} {:>8} {:>8} {:>8}", r.parameter, r.skyline, r.candidates, r.total);
+        println!(
+            "{:>5.1} {:>8} {:>8} {:>8}",
+            r.parameter, r.skyline, r.candidates, r.total
+        );
     }
 }

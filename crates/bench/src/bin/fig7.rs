@@ -9,7 +9,10 @@ fn main() {
         "dataset", "k", "Greedy++", "NeiSkyGC", "speedup", "evals++", "evalsNS", "r=|R|"
     );
     for r in nsky_bench::figures::fig7(quick_mode()) {
-        assert!(r.score_neisky >= r.score_base - 1e-9, "pruning lost quality");
+        assert!(
+            r.score_neisky >= r.score_base - 1e-9,
+            "pruning lost quality"
+        );
         println!(
             "{:<11} {:>3} | {:>9} {:>9} {:>6.2}x | {:>9} {:>9} {:>7}",
             r.dataset,

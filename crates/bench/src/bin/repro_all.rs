@@ -49,7 +49,10 @@ fn run_table1() {
 
 fn run_fig2() {
     for r in f::fig2() {
-        println!("{:<12} n={:<3} |R|={:<3} |C|={:<3} expected={}", r.family, r.n, r.skyline, r.candidates, r.expected);
+        println!(
+            "{:<12} n={:<3} |R|={:<3} |C|={:<3} expected={}",
+            r.family, r.n, r.skyline, r.candidates, r.expected
+        );
     }
 }
 
@@ -74,16 +77,25 @@ fn run_fig3_4() {
 
 fn run_fig5() {
     for r in f::fig5(quick_mode()) {
-        println!("{:<11} |R|={:<7} |C|={:<7} |V|={}", r.dataset, r.skyline, r.candidates, r.n);
+        println!(
+            "{:<11} |R|={:<7} |C|={:<7} |V|={}",
+            r.dataset, r.skyline, r.candidates, r.n
+        );
     }
 }
 
 fn run_fig6() {
     for r in f::fig6_er(quick_mode()) {
-        println!("ER Δp={:<4} |R|={:<7} |C|={:<7} |V|={}", r.parameter, r.skyline, r.candidates, r.total);
+        println!(
+            "ER Δp={:<4} |R|={:<7} |C|={:<7} |V|={}",
+            r.parameter, r.skyline, r.candidates, r.total
+        );
     }
     for r in f::fig6_pl(quick_mode()) {
-        println!("PL β={:<4} |R|={:<7} |C|={:<7} |V|={}", r.parameter, r.skyline, r.candidates, r.total);
+        println!(
+            "PL β={:<4} |R|={:<7} |C|={:<7} |V|={}",
+            r.parameter, r.skyline, r.candidates, r.total
+        );
     }
 }
 
@@ -91,8 +103,14 @@ fn run_fig7() {
     for r in f::fig7(quick_mode()) {
         println!(
             "{:<11} k={:<3} Greedy++={} NeiSkyGC={} ({:.2}x), evals {} vs {}, r={}",
-            r.dataset, r.k, fmt_secs(r.secs_base), fmt_secs(r.secs_neisky),
-            r.secs_base / r.secs_neisky, r.evals_base, r.evals_neisky, r.skyline_size
+            r.dataset,
+            r.k,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_neisky),
+            r.secs_base / r.secs_neisky,
+            r.evals_base,
+            r.evals_neisky,
+            r.skyline_size
         );
     }
 }
@@ -101,8 +119,14 @@ fn run_fig8() {
     for r in f::fig8(quick_mode()) {
         println!(
             "{:<11} k={:<3} Greedy-H={} NeiSkyGH={} ({:.2}x), evals {} vs {}, r={}",
-            r.dataset, r.k, fmt_secs(r.secs_base), fmt_secs(r.secs_neisky),
-            r.secs_base / r.secs_neisky, r.evals_base, r.evals_neisky, r.skyline_size
+            r.dataset,
+            r.k,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_neisky),
+            r.secs_base / r.secs_neisky,
+            r.evals_base,
+            r.evals_neisky,
+            r.skyline_size
         );
     }
 }
@@ -111,8 +135,12 @@ fn run_fig9() {
     for r in f::fig9(quick_mode()) {
         println!(
             "{:<8} k={:<2} Base={} NeiSky={} ({:.2}x) sizes={:?}",
-            r.dataset, r.k, fmt_secs(r.secs_base), fmt_secs(r.secs_neisky),
-            r.secs_base / r.secs_neisky, r.sizes_neisky
+            r.dataset,
+            r.k,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_neisky),
+            r.secs_base / r.secs_neisky,
+            r.sizes_neisky
         );
     }
 }
@@ -121,7 +149,10 @@ fn run_fig10() {
     for r in f::fig10(quick_mode()) {
         println!(
             "{:?} {:>3.0}% BaseSky={} FRSky={} ({:.1}x)",
-            r.axis, r.fraction * 100.0, fmt_secs(r.secs_base), fmt_secs(r.secs_fast),
+            r.axis,
+            r.fraction * 100.0,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_fast),
             r.secs_base / r.secs_fast
         );
     }
@@ -131,7 +162,10 @@ fn run_fig11() {
     for r in f::fig11(quick_mode()) {
         println!(
             "{:?} {:>3.0}% Greedy++={} NeiSkyGC={} ({:.2}x)",
-            r.axis, r.fraction * 100.0, fmt_secs(r.secs_base), fmt_secs(r.secs_fast),
+            r.axis,
+            r.fraction * 100.0,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_fast),
             r.secs_base / r.secs_fast
         );
     }
@@ -141,7 +175,10 @@ fn run_fig12() {
     for r in f::fig12(quick_mode()) {
         println!(
             "{:?} {:>3.0}% Greedy-H={} NeiSkyGH={} ({:.2}x)",
-            r.axis, r.fraction * 100.0, fmt_secs(r.secs_base), fmt_secs(r.secs_fast),
+            r.axis,
+            r.fraction * 100.0,
+            fmt_secs(r.secs_base),
+            fmt_secs(r.secs_fast),
             r.secs_base / r.secs_fast
         );
     }
@@ -151,7 +188,11 @@ fn run_table2() {
     for r in f::table2(quick_mode()) {
         println!(
             "{:?} {:>3.0}% MC-BRB={} NeiSkyMC={} ω={}",
-            r.axis, r.fraction * 100.0, fmt_secs(r.secs_mcbrb), fmt_secs(r.secs_neisky), r.omega
+            r.axis,
+            r.fraction * 100.0,
+            fmt_secs(r.secs_mcbrb),
+            fmt_secs(r.secs_neisky),
+            r.omega
         );
     }
 }
@@ -160,7 +201,9 @@ fn run_fig13() {
     for r in f::fig13() {
         println!(
             "{:<8} skyline {}/{} ({:.0}%, paper {:.0}%)",
-            r.network, r.skyline.len(), r.n,
+            r.network,
+            r.skyline.len(),
+            r.n,
             100.0 * r.skyline.len() as f64 / r.n as f64,
             100.0 * r.paper_fraction
         );

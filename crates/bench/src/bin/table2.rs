@@ -5,7 +5,10 @@ use nsky_bench::harness::{fmt_secs, quick_mode};
 
 fn main() {
     println!("Table II — maximum clique scalability on LiveJournal stand-in");
-    println!("{:<5} {:>5} | {:>10} {:>10} {:>4}", "axis", "frac", "MC-BRB", "NeiSkyMC", "ω");
+    println!(
+        "{:<5} {:>5} | {:>10} {:>10} {:>4}",
+        "axis", "frac", "MC-BRB", "NeiSkyMC", "ω"
+    );
     for r in nsky_bench::figures::table2(quick_mode()) {
         println!(
             "{:<5} {:>4.0}% | {:>10} {:>10} {:>4}",

@@ -134,14 +134,13 @@ pub fn fig3(quick: bool) -> Vec<SkylineCompareRow> {
 
             // Base2Hop: skip when the materialization bound blows the
             // budget.
-            let (secs_two, mem_two) =
-                if memory::two_hop_upper_bound_bytes(&g) > INF_BUDGET_BYTES {
-                    (f64::INFINITY, usize::MAX)
-                } else {
-                    let two = time(|| two_hop_sky(&g));
-                    assert_eq!(two.value.skyline, base.value.skyline, "{}", spec.name);
-                    (two.seconds, two.value.stats.peak_bytes)
-                };
+            let (secs_two, mem_two) = if memory::two_hop_upper_bound_bytes(&g) > INF_BUDGET_BYTES {
+                (f64::INFINITY, usize::MAX)
+            } else {
+                let two = time(|| two_hop_sky(&g));
+                assert_eq!(two.value.skyline, base.value.skyline, "{}", spec.name);
+                (two.seconds, two.value.stats.peak_bytes)
+            };
 
             let candidates = refine.value.candidates.as_ref().map_or(0, |c| c.len());
             SkylineCompareRow {

@@ -13,11 +13,7 @@
 /// # Panics
 ///
 /// Panics if `bits == 0`.
-pub fn subset_false_positive_probability(
-    bits: usize,
-    deg_v: usize,
-    uncovered: usize,
-) -> f64 {
+pub fn subset_false_positive_probability(bits: usize, deg_v: usize, uncovered: usize) -> f64 {
     assert!(bits > 0, "filter width must be positive");
     if uncovered == 0 {
         return 1.0; // inclusion actually holds: "maybe" is correct.

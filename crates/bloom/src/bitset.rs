@@ -44,7 +44,11 @@ impl BitSet {
     /// Panics if `i >= capacity`.
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         let fresh = *w & mask == 0;
@@ -55,7 +59,11 @@ impl BitSet {
     /// Removes `i`. Returns whether it was present.
     #[inline]
     pub fn remove(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         let present = *w & mask != 0;

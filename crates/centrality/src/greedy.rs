@@ -183,9 +183,7 @@ impl<'g, M: GroupMeasure> Evaluator<'g, M> {
     /// Adds `u` to the group, updating `dist_s` and `total`.
     fn commit(&mut self, u: VertexId) {
         self.collect_improvements(u, true);
-        self.total -= self
-            .measure
-            .contribution(self.dist_s[u as usize], self.n);
+        self.total -= self.measure.contribution(self.dist_s[u as usize], self.n);
         self.in_group[u as usize] = true;
         // Drain improvements to release the borrow while mutating state.
         let improvements = std::mem::take(&mut self.improvements);

@@ -93,8 +93,7 @@ mod tests {
                 }
                 checked += 1;
                 // S = some fixed small set avoiding u, v.
-                let s: Vec<VertexId> =
-                    g.vertices().filter(|&x| x != u && x != v).take(2).collect();
+                let s: Vec<VertexId> = g.vertices().filter(|&x| x != u && x != v).take(2).collect();
                 let mut with_u = s.clone();
                 with_u.push(u);
                 let mut with_v = s.clone();
@@ -136,7 +135,10 @@ mod tests {
         // The Sec. IV-D generality claim: any shortest-path measure.
         let mut checked = 0;
         for seed in 0..4 {
-            checked += lemma_holds(&chung_lu_power_law(60, 2.6, 4.0, seed + 20), Decay::new(0.6));
+            checked += lemma_holds(
+                &chung_lu_power_law(60, 2.6, 4.0, seed + 20),
+                Decay::new(0.6),
+            );
         }
         assert!(checked > 0, "test vacuous");
     }
@@ -174,10 +176,7 @@ mod tests {
         // The formula from Sec. IV-A.2: k(2r − k + 1)/2 evaluations.
         let r = pruned.skyline_size as u64;
         let kk = k as u64;
-        assert_eq!(
-            pruned.greedy.gain_evaluations,
-            kk * (2 * r - kk + 1) / 2
-        );
+        assert_eq!(pruned.greedy.gain_evaluations, kk * (2 * r - kk + 1) / 2);
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub(crate) fn stats(args: &Args) -> Result<String, String> {
     let _ = writeln!(out, "avg degree = {:.2}", s.avg_degree);
     let _ = writeln!(out, "components = {components}");
     let _ = writeln!(out, "degeneracy = {}", deco.degeneracy);
-    let _ = writeln!(out, "threshold graph = {}", nsky_graph::threshold::is_threshold(&g));
+    let _ = writeln!(
+        out,
+        "threshold graph = {}",
+        nsky_graph::threshold::is_threshold(&g)
+    );
     Ok(out)
 }
 
@@ -47,7 +51,10 @@ pub(crate) fn skyline(args: &Args) -> Result<String, String> {
     let algo = args.get("algorithm").unwrap_or("refine");
     let cfg = nsky_skyline::RefineConfig::default();
     let (name, skyline): (&str, Vec<VertexId>) = match algo {
-        "refine" => ("FilterRefineSky", nsky_skyline::filter_refine_sky(&g, &cfg).skyline),
+        "refine" => (
+            "FilterRefineSky",
+            nsky_skyline::filter_refine_sky(&g, &cfg).skyline,
+        ),
         "base" => ("BaseSky", nsky_skyline::base_sky(&g).skyline),
         "cset" => ("BaseCSet", nsky_skyline::cset_sky(&g).skyline),
         "2hop" => ("Base2Hop", nsky_skyline::two_hop_sky(&g).skyline),
@@ -57,7 +64,10 @@ pub(crate) fn skyline(args: &Args) -> Result<String, String> {
             if !(0.0..1.0).contains(&eps) {
                 return Err(format!("--epsilon must lie in [0, 1), got {eps}"));
             }
-            ("ApproxSky", nsky_skyline::approx::approx_sky(&g, eps).skyline)
+            (
+                "ApproxSky",
+                nsky_skyline::approx::approx_sky(&g, eps).skyline,
+            )
         }
         other => return Err(format!("unknown algorithm {other:?}")),
     };
@@ -93,10 +103,7 @@ pub(crate) fn group(args: &Args) -> Result<String, String> {
             use nsky_centrality::measure::{Closeness, Harmonic};
             use nsky_centrality::neisky::nei_sky_group;
             let (label, result) = match (measure, prune) {
-                ("closeness", true) => (
-                    "NeiSkyGC",
-                    nei_sky_group(&g, Closeness, k, true).greedy,
-                ),
+                ("closeness", true) => ("NeiSkyGC", nei_sky_group(&g, Closeness, k, true).greedy),
                 ("closeness", false) => (
                     "Greedy++",
                     greedy_group(&g, Closeness, k, &GreedyOptions::optimized()),
@@ -115,7 +122,11 @@ pub(crate) fn group(args: &Args) -> Result<String, String> {
         }
         "betweenness" => {
             use nsky_centrality::betweenness::{base_gb, nei_sky_gb};
-            let result = if prune { nei_sky_gb(&g, k) } else { base_gb(&g, k) };
+            let result = if prune {
+                nei_sky_gb(&g, k)
+            } else {
+                base_gb(&g, k)
+            };
             let _ = writeln!(
                 out,
                 "engine = {} (betweenness)",

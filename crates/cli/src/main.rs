@@ -105,11 +105,25 @@ mod tests {
             let out = run(&s(&["skyline", &path, "--algorithm", algo])).unwrap();
             assert!(out.contains("|R| = 15"), "{algo}: {out}");
         }
-        let out = run(&s(&["skyline", &path, "--algorithm", "approx", "--epsilon", "0.3"]))
-            .unwrap();
+        let out = run(&s(&[
+            "skyline",
+            &path,
+            "--algorithm",
+            "approx",
+            "--epsilon",
+            "0.3",
+        ]))
+        .unwrap();
         assert!(out.contains("|R| ="), "{out}");
-        let err = run(&s(&["skyline", &path, "--algorithm", "approx", "--epsilon", "1.5"]))
-            .unwrap_err();
+        let err = run(&s(&[
+            "skyline",
+            &path,
+            "--algorithm",
+            "approx",
+            "--epsilon",
+            "1.5",
+        ]))
+        .unwrap_err();
         assert!(err.contains("[0, 1)"), "{err}");
         std::fs::remove_file(path).ok();
     }
@@ -132,7 +146,15 @@ mod tests {
 
     #[test]
     fn generate_families() {
-        for fam in ["er", "powerlaw", "ba", "leafy", "affiliation", "copying", "threshold"] {
+        for fam in [
+            "er",
+            "powerlaw",
+            "ba",
+            "leafy",
+            "affiliation",
+            "copying",
+            "threshold",
+        ] {
             let out = run(&s(&["generate", fam, "--n", "50", "--seed", "7"])).unwrap();
             assert!(out.contains("n = 50"), "{fam}: {out}");
         }

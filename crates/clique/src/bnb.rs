@@ -88,12 +88,7 @@ fn peel_candidates(g: &Graph, cand: Vec<VertexId>, min_inside: usize) -> Vec<Ver
     let pos = |x: VertexId| cand.binary_search(&x).ok();
     let mut inside: Vec<usize> = cand
         .iter()
-        .map(|&x| {
-            g.neighbors(x)
-                .iter()
-                .filter(|&&w| pos(w).is_some())
-                .count()
-        })
+        .map(|&x| g.neighbors(x).iter().filter(|&&w| pos(w).is_some()).count())
         .collect();
     let mut alive = vec![true; cand.len()];
     let mut queue: Vec<usize> = (0..cand.len())
@@ -220,8 +215,7 @@ mod tests {
                 return;
             }
             while let Some(v) = p.pop() {
-                let np: Vec<VertexId> =
-                    p.iter().copied().filter(|&w| g.has_edge(v, w)).collect();
+                let np: Vec<VertexId> = p.iter().copied().filter(|&w| g.has_edge(v, w)).collect();
                 bk(g, r + 1, np, best);
             }
         }

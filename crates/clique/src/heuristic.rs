@@ -83,9 +83,7 @@ mod tests {
     #[test]
     fn finds_planted_clique() {
         // A 6-clique planted in a sparse cycle.
-        let mut edges: Vec<(VertexId, VertexId)> = (0..30u32)
-            .map(|u| (u, (u + 1) % 30))
-            .collect();
+        let mut edges: Vec<(VertexId, VertexId)> = (0..30u32).map(|u| (u, (u + 1) % 30)).collect();
         for u in 10..16u32 {
             for v in (u + 1)..16 {
                 edges.push((u, v));

@@ -43,10 +43,7 @@ pub fn mc_brb(g: &Graph) -> (Vec<VertexId>, CliqueStats) {
         if (deco.core[u as usize] + 1) as usize <= best.len() {
             continue; // core reduction
         }
-        let allowed: Vec<bool> = g
-            .vertices()
-            .map(|v| !later[v as usize])
-            .collect();
+        let allowed: Vec<bool> = g.vertices().map(|v| !later[v as usize]).collect();
         if let Some(c) = max_clique_containing(g, u, Some(&allowed), best.len(), &mut stats) {
             best = c;
         }

@@ -162,7 +162,12 @@ pub fn reducing_peeling_mis(g: &Graph) -> Vec<VertexId> {
 /// Exact maximum independent set by branch and bound (tiny graphs only —
 /// the testing oracle for [`reducing_peeling_mis`]).
 pub fn exact_mis(g: &Graph) -> Vec<VertexId> {
-    fn branch(g: &Graph, mut cand: Vec<VertexId>, current: &mut Vec<VertexId>, best: &mut Vec<VertexId>) {
+    fn branch(
+        g: &Graph,
+        mut cand: Vec<VertexId>,
+        current: &mut Vec<VertexId>,
+        best: &mut Vec<VertexId>,
+    ) {
         if current.len() + cand.len() <= best.len() {
             return;
         }
@@ -231,7 +236,12 @@ mod tests {
         let s = reducing_peeling_mis(&g);
         assert!(is_independent_set(&g, &s));
         // The leaf population forces a big independent set.
-        assert!(s.len() * 2 > g.num_vertices(), "{} of {}", s.len(), g.num_vertices());
+        assert!(
+            s.len() * 2 > g.num_vertices(),
+            "{} of {}",
+            s.len(),
+            g.num_vertices()
+        );
     }
 
     #[test]

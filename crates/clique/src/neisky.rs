@@ -91,11 +91,7 @@ mod tests {
             let g = erdos_renyi(40, 0.25, seed);
             let out = nei_sky_mc(&g);
             assert!(is_clique(&g, &out.clique), "seed {seed}");
-            assert_eq!(
-                out.clique.len(),
-                max_clique_bnb(&g).0.len(),
-                "seed {seed}"
-            );
+            assert_eq!(out.clique.len(), max_clique_bnb(&g).0.len(), "seed {seed}");
         }
         for seed in 0..3 {
             let g = chung_lu_power_law(600, 2.7, 6.0, seed);
@@ -126,8 +122,7 @@ mod tests {
                 if h.contains(&u) || !dominates(&g, u, v) {
                     continue;
                 }
-                let mut swapped: Vec<VertexId> =
-                    h.iter().copied().filter(|&x| x != v).collect();
+                let mut swapped: Vec<VertexId> = h.iter().copied().filter(|&x| x != v).collect();
                 swapped.push(u);
                 assert!(is_clique(&g, &swapped), "swap {v}→{u} broke the clique");
             }

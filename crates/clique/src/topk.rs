@@ -295,8 +295,7 @@ mod tests {
             let out = top_k_cliques(&g, 4, TopkMode::NeiSky);
             let mut removed: Vec<VertexId> = Vec::new();
             for (round, c) in out.cliques.iter().enumerate() {
-                let keep: Vec<VertexId> =
-                    g.vertices().filter(|u| !removed.contains(u)).collect();
+                let keep: Vec<VertexId> = g.vertices().filter(|u| !removed.contains(u)).collect();
                 let (sub, _) = induced_subgraph(&g, &keep);
                 let (exact, _) = mc_brb(&sub);
                 assert_eq!(

@@ -205,7 +205,10 @@ mod tests {
         let mut prev = usize::MAX;
         for eps in [0.0, 0.15, 0.3, 0.5, 0.75] {
             let r = approx_sky(&g, eps).len();
-            assert!(r <= prev, "R_ε grew on this instance: {r} after {prev} at ε={eps}");
+            assert!(
+                r <= prev,
+                "R_ε grew on this instance: {r} after {prev} at ε={eps}"
+            );
             prev = r;
         }
         assert!(
@@ -226,7 +229,11 @@ mod tests {
         let g = path(3);
         assert_eq!(approx_sky(&g, 0.0).skyline, vec![1]);
         let r = approx_sky(&g, 0.6);
-        assert!(r.contains(0), "vertex 0 resurrected by the tie-break: {:?}", r.skyline);
+        assert!(
+            r.contains(0),
+            "vertex 0 resurrected by the tie-break: {:?}",
+            r.skyline
+        );
     }
 
     #[test]
@@ -239,7 +246,11 @@ mod tests {
         // missing 1 of 2 is allowed, so neighbors dominate each other and
         // the smallest interior id sweeps.
         let r = approx_sky(&path(8), 0.5);
-        assert!(r.len() < 6, "ε=0.5 collapses the path skyline: {:?}", r.skyline);
+        assert!(
+            r.len() < 6,
+            "ε=0.5 collapses the path skyline: {:?}",
+            r.skyline
+        );
     }
 
     #[test]

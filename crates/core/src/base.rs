@@ -89,12 +89,7 @@ fn base_sky_impl(g: &Graph, mode: ScanMode) -> SkylineResult {
         }
         let round = u; // vertex id doubles as the stamp for its scan
         'scan: for &v in g.neighbors(u) {
-            for w in g
-                .neighbors(v)
-                .iter()
-                .copied()
-                .chain(std::iter::once(v))
-            {
+            for w in g.neighbors(v).iter().copied().chain(std::iter::once(v)) {
                 if w == u {
                     continue;
                 }

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn path_interior_dominates_endpoint() {
         let g = path(4); // 0-1-2-3
-        // N(0) = {1} ⊆ N[2] = {1,2,3}? yes ⇒ 2 dominates 0 (not mutual).
+                         // N(0) = {1} ⊆ N[2] = {1,2,3}? yes ⇒ 2 dominates 0 (not mutual).
         assert!(dominates(&g, 2, 0));
         assert!(!dominates(&g, 0, 2));
         // Interior vertices 1 and 2: N(1) = {0,2} ⊆ N[2] = {1,2,3}? 0 ∉ ⇒ no.
@@ -202,10 +202,7 @@ mod tests {
         let g = erdos_renyi(80, 0.1, 5);
         for u in g.vertices() {
             for w in g.vertices() {
-                if u != w
-                    && g.degree(u) == g.degree(w)
-                    && g.open_included_in_closed(u, w)
-                {
+                if u != w && g.degree(u) == g.degree(w) && g.open_included_in_closed(u, w) {
                     assert!(
                         g.open_included_in_closed(w, u),
                         "equal-degree inclusion must be mutual ({u},{w})"

@@ -209,10 +209,7 @@ mod tests {
 
     /// Reference: skyline of the residual graph computed from scratch.
     fn residual_oracle(g: &Graph, removed: &[VertexId]) -> Vec<VertexId> {
-        let keep: Vec<VertexId> = g
-            .vertices()
-            .filter(|u| !removed.contains(u))
-            .collect();
+        let keep: Vec<VertexId> = g.vertices().filter(|u| !removed.contains(u)).collect();
         let (sub, map) = induced_subgraph(g, &keep);
         naive_skyline(&sub)
             .skyline

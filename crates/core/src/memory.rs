@@ -74,10 +74,7 @@ pub fn two_hop_upper_bound_bytes(g: &Graph) -> u64 {
 /// Computing the exact footprint walks every 2-hop list (`O(m·dmax)`), so
 /// call this only from the harness.
 pub fn two_hop_memory(g: &Graph) -> MemoryBreakdown {
-    let materialized: usize = g
-        .vertices()
-        .map(|u| two_hop_neighbors(g, u).len())
-        .sum();
+    let materialized: usize = g.vertices().map(|u| two_hop_neighbors(g, u).len()).sum();
     let bits = BloomConfig::for_max_degree(g.max_degree(), 2.0).bits;
     MemoryBreakdown {
         graph_bytes: g.size_bytes(),

@@ -95,11 +95,7 @@ mod tests {
 
     #[test]
     fn from_dominators_extracts_fixed_points() {
-        let r = SkylineResult::from_dominators(
-            vec![0, 0, 2, 2],
-            None,
-            SkylineStats::default(),
-        );
+        let r = SkylineResult::from_dominators(vec![0, 0, 2, 2], None, SkylineStats::default());
         assert_eq!(r.skyline, vec![0, 2]);
         assert!(r.contains(0));
         assert!(!r.contains(1));
@@ -110,8 +106,7 @@ mod tests {
 
     #[test]
     fn empty_result() {
-        let r =
-            SkylineResult::from_dominators(Vec::new(), None, SkylineStats::default());
+        let r = SkylineResult::from_dominators(Vec::new(), None, SkylineStats::default());
         assert!(r.is_empty());
         assert_eq!(r.len(), 0);
     }

@@ -60,9 +60,7 @@ pub fn two_hop_sky(g: &Graph) -> SkylineResult {
             // only applicable to non-adjacent pairs. (FilterRefineSky
             // never hits this case: candidates cannot have adjacent
             // dominators.)
-            if du >= filters.words_per_filter()
-                && !g.has_edge(u, w)
-                && !filters.filter_subset(u, w)
+            if du >= filters.words_per_filter() && !g.has_edge(u, w) && !filters.filter_subset(u, w)
             {
                 stats.bf_word_rejects += 1;
                 continue;

@@ -34,9 +34,8 @@ pub fn bombing() -> Graph {
     let mut rng = SplitMix64::new(0xB0B);
     let mut b = GraphBuilder::new(n);
     let organizer = |cell: usize, i: usize| (cell * CELL_SIZE + i) as VertexId;
-    let peripheral = |cell: usize, i: usize| {
-        (cell * CELL_SIZE + ORGANIZERS_PER_CELL + i) as VertexId
-    };
+    let peripheral =
+        |cell: usize, i: usize| (cell * CELL_SIZE + ORGANIZERS_PER_CELL + i) as VertexId;
 
     for cell in 0..CELLS {
         // Organizers form a clique.

@@ -95,10 +95,7 @@ const EDGES_1_INDEXED: [(u32, u32); 78] = [
 /// assert_eq!(g.num_edges(), 78);
 /// ```
 pub fn karate() -> Graph {
-    Graph::from_edges(
-        34,
-        EDGES_1_INDEXED.iter().map(|&(u, v)| (u - 1, v - 1)),
-    )
+    Graph::from_edges(34, EDGES_1_INDEXED.iter().map(|&(u, v)| (u - 1, v - 1)))
 }
 
 #[cfg(test)]

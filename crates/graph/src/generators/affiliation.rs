@@ -105,13 +105,14 @@ pub fn affiliation_model_with_cross(
                 team.push(member);
             }
         }
-        let link = |adj: &mut Vec<Vec<VertexId>>, b: &mut GraphBuilder, x: VertexId, y: VertexId| {
-            if x != y && !adj[x as usize].contains(&y) {
-                adj[x as usize].push(y);
-                adj[y as usize].push(x);
-                b.add_edge(x, y);
-            }
-        };
+        let link =
+            |adj: &mut Vec<Vec<VertexId>>, b: &mut GraphBuilder, x: VertexId, y: VertexId| {
+                if x != y && !adj[x as usize].contains(&y) {
+                    adj[x as usize].push(y);
+                    adj[y as usize].push(x);
+                    b.add_edge(x, y);
+                }
+            };
         for (i, &a) in team.iter().enumerate() {
             for &c in &team[i + 1..] {
                 link(&mut adj, &mut b, a, c);
@@ -156,10 +157,7 @@ mod tests {
         // Teams are cliques, so the graph has cliques of at least
         // team_min vertices; triangle count must be substantial.
         let g = affiliation_model(2_000, 4, 6, 0.7, 2);
-        let triangles: usize = g
-            .edges()
-            .map(|(u, v)| g.common_neighbor_count(u, v))
-            .sum();
+        let triangles: usize = g.edges().map(|(u, v)| g.common_neighbor_count(u, v)).sum();
         assert!(triangles > g.num_edges(), "cliquey: {triangles} wedges");
     }
 

@@ -23,13 +23,7 @@ use crate::prng::SplitMix64;
 /// assert_eq!(g.num_vertices(), 64);
 /// assert!(g.num_edges() > 100);
 /// ```
-pub fn planted_partition(
-    n: usize,
-    communities: usize,
-    p_in: f64,
-    p_out: f64,
-    seed: u64,
-) -> Graph {
+pub fn planted_partition(n: usize, communities: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
     assert!(communities > 0, "need at least one community");
     assert!((0.0..=1.0).contains(&p_in), "p_in out of range");
     assert!((0.0..=1.0).contains(&p_out), "p_out out of range");

@@ -157,9 +157,8 @@ mod tests {
     #[test]
     fn higher_copy_p_more_clustering() {
         // Count triangles per edge as a clustering proxy.
-        let tri = |g: &Graph| -> usize {
-            g.edges().map(|(u, v)| g.common_neighbor_count(u, v)).sum()
-        };
+        let tri =
+            |g: &Graph| -> usize { g.edges().map(|(u, v)| g.common_neighbor_count(u, v)).sum() };
         let low = copying_model(2_000, 3, 0.2, 3);
         let high = copying_model(2_000, 3, 0.9, 3);
         assert!(

@@ -63,10 +63,10 @@ pub fn leafy_preferential(
     adj[1].push(0);
     b.add_edge(0, 1);
     let link = |adj: &mut Vec<Vec<VertexId>>,
-                    endpoints: &mut Vec<VertexId>,
-                    b: &mut GraphBuilder,
-                    u: usize,
-                    v: VertexId| {
+                endpoints: &mut Vec<VertexId>,
+                b: &mut GraphBuilder,
+                u: usize,
+                v: VertexId| {
         if u as VertexId == v || adj[u].contains(&v) {
             return;
         }
@@ -151,9 +151,8 @@ mod tests {
     fn leaf_links_stay_in_anchor_neighborhood() {
         // With extra links drawn inside N(anchor), triangle density is
         // high: many edges have common neighbors.
-        let wedge = |g: &Graph| -> usize {
-            g.edges().map(|(u, v)| g.common_neighbor_count(u, v)).sum()
-        };
+        let wedge =
+            |g: &Graph| -> usize { g.edges().map(|(u, v)| g.common_neighbor_count(u, v)).sum() };
         let open = leafy_preferential(5_000, 0.95, 0.0, 5, 4);
         let closed = leafy_preferential(5_000, 0.95, 1.5, 5, 4);
         assert!(

@@ -95,7 +95,12 @@ pub fn read_edge_list_file(path: &Path) -> Result<Graph, ParseError> {
 /// Writes the graph as an edge list (one `u v` line per undirected edge).
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# nsky edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# nsky edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

@@ -23,7 +23,11 @@ pub fn graph_stats(g: &Graph) -> GraphStats {
         n,
         m,
         dmax: g.max_degree(),
-        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        },
     }
 }
 

@@ -118,8 +118,7 @@ impl PrefixTree {
         let mut out: Vec<Vec<u32>> = vec![Vec::new(); self.num_queries];
         let all: Vec<u32> = (0..index.num_records() as u32).collect();
         // Explicit DFS stack of (node, candidate list at that node).
-        let mut stack: Vec<(usize, std::rc::Rc<Vec<u32>>)> =
-            vec![(0, std::rc::Rc::new(all))];
+        let mut stack: Vec<(usize, std::rc::Rc<Vec<u32>>)> = vec![(0, std::rc::Rc::new(all))];
         while let Some((node, cand)) = stack.pop() {
             let n = &self.nodes[node];
             for &q in &n.queries {
@@ -222,10 +221,7 @@ mod tests {
         let records = vec![vec![0u32, 1, 2]];
         let idx = InvertedIndex::build(&records, 3);
         let small = PrefixTree::build(&[vec![0]], &idx);
-        let large = PrefixTree::build(
-            &(0..3u32).map(|e| vec![e]).collect::<Vec<_>>(),
-            &idx,
-        );
+        let large = PrefixTree::build(&(0..3u32).map(|e| vec![e]).collect::<Vec<_>>(), &idx);
         assert!(large.size_bytes() > small.size_bytes());
     }
 }

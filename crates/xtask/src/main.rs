@@ -64,7 +64,9 @@ fn lint(args: &[String]) -> ExitCode {
     let root = match root.or_else(find_workspace_root) {
         Some(r) => r,
         None => {
-            eprintln!("could not locate the workspace root (run from inside the repo or pass --root)");
+            eprintln!(
+                "could not locate the workspace root (run from inside the repo or pass --root)"
+            );
             return ExitCode::from(2);
         }
     };

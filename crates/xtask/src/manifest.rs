@@ -146,6 +146,9 @@ mod tests {
 
     #[test]
     fn comments_respect_strings() {
-        assert_eq!(strip_toml_comment("a = \"#notcomment\" # real"), "a = \"#notcomment\" ");
+        assert_eq!(
+            strip_toml_comment("a = \"#notcomment\" # real"),
+            "a = \"#notcomment\" "
+        );
     }
 }

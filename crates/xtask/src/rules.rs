@@ -81,7 +81,10 @@ pub(crate) fn check_sources(root: &Path) -> std::io::Result<Vec<Violation>> {
     for (crate_name, src_dir) in library_src_dirs(root) {
         for path in rust_files(&src_dir)? {
             // `src/bin/*` targets are executables, not library surface.
-            if path.strip_prefix(&src_dir).is_ok_and(|p| p.starts_with("bin")) {
+            if path
+                .strip_prefix(&src_dir)
+                .is_ok_and(|p| p.starts_with("bin"))
+            {
                 continue;
             }
             let text = std::fs::read_to_string(&path)?;
@@ -120,7 +123,8 @@ fn check_file(
 
         if !line.in_test {
             for pat in PANIC_PATTERNS {
-                if contains_pattern(&line.code, pat) && !file.is_suppressed(Rule::PanicFree, lineno) {
+                if contains_pattern(&line.code, pat) && !file.is_suppressed(Rule::PanicFree, lineno)
+                {
                     out.push(Violation {
                         file: rel(root, path),
                         line: lineno,
@@ -132,7 +136,8 @@ fn check_file(
                 }
             }
             for pat in STDOUT_PATTERNS {
-                if contains_pattern(&line.code, pat) && !file.is_suppressed(Rule::NoStdout, lineno) {
+                if contains_pattern(&line.code, pat) && !file.is_suppressed(Rule::NoStdout, lineno)
+                {
                     out.push(Violation {
                         file: rel(root, path),
                         line: lineno,

@@ -27,10 +27,7 @@ fn assert_only_rule(name: &str, rule: Rule) -> Vec<Violation> {
         "{name}: expected at least one {rule} violation"
     );
     for v in &violations {
-        assert_eq!(
-            v.rule, rule,
-            "{name}: unexpected cross-rule violation: {v}"
-        );
+        assert_eq!(v.rule, rule, "{name}: unexpected cross-rule violation: {v}");
         assert!(v.line > 0, "{name}: violations carry line numbers: {v}");
     }
     violations
@@ -153,9 +150,14 @@ fn cli_exit_codes_match_findings() {
             .expect("lint runs");
         assert_eq!(out.status.code(), Some(1), "{bad} should fail the lint");
         let stdout = String::from_utf8_lossy(&out.stdout);
-        assert!(stdout.contains(": ["), "{bad}: report lines carry file:line: [rule]");
+        assert!(
+            stdout.contains(": ["),
+            "{bad}: report lines carry file:line: [rule]"
+        );
     }
-    for good in ["r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good"] {
+    for good in [
+        "r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good",
+    ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
             .arg(fixture(good))

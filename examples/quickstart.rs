@@ -11,10 +11,7 @@ fn main() {
     // A small social network: a tight triangle of organizers (0, 1, 2),
     // two followers (3, 4) whose contacts are subsets of an organizer's,
     // and an outsider (5) linked to vertex 1.
-    let g = Graph::from_edges(
-        6,
-        [(0, 1), (0, 2), (1, 2), (3, 0), (3, 1), (4, 0), (1, 5)],
-    );
+    let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (3, 0), (3, 1), (4, 0), (1, 5)]);
 
     println!("graph: n={}, m={}", g.num_vertices(), g.num_edges());
 

@@ -25,7 +25,10 @@ fn group_centrality_pruning_preserves_scores() {
             );
             let base_gh = greedy_group(&g, Harmonic, k, &GreedyOptions::optimized());
             let nei_gh = nei_sky_gh(&g, k);
-            assert!(nei_gh.greedy.score >= base_gh.score - 1e-9, "GHM {seed}/{k}");
+            assert!(
+                nei_gh.greedy.score >= base_gh.score - 1e-9,
+                "GHM {seed}/{k}"
+            );
         }
     }
 }
@@ -67,8 +70,7 @@ fn topk_rounds_are_exact_for_both_modes() {
         let out = top_k_cliques(&g, 5, mode);
         let mut removed: Vec<VertexId> = Vec::new();
         for (round, c) in out.cliques.iter().enumerate() {
-            let keep: Vec<VertexId> =
-                g.vertices().filter(|u| !removed.contains(u)).collect();
+            let keep: Vec<VertexId> = g.vertices().filter(|u| !removed.contains(u)).collect();
             let (sub, _) = induced_subgraph(&g, &keep);
             let (exact, _) = mc_brb(&sub);
             assert_eq!(

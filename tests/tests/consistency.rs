@@ -16,8 +16,8 @@ use nsky_graph::{Graph, VertexId};
 use nsky_setjoin::lc_join_skyline;
 use nsky_skyline::oracle::naive_skyline;
 use nsky_skyline::{
-    base_sky, base_sky_early_exit, cset_sky, filter_refine_sky, filter_refine_sky_par,
-    two_hop_sky, RefineConfig,
+    base_sky, base_sky_early_exit, cset_sky, filter_refine_sky, filter_refine_sky_par, two_hop_sky,
+    RefineConfig,
 };
 
 fn assert_all_agree(g: &Graph, label: &str) {

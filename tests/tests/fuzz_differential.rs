@@ -86,7 +86,11 @@ fn incremental_removals_match_from_scratch() {
                 .iter()
                 .map(|&u| map[u as usize])
                 .collect();
-            assert_eq!(dyn_sky.skyline(), expect, "case {case}, removed {removed:?}");
+            assert_eq!(
+                dyn_sky.skyline(),
+                expect,
+                "case {case}, removed {removed:?}"
+            );
         }
     }
 }

@@ -70,12 +70,22 @@ fn fig6_er_vs_powerlaw_contrast() {
 #[test]
 fn fig7_fig8_pruning_never_loses_quality() {
     for r in figures::fig7(true) {
-        assert!(r.score_neisky >= r.score_base - 1e-9, "{} k={}", r.dataset, r.k);
+        assert!(
+            r.score_neisky >= r.score_base - 1e-9,
+            "{} k={}",
+            r.dataset,
+            r.k
+        );
         assert!(r.evals_neisky <= r.evals_base, "{} k={}", r.dataset, r.k);
         assert!(r.skyline_size > 0);
     }
     for r in figures::fig8(true) {
-        assert!(r.score_neisky >= r.score_base - 1e-9, "{} k={}", r.dataset, r.k);
+        assert!(
+            r.score_neisky >= r.score_base - 1e-9,
+            "{} k={}",
+            r.dataset,
+            r.k
+        );
         assert!(r.evals_neisky <= r.evals_base);
     }
 }
@@ -83,7 +93,11 @@ fn fig7_fig8_pruning_never_loses_quality() {
 #[test]
 fn fig9_round_sizes_non_increasing() {
     for r in figures::fig9(true) {
-        assert_eq!(r.sizes_base[0], r.sizes_neisky[0], "{} k={}", r.dataset, r.k);
+        assert_eq!(
+            r.sizes_base[0], r.sizes_neisky[0],
+            "{} k={}",
+            r.dataset, r.k
+        );
         for w in r.sizes_neisky.windows(2) {
             assert!(w[0] >= w[1]);
         }

@@ -129,7 +129,11 @@ fn dominator_witnesses_are_certificates() {
         for u in g.vertices() {
             let o = r.dominator[u as usize];
             if o != u {
-                assert!(dominates(&g, o, u), "{}: {o} does not dominate {u}", spec.name);
+                assert!(
+                    dominates(&g, o, u),
+                    "{}: {o} does not dominate {u}",
+                    spec.name
+                );
             }
         }
     }

@@ -61,8 +61,8 @@ fn approx_inclusion_is_monotone_in_epsilon() {
                 // public API: if w ε1-dominates u strictly (reverse
                 // fails even at ε2), it still ε2-dominates.
                 let d1 = approx_dominates(&g, w, u, 0.2);
-                let reverse_at_high = approx_dominates(&g, u, w, 0.7)
-                    || approx_dominates(&g, w, u, 0.7); // pair comparable at ε2
+                let reverse_at_high =
+                    approx_dominates(&g, u, w, 0.7) || approx_dominates(&g, w, u, 0.7); // pair comparable at ε2
                 if d1 {
                     assert!(
                         reverse_at_high,
@@ -151,10 +151,7 @@ fn threshold_recognition_is_total() {
     for seed in 0..500 {
         let g = random_threshold_graph(20, 0.5, seed);
         let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
-        edges.push((
-            rng.next_below(20) as u32,
-            rng.next_below(20) as u32,
-        ));
+        edges.push((rng.next_below(20) as u32, rng.next_below(20) as u32));
         let h = Graph::from_edges(20, edges);
         let _ = nsky_graph::threshold::is_threshold(&h);
     }
@@ -186,7 +183,11 @@ fn prefix_tree_join_matches_per_query() {
         let tree = PrefixTree::build(&queries, &idx);
         let joined = tree.containment_join(&idx);
         for (qid, q) in queries.iter().enumerate() {
-            assert_eq!(&joined[qid], &idx.supersets_of(q), "case {case} query {qid}");
+            assert_eq!(
+                &joined[qid],
+                &idx.supersets_of(q),
+                "case {case} query {qid}"
+            );
         }
     }
 }
