@@ -9,7 +9,12 @@ use nsky_centrality::greedy::{greedy_group, GreedyOptions};
 use nsky_centrality::measure::Harmonic;
 use nsky_graph::generators::leafy_preferential;
 use nsky_graph::Graph;
-use nsky_skyline::{base_sky, base_sky_early_exit, filter_refine_sky, RefineConfig};
+use nsky_skyline::budget::ExecutionBudget;
+use nsky_skyline::{
+    base_sky, base_sky_budgeted, base_sky_early_exit, filter_refine_sky,
+    filter_refine_sky_budgeted, RefineConfig,
+};
+use std::time::Duration;
 
 fn graph() -> Graph {
     leafy_preferential(10_000, 0.95, 1.5, 5, 42)
@@ -96,9 +101,36 @@ fn bench_ablation_celf() {
         .finish();
 }
 
+/// The cost of an armed-but-untripped budget: open-loop kernels vs the
+/// budgeted entry points under a far wall-clock deadline that forces
+/// every ticker poll without ever tripping. Target: <2% overhead (the
+/// `[Complete]` tag on the budgeted lines confirms no trip occurred).
+fn bench_ablation_budget_overhead() {
+    let g = graph();
+    let cfg = RefineConfig::default();
+    let far = || ExecutionBudget::with_timeout(Duration::from_secs(3600));
+    let mut group = Group::new("budget_overhead");
+    group
+        .sample_size(10)
+        .bench("FilterRefineSky-open-loop", || filter_refine_sky(&g, &cfg))
+        .bench_budgeted("FilterRefineSky-budgeted", || {
+            let r = filter_refine_sky_budgeted(&g, &cfg, &far());
+            let completion = r.completion;
+            (r, completion)
+        })
+        .bench("BaseSky-open-loop", || base_sky(&g))
+        .bench_budgeted("BaseSky-budgeted", || {
+            let r = base_sky_budgeted(&g, &far());
+            let completion = r.completion;
+            (r, completion)
+        })
+        .finish();
+}
+
 fn main() {
     bench_ablation_bloom_width();
     bench_ablation_switches();
     bench_ablation_early_exit();
     bench_ablation_celf();
+    bench_ablation_budget_overhead();
 }

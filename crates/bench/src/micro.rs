@@ -14,6 +14,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use crate::harness::{fmt_secs, quick_mode};
+use nsky_skyline::Completion;
 
 /// A named group of benchmarks, mirroring the Criterion group shape so
 /// bench files read the same way.
@@ -73,6 +74,39 @@ impl Group {
         self
     }
 
+    /// Runs one benchmark of a budgeted kernel: like [`Group::bench`],
+    /// but `f` also returns the run's [`Completion`], which is appended
+    /// to the report line. Anytime ablations use this to show whether a
+    /// configuration finished or returned a partial answer — and the
+    /// `budget_overhead` group pairs it with [`Group::bench`] to measure
+    /// the cost of armed-but-untripped budget checks (<2% target).
+    pub fn bench_budgeted<T>(
+        &mut self,
+        id: &str,
+        mut f: impl FnMut() -> (T, Completion),
+    ) -> &mut Self {
+        let (_, completion) = black_box(f());
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{}/{id}: min {} median {} mean {} ({} samples) [{completion}]",
+            self.name,
+            fmt_secs(min),
+            fmt_secs(median),
+            fmt_secs(mean),
+            self.samples
+        );
+        self
+    }
+
     /// Ends the group (marker for symmetry with Criterion's API).
     pub fn finish(&mut self) {
         println!();
@@ -93,6 +127,19 @@ mod tests {
             (0..100).sum::<u64>()
         });
         // one warm-up + two samples
+        assert_eq!(calls, 3);
+        g.finish();
+    }
+
+    #[test]
+    fn bench_budgeted_runs_and_reports_completion() {
+        let mut g = Group::new("selftest_budgeted");
+        g.sample_size(2);
+        let mut calls = 0u32;
+        g.bench_budgeted("sum", || {
+            calls += 1;
+            ((0..100).sum::<u64>(), Completion::Complete)
+        });
         assert_eq!(calls, 3);
         g.finish();
     }

@@ -17,6 +17,7 @@
 
 use crate::measure::GroupMeasure;
 use nsky_graph::{Graph, VertexId};
+use nsky_skyline::budget::{BudgetTicker, Completion, ExecutionBudget};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Options of [`greedy_group`].
@@ -57,6 +58,10 @@ pub struct GreedyOutcome {
     pub gain_evaluations: u64,
     /// Score after each selection (length = |group|).
     pub score_trace: Vec<f64>,
+    /// How the run ended. On a trip the group holds the seeds committed
+    /// before the budget ran out — a valid greedy prefix of fewer than
+    /// `k` members (selections already made are never rolled back).
+    pub completion: Completion,
 }
 
 struct HeapEntry {
@@ -124,8 +129,15 @@ impl<'g, M: GroupMeasure> Evaluator<'g, M> {
     }
 
     /// BFS from `src` collecting `(v, d_u(v))` for every vertex whose
-    /// distance improves on `d(v, S)`.
-    fn collect_improvements(&mut self, src: VertexId, prune: bool) {
+    /// distance improves on `d(v, S)`. Returns the trip status if the
+    /// budget runs out mid-traversal (the improvement list is then
+    /// incomplete and must be discarded).
+    fn collect_improvements(
+        &mut self,
+        src: VertexId,
+        prune: bool,
+        ticker: &mut BudgetTicker<'_>,
+    ) -> Option<Completion> {
         self.round += 1;
         let round = self.round;
         self.queue.clear();
@@ -137,6 +149,9 @@ impl<'g, M: GroupMeasure> Evaluator<'g, M> {
             self.improvements.push((src, 0));
         }
         while let Some(v) = self.queue.pop_front() {
+            if let Some(status) = ticker.check() {
+                return Some(status);
+            }
             let dv = self.dist_u[v as usize];
             if prune && dv >= self.dist_s[v as usize] {
                 // No descendant can improve: d_u(w) ≥ d_u(v) + d(v,w)
@@ -155,13 +170,18 @@ impl<'g, M: GroupMeasure> Evaluator<'g, M> {
                 self.queue.push_back(w);
             }
         }
+        None
     }
 
     /// Raw-total gain of adding `u` (non-negative, in the maximize
-    /// orientation of the measure).
-    fn gain(&mut self, u: VertexId, prune: bool) -> f64 {
+    /// orientation of the measure), or `None` when the budget tripped
+    /// mid-evaluation (the partial improvement list is discarded).
+    // nsky-lint: allow(budget-check) — bounded by one BFS's improvement list; the BFS itself is ticked
+    fn gain(&mut self, u: VertexId, prune: bool, ticker: &mut BudgetTicker<'_>) -> Option<f64> {
         debug_assert!(!self.in_group[u as usize]);
-        self.collect_improvements(u, prune);
+        if self.collect_improvements(u, prune, ticker).is_some() {
+            return None;
+        }
         let mut delta = 0.0; // new_total − total, excluding u's own term
         for &(v, du) in &self.improvements {
             if v == u || self.in_group[v as usize] {
@@ -173,16 +193,22 @@ impl<'g, M: GroupMeasure> Evaluator<'g, M> {
         // u leaves the sum.
         let own = self.measure.contribution(self.dist_s[u as usize], self.n);
         let new_total = self.total + delta - own;
-        if self.measure.maximize_total() {
+        Some(if self.measure.maximize_total() {
             new_total - self.total
         } else {
             self.total - new_total
-        }
+        })
     }
 
     /// Adds `u` to the group, updating `dist_s` and `total`.
+    ///
+    /// Runs to completion even under an exhausted budget: the incremental
+    /// `dist_s`/`total` state must stay consistent, so a commit is atomic
+    /// (its cost is one BFS — the same as the gain evaluation that chose
+    /// `u`).
+    // nsky-lint: allow(budget-check) — atomic by design: an interrupted commit would corrupt dist_s/total
     fn commit(&mut self, u: VertexId) {
-        self.collect_improvements(u, true);
+        self.collect_improvements(u, true, &mut BudgetTicker::inert());
         self.total -= self.measure.contribution(self.dist_s[u as usize], self.n);
         self.in_group[u as usize] = true;
         // Drain improvements to release the borrow while mutating state.
@@ -225,6 +251,24 @@ pub fn greedy_group<M: GroupMeasure>(
     k: usize,
     opts: &GreedyOptions,
 ) -> GreedyOutcome {
+    greedy_group_budgeted(g, measure, k, opts, &ExecutionBudget::unlimited())
+}
+
+/// [`greedy_group`] under an [`ExecutionBudget`]. With an unlimited
+/// budget the output is identical to [`greedy_group`]; after a trip the
+/// outcome holds the greedy prefix committed so far (each member was a
+/// genuine per-round argmax) with the trip status in
+/// [`GreedyOutcome::completion`]. Commits are atomic — the budget is
+/// polled between and within gain *evaluations*, never inside the state
+/// update of an already-chosen seed.
+// nsky-lint: allow(budget-check) — every round loop calls gain(), which polls the ticker at each BFS step
+pub fn greedy_group_budgeted<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    opts: &GreedyOptions,
+    budget: &ExecutionBudget,
+) -> GreedyOutcome {
     let pool: Vec<VertexId> = match &opts.candidates {
         Some(c) => c.clone(),
         None => g.vertices().collect(),
@@ -236,16 +280,29 @@ pub fn greedy_group<M: GroupMeasure>(
         score: ev.score(),
         gain_evaluations: 0,
         score_trace: Vec::with_capacity(k),
+        // Inherit an earlier sticky trip on the shared budget (e.g. a
+        // skyline phase that already timed out upstream).
+        completion: budget.status(),
     };
     if k == 0 {
         return outcome;
     }
+    // Evaluator scratch: dist_s/dist_u/stamp (u32) + in_group + queue.
+    if let Some(status) = budget.charge(g.num_vertices() * 17) {
+        outcome.completion = status;
+        return outcome;
+    }
+    let mut ticker = budget.ticker();
 
     if opts.lazy {
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(pool.len());
         for &u in &pool {
             outcome.gain_evaluations += 1;
-            let gain = ev.gain(u, opts.pruned_bfs);
+            let Some(gain) = ev.gain(u, opts.pruned_bfs, &mut ticker) else {
+                outcome.completion = ticker.status();
+                outcome.score = ev.score();
+                return outcome;
+            };
             heap.push(HeapEntry {
                 gain,
                 vertex: u,
@@ -253,7 +310,7 @@ pub fn greedy_group<M: GroupMeasure>(
             });
         }
         let mut round = 0u32;
-        while outcome.group.len() < k {
+        'rounds: while outcome.group.len() < k {
             let Some(top) = heap.pop() else {
                 break; // pool smaller than k: return the partial group
             };
@@ -267,7 +324,10 @@ pub fn greedy_group<M: GroupMeasure>(
                 round += 1;
             } else {
                 outcome.gain_evaluations += 1;
-                let gain = ev.gain(top.vertex, opts.pruned_bfs);
+                let Some(gain) = ev.gain(top.vertex, opts.pruned_bfs, &mut ticker) else {
+                    outcome.completion = ticker.status();
+                    break 'rounds;
+                };
                 heap.push(HeapEntry {
                     gain,
                     vertex: top.vertex,
@@ -276,14 +336,19 @@ pub fn greedy_group<M: GroupMeasure>(
             }
         }
     } else {
-        while outcome.group.len() < k {
+        'plain: while outcome.group.len() < k {
             let mut best: Option<(f64, VertexId)> = None;
             for &u in &pool {
                 if ev.in_group[u as usize] {
                     continue;
                 }
                 outcome.gain_evaluations += 1;
-                let gain = ev.gain(u, opts.pruned_bfs);
+                let Some(gain) = ev.gain(u, opts.pruned_bfs, &mut ticker) else {
+                    // Trip mid-round: the round's argmax is unknown, so
+                    // the in-progress round is dropped entirely.
+                    outcome.completion = ticker.status();
+                    break 'plain;
+                };
                 let better = match best {
                     None => true,
                     Some((bg, bv)) => gain > bg || (gain == bg && u < bv),

@@ -10,10 +10,11 @@
 //! rerouted to end in `u` with the same length because every neighbor of
 //! `v` also neighbors `u`.)
 
-use crate::greedy::{greedy_group, GreedyOptions, GreedyOutcome};
+use crate::greedy::{greedy_group_budgeted, GreedyOptions, GreedyOutcome};
 use crate::measure::{Closeness, GroupMeasure, Harmonic};
 use nsky_graph::Graph;
-use nsky_skyline::{filter_refine_sky, RefineConfig};
+use nsky_skyline::budget::ExecutionBudget;
+use nsky_skyline::{filter_refine_sky_budgeted, RefineConfig};
 
 /// Result of a skyline-pruned maximization, with the skyline size the
 /// evaluation-count formula `k(2r − k + 1)/2` depends on.
@@ -33,7 +34,23 @@ pub fn nei_sky_group<M: GroupMeasure>(
     k: usize,
     lazy: bool,
 ) -> NeiSkyOutcome {
-    let skyline = filter_refine_sky(g, &RefineConfig::default()).skyline;
+    nei_sky_group_budgeted(g, measure, k, lazy, &ExecutionBudget::unlimited())
+}
+
+/// [`nei_sky_group`] under an [`ExecutionBudget`] shared by the skyline
+/// computation and the greedy engine. A trip during the skyline phase
+/// restricts the pool to the partially verified skyline (still valid
+/// seeds, possibly missing the best ones); the sticky trip then stops
+/// the greedy engine within one check interval, so the outcome carries
+/// the trip status and whatever greedy prefix was committed.
+pub fn nei_sky_group_budgeted<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    lazy: bool,
+    budget: &ExecutionBudget,
+) -> NeiSkyOutcome {
+    let skyline = filter_refine_sky_budgeted(g, &RefineConfig::default(), budget).skyline;
     let skyline_size = skyline.len();
     let opts = GreedyOptions {
         lazy,
@@ -41,7 +58,7 @@ pub fn nei_sky_group<M: GroupMeasure>(
         candidates: Some(skyline),
     };
     NeiSkyOutcome {
-        greedy: greedy_group(g, measure, k, &opts),
+        greedy: greedy_group_budgeted(g, measure, k, &opts, budget),
         skyline_size,
     }
 }
@@ -71,11 +88,13 @@ pub fn nei_sky_gh(g: &Graph, k: usize) -> NeiSkyOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::greedy::greedy_group;
     use crate::group::group_score;
     use crate::measure::Decay;
     use nsky_graph::generators::{chung_lu_power_law, erdos_renyi};
     use nsky_graph::VertexId;
     use nsky_skyline::domination::dominates;
+    use nsky_skyline::filter_refine_sky;
 
     /// Lemma 3/4 spot check for *adjacent* dominator pairs: swapping a
     /// dominated vertex for an adjacent dominator never lowers the group

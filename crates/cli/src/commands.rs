@@ -2,15 +2,81 @@
 
 use crate::args::Args;
 use nsky_graph::{io, Graph, VertexId};
+use nsky_skyline::budget::{Completion, ExecutionBudget, TripClock, WallDeadline};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Duration;
 
 fn load(args: &Args) -> Result<Graph, String> {
     let path = args
         .positionals
         .get(1)
         .ok_or("expected an edge-list file argument")?;
-    io::read_edge_list_file(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+    let cap: VertexId = args.number("max-vertex-id", io::DEFAULT_MAX_VERTEX_ID)?;
+    io::read_edge_list_file_capped(Path::new(path), cap).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Builds the execution budget shared by `skyline`, `clique` and `group`
+/// from `--timeout` / `--memory-budget` / `--trip-after` /
+/// `--check-interval`. With none of those flags the budget is inert and
+/// the budgeted kernels produce byte-identical open-loop results.
+fn budget_from(args: &Args) -> Result<ExecutionBudget, String> {
+    let mut budget = ExecutionBudget::unlimited();
+    if let Some(v) = args.get("timeout") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| format!("option --timeout: cannot parse {v:?}"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!(
+                "option --timeout expects a finite number of seconds >= 0, got {v}"
+            ));
+        }
+        budget = budget.deadline(WallDeadline::after(Duration::from_secs_f64(secs)));
+    }
+    if args.get("trip-after").is_some() {
+        // Fault injection: a deterministic clock that expires on the
+        // N-th budget poll, overriding --timeout.
+        let n: u64 = args.number("trip-after", 1)?;
+        budget = budget.deadline(TripClock::at_poll(n));
+    }
+    if args.get("memory-budget").is_some() {
+        let mb: usize = args.number("memory-budget", 0)?;
+        budget = budget.memory_cap(mb.saturating_mul(1024 * 1024));
+    }
+    if args.get("check-interval").is_some() {
+        let ticks: u32 = args.number("check-interval", 0)?;
+        if ticks == 0 {
+            return Err("option --check-interval must be at least 1".to_string());
+        }
+        budget = budget.check_interval(ticks);
+    }
+    Ok(budget)
+}
+
+/// Validated worker-thread count for the parallel kernel. The library
+/// contract ([`nsky_skyline::filter_refine_sky_par`]) panics on zero
+/// workers, so the CLI rejects `--threads 0` with a proper error before
+/// the kernel ever sees it.
+fn threads_from(args: &Args) -> Result<usize, String> {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize = args.number("threads", default)?;
+    if threads == 0 {
+        return Err(
+            "option --threads must be at least 1 (the parallel kernel needs a worker thread)"
+                .to_string(),
+        );
+    }
+    Ok(threads)
+}
+
+/// Appends the anytime-status line for a tripped run.
+fn status_line(out: &mut String, completion: Completion) {
+    if !completion.is_complete() {
+        let _ = writeln!(
+            out,
+            "status = {completion} (partial result: best answer verified before the trip)"
+        );
+    }
 }
 
 fn maybe_write(args: &Args, g: &Graph) -> Result<String, String> {
@@ -45,29 +111,63 @@ pub(crate) fn stats(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// `nsky skyline <file> [--algorithm ...] [--epsilon E] [-o out]`.
-pub(crate) fn skyline(args: &Args) -> Result<String, String> {
+/// `nsky skyline <file> [--algorithm ...] [--threads T] [--epsilon E]
+/// [budget flags] [-o out]`.
+pub(crate) fn skyline(args: &Args) -> Result<(String, Completion), String> {
     let g = load(args)?;
     let algo = args.get("algorithm").unwrap_or("refine");
+    let budget = budget_from(args)?;
     let cfg = nsky_skyline::RefineConfig::default();
-    let (name, skyline): (&str, Vec<VertexId>) = match algo {
-        "refine" => (
-            "FilterRefineSky",
-            nsky_skyline::filter_refine_sky(&g, &cfg).skyline,
-        ),
-        "base" => ("BaseSky", nsky_skyline::base_sky(&g).skyline),
-        "cset" => ("BaseCSet", nsky_skyline::cset_sky(&g).skyline),
-        "2hop" => ("Base2Hop", nsky_skyline::two_hop_sky(&g).skyline),
-        "lcjoin" => ("LC-Join", nsky_setjoin::lc_join_skyline(&g).skyline),
-        "approx" => {
-            let eps: f64 = args.number("epsilon", 0.0)?;
-            if !(0.0..1.0).contains(&eps) {
-                return Err(format!("--epsilon must lie in [0, 1), got {eps}"));
+    let (name, skyline, completion): (&str, Vec<VertexId>, Completion) = match algo {
+        "refine" => {
+            let r = nsky_skyline::filter_refine_sky_budgeted(&g, &cfg, &budget);
+            ("FilterRefineSky", r.skyline, r.completion)
+        }
+        "base" => {
+            let r = nsky_skyline::base_sky_budgeted(&g, &budget);
+            ("BaseSky", r.skyline, r.completion)
+        }
+        "par" => {
+            let threads = threads_from(args)?;
+            let r = nsky_skyline::filter_refine_sky_par_budgeted(&g, &cfg, threads, &budget);
+            ("ParFilterRefineSky", r.skyline, r.completion)
+        }
+        "cset" | "2hop" | "lcjoin" | "approx" => {
+            if budget.is_active() {
+                return Err(format!(
+                    "algorithm {algo:?} does not support budget options \
+                     (--timeout/--memory-budget/--trip-after); \
+                     budgeted algorithms: refine, base, par"
+                ));
             }
-            (
-                "ApproxSky",
-                nsky_skyline::approx::approx_sky(&g, eps).skyline,
-            )
+            match algo {
+                "cset" => (
+                    "BaseCSet",
+                    nsky_skyline::cset_sky(&g).skyline,
+                    Completion::Complete,
+                ),
+                "2hop" => (
+                    "Base2Hop",
+                    nsky_skyline::two_hop_sky(&g).skyline,
+                    Completion::Complete,
+                ),
+                "lcjoin" => (
+                    "LC-Join",
+                    nsky_setjoin::lc_join_skyline(&g).skyline,
+                    Completion::Complete,
+                ),
+                _ => {
+                    let eps: f64 = args.number("epsilon", 0.0)?;
+                    if !(0.0..1.0).contains(&eps) {
+                        return Err(format!("--epsilon must lie in [0, 1), got {eps}"));
+                    }
+                    (
+                        "ApproxSky",
+                        nsky_skyline::approx::approx_sky(&g, eps).skyline,
+                        Completion::Complete,
+                    )
+                }
+            }
         }
         other => return Err(format!("unknown algorithm {other:?}")),
     };
@@ -80,6 +180,7 @@ pub(crate) fn skyline(args: &Args) -> Result<String, String> {
         g.num_vertices(),
         100.0 * skyline.len() as f64 / g.num_vertices().max(1) as f64
     );
+    status_line(&mut out, completion);
     if let Some(path) = args.get("output") {
         let body: String = skyline.iter().map(|u| format!("{u}\n")).collect();
         std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
@@ -87,31 +188,38 @@ pub(crate) fn skyline(args: &Args) -> Result<String, String> {
     } else {
         let _ = writeln!(out, "skyline: {skyline:?}");
     }
-    Ok(out)
+    Ok((out, completion))
 }
 
-/// `nsky group <file> -k K [--measure ...] [--no-prune]`.
-pub(crate) fn group(args: &Args) -> Result<String, String> {
+/// `nsky group <file> -k K [--measure ...] [--no-prune] [budget flags]`.
+pub(crate) fn group(args: &Args) -> Result<(String, Completion), String> {
     let g = load(args)?;
     let k: usize = args.number("k", 5)?;
     let measure = args.get("measure").unwrap_or("closeness");
     let prune = !args.switch("no-prune");
+    let budget = budget_from(args)?;
     let mut out = String::new();
-    match measure {
+    let completion = match measure {
         "closeness" | "harmonic" => {
-            use nsky_centrality::greedy::{greedy_group, GreedyOptions};
+            use nsky_centrality::greedy::{greedy_group_budgeted, GreedyOptions};
             use nsky_centrality::measure::{Closeness, Harmonic};
-            use nsky_centrality::neisky::nei_sky_group;
+            use nsky_centrality::neisky::nei_sky_group_budgeted;
             let (label, result) = match (measure, prune) {
-                ("closeness", true) => ("NeiSkyGC", nei_sky_group(&g, Closeness, k, true).greedy),
+                ("closeness", true) => (
+                    "NeiSkyGC",
+                    nei_sky_group_budgeted(&g, Closeness, k, true, &budget).greedy,
+                ),
                 ("closeness", false) => (
                     "Greedy++",
-                    greedy_group(&g, Closeness, k, &GreedyOptions::optimized()),
+                    greedy_group_budgeted(&g, Closeness, k, &GreedyOptions::optimized(), &budget),
                 ),
-                ("harmonic", true) => ("NeiSkyGH", nei_sky_group(&g, Harmonic, k, true).greedy),
+                ("harmonic", true) => (
+                    "NeiSkyGH",
+                    nei_sky_group_budgeted(&g, Harmonic, k, true, &budget).greedy,
+                ),
                 (_, false) => (
                     "Greedy-H",
-                    greedy_group(&g, Harmonic, k, &GreedyOptions::optimized()),
+                    greedy_group_budgeted(&g, Harmonic, k, &GreedyOptions::optimized(), &budget),
                 ),
                 _ => unreachable!(),
             };
@@ -119,8 +227,15 @@ pub(crate) fn group(args: &Args) -> Result<String, String> {
             let _ = writeln!(out, "group: {:?}", result.group);
             let _ = writeln!(out, "score = {:.4}", result.score);
             let _ = writeln!(out, "gain evaluations = {}", result.gain_evaluations);
+            result.completion
         }
         "betweenness" => {
+            if budget.is_active() {
+                return Err("measure \"betweenness\" does not support budget options \
+                     (--timeout/--memory-budget/--trip-after); \
+                     budgeted measures: closeness, harmonic"
+                    .to_string());
+            }
             use nsky_centrality::betweenness::{base_gb, nei_sky_gb};
             let result = if prune {
                 nei_sky_gb(&g, k)
@@ -134,40 +249,48 @@ pub(crate) fn group(args: &Args) -> Result<String, String> {
             );
             let _ = writeln!(out, "group: {:?}", result.group);
             let _ = writeln!(out, "GB = {:.4}", result.score);
+            Completion::Complete
         }
         other => return Err(format!("unknown measure {other:?}")),
-    }
-    Ok(out)
+    };
+    status_line(&mut out, completion);
+    Ok((out, completion))
 }
 
-/// `nsky clique <file> [--top K] [--no-prune]`.
-pub(crate) fn clique(args: &Args) -> Result<String, String> {
+/// `nsky clique <file> [--top K] [--no-prune] [budget flags]`.
+pub(crate) fn clique(args: &Args) -> Result<(String, Completion), String> {
     let g = load(args)?;
     let top: usize = args.number("top", 1)?;
     let prune = !args.switch("no-prune");
+    let budget = budget_from(args)?;
     let mut out = String::new();
-    if top <= 1 {
-        let (label, c) = if prune {
-            ("NeiSkyMC", nsky_clique::nei_sky_mc(&g).clique)
+    let completion = if top <= 1 {
+        let (label, c, completion) = if prune {
+            let r = nsky_clique::nei_sky_mc_budgeted(&g, &budget);
+            ("NeiSkyMC", r.clique, r.completion)
         } else {
-            ("MC-BRB", nsky_clique::mc_brb(&g).0)
+            let r = nsky_clique::mc_brb_budgeted(&g, &budget);
+            ("MC-BRB", r.clique, r.completion)
         };
         let _ = writeln!(out, "engine = {label}");
         let _ = writeln!(out, "ω = {}", c.len());
         let _ = writeln!(out, "clique: {c:?}");
+        completion
     } else {
         let mode = if prune {
             nsky_clique::TopkMode::NeiSky
         } else {
             nsky_clique::TopkMode::Base
         };
-        let result = nsky_clique::top_k_cliques(&g, top, mode);
+        let result = nsky_clique::top_k_cliques_budgeted(&g, top, mode, &budget);
         let _ = writeln!(out, "engine = {mode:?} top-{top}");
         for (i, c) in result.cliques.iter().enumerate() {
             let _ = writeln!(out, "#{}: size {} {:?}", i + 1, c.len(), c);
         }
-    }
-    Ok(out)
+        result.completion
+    };
+    status_line(&mut out, completion);
+    Ok((out, completion))
 }
 
 /// `nsky mis <file>`.

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! nsky stats    <edge-list>
-//! nsky skyline  <edge-list> [--algorithm refine|base|cset|2hop|lcjoin|approx]
-//!                           [--epsilon E] [-o out.txt]
+//! nsky skyline  <edge-list> [--algorithm refine|base|par|cset|2hop|lcjoin|approx]
+//!                           [--threads T] [--epsilon E] [-o out.txt]
 //! nsky group    <edge-list> -k K [--measure closeness|harmonic|betweenness]
 //!                           [--no-prune]
 //! nsky clique   <edge-list> [--top K] [--no-prune]
@@ -14,19 +14,36 @@
 //! ```
 //!
 //! Edge lists are whitespace-separated `u v` lines; `#`/`%` comments are
-//! skipped (SNAP/KONECT conventions).
+//! skipped (SNAP/KONECT conventions); `--max-vertex-id` bounds the
+//! allocation a corrupt id can force.
+//!
+//! The `skyline` (refine/base/par), `clique` and `group`
+//! (closeness/harmonic) commands accept execution-budget flags
+//! (`--timeout`, `--memory-budget`, `--trip-after`, `--check-interval`).
+//! A tripped run prints its best-so-far partial answer plus a
+//! `status = ...` line and exits with code 3 instead of 0.
 
 mod args;
 mod commands;
 
+use nsky_skyline::Completion;
 use std::process::ExitCode;
+
+/// Exit code for a run whose budget tripped (`--timeout`,
+/// `--memory-budget`, cancellation or fault injection): the printed
+/// result is a valid partial answer, but completeness was forfeited.
+const EXIT_BUDGET_EXCEEDED: u8 = 3;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(&raw) {
-        Ok(output) => {
+        Ok((output, completion)) => {
             print!("{output}");
-            ExitCode::SUCCESS
+            if completion.is_complete() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_BUDGET_EXCEEDED)
+            }
         }
         Err(msg) => {
             eprintln!("nsky: {msg}");
@@ -36,21 +53,23 @@ fn main() -> ExitCode {
     }
 }
 
-/// Dispatches a raw command line and returns the textual output
-/// (separated from `main` so tests can drive it).
-pub fn run(raw: &[String]) -> Result<String, String> {
+/// Dispatches a raw command line and returns the textual output plus the
+/// run's [`Completion`] status (separated from `main` so tests can drive
+/// it). A non-`Complete` status maps to [`EXIT_BUDGET_EXCEEDED`].
+pub fn run(raw: &[String]) -> Result<(String, Completion), String> {
     let parsed = args::parse(raw)?;
     if parsed.switch("help") || parsed.positionals.is_empty() {
-        return Ok(HELP.to_string());
+        return Ok((HELP.to_string(), Completion::Complete));
     }
+    let complete = |r: Result<String, String>| r.map(|text| (text, Completion::Complete));
     let command = parsed.positionals[0].as_str();
     match command {
-        "stats" => commands::stats(&parsed),
+        "stats" => complete(commands::stats(&parsed)),
         "skyline" => commands::skyline(&parsed),
         "group" => commands::group(&parsed),
         "clique" => commands::clique(&parsed),
-        "mis" => commands::mis(&parsed),
-        "generate" => commands::generate(&parsed),
+        "mis" => complete(commands::mis(&parsed)),
+        "generate" => complete(commands::generate(&parsed)),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -60,8 +79,8 @@ nsky — neighborhood skylines on graphs (ICDE 2023 reproduction)
 
 USAGE:
   nsky stats    <edge-list>
-  nsky skyline  <edge-list> [--algorithm refine|base|cset|2hop|lcjoin|approx]
-                            [--epsilon E] [-o out.txt]
+  nsky skyline  <edge-list> [--algorithm refine|base|par|cset|2hop|lcjoin|approx]
+                            [--threads T] [--epsilon E] [-o out.txt]
   nsky group    <edge-list> -k K [--measure closeness|harmonic|betweenness]
                             [--no-prune]
   nsky clique   <edge-list> [--top K] [--no-prune]
@@ -69,14 +88,34 @@ USAGE:
   nsky generate <family> --n N [--seed S] [-o out.txt]
                 families: er powerlaw ba leafy affiliation copying
                           threshold karate bombing
+
+BUDGET (skyline refine|base|par, clique, group closeness|harmonic):
+  --timeout SECS        stop after a wall-clock deadline
+  --memory-budget MB    approximate cap on kernel working memory
+  --trip-after N        fault injection: trip on the N-th budget poll
+  --check-interval T    ticks between budget polls (default 8192)
+  A tripped run prints a `status = ...` line, returns the best answer
+  verified before the trip, and exits with code 3.
+
+LOADING:
+  --max-vertex-id ID    reject edge lists with vertex ids above ID
+                        (default 2^26 - 1, guards against corrupt input
+                        forcing a multi-GB allocation)
 ";
 
 #[cfg(test)]
 mod tests {
-    use super::run;
+    use super::{run, Completion};
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
+    }
+
+    /// `run` for commands that must finish (asserts `Complete`).
+    fn ok(v: &[&str]) -> String {
+        let (out, completion) = run(&s(v)).unwrap();
+        assert_eq!(completion, Completion::Complete, "{out}");
+        out
     }
 
     fn write_karate() -> String {
@@ -90,30 +129,29 @@ mod tests {
 
     #[test]
     fn help_and_unknown_command() {
-        assert!(run(&s(&["--help"])).unwrap().contains("USAGE"));
-        assert!(run(&s(&[])).unwrap().contains("USAGE"));
+        assert!(ok(&["--help"]).contains("USAGE"));
+        assert!(ok(&[]).contains("USAGE"));
         assert!(run(&s(&["frobnicate"])).is_err());
     }
 
     #[test]
     fn stats_and_skyline_on_karate() {
         let path = write_karate();
-        let out = run(&s(&["stats", &path])).unwrap();
+        let out = ok(&["stats", &path]);
         assert!(out.contains("n = 34"), "{out}");
         assert!(out.contains("m = 78"), "{out}");
-        for algo in ["refine", "base", "cset", "2hop", "lcjoin"] {
-            let out = run(&s(&["skyline", &path, "--algorithm", algo])).unwrap();
+        for algo in ["refine", "base", "par", "cset", "2hop", "lcjoin"] {
+            let out = ok(&["skyline", &path, "--algorithm", algo]);
             assert!(out.contains("|R| = 15"), "{algo}: {out}");
         }
-        let out = run(&s(&[
+        let out = ok(&[
             "skyline",
             &path,
             "--algorithm",
             "approx",
             "--epsilon",
             "0.3",
-        ]))
-        .unwrap();
+        ]);
         assert!(out.contains("|R| ="), "{out}");
         let err = run(&s(&[
             "skyline",
@@ -131,15 +169,15 @@ mod tests {
     #[test]
     fn group_clique_and_mis_on_karate() {
         let path = write_karate();
-        let out = run(&s(&["group", &path, "-k", "3"])).unwrap();
+        let out = ok(&["group", &path, "-k", "3"]);
         assert!(out.contains("group:"), "{out}");
-        let out = run(&s(&["group", &path, "-k", "2", "--measure", "betweenness"])).unwrap();
+        let out = ok(&["group", &path, "-k", "2", "--measure", "betweenness"]);
         assert!(out.contains("GB"), "{out}");
-        let out = run(&s(&["clique", &path])).unwrap();
+        let out = ok(&["clique", &path]);
         assert!(out.contains("ω = 5"), "karate maximum clique is 5: {out}");
-        let out = run(&s(&["clique", &path, "--top", "3"])).unwrap();
+        let out = ok(&["clique", &path, "--top", "3"]);
         assert!(out.contains("#3"), "{out}");
-        let out = run(&s(&["mis", &path])).unwrap();
+        let out = ok(&["mis", &path]);
         assert!(out.contains("independent set"), "{out}");
         std::fs::remove_file(path).ok();
     }
@@ -155,10 +193,84 @@ mod tests {
             "copying",
             "threshold",
         ] {
-            let out = run(&s(&["generate", fam, "--n", "50", "--seed", "7"])).unwrap();
+            let out = ok(&["generate", fam, "--n", "50", "--seed", "7"]);
             assert!(out.contains("n = 50"), "{fam}: {out}");
         }
-        assert!(run(&s(&["generate", "karate"])).unwrap().contains("n = 34"));
+        assert!(ok(&["generate", "karate"]).contains("n = 34"));
         assert!(run(&s(&["generate", "nosuch"])).is_err());
+    }
+
+    #[test]
+    fn tripped_budget_reports_status_not_error() {
+        let path = write_karate();
+        // --trip-after 1 with interval 1: the very first budget poll
+        // trips, deterministically, on every budgeted command.
+        for cmd in [
+            vec!["skyline", &path, "--algorithm", "refine"],
+            vec!["skyline", &path, "--algorithm", "base"],
+            vec!["skyline", &path, "--algorithm", "par", "--threads", "2"],
+            vec!["clique", &path],
+            vec!["clique", &path, "--no-prune"],
+            vec!["clique", &path, "--top", "2"],
+            vec!["group", &path, "-k", "2"],
+            vec!["group", &path, "-k", "2", "--no-prune"],
+        ] {
+            let mut argv = cmd.clone();
+            argv.extend_from_slice(&["--trip-after", "1", "--check-interval", "1"]);
+            let (out, completion) = run(&s(&argv)).unwrap();
+            assert_eq!(completion, Completion::DeadlineExceeded, "{cmd:?}: {out}");
+            assert!(out.contains("status = DeadlineExceeded"), "{cmd:?}: {out}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn budget_flags_rejected_on_uninstrumented_algorithms() {
+        let path = write_karate();
+        let err = run(&s(&[
+            "skyline",
+            &path,
+            "--algorithm",
+            "cset",
+            "--timeout",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("refine, base, par"), "{err}");
+        let err = run(&s(&[
+            "group",
+            &path,
+            "-k",
+            "2",
+            "--measure",
+            "betweenness",
+            "--timeout",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("closeness, harmonic"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cli_flag_validation() {
+        let path = write_karate();
+        let err = run(&s(&[
+            "skyline",
+            &path,
+            "--algorithm",
+            "par",
+            "--threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = run(&s(&["skyline", &path, "--timeout", "-3"])).unwrap_err();
+        assert!(err.contains("--timeout"), "{err}");
+        let err = run(&s(&["skyline", &path, "--check-interval", "0"])).unwrap_err();
+        assert!(err.contains("--check-interval"), "{err}");
+        let err = run(&s(&["stats", &path, "--max-vertex-id", "3"])).unwrap_err();
+        assert!(err.contains("exceeds the cap"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 }

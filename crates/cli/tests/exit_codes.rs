@@ -1,0 +1,99 @@
+//! End-to-end exit-code contract of the `nsky` binary:
+//! 0 = complete, 1 = usage/load error, 3 = budget exceeded (the printed
+//! result is a valid partial answer).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn nsky() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nsky"))
+}
+
+/// Writes the karate club as an edge list and returns its path.
+fn karate_file(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("nsky-exit-{tag}-{}.txt", std::process::id()));
+    let g = nsky_datasets::karate();
+    let mut buf = Vec::new();
+    nsky_graph::io::write_edge_list(&g, &mut buf).unwrap();
+    std::fs::write(&path, buf).unwrap();
+    path
+}
+
+#[test]
+fn complete_run_exits_zero() {
+    let path = karate_file("ok");
+    let out = nsky().arg("skyline").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("|R| = 15"), "{stdout}");
+    assert!(!stdout.contains("status ="), "no status line when complete");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn usage_error_exits_one() {
+    let out = nsky().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let out = nsky()
+        .args(["skyline", "/nonexistent/graph.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn budget_exceeded_exits_three() {
+    let path = karate_file("trip");
+    for argv in [
+        vec!["skyline", "--trip-after", "1", "--check-interval", "1"],
+        vec!["skyline", "--timeout", "0"],
+        vec!["clique", "--trip-after", "1", "--check-interval", "1"],
+        vec![
+            "group",
+            "-k",
+            "2",
+            "--trip-after",
+            "1",
+            "--check-interval",
+            "1",
+        ],
+    ] {
+        let out = nsky()
+            .arg(argv[0])
+            .arg(&path)
+            .args(&argv[1..])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(3), "{argv:?}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("status = DeadlineExceeded"),
+            "{argv:?}: {stdout}"
+        );
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn memory_budget_of_zero_exits_three() {
+    let path = karate_file("mem");
+    let out = nsky()
+        .args(["skyline", path.to_str().unwrap(), "--memory-budget", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("status = MemoryCapped"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn oversized_vertex_id_exits_one_with_cap_message() {
+    let path = std::env::temp_dir().join(format!("nsky-exit-big-{}.txt", std::process::id()));
+    std::fs::write(&path, "0 1\n0 4000000000\n").unwrap();
+    let out = nsky().arg("stats").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exceeds the cap"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}

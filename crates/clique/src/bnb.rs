@@ -1,6 +1,7 @@
 //! Branch-and-bound maximum-clique kernel with greedy-coloring bounds.
 
 use nsky_graph::{Graph, VertexId};
+use nsky_skyline::budget::{BudgetTicker, Completion, ExecutionBudget};
 
 /// Search counters, printed by the harness to show *why* the skyline
 /// pruning wins (fewer root branches).
@@ -14,9 +15,24 @@ pub struct CliqueStats {
     pub root_calls: u64,
 }
 
+/// Outcome of a budgeted clique search. When `completion` is not
+/// [`Completion::Complete`], `clique` is the best (largest) clique found
+/// before the budget tripped — a valid clique, but not necessarily
+/// maximum.
+#[derive(Clone, Debug)]
+pub struct CliqueRun {
+    /// The best clique found, sorted ascending.
+    pub clique: Vec<VertexId>,
+    /// Search counters.
+    pub stats: CliqueStats,
+    /// How the search ended.
+    pub completion: Completion,
+}
+
 /// Greedy sequential coloring of `cand`; returns `(vertex, color)` pairs
 /// sorted by color ascending (colors start at 1). The number of colors
 /// upper-bounds the clique number of the induced subgraph.
+// nsky-lint: allow(budget-check) — bounded O(|cand|²) work per call, ticked by the caller
 fn color_candidates(g: &Graph, cand: &[VertexId]) -> Vec<(VertexId, u32)> {
     let mut classes: Vec<Vec<VertexId>> = Vec::new();
     for &v in cand {
@@ -43,6 +59,10 @@ fn color_candidates(g: &Graph, cand: &[VertexId]) -> Vec<(VertexId, u32)> {
 
 /// Tomita-style expansion. `floor` is an external lower bound: only
 /// cliques strictly larger than `max(best.len(), floor)` replace `best`.
+///
+/// Returns the trip status when the budget runs out mid-search; `best`
+/// then holds the largest clique found so far and the whole recursion
+/// unwinds without exploring further branches.
 fn expand(
     g: &Graph,
     current: &mut Vec<VertexId>,
@@ -50,12 +70,16 @@ fn expand(
     best: &mut Vec<VertexId>,
     floor: usize,
     stats: &mut CliqueStats,
-) {
+    ticker: &mut BudgetTicker<'_>,
+) -> Option<Completion> {
     while let Some(&(v, color)) = cand.last() {
+        if let Some(status) = ticker.check() {
+            return Some(status);
+        }
         let bound = best.len().max(floor);
         if current.len() + color as usize <= bound {
             stats.bound_prunes += 1;
-            return; // every remaining candidate has color ≤ this one
+            return None; // every remaining candidate has color ≤ this one
         }
         stats.branches += 1;
         cand.pop();
@@ -71,10 +95,15 @@ fn expand(
             }
         } else {
             let mut colored = color_candidates(g, &next);
-            expand(g, current, &mut colored, best, floor, stats);
+            let tripped = expand(g, current, &mut colored, best, floor, stats, ticker);
+            if tripped.is_some() {
+                current.pop();
+                return tripped;
+            }
         }
         current.pop();
     }
+    None
 }
 
 /// Iteratively removes candidates with fewer than `min_inside` neighbors
@@ -83,6 +112,7 @@ fn expand(
 /// `cand` must be sorted ascending (it comes from a CSR adjacency list);
 /// membership tests are binary searches, keeping the whole peel at
 /// `O(Σ_{x∈cand} deg(x) · log |cand|)`.
+// nsky-lint: allow(budget-check) — near-linear bounded peel per call, ticked by the caller
 fn peel_candidates(g: &Graph, cand: Vec<VertexId>, min_inside: usize) -> Vec<VertexId> {
     debug_assert!(cand.windows(2).all(|w| w[0] < w[1]));
     let pos = |x: VertexId| cand.binary_search(&x).ok();
@@ -132,18 +162,52 @@ fn peel_candidates(g: &Graph, cand: Vec<VertexId>, min_inside: usize) -> Vec<Ver
 /// assert_eq!(clique, vec![0, 1, 2]);
 /// ```
 pub fn max_clique_bnb(g: &Graph) -> (Vec<VertexId>, CliqueStats) {
+    let run = max_clique_bnb_budgeted(g, &ExecutionBudget::unlimited());
+    (run.clique, run.stats)
+}
+
+/// [`max_clique_bnb`] under an [`ExecutionBudget`]. With an unlimited
+/// budget the output is identical to [`max_clique_bnb`]; after a trip
+/// the returned clique is the largest found before the trip (anytime
+/// semantics — a valid clique, possibly sub-maximum).
+pub fn max_clique_bnb_budgeted(g: &Graph, budget: &ExecutionBudget) -> CliqueRun {
     let mut stats = CliqueStats::default();
     if g.num_vertices() == 0 {
-        return (Vec::new(), stats);
+        return CliqueRun {
+            clique: Vec::new(),
+            stats,
+            completion: Completion::Complete,
+        };
     }
     let mut best = vec![0 as VertexId]; // any single vertex is a clique
+                                        // Coloring classes + candidate stack are the dominant scratch.
+    if let Some(status) = budget.charge(g.num_vertices() * 16) {
+        return CliqueRun {
+            clique: best,
+            stats,
+            completion: status,
+        };
+    }
     let cand: Vec<VertexId> = g.vertices().collect();
     let mut colored = color_candidates(g, &cand);
     let mut current = Vec::new();
     stats.root_calls = 1;
-    expand(g, &mut current, &mut colored, &mut best, 0, &mut stats);
+    let mut ticker = budget.ticker();
+    let tripped = expand(
+        g,
+        &mut current,
+        &mut colored,
+        &mut best,
+        0,
+        &mut stats,
+        &mut ticker,
+    );
     best.sort_unstable();
-    (best, stats)
+    CliqueRun {
+        clique: best,
+        stats,
+        completion: tripped.unwrap_or(Completion::Complete),
+    }
 }
 
 /// Largest clique **containing** `seed` that strictly beats
@@ -159,6 +223,29 @@ pub fn max_clique_containing(
     allowed: Option<&[bool]>,
     lower_bound: usize,
     stats: &mut CliqueStats,
+) -> Option<Vec<VertexId>> {
+    max_clique_containing_budgeted(
+        g,
+        seed,
+        allowed,
+        lower_bound,
+        stats,
+        &mut BudgetTicker::inert(),
+    )
+}
+
+/// [`max_clique_containing`] driven by a caller-owned [`BudgetTicker`].
+/// When the ticker trips mid-search the best containing clique found so
+/// far (if it beats `lower_bound`) is returned; inspect
+/// [`BudgetTicker::status`] to distinguish an exhausted search from a
+/// tripped one.
+pub fn max_clique_containing_budgeted(
+    g: &Graph,
+    seed: VertexId,
+    allowed: Option<&[bool]>,
+    lower_bound: usize,
+    stats: &mut CliqueStats,
+    ticker: &mut BudgetTicker<'_>,
 ) -> Option<Vec<VertexId>> {
     let mut cand: Vec<VertexId> = g
         .neighbors(seed)
@@ -185,7 +272,15 @@ pub fn max_clique_containing(
     let mut current = vec![seed];
     let mut colored = color_candidates(g, &cand);
     // `current` already holds the seed, and any clique found includes it.
-    expand(g, &mut current, &mut colored, &mut best, lower_bound, stats);
+    expand(
+        g,
+        &mut current,
+        &mut colored,
+        &mut best,
+        lower_bound,
+        stats,
+        ticker,
+    );
     if best.is_empty() {
         // No clique beat the floor; {seed} counts only if it does.
         if lower_bound == 0 {

@@ -28,11 +28,14 @@ pub mod mis;
 pub mod neisky;
 pub mod topk;
 
-pub use bnb::{max_clique_bnb, max_clique_containing, CliqueStats};
+pub use bnb::{
+    max_clique_bnb, max_clique_bnb_budgeted, max_clique_containing, max_clique_containing_budgeted,
+    CliqueRun, CliqueStats,
+};
 pub use heuristic::heuristic_clique;
-pub use mcbrb::mc_brb;
-pub use neisky::nei_sky_mc;
-pub use topk::{top_k_cliques, TopkMode, TopkOutcome};
+pub use mcbrb::{mc_brb, mc_brb_budgeted};
+pub use neisky::{nei_sky_mc, nei_sky_mc_budgeted};
+pub use topk::{top_k_cliques, top_k_cliques_budgeted, TopkMode, TopkOutcome};
 
 use nsky_graph::{Graph, VertexId};
 

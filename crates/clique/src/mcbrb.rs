@@ -8,10 +8,11 @@
 //! vertex with `core(v) + 1 ≤ lb`; (3) for each surviving vertex `u` in
 //! degeneracy order, branch-and-bound over `u`'s *later* neighbors.
 
-use crate::bnb::{max_clique_containing, CliqueStats};
+use crate::bnb::{max_clique_containing_budgeted, CliqueRun, CliqueStats};
 use crate::heuristic::heuristic_clique;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::{Graph, VertexId};
+use nsky_skyline::budget::{Completion, ExecutionBudget};
 
 /// Exact maximum clique (the paper's `MC-BRB` comparison point).
 ///
@@ -27,29 +28,71 @@ use nsky_graph::{Graph, VertexId};
 /// assert_eq!(fast.len(), slow.len());
 /// ```
 pub fn mc_brb(g: &Graph) -> (Vec<VertexId>, CliqueStats) {
+    let run = mc_brb_budgeted(g, &ExecutionBudget::unlimited());
+    (run.clique, run.stats)
+}
+
+/// [`mc_brb`] under an [`ExecutionBudget`]. With an unlimited budget the
+/// output is identical to [`mc_brb`]; after a trip the returned clique
+/// is the best found so far — never smaller than the near-linear
+/// heuristic lower bound, which runs before any budgeted search.
+pub fn mc_brb_budgeted(g: &Graph, budget: &ExecutionBudget) -> CliqueRun {
     let mut stats = CliqueStats::default();
     if g.num_vertices() == 0 {
-        return (Vec::new(), stats);
+        return CliqueRun {
+            clique: Vec::new(),
+            stats,
+            completion: Completion::Complete,
+        };
     }
     let mut best = heuristic_clique(g, 16);
+    // Core decomposition + the per-root allowed mask dominate the scratch.
+    if let Some(status) = budget.charge(g.num_vertices() * 10) {
+        best.sort_unstable();
+        return CliqueRun {
+            clique: best,
+            stats,
+            completion: status,
+        };
+    }
     let deco = core_decomposition(g);
+    let mut ticker = budget.ticker();
 
     // Process vertices in degeneracy order; u's candidates are its
     // neighbors later in the order (each clique is found exactly once,
     // rooted at its earliest member).
     let mut later: Vec<bool> = vec![false; g.num_vertices()];
     for &u in deco.order.iter() {
+        if let Some(status) = ticker.check() {
+            best.sort_unstable();
+            return CliqueRun {
+                clique: best,
+                stats,
+                completion: status,
+            };
+        }
         later[u as usize] = true; // mark processed ⇒ excluded from later runs
         if (deco.core[u as usize] + 1) as usize <= best.len() {
             continue; // core reduction
         }
         let allowed: Vec<bool> = g.vertices().map(|v| !later[v as usize]).collect();
-        if let Some(c) = max_clique_containing(g, u, Some(&allowed), best.len(), &mut stats) {
+        if let Some(c) = max_clique_containing_budgeted(
+            g,
+            u,
+            Some(&allowed),
+            best.len(),
+            &mut stats,
+            &mut ticker,
+        ) {
             best = c;
         }
     }
     best.sort_unstable();
-    (best, stats)
+    CliqueRun {
+        clique: best,
+        stats,
+        completion: ticker.status(),
+    }
 }
 
 #[cfg(test)]

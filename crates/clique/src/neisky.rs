@@ -9,21 +9,26 @@
 //! so searching only the ego networks of skyline vertices finds a
 //! maximum clique.
 
-use crate::bnb::{max_clique_containing, CliqueStats};
+use crate::bnb::{max_clique_containing_budgeted, CliqueStats};
 use crate::heuristic::heuristic_clique;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::{Graph, VertexId};
-use nsky_skyline::{filter_refine_sky, RefineConfig};
+use nsky_skyline::budget::{Completion, ExecutionBudget};
+use nsky_skyline::{filter_refine_sky_budgeted, RefineConfig};
 
 /// Outcome of [`nei_sky_mc`].
 #[derive(Clone, Debug)]
 pub struct NeiSkyMcOutcome {
-    /// A maximum clique, sorted ascending.
+    /// A maximum clique, sorted ascending. On a budget trip this is the
+    /// best clique found so far (never smaller than the heuristic lower
+    /// bound), not necessarily maximum.
     pub clique: Vec<VertexId>,
     /// Search counters.
     pub stats: CliqueStats,
     /// `|R|` — the number of root seeds considered before pruning.
     pub skyline_size: usize,
+    /// How the run ended.
+    pub completion: Completion,
 }
 
 /// Exact maximum clique with skyline-restricted roots.
@@ -43,29 +48,63 @@ pub struct NeiSkyMcOutcome {
 /// assert_eq!(nei_sky_mc(&g).clique.len(), mc_brb(&g).0.len());
 /// ```
 pub fn nei_sky_mc(g: &Graph) -> NeiSkyMcOutcome {
+    nei_sky_mc_budgeted(g, &ExecutionBudget::unlimited())
+}
+
+/// [`nei_sky_mc`] under an [`ExecutionBudget`]. With an unlimited budget
+/// the output is identical to [`nei_sky_mc`]. If the budget trips during
+/// the *skyline* computation the partial skyline cannot soundly seed the
+/// root searches (a missing skyline vertex could hide the maximum
+/// clique), so the heuristic clique is returned directly with the trip
+/// status; a trip during the search phase returns the best clique found
+/// so far.
+pub fn nei_sky_mc_budgeted(g: &Graph, budget: &ExecutionBudget) -> NeiSkyMcOutcome {
     let mut stats = CliqueStats::default();
     if g.num_vertices() == 0 {
         return NeiSkyMcOutcome {
             clique: Vec::new(),
             stats,
             skyline_size: 0,
+            completion: Completion::Complete,
         };
     }
-    let skyline = filter_refine_sky(g, &RefineConfig::default()).skyline;
+    let sky = filter_refine_sky_budgeted(g, &RefineConfig::default(), budget);
+    if !sky.completion.is_complete() {
+        let mut best = heuristic_clique(g, 16);
+        best.sort_unstable();
+        return NeiSkyMcOutcome {
+            clique: best,
+            stats,
+            skyline_size: sky.skyline.len(),
+            completion: sky.completion,
+        };
+    }
+    let skyline = sky.skyline;
     let skyline_size = skyline.len();
     let deco = core_decomposition(g);
     let mut seeds = skyline;
     seeds.sort_by_key(|&u| deco.position[u as usize]);
 
     let mut best = heuristic_clique(g, 16);
+    let mut ticker = budget.ticker();
     let mut allowed = vec![true; g.num_vertices()];
     for &u in &seeds {
+        if ticker.check().is_some() {
+            break;
+        }
         allowed[u as usize] = false; // exclude this seed from later runs
         if (deco.core[u as usize] + 1) as usize <= best.len() {
             continue;
         }
         // Re-allow u itself as the seed of its own search.
-        if let Some(c) = max_clique_containing(g, u, Some(&allowed), best.len(), &mut stats) {
+        if let Some(c) = max_clique_containing_budgeted(
+            g,
+            u,
+            Some(&allowed),
+            best.len(),
+            &mut stats,
+            &mut ticker,
+        ) {
             best = c;
         }
     }
@@ -74,6 +113,7 @@ pub fn nei_sky_mc(g: &Graph) -> NeiSkyMcOutcome {
         clique: best,
         stats,
         skyline_size,
+        completion: ticker.status(),
     }
 }
 

@@ -15,11 +15,12 @@
 //!   the queue — this is what makes rounds `≥ 2` cheaper than a full
 //!   solver re-run, reproducing the paper's Fig. 9 crossover at `k = 2`.
 
-use crate::bnb::{max_clique_containing, CliqueStats};
-use crate::mcbrb::mc_brb;
+use crate::bnb::{max_clique_containing_budgeted, CliqueStats};
+use crate::mcbrb::mc_brb_budgeted;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::ops::induced_subgraph;
 use nsky_graph::{Graph, VertexId};
+use nsky_skyline::budget::{Completion, ExecutionBudget};
 use nsky_skyline::incremental::DynamicSkyline;
 use std::collections::BinaryHeap;
 
@@ -44,6 +45,10 @@ pub struct TopkOutcome {
     pub seeds: Vec<VertexId>,
     /// Aggregated search counters.
     pub stats: CliqueStats,
+    /// How the run ended. On a trip, only fully *completed* rounds are
+    /// reported (an in-progress round is dropped), so `cliques` may hold
+    /// fewer than `k` entries even when the graph has vertices left.
+    pub completion: Completion,
 }
 
 /// Max-heap entry of the NeiSky lazy queue. At equal keys, exact entries
@@ -91,31 +96,57 @@ impl PartialOrd for Entry {
 /// assert_eq!(out.cliques[1].len(), 4); // seed retired
 /// ```
 pub fn top_k_cliques(g: &Graph, k: usize, mode: TopkMode) -> TopkOutcome {
+    top_k_cliques_budgeted(g, k, mode, &ExecutionBudget::unlimited())
+}
+
+/// [`top_k_cliques`] under an [`ExecutionBudget`]. With an unlimited
+/// budget the output is identical to [`top_k_cliques`]; after a trip the
+/// outcome reports every round completed before the trip (the round in
+/// progress is dropped — its clique was not yet proven maximum for the
+/// residual graph) with the trip status in
+/// [`TopkOutcome::completion`].
+pub fn top_k_cliques_budgeted(
+    g: &Graph,
+    k: usize,
+    mode: TopkMode,
+    budget: &ExecutionBudget,
+) -> TopkOutcome {
     match mode {
-        TopkMode::Base => top_k_base(g, k),
-        TopkMode::NeiSky => top_k_neisky(g, k),
+        TopkMode::Base => top_k_base(g, k, budget),
+        TopkMode::NeiSky => top_k_neisky(g, k, budget),
     }
 }
 
-fn top_k_base(g: &Graph, k: usize) -> TopkOutcome {
+fn top_k_base(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
     let mut out = TopkOutcome {
         cliques: Vec::with_capacity(k),
         seeds: Vec::with_capacity(k),
         stats: CliqueStats::default(),
+        completion: Completion::Complete,
     };
     let mut alive = vec![true; g.num_vertices()];
     let mut alive_count = g.num_vertices();
+    let mut ticker = budget.ticker();
     for _ in 0..k {
         if alive_count == 0 {
             break;
         }
+        if let Some(status) = ticker.check() {
+            out.completion = status;
+            break;
+        }
         let keep: Vec<VertexId> = g.vertices().filter(|&u| alive[u as usize]).collect();
         let (sub, map) = induced_subgraph(g, &keep);
-        let (c, stats) = mc_brb(&sub);
-        out.stats.branches += stats.branches;
-        out.stats.bound_prunes += stats.bound_prunes;
-        out.stats.root_calls += stats.root_calls;
-        let mut clique: Vec<VertexId> = c.iter().map(|&u| map[u as usize]).collect();
+        let run = mc_brb_budgeted(&sub, budget);
+        out.stats.branches += run.stats.branches;
+        out.stats.bound_prunes += run.stats.bound_prunes;
+        out.stats.root_calls += run.stats.root_calls;
+        if !run.completion.is_complete() {
+            // The round's clique was not proven maximum: drop it.
+            out.completion = run.completion;
+            break;
+        }
+        let mut clique: Vec<VertexId> = run.clique.iter().map(|&u| map[u as usize]).collect();
         clique.sort_unstable();
         let seed = clique[0];
         out.cliques.push(clique);
@@ -126,15 +157,22 @@ fn top_k_base(g: &Graph, k: usize) -> TopkOutcome {
     out
 }
 
-fn top_k_neisky(g: &Graph, k: usize) -> TopkOutcome {
+fn top_k_neisky(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
     let mut out = TopkOutcome {
         cliques: Vec::with_capacity(k),
         seeds: Vec::with_capacity(k),
         stats: CliqueStats::default(),
+        completion: Completion::Complete,
     };
     if g.num_vertices() == 0 || k == 0 {
         return out;
     }
+    // Skyline maintenance + core numbers + lazy queue scratch.
+    if let Some(status) = budget.charge(g.num_vertices() * 24) {
+        out.completion = status;
+        return out;
+    }
+    let mut ticker = budget.ticker();
     let mut dyn_sky = DynamicSkyline::new(g);
     let deco = core_decomposition(g); // static bounds stay valid as g shrinks
     let mut alive = vec![true; g.num_vertices()];
@@ -156,6 +194,12 @@ fn top_k_neisky(g: &Graph, k: usize) -> TopkOutcome {
         // other queue key is no larger).
         let mut incumbent: Option<(Vec<VertexId>, VertexId)> = None;
         loop {
+            if let Some(status) = ticker.check() {
+                // Trip mid-round: the incumbent was not yet proven
+                // maximum for the residual graph — drop the round.
+                out.completion = status;
+                break 'rounds;
+            }
             let Some(top) = heap.pop() else {
                 // Queue exhausted: the incumbent (if any) is the answer.
                 match incumbent.take() {
@@ -200,7 +244,20 @@ fn top_k_neisky(g: &Graph, k: usize) -> TopkOutcome {
             }
             // Resolve with the incumbent as a floor: seeds that cannot
             // beat it are bound-pruned at the root instead of searched.
-            match max_clique_containing(g, s, Some(&alive), floor, &mut out.stats) {
+            let resolved = max_clique_containing_budgeted(
+                g,
+                s,
+                Some(&alive),
+                floor,
+                &mut out.stats,
+                &mut ticker,
+            );
+            if !ticker.status().is_complete() {
+                // The search tripped: its result is not proven maximum.
+                out.completion = ticker.status();
+                break 'rounds;
+            }
+            match resolved {
                 Some(found) => {
                     heap.push(Entry {
                         key: found.len(),
@@ -228,6 +285,7 @@ fn top_k_neisky(g: &Graph, k: usize) -> TopkOutcome {
 
 /// Records a round's answer and retires its seed, feeding vertices that
 /// entered the skyline back into the lazy queue.
+// nsky-lint: allow(budget-check) — bounded by the skyline re-entry report of one removal, ticked by the caller
 fn finish_round(
     g: &Graph,
     (clique, seed): (Vec<VertexId>, VertexId),
@@ -255,6 +313,7 @@ fn finish_round(
 mod tests {
     use super::*;
     use crate::is_clique;
+    use crate::mcbrb::mc_brb;
     use nsky_graph::generators::special::clique;
     use nsky_graph::generators::{affiliation_model, chung_lu_power_law, erdos_renyi};
 

@@ -14,6 +14,7 @@
 //!   closes much of the gap to `FilterRefineSky` (quantified by the
 //!   `ablation_early_exit` bench and discussed in EXPERIMENTS.md).
 
+use crate::budget::{Completion, ExecutionBudget};
 use crate::result::{SkylineResult, SkylineStats};
 use nsky_graph::{Graph, VertexId};
 
@@ -57,29 +58,51 @@ enum ScanMode {
 /// assert_eq!(r.skyline, vec![0]); // the hub dominates every leaf
 /// ```
 pub fn base_sky(g: &Graph) -> SkylineResult {
-    base_sky_impl(g, ScanMode::Faithful)
+    base_sky_impl(g, ScanMode::Faithful, &ExecutionBudget::unlimited())
 }
 
 /// [`base_sky`] with the scan of a vertex aborted as soon as the vertex
 /// is known dominated — a strict improvement over the printed
 /// Algorithm 1 (same output, measured in `ablation_early_exit`).
 pub fn base_sky_early_exit(g: &Graph) -> SkylineResult {
-    base_sky_impl(g, ScanMode::EarlyExit)
+    base_sky_impl(g, ScanMode::EarlyExit, &ExecutionBudget::unlimited())
 }
 
-fn base_sky_impl(g: &Graph, mode: ScanMode) -> SkylineResult {
+/// [`base_sky`] under an [`ExecutionBudget`]. With an unlimited budget
+/// the output is byte-identical to [`base_sky`]; after a trip the result
+/// is partial: scans run in increasing vertex order, so the reported
+/// skyline is exactly the verified prefix — every fixed point below the
+/// first unscanned vertex (a sound subset of the true skyline).
+pub fn base_sky_budgeted(g: &Graph, budget: &ExecutionBudget) -> SkylineResult {
+    base_sky_impl(g, ScanMode::Faithful, budget)
+}
+
+fn base_sky_impl(g: &Graph, mode: ScanMode, budget: &ExecutionBudget) -> SkylineResult {
     let n = g.num_vertices();
-    let mut dominator: Vec<VertexId> = (0..n as VertexId).collect();
-    // Timestamped counting array: T(w) = count[w] when stamp[w] == round.
-    let mut count: Vec<u32> = vec![0; n];
-    let mut stamp: Vec<u32> = vec![u32::MAX; n];
     let mut stats = SkylineStats {
         candidate_count: n,
         peak_bytes: n * (4 + 4 + 4),
         ..SkylineStats::default()
     };
+    if let Some(status) = budget.charge(n * (4 + 4 + 4)) {
+        // Refused before the counting arrays were built: nothing verified.
+        return SkylineResult::partial(
+            Vec::new(),
+            (0..n as VertexId).collect(),
+            None,
+            stats,
+            status,
+        );
+    }
+    let mut dominator: Vec<VertexId> = (0..n as VertexId).collect();
+    // Timestamped counting array: T(w) = count[w] when stamp[w] == round.
+    let mut count: Vec<u32> = vec![0; n];
+    let mut stamp: Vec<u32> = vec![u32::MAX; n];
+    let mut ticker = budget.ticker();
+    let mut tripped: Option<Completion> = None;
+    let mut first_unverified = n as VertexId;
 
-    for u in g.vertices() {
+    'all: for u in g.vertices() {
         if dominator[u as usize] != u {
             continue; // already resolved by a smaller-ID twin
         }
@@ -90,6 +113,11 @@ fn base_sky_impl(g: &Graph, mode: ScanMode) -> SkylineResult {
         let round = u; // vertex id doubles as the stamp for its scan
         'scan: for &v in g.neighbors(u) {
             for w in g.neighbors(v).iter().copied().chain(std::iter::once(v)) {
+                if let Some(status) = ticker.check() {
+                    tripped = Some(status);
+                    first_unverified = u; // u's scan did not finish
+                    break 'all;
+                }
                 if w == u {
                     continue;
                 }
@@ -130,7 +158,18 @@ fn base_sky_impl(g: &Graph, mode: ScanMode) -> SkylineResult {
             }
         }
     }
-    SkylineResult::from_dominators(dominator, None, stats)
+    match tripped {
+        None => SkylineResult::from_dominators(dominator, None, stats),
+        Some(status) => {
+            // Vertices below the first unscanned one with their own
+            // scan finished and no dominator found are true skyline
+            // members (twin forward-marks never clear a fixed point).
+            let verified = (0..first_unverified)
+                .filter(|&v| dominator[v as usize] == v)
+                .collect();
+            SkylineResult::partial(verified, dominator, None, stats, status)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,555 @@
+//! Budgeted, cancellable execution for every skyline kernel.
+//!
+//! The paper's worst cases are real: `BaseSky` is `O(m·dmax)`, the clique
+//! branch and bound is exponential, and a production service cannot let
+//! one pathological query hold a worker hostage. This module is the
+//! workspace's single execution-control layer:
+//!
+//! * [`ExecutionBudget`] — a deadline (behind the injectable
+//!   [`DeadlineClock`] trait so tests are deterministic), a cooperative
+//!   cancellation flag shared across parallel refine workers, and an
+//!   approximate memory accountant (bloom-filter bits and candidate/stamp
+//!   arrays are charged against a cap before they are allocated).
+//! * [`BudgetTicker`] — the per-worker hot-loop handle. Kernels call
+//!   [`BudgetTicker::check`] once per inner-loop step; the ticker
+//!   decrements a local countdown and only consults the shared budget
+//!   every `check_interval` ticks, so the default (unlimited) path costs
+//!   one branch per step and budgeted runs stay within ~2% of open-loop
+//!   speed.
+//! * [`Completion`] — the status attached to every kernel result
+//!   ([`crate::SkylineResult`], clique outcomes, greedy group outcomes).
+//!   Anything other than [`Completion::Complete`] marks an *anytime*
+//!   partial answer: the kernel stopped within one check interval of the
+//!   trip and returned its best-so-far result instead of panicking or
+//!   running on.
+//!
+//! A trip is **sticky and shared**: the first worker that observes an
+//! exhausted budget publishes the status, and every other ticker on the
+//! same budget trips at its next poll. See DESIGN.md §7 for what a
+//! partial skyline means soundness-wise.
+//!
+//! # Examples
+//!
+//! ```
+//! use nsky_graph::generators::chung_lu_power_law;
+//! use nsky_skyline::budget::{Completion, ExecutionBudget, TripClock};
+//! use nsky_skyline::{base_sky_budgeted, filter_refine_sky_budgeted, RefineConfig};
+//!
+//! let g = chung_lu_power_law(300, 2.8, 5.0, 1);
+//! // Unlimited budget: identical to the open-loop algorithms.
+//! let full = filter_refine_sky_budgeted(&g, &RefineConfig::default(), &ExecutionBudget::unlimited());
+//! assert_eq!(full.completion, Completion::Complete);
+//!
+//! // A clock tripped deterministically at the 5th poll: the kernel
+//! // stops and reports the candidates verified so far.
+//! let budget = ExecutionBudget::unlimited()
+//!     .deadline(TripClock::at_poll(5))
+//!     .check_interval(1);
+//! let partial = base_sky_budgeted(&g, &budget);
+//! assert_eq!(partial.completion, Completion::DeadlineExceeded);
+//! assert!(partial.skyline.len() <= full.skyline.len());
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a kernel run ended. Attached to every kernel result; anything
+/// other than [`Completion::Complete`] marks a partial (anytime) answer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Completion {
+    /// The kernel ran to completion; the result is exact and identical
+    /// to the open-loop algorithm's output.
+    #[default]
+    Complete,
+    /// The deadline clock expired; the result is the best answer found
+    /// before the trip.
+    DeadlineExceeded,
+    /// The memory accountant refused an allocation; the result is the
+    /// best answer reachable within the cap.
+    MemoryCapped,
+    /// The cooperative cancellation flag was raised.
+    Cancelled,
+}
+
+impl Completion {
+    /// Whether the run finished without tripping any budget.
+    #[inline]
+    pub fn is_complete(self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+
+    /// Non-zero wire code for the sticky trip register.
+    fn code(self) -> u8 {
+        match self {
+            Completion::Complete => 0,
+            Completion::DeadlineExceeded => 1,
+            Completion::MemoryCapped => 2,
+            Completion::Cancelled => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Completion {
+        match code {
+            1 => Completion::DeadlineExceeded,
+            2 => Completion::MemoryCapped,
+            3 => Completion::Cancelled,
+            _ => Completion::Complete,
+        }
+    }
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Completion::Complete => "Complete",
+            Completion::DeadlineExceeded => "DeadlineExceeded",
+            Completion::MemoryCapped => "MemoryCapped",
+            Completion::Cancelled => "Cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An injectable deadline source. Production code uses [`WallDeadline`];
+/// the fault-injection tests use [`TripClock`] so every trip lands on a
+/// deterministic poll.
+pub trait DeadlineClock: Send + Sync {
+    /// Whether the deadline has passed. Polled at most once per
+    /// `check_interval` ticks per worker; must be cheap and lock-free.
+    fn expired(&self) -> bool;
+}
+
+impl<C: DeadlineClock + ?Sized> DeadlineClock for Arc<C> {
+    fn expired(&self) -> bool {
+        (**self).expired()
+    }
+}
+
+/// Wall-clock deadline: expires `timeout` after construction.
+#[derive(Debug)]
+pub struct WallDeadline {
+    deadline: Instant,
+}
+
+impl WallDeadline {
+    /// A deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        WallDeadline {
+            deadline: Instant::now() + timeout,
+        }
+    }
+}
+
+impl DeadlineClock for WallDeadline {
+    fn expired(&self) -> bool {
+        Instant::now() >= self.deadline
+    }
+}
+
+/// Deterministic fault-injection clock: reports expiry from its `n`-th
+/// poll onward (1-based), and counts every poll so tests can assert that
+/// kernels stop within one check interval of the trip.
+#[derive(Debug)]
+pub struct TripClock {
+    remaining: AtomicU64,
+    polls: AtomicU64,
+}
+
+impl TripClock {
+    /// Trips on the `n`-th [`DeadlineClock::expired`] call; polls
+    /// `1..n` return `false`. `n == 0` behaves like `n == 1`
+    /// (already expired).
+    pub fn at_poll(n: u64) -> Self {
+        TripClock {
+            remaining: AtomicU64::new(n.saturating_sub(1)),
+            polls: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `expired()` calls observed so far.
+    pub fn polls(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+}
+
+impl DeadlineClock for TripClock {
+    fn expired(&self) -> bool {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        self.remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_err()
+    }
+}
+
+/// A handle for cancelling a running kernel from another thread.
+/// Obtained with [`ExecutionBudget::cancel_token`]; cloneable and cheap.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Raises the cooperative cancellation flag: every ticker on the
+    /// budget trips with [`Completion::Cancelled`] at its next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Default ticks between budget polls (see [`ExecutionBudget::check_interval`]).
+/// One tick is one inner-loop step (nanoseconds of work), so 8192 ticks
+/// still bounds trip latency well below a millisecond while amortizing
+/// the clock read (`Instant::now` can cost ~100ns under virtualized
+/// clocksources) to noise.
+pub const DEFAULT_CHECK_INTERVAL: u32 = 8192;
+
+/// The execution budget shared by one kernel run (and all of its worker
+/// threads): optional deadline, optional memory cap, cooperative
+/// cancellation, and the sticky trip status.
+///
+/// The default [`ExecutionBudget::unlimited`] budget is inert: tickers
+/// derived from it never poll anything, so wrapping an algorithm in the
+/// budgeted entry point with an unlimited budget produces byte-identical
+/// results at indistinguishable cost.
+#[derive(Default)]
+pub struct ExecutionBudget {
+    clock: Option<Box<dyn DeadlineClock>>,
+    cancel: Arc<AtomicBool>,
+    cancel_observed: AtomicBool,
+    memory_cap: Option<usize>,
+    memory_charged: AtomicUsize,
+    tripped: AtomicU8,
+    check_interval: u32,
+}
+
+impl std::fmt::Debug for ExecutionBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionBudget")
+            .field("deadline", &self.clock.is_some())
+            .field("memory_cap", &self.memory_cap)
+            .field("check_interval", &self.check_interval)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl ExecutionBudget {
+    /// A budget with no limits: checks are no-ops, results are identical
+    /// to the open-loop algorithms.
+    pub fn unlimited() -> Self {
+        ExecutionBudget {
+            check_interval: DEFAULT_CHECK_INTERVAL,
+            ..ExecutionBudget::default()
+        }
+    }
+
+    /// Convenience constructor: a wall-clock deadline `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        ExecutionBudget::unlimited().deadline(WallDeadline::after(timeout))
+    }
+
+    /// Installs a deadline clock (builder style).
+    pub fn deadline(mut self, clock: impl DeadlineClock + 'static) -> Self {
+        self.clock = Some(Box::new(clock));
+        self
+    }
+
+    /// Installs an approximate memory cap in bytes: kernels charge their
+    /// dominant allocations (bloom filters, candidate/stamp arrays)
+    /// before making them, and trip with [`Completion::MemoryCapped`]
+    /// when the running total would exceed the cap.
+    pub fn memory_cap(mut self, bytes: usize) -> Self {
+        self.memory_cap = Some(bytes);
+        self
+    }
+
+    /// Sets how many [`BudgetTicker::check`] ticks elapse between polls
+    /// of the clock/cancellation flag (clamped to ≥ 1; the first check
+    /// of every ticker always polls, so an already-expired budget trips
+    /// immediately). Default [`DEFAULT_CHECK_INTERVAL`].
+    pub fn check_interval(mut self, ticks: u32) -> Self {
+        self.check_interval = ticks.max(1);
+        self
+    }
+
+    /// A handle for cancelling this run from another thread. Taking a
+    /// token arms cancellation polling; take it before starting the
+    /// kernel.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel_observed.store(true, Ordering::Relaxed);
+        CancelToken {
+            flag: Arc::clone(&self.cancel),
+        }
+    }
+
+    /// Whether any limit is armed (deadline, memory cap or an
+    /// outstanding cancel token). Inactive budgets produce inert tickers.
+    pub fn is_active(&self) -> bool {
+        self.clock.is_some()
+            || self.memory_cap.is_some()
+            || self.cancel_observed.load(Ordering::Relaxed)
+    }
+
+    /// The sticky status: [`Completion::Complete`] until a trip, then
+    /// the first trip's status forever.
+    pub fn status(&self) -> Completion {
+        Completion::from_code(self.tripped.load(Ordering::Relaxed))
+    }
+
+    /// Bytes charged so far (an approximate high-water mark; charges are
+    /// never refunded).
+    pub fn charged_bytes(&self) -> usize {
+        self.memory_charged.load(Ordering::Relaxed)
+    }
+
+    /// Charges `bytes` against the memory cap. Returns the trip status
+    /// when the cap (or a previous trip) refuses the allocation; callers
+    /// must then stop and return their best-so-far answer.
+    pub fn charge(&self, bytes: usize) -> Option<Completion> {
+        let tripped = self.status();
+        if !tripped.is_complete() {
+            return Some(tripped);
+        }
+        let cap = self.memory_cap?;
+        let total = self
+            .memory_charged
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        if total > cap {
+            Some(self.trip(Completion::MemoryCapped))
+        } else {
+            None
+        }
+    }
+
+    /// A hot-loop handle for this budget. Each worker thread takes its
+    /// own ticker; all tickers share the budget's sticky trip status.
+    pub fn ticker(&self) -> BudgetTicker<'_> {
+        BudgetTicker {
+            budget: if self.is_active() { Some(self) } else { None },
+            interval: self.check_interval,
+            countdown: 1, // first check polls, so expired budgets trip at once
+            tripped: None,
+        }
+    }
+
+    /// Publishes a trip (first writer wins) and returns the winning
+    /// status.
+    fn trip(&self, status: Completion) -> Completion {
+        match self
+            .tripped
+            .compare_exchange(0, status.code(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => status,
+            Err(prev) => Completion::from_code(prev),
+        }
+    }
+
+    /// One poll of every armed limit, in priority order: sticky trip,
+    /// cancellation, deadline.
+    fn poll(&self) -> Option<Completion> {
+        let tripped = self.status();
+        if !tripped.is_complete() {
+            return Some(tripped);
+        }
+        if self.cancel.load(Ordering::Relaxed) {
+            return Some(self.trip(Completion::Cancelled));
+        }
+        if let Some(clock) = &self.clock {
+            if clock.expired() {
+                return Some(self.trip(Completion::DeadlineExceeded));
+            }
+        }
+        None
+    }
+}
+
+/// Per-worker budget handle for hot loops: one branch per tick, one
+/// shared-budget poll every `check_interval` ticks, sticky after the
+/// first trip. Create with [`ExecutionBudget::ticker`], or
+/// [`BudgetTicker::inert`] where a callee requires one but the caller
+/// has no budget to enforce.
+#[derive(Debug)]
+pub struct BudgetTicker<'a> {
+    budget: Option<&'a ExecutionBudget>,
+    interval: u32,
+    countdown: u32,
+    tripped: Option<Completion>,
+}
+
+impl BudgetTicker<'_> {
+    /// A ticker that never trips (for callers without a budget).
+    pub fn inert() -> BudgetTicker<'static> {
+        BudgetTicker {
+            budget: None,
+            interval: 1,
+            countdown: 1,
+            tripped: None,
+        }
+    }
+
+    /// One tick of kernel work. Returns the trip status once the budget
+    /// is exhausted; the kernel must then unwind and return its
+    /// best-so-far answer.
+    ///
+    /// The hot path is one decrement and one branch per tick — even with
+    /// an armed budget, everything else (the sticky-trip check and the
+    /// shared poll) runs only once per `check_interval`, keeping armed
+    /// kernels within ~2% of open-loop speed.
+    #[inline]
+    pub fn check(&mut self) -> Option<Completion> {
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return None;
+        }
+        self.countdown = self.interval;
+        let budget = self.budget?;
+        if self.tripped.is_some() {
+            return self.tripped;
+        }
+        self.tripped = budget.poll();
+        self.tripped
+    }
+
+    /// The status this ticker has already observed ([`Completion::Complete`]
+    /// while it has not tripped). Lets callers distinguish "callee
+    /// finished" from "callee unwound on a trip" without re-polling.
+    pub fn status(&self) -> Completion {
+        self.tripped.unwrap_or(Completion::Complete)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_is_inert() {
+        let b = ExecutionBudget::unlimited();
+        assert!(!b.is_active());
+        let mut t = b.ticker();
+        for _ in 0..10_000 {
+            assert_eq!(t.check(), None);
+        }
+        assert_eq!(b.status(), Completion::Complete);
+        assert_eq!(b.charge(usize::MAX), None, "no cap means free charges");
+    }
+
+    #[test]
+    fn trip_clock_trips_on_exact_poll() {
+        let c = TripClock::at_poll(3);
+        assert!(!c.expired());
+        assert!(!c.expired());
+        assert!(c.expired());
+        assert!(c.expired(), "sticky after the trip");
+        assert_eq!(c.polls(), 4);
+        let zero = TripClock::at_poll(0);
+        assert!(zero.expired());
+    }
+
+    #[test]
+    fn ticker_polls_every_interval_and_first_check() {
+        let clock = Arc::new(TripClock::at_poll(u64::MAX));
+        let b = ExecutionBudget::unlimited()
+            .deadline(Arc::clone(&clock))
+            .check_interval(4);
+        let mut t = b.ticker();
+        assert_eq!(t.check(), None);
+        assert_eq!(clock.polls(), 1, "first check polls immediately");
+        for _ in 0..4 {
+            assert_eq!(t.check(), None);
+        }
+        assert_eq!(clock.polls(), 2, "then one poll per interval");
+    }
+
+    #[test]
+    fn deadline_trip_is_sticky_and_shared() {
+        let b = ExecutionBudget::unlimited()
+            .deadline(TripClock::at_poll(2))
+            .check_interval(1);
+        let mut t1 = b.ticker();
+        let mut t2 = b.ticker();
+        assert_eq!(t1.check(), None);
+        assert_eq!(t1.check(), Some(Completion::DeadlineExceeded));
+        assert_eq!(t1.status(), Completion::DeadlineExceeded);
+        // The second ticker observes the shared sticky trip on its first
+        // poll without consulting the clock again.
+        assert_eq!(t2.check(), Some(Completion::DeadlineExceeded));
+        assert_eq!(b.status(), Completion::DeadlineExceeded);
+    }
+
+    #[test]
+    fn cancellation_trips_tickers() {
+        let b = ExecutionBudget::unlimited().check_interval(1);
+        let token = b.cancel_token();
+        assert!(b.is_active(), "outstanding token arms polling");
+        assert!(!token.is_cancelled());
+        let mut t = b.ticker();
+        assert_eq!(t.check(), None);
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(t.check(), Some(Completion::Cancelled));
+        assert_eq!(b.status(), Completion::Cancelled);
+    }
+
+    #[test]
+    fn memory_cap_trips_on_overflow() {
+        let b = ExecutionBudget::unlimited().memory_cap(1000);
+        assert_eq!(b.charge(600), None);
+        assert_eq!(b.charge(400), None, "exactly at the cap is allowed");
+        assert_eq!(b.charge(1), Some(Completion::MemoryCapped));
+        assert_eq!(b.status(), Completion::MemoryCapped);
+        assert!(b.charged_bytes() >= 1000);
+        // Subsequent tickers observe the sticky trip.
+        assert_eq!(b.ticker().check(), Some(Completion::MemoryCapped));
+    }
+
+    #[test]
+    fn first_trip_wins() {
+        let b = ExecutionBudget::unlimited()
+            .deadline(TripClock::at_poll(1))
+            .memory_cap(0)
+            .check_interval(1);
+        assert_eq!(b.charge(8), Some(Completion::MemoryCapped));
+        let mut t = b.ticker();
+        assert_eq!(t.check(), Some(Completion::MemoryCapped));
+        assert_eq!(b.status(), Completion::MemoryCapped);
+    }
+
+    #[test]
+    fn wall_deadline_zero_is_already_expired() {
+        let b = ExecutionBudget::with_timeout(Duration::ZERO).check_interval(1);
+        let mut t = b.ticker();
+        assert_eq!(t.check(), Some(Completion::DeadlineExceeded));
+    }
+
+    #[test]
+    fn inert_ticker_never_trips() {
+        let mut t = BudgetTicker::inert();
+        for _ in 0..100 {
+            assert_eq!(t.check(), None);
+        }
+        assert_eq!(t.status(), Completion::Complete);
+    }
+
+    #[test]
+    fn completion_display_and_codes_round_trip() {
+        for c in [
+            Completion::Complete,
+            Completion::DeadlineExceeded,
+            Completion::MemoryCapped,
+            Completion::Cancelled,
+        ] {
+            assert_eq!(Completion::from_code(c.code()), c);
+            assert!(!format!("{c}").is_empty());
+        }
+        assert!(Completion::Complete.is_complete());
+        assert!(!Completion::Cancelled.is_complete());
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod approx;
 mod base;
+pub mod budget;
 mod cset;
 pub mod domination;
 mod filter_phase;
@@ -60,10 +61,11 @@ mod refine;
 mod result;
 mod two_hop;
 
-pub use base::{base_sky, base_sky_early_exit};
+pub use base::{base_sky, base_sky_budgeted, base_sky_early_exit};
+pub use budget::{Completion, ExecutionBudget};
 pub use cset::cset_sky;
 pub use filter_phase::{filter_phase, FilterOutcome};
-pub use parallel::filter_refine_sky_par;
-pub use refine::{filter_refine_sky, RefineConfig};
+pub use parallel::{filter_refine_sky_par, filter_refine_sky_par_budgeted};
+pub use refine::{filter_refine_sky, filter_refine_sky_budgeted, RefineConfig};
 pub use result::{SkylineResult, SkylineStats};
 pub use two_hop::two_hop_sky;

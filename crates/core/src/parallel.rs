@@ -2,11 +2,23 @@
 //! paper; the per-candidate checks are read-only and embarrassingly
 //! parallel).
 
+use crate::budget::{BudgetTicker, ExecutionBudget};
 use crate::filter_phase::filter_phase;
 use crate::refine::RefineConfig;
 use crate::result::{SkylineResult, SkylineStats};
 use nsky_bloom::{BloomConfig, NeighborhoodFilters};
 use nsky_graph::{Graph, VertexId};
+
+/// Per-candidate outcome of a worker's refine scan.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// The scan did not finish before the budget tripped.
+    Unverified,
+    /// Scan finished; no dominator found — a true skyline member.
+    Skyline,
+    /// Scan finished; dominated by the carried witness.
+    DominatedBy(VertexId),
+}
 
 /// Computes the neighborhood skyline with the refine phase split across
 /// `threads` OS threads.
@@ -36,54 +48,110 @@ use nsky_graph::{Graph, VertexId};
 /// );
 /// ```
 pub fn filter_refine_sky_par(g: &Graph, cfg: &RefineConfig, threads: usize) -> SkylineResult {
+    filter_refine_sky_par_budgeted(g, cfg, threads, &ExecutionBudget::unlimited())
+}
+
+/// [`filter_refine_sky_par`] under an [`ExecutionBudget`] shared by all
+/// worker threads. The first worker that observes an exhausted budget
+/// publishes the sticky trip; every other worker stops within one check
+/// interval. After a trip the skyline holds exactly the candidates some
+/// worker fully verified (a sound subset of the true skyline — which
+/// candidates those are depends on thread scheduling).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn filter_refine_sky_par_budgeted(
+    g: &Graph,
+    cfg: &RefineConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+) -> SkylineResult {
     assert!(threads > 0, "need at least one worker thread");
     let n = g.num_vertices();
     let filter = filter_phase(g);
     let mut stats: SkylineStats = filter.seed_stats();
 
     let bloom_cfg = BloomConfig::for_max_degree(g.max_degree(), cfg.bloom_bits_per_element);
+    let estimate = filter.candidates.len() * (bloom_cfg.bits / 8 + 4) + n * 4 + threads * n * 4;
+    if let Some(status) = budget.charge(estimate) {
+        return SkylineResult::partial(
+            Vec::new(),
+            filter.dominator,
+            Some(filter.candidates),
+            stats,
+            status,
+        );
+    }
     let filters = NeighborhoodFilters::build(g, filter.candidates.iter().copied(), bloom_cfg);
     stats.peak_bytes = filters.size_bytes() + n * 4 + threads * n * 4;
 
     let candidates = &filter.candidates;
     let is_candidate = &filter.dominator; // frozen: dominator[w] == w ⟺ w ∈ C
     let chunk = candidates.len().div_ceil(threads).max(1);
-    let mut verdicts: Vec<Option<VertexId>> = vec![None; candidates.len()];
+    let mut verdicts: Vec<Verdict> = vec![Verdict::Unverified; candidates.len()];
 
     std::thread::scope(|scope| {
         let filters = &filters;
         for (slice, out) in candidates.chunks(chunk).zip(verdicts.chunks_mut(chunk)) {
             scope.spawn(move || {
                 let mut seen: Vec<u32> = vec![u32::MAX; n];
+                let mut ticker = budget.ticker();
                 for (i, &u) in slice.iter().enumerate() {
-                    out[i] = refine_one(g, filters, is_candidate, cfg, &mut seen, u);
+                    if ticker.check().is_some() {
+                        break; // leave the rest of the chunk Unverified
+                    }
+                    out[i] = refine_one(g, filters, is_candidate, cfg, &mut seen, &mut ticker, u);
+                    if out[i] == Verdict::Unverified {
+                        break; // tripped mid-scan
+                    }
                 }
             });
         }
     });
 
+    let completion = budget.status();
     let mut dominator = filter.dominator.clone();
     for (i, &u) in candidates.iter().enumerate() {
-        if let Some(w) = verdicts[i] {
+        if let Verdict::DominatedBy(w) = verdicts[i] {
             dominator[u as usize] = w;
         }
     }
-    SkylineResult::from_dominators(dominator, Some(filter.candidates), stats)
+    if completion.is_complete() {
+        return SkylineResult::from_dominators(dominator, Some(filter.candidates), stats);
+    }
+    let verified = candidates
+        .iter()
+        .zip(&verdicts)
+        .filter(|&(_, v)| *v == Verdict::Skyline)
+        .map(|(&u, _)| u)
+        .collect();
+    SkylineResult::partial(
+        verified,
+        dominator,
+        Some(filter.candidates),
+        stats,
+        completion,
+    )
 }
 
-/// Pure per-candidate check: the first 2-hop vertex that dominates `u`
-/// (strictly, or a smaller-ID twin), or `None` if `u` is skyline.
+/// Pure per-candidate check: [`Verdict::DominatedBy`] the first 2-hop
+/// vertex that dominates `u` (strictly, or a smaller-ID twin),
+/// [`Verdict::Skyline`] if the scan completes without one, or
+/// [`Verdict::Unverified`] if the budget trips mid-scan.
+#[allow(clippy::too_many_arguments)]
 fn refine_one(
     g: &Graph,
     filters: &NeighborhoodFilters,
     is_candidate: &[VertexId],
     cfg: &RefineConfig,
     seen: &mut [u32],
+    ticker: &mut BudgetTicker<'_>,
     u: VertexId,
-) -> Option<VertexId> {
+) -> Verdict {
     let du = g.degree(u);
     if du == 0 {
-        return None;
+        return Verdict::Skyline;
     }
     let word_prefilter = cfg.use_word_prefilter && du >= filters.words_per_filter();
     let round = u;
@@ -101,6 +169,9 @@ fn refine_one(
     };
     for &v in scan_vs {
         for &w in g.neighbors(v) {
+            if ticker.check().is_some() {
+                return Verdict::Unverified;
+            }
             if w == u {
                 continue;
             }
@@ -118,6 +189,9 @@ fn refine_one(
             }
             let mut dominated = true;
             for &x in g.neighbors(u) {
+                if ticker.check().is_some() {
+                    return Verdict::Unverified;
+                }
                 if x == w || x == v {
                     continue;
                 }
@@ -131,14 +205,14 @@ fn refine_one(
             }
             if g.degree(w) == du {
                 if w < u {
-                    return Some(w);
+                    return Verdict::DominatedBy(w);
                 }
             } else {
-                return Some(w);
+                return Verdict::DominatedBy(w);
             }
         }
     }
-    None
+    Verdict::Skyline
 }
 
 #[cfg(test)]

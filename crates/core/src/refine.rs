@@ -1,6 +1,7 @@
 //! `FilterRefineSky` — the paper's Algorithm 3: the filter-refine search
 //! framework with bloom-filter-accelerated inclusion tests.
 
+use crate::budget::{Completion, ExecutionBudget};
 use crate::filter_phase::filter_phase;
 use crate::result::{SkylineResult, SkylineStats};
 use nsky_bloom::{BloomConfig, NeighborhoodFilters};
@@ -105,14 +106,43 @@ impl RefineConfig {
 /// assert!(fast.skyline.iter().all(|u| c.binary_search(u).is_ok()));
 /// ```
 pub fn filter_refine_sky(g: &Graph, cfg: &RefineConfig) -> SkylineResult {
+    filter_refine_sky_budgeted(g, cfg, &ExecutionBudget::unlimited())
+}
+
+/// [`filter_refine_sky`] under an [`ExecutionBudget`]. With an unlimited
+/// budget the output is byte-identical to [`filter_refine_sky`]; after a
+/// trip the result is partial: the skyline holds exactly the candidates
+/// whose refine scan finished undominated before the trip (a sound
+/// subset of the true skyline). The dominant allocations (bloom filters,
+/// the candidate index) are charged against the memory cap *before* they
+/// are made; a refused charge returns a partial result with zero
+/// verified vertices but the filter-phase dominator array and candidate
+/// set intact.
+pub fn filter_refine_sky_budgeted(
+    g: &Graph,
+    cfg: &RefineConfig,
+    budget: &ExecutionBudget,
+) -> SkylineResult {
     let n = g.num_vertices();
     let filter = filter_phase(g);
     let mut stats: SkylineStats = filter.seed_stats();
     let mut dominator = filter.dominator.clone();
 
     let bloom_cfg = BloomConfig::for_max_degree(g.max_degree(), cfg.bloom_bits_per_element);
+    let filter_estimate =
+        filter.candidates.len() * (bloom_cfg.bits / 8 + 4) + n * 4 /* dominator */ + n * 4 /* stamps */;
+    if let Some(status) = budget.charge(filter_estimate) {
+        return SkylineResult::partial(
+            Vec::new(),
+            dominator,
+            Some(filter.candidates),
+            stats,
+            status,
+        );
+    }
     let filters = NeighborhoodFilters::build(g, filter.candidates.iter().copied(), bloom_cfg);
     stats.peak_bytes = filters.size_bytes() + n * 4 /* dominator */ + n * 4 /* stamps */;
+    let mut ticker = budget.ticker();
 
     // Candidate-only adjacency index (CSR): cand_adj[v] lists N(v) ∩ C.
     let (cand_offsets, cand_adj) = if cfg.candidate_index {
@@ -123,6 +153,15 @@ pub fn filter_refine_sky(g: &Graph, cfg: &RefineConfig) -> SkylineResult {
                     .iter()
                     .filter(|&&w| filter.dominator[w as usize] == w)
                     .count();
+        }
+        if let Some(status) = budget.charge((n + 1) * 8 + offsets[n] * 4) {
+            return SkylineResult::partial(
+                Vec::new(),
+                dominator,
+                Some(filter.candidates),
+                stats,
+                status,
+            );
         }
         let mut adj = vec![0 as VertexId; offsets[n]];
         let mut cursor = 0usize;
@@ -148,7 +187,9 @@ pub fn filter_refine_sky(g: &Graph, cfg: &RefineConfig) -> SkylineResult {
     };
 
     let mut seen: Vec<u32> = vec![u32::MAX; n];
-    for &u in &filter.candidates {
+    let mut tripped: Option<Completion> = None;
+    let mut verified_upto = filter.candidates.len();
+    'all: for (idx, &u) in filter.candidates.iter().enumerate() {
         if dominator[u as usize] != u {
             continue;
         }
@@ -177,6 +218,11 @@ pub fn filter_refine_sky(g: &Graph, cfg: &RefineConfig) -> SkylineResult {
         };
         'scan: for &v in scan_vs {
             for &w in dominator_candidates(v) {
+                if let Some(status) = ticker.check() {
+                    tripped = Some(status);
+                    verified_upto = idx; // u's scan did not finish
+                    break 'all;
+                }
                 if w == u {
                     continue;
                 }
@@ -198,6 +244,11 @@ pub fn filter_refine_sky(g: &Graph, cfg: &RefineConfig) -> SkylineResult {
                 // common (w ∈ N(v) ⇒ v ∈ N(w)); `w` itself is in N[w].
                 let mut dominated = true;
                 for &x in g.neighbors(u) {
+                    if let Some(status) = ticker.check() {
+                        tripped = Some(status);
+                        verified_upto = idx;
+                        break 'all;
+                    }
                     if x == w || x == v {
                         continue;
                     }
@@ -231,7 +282,20 @@ pub fn filter_refine_sky(g: &Graph, cfg: &RefineConfig) -> SkylineResult {
         }
     }
 
-    SkylineResult::from_dominators(dominator, Some(filter.candidates), stats)
+    match tripped {
+        None => SkylineResult::from_dominators(dominator, Some(filter.candidates), stats),
+        Some(status) => {
+            // Candidates are refined in ascending order and never marked
+            // dominated by a later scan, so the fixed points among the
+            // finished prefix are exactly the verified skyline members.
+            let verified = filter.candidates[..verified_upto]
+                .iter()
+                .copied()
+                .filter(|&v| dominator[v as usize] == v)
+                .collect();
+            SkylineResult::partial(verified, dominator, Some(filter.candidates), stats, status)
+        }
+    }
 }
 
 #[cfg(test)]

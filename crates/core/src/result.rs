@@ -1,5 +1,6 @@
 //! Result and instrumentation types shared by every skyline algorithm.
 
+use crate::budget::Completion;
 use nsky_graph::VertexId;
 
 /// Instrumentation counters collected while computing a skyline.
@@ -40,6 +41,14 @@ pub struct SkylineResult {
     pub candidates: Option<Vec<VertexId>>,
     /// Instrumentation counters.
     pub stats: SkylineStats,
+    /// How the run ended. Anything other than [`Completion::Complete`]
+    /// marks a partial result: `skyline` holds only the candidates
+    /// *verified* before the budget tripped (a sound subset of the true
+    /// skyline), while `dominator` may still hold unverified fixed
+    /// points — so [`SkylineResult::contains`] and
+    /// [`SkylineResult::membership_mask`] over-approximate membership on
+    /// partial results.
+    pub completion: Completion,
 }
 
 impl SkylineResult {
@@ -60,6 +69,28 @@ impl SkylineResult {
             dominator,
             candidates,
             stats,
+            completion: Completion::Complete,
+        }
+    }
+
+    /// Assembles an anytime partial result after a budget trip: only the
+    /// explicitly listed `verified` vertices (those whose domination scan
+    /// finished before the trip) are reported as skyline members, even
+    /// though unverified candidates may still be fixed points of
+    /// `dominator`.
+    pub(crate) fn partial(
+        verified: Vec<VertexId>,
+        dominator: Vec<VertexId>,
+        candidates: Option<Vec<VertexId>>,
+        stats: SkylineStats,
+        completion: Completion,
+    ) -> Self {
+        SkylineResult {
+            skyline: verified,
+            dominator,
+            candidates,
+            stats,
+            completion,
         }
     }
 
@@ -102,6 +133,23 @@ mod tests {
         assert_eq!(r.membership_mask(), vec![true, false, true, false]);
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+        assert_eq!(r.completion, Completion::Complete);
+    }
+
+    #[test]
+    fn partial_reports_only_verified_vertices() {
+        // Vertex 2 is a fixed point of the dominator array but was not
+        // verified before the (simulated) trip, so it is excluded.
+        let r = SkylineResult::partial(
+            vec![0],
+            vec![0, 0, 2, 2],
+            None,
+            SkylineStats::default(),
+            Completion::DeadlineExceeded,
+        );
+        assert_eq!(r.skyline, vec![0]);
+        assert!(r.contains(2), "mask over-approximates on partial results");
+        assert_eq!(r.completion, Completion::DeadlineExceeded);
     }
 
     #[test]

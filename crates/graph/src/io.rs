@@ -9,6 +9,12 @@ use crate::csr::{Graph, VertexId};
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
+/// Default cap on vertex ids (`2^26 − 1` — a ~268 MB adjacency-offset
+/// array at 4 bytes/vertex, far above every dataset in this workspace
+/// yet far below the multi-GB allocation a single corrupt id can force,
+/// since the graph is sized as `max id + 1`).
+pub const DEFAULT_MAX_VERTEX_ID: VertexId = (1 << 26) - 1;
+
 /// Errors from edge-list parsing.
 #[derive(Debug)]
 pub enum ParseError {
@@ -21,6 +27,16 @@ pub enum ParseError {
         /// The offending text.
         text: String,
     },
+    /// A parseable vertex id above the configured cap (guards against a
+    /// corrupt line like `0 4000000000` forcing a multi-GB allocation).
+    VertexIdTooLarge {
+        /// 1-based line number.
+        line: usize,
+        /// The offending id.
+        id: VertexId,
+        /// The cap in force.
+        cap: VertexId,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -30,6 +46,13 @@ impl std::fmt::Display for ParseError {
             ParseError::Malformed { line, text } => {
                 write!(f, "malformed edge on line {line}: {text:?}")
             }
+            ParseError::VertexIdTooLarge { line, id, cap } => {
+                write!(
+                    f,
+                    "vertex id {id} on line {line} exceeds the cap {cap} \
+                     (raise the max-vertex-id limit if the graph really is this large)"
+                )
+            }
         }
     }
 }
@@ -38,7 +61,7 @@ impl std::error::Error for ParseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParseError::Io(e) => Some(e),
-            ParseError::Malformed { .. } => None,
+            ParseError::Malformed { .. } | ParseError::VertexIdTooLarge { .. } => None,
         }
     }
 }
@@ -49,8 +72,21 @@ impl From<io::Error> for ParseError {
     }
 }
 
-/// Parses an edge list from any reader.
+/// Parses an edge list from any reader, rejecting vertex ids above
+/// [`DEFAULT_MAX_VERTEX_ID`] (use [`read_edge_list_capped`] to raise or
+/// tighten the cap).
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
+    read_edge_list_capped(reader, DEFAULT_MAX_VERTEX_ID)
+}
+
+/// Parses an edge list from any reader. The graph is sized as
+/// `max id + 1`, so `max_vertex_id` bounds the allocation: any line with
+/// a larger (but parseable) id yields
+/// [`ParseError::VertexIdTooLarge`] instead of an out-of-memory abort.
+pub fn read_edge_list_capped<R: BufRead>(
+    reader: R,
+    max_vertex_id: VertexId,
+) -> Result<Graph, ParseError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_id: u32 = 0;
     for (idx, line) in reader.lines().enumerate() {
@@ -63,7 +99,15 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
         let parse = |s: Option<&str>| -> Option<u32> { s.and_then(|x| x.parse().ok()) };
         match (parse(it.next()), parse(it.next())) {
             (Some(u), Some(v)) => {
-                max_id = max_id.max(u).max(v);
+                let big = u.max(v);
+                if big > max_vertex_id {
+                    return Err(ParseError::VertexIdTooLarge {
+                        line: idx + 1,
+                        id: big,
+                        cap: max_vertex_id,
+                    });
+                }
+                max_id = max_id.max(big);
                 edges.push((u, v));
             }
             _ => {
@@ -86,10 +130,18 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
     Ok(b.build())
 }
 
-/// Reads a graph from an edge-list file.
+/// Reads a graph from an edge-list file (default vertex-id cap).
 pub fn read_edge_list_file(path: &Path) -> Result<Graph, ParseError> {
+    read_edge_list_file_capped(path, DEFAULT_MAX_VERTEX_ID)
+}
+
+/// Reads a graph from an edge-list file with an explicit vertex-id cap.
+pub fn read_edge_list_file_capped(
+    path: &Path,
+    max_vertex_id: VertexId,
+) -> Result<Graph, ParseError> {
     let file = std::fs::File::open(path)?;
-    read_edge_list(io::BufReader::new(file))
+    read_edge_list_capped(io::BufReader::new(file), max_vertex_id)
 }
 
 /// Writes the graph as an edge list (one `u v` line per undirected edge).
@@ -148,5 +200,29 @@ mod tests {
         // KONECT files often carry weights/timestamps in columns 3+.
         let g = read_edge_list("0 1 5 12345\n1 2 1 9\n".as_bytes()).unwrap();
         assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn oversized_vertex_id_is_rejected_not_allocated() {
+        // One corrupt-but-parseable id must not size a multi-GB graph.
+        let text = "0 1\n0 4000000000\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseError::VertexIdTooLarge { line, id, cap }) => {
+                assert_eq!(line, 2);
+                assert_eq!(id, 4_000_000_000);
+                assert_eq!(cap, DEFAULT_MAX_VERTEX_ID);
+            }
+            other => panic!("expected VertexIdTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_cap_is_honored_both_ways() {
+        assert!(read_edge_list_capped("0 5\n".as_bytes(), 4).is_err());
+        let g = read_edge_list_capped("0 5\n".as_bytes(), 5).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        // Error message mentions the cap for operator triage.
+        let err = read_edge_list_capped("0 9\n".as_bytes(), 4).unwrap_err();
+        assert!(err.to_string().contains("cap 4"), "{err}");
     }
 }

@@ -1,0 +1,22 @@
+//! Fixture: kernel hot loops that never poll the execution budget.
+
+fn scan_candidates(xs: &[u32]) -> u32 {
+    let mut acc = 0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+fn drain_queue(mut n: u32) -> u32 {
+    let mut steps = 0;
+    while n > 0 {
+        n /= 2;
+        steps += 1;
+    }
+    steps
+}
+
+fn loop_free(x: u32) -> u32 {
+    x + 1
+}

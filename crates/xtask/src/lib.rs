@@ -15,6 +15,7 @@
 //! | R4 | `doc-public`        | every `pub fn` / `pub struct` / `pub enum` in library crates carries a doc comment |
 //! | R5 | `no-stdout`         | no `println!` / `eprintln!` / `process::exit` in library crates (bench/cli/examples are exempt) |
 //! | R6 | `design-drift`      | ablation/config flags named in DESIGN.md §6 exist in source |
+//! | R7 | `budget-check`      | loop-bearing functions in kernel modules poll the execution budget (`.check(`) |
 //!
 //! A violation can be suppressed at the site with an inline comment
 //! carrying a justification:
@@ -70,6 +71,10 @@ pub enum Rule {
     NoStdout,
     /// R6: DESIGN.md §6 ablation/config flags exist in source.
     DesignDrift,
+    /// R7: loop-bearing functions in kernel modules poll the execution
+    /// budget via `.check(` (or carry a justified suppression), so every
+    /// kernel stays cancellable within one check interval.
+    BudgetCheck,
 }
 
 impl Rule {
@@ -82,6 +87,7 @@ impl Rule {
             Rule::DocPublic => "doc-public",
             Rule::NoStdout => "no-stdout",
             Rule::DesignDrift => "design-drift",
+            Rule::BudgetCheck => "budget-check",
         }
     }
 
@@ -99,6 +105,7 @@ impl Rule {
             Rule::DocPublic,
             Rule::NoStdout,
             Rule::DesignDrift,
+            Rule::BudgetCheck,
         ]
     }
 }
@@ -148,6 +155,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     violations.extend(rules::check_manifests(root)?);
     violations.extend(rules::check_sources(root)?);
     violations.extend(rules::check_design_drift(root)?);
+    violations.extend(rules::check_budget_checks(root)?);
     violations.sort_by(|a, b| {
         a.file
             .cmp(&b.file)

@@ -259,8 +259,10 @@ fn is_documented(file: &SourceFile, idx: usize) -> bool {
             return true;
         }
         // Skip attribute lines (including continuation lines of a
-        // multi-line attribute, which end with `]` or `,`).
-        if trimmed.starts_with("#[") || trimmed.ends_with(")]") {
+        // multi-line attribute, which end with `]` or `,`) and plain
+        // comments (e.g. lint suppressions), which do not break doc
+        // attachment.
+        if trimmed.starts_with("#[") || trimmed.ends_with(")]") || trimmed.starts_with("//") {
             continue;
         }
         return false;
@@ -346,6 +348,171 @@ fn backtick_spans(line: &str) -> Vec<&str> {
     line.split('`').skip(1).step_by(2).collect()
 }
 
+/// R7 `budget-check`: the kernel modules whose hot loops the execution
+/// budget must be able to interrupt (workspace-relative paths; a fixture
+/// or partial workspace simply omits the ones it does not exercise).
+const KERNEL_MODULES: &[&str] = &[
+    "crates/core/src/base.rs",
+    "crates/core/src/refine.rs",
+    "crates/core/src/parallel.rs",
+    "crates/clique/src/bnb.rs",
+    "crates/clique/src/mcbrb.rs",
+    "crates/clique/src/topk.rs",
+    "crates/centrality/src/greedy.rs",
+];
+
+/// R7 `budget-check`: every non-test function in a kernel module that
+/// lexically contains a loop (`for`/`while`/`loop`) must also lexically
+/// contain a budget poll (`.check(`), or carry a justified suppression
+/// on its declaration line or the line above. This keeps every kernel
+/// interruptible within one check interval — a new hot loop cannot land
+/// without either a ticker or an argued bound.
+pub(crate) fn check_budget_checks(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for module in KERNEL_MODULES {
+        let path = root.join(module);
+        if !path.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let file = SourceFile::scan(&text);
+        for span in function_spans(&file) {
+            if span.in_test {
+                continue;
+            }
+            let lines = &file.lines[span.start..=span.end];
+            let has_loop = lines.iter().any(|l| has_loop_token(&l.code));
+            if !has_loop {
+                continue;
+            }
+            let has_check = lines.iter().any(|l| l.code.contains(".check("));
+            if !has_check && !file.is_suppressed(Rule::BudgetCheck, span.start + 1) {
+                out.push(Violation {
+                    file: rel(root, &path),
+                    line: span.start + 1,
+                    rule: Rule::BudgetCheck,
+                    message: format!(
+                        "kernel function `{}` loops without polling the execution budget (call `ticker.check()` in the loop, or justify a bound with a suppression)",
+                        span.name
+                    ),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The lexical extent of one function: declaration line through the line
+/// closing its body (0-based, inclusive). Nested items are folded into
+/// the enclosing function — lexical containment is exactly what R7 asks.
+struct FnSpan {
+    name: String,
+    start: usize,
+    end: usize,
+    in_test: bool,
+}
+
+/// Scans blanked code for function extents by brace depth. Body-less
+/// declarations (trait methods, `extern` items) produce no span.
+fn function_spans(file: &SourceFile) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut depth: i32 = 0;
+    // (name, start line, depth at the `fn` keyword, body entered).
+    let mut open: Option<(String, usize, i32, bool)> = None;
+    for (idx, line) in file.lines.iter().enumerate() {
+        if open.is_none() {
+            if let Some(name) = fn_decl_name(&line.code) {
+                open = Some((name, idx, depth, false));
+            }
+        }
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if let Some((_, _, _, entered)) = &mut open {
+                        *entered = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some((name, start, base, entered)) = &open {
+                        if *entered && depth <= *base {
+                            spans.push(FnSpan {
+                                name: name.clone(),
+                                start: *start,
+                                end: idx,
+                                in_test: file.lines[*start].in_test,
+                            });
+                            open = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((_, _, base, entered)) = &open {
+            // `fn f(...);` — a body-less declaration at its own depth.
+            if !*entered && depth <= *base && line.code.contains(';') {
+                open = None;
+            }
+        }
+    }
+    spans
+}
+
+/// The name following a word-boundary `fn ` token, if the line declares
+/// a function (`fn(` function-pointer types and `Fn(` bounds do not
+/// match: the keyword must be followed by whitespace and a name).
+fn fn_decl_name(code: &str) -> Option<String> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("fn") {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let rest = &code[abs + 2..];
+        if before_ok && rest.chars().next().is_some_and(char::is_whitespace) {
+            let name: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+        start = abs + 2;
+    }
+    None
+}
+
+/// Whether blanked code contains a loop keyword (`for`, `while`, `loop`)
+/// at a word boundary.
+fn has_loop_token(code: &str) -> bool {
+    ["for", "while", "loop"].iter().any(|kw| {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(kw) {
+            let abs = start + pos;
+            let before_ok = abs == 0
+                || !code[..abs]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let after_ok = !code[abs + kw.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if before_ok && after_ok {
+                return true;
+            }
+            start = abs + kw.len();
+        }
+        false
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +543,52 @@ mod tests {
         assert!(has_unsafe_token("pub unsafe fn f()"));
         assert!(!has_unsafe_token("let not_unsafe_name = 1;"));
         assert!(!has_unsafe_token("unsafely()"));
+    }
+
+    #[test]
+    fn fn_decl_names_and_non_declarations() {
+        assert_eq!(fn_decl_name("pub fn foo(x: u32) {"), Some("foo".into()));
+        assert_eq!(
+            fn_decl_name("    fn inner() -> bool {"),
+            Some("inner".into())
+        );
+        assert_eq!(fn_decl_name("let f: fn(u32) -> u32 = id;"), None);
+        assert_eq!(fn_decl_name("fn_helper();"), None);
+        assert_eq!(fn_decl_name("impl Fn(u32) bounds"), None);
+    }
+
+    #[test]
+    fn loop_tokens_at_word_boundaries() {
+        assert!(has_loop_token("for x in xs {"));
+        assert!(has_loop_token("'all: while let Some(v) = it.next() {"));
+        assert!(has_loop_token("loop {"));
+        assert!(!has_loop_token("xs.iter().for_each(|x| f(x));"));
+        assert!(!has_loop_token("let workforce = 3;"));
+    }
+
+    #[test]
+    fn function_span_extents() {
+        let src = "\
+fn looping(xs: &[u32]) -> u32 {
+    let mut s = 0;
+    for &x in xs {
+        s += x;
+    }
+    s
+}
+
+fn one_liner() -> u32 { 1 }
+
+trait T {
+    fn body_less(&self);
+}
+";
+        let file = SourceFile::scan(src);
+        let spans = function_spans(&file);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["looping", "one_liner"]);
+        assert_eq!((spans[0].start, spans[0].end), (0, 6));
+        assert_eq!((spans[1].start, spans[1].end), (8, 8));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Fixture-based self-tests for the policy lint engine: one
 //! true-positive and one true-negative miniature workspace per rule
-//! R1–R6, a CLI exit-code check, and the capstone assertion that the
+//! R1–R7, a CLI exit-code check, and the capstone assertion that the
 //! real workspace is lint-clean.
 
 use std::path::{Path, PathBuf};
@@ -118,6 +118,21 @@ fn r6_documented_flags_present_clean() {
     assert_clean("r6_good");
 }
 
+#[test]
+fn r7_unticked_kernel_loops_flagged() {
+    let violations = assert_only_rule("r7_bad", Rule::BudgetCheck);
+    // The `for` scan and the `while` drain; the loop-free fn is exempt.
+    assert_eq!(violations.len(), 2);
+    assert!(violations[0].message.contains("scan_candidates"));
+    assert!(violations[1].message.contains("drain_queue"));
+    assert!(violations[0].file.ends_with("crates/core/src/refine.rs"));
+}
+
+#[test]
+fn r7_ticked_suppressed_and_test_loops_clean() {
+    assert_clean("r7_good");
+}
+
 /// The capstone: the real workspace passes its own policy.
 #[test]
 fn real_workspace_is_lint_clean() {
@@ -142,7 +157,9 @@ fn real_workspace_is_lint_clean() {
 #[test]
 fn cli_exit_codes_match_findings() {
     let bin = env!("CARGO_BIN_EXE_nsky-xtask");
-    for bad in ["r1_bad", "r2_bad", "r3_bad", "r4_bad", "r5_bad", "r6_bad"] {
+    for bad in [
+        "r1_bad", "r2_bad", "r3_bad", "r4_bad", "r5_bad", "r6_bad", "r7_bad",
+    ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
             .arg(fixture(bad))
@@ -156,7 +173,7 @@ fn cli_exit_codes_match_findings() {
         );
     }
     for good in [
-        "r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good",
+        "r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good", "r7_good",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
