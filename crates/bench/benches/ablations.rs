@@ -10,9 +10,10 @@ use nsky_centrality::measure::Harmonic;
 use nsky_graph::generators::leafy_preferential;
 use nsky_graph::Graph;
 use nsky_skyline::budget::ExecutionBudget;
+use nsky_skyline::snapshot::FileCheckpointer;
 use nsky_skyline::{
-    base_sky, base_sky_budgeted, base_sky_early_exit, filter_refine_sky,
-    filter_refine_sky_budgeted, RefineConfig,
+    base_sky, base_sky_budgeted, base_sky_early_exit, base_sky_resumable, filter_refine_sky,
+    filter_refine_sky_budgeted, filter_refine_sky_resumable, RefineConfig,
 };
 use std::time::Duration;
 
@@ -127,10 +128,59 @@ fn bench_ablation_budget_overhead() {
         .finish();
 }
 
+/// The cost of periodic checkpointing on an uninterrupted run: budgeted
+/// kernels (no checkpoint period armed) vs the `*_resumable` entry
+/// points snapshotting to a [`FileCheckpointer`] every 1024 polls (the
+/// CLI's default `--checkpoint-interval`). Target: <5% overhead at the
+/// default interval; the denser 64-poll line shows how the cost scales
+/// when snapshots are taken 16x as often.
+fn bench_ablation_checkpoint_overhead() {
+    let g = graph();
+    let cfg = RefineConfig::default();
+    let far = || ExecutionBudget::with_timeout(Duration::from_secs(3600));
+    let path = std::env::temp_dir().join(format!("nsky-bench-ck-{}.snap", std::process::id()));
+    let mut group = Group::new("checkpoint_overhead");
+    group
+        .sample_size(10)
+        .bench_budgeted("FilterRefineSky-no-checkpoint", || {
+            let r = filter_refine_sky_budgeted(&g, &cfg, &far());
+            let completion = r.completion;
+            (r, completion)
+        });
+    for period in [1024u64, 64] {
+        group.bench_budgeted(&format!("FilterRefineSky-every-{period}-polls"), || {
+            let budget = far();
+            budget.set_checkpoint_period(period);
+            let mut sink = FileCheckpointer::new(&path);
+            let run = filter_refine_sky_resumable(&g, &cfg, &budget, None, Some(&mut sink));
+            let completion = run.outcome.completion;
+            (run, completion)
+        });
+    }
+    group.bench_budgeted("BaseSky-no-checkpoint", || {
+        let r = base_sky_budgeted(&g, &far());
+        let completion = r.completion;
+        (r, completion)
+    });
+    for period in [1024u64, 64] {
+        group.bench_budgeted(&format!("BaseSky-every-{period}-polls"), || {
+            let budget = far();
+            budget.set_checkpoint_period(period);
+            let mut sink = FileCheckpointer::new(&path);
+            let run = base_sky_resumable(&g, &budget, None, Some(&mut sink));
+            let completion = run.outcome.completion;
+            (run, completion)
+        });
+    }
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
 fn main() {
     bench_ablation_bloom_width();
     bench_ablation_switches();
     bench_ablation_early_exit();
     bench_ablation_celf();
     bench_ablation_budget_overhead();
+    bench_ablation_checkpoint_overhead();
 }

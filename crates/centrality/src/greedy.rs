@@ -18,6 +18,10 @@
 use crate::measure::GroupMeasure;
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{BudgetTicker, Completion, ExecutionBudget};
+use nsky_skyline::snapshot::{
+    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
+    Writer,
+};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Options of [`greedy_group`].
@@ -261,7 +265,6 @@ pub fn greedy_group<M: GroupMeasure>(
 /// [`GreedyOutcome::completion`]. Commits are atomic — the budget is
 /// polled between and within gain *evaluations*, never inside the state
 /// update of an already-chosen seed.
-// nsky-lint: allow(budget-check) — every round loop calls gain(), which polls the ticker at each BFS step
 pub fn greedy_group_budgeted<M: GroupMeasure>(
     g: &Graph,
     measure: M,
@@ -269,6 +272,173 @@ pub fn greedy_group_budgeted<M: GroupMeasure>(
     opts: &GreedyOptions,
     budget: &ExecutionBudget,
 ) -> GreedyOutcome {
+    greedy_leg(g, measure, k, opts, budget, GreedyState::fresh()).0
+}
+
+/// CELF is still seeding its queue with first-round gains.
+const PHASE_SEEDING: u8 = 0;
+/// Selection rounds are running (always the phase for the plain engine).
+const PHASE_ROUNDS: u8 = 1;
+
+/// Resume state of an interrupted greedy maximization.
+///
+/// The committed group is the durable core: commits are deterministic,
+/// so replaying them rebuilds the incremental `dist_s`/`total` state
+/// bit-identically (gain *evaluations* never mutate that state). For
+/// the CELF engine the lazy queue rides along — entry gains are `f64`s
+/// preserved bit-exactly — plus the seeding cursor and the round
+/// counter; entries are sorted for a canonical encoding ([`HeapEntry`]'s
+/// order is total on live queues, which hold one entry per vertex). A
+/// trip during a gain re-evaluation re-pushes the popped entry with its
+/// stale gain, so the resumed pop re-evaluates the same vertex against
+/// the identical evaluator state.
+pub(crate) struct GreedyState {
+    phase: u8,
+    group: Vec<VertexId>,
+    seed_cursor: usize,
+    round: u32,
+    entries: Vec<(f64, VertexId, u32)>,
+}
+
+impl GreedyState {
+    pub(crate) fn fresh() -> Self {
+        GreedyState {
+            phase: PHASE_SEEDING,
+            group: Vec::new(),
+            seed_cursor: 0,
+            round: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Captures the live engine structures at a trip point.
+    fn packed(
+        phase: u8,
+        group: &[VertexId],
+        seed_cursor: usize,
+        round: u32,
+        heap: BinaryHeap<HeapEntry>,
+    ) -> Self {
+        let mut entries = heap.into_vec();
+        entries.sort_unstable();
+        GreedyState {
+            phase,
+            group: group.to_vec(),
+            seed_cursor,
+            round,
+            entries: entries
+                .into_iter()
+                .map(|e| (e.gain, e.vertex, e.round))
+                .collect(),
+        }
+    }
+
+    /// Decodes the fields that follow the version gate. Shared with the
+    /// `NeiSkyGroup` wrapper state, which checks its *own* format
+    /// version first — `Snapshot::pack` writes the outermost type's
+    /// version, so the wrapper must not re-check this type's.
+    // nsky-lint: allow(budget-check) — bounded decode of a length-checked snapshot payload
+    pub(crate) fn decode_fields(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        let phase = r.take_u8()?;
+        let group = r.take_u32_vec()?;
+        let seed_cursor = r.take_usize()?;
+        let round = r.take_u32()?;
+        let entry_count = r.take_usize()?;
+        let mut entries = Vec::new();
+        for _ in 0..entry_count {
+            let gain = r.take_f64()?;
+            let vertex = r.take_u32()?;
+            entries.push((gain, vertex, r.take_u32()?));
+        }
+        Ok(GreedyState {
+            phase,
+            group,
+            seed_cursor,
+            round,
+            entries,
+        })
+    }
+}
+
+impl KernelState for GreedyState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::GreedyGroup;
+
+    // nsky-lint: allow(budget-check) — bounded single pass over the saved queue
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.phase);
+        w.put_u32_slice(&self.group);
+        w.put_usize(self.seed_cursor);
+        w.put_u32(self.round);
+        w.put_usize(self.entries.len());
+        for &(gain, vertex, round) in &self.entries {
+            w.put_f64(gain);
+            w.put_u32(vertex);
+            w.put_u32(round);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Self::decode_fields(r)
+    }
+}
+
+/// Structural validation of a resumed greedy state: known phase, group
+/// members distinct and in range (they are blindly re-committed), queue
+/// vertices in range, and no committed members while still seeding
+/// (seed gains are evaluated against the empty group). NaN gains are
+/// tolerated — the queue orders by `total_cmp`, which is total.
+pub(crate) fn valid_greedy_state(g: &Graph, st: &GreedyState) -> bool {
+    let n = g.num_vertices();
+    let mut seen = std::collections::BTreeSet::new();
+    st.phase <= PHASE_ROUNDS
+        && (st.phase == PHASE_ROUNDS || st.group.is_empty())
+        && st.seed_cursor <= n
+        && st.group.iter().all(|&u| (u as usize) < n && seen.insert(u))
+        && st.entries.iter().all(|&(_, v, _)| (v as usize) < n)
+}
+
+/// [`greedy_group_budgeted`] with crash-safe checkpoint/resume (see
+/// `nsky_skyline::snapshot` for the contract). Resume with the same
+/// measure, `k`, and options the snapshot was taken under — the state
+/// embeds none of them, so a mismatched resume silently maximizes the
+/// wrong objective (the graph fingerprint only pins the graph).
+pub fn greedy_group_resumable<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    opts: &GreedyOptions,
+    budget: &ExecutionBudget,
+    resume: Option<&Snapshot>,
+    sink: Option<&mut dyn Checkpointer>,
+) -> ResumableRun<GreedyOutcome> {
+    drive(
+        budget,
+        g.fingerprint(),
+        resume,
+        GreedyState::fresh,
+        |mut state| {
+            if !valid_greedy_state(g, &state) {
+                state = GreedyState::fresh();
+            }
+            let (outcome, state) = greedy_leg(g, measure, k, opts, budget, state);
+            let completion = outcome.completion;
+            (outcome, state, completion)
+        },
+        sink,
+    )
+}
+
+// nsky-lint: allow(budget-check) — every round loop calls gain(), which polls the ticker at each BFS step
+pub(crate) fn greedy_leg<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    opts: &GreedyOptions,
+    budget: &ExecutionBudget,
+    state: GreedyState,
+) -> (GreedyOutcome, GreedyState) {
     let pool: Vec<VertexId> = match &opts.candidates {
         Some(c) => c.clone(),
         None => g.vertices().collect(),
@@ -285,31 +455,56 @@ pub fn greedy_group_budgeted<M: GroupMeasure>(
         completion: budget.status(),
     };
     if k == 0 {
-        return outcome;
+        return (outcome, state);
     }
     // Evaluator scratch: dist_s/dist_u/stamp (u32) + in_group + queue.
     if let Some(status) = budget.charge(g.num_vertices() * 17) {
         outcome.completion = status;
-        return outcome;
+        return (outcome, state);
+    }
+    let mut state = state;
+    if state.phase == PHASE_SEEDING && state.seed_cursor > pool.len() {
+        // A seeding cursor beyond the pool cannot come from a genuine
+        // snapshot of this configuration; degrade to a fresh run.
+        state = GreedyState::fresh();
     }
     let mut ticker = budget.ticker();
 
+    // Replay the committed prefix: commits are deterministic, so the
+    // incremental dist_s/total state is rebuilt bit-identically.
+    for &u in &state.group {
+        ev.commit(u);
+        outcome.group.push(u);
+        outcome.score_trace.push(ev.score());
+    }
+
     if opts.lazy {
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(pool.len());
-        for &u in &pool {
-            outcome.gain_evaluations += 1;
-            let Some(gain) = ev.gain(u, opts.pruned_bfs, &mut ticker) else {
-                outcome.completion = ticker.status();
-                outcome.score = ev.score();
-                return outcome;
-            };
+        for &(gain, vertex, entry_round) in &state.entries {
             heap.push(HeapEntry {
                 gain,
-                vertex: u,
-                round: 0,
+                vertex,
+                round: entry_round,
             });
         }
-        let mut round = 0u32;
+        let mut round = state.round;
+        if state.phase == PHASE_SEEDING {
+            for (idx, &u) in pool.iter().enumerate().skip(state.seed_cursor) {
+                outcome.gain_evaluations += 1;
+                let Some(gain) = ev.gain(u, opts.pruned_bfs, &mut ticker) else {
+                    outcome.completion = ticker.status();
+                    outcome.score = ev.score();
+                    let state =
+                        GreedyState::packed(PHASE_SEEDING, &outcome.group, idx, round, heap);
+                    return (outcome, state);
+                };
+                heap.push(HeapEntry {
+                    gain,
+                    vertex: u,
+                    round: 0,
+                });
+            }
+        }
         'rounds: while outcome.group.len() < k {
             let Some(top) = heap.pop() else {
                 break; // pool smaller than k: return the partial group
@@ -325,7 +520,11 @@ pub fn greedy_group_budgeted<M: GroupMeasure>(
             } else {
                 outcome.gain_evaluations += 1;
                 let Some(gain) = ev.gain(top.vertex, opts.pruned_bfs, &mut ticker) else {
+                    // Re-push the popped entry (stale gain intact) so the
+                    // resumed run re-pops and re-evaluates it against the
+                    // identical evaluator state.
                     outcome.completion = ticker.status();
+                    heap.push(top);
                     break 'rounds;
                 };
                 heap.push(HeapEntry {
@@ -335,6 +534,9 @@ pub fn greedy_group_budgeted<M: GroupMeasure>(
                 });
             }
         }
+        outcome.score = ev.score();
+        let state = GreedyState::packed(PHASE_ROUNDS, &outcome.group, pool.len(), round, heap);
+        (outcome, state)
     } else {
         'plain: while outcome.group.len() < k {
             let mut best: Option<(f64, VertexId)> = None;
@@ -364,9 +566,16 @@ pub fn greedy_group_budgeted<M: GroupMeasure>(
             outcome.group.push(v);
             outcome.score_trace.push(ev.score());
         }
+        outcome.score = ev.score();
+        let state = GreedyState {
+            phase: PHASE_ROUNDS,
+            group: outcome.group.clone(),
+            seed_cursor: pool.len(),
+            round: 0,
+            entries: Vec::new(),
+        };
+        (outcome, state)
     }
-    outcome.score = ev.score();
-    outcome
 }
 
 #[cfg(test)]

@@ -10,10 +10,17 @@
 //! rerouted to end in `u` with the same length because every neighbor of
 //! `v` also neighbors `u`.)
 
-use crate::greedy::{greedy_group_budgeted, GreedyOptions, GreedyOutcome};
+use crate::greedy::{
+    greedy_group_budgeted, greedy_leg, valid_greedy_state, GreedyOptions, GreedyOutcome,
+    GreedyState,
+};
 use crate::measure::{Closeness, GroupMeasure, Harmonic};
 use nsky_graph::Graph;
 use nsky_skyline::budget::ExecutionBudget;
+use nsky_skyline::snapshot::{
+    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
+    Writer,
+};
 use nsky_skyline::{filter_refine_sky_budgeted, RefineConfig};
 
 /// Result of a skyline-pruned maximization, with the skyline size the
@@ -61,6 +68,79 @@ pub fn nei_sky_group_budgeted<M: GroupMeasure>(
         greedy: greedy_group_budgeted(g, measure, k, &opts, budget),
         skyline_size,
     }
+}
+
+/// Resume state of an interrupted skyline-restricted greedy run: the
+/// embedded [`GreedyState`] under its own kernel id. The distinct id
+/// matters because the seeding cursor indexes the candidate *pool* —
+/// the skyline here, all vertices for the unrestricted engine — so a
+/// snapshot from one engine resumed in the other is rejected as a
+/// kernel mismatch instead of silently misaligning the cursor.
+struct NeiSkyGroupState(GreedyState);
+
+impl KernelState for NeiSkyGroupState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::NeiSkyGroup;
+
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        // Gate on *this* type's version — `Snapshot::pack` wrote it, not
+        // the embedded engine's — then decode the shared fields.
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Ok(NeiSkyGroupState(GreedyState::decode_fields(r)?))
+    }
+}
+
+/// [`nei_sky_group_budgeted`] with crash-safe checkpoint/resume (see
+/// `nsky_skyline::snapshot` for the contract). The skyline pool is
+/// recomputed on every resume — it is a pure function of the graph — and
+/// only the greedy engine's progress is persisted. A leg that trips
+/// during the skyline phase makes no durable progress (a partial pool
+/// cannot anchor the saved cursor/queue); the checkpoint driver's
+/// period backoff guarantees the phase eventually completes in one leg.
+pub fn nei_sky_group_resumable<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    lazy: bool,
+    budget: &ExecutionBudget,
+    resume: Option<&Snapshot>,
+    sink: Option<&mut dyn Checkpointer>,
+) -> ResumableRun<NeiSkyOutcome> {
+    drive(
+        budget,
+        g.fingerprint(),
+        resume,
+        || NeiSkyGroupState(GreedyState::fresh()),
+        |mut state| {
+            if !valid_greedy_state(g, &state.0) {
+                state = NeiSkyGroupState(GreedyState::fresh());
+            }
+            let sky = filter_refine_sky_budgeted(g, &RefineConfig::default(), budget);
+            let skyline_size = sky.skyline.len();
+            let opts = GreedyOptions {
+                lazy,
+                pruned_bfs: lazy,
+                candidates: Some(sky.skyline),
+            };
+            // On a skyline-phase trip the sticky status makes greedy_leg
+            // return immediately with the state untouched.
+            let (greedy, inner) = greedy_leg(g, measure, k, &opts, budget, state.0);
+            let completion = greedy.completion;
+            (
+                NeiSkyOutcome {
+                    greedy,
+                    skyline_size,
+                },
+                NeiSkyGroupState(inner),
+                completion,
+            )
+        },
+        sink,
+    )
 }
 
 /// `NeiSkyGC` (paper Algorithm 4): group closeness maximization over the

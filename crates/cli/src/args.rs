@@ -13,7 +13,7 @@ pub(crate) struct Args {
 }
 
 /// Option names that are value-less switches.
-const SWITCHES: &[&str] = &["no-prune", "help", "quiet"];
+const SWITCHES: &[&str] = &["no-prune", "help", "quiet", "resume"];
 
 /// Parses raw arguments (without the program name).
 ///

@@ -2,55 +2,225 @@
 
 use crate::args::Args;
 use nsky_graph::{io, Graph, VertexId};
-use nsky_skyline::budget::{Completion, ExecutionBudget, TripClock, WallDeadline};
+use nsky_skyline::budget::{Completion, DeadlineClock, ExecutionBudget, TripClock, WallDeadline};
+use nsky_skyline::snapshot::{Checkpointer, FileCheckpointer, RecoveryError, Snapshot};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-fn load(args: &Args) -> Result<Graph, String> {
+/// A command failure, split by exit code: usage errors (bad flags or
+/// names) exit 1, input errors (unreadable or malformed files) exit 2.
+#[derive(Debug)]
+pub(crate) enum CliError {
+    /// The command line itself is wrong.
+    Usage(String),
+    /// The command line is fine but a file could not be read or written.
+    Input(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Input(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+/// What a subcommand hands back to `main` for printing and exit-code
+/// selection.
+#[derive(Debug)]
+pub(crate) struct CmdOut {
+    /// Text for stdout.
+    pub text: String,
+    /// The run's budget status (non-`Complete` exits 3).
+    pub completion: Completion,
+    /// `--resume` was requested but the checkpoint was unusable and the
+    /// run continued fresh (exits 4, overriding 0/3).
+    pub degraded: bool,
+    /// Warnings for stderr (checkpoint load/save problems).
+    pub warnings: Vec<String>,
+}
+
+impl CmdOut {
+    /// Output of a command that always runs to completion.
+    pub(crate) fn complete(text: String) -> CmdOut {
+        CmdOut {
+            text,
+            completion: Completion::Complete,
+            degraded: false,
+            warnings: Vec::new(),
+        }
+    }
+}
+
+fn load(args: &Args) -> Result<Graph, CliError> {
     let path = args
         .positionals
         .get(1)
         .ok_or("expected an edge-list file argument")?;
     let cap: VertexId = args.number("max-vertex-id", io::DEFAULT_MAX_VERTEX_ID)?;
-    io::read_edge_list_file_capped(Path::new(path), cap).map_err(|e| format!("{path}: {e}"))
+    io::read_edge_list_file_capped(Path::new(path), cap)
+        .map_err(|e| CliError::Input(format!("{path}: {e}")))
+}
+
+/// `tripped` markers of a [`RecordingDeadline`].
+const TRIPPED_NONE: u8 = 0;
+const TRIPPED_TIMEOUT: u8 = 1;
+const TRIPPED_TRIP_AFTER: u8 = 2;
+
+/// `--timeout` and `--trip-after` combined into one clock that records
+/// *which* flag expired first, so the exit-code-3 status line names the
+/// tripping budget instead of guessing.
+struct RecordingDeadline {
+    wall: Option<WallDeadline>,
+    trip: Option<TripClock>,
+    tripped: AtomicU8,
+}
+
+impl DeadlineClock for RecordingDeadline {
+    fn expired(&self) -> bool {
+        // The deterministic fault clock is consulted first so
+        // `--trip-after N` keeps its exact poll-count semantics.
+        if let Some(t) = &self.trip {
+            if t.expired() {
+                let _ = self.tripped.compare_exchange(
+                    TRIPPED_NONE,
+                    TRIPPED_TRIP_AFTER,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return true;
+            }
+        }
+        if let Some(w) = &self.wall {
+            if w.expired() {
+                let _ = self.tripped.compare_exchange(
+                    TRIPPED_NONE,
+                    TRIPPED_TIMEOUT,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The flags a budget was configured from, plus the recording clock, so
+/// a tripped run can report which budget was responsible.
+struct BudgetReport {
+    clock: Option<Arc<RecordingDeadline>>,
+    timeout: Option<String>,
+    trip_after: Option<String>,
+    memory_mb: Option<String>,
+}
+
+impl BudgetReport {
+    /// The flag (with its value) behind a trip, e.g. `--trip-after 17`.
+    fn cause(&self, completion: Completion) -> Option<String> {
+        match completion {
+            Completion::DeadlineExceeded => {
+                let which = self
+                    .clock
+                    .as_ref()
+                    .map_or(TRIPPED_NONE, |c| c.tripped.load(Ordering::Relaxed));
+                match which {
+                    TRIPPED_TIMEOUT => self.timeout.as_ref().map(|v| format!("--timeout {v}")),
+                    TRIPPED_TRIP_AFTER => self
+                        .trip_after
+                        .as_ref()
+                        .map(|v| format!("--trip-after {v}")),
+                    _ => None,
+                }
+            }
+            Completion::MemoryCapped => self
+                .memory_mb
+                .as_ref()
+                .map(|v| format!("--memory-budget {v}")),
+            Completion::Cancelled => Some("cancellation".to_string()),
+            _ => None,
+        }
+    }
 }
 
 /// Builds the execution budget shared by `skyline`, `clique` and `group`
 /// from `--timeout` / `--memory-budget` / `--trip-after` /
 /// `--check-interval`. With none of those flags the budget is inert and
-/// the budgeted kernels produce byte-identical open-loop results.
-fn budget_from(args: &Args) -> Result<ExecutionBudget, String> {
+/// the budgeted kernels produce byte-identical open-loop results. Both
+/// deadline flags may be given together; whichever expires first trips
+/// the run and is named in the status line.
+fn budget_from(args: &Args) -> Result<(ExecutionBudget, BudgetReport), CliError> {
     let mut budget = ExecutionBudget::unlimited();
-    if let Some(v) = args.get("timeout") {
-        let secs: f64 = v
-            .parse()
-            .map_err(|_| format!("option --timeout: cannot parse {v:?}"))?;
-        if !secs.is_finite() || secs < 0.0 {
-            return Err(format!(
-                "option --timeout expects a finite number of seconds >= 0, got {v}"
-            ));
+    let mut report = BudgetReport {
+        clock: None,
+        timeout: None,
+        trip_after: None,
+        memory_mb: None,
+    };
+    let wall = match args.get("timeout") {
+        None => None,
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("option --timeout: cannot parse {v:?}"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(CliError::Usage(format!(
+                    "option --timeout expects a finite number of seconds >= 0, got {v}"
+                )));
+            }
+            report.timeout = Some(v.to_string());
+            Some(WallDeadline::after(Duration::from_secs_f64(secs)))
         }
-        budget = budget.deadline(WallDeadline::after(Duration::from_secs_f64(secs)));
+    };
+    let trip = match args.get("trip-after") {
+        None => None,
+        Some(v) => {
+            // Fault injection: a deterministic clock that expires on the
+            // N-th budget poll.
+            let n: u64 = args.number("trip-after", 1)?;
+            report.trip_after = Some(v.to_string());
+            Some(TripClock::at_poll(n))
+        }
+    };
+    if wall.is_some() || trip.is_some() {
+        let clock = Arc::new(RecordingDeadline {
+            wall,
+            trip,
+            tripped: AtomicU8::new(TRIPPED_NONE),
+        });
+        report.clock = Some(Arc::clone(&clock));
+        budget = budget.deadline(clock);
     }
-    if args.get("trip-after").is_some() {
-        // Fault injection: a deterministic clock that expires on the
-        // N-th budget poll, overriding --timeout.
-        let n: u64 = args.number("trip-after", 1)?;
-        budget = budget.deadline(TripClock::at_poll(n));
-    }
-    if args.get("memory-budget").is_some() {
+    if let Some(v) = args.get("memory-budget") {
         let mb: usize = args.number("memory-budget", 0)?;
+        report.memory_mb = Some(v.to_string());
         budget = budget.memory_cap(mb.saturating_mul(1024 * 1024));
     }
     if args.get("check-interval").is_some() {
         let ticks: u32 = args.number("check-interval", 0)?;
         if ticks == 0 {
-            return Err("option --check-interval must be at least 1".to_string());
+            return Err(CliError::Usage(
+                "option --check-interval must be at least 1".to_string(),
+            ));
         }
         budget = budget.check_interval(ticks);
     }
-    Ok(budget)
+    Ok((budget, report))
 }
 
 /// Validated worker-thread count for the parallel kernel. The library
@@ -69,29 +239,154 @@ fn threads_from(args: &Args) -> Result<usize, String> {
     Ok(threads)
 }
 
-/// Appends the anytime-status line for a tripped run.
-fn status_line(out: &mut String, completion: Completion) {
+/// Appends the anytime-status line for a tripped run, naming the budget
+/// flag responsible when the recording clock knows it.
+fn status_line(out: &mut String, completion: Completion, report: &BudgetReport) {
     if !completion.is_complete() {
-        let _ = writeln!(
-            out,
-            "status = {completion} (partial result: best answer verified before the trip)"
-        );
+        let _ = match report.cause(completion) {
+            Some(cause) => writeln!(
+                out,
+                "status = {completion} (tripped by {cause}; partial result: \
+                 best answer verified before the trip)"
+            ),
+            None => writeln!(
+                out,
+                "status = {completion} (partial result: best answer verified before the trip)"
+            ),
+        };
     }
 }
 
-fn maybe_write(args: &Args, g: &Graph) -> Result<String, String> {
+/// Default polls between periodic checkpoints (`--checkpoint-interval`).
+const DEFAULT_CHECKPOINT_INTERVAL: u64 = 1024;
+
+/// Parsed `--checkpoint` / `--checkpoint-interval` / `--resume` state.
+struct Checkpointing {
+    sink: Option<FileCheckpointer>,
+    resume: Option<Snapshot>,
+    path: Option<String>,
+    degraded: bool,
+    warnings: Vec<String>,
+}
+
+impl Checkpointing {
+    /// Whether any checkpoint flag is present (for rejecting them on
+    /// algorithms without resumable entry points).
+    fn requested(args: &Args) -> bool {
+        args.get("checkpoint").is_some()
+            || args.switch("resume")
+            || args.get("checkpoint-interval").is_some()
+    }
+
+    /// The sink for the kernel's periodic checkpoints.
+    fn sink(&mut self) -> Option<&mut dyn Checkpointer> {
+        self.sink.as_mut().map(|s| s as &mut dyn Checkpointer)
+    }
+
+    /// Records that a requested resume degraded to a fresh run.
+    fn degrade(&mut self, path: &str, err: &RecoveryError) {
+        self.degraded = true;
+        self.warnings
+            .push(format!("checkpoint {path}: {err}; continuing fresh"));
+    }
+}
+
+/// Arms periodic checkpointing on `budget` and loads the `--resume`
+/// snapshot. An unusable checkpoint (missing, torn, corrupt, or from a
+/// different graph or kernel — the latter two detected later by the
+/// resume driver) is never trusted: the run degrades to a fresh start,
+/// warns, and exits with code 4.
+fn checkpoint_from(args: &Args, budget: &ExecutionBudget) -> Result<Checkpointing, CliError> {
+    let mut ck = Checkpointing {
+        sink: None,
+        resume: None,
+        path: None,
+        degraded: false,
+        warnings: Vec::new(),
+    };
+    let Some(path) = args.get("checkpoint") else {
+        if args.switch("resume") {
+            return Err(CliError::Usage(
+                "--resume requires --checkpoint <path>".to_string(),
+            ));
+        }
+        if args.get("checkpoint-interval").is_some() {
+            return Err(CliError::Usage(
+                "--checkpoint-interval requires --checkpoint <path>".to_string(),
+            ));
+        }
+        return Ok(ck);
+    };
+    let interval: u64 = args.number("checkpoint-interval", DEFAULT_CHECKPOINT_INTERVAL)?;
+    if interval == 0 {
+        return Err(CliError::Usage(
+            "option --checkpoint-interval must be at least 1".to_string(),
+        ));
+    }
+    budget.set_checkpoint_period(interval);
+    if args.switch("resume") {
+        match Snapshot::load(Path::new(path)) {
+            Ok(snap) => ck.resume = Some(snap),
+            Err(err) => ck.degrade(path, &err),
+        }
+    }
+    ck.sink = Some(FileCheckpointer::new(path));
+    ck.path = Some(path.to_string());
+    Ok(ck)
+}
+
+/// Folds a finished resumable run into [`CmdOut`]: records a resume that
+/// the driver rejected (wrong graph/kernel), persists the final state of
+/// a tripped run so `--resume` can continue it, and removes the
+/// checkpoint file once the run completes.
+fn seal(
+    mut out: String,
+    completion: Completion,
+    recovery: Option<RecoveryError>,
+    snapshot: Option<Snapshot>,
+    mut ck: Checkpointing,
+    report: &BudgetReport,
+) -> CmdOut {
+    if let (Some(err), Some(path)) = (&recovery, ck.path.clone()) {
+        ck.degrade(&path, err);
+    }
+    status_line(&mut out, completion, report);
+    if let Some(path) = &ck.path {
+        if completion.is_complete() {
+            let _ = std::fs::remove_file(path);
+        } else if let Some(snap) = &snapshot {
+            match snap.save(Path::new(path)) {
+                Ok(()) => {
+                    let _ = writeln!(out, "checkpoint = {path} (resume with --resume)");
+                }
+                Err(err) => ck
+                    .warnings
+                    .push(format!("checkpoint {path}: {err} (final state not saved)")),
+            }
+        }
+    }
+    CmdOut {
+        text: out,
+        completion,
+        degraded: ck.degraded,
+        warnings: ck.warnings,
+    }
+}
+
+fn maybe_write(args: &Args, g: &Graph) -> Result<String, CliError> {
     match args.get("output") {
         None => Ok(String::new()),
         Some(path) => {
-            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-            io::write_edge_list(g, file).map_err(|e| format!("{path}: {e}"))?;
+            let file =
+                std::fs::File::create(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            io::write_edge_list(g, file).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
             Ok(format!("wrote {path}\n"))
         }
     }
 }
 
 /// `nsky stats <file>`.
-pub(crate) fn stats(args: &Args) -> Result<String, String> {
+pub(crate) fn stats(args: &Args) -> Result<String, CliError> {
     let g = load(args)?;
     let s = nsky_graph::stats::graph_stats(&g);
     let (_, components) = nsky_graph::traversal::connected_components(&g);
@@ -111,66 +406,13 @@ pub(crate) fn stats(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// `nsky skyline <file> [--algorithm ...] [--threads T] [--epsilon E]
-/// [budget flags] [-o out]`.
-pub(crate) fn skyline(args: &Args) -> Result<(String, Completion), String> {
-    let g = load(args)?;
-    let algo = args.get("algorithm").unwrap_or("refine");
-    let budget = budget_from(args)?;
-    let cfg = nsky_skyline::RefineConfig::default();
-    let (name, skyline, completion): (&str, Vec<VertexId>, Completion) = match algo {
-        "refine" => {
-            let r = nsky_skyline::filter_refine_sky_budgeted(&g, &cfg, &budget);
-            ("FilterRefineSky", r.skyline, r.completion)
-        }
-        "base" => {
-            let r = nsky_skyline::base_sky_budgeted(&g, &budget);
-            ("BaseSky", r.skyline, r.completion)
-        }
-        "par" => {
-            let threads = threads_from(args)?;
-            let r = nsky_skyline::filter_refine_sky_par_budgeted(&g, &cfg, threads, &budget);
-            ("ParFilterRefineSky", r.skyline, r.completion)
-        }
-        "cset" | "2hop" | "lcjoin" | "approx" => {
-            if budget.is_active() {
-                return Err(format!(
-                    "algorithm {algo:?} does not support budget options \
-                     (--timeout/--memory-budget/--trip-after); \
-                     budgeted algorithms: refine, base, par"
-                ));
-            }
-            match algo {
-                "cset" => (
-                    "BaseCSet",
-                    nsky_skyline::cset_sky(&g).skyline,
-                    Completion::Complete,
-                ),
-                "2hop" => (
-                    "Base2Hop",
-                    nsky_skyline::two_hop_sky(&g).skyline,
-                    Completion::Complete,
-                ),
-                "lcjoin" => (
-                    "LC-Join",
-                    nsky_setjoin::lc_join_skyline(&g).skyline,
-                    Completion::Complete,
-                ),
-                _ => {
-                    let eps: f64 = args.number("epsilon", 0.0)?;
-                    if !(0.0..1.0).contains(&eps) {
-                        return Err(format!("--epsilon must lie in [0, 1), got {eps}"));
-                    }
-                    (
-                        "ApproxSky",
-                        nsky_skyline::approx::approx_sky(&g, eps).skyline,
-                        Completion::Complete,
-                    )
-                }
-            }
-        }
-        other => return Err(format!("unknown algorithm {other:?}")),
-    };
+/// Renders the `skyline` command's report for a computed skyline.
+fn skyline_text(
+    args: &Args,
+    g: &Graph,
+    name: &str,
+    skyline: &[VertexId],
+) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "algorithm = {name}");
     let _ = writeln!(
@@ -180,61 +422,155 @@ pub(crate) fn skyline(args: &Args) -> Result<(String, Completion), String> {
         g.num_vertices(),
         100.0 * skyline.len() as f64 / g.num_vertices().max(1) as f64
     );
-    status_line(&mut out, completion);
     if let Some(path) = args.get("output") {
         let body: String = skyline.iter().map(|u| format!("{u}\n")).collect();
-        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, body).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
         let _ = writeln!(out, "wrote {path}");
     } else {
         let _ = writeln!(out, "skyline: {skyline:?}");
     }
-    Ok((out, completion))
+    Ok(out)
 }
 
-/// `nsky group <file> -k K [--measure ...] [--no-prune] [budget flags]`.
-pub(crate) fn group(args: &Args) -> Result<(String, Completion), String> {
+/// `nsky skyline <file> [--algorithm ...] [--threads T] [--epsilon E]
+/// [budget flags] [checkpoint flags] [-o out]`.
+pub(crate) fn skyline(args: &Args) -> Result<CmdOut, CliError> {
+    let g = load(args)?;
+    let algo = args.get("algorithm").unwrap_or("refine");
+    if let "cset" | "2hop" | "lcjoin" | "approx" = algo {
+        let (budget, _) = budget_from(args)?;
+        if budget.is_active() || Checkpointing::requested(args) {
+            return Err(CliError::Usage(format!(
+                "algorithm {algo:?} does not support budget or checkpoint options \
+                 (--timeout/--memory-budget/--trip-after/--checkpoint/--resume); \
+                 budgeted algorithms: refine, base, par"
+            )));
+        }
+        let (name, skyline) = match algo {
+            "cset" => ("BaseCSet", nsky_skyline::cset_sky(&g).skyline),
+            "2hop" => ("Base2Hop", nsky_skyline::two_hop_sky(&g).skyline),
+            "lcjoin" => ("LC-Join", nsky_setjoin::lc_join_skyline(&g).skyline),
+            _ => {
+                let eps: f64 = args.number("epsilon", 0.0)?;
+                if !(0.0..1.0).contains(&eps) {
+                    return Err(CliError::Usage(format!(
+                        "--epsilon must lie in [0, 1), got {eps}"
+                    )));
+                }
+                (
+                    "ApproxSky",
+                    nsky_skyline::approx::approx_sky(&g, eps).skyline,
+                )
+            }
+        };
+        return Ok(CmdOut::complete(skyline_text(args, &g, name, &skyline)?));
+    }
+    let (budget, report) = budget_from(args)?;
+    let mut ck = checkpoint_from(args, &budget)?;
+    let resume = ck.resume.take();
+    let cfg = nsky_skyline::RefineConfig::default();
+    let (name, run) = match algo {
+        "refine" => (
+            "FilterRefineSky",
+            nsky_skyline::filter_refine_sky_resumable(
+                &g,
+                &cfg,
+                &budget,
+                resume.as_ref(),
+                ck.sink(),
+            ),
+        ),
+        "base" => (
+            "BaseSky",
+            nsky_skyline::base_sky_resumable(&g, &budget, resume.as_ref(), ck.sink()),
+        ),
+        "par" => {
+            let threads = threads_from(args)?;
+            (
+                "ParFilterRefineSky",
+                nsky_skyline::filter_refine_sky_par_resumable(
+                    &g,
+                    &cfg,
+                    threads,
+                    &budget,
+                    resume.as_ref(),
+                    ck.sink(),
+                ),
+            )
+        }
+        other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
+    };
+    let out = skyline_text(args, &g, name, &run.outcome.skyline)?;
+    Ok(seal(
+        out,
+        run.outcome.completion,
+        run.recovery,
+        run.snapshot,
+        ck,
+        &report,
+    ))
+}
+
+/// `nsky group <file> -k K [--measure ...] [--no-prune] [budget flags]
+/// [checkpoint flags]`.
+pub(crate) fn group(args: &Args) -> Result<CmdOut, CliError> {
     let g = load(args)?;
     let k: usize = args.number("k", 5)?;
     let measure = args.get("measure").unwrap_or("closeness");
     let prune = !args.switch("no-prune");
-    let budget = budget_from(args)?;
     let mut out = String::new();
-    let completion = match measure {
+    match measure {
         "closeness" | "harmonic" => {
-            use nsky_centrality::greedy::{greedy_group_budgeted, GreedyOptions};
+            use nsky_centrality::greedy::{greedy_group_resumable, GreedyOptions};
             use nsky_centrality::measure::{Closeness, Harmonic};
-            use nsky_centrality::neisky::nei_sky_group_budgeted;
-            let (label, result) = match (measure, prune) {
-                ("closeness", true) => (
-                    "NeiSkyGC",
-                    nei_sky_group_budgeted(&g, Closeness, k, true, &budget).greedy,
-                ),
-                ("closeness", false) => (
-                    "Greedy++",
-                    greedy_group_budgeted(&g, Closeness, k, &GreedyOptions::optimized(), &budget),
-                ),
-                ("harmonic", true) => (
-                    "NeiSkyGH",
-                    nei_sky_group_budgeted(&g, Harmonic, k, true, &budget).greedy,
-                ),
-                (_, false) => (
-                    "Greedy-H",
-                    greedy_group_budgeted(&g, Harmonic, k, &GreedyOptions::optimized(), &budget),
-                ),
-                _ => unreachable!(),
+            use nsky_centrality::neisky::nei_sky_group_resumable;
+            let (budget, report) = budget_from(args)?;
+            let mut ck = checkpoint_from(args, &budget)?;
+            let resume = ck.resume.take();
+            let r = resume.as_ref();
+            let opts = GreedyOptions::optimized();
+            let (label, result, recovery, snapshot) = match (measure, prune) {
+                ("closeness", true) => {
+                    let run =
+                        nei_sky_group_resumable(&g, Closeness, k, true, &budget, r, ck.sink());
+                    ("NeiSkyGC", run.outcome.greedy, run.recovery, run.snapshot)
+                }
+                ("closeness", false) => {
+                    let run =
+                        greedy_group_resumable(&g, Closeness, k, &opts, &budget, r, ck.sink());
+                    ("Greedy++", run.outcome, run.recovery, run.snapshot)
+                }
+                ("harmonic", true) => {
+                    let run = nei_sky_group_resumable(&g, Harmonic, k, true, &budget, r, ck.sink());
+                    ("NeiSkyGH", run.outcome.greedy, run.recovery, run.snapshot)
+                }
+                _ => {
+                    let run = greedy_group_resumable(&g, Harmonic, k, &opts, &budget, r, ck.sink());
+                    ("Greedy-H", run.outcome, run.recovery, run.snapshot)
+                }
             };
             let _ = writeln!(out, "engine = {label} ({measure})");
             let _ = writeln!(out, "group: {:?}", result.group);
             let _ = writeln!(out, "score = {:.4}", result.score);
             let _ = writeln!(out, "gain evaluations = {}", result.gain_evaluations);
-            result.completion
+            Ok(seal(
+                out,
+                result.completion,
+                recovery,
+                snapshot,
+                ck,
+                &report,
+            ))
         }
         "betweenness" => {
-            if budget.is_active() {
-                return Err("measure \"betweenness\" does not support budget options \
-                     (--timeout/--memory-budget/--trip-after); \
+            let (budget, _) = budget_from(args)?;
+            if budget.is_active() || Checkpointing::requested(args) {
+                return Err(CliError::Usage(
+                    "measure \"betweenness\" does not support budget or checkpoint options \
+                     (--timeout/--memory-budget/--trip-after/--checkpoint/--resume); \
                      budgeted measures: closeness, harmonic"
-                    .to_string());
+                        .to_string(),
+                ));
             }
             use nsky_centrality::betweenness::{base_gb, nei_sky_gb};
             let result = if prune {
@@ -249,52 +585,67 @@ pub(crate) fn group(args: &Args) -> Result<(String, Completion), String> {
             );
             let _ = writeln!(out, "group: {:?}", result.group);
             let _ = writeln!(out, "GB = {:.4}", result.score);
-            Completion::Complete
+            Ok(CmdOut::complete(out))
         }
-        other => return Err(format!("unknown measure {other:?}")),
-    };
-    status_line(&mut out, completion);
-    Ok((out, completion))
+        other => Err(CliError::Usage(format!("unknown measure {other:?}"))),
+    }
 }
 
-/// `nsky clique <file> [--top K] [--no-prune] [budget flags]`.
-pub(crate) fn clique(args: &Args) -> Result<(String, Completion), String> {
+/// `nsky clique <file> [--top K] [--no-prune] [budget flags]
+/// [checkpoint flags]`.
+pub(crate) fn clique(args: &Args) -> Result<CmdOut, CliError> {
     let g = load(args)?;
     let top: usize = args.number("top", 1)?;
     let prune = !args.switch("no-prune");
-    let budget = budget_from(args)?;
+    let (budget, report) = budget_from(args)?;
+    let mut ck = checkpoint_from(args, &budget)?;
+    let resume = ck.resume.take();
     let mut out = String::new();
-    let completion = if top <= 1 {
-        let (label, c, completion) = if prune {
-            let r = nsky_clique::nei_sky_mc_budgeted(&g, &budget);
-            ("NeiSkyMC", r.clique, r.completion)
+    let (completion, recovery, snapshot) = if top <= 1 {
+        let (label, c, completion, recovery, snapshot) = if prune {
+            let run = nsky_clique::nei_sky_mc_resumable(&g, &budget, resume.as_ref(), ck.sink());
+            let o = run.outcome;
+            (
+                "NeiSkyMC",
+                o.clique,
+                o.completion,
+                run.recovery,
+                run.snapshot,
+            )
         } else {
-            let r = nsky_clique::mc_brb_budgeted(&g, &budget);
-            ("MC-BRB", r.clique, r.completion)
+            let run = nsky_clique::mc_brb_resumable(&g, &budget, resume.as_ref(), ck.sink());
+            let o = run.outcome;
+            ("MC-BRB", o.clique, o.completion, run.recovery, run.snapshot)
         };
         let _ = writeln!(out, "engine = {label}");
         let _ = writeln!(out, "ω = {}", c.len());
         let _ = writeln!(out, "clique: {c:?}");
-        completion
+        (completion, recovery, snapshot)
     } else {
         let mode = if prune {
             nsky_clique::TopkMode::NeiSky
         } else {
             nsky_clique::TopkMode::Base
         };
-        let result = nsky_clique::top_k_cliques_budgeted(&g, top, mode, &budget);
+        let run = nsky_clique::top_k_cliques_resumable(
+            &g,
+            top,
+            mode,
+            &budget,
+            resume.as_ref(),
+            ck.sink(),
+        );
         let _ = writeln!(out, "engine = {mode:?} top-{top}");
-        for (i, c) in result.cliques.iter().enumerate() {
+        for (i, c) in run.outcome.cliques.iter().enumerate() {
             let _ = writeln!(out, "#{}: size {} {:?}", i + 1, c.len(), c);
         }
-        result.completion
+        (run.outcome.completion, run.recovery, run.snapshot)
     };
-    status_line(&mut out, completion);
-    Ok((out, completion))
+    Ok(seal(out, completion, recovery, snapshot, ck, &report))
 }
 
 /// `nsky mis <file>`.
-pub(crate) fn mis(args: &Args) -> Result<String, String> {
+pub(crate) fn mis(args: &Args) -> Result<String, CliError> {
     let g = load(args)?;
     let set = nsky_clique::mis::reducing_peeling_mis(&g);
     debug_assert!(nsky_clique::mis::is_independent_set(&g, &set));
@@ -310,7 +661,7 @@ pub(crate) fn mis(args: &Args) -> Result<String, String> {
 }
 
 /// `nsky generate <family> --n N [--seed S] [family params] [-o out]`.
-pub(crate) fn generate(args: &Args) -> Result<String, String> {
+pub(crate) fn generate(args: &Args) -> Result<String, CliError> {
     use nsky_graph::generators as gen;
     let family = args
         .positionals
@@ -343,7 +694,11 @@ pub(crate) fn generate(args: &Args) -> Result<String, String> {
         }
         "karate" => nsky_datasets::karate(),
         "bombing" => nsky_datasets::bombing(),
-        other => return Err(format!("unknown generator family {other:?}")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown generator family {other:?}"
+            )))
+        }
     };
     let mut out = String::new();
     let _ = writeln!(

@@ -26,42 +26,62 @@
 mod args;
 mod commands;
 
-use nsky_skyline::Completion;
+use commands::{CliError, CmdOut};
 use std::process::ExitCode;
+
+/// Exit code for a malformed or unreadable input file: the command line
+/// was understood, but the data could not be loaded (or written).
+const EXIT_INPUT_ERROR: u8 = 2;
 
 /// Exit code for a run whose budget tripped (`--timeout`,
 /// `--memory-budget`, cancellation or fault injection): the printed
 /// result is a valid partial answer, but completeness was forfeited.
 const EXIT_BUDGET_EXCEEDED: u8 = 3;
 
+/// Exit code for a `--resume` whose checkpoint was unusable (missing,
+/// torn, corrupt, or from a different graph or kernel): the run degraded
+/// to a clean fresh start and its printed answer is valid, but no saved
+/// progress was reused. Overrides codes 0 and 3.
+const EXIT_CHECKPOINT_UNUSABLE: u8 = 4;
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(&raw) {
-        Ok((output, completion)) => {
-            print!("{output}");
-            if completion.is_complete() {
+        Ok(out) => {
+            print!("{}", out.text);
+            for w in &out.warnings {
+                eprintln!("nsky: warning: {w}");
+            }
+            if out.degraded {
+                ExitCode::from(EXIT_CHECKPOINT_UNUSABLE)
+            } else if out.completion.is_complete() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(EXIT_BUDGET_EXCEEDED)
             }
         }
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("nsky: {msg}");
             eprintln!("run `nsky --help` for usage");
             ExitCode::FAILURE
         }
+        Err(CliError::Input(msg)) => {
+            eprintln!("nsky: {msg}");
+            ExitCode::from(EXIT_INPUT_ERROR)
+        }
     }
 }
 
-/// Dispatches a raw command line and returns the textual output plus the
-/// run's [`Completion`] status (separated from `main` so tests can drive
-/// it). A non-`Complete` status maps to [`EXIT_BUDGET_EXCEEDED`].
-pub fn run(raw: &[String]) -> Result<(String, Completion), String> {
-    let parsed = args::parse(raw)?;
+/// Dispatches a raw command line and returns the command's output
+/// (separated from `main` so tests can drive it). A non-`Complete`
+/// status maps to [`EXIT_BUDGET_EXCEEDED`]; a degraded resume maps to
+/// [`EXIT_CHECKPOINT_UNUSABLE`].
+pub(crate) fn run(raw: &[String]) -> Result<CmdOut, CliError> {
+    let parsed = args::parse(raw).map_err(CliError::Usage)?;
     if parsed.switch("help") || parsed.positionals.is_empty() {
-        return Ok((HELP.to_string(), Completion::Complete));
+        return Ok(CmdOut::complete(HELP.to_string()));
     }
-    let complete = |r: Result<String, String>| r.map(|text| (text, Completion::Complete));
+    let complete = |r: Result<String, CliError>| r.map(CmdOut::complete);
     let command = parsed.positionals[0].as_str();
     match command {
         "stats" => complete(commands::stats(&parsed)),
@@ -70,7 +90,7 @@ pub fn run(raw: &[String]) -> Result<(String, Completion), String> {
         "clique" => commands::clique(&parsed),
         "mis" => complete(commands::mis(&parsed)),
         "generate" => complete(commands::generate(&parsed)),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -94,18 +114,39 @@ BUDGET (skyline refine|base|par, clique, group closeness|harmonic):
   --memory-budget MB    approximate cap on kernel working memory
   --trip-after N        fault injection: trip on the N-th budget poll
   --check-interval T    ticks between budget polls (default 8192)
-  A tripped run prints a `status = ...` line, returns the best answer
-  verified before the trip, and exits with code 3.
+  A tripped run prints a `status = ...` line naming the flag that
+  tripped, returns the best answer verified before the trip, and exits
+  with code 3.
+
+CHECKPOINTING (same commands as BUDGET):
+  --checkpoint PATH     periodically save resumable state to PATH
+                        (atomic single-file snapshots); a tripped run
+                        also saves its final state, a completed run
+                        removes the file
+  --checkpoint-interval N
+                        budget polls between checkpoints (default 1024)
+  --resume              load PATH before running and continue from it;
+                        an unusable checkpoint (torn, corrupt, wrong
+                        graph or kernel) is discarded with a warning and
+                        the run restarts fresh, exiting with code 4
 
 LOADING:
   --max-vertex-id ID    reject edge lists with vertex ids above ID
                         (default 2^26 - 1, guards against corrupt input
                         forcing a multi-GB allocation)
+
+EXIT CODES:
+  0  run complete
+  1  usage error (bad flags or names)
+  2  input error (unreadable or malformed files)
+  3  budget tripped: printed result is a valid partial answer
+  4  --resume checkpoint unusable: run restarted fresh (overrides 0/3)
 ";
 
 #[cfg(test)]
 mod tests {
-    use super::{run, Completion};
+    use super::run;
+    use nsky_skyline::Completion;
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
@@ -113,9 +154,16 @@ mod tests {
 
     /// `run` for commands that must finish (asserts `Complete`).
     fn ok(v: &[&str]) -> String {
-        let (out, completion) = run(&s(v)).unwrap();
-        assert_eq!(completion, Completion::Complete, "{out}");
-        out
+        let out = run(&s(v)).unwrap();
+        assert_eq!(out.completion, Completion::Complete, "{}", out.text);
+        assert!(!out.degraded, "{}", out.text);
+        out.text
+    }
+
+    /// `run` for command lines that must be rejected; returns the
+    /// error message.
+    fn fail(v: &[&str]) -> String {
+        run(&s(v)).unwrap_err().to_string()
     }
 
     fn write_karate() -> String {
@@ -153,15 +201,14 @@ mod tests {
             "0.3",
         ]);
         assert!(out.contains("|R| ="), "{out}");
-        let err = run(&s(&[
+        let err = fail(&[
             "skyline",
             &path,
             "--algorithm",
             "approx",
             "--epsilon",
             "1.5",
-        ]))
-        .unwrap_err();
+        ]);
         assert!(err.contains("[0, 1)"), "{err}");
         std::fs::remove_file(path).ok();
     }
@@ -217,27 +264,186 @@ mod tests {
         ] {
             let mut argv = cmd.clone();
             argv.extend_from_slice(&["--trip-after", "1", "--check-interval", "1"]);
-            let (out, completion) = run(&s(&argv)).unwrap();
-            assert_eq!(completion, Completion::DeadlineExceeded, "{cmd:?}: {out}");
-            assert!(out.contains("status = DeadlineExceeded"), "{cmd:?}: {out}");
+            let out = run(&s(&argv)).unwrap();
+            assert_eq!(
+                out.completion,
+                Completion::DeadlineExceeded,
+                "{cmd:?}: {}",
+                out.text
+            );
+            assert!(
+                out.text.contains("status = DeadlineExceeded"),
+                "{cmd:?}: {}",
+                out.text
+            );
+            assert!(
+                out.text.contains("tripped by --trip-after 1"),
+                "{cmd:?}: {}",
+                out.text
+            );
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn combined_deadlines_name_the_flag_that_tripped() {
+        let path = write_karate();
+        // A generous wall clock with a tight fault clock: the fault
+        // clock trips first and the status line must say so.
+        let out = run(&s(&[
+            "skyline",
+            &path,
+            "--timeout",
+            "3600",
+            "--trip-after",
+            "1",
+            "--check-interval",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(out.completion, Completion::DeadlineExceeded, "{}", out.text);
+        assert!(
+            out.text.contains("tripped by --trip-after 1"),
+            "{}",
+            out.text
+        );
+        // The reverse: an expired wall clock with a lazy fault clock.
+        let out = run(&s(&[
+            "skyline",
+            &path,
+            "--timeout",
+            "0",
+            "--trip-after",
+            "999999999",
+            "--check-interval",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(out.completion, Completion::DeadlineExceeded, "{}", out.text);
+        assert!(out.text.contains("tripped by --timeout 0"), "{}", out.text);
+        // Memory trips name --memory-budget.
+        let out = run(&s(&["skyline", &path, "--memory-budget", "0"])).unwrap();
+        assert_eq!(out.completion, Completion::MemoryCapped, "{}", out.text);
+        assert!(
+            out.text.contains("tripped by --memory-budget 0"),
+            "{}",
+            out.text
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpoint_trip_resume_round_trip() {
+        let path = write_karate();
+        let ck = std::env::temp_dir().join(format!("nsky-ck-{}.snap", std::process::id()));
+        let ck = ck.to_str().unwrap().to_string();
+        // Trip mid-run with a checkpoint: the final state lands on disk.
+        let out = run(&s(&[
+            "skyline",
+            &path,
+            "--trip-after",
+            "40",
+            "--check-interval",
+            "1",
+            "--checkpoint",
+            &ck,
+        ]))
+        .unwrap();
+        assert_eq!(out.completion, Completion::DeadlineExceeded, "{}", out.text);
+        assert!(out.text.contains("checkpoint = "), "{}", out.text);
+        assert!(std::path::Path::new(&ck).exists());
+        // Resume without a budget: completes with the full answer and
+        // removes the checkpoint file.
+        let out = run(&s(&["skyline", &path, "--checkpoint", &ck, "--resume"])).unwrap();
+        assert_eq!(out.completion, Completion::Complete, "{}", out.text);
+        assert!(!out.degraded, "{}", out.text);
+        assert!(out.text.contains("|R| = 15"), "{}", out.text);
+        assert!(!std::path::Path::new(&ck).exists(), "stale checkpoint kept");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unusable_checkpoints_degrade_to_fresh_runs() {
+        let path = write_karate();
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        // Missing file.
+        let ck = dir.join(format!("nsky-ck-missing-{pid}.snap"));
+        let ck_s = ck.to_str().unwrap().to_string();
+        let out = run(&s(&["skyline", &path, "--checkpoint", &ck_s, "--resume"])).unwrap();
+        assert!(out.degraded, "{}", out.text);
+        assert_eq!(out.completion, Completion::Complete);
+        assert!(out.text.contains("|R| = 15"), "{}", out.text);
+        assert!(!out.warnings.is_empty());
+        // Corrupt file.
+        let ck = dir.join(format!("nsky-ck-corrupt-{pid}.snap"));
+        std::fs::write(&ck, b"definitely not a snapshot").unwrap();
+        let ck_s = ck.to_str().unwrap().to_string();
+        let out = run(&s(&["skyline", &path, "--checkpoint", &ck_s, "--resume"])).unwrap();
+        assert!(out.degraded, "{}", out.text);
+        assert!(out.text.contains("|R| = 15"), "{}", out.text);
+        // Wrong kernel: a skyline checkpoint offered to the clique
+        // solver (rejected by the resume driver, not the loader).
+        let ck = dir.join(format!("nsky-ck-kernel-{pid}.snap"));
+        let ck_s = ck.to_str().unwrap().to_string();
+        let out = run(&s(&[
+            "skyline",
+            &path,
+            "--trip-after",
+            "40",
+            "--check-interval",
+            "1",
+            "--checkpoint",
+            &ck_s,
+        ]))
+        .unwrap();
+        assert_eq!(out.completion, Completion::DeadlineExceeded);
+        let out = run(&s(&["clique", &path, "--checkpoint", &ck_s, "--resume"])).unwrap();
+        assert!(out.degraded, "{}", out.text);
+        assert!(out.text.contains("ω = 5"), "{}", out.text);
+        assert!(
+            out.warnings.iter().any(|w| w.contains("kernel")),
+            "{:?}",
+            out.warnings
+        );
+        std::fs::remove_file(&ck).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpoint_flag_validation() {
+        let path = write_karate();
+        let err = fail(&["skyline", &path, "--resume"]);
+        assert!(err.contains("--resume requires --checkpoint"), "{err}");
+        let err = fail(&["skyline", &path, "--checkpoint-interval", "50"]);
+        assert!(err.contains("requires --checkpoint"), "{err}");
+        let err = fail(&[
+            "skyline",
+            &path,
+            "--checkpoint",
+            "x.snap",
+            "--checkpoint-interval",
+            "0",
+        ]);
+        assert!(err.contains("at least 1"), "{err}");
+        let err = fail(&[
+            "skyline",
+            &path,
+            "--algorithm",
+            "cset",
+            "--checkpoint",
+            "x.snap",
+        ]);
+        assert!(err.contains("refine, base, par"), "{err}");
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn budget_flags_rejected_on_uninstrumented_algorithms() {
         let path = write_karate();
-        let err = run(&s(&[
-            "skyline",
-            &path,
-            "--algorithm",
-            "cset",
-            "--timeout",
-            "5",
-        ]))
-        .unwrap_err();
+        let err = fail(&["skyline", &path, "--algorithm", "cset", "--timeout", "5"]);
         assert!(err.contains("refine, base, par"), "{err}");
-        let err = run(&s(&[
+        let err = fail(&[
             "group",
             &path,
             "-k",
@@ -246,8 +452,18 @@ mod tests {
             "betweenness",
             "--timeout",
             "5",
-        ]))
-        .unwrap_err();
+        ]);
+        assert!(err.contains("closeness, harmonic"), "{err}");
+        let err = fail(&[
+            "group",
+            &path,
+            "-k",
+            "2",
+            "--measure",
+            "betweenness",
+            "--checkpoint",
+            "x.snap",
+        ]);
         assert!(err.contains("closeness, harmonic"), "{err}");
         std::fs::remove_file(path).ok();
     }
@@ -255,21 +471,13 @@ mod tests {
     #[test]
     fn cli_flag_validation() {
         let path = write_karate();
-        let err = run(&s(&[
-            "skyline",
-            &path,
-            "--algorithm",
-            "par",
-            "--threads",
-            "0",
-        ]))
-        .unwrap_err();
+        let err = fail(&["skyline", &path, "--algorithm", "par", "--threads", "0"]);
         assert!(err.contains("at least 1"), "{err}");
-        let err = run(&s(&["skyline", &path, "--timeout", "-3"])).unwrap_err();
+        let err = fail(&["skyline", &path, "--timeout", "-3"]);
         assert!(err.contains("--timeout"), "{err}");
-        let err = run(&s(&["skyline", &path, "--check-interval", "0"])).unwrap_err();
+        let err = fail(&["skyline", &path, "--check-interval", "0"]);
         assert!(err.contains("--check-interval"), "{err}");
-        let err = run(&s(&["stats", &path, "--max-vertex-id", "3"])).unwrap_err();
+        let err = fail(&["stats", &path, "--max-vertex-id", "3"]);
         assert!(err.contains("exceeds the cap"), "{err}");
         std::fs::remove_file(path).ok();
     }

@@ -1,6 +1,7 @@
 //! End-to-end exit-code contract of the `nsky` binary:
-//! 0 = complete, 1 = usage/load error, 3 = budget exceeded (the printed
-//! result is a valid partial answer).
+//! 0 = complete, 1 = usage error, 2 = input error, 3 = budget exceeded
+//! (the printed result is a valid partial answer), 4 = `--resume`
+//! checkpoint unusable (the run restarted fresh).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -34,11 +35,29 @@ fn complete_run_exits_zero() {
 fn usage_error_exits_one() {
     let out = nsky().arg("frobnicate").output().unwrap();
     assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let path = karate_file("usage");
+    let out = nsky()
+        .arg("skyline")
+        .arg(&path)
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--resume requires --checkpoint"),
+        "{stderr}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn unreadable_input_exits_two() {
     let out = nsky()
         .args(["skyline", "/nonexistent/graph.txt"])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
 
 #[test]
@@ -88,12 +107,69 @@ fn memory_budget_of_zero_exits_three() {
 }
 
 #[test]
-fn oversized_vertex_id_exits_one_with_cap_message() {
+fn oversized_vertex_id_exits_two_with_cap_message() {
     let path = std::env::temp_dir().join(format!("nsky-exit-big-{}.txt", std::process::id()));
     std::fs::write(&path, "0 1\n0 4000000000\n").unwrap();
     let out = nsky().arg("stats").arg(&path).output().unwrap();
-    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("exceeds the cap"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn tripped_run_saves_checkpoint_and_resume_completes() {
+    let path = karate_file("resume");
+    let ck = std::env::temp_dir().join(format!("nsky-exit-ck-{}.snap", std::process::id()));
+    let out = nsky()
+        .arg("skyline")
+        .arg(&path)
+        .args([
+            "--trip-after",
+            "40",
+            "--check-interval",
+            "1",
+            "--checkpoint",
+        ])
+        .arg(&ck)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(ck.exists(), "tripped run left no checkpoint");
+    let out = nsky()
+        .arg("skyline")
+        .arg(&path)
+        .arg("--checkpoint")
+        .arg(&ck)
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("|R| = 15"), "{stdout}");
+    assert!(!ck.exists(), "completed run kept its checkpoint");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn unusable_resume_checkpoint_exits_four() {
+    let path = karate_file("degraded");
+    let ck = std::env::temp_dir().join(format!("nsky-exit-bad-ck-{}.snap", std::process::id()));
+    std::fs::write(&ck, b"garbage, not a snapshot").unwrap();
+    let out = nsky()
+        .arg("skyline")
+        .arg(&path)
+        .arg("--checkpoint")
+        .arg(&ck)
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    // The fresh run's answer is still printed in full.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("|R| = 15"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("continuing fresh"), "{stderr}");
+    std::fs::remove_file(ck).ok();
     std::fs::remove_file(path).ok();
 }

@@ -2,6 +2,10 @@
 
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{BudgetTicker, Completion, ExecutionBudget};
+use nsky_skyline::snapshot::{
+    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
+    Writer,
+};
 
 /// Search counters, printed by the harness to show *why* the skyline
 /// pruning wins (fewer root branches).
@@ -171,22 +175,92 @@ pub fn max_clique_bnb(g: &Graph) -> (Vec<VertexId>, CliqueStats) {
 /// the returned clique is the largest found before the trip (anytime
 /// semantics — a valid clique, possibly sub-maximum).
 pub fn max_clique_bnb_budgeted(g: &Graph, budget: &ExecutionBudget) -> CliqueRun {
+    bnb_leg(g, budget, BnbState { best: Vec::new() }).0
+}
+
+/// Resume state of an interrupted [`max_clique_bnb`] run: the best
+/// clique found before the trip. Resuming restarts the (deterministic)
+/// search with the saved clique as the incumbent; the coloring bound is
+/// admissible, so every subtree the higher incumbent prunes contains no
+/// larger clique, and the first strict improvement — hence the final
+/// best — is byte-identical to the uninterrupted run's.
+struct BnbState {
+    best: Vec<VertexId>,
+}
+
+impl KernelState for BnbState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::CliqueBnb;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32_slice(&self.best);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Ok(BnbState {
+            best: r.take_u32_vec()?,
+        })
+    }
+}
+
+/// Whether `c` is a genuine clique of `g` with in-range, strictly
+/// ascending vertices — the structural validation applied to any resumed
+/// incumbent before it is trusted as a bound.
+pub(crate) fn valid_clique(g: &Graph, c: &[VertexId]) -> bool {
+    c.iter().all(|&v| (v as usize) < g.num_vertices())
+        && c.windows(2).all(|w| w[0] < w[1])
+        && crate::is_clique(g, c)
+}
+
+/// [`max_clique_bnb_budgeted`] with crash-safe checkpoint/resume (see
+/// `nsky_skyline::snapshot` for the contract).
+pub fn max_clique_bnb_resumable(
+    g: &Graph,
+    budget: &ExecutionBudget,
+    resume: Option<&Snapshot>,
+    sink: Option<&mut dyn Checkpointer>,
+) -> ResumableRun<CliqueRun> {
+    drive(
+        budget,
+        g.fingerprint(),
+        resume,
+        || BnbState { best: Vec::new() },
+        |mut state| {
+            if !valid_clique(g, &state.best) {
+                state.best = Vec::new();
+            }
+            let (run, state) = bnb_leg(g, budget, state);
+            let completion = run.completion;
+            (run, state, completion)
+        },
+        sink,
+    )
+}
+
+fn bnb_leg(g: &Graph, budget: &ExecutionBudget, state: BnbState) -> (CliqueRun, BnbState) {
     let mut stats = CliqueStats::default();
     if g.num_vertices() == 0 {
-        return CliqueRun {
+        let run = CliqueRun {
             clique: Vec::new(),
             stats,
             completion: Completion::Complete,
         };
+        return (run, state);
     }
-    let mut best = vec![0 as VertexId]; // any single vertex is a clique
-                                        // Coloring classes + candidate stack are the dominant scratch.
+    let mut best = if state.best.is_empty() {
+        vec![0 as VertexId] // any single vertex is a clique
+    } else {
+        state.best
+    };
+    // Coloring classes + candidate stack are the dominant scratch.
     if let Some(status) = budget.charge(g.num_vertices() * 16) {
-        return CliqueRun {
-            clique: best,
+        let run = CliqueRun {
+            clique: best.clone(),
             stats,
             completion: status,
         };
+        return (run, BnbState { best });
     }
     let cand: Vec<VertexId> = g.vertices().collect();
     let mut colored = color_candidates(g, &cand);
@@ -203,11 +277,12 @@ pub fn max_clique_bnb_budgeted(g: &Graph, budget: &ExecutionBudget) -> CliqueRun
         &mut ticker,
     );
     best.sort_unstable();
-    CliqueRun {
-        clique: best,
+    let run = CliqueRun {
+        clique: best.clone(),
         stats,
         completion: tripped.unwrap_or(Completion::Complete),
-    }
+    };
+    (run, BnbState { best })
 }
 
 /// Largest clique **containing** `seed` that strictly beats

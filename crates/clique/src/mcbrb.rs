@@ -8,11 +8,15 @@
 //! vertex with `core(v) + 1 ≤ lb`; (3) for each surviving vertex `u` in
 //! degeneracy order, branch-and-bound over `u`'s *later* neighbors.
 
-use crate::bnb::{max_clique_containing_budgeted, CliqueRun, CliqueStats};
+use crate::bnb::{max_clique_containing_budgeted, valid_clique, CliqueRun, CliqueStats};
 use crate::heuristic::heuristic_clique;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{Completion, ExecutionBudget};
+use nsky_skyline::snapshot::{
+    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
+    Writer,
+};
 
 /// Exact maximum clique (the paper's `MC-BRB` comparison point).
 ///
@@ -37,39 +41,128 @@ pub fn mc_brb(g: &Graph) -> (Vec<VertexId>, CliqueStats) {
 /// is the best found so far — never smaller than the near-linear
 /// heuristic lower bound, which runs before any budgeted search.
 pub fn mc_brb_budgeted(g: &Graph, budget: &ExecutionBudget) -> CliqueRun {
+    mcbrb_leg(g, budget, McBrbState::fresh()).0
+}
+
+/// Resume state of an interrupted [`mc_brb`] run: the best clique found
+/// so far plus the index (into the degeneracy order) of the next root to
+/// search. The `later` exclusion mask is a pure function of the cursor
+/// (positions before it), so it is rebuilt on resume rather than stored.
+/// An in-flight root search is restarted from scratch with the saved
+/// incumbent as floor; the coloring bound is admissible, so the restart
+/// visits exactly the improving leaves the uninterrupted run would have.
+struct McBrbState {
+    best: Vec<VertexId>,
+    cursor: usize,
+}
+
+impl McBrbState {
+    fn fresh() -> Self {
+        McBrbState {
+            best: Vec::new(),
+            cursor: 0,
+        }
+    }
+}
+
+impl KernelState for McBrbState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::CliqueMcBrb;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32_slice(&self.best);
+        w.put_usize(self.cursor);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Ok(McBrbState {
+            best: r.take_u32_vec()?,
+            cursor: r.take_usize()?,
+        })
+    }
+}
+
+/// [`mc_brb_budgeted`] with crash-safe checkpoint/resume (see
+/// `nsky_skyline::snapshot` for the contract).
+pub fn mc_brb_resumable(
+    g: &Graph,
+    budget: &ExecutionBudget,
+    resume: Option<&Snapshot>,
+    sink: Option<&mut dyn Checkpointer>,
+) -> ResumableRun<CliqueRun> {
+    drive(
+        budget,
+        g.fingerprint(),
+        resume,
+        McBrbState::fresh,
+        |mut state| {
+            if !valid_clique(g, &state.best) || state.cursor > g.num_vertices() {
+                state = McBrbState::fresh();
+            }
+            let (run, state) = mcbrb_leg(g, budget, state);
+            let completion = run.completion;
+            (run, state, completion)
+        },
+        sink,
+    )
+}
+
+fn mcbrb_leg(g: &Graph, budget: &ExecutionBudget, state: McBrbState) -> (CliqueRun, McBrbState) {
     let mut stats = CliqueStats::default();
     if g.num_vertices() == 0 {
-        return CliqueRun {
+        let run = CliqueRun {
             clique: Vec::new(),
             stats,
             completion: Completion::Complete,
         };
+        return (run, state);
     }
-    let mut best = heuristic_clique(g, 16);
+    let start = state.cursor;
+    // A genuine snapshot is taken after the heuristic, so a resumed
+    // incumbent is never smaller than the heuristic would produce.
+    let mut best = if state.best.is_empty() {
+        heuristic_clique(g, 16)
+    } else {
+        state.best
+    };
     // Core decomposition + the per-root allowed mask dominate the scratch.
     if let Some(status) = budget.charge(g.num_vertices() * 10) {
         best.sort_unstable();
-        return CliqueRun {
-            clique: best,
+        let run = CliqueRun {
+            clique: best.clone(),
             stats,
             completion: status,
         };
+        return (
+            run,
+            McBrbState {
+                best,
+                cursor: start,
+            },
+        );
     }
     let deco = core_decomposition(g);
     let mut ticker = budget.ticker();
 
     // Process vertices in degeneracy order; u's candidates are its
     // neighbors later in the order (each clique is found exactly once,
-    // rooted at its earliest member).
+    // rooted at its earliest member). Roots before the resume cursor are
+    // already processed, so they re-enter the exclusion mask up front.
     let mut later: Vec<bool> = vec![false; g.num_vertices()];
-    for &u in deco.order.iter() {
+    for &u in deco.order.iter().take(start) {
+        later[u as usize] = true;
+    }
+    for idx in start..deco.order.len() {
+        let u = deco.order[idx];
         if let Some(status) = ticker.check() {
             best.sort_unstable();
-            return CliqueRun {
-                clique: best,
+            let run = CliqueRun {
+                clique: best.clone(),
                 stats,
                 completion: status,
             };
+            return (run, McBrbState { best, cursor: idx });
         }
         later[u as usize] = true; // mark processed ⇒ excluded from later runs
         if (deco.core[u as usize] + 1) as usize <= best.len() {
@@ -86,13 +179,27 @@ pub fn mc_brb_budgeted(g: &Graph, budget: &ExecutionBudget) -> CliqueRun {
         ) {
             best = c;
         }
+        let status = ticker.status();
+        if status != Completion::Complete {
+            // Tripped inside this root's search: re-run the root on
+            // resume with the (possibly improved) incumbent as floor.
+            best.sort_unstable();
+            let run = CliqueRun {
+                clique: best.clone(),
+                stats,
+                completion: status,
+            };
+            return (run, McBrbState { best, cursor: idx });
+        }
     }
     best.sort_unstable();
-    CliqueRun {
-        clique: best,
+    let run = CliqueRun {
+        clique: best.clone(),
         stats,
         completion: ticker.status(),
-    }
+    };
+    let cursor = deco.order.len();
+    (run, McBrbState { best, cursor })
 }
 
 #[cfg(test)]

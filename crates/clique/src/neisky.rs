@@ -9,11 +9,15 @@
 //! so searching only the ego networks of skyline vertices finds a
 //! maximum clique.
 
-use crate::bnb::{max_clique_containing_budgeted, CliqueStats};
+use crate::bnb::{max_clique_containing_budgeted, valid_clique, CliqueStats};
 use crate::heuristic::heuristic_clique;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{Completion, ExecutionBudget};
+use nsky_skyline::snapshot::{
+    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
+    Writer,
+};
 use nsky_skyline::{filter_refine_sky_budgeted, RefineConfig};
 
 /// Outcome of [`nei_sky_mc`].
@@ -59,25 +63,103 @@ pub fn nei_sky_mc(g: &Graph) -> NeiSkyMcOutcome {
 /// status; a trip during the search phase returns the best clique found
 /// so far.
 pub fn nei_sky_mc_budgeted(g: &Graph, budget: &ExecutionBudget) -> NeiSkyMcOutcome {
+    neisky_leg(g, budget, NeiSkyState::fresh()).0
+}
+
+/// Resume state of an interrupted [`nei_sky_mc`] run: the best clique
+/// found so far plus the index of the next seed in the (deterministic)
+/// skyline-by-degeneracy-position seed order. The skyline itself, the
+/// seed order, and the `allowed` exclusion mask are recomputed on resume
+/// — they are pure functions of the graph and the cursor. A trip during
+/// the skyline phase leaves the state untouched (nothing durable has
+/// happened yet), so that phase simply re-runs.
+struct NeiSkyState {
+    best: Vec<VertexId>,
+    cursor: usize,
+}
+
+impl NeiSkyState {
+    fn fresh() -> Self {
+        NeiSkyState {
+            best: Vec::new(),
+            cursor: 0,
+        }
+    }
+}
+
+impl KernelState for NeiSkyState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::CliqueNeiSky;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32_slice(&self.best);
+        w.put_usize(self.cursor);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Ok(NeiSkyState {
+            best: r.take_u32_vec()?,
+            cursor: r.take_usize()?,
+        })
+    }
+}
+
+/// [`nei_sky_mc_budgeted`] with crash-safe checkpoint/resume (see
+/// `nsky_skyline::snapshot` for the contract).
+pub fn nei_sky_mc_resumable(
+    g: &Graph,
+    budget: &ExecutionBudget,
+    resume: Option<&Snapshot>,
+    sink: Option<&mut dyn Checkpointer>,
+) -> ResumableRun<NeiSkyMcOutcome> {
+    drive(
+        budget,
+        g.fingerprint(),
+        resume,
+        NeiSkyState::fresh,
+        |mut state| {
+            if !valid_clique(g, &state.best) || state.cursor > g.num_vertices() {
+                state = NeiSkyState::fresh();
+            }
+            let (out, state) = neisky_leg(g, budget, state);
+            let completion = out.completion;
+            (out, state, completion)
+        },
+        sink,
+    )
+}
+
+fn neisky_leg(
+    g: &Graph,
+    budget: &ExecutionBudget,
+    state: NeiSkyState,
+) -> (NeiSkyMcOutcome, NeiSkyState) {
     let mut stats = CliqueStats::default();
     if g.num_vertices() == 0 {
-        return NeiSkyMcOutcome {
+        let out = NeiSkyMcOutcome {
             clique: Vec::new(),
             stats,
             skyline_size: 0,
             completion: Completion::Complete,
         };
+        return (out, state);
     }
     let sky = filter_refine_sky_budgeted(g, &RefineConfig::default(), budget);
     if !sky.completion.is_complete() {
-        let mut best = heuristic_clique(g, 16);
+        let mut best = if state.best.is_empty() {
+            heuristic_clique(g, 16)
+        } else {
+            state.best.clone()
+        };
         best.sort_unstable();
-        return NeiSkyMcOutcome {
+        let out = NeiSkyMcOutcome {
             clique: best,
             stats,
             skyline_size: sky.skyline.len(),
             completion: sky.completion,
         };
+        return (out, state);
     }
     let skyline = sky.skyline;
     let skyline_size = skyline.len();
@@ -85,12 +167,30 @@ pub fn nei_sky_mc_budgeted(g: &Graph, budget: &ExecutionBudget) -> NeiSkyMcOutco
     let mut seeds = skyline;
     seeds.sort_by_key(|&u| deco.position[u as usize]);
 
-    let mut best = heuristic_clique(g, 16);
+    // A cursor beyond the seed list cannot come from a genuine snapshot;
+    // degrade to a fresh search rather than skipping every seed.
+    let corrupt = state.cursor > seeds.len();
+    let start = if corrupt { 0 } else { state.cursor };
+    let mut best = if corrupt || state.best.is_empty() {
+        heuristic_clique(g, 16)
+    } else {
+        state.best
+    };
     let mut ticker = budget.ticker();
     let mut allowed = vec![true; g.num_vertices()];
-    for &u in &seeds {
-        if ticker.check().is_some() {
-            break;
+    for &u in seeds.iter().take(start) {
+        allowed[u as usize] = false; // seeds before the cursor are done
+    }
+    for (idx, &u) in seeds.iter().enumerate().skip(start) {
+        if let Some(status) = ticker.check() {
+            best.sort_unstable();
+            let out = NeiSkyMcOutcome {
+                clique: best.clone(),
+                stats,
+                skyline_size,
+                completion: status,
+            };
+            return (out, NeiSkyState { best, cursor: idx });
         }
         allowed[u as usize] = false; // exclude this seed from later runs
         if (deco.core[u as usize] + 1) as usize <= best.len() {
@@ -107,14 +207,29 @@ pub fn nei_sky_mc_budgeted(g: &Graph, budget: &ExecutionBudget) -> NeiSkyMcOutco
         ) {
             best = c;
         }
+        let status = ticker.status();
+        if status != Completion::Complete {
+            // Tripped inside this seed's search: re-run the seed on
+            // resume with the (possibly improved) incumbent as floor.
+            best.sort_unstable();
+            let out = NeiSkyMcOutcome {
+                clique: best.clone(),
+                stats,
+                skyline_size,
+                completion: status,
+            };
+            return (out, NeiSkyState { best, cursor: idx });
+        }
     }
     best.sort_unstable();
-    NeiSkyMcOutcome {
-        clique: best,
+    let out = NeiSkyMcOutcome {
+        clique: best.clone(),
         stats,
         skyline_size,
         completion: ticker.status(),
-    }
+    };
+    let cursor = seeds.len();
+    (out, NeiSkyState { best, cursor })
 }
 
 #[cfg(test)]

@@ -15,13 +15,17 @@
 //!   the queue — this is what makes rounds `≥ 2` cheaper than a full
 //!   solver re-run, reproducing the paper's Fig. 9 crossover at `k = 2`.
 
-use crate::bnb::{max_clique_containing_budgeted, CliqueStats};
+use crate::bnb::{max_clique_containing_budgeted, valid_clique, CliqueStats};
 use crate::mcbrb::mc_brb_budgeted;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::ops::induced_subgraph;
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{Completion, ExecutionBudget};
 use nsky_skyline::incremental::DynamicSkyline;
+use nsky_skyline::snapshot::{
+    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
+    Writer,
+};
 use std::collections::BinaryHeap;
 
 /// Which engine drives each round.
@@ -117,17 +121,134 @@ pub fn top_k_cliques_budgeted(
     }
 }
 
+/// [`top_k_cliques_budgeted`] with crash-safe checkpoint/resume (see
+/// `nsky_skyline::snapshot` for the contract). The two modes persist
+/// different state (distinct kernel ids), so a snapshot taken in one
+/// mode resumed in the other is rejected as a kernel mismatch and the
+/// run degrades to a fresh start.
+pub fn top_k_cliques_resumable(
+    g: &Graph,
+    k: usize,
+    mode: TopkMode,
+    budget: &ExecutionBudget,
+    resume: Option<&Snapshot>,
+    sink: Option<&mut dyn Checkpointer>,
+) -> ResumableRun<TopkOutcome> {
+    match mode {
+        TopkMode::Base => drive(
+            budget,
+            g.fingerprint(),
+            resume,
+            TopkBaseState::fresh,
+            |mut state| {
+                if !valid_rounds(g, k, &state.cliques, &state.seeds) {
+                    state = TopkBaseState::fresh();
+                }
+                let (out, state) = topk_base_leg(g, k, budget, state);
+                let completion = out.completion;
+                (out, state, completion)
+            },
+            sink,
+        ),
+        TopkMode::NeiSky => drive(
+            budget,
+            g.fingerprint(),
+            resume,
+            TopkNeiSkyState::fresh,
+            |mut state| {
+                if !valid_neisky_state(g, k, &state) {
+                    state = TopkNeiSkyState::fresh();
+                }
+                let (out, state) = topk_neisky_leg(g, k, budget, state);
+                let completion = out.completion;
+                (out, state, completion)
+            },
+            sink,
+        ),
+    }
+}
+
 fn top_k_base(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
+    topk_base_leg(g, k, budget, TopkBaseState::fresh()).0
+}
+
+/// Resume state of an interrupted `BaseTopkMCC` run: the fully completed
+/// rounds (clique + retired seed per round). An in-progress round is
+/// dropped on trip — its solver run had not proven the clique maximum —
+/// so resuming re-runs that round from scratch on the residual graph
+/// (itself a pure function of the retired seeds), which is deterministic
+/// and therefore byte-identical to the uninterrupted run.
+struct TopkBaseState {
+    cliques: Vec<Vec<VertexId>>,
+    seeds: Vec<VertexId>,
+}
+
+impl TopkBaseState {
+    fn fresh() -> Self {
+        TopkBaseState {
+            cliques: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+}
+
+impl KernelState for TopkBaseState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::TopkBase;
+
+    // nsky-lint: allow(budget-check) — bounded single pass over completed rounds
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.cliques.len());
+        for c in &self.cliques {
+            w.put_u32_slice(c);
+        }
+        w.put_u32_slice(&self.seeds);
+    }
+
+    // nsky-lint: allow(budget-check) — bounded decode of a length-checked snapshot payload
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        let rounds = r.take_usize()?;
+        let mut cliques = Vec::new();
+        for _ in 0..rounds {
+            cliques.push(r.take_u32_vec()?);
+        }
+        let seeds = r.take_u32_vec()?;
+        Ok(TopkBaseState { cliques, seeds })
+    }
+}
+
+/// Structural validation of resumed top-k rounds: one distinct in-range
+/// seed per round, each clique a genuine clique containing its seed.
+fn valid_rounds(g: &Graph, k: usize, cliques: &[Vec<VertexId>], seeds: &[VertexId]) -> bool {
+    let n = g.num_vertices();
+    let mut seen = std::collections::BTreeSet::new();
+    cliques.len() == seeds.len()
+        && cliques.len() <= k
+        && seeds.iter().zip(cliques).all(|(&s, c)| {
+            (s as usize) < n && seen.insert(s) && c.contains(&s) && valid_clique(g, c)
+        })
+}
+
+fn topk_base_leg(
+    g: &Graph,
+    k: usize,
+    budget: &ExecutionBudget,
+    state: TopkBaseState,
+) -> (TopkOutcome, TopkBaseState) {
     let mut out = TopkOutcome {
-        cliques: Vec::with_capacity(k),
-        seeds: Vec::with_capacity(k),
+        cliques: state.cliques,
+        seeds: state.seeds,
         stats: CliqueStats::default(),
         completion: Completion::Complete,
     };
     let mut alive = vec![true; g.num_vertices()];
-    let mut alive_count = g.num_vertices();
+    for &s in &out.seeds {
+        alive[s as usize] = false;
+    }
+    let mut alive_count = g.num_vertices().saturating_sub(out.seeds.len());
     let mut ticker = budget.ticker();
-    for _ in 0..k {
+    while out.cliques.len() < k {
         if alive_count == 0 {
             break;
         }
@@ -154,10 +275,180 @@ fn top_k_base(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
         alive[seed as usize] = false;
         alive_count -= 1;
     }
-    out
+    let state = TopkBaseState {
+        cliques: out.cliques.clone(),
+        seeds: out.seeds.clone(),
+    };
+    (out, state)
 }
 
 fn top_k_neisky(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
+    topk_neisky_leg(g, k, budget, TopkNeiSkyState::fresh()).0
+}
+
+/// Resume state of an interrupted `NeiSkyTopkMCC` run: the completed
+/// rounds, the lazy queue's live entries (sorted for a canonical
+/// encoding — [`Entry`]'s order is total, so the rebuilt heap pops in
+/// the identical sequence), the exact-clique cache, and the in-progress
+/// round's incumbent. `alive` and the [`DynamicSkyline`] are rebuilt by
+/// replaying the retired seeds; re-entry vertices reported during the
+/// replay are discarded because their queue entries were already pushed
+/// — and therefore saved — before the snapshot was taken. A trip inside
+/// a seed's ego search re-pushes the popped entry before snapshotting,
+/// so the resumed pop re-resolves that seed from scratch with the same
+/// floor.
+struct TopkNeiSkyState {
+    /// False only for the pristine pre-seeding state; a genuine snapshot
+    /// is always taken after the initial queue seeding.
+    started: bool,
+    cliques: Vec<Vec<VertexId>>,
+    seeds: Vec<VertexId>,
+    entries: Vec<Entry>,
+    cache: Vec<(VertexId, Vec<VertexId>)>,
+    incumbent: Option<(Vec<VertexId>, VertexId)>,
+}
+
+impl TopkNeiSkyState {
+    fn fresh() -> Self {
+        TopkNeiSkyState {
+            started: false,
+            cliques: Vec::new(),
+            seeds: Vec::new(),
+            entries: Vec::new(),
+            cache: Vec::new(),
+            incumbent: None,
+        }
+    }
+
+    /// Captures the live search structures at a trip point.
+    fn packed(
+        out: &TopkOutcome,
+        heap: BinaryHeap<Entry>,
+        cache: Vec<Option<Vec<VertexId>>>,
+        incumbent: Option<(Vec<VertexId>, VertexId)>,
+    ) -> Self {
+        let mut entries = heap.into_vec();
+        entries.sort_unstable();
+        TopkNeiSkyState {
+            started: true,
+            cliques: out.cliques.clone(),
+            seeds: out.seeds.clone(),
+            entries,
+            cache: cache
+                .into_iter()
+                .enumerate()
+                .filter_map(|(v, c)| c.map(|c| (v as VertexId, c)))
+                .collect(),
+            incumbent,
+        }
+    }
+}
+
+impl KernelState for TopkNeiSkyState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::TopkNeiSky;
+
+    // nsky-lint: allow(budget-check) — bounded single pass over the saved search structures
+    fn encode(&self, w: &mut Writer) {
+        w.put_bool(self.started);
+        w.put_usize(self.cliques.len());
+        for c in &self.cliques {
+            w.put_u32_slice(c);
+        }
+        w.put_u32_slice(&self.seeds);
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_usize(e.key);
+            w.put_bool(e.exact);
+            w.put_usize(e.degree);
+            w.put_u32(e.seed);
+        }
+        w.put_usize(self.cache.len());
+        for (v, c) in &self.cache {
+            w.put_u32(*v);
+            w.put_u32_slice(c);
+        }
+        match &self.incumbent {
+            Some((c, s)) => {
+                w.put_bool(true);
+                w.put_u32(*s);
+                w.put_u32_slice(c);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    // nsky-lint: allow(budget-check) — bounded decode of a length-checked snapshot payload
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        let started = r.take_bool()?;
+        let rounds = r.take_usize()?;
+        let mut cliques = Vec::new();
+        for _ in 0..rounds {
+            cliques.push(r.take_u32_vec()?);
+        }
+        let seeds = r.take_u32_vec()?;
+        let entry_count = r.take_usize()?;
+        let mut entries = Vec::new();
+        for _ in 0..entry_count {
+            entries.push(Entry {
+                key: r.take_usize()?,
+                exact: r.take_bool()?,
+                degree: r.take_usize()?,
+                seed: r.take_u32()?,
+            });
+        }
+        let cache_count = r.take_usize()?;
+        let mut cache = Vec::new();
+        for _ in 0..cache_count {
+            let v = r.take_u32()?;
+            cache.push((v, r.take_u32_vec()?));
+        }
+        let incumbent = if r.take_bool()? {
+            let s = r.take_u32()?;
+            Some((r.take_u32_vec()?, s))
+        } else {
+            None
+        };
+        Ok(TopkNeiSkyState {
+            started,
+            cliques,
+            seeds,
+            entries,
+            cache,
+            incumbent,
+        })
+    }
+}
+
+/// Structural validation of a resumed NeiSky top-k state. Beyond the
+/// shared round checks: queue seeds in range, `exact` entries backed by
+/// a cache line (the pop path relies on that invariant), cached cliques
+/// genuine, and the incumbent a genuine clique containing its seed.
+fn valid_neisky_state(g: &Graph, k: usize, st: &TopkNeiSkyState) -> bool {
+    let n = g.num_vertices();
+    let cached: std::collections::BTreeSet<VertexId> = st.cache.iter().map(|(v, _)| *v).collect();
+    valid_rounds(g, k, &st.cliques, &st.seeds)
+        && st
+            .entries
+            .iter()
+            .all(|e| (e.seed as usize) < n && (!e.exact || cached.contains(&e.seed)))
+        && st
+            .cache
+            .iter()
+            .all(|(v, c)| (*v as usize) < n && c.contains(v) && valid_clique(g, c))
+        && st
+            .incumbent
+            .as_ref()
+            .map_or(true, |(c, s)| c.contains(s) && valid_clique(g, c))
+}
+
+fn topk_neisky_leg(
+    g: &Graph,
+    k: usize,
+    budget: &ExecutionBudget,
+    state: TopkNeiSkyState,
+) -> (TopkOutcome, TopkNeiSkyState) {
     let mut out = TopkOutcome {
         cliques: Vec::with_capacity(k),
         seeds: Vec::with_capacity(k),
@@ -165,12 +456,12 @@ fn top_k_neisky(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
         completion: Completion::Complete,
     };
     if g.num_vertices() == 0 || k == 0 {
-        return out;
+        return (out, state);
     }
     // Skyline maintenance + core numbers + lazy queue scratch.
     if let Some(status) = budget.charge(g.num_vertices() * 24) {
         out.completion = status;
-        return out;
+        return (out, state);
     }
     let mut ticker = budget.ticker();
     let mut dyn_sky = DynamicSkyline::new(g);
@@ -179,26 +470,44 @@ fn top_k_neisky(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
     let mut cache: Vec<Option<Vec<VertexId>>> = vec![None; g.num_vertices()];
     let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
     let ub = |s: VertexId| (deco.core[s as usize] as usize + 1).min(g.degree(s) + 1);
-    for s in g.vertices().filter(|&s| dyn_sky.is_skyline(s)) {
-        heap.push(Entry {
-            key: ub(s),
-            exact: false,
-            degree: g.degree(s),
-            seed: s,
-        });
+    // Incumbent: best exact clique resolved so far in the current round.
+    // A popped upper bound that cannot beat it ends the round (every
+    // other queue key is no larger).
+    let mut incumbent: Option<(Vec<VertexId>, VertexId)> = None;
+    if state.started {
+        // Replay the retired seeds; the re-entry reports are discarded
+        // because their entries are already in the saved queue.
+        out.cliques = state.cliques;
+        out.seeds = state.seeds;
+        for &s in &out.seeds {
+            alive[s as usize] = false;
+            let _ = dyn_sky.remove_vertex_report(s);
+        }
+        for (v, c) in state.cache {
+            cache[v as usize] = Some(c);
+        }
+        heap = BinaryHeap::from(state.entries);
+        incumbent = state.incumbent;
+    } else {
+        for s in g.vertices().filter(|&s| dyn_sky.is_skyline(s)) {
+            heap.push(Entry {
+                key: ub(s),
+                exact: false,
+                degree: g.degree(s),
+                seed: s,
+            });
+        }
     }
 
     'rounds: while out.cliques.len() < k {
-        // Incumbent: best exact clique resolved so far this round. A
-        // popped upper bound that cannot beat it ends the round (every
-        // other queue key is no larger).
-        let mut incumbent: Option<(Vec<VertexId>, VertexId)> = None;
         loop {
             if let Some(status) = ticker.check() {
                 // Trip mid-round: the incumbent was not yet proven
-                // maximum for the residual graph — drop the round.
+                // maximum for the residual graph — keep it in the
+                // snapshot, but report only completed rounds.
                 out.completion = status;
-                break 'rounds;
+                let state = TopkNeiSkyState::packed(&out, heap, cache, incumbent);
+                return (out, state);
             }
             let Some(top) = heap.pop() else {
                 // Queue exhausted: the incumbent (if any) is the answer.
@@ -238,6 +547,7 @@ fn top_k_neisky(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
                         &mut heap,
                         &ub,
                     );
+                    incumbent = None;
                     continue 'rounds;
                 }
                 // Cached clique lost a member: fall through to recompute.
@@ -254,8 +564,12 @@ fn top_k_neisky(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
             );
             if !ticker.status().is_complete() {
                 // The search tripped: its result is not proven maximum.
+                // Re-push the popped entry so the resumed run pops it
+                // again and re-resolves from scratch with the same floor.
                 out.completion = ticker.status();
-                break 'rounds;
+                heap.push(top);
+                let state = TopkNeiSkyState::packed(&out, heap, cache, incumbent);
+                return (out, state);
             }
             match resolved {
                 Some(found) => {
@@ -280,7 +594,8 @@ fn top_k_neisky(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
             }
         }
     }
-    out
+    let state = TopkNeiSkyState::packed(&out, heap, cache, incumbent);
+    (out, state)
 }
 
 /// Records a round's answer and retires its seed, feeding vertices that

@@ -16,6 +16,10 @@
 
 use crate::budget::{Completion, ExecutionBudget};
 use crate::result::{SkylineResult, SkylineStats};
+use crate::snapshot::{
+    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
+    Writer,
+};
 use nsky_graph::{Graph, VertexId};
 
 /// How the counting scan terminates once a vertex is resolved.
@@ -77,7 +81,84 @@ pub fn base_sky_budgeted(g: &Graph, budget: &ExecutionBudget) -> SkylineResult {
     base_sky_impl(g, ScanMode::Faithful, budget)
 }
 
+/// Resume state of an interrupted [`base_sky`] run: the dominator array
+/// as it stood before the first unfinished scan, plus that scan's vertex
+/// (the cursor). An in-progress scan's dominator writes are rolled back
+/// before snapshotting, so resuming re-runs the cursor's scan from
+/// pristine state — exactly what the uninterrupted run did.
+struct BaseSkyState {
+    dominator: Vec<VertexId>,
+    cursor: VertexId,
+}
+
+impl BaseSkyState {
+    fn fresh(n: usize) -> BaseSkyState {
+        BaseSkyState {
+            dominator: (0..n as VertexId).collect(),
+            cursor: 0,
+        }
+    }
+}
+
+impl KernelState for BaseSkyState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::BaseSky;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32_slice(&self.dominator);
+        w.put_u32(self.cursor);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Ok(BaseSkyState {
+            dominator: r.take_u32_vec()?,
+            cursor: r.take_u32()?,
+        })
+    }
+}
+
+/// [`base_sky_budgeted`] with crash-safe checkpoint/resume: `resume`
+/// feeds back a snapshot from an earlier interrupted run (an unusable
+/// one degrades to a fresh start, reported in
+/// [`ResumableRun::recovery`]), and `sink` receives a snapshot whenever
+/// the budget's checkpoint period elapses. Trip → snapshot → resume is
+/// byte-identical to the uninterrupted run (`tests/snapshot_faults.rs`).
+pub fn base_sky_resumable(
+    g: &Graph,
+    budget: &ExecutionBudget,
+    resume: Option<&Snapshot>,
+    sink: Option<&mut dyn Checkpointer>,
+) -> ResumableRun<SkylineResult> {
+    let n = g.num_vertices();
+    drive(
+        budget,
+        g.fingerprint(),
+        resume,
+        || BaseSkyState::fresh(n),
+        |mut state| {
+            if state.dominator.len() != n || state.cursor as usize > n {
+                state = BaseSkyState::fresh(n);
+            }
+            let (result, state) = base_sky_leg(g, ScanMode::Faithful, budget, state);
+            let completion = result.completion;
+            (result, state, completion)
+        },
+        sink,
+    )
+}
+
 fn base_sky_impl(g: &Graph, mode: ScanMode, budget: &ExecutionBudget) -> SkylineResult {
+    let n = g.num_vertices();
+    base_sky_leg(g, mode, budget, BaseSkyState::fresh(n)).0
+}
+
+fn base_sky_leg(
+    g: &Graph,
+    mode: ScanMode,
+    budget: &ExecutionBudget,
+    state: BaseSkyState,
+) -> (SkylineResult, BaseSkyState) {
     let n = g.num_vertices();
     let mut stats = SkylineStats {
         candidate_count: n,
@@ -85,24 +166,30 @@ fn base_sky_impl(g: &Graph, mode: ScanMode, budget: &ExecutionBudget) -> Skyline
         ..SkylineStats::default()
     };
     if let Some(status) = budget.charge(n * (4 + 4 + 4)) {
-        // Refused before the counting arrays were built: nothing verified.
-        return SkylineResult::partial(
-            Vec::new(),
-            (0..n as VertexId).collect(),
-            None,
-            stats,
-            status,
-        );
+        // Refused before the counting arrays were built: nothing beyond
+        // the resumed prefix is verified.
+        let verified = (0..state.cursor)
+            .filter(|&v| state.dominator[v as usize] == v)
+            .collect();
+        let result = SkylineResult::partial(verified, state.dominator.clone(), None, stats, status);
+        return (result, state);
     }
-    let mut dominator: Vec<VertexId> = (0..n as VertexId).collect();
+    let BaseSkyState {
+        mut dominator,
+        cursor,
+    } = state;
     // Timestamped counting array: T(w) = count[w] when stamp[w] == round.
     let mut count: Vec<u32> = vec![0; n];
     let mut stamp: Vec<u32> = vec![u32::MAX; n];
     let mut ticker = budget.ticker();
     let mut tripped: Option<Completion> = None;
     let mut first_unverified = n as VertexId;
+    // Dominator writes of the in-progress scan, for rollback at a trip
+    // (a scan may forward-mark larger twins before it finishes; undoing
+    // them lets a resumed run replay the scan from pristine state).
+    let mut undo: Vec<(usize, VertexId)> = Vec::new();
 
-    'all: for u in g.vertices() {
+    'all: for u in cursor..n as VertexId {
         if dominator[u as usize] != u {
             continue; // already resolved by a smaller-ID twin
         }
@@ -111,11 +198,15 @@ fn base_sky_impl(g: &Graph, mode: ScanMode, budget: &ExecutionBudget) -> Skyline
             continue; // isolated: skyline by convention
         }
         let round = u; // vertex id doubles as the stamp for its scan
+        undo.clear();
         'scan: for &v in g.neighbors(u) {
             for w in g.neighbors(v).iter().copied().chain(std::iter::once(v)) {
                 if let Some(status) = ticker.check() {
                     tripped = Some(status);
                     first_unverified = u; // u's scan did not finish
+                    for &(i, old) in undo.iter().rev() {
+                        dominator[i] = old;
+                    }
                     break 'all;
                 }
                 if w == u {
@@ -137,15 +228,18 @@ fn base_sky_impl(g: &Graph, mode: ScanMode, budget: &ExecutionBudget) -> Skyline
                         // Mutual twins: smaller ID dominates (Def. 2(2)).
                         if w < u {
                             if dominator[u as usize] == u {
+                                undo.push((u as usize, u));
                                 dominator[u as usize] = w;
                                 if mode == ScanMode::EarlyExit {
                                     break 'scan;
                                 }
                             }
                         } else if dominator[wi] == w {
+                            undo.push((wi, w));
                             dominator[wi] = u;
                         }
                     } else if dominator[u as usize] == u {
+                        undo.push((u as usize, u));
                         dominator[u as usize] = w;
                         match mode {
                             ScanMode::EarlyExit => break 'scan,
@@ -159,7 +253,14 @@ fn base_sky_impl(g: &Graph, mode: ScanMode, budget: &ExecutionBudget) -> Skyline
         }
     }
     match tripped {
-        None => SkylineResult::from_dominators(dominator, None, stats),
+        None => {
+            let result = SkylineResult::from_dominators(dominator.clone(), None, stats);
+            let state = BaseSkyState {
+                dominator,
+                cursor: n as VertexId,
+            };
+            (result, state)
+        }
         Some(status) => {
             // Vertices below the first unscanned one with their own
             // scan finished and no dominator found are true skyline
@@ -167,7 +268,12 @@ fn base_sky_impl(g: &Graph, mode: ScanMode, budget: &ExecutionBudget) -> Skyline
             let verified = (0..first_unverified)
                 .filter(|&v| dominator[v as usize] == v)
                 .collect();
-            SkylineResult::partial(verified, dominator, None, stats, status)
+            let result = SkylineResult::partial(verified, dominator.clone(), None, stats, status);
+            let state = BaseSkyState {
+                dominator,
+                cursor: first_unverified,
+            };
+            (result, state)
         }
     }
 }

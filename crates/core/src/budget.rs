@@ -70,6 +70,12 @@ pub enum Completion {
     MemoryCapped,
     /// The cooperative cancellation flag was raised.
     Cancelled,
+    /// A driver-armed checkpoint period elapsed (see
+    /// [`ExecutionBudget::set_checkpoint_period`]). The kernel unwound
+    /// exactly as for a real trip and its partial state is ready to be
+    /// snapshotted; the driver re-arms with
+    /// [`ExecutionBudget::rearm_after_checkpoint`] and re-enters.
+    CheckpointDue,
 }
 
 impl Completion {
@@ -86,6 +92,7 @@ impl Completion {
             Completion::DeadlineExceeded => 1,
             Completion::MemoryCapped => 2,
             Completion::Cancelled => 3,
+            Completion::CheckpointDue => 4,
         }
     }
 
@@ -94,6 +101,7 @@ impl Completion {
             1 => Completion::DeadlineExceeded,
             2 => Completion::MemoryCapped,
             3 => Completion::Cancelled,
+            4 => Completion::CheckpointDue,
             _ => Completion::Complete,
         }
     }
@@ -106,6 +114,7 @@ impl std::fmt::Display for Completion {
             Completion::DeadlineExceeded => "DeadlineExceeded",
             Completion::MemoryCapped => "MemoryCapped",
             Completion::Cancelled => "Cancelled",
+            Completion::CheckpointDue => "CheckpointDue",
         };
         f.write_str(s)
     }
@@ -226,6 +235,8 @@ pub struct ExecutionBudget {
     memory_charged: AtomicUsize,
     tripped: AtomicU8,
     check_interval: u32,
+    checkpoint_period: AtomicU64,
+    polls_until_checkpoint: AtomicU64,
 }
 
 impl std::fmt::Debug for ExecutionBudget {
@@ -288,12 +299,53 @@ impl ExecutionBudget {
         }
     }
 
-    /// Whether any limit is armed (deadline, memory cap or an
-    /// outstanding cancel token). Inactive budgets produce inert tickers.
+    /// Whether any limit is armed (deadline, memory cap, an outstanding
+    /// cancel token or a checkpoint period). Inactive budgets produce
+    /// inert tickers.
     pub fn is_active(&self) -> bool {
         self.clock.is_some()
             || self.memory_cap.is_some()
             || self.cancel_observed.load(Ordering::Relaxed)
+            || self.checkpoint_period.load(Ordering::Relaxed) != 0
+    }
+
+    /// Arms periodic checkpointing: after `polls` shared budget polls the
+    /// budget trips with [`Completion::CheckpointDue`], so every kernel
+    /// unwinds through its existing trip path with a snapshottable
+    /// partial state. `polls == 0` disarms. Drivers call
+    /// [`ExecutionBudget::rearm_after_checkpoint`] after persisting the
+    /// snapshot to resume counting.
+    pub fn set_checkpoint_period(&self, polls: u64) {
+        self.checkpoint_period.store(polls, Ordering::Relaxed);
+        self.polls_until_checkpoint.store(polls, Ordering::Relaxed);
+    }
+
+    /// The currently armed checkpoint period in polls (`0` = disarmed).
+    pub fn checkpoint_period(&self) -> u64 {
+        self.checkpoint_period.load(Ordering::Relaxed)
+    }
+
+    /// Clears a [`Completion::CheckpointDue`] trip after the driver has
+    /// persisted a snapshot, resetting the poll countdown and the memory
+    /// accountant (a resumed leg rebuilds and re-charges its scratch from
+    /// zero). Returns `false` — leaving the trip in place — when the
+    /// sticky status is anything other than `CheckpointDue`, so real
+    /// trips are never masked.
+    pub fn rearm_after_checkpoint(&self) -> bool {
+        let code = Completion::CheckpointDue.code();
+        if self
+            .tripped
+            .compare_exchange(code, 0, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.polls_until_checkpoint.store(
+            self.checkpoint_period.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.memory_charged.store(0, Ordering::Relaxed);
+        true
     }
 
     /// The sticky status: [`Completion::Complete`] until a trip, then
@@ -352,7 +404,8 @@ impl ExecutionBudget {
     }
 
     /// One poll of every armed limit, in priority order: sticky trip,
-    /// cancellation, deadline.
+    /// cancellation, deadline, then the checkpoint countdown (real trips
+    /// always outrank a due checkpoint).
     fn poll(&self) -> Option<Completion> {
         let tripped = self.status();
         if !tripped.is_complete() {
@@ -364,6 +417,16 @@ impl ExecutionBudget {
         if let Some(clock) = &self.clock {
             if clock.expired() {
                 return Some(self.trip(Completion::DeadlineExceeded));
+            }
+        }
+        if self.checkpoint_period.load(Ordering::Relaxed) != 0 {
+            let prev = self.polls_until_checkpoint.fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |v| v.checked_sub(1),
+            );
+            if matches!(prev, Ok(1) | Err(_)) {
+                return Some(self.trip(Completion::CheckpointDue));
             }
         }
         None
@@ -545,11 +608,64 @@ mod tests {
             Completion::DeadlineExceeded,
             Completion::MemoryCapped,
             Completion::Cancelled,
+            Completion::CheckpointDue,
         ] {
             assert_eq!(Completion::from_code(c.code()), c);
             assert!(!format!("{c}").is_empty());
         }
         assert!(Completion::Complete.is_complete());
         assert!(!Completion::Cancelled.is_complete());
+        assert!(!Completion::CheckpointDue.is_complete());
+    }
+
+    #[test]
+    fn checkpoint_period_trips_and_rearms() {
+        let b = ExecutionBudget::unlimited().check_interval(1);
+        assert!(!b.is_active());
+        b.set_checkpoint_period(3);
+        assert!(
+            b.is_active(),
+            "an armed checkpoint period activates polling"
+        );
+        let mut t = b.ticker();
+        assert_eq!(t.check(), None);
+        assert_eq!(t.check(), None);
+        assert_eq!(t.check(), Some(Completion::CheckpointDue));
+        assert_eq!(b.status(), Completion::CheckpointDue);
+        // Other tickers observe the shared sticky trip.
+        assert_eq!(b.ticker().check(), Some(Completion::CheckpointDue));
+        // Re-arming clears the trip and restarts the countdown.
+        assert!(b.rearm_after_checkpoint());
+        assert_eq!(b.status(), Completion::Complete);
+        let mut t2 = b.ticker();
+        assert_eq!(t2.check(), None);
+        assert_eq!(t2.check(), None);
+        assert_eq!(t2.check(), Some(Completion::CheckpointDue));
+    }
+
+    #[test]
+    fn rearm_never_masks_real_trips() {
+        let b = ExecutionBudget::unlimited()
+            .deadline(TripClock::at_poll(1))
+            .check_interval(1);
+        b.set_checkpoint_period(100);
+        let mut t = b.ticker();
+        assert_eq!(t.check(), Some(Completion::DeadlineExceeded));
+        assert!(!b.rearm_after_checkpoint(), "a real trip stays sticky");
+        assert_eq!(b.status(), Completion::DeadlineExceeded);
+    }
+
+    #[test]
+    fn rearm_resets_memory_accounting() {
+        let b = ExecutionBudget::unlimited()
+            .memory_cap(1000)
+            .check_interval(1);
+        b.set_checkpoint_period(1);
+        assert_eq!(b.charge(900), None);
+        let mut t = b.ticker();
+        assert_eq!(t.check(), Some(Completion::CheckpointDue));
+        assert!(b.rearm_after_checkpoint());
+        assert_eq!(b.charged_bytes(), 0, "a resumed leg re-charges from zero");
+        assert_eq!(b.charge(900), None, "the rebuilt scratch fits again");
     }
 }

@@ -59,13 +59,18 @@ pub mod oracle;
 mod parallel;
 mod refine;
 mod result;
+pub mod snapshot;
 mod two_hop;
 
-pub use base::{base_sky, base_sky_budgeted, base_sky_early_exit};
+pub use base::{base_sky, base_sky_budgeted, base_sky_early_exit, base_sky_resumable};
 pub use budget::{Completion, ExecutionBudget};
 pub use cset::cset_sky;
 pub use filter_phase::{filter_phase, FilterOutcome};
-pub use parallel::{filter_refine_sky_par, filter_refine_sky_par_budgeted};
-pub use refine::{filter_refine_sky, filter_refine_sky_budgeted, RefineConfig};
+pub use parallel::{
+    filter_refine_sky_par, filter_refine_sky_par_budgeted, filter_refine_sky_par_resumable,
+};
+pub use refine::{
+    filter_refine_sky, filter_refine_sky_budgeted, filter_refine_sky_resumable, RefineConfig,
+};
 pub use result::{SkylineResult, SkylineStats};
 pub use two_hop::two_hop_sky;

@@ -6,6 +6,10 @@ use crate::budget::{BudgetTicker, ExecutionBudget};
 use crate::filter_phase::filter_phase;
 use crate::refine::RefineConfig;
 use crate::result::{SkylineResult, SkylineStats};
+use crate::snapshot::{
+    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
+    Writer,
+};
 use nsky_bloom::{BloomConfig, NeighborhoodFilters};
 use nsky_graph::{Graph, VertexId};
 
@@ -18,6 +22,26 @@ enum Verdict {
     Skyline,
     /// Scan finished; dominated by the carried witness.
     DominatedBy(VertexId),
+}
+
+impl Verdict {
+    /// The wire tag used by [`ParState`].
+    fn tag(self) -> u32 {
+        match self {
+            Verdict::Unverified => PAR_UNVERIFIED,
+            Verdict::Skyline => PAR_SKYLINE,
+            Verdict::DominatedBy(w) => w,
+        }
+    }
+
+    /// Inverse of [`Verdict::tag`].
+    fn from_tag(tag: u32) -> Verdict {
+        match tag {
+            PAR_UNVERIFIED => Verdict::Unverified,
+            PAR_SKYLINE => Verdict::Skyline,
+            w => Verdict::DominatedBy(w),
+        }
+    }
 }
 
 /// Computes the neighborhood skyline with the refine phase split across
@@ -68,6 +92,85 @@ pub fn filter_refine_sky_par_budgeted(
     budget: &ExecutionBudget,
 ) -> SkylineResult {
     assert!(threads > 0, "need at least one worker thread");
+    parallel_leg(g, cfg, threads, budget, ParState::fresh()).0
+}
+
+/// Resume state of an interrupted [`filter_refine_sky_par`] run: one
+/// verdict per filter-phase candidate. Each verdict is a pure function
+/// of the graph, config and candidate ([`refine_one`] reads no shared
+/// refine-time state), so a resumed run recomputes only the
+/// still-unverified entries and the merged verdict array — hence the
+/// final dominator and skyline — is byte-identical regardless of which
+/// workers verified what before the trip.
+struct ParState {
+    /// `u32::MAX` = unverified, `u32::MAX - 1` = skyline, anything else
+    /// = dominated by that witness (vertex ids stay far below the tags).
+    verdicts: Vec<u32>,
+}
+
+const PAR_UNVERIFIED: u32 = u32::MAX;
+const PAR_SKYLINE: u32 = u32::MAX - 1;
+
+impl ParState {
+    fn fresh() -> ParState {
+        ParState {
+            verdicts: Vec::new(),
+        }
+    }
+}
+
+impl KernelState for ParState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::ParallelRefine;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32_slice(&self.verdicts);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Ok(ParState {
+            verdicts: r.take_u32_vec()?,
+        })
+    }
+}
+
+/// [`filter_refine_sky_par_budgeted`] with crash-safe checkpoint/resume
+/// (see [`crate::snapshot`] for the contract).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn filter_refine_sky_par_resumable(
+    g: &Graph,
+    cfg: &RefineConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+    resume: Option<&Snapshot>,
+    sink: Option<&mut dyn Checkpointer>,
+) -> ResumableRun<SkylineResult> {
+    assert!(threads > 0, "need at least one worker thread");
+    drive(
+        budget,
+        g.fingerprint(),
+        resume,
+        ParState::fresh,
+        |state| {
+            let (result, state) = parallel_leg(g, cfg, threads, budget, state);
+            let completion = result.completion;
+            (result, state, completion)
+        },
+        sink,
+    )
+}
+
+fn parallel_leg(
+    g: &Graph,
+    cfg: &RefineConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+    state: ParState,
+) -> (SkylineResult, ParState) {
     let n = g.num_vertices();
     let filter = filter_phase(g);
     let mut stats: SkylineStats = filter.seed_stats();
@@ -75,13 +178,14 @@ pub fn filter_refine_sky_par_budgeted(
     let bloom_cfg = BloomConfig::for_max_degree(g.max_degree(), cfg.bloom_bits_per_element);
     let estimate = filter.candidates.len() * (bloom_cfg.bits / 8 + 4) + n * 4 + threads * n * 4;
     if let Some(status) = budget.charge(estimate) {
-        return SkylineResult::partial(
+        let result = SkylineResult::partial(
             Vec::new(),
             filter.dominator,
             Some(filter.candidates),
             stats,
             status,
         );
+        return (result, state);
     }
     let filters = NeighborhoodFilters::build(g, filter.candidates.iter().copied(), bloom_cfg);
     stats.peak_bytes = filters.size_bytes() + n * 4 + threads * n * 4;
@@ -89,7 +193,15 @@ pub fn filter_refine_sky_par_budgeted(
     let candidates = &filter.candidates;
     let is_candidate = &filter.dominator; // frozen: dominator[w] == w ⟺ w ∈ C
     let chunk = candidates.len().div_ceil(threads).max(1);
-    let mut verdicts: Vec<Verdict> = vec![Verdict::Unverified; candidates.len()];
+    let mut verdicts: Vec<Verdict> = if state.verdicts.len() == candidates.len() {
+        state
+            .verdicts
+            .iter()
+            .map(|&t| Verdict::from_tag(t))
+            .collect()
+    } else {
+        vec![Verdict::Unverified; candidates.len()]
+    };
 
     std::thread::scope(|scope| {
         let filters = &filters;
@@ -98,6 +210,9 @@ pub fn filter_refine_sky_par_budgeted(
                 let mut seen: Vec<u32> = vec![u32::MAX; n];
                 let mut ticker = budget.ticker();
                 for (i, &u) in slice.iter().enumerate() {
+                    if out[i] != Verdict::Unverified {
+                        continue; // verified before the last trip
+                    }
                     if ticker.check().is_some() {
                         break; // leave the rest of the chunk Unverified
                     }
@@ -117,8 +232,12 @@ pub fn filter_refine_sky_par_budgeted(
             dominator[u as usize] = w;
         }
     }
+    let state = ParState {
+        verdicts: verdicts.iter().map(|v| v.tag()).collect(),
+    };
     if completion.is_complete() {
-        return SkylineResult::from_dominators(dominator, Some(filter.candidates), stats);
+        let result = SkylineResult::from_dominators(dominator, Some(filter.candidates), stats);
+        return (result, state);
     }
     let verified = candidates
         .iter()
@@ -126,13 +245,14 @@ pub fn filter_refine_sky_par_budgeted(
         .filter(|&(_, v)| *v == Verdict::Skyline)
         .map(|(&u, _)| u)
         .collect();
-    SkylineResult::partial(
+    let result = SkylineResult::partial(
         verified,
         dominator,
         Some(filter.candidates),
         stats,
         completion,
-    )
+    );
+    (result, state)
 }
 
 /// Pure per-candidate check: [`Verdict::DominatedBy`] the first 2-hop

@@ -4,6 +4,10 @@
 use crate::budget::{Completion, ExecutionBudget};
 use crate::filter_phase::filter_phase;
 use crate::result::{SkylineResult, SkylineStats};
+use crate::snapshot::{
+    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
+    Writer,
+};
 use nsky_bloom::{BloomConfig, NeighborhoodFilters};
 use nsky_graph::{Graph, VertexId};
 
@@ -123,21 +127,109 @@ pub fn filter_refine_sky_budgeted(
     cfg: &RefineConfig,
     budget: &ExecutionBudget,
 ) -> SkylineResult {
+    filter_refine_leg(g, cfg, budget, RefineState::fresh()).0
+}
+
+/// Resume state of an interrupted [`filter_refine_sky`] run: the refine
+/// dominator array plus the index of the first candidate whose scan has
+/// not finished. The filter phase, bloom filters and candidate index are
+/// deterministic functions of the graph and config and are rebuilt on
+/// resume; a candidate's scan writes only its own dominator entry and
+/// stops at resolution, so a mid-scan trip leaves the entry pristine.
+struct RefineState {
+    dominator: Vec<VertexId>,
+    cursor: usize,
+}
+
+impl RefineState {
+    fn fresh() -> RefineState {
+        RefineState {
+            dominator: Vec::new(),
+            cursor: 0,
+        }
+    }
+}
+
+impl KernelState for RefineState {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::FilterRefine;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32_slice(&self.dominator);
+        w.put_usize(self.cursor);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Ok(RefineState {
+            dominator: r.take_u32_vec()?,
+            cursor: r.take_usize()?,
+        })
+    }
+}
+
+/// [`filter_refine_sky_budgeted`] with crash-safe checkpoint/resume (see
+/// [`crate::snapshot`] for the contract): `resume` feeds back a snapshot
+/// from an earlier interrupted run, `sink` receives periodic
+/// checkpoints, and the final snapshot of a tripped run rides along in
+/// the returned [`ResumableRun`].
+pub fn filter_refine_sky_resumable(
+    g: &Graph,
+    cfg: &RefineConfig,
+    budget: &ExecutionBudget,
+    resume: Option<&Snapshot>,
+    sink: Option<&mut dyn Checkpointer>,
+) -> ResumableRun<SkylineResult> {
+    drive(
+        budget,
+        g.fingerprint(),
+        resume,
+        RefineState::fresh,
+        |state| {
+            let (result, state) = filter_refine_leg(g, cfg, budget, state);
+            let completion = result.completion;
+            (result, state, completion)
+        },
+        sink,
+    )
+}
+
+fn filter_refine_leg(
+    g: &Graph,
+    cfg: &RefineConfig,
+    budget: &ExecutionBudget,
+    state: RefineState,
+) -> (SkylineResult, RefineState) {
     let n = g.num_vertices();
     let filter = filter_phase(g);
     let mut stats: SkylineStats = filter.seed_stats();
-    let mut dominator = filter.dominator.clone();
+    // A fresh (or structurally invalid) state starts from the filter
+    // phase's dominator array; a resumed one continues where it stopped.
+    let (mut dominator, start) =
+        if state.dominator.len() == n && state.cursor <= filter.candidates.len() {
+            (state.dominator, state.cursor)
+        } else {
+            (filter.dominator.clone(), 0)
+        };
 
     let bloom_cfg = BloomConfig::for_max_degree(g.max_degree(), cfg.bloom_bits_per_element);
     let filter_estimate =
         filter.candidates.len() * (bloom_cfg.bits / 8 + 4) + n * 4 /* dominator */ + n * 4 /* stamps */;
     if let Some(status) = budget.charge(filter_estimate) {
-        return SkylineResult::partial(
-            Vec::new(),
-            dominator,
+        let verified = verified_prefix(&filter.candidates, start, &dominator);
+        let result = SkylineResult::partial(
+            verified,
+            dominator.clone(),
             Some(filter.candidates),
             stats,
             status,
+        );
+        return (
+            result,
+            RefineState {
+                dominator,
+                cursor: start,
+            },
         );
     }
     let filters = NeighborhoodFilters::build(g, filter.candidates.iter().copied(), bloom_cfg);
@@ -155,12 +247,20 @@ pub fn filter_refine_sky_budgeted(
                     .count();
         }
         if let Some(status) = budget.charge((n + 1) * 8 + offsets[n] * 4) {
-            return SkylineResult::partial(
-                Vec::new(),
-                dominator,
+            let verified = verified_prefix(&filter.candidates, start, &dominator);
+            let result = SkylineResult::partial(
+                verified,
+                dominator.clone(),
                 Some(filter.candidates),
                 stats,
                 status,
+            );
+            return (
+                result,
+                RefineState {
+                    dominator,
+                    cursor: start,
+                },
             );
         }
         let mut adj = vec![0 as VertexId; offsets[n]];
@@ -189,7 +289,7 @@ pub fn filter_refine_sky_budgeted(
     let mut seen: Vec<u32> = vec![u32::MAX; n];
     let mut tripped: Option<Completion> = None;
     let mut verified_upto = filter.candidates.len();
-    'all: for (idx, &u) in filter.candidates.iter().enumerate() {
+    'all: for (idx, &u) in filter.candidates.iter().enumerate().skip(start) {
         if dominator[u as usize] != u {
             continue;
         }
@@ -283,19 +383,43 @@ pub fn filter_refine_sky_budgeted(
     }
 
     match tripped {
-        None => SkylineResult::from_dominators(dominator, Some(filter.candidates), stats),
+        None => {
+            let cursor = filter.candidates.len();
+            let result =
+                SkylineResult::from_dominators(dominator.clone(), Some(filter.candidates), stats);
+            (result, RefineState { dominator, cursor })
+        }
         Some(status) => {
             // Candidates are refined in ascending order and never marked
             // dominated by a later scan, so the fixed points among the
             // finished prefix are exactly the verified skyline members.
-            let verified = filter.candidates[..verified_upto]
-                .iter()
-                .copied()
-                .filter(|&v| dominator[v as usize] == v)
-                .collect();
-            SkylineResult::partial(verified, dominator, Some(filter.candidates), stats, status)
+            let verified = verified_prefix(&filter.candidates, verified_upto, &dominator);
+            let result = SkylineResult::partial(
+                verified,
+                dominator.clone(),
+                Some(filter.candidates),
+                stats,
+                status,
+            );
+            (
+                result,
+                RefineState {
+                    dominator,
+                    cursor: verified_upto,
+                },
+            )
         }
     }
+}
+
+/// The fixed points among the first `upto` candidates: exactly the
+/// verified skyline members of a partial refine run.
+fn verified_prefix(candidates: &[VertexId], upto: usize, dominator: &[VertexId]) -> Vec<VertexId> {
+    candidates[..upto]
+        .iter()
+        .copied()
+        .filter(|&v| dominator[v as usize] == v)
+        .collect()
 }
 
 #[cfg(test)]

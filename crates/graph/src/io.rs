@@ -83,15 +83,42 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
 /// `max id + 1`, so `max_vertex_id` bounds the allocation: any line with
 /// a larger (but parseable) id yields
 /// [`ParseError::VertexIdTooLarge`] instead of an out-of-memory abort.
+///
+/// Lines are read as raw bytes into one reused buffer (no per-line
+/// allocation), Windows `\r\n` endings are stripped explicitly, and a
+/// line that is not valid UTF-8 is reported as [`ParseError::Malformed`]
+/// with its 1-based line number instead of a bare, position-free
+/// `InvalidData` I/O error.
 pub fn read_edge_list_capped<R: BufRead>(
-    reader: R,
+    mut reader: R,
     max_vertex_id: VertexId,
 ) -> Result<Graph, ParseError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_id: u32 = 0;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let t = line.trim();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut line_no: usize = 0;
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break; // EOF; a final line without a newline was read above
+        }
+        line_no += 1;
+        let mut bytes = &buf[..];
+        if let [rest @ .., b'\n'] = bytes {
+            bytes = rest;
+        }
+        if let [rest @ .., b'\r'] = bytes {
+            bytes = rest; // Windows CRLF line ending
+        }
+        let t = match std::str::from_utf8(bytes) {
+            Ok(s) => s.trim(),
+            Err(_) => {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    text: String::from_utf8_lossy(bytes).into_owned(),
+                })
+            }
+        };
         if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
             continue;
         }
@@ -102,7 +129,7 @@ pub fn read_edge_list_capped<R: BufRead>(
                 let big = u.max(v);
                 if big > max_vertex_id {
                     return Err(ParseError::VertexIdTooLarge {
-                        line: idx + 1,
+                        line: line_no,
                         id: big,
                         cap: max_vertex_id,
                     });
@@ -112,7 +139,7 @@ pub fn read_edge_list_capped<R: BufRead>(
             }
             _ => {
                 return Err(ParseError::Malformed {
-                    line: idx + 1,
+                    line: line_no,
                     text: t.to_string(),
                 })
             }
@@ -184,6 +211,48 @@ mod tests {
     fn malformed_line_reports_position() {
         let text = "0 1\nnot an edge\n";
         match read_edge_list(text.as_bytes()) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_identically() {
+        let unix = "# header\n0 1\n1 2\n\n2 3\n";
+        let dos = "# header\r\n0 1\r\n1 2\r\n\r\n2 3\r\n";
+        assert_eq!(
+            read_edge_list(unix.as_bytes()).unwrap(),
+            read_edge_list(dos.as_bytes()).unwrap()
+        );
+    }
+
+    #[test]
+    fn crlf_malformed_line_reports_clean_text_and_position() {
+        let text = "0 1\r\n0 x\r\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseError::Malformed { line, text }) => {
+                assert_eq!(line, 2);
+                assert_eq!(text, "0 x", "no stray \\r in the reported text");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_final_newline_still_parses_last_edge() {
+        let g = read_edge_list("0 1\n1 2".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        // ... and errors on that last line are still numbered.
+        match read_edge_list("0 1\nbroken".as_bytes()) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_reports_line_number_not_bare_io_error() {
+        let bytes: &[u8] = b"0 1\n\xff\xfe 2\n";
+        match read_edge_list(bytes) {
             Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected malformed error, got {other:?}"),
         }

@@ -1,0 +1,39 @@
+//! Fixture: snapshot states whose decoders skip the version gate.
+
+struct NoVersionConst {
+    cursor: usize,
+}
+
+impl KernelState for NoVersionConst {
+    const KERNEL: KernelId = KernelId::SkyBase;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.cursor);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(1)?;
+        Ok(NoVersionConst {
+            cursor: r.take_usize()?,
+        })
+    }
+}
+
+struct UncheckedDecode {
+    cursor: usize,
+}
+
+impl KernelState for UncheckedDecode {
+    const FORMAT_VERSION: u32 = 1;
+    const KERNEL: KernelId = KernelId::SkyRefine;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.cursor);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        Ok(UncheckedDecode {
+            cursor: r.take_usize()?,
+        })
+    }
+}

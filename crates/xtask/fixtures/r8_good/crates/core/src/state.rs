@@ -1,0 +1,46 @@
+//! Fixture: every snapshot state carries a version const and gates its
+//! decoder on it, argues an exemption, or lives in test code.
+
+struct Versioned {
+    cursor: usize,
+}
+
+impl KernelState for Versioned {
+    const FORMAT_VERSION: u32 = 2;
+    const KERNEL: KernelId = KernelId::SkyBase;
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.cursor);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Ok(Versioned {
+            cursor: r.take_usize()?,
+        })
+    }
+}
+
+struct Stateless;
+
+// nsky-lint: allow(snapshot-versioned) — zero-byte payload: nothing to version
+impl KernelState for Stateless {
+    const KERNEL: KernelId = KernelId::SkyRefine;
+
+    fn encode(&self, _w: &mut Writer) {}
+
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        Ok(Stateless)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    struct TestOnly;
+
+    impl KernelState for TestOnly {
+        fn decode(_r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+            Ok(TestOnly)
+        }
+    }
+}

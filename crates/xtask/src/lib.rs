@@ -16,6 +16,7 @@
 //! | R5 | `no-stdout`         | no `println!` / `eprintln!` / `process::exit` in library crates (bench/cli/examples are exempt) |
 //! | R6 | `design-drift`      | ablation/config flags named in DESIGN.md §6 exist in source |
 //! | R7 | `budget-check`      | loop-bearing functions in kernel modules poll the execution budget (`.check(`) |
+//! | R8 | `snapshot-versioned` | every `impl KernelState for` block declares a `FORMAT_VERSION` const and calls `expect_version(` in `decode` |
 //!
 //! A violation can be suppressed at the site with an inline comment
 //! carrying a justification:
@@ -75,6 +76,11 @@ pub enum Rule {
     /// budget via `.check(` (or carry a justified suppression), so every
     /// kernel stays cancellable within one check interval.
     BudgetCheck,
+    /// R8: every `impl KernelState for` block carries a `FORMAT_VERSION`
+    /// const and checks it on decode via `expect_version(` (or carries a
+    /// justified suppression), so no snapshot state can be deserialized
+    /// without a version gate.
+    SnapshotVersioned,
 }
 
 impl Rule {
@@ -88,6 +94,7 @@ impl Rule {
             Rule::NoStdout => "no-stdout",
             Rule::DesignDrift => "design-drift",
             Rule::BudgetCheck => "budget-check",
+            Rule::SnapshotVersioned => "snapshot-versioned",
         }
     }
 
@@ -106,6 +113,7 @@ impl Rule {
             Rule::NoStdout,
             Rule::DesignDrift,
             Rule::BudgetCheck,
+            Rule::SnapshotVersioned,
         ]
     }
 }
@@ -156,6 +164,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     violations.extend(rules::check_sources(root)?);
     violations.extend(rules::check_design_drift(root)?);
     violations.extend(rules::check_budget_checks(root)?);
+    violations.extend(rules::check_snapshot_versioned(root)?);
     violations.sort_by(|a, b| {
         a.file
             .cmp(&b.file)

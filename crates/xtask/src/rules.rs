@@ -1,4 +1,4 @@
-//! The policy rules R1–R6 (see crate docs and DESIGN.md §8).
+//! The policy rules R1–R8 (see crate docs and DESIGN.md §8).
 
 use std::path::Path;
 
@@ -402,6 +402,94 @@ pub(crate) fn check_budget_checks(root: &Path) -> std::io::Result<Vec<Violation>
     Ok(out)
 }
 
+/// R8 `snapshot-versioned`: every `impl KernelState for` block in a
+/// library crate must declare a `FORMAT_VERSION` const and call
+/// `expect_version(` (in its `decode`), or carry a justified suppression
+/// on the `impl` line or the line above. Recovery never trusts the disk:
+/// a state type whose decoder skips the version gate could reinterpret
+/// bytes written by an older layout as live kernel state.
+pub(crate) fn check_snapshot_versioned(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for (crate_name, src_dir) in library_src_dirs(root) {
+        for path in rust_files(&src_dir)? {
+            let text = std::fs::read_to_string(&path)?;
+            if !text.contains("impl KernelState for") {
+                continue;
+            }
+            let file = SourceFile::scan(&text);
+            for span in impl_kernel_state_spans(&file) {
+                if span.in_test || file.is_suppressed(Rule::SnapshotVersioned, span.start + 1) {
+                    continue;
+                }
+                let lines = &file.lines[span.start..=span.end];
+                for (token, why) in [
+                    ("FORMAT_VERSION", "declares no `FORMAT_VERSION` const"),
+                    ("expect_version(", "never calls `expect_version(` on decode"),
+                ] {
+                    if !lines.iter().any(|l| l.code.contains(token)) {
+                        out.push(Violation {
+                            file: rel(root, &path),
+                            line: span.start + 1,
+                            rule: Rule::SnapshotVersioned,
+                            message: format!(
+                                "snapshot state `{}` in `{crate_name}` {why} (unversioned decode defeats corruption-tolerant recovery; gate it or justify a suppression)",
+                                span.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The lexical extent of one `impl KernelState for <Type>` block
+/// (0-based, inclusive), found by brace depth like [`function_spans`].
+fn impl_kernel_state_spans(file: &SourceFile) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut depth: i32 = 0;
+    let mut open: Option<(String, usize, i32, bool)> = None;
+    for (idx, line) in file.lines.iter().enumerate() {
+        if open.is_none() {
+            if let Some(pos) = line.code.find("impl KernelState for") {
+                let name: String = line.code[pos + "impl KernelState for".len()..]
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                open = Some((name, idx, depth, false));
+            }
+        }
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if let Some((_, _, _, entered)) = &mut open {
+                        *entered = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some((name, start, base, entered)) = &open {
+                        if *entered && depth <= *base {
+                            spans.push(FnSpan {
+                                name: name.clone(),
+                                start: *start,
+                                end: idx,
+                                in_test: file.lines[*start].in_test,
+                            });
+                            open = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    spans
+}
+
 /// The lexical extent of one function: declaration line through the line
 /// closing its body (0-based, inclusive). Nested items are folded into
 /// the enclosing function — lexical containment is exactly what R7 asks.
@@ -589,6 +677,28 @@ trait T {
         assert_eq!(names, vec!["looping", "one_liner"]);
         assert_eq!((spans[0].start, spans[0].end), (0, 6));
         assert_eq!((spans[1].start, spans[1].end), (8, 8));
+    }
+
+    #[test]
+    fn kernel_state_impl_span_extents() {
+        let src = "\
+struct S;
+
+impl KernelState for S {
+    const FORMAT_VERSION: u32 = 1;
+    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
+        r.expect_version(Self::FORMAT_VERSION)?;
+        Ok(S)
+    }
+}
+
+impl Other for S {}
+";
+        let file = SourceFile::scan(src);
+        let spans = impl_kernel_state_spans(&file);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "S");
+        assert_eq!((spans[0].start, spans[0].end), (2, 8));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Fixture-based self-tests for the policy lint engine: one
 //! true-positive and one true-negative miniature workspace per rule
-//! R1–R7, a CLI exit-code check, and the capstone assertion that the
+//! R1–R8, a CLI exit-code check, and the capstone assertion that the
 //! real workspace is lint-clean.
 
 use std::path::{Path, PathBuf};
@@ -133,6 +133,23 @@ fn r7_ticked_suppressed_and_test_loops_clean() {
     assert_clean("r7_good");
 }
 
+#[test]
+fn r8_unversioned_snapshot_states_flagged() {
+    let violations = assert_only_rule("r8_bad", Rule::SnapshotVersioned);
+    // One state with no FORMAT_VERSION const, one that never gates decode.
+    assert_eq!(violations.len(), 2);
+    assert!(violations[0].message.contains("NoVersionConst"));
+    assert!(violations[0].message.contains("FORMAT_VERSION"));
+    assert!(violations[1].message.contains("UncheckedDecode"));
+    assert!(violations[1].message.contains("expect_version"));
+    assert!(violations[0].file.ends_with("crates/core/src/state.rs"));
+}
+
+#[test]
+fn r8_versioned_suppressed_and_test_states_clean() {
+    assert_clean("r8_good");
+}
+
 /// The capstone: the real workspace passes its own policy.
 #[test]
 fn real_workspace_is_lint_clean() {
@@ -158,7 +175,7 @@ fn real_workspace_is_lint_clean() {
 fn cli_exit_codes_match_findings() {
     let bin = env!("CARGO_BIN_EXE_nsky-xtask");
     for bad in [
-        "r1_bad", "r2_bad", "r3_bad", "r4_bad", "r5_bad", "r6_bad", "r7_bad",
+        "r1_bad", "r2_bad", "r3_bad", "r4_bad", "r5_bad", "r6_bad", "r7_bad", "r8_bad",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
@@ -173,7 +190,7 @@ fn cli_exit_codes_match_findings() {
         );
     }
     for good in [
-        "r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good", "r7_good",
+        "r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good", "r7_good", "r8_good",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])

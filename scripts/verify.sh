@@ -20,6 +20,11 @@ step cargo clippy --workspace --all-targets -- -D warnings
 step cargo run -q -p nsky-xtask -- lint
 step cargo build --release
 step cargo test -q
+# Crash-safety gate, run by name so a test-harness filter can never
+# silently drop it: every kernel killed at every poll point must resume
+# to the uninterrupted answer, and every corrupt checkpoint must be
+# rejected with a typed error.
+step cargo test -q -p nsky-integration --test snapshot_faults
 
 echo
 echo "verify: all gates passed"

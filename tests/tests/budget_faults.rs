@@ -5,6 +5,7 @@
 //! With an unlimited budget every budgeted entry point must be
 //! byte-identical to its open-loop twin.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -17,7 +18,7 @@ use nsky_clique::{
 };
 use nsky_graph::generators::chung_lu_power_law;
 use nsky_graph::Graph;
-use nsky_skyline::budget::{Completion, ExecutionBudget, TripClock};
+use nsky_skyline::budget::{CancelToken, Completion, DeadlineClock, ExecutionBudget, TripClock};
 use nsky_skyline::{
     base_sky, base_sky_budgeted, filter_refine_sky, filter_refine_sky_budgeted,
     filter_refine_sky_par, filter_refine_sky_par_budgeted, RefineConfig,
@@ -370,6 +371,76 @@ fn cancellation_mid_run_is_observed_cooperatively() {
             r.completion
         );
     });
+}
+
+/// A deadline clock that never expires but raises the budget's
+/// [`CancelToken`] on its `at`-th consultation — from whichever worker
+/// thread happens to make that poll — so the *other* workers must
+/// observe the flag cross-thread through the shared budget.
+struct CancelAtPoll {
+    token: CancelToken,
+    remaining: AtomicU64,
+    polls: AtomicU64,
+}
+
+impl CancelAtPoll {
+    fn at_poll(token: CancelToken, k: u64) -> Self {
+        CancelAtPoll {
+            token,
+            remaining: AtomicU64::new(k.saturating_sub(1)),
+            polls: AtomicU64::new(0),
+        }
+    }
+
+    fn polls(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+}
+
+impl DeadlineClock for CancelAtPoll {
+    fn expired(&self) -> bool {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        if self
+            .remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_err()
+        {
+            self.token.cancel();
+        }
+        false
+    }
+}
+
+#[test]
+fn cancel_token_crosses_threads_mid_parallel_run() {
+    // Deterministic cross-thread cancellation: one worker's poll raises
+    // the token mid-run; every other worker observes it through the
+    // shared budget and stops within one check interval.
+    let g = graph(12);
+    let cfg = RefineConfig::default();
+    let full = filter_refine_sky(&g, &cfg);
+    let threads = 4;
+    let total = calibrate(|b| {
+        filter_refine_sky_par_budgeted(&g, &cfg, threads, b);
+    });
+    for k in trip_points(total) {
+        let budget = ExecutionBudget::unlimited().check_interval(1);
+        let clock = Arc::new(CancelAtPoll::at_poll(budget.cancel_token(), k));
+        let budget = budget.deadline(Arc::clone(&clock));
+        let partial = filter_refine_sky_par_budgeted(&g, &cfg, threads, &budget);
+        assert_eq!(partial.completion, Completion::Cancelled, "k={k}");
+        // Cancellation is checked *before* the deadline clock, so once a
+        // worker sees the flag its polls stop counting: each of the
+        // other workers lands at most one further consultation.
+        assert!(
+            clock.polls() >= k && clock.polls() < k + threads as u64,
+            "k={k}: {} polls — a worker outlived its check interval",
+            clock.polls()
+        );
+        for v in &partial.skyline {
+            assert!(full.skyline.binary_search(v).is_ok(), "unsound partial");
+        }
+    }
 }
 
 #[test]
