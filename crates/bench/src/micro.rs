@@ -9,11 +9,20 @@
 //!
 //! Sample count defaults to 10 and can be overridden with
 //! `NSKY_BENCH_SAMPLES`; `NSKY_QUICK=1` drops it to 3 for smoke runs.
+//!
+//! With [`Group::json_dir`] (or the `NSKY_BENCH_JSON=<dir>` environment
+//! variable) each group also writes `BENCH_<group>.json` in the
+//! [`RunReport`] schema shared with the CLI's `--metrics` flag: one
+//! `{id}_min_nanos` / `{id}_median_nanos` / `{id}_samples` counter
+//! triple per benchmark, plus one phase span covering each benchmark's
+//! measurement window.
 
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use crate::harness::{fmt_secs, quick_mode};
+use nsky_skyline::obs::{PhaseSpan, RunReport};
 use nsky_skyline::Completion;
 
 /// A named group of benchmarks, mirroring the Criterion group shape so
@@ -22,11 +31,38 @@ use nsky_skyline::Completion;
 pub struct Group {
     name: String,
     samples: usize,
+    /// Directory the machine-readable report lands in, when requested.
+    json_dir: Option<PathBuf>,
+    /// Clock origin for the report's phase spans.
+    origin: Instant,
+    /// One row per finished benchmark id.
+    rows: Vec<BenchRow>,
+}
+
+/// Timing summary of one benchmark id, kept for the JSON report.
+#[derive(Debug)]
+struct BenchRow {
+    id: String,
+    min_nanos: u64,
+    median_nanos: u64,
+    samples: u64,
+    start_nanos: u64,
+    end_nanos: u64,
 }
 
 /// Samples requested via `NSKY_BENCH_SAMPLES`, if any.
 fn env_samples() -> Option<usize> {
     std::env::var("NSKY_BENCH_SAMPLES").ok()?.parse().ok()
+}
+
+/// Report directory requested via `NSKY_BENCH_JSON`, if any.
+fn env_json_dir() -> Option<PathBuf> {
+    std::env::var_os("NSKY_BENCH_JSON").map(PathBuf::from)
+}
+
+/// Nanoseconds as a saturating `u64` (585 years of headroom).
+fn nanos_u64(secs: f64) -> u64 {
+    (secs * 1e9).min(u64::MAX as f64) as u64
 }
 
 impl Group {
@@ -37,7 +73,35 @@ impl Group {
         Group {
             name: name.to_string(),
             samples: samples.max(1),
+            json_dir: env_json_dir(),
+            origin: Instant::now(),
+            rows: Vec::new(),
         }
+    }
+
+    /// Requests a `BENCH_<group>.json` run report in `dir` when the
+    /// group finishes. `NSKY_BENCH_JSON` takes precedence so CI can
+    /// redirect every group to one collection directory.
+    pub fn json_dir(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        if env_json_dir().is_none() {
+            self.json_dir = Some(dir.into());
+        }
+        self
+    }
+
+    /// Records one finished benchmark for the JSON report.
+    fn push_row(&mut self, id: &str, times: &[f64], start_nanos: u64) {
+        if self.json_dir.is_none() {
+            return;
+        }
+        self.rows.push(BenchRow {
+            id: id.to_string(),
+            min_nanos: nanos_u64(times[0]),
+            median_nanos: nanos_u64(times[times.len() / 2]),
+            samples: times.len() as u64,
+            start_nanos,
+            end_nanos: self.origin.elapsed().as_nanos() as u64,
+        });
     }
 
     /// Overrides the sample count for this group (environment variables
@@ -52,6 +116,7 @@ impl Group {
     /// Runs one benchmark: one warm-up call, then `samples` timed calls.
     pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) -> &mut Self {
         black_box(f());
+        let span_start = self.origin.elapsed().as_nanos() as u64;
         let mut times: Vec<f64> = (0..self.samples)
             .map(|_| {
                 let start = Instant::now();
@@ -63,6 +128,7 @@ impl Group {
         let min = times[0];
         let median = times[times.len() / 2];
         let mean = times.iter().sum::<f64>() / times.len() as f64;
+        self.push_row(id, &times, span_start);
         println!(
             "{}/{id}: min {} median {} mean {} ({} samples)",
             self.name,
@@ -86,6 +152,7 @@ impl Group {
         mut f: impl FnMut() -> (T, Completion),
     ) -> &mut Self {
         let (_, completion) = black_box(f());
+        let span_start = self.origin.elapsed().as_nanos() as u64;
         let mut times: Vec<f64> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let start = Instant::now();
@@ -96,6 +163,7 @@ impl Group {
         let min = times[0];
         let median = times[times.len() / 2];
         let mean = times.iter().sum::<f64>() / times.len() as f64;
+        self.push_row(id, &times, span_start);
         println!(
             "{}/{id}: min {} median {} mean {} ({} samples) [{completion}]",
             self.name,
@@ -107,8 +175,39 @@ impl Group {
         self
     }
 
-    /// Ends the group (marker for symmetry with Criterion's API).
+    /// Ends the group. Besides the blank separator line, writes the
+    /// group's `BENCH_<group>.json` run report when a JSON directory was
+    /// configured; an unwritable directory degrades to a stderr warning
+    /// so a bench sweep never aborts over its own telemetry.
     pub fn finish(&mut self) {
+        if let Some(dir) = self.json_dir.clone() {
+            let kernel = format!("bench/{}", self.name);
+            let mut report = RunReport::new(&kernel, 0, Completion::Complete);
+            for row in self.rows.drain(..) {
+                report
+                    .counters
+                    .push((format!("{}_min_nanos", row.id), row.min_nanos));
+                report
+                    .counters
+                    .push((format!("{}_median_nanos", row.id), row.median_nanos));
+                report
+                    .counters
+                    .push((format!("{}_samples", row.id), row.samples));
+                report.phases.push(PhaseSpan {
+                    name: row.id,
+                    start_nanos: row.start_nanos,
+                    end_nanos: row.end_nanos,
+                });
+            }
+            let path = dir.join(format!("BENCH_{}.json", self.name));
+            let written = std::fs::create_dir_all(&dir)
+                .and_then(|()| std::fs::File::create(&path))
+                .and_then(|mut f| report.write_to(&mut f));
+            match written {
+                Ok(()) => println!("# wrote {}", path.display()),
+                Err(e) => eprintln!("# bench json {}: {e}", path.display()),
+            }
+        }
         println!();
     }
 }
@@ -129,6 +228,32 @@ mod tests {
         // one warm-up + two samples
         assert_eq!(calls, 3);
         g.finish();
+    }
+
+    #[test]
+    fn json_report_uses_the_shared_run_report_schema() {
+        let dir = std::env::temp_dir().join(format!("nsky-bench-json-{}", std::process::id()));
+        let mut g = Group::new("selftest_json");
+        g.sample_size(2).json_dir(&dir);
+        g.bench("sum", || (0..100).sum::<u64>());
+        g.bench_budgeted("budgeted_sum", || {
+            ((0..100).sum::<u64>(), Completion::Complete)
+        });
+        g.finish();
+        let path = dir.join("BENCH_selftest_json.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = RunReport::from_json(&text).unwrap();
+        assert_eq!(report.kernel, "bench/selftest_json");
+        assert_eq!(report.counter("sum_samples"), Some(2));
+        assert_eq!(report.counter("budgeted_sum_samples"), Some(2));
+        assert!(report.counter("sum_min_nanos").is_some());
+        assert!(report.counter("budgeted_sum_median_nanos").is_some());
+        assert_eq!(report.phases.len(), 2);
+        for p in &report.phases {
+            assert!(p.end_nanos >= p.start_nanos, "{p:?}");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct GreedyOutcome {
     /// Number of marginal-gain evaluations performed — the quantity the
     /// paper's `k(2n−k+1)/2` vs `k(2r−k+1)/2` comparison is about.
     pub gain_evaluations: u64,
+    /// CELF lazy-queue pops resolved *without* a fresh gain evaluation:
+    /// stale entries of already-committed vertices, and entries whose
+    /// cached gain was still current and committed directly. Always zero
+    /// for the plain engine.
+    pub lazy_skips: u64,
     /// Score after each selection (length = |group|).
     pub score_trace: Vec<f64>,
     /// How the run ended. On a trip the group holds the seeds committed
@@ -258,6 +263,36 @@ pub fn greedy_group<M: GroupMeasure>(
     greedy_group_budgeted(g, measure, k, opts, &ExecutionBudget::unlimited())
 }
 
+/// [`greedy_group`] with an observability
+/// [`nsky_skyline::obs::Recorder`] attached: one `"greedy"` span around
+/// the selection rounds plus a bulk flush of the run's evaluation
+/// counters (`gain_evaluations`, `lazy_skips`) at exit. The result is
+/// identical to [`greedy_group`] — the round loops never touch the
+/// recorder.
+pub fn greedy_group_recorded<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    opts: &GreedyOptions,
+    rec: &dyn nsky_skyline::obs::Recorder,
+) -> GreedyOutcome {
+    rec.phase_start("greedy");
+    let out = greedy_group(g, measure, k, opts);
+    rec.phase_end("greedy");
+    record_greedy_counters(rec, &out);
+    out
+}
+
+/// Flushes a finished run's evaluation counters into a recorder — one
+/// bulk call per field, at the entry-point boundary.
+pub(crate) fn record_greedy_counters(rec: &dyn nsky_skyline::obs::Recorder, out: &GreedyOutcome) {
+    rec.add(
+        nsky_skyline::obs::Counter::GainEvaluations,
+        out.gain_evaluations,
+    );
+    rec.add(nsky_skyline::obs::Counter::LazySkips, out.lazy_skips);
+}
+
 /// [`greedy_group`] under an [`ExecutionBudget`]. With an unlimited
 /// budget the output is identical to [`greedy_group`]; after a trip the
 /// outcome holds the greedy prefix committed so far (each member was a
@@ -449,6 +484,7 @@ pub(crate) fn greedy_leg<M: GroupMeasure>(
         group: Vec::with_capacity(k),
         score: ev.score(),
         gain_evaluations: 0,
+        lazy_skips: 0,
         score_trace: Vec::with_capacity(k),
         // Inherit an earlier sticky trip on the shared budget (e.g. a
         // skyline phase that already timed out upstream).
@@ -510,9 +546,11 @@ pub(crate) fn greedy_leg<M: GroupMeasure>(
                 break; // pool smaller than k: return the partial group
             };
             if ev.in_group[top.vertex as usize] {
+                outcome.lazy_skips += 1;
                 continue;
             }
             if top.round == round {
+                outcome.lazy_skips += 1;
                 ev.commit(top.vertex);
                 outcome.group.push(top.vertex);
                 outcome.score_trace.push(ev.score());

@@ -11,8 +11,8 @@
 //! `v` also neighbors `u`.)
 
 use crate::greedy::{
-    greedy_group_budgeted, greedy_leg, valid_greedy_state, GreedyOptions, GreedyOutcome,
-    GreedyState,
+    greedy_group_budgeted, greedy_leg, record_greedy_counters, valid_greedy_state, GreedyOptions,
+    GreedyOutcome, GreedyState,
 };
 use crate::measure::{Closeness, GroupMeasure, Harmonic};
 use nsky_graph::Graph;
@@ -42,6 +42,44 @@ pub fn nei_sky_group<M: GroupMeasure>(
     lazy: bool,
 ) -> NeiSkyOutcome {
     nei_sky_group_budgeted(g, measure, k, lazy, &ExecutionBudget::unlimited())
+}
+
+/// [`nei_sky_group`] with an observability
+/// [`nsky_skyline::obs::Recorder`] attached: a `"skyline"` span around
+/// the pool computation, a `"greedy"` span around the selection rounds,
+/// and a bulk flush of the skyline size (as `candidates_emitted`) plus
+/// the greedy evaluation counters at exit. The result is identical to
+/// [`nei_sky_group`].
+pub fn nei_sky_group_recorded<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    lazy: bool,
+    rec: &dyn nsky_skyline::obs::Recorder,
+) -> NeiSkyOutcome {
+    rec.phase_start("skyline");
+    let skyline =
+        filter_refine_sky_budgeted(g, &RefineConfig::default(), &ExecutionBudget::unlimited())
+            .skyline;
+    rec.phase_end("skyline");
+    let skyline_size = skyline.len();
+    let opts = GreedyOptions {
+        lazy,
+        pruned_bfs: lazy,
+        candidates: Some(skyline),
+    };
+    rec.phase_start("greedy");
+    let greedy = greedy_group_budgeted(g, measure, k, &opts, &ExecutionBudget::unlimited());
+    rec.phase_end("greedy");
+    record_greedy_counters(rec, &greedy);
+    rec.add(
+        nsky_skyline::obs::Counter::CandidatesEmitted,
+        skyline_size as u64,
+    );
+    NeiSkyOutcome {
+        greedy,
+        skyline_size,
+    }
 }
 
 /// [`nei_sky_group`] under an [`ExecutionBudget`] shared by the skyline

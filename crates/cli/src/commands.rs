@@ -3,6 +3,7 @@
 use crate::args::Args;
 use nsky_graph::{io, Graph, VertexId};
 use nsky_skyline::budget::{Completion, DeadlineClock, ExecutionBudget, TripClock, WallDeadline};
+use nsky_skyline::obs::{record_skyline_stats, Counter, CountingRecorder, Recorder, RunReport};
 use nsky_skyline::snapshot::{Checkpointer, FileCheckpointer, RecoveryError, Snapshot};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -373,6 +374,94 @@ fn seal(
     }
 }
 
+/// Parsed `--metrics <path>`: a [`CountingRecorder`] armed when the flag
+/// is present, plus the path the versioned JSON run report is written to
+/// once the command finishes. Without the flag every method is a no-op,
+/// so the instrumented command paths stay branch-free at the call sites.
+struct Metrics {
+    rec: Option<CountingRecorder>,
+    path: Option<String>,
+}
+
+impl Metrics {
+    /// Whether `--metrics` is present (for rejecting it on algorithms
+    /// without instrumented entry points).
+    fn requested(args: &Args) -> bool {
+        args.get("metrics").is_some()
+    }
+
+    fn from(args: &Args) -> Metrics {
+        let path = args.get("metrics").map(str::to_string);
+        Metrics {
+            rec: path.as_ref().map(|_| CountingRecorder::new()),
+            path,
+        }
+    }
+
+    /// The live recorder, if `--metrics` was given.
+    fn recorder(&self) -> Option<&CountingRecorder> {
+        self.rec.as_ref()
+    }
+
+    fn phase_start(&self, name: &'static str) {
+        if let Some(rec) = &self.rec {
+            rec.phase_start(name);
+        }
+    }
+
+    fn phase_end(&self, name: &'static str) {
+        if let Some(rec) = &self.rec {
+            rec.phase_end(name);
+        }
+    }
+
+    /// Builds the run report from the recorder and the sealed command
+    /// output — budget trips, degraded resumes and checkpoint saves
+    /// become report events — then writes it to the `--metrics` path and
+    /// appends a `metrics = <path>` line to the command's stdout text.
+    fn seal(
+        self,
+        cmd: &mut CmdOut,
+        kernel: &str,
+        fingerprint: u64,
+        budget: &BudgetReport,
+    ) -> Result<(), CliError> {
+        let (Some(rec), Some(path)) = (self.rec, self.path) else {
+            return Ok(());
+        };
+        let mut report = RunReport::from_recorder(kernel, fingerprint, cmd.completion, &rec);
+        if let Some(cause) = budget.cause(cmd.completion) {
+            report.push_event(format!("budget tripped by {cause}"));
+        }
+        if cmd.degraded {
+            report.push_event("resume degraded to a fresh run");
+        }
+        for w in &cmd.warnings {
+            report.push_event(format!("warning: {w}"));
+        }
+        if let Some(line) = cmd.text.lines().find(|l| l.starts_with("checkpoint = ")) {
+            report.push_event(line);
+        }
+        let mut file =
+            std::fs::File::create(&path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+        report
+            .write_to(&mut file)
+            .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+        let _ = writeln!(cmd.text, "metrics = {path}");
+        Ok(())
+    }
+}
+
+/// Bulk-flush of a clique run's counters. The library's own flush helper
+/// is crate-private to `nsky-clique`, so the CLI mirrors its mapping
+/// through the public [`Counter`] vocabulary.
+fn flush_clique_stats(rec: &CountingRecorder, stats: &nsky_clique::CliqueStats) {
+    rec.add(Counter::NodesExpanded, stats.branches);
+    rec.add(Counter::BoundCuts, stats.bound_prunes);
+    rec.add(Counter::RootCalls, stats.root_calls);
+    rec.add(Counter::SkylinePrunes, stats.skyline_prunes);
+}
+
 fn maybe_write(args: &Args, g: &Graph) -> Result<String, CliError> {
     match args.get("output") {
         None => Ok(String::new()),
@@ -435,15 +524,18 @@ fn skyline_text(
 /// `nsky skyline <file> [--algorithm ...] [--threads T] [--epsilon E]
 /// [budget flags] [checkpoint flags] [-o out]`.
 pub(crate) fn skyline(args: &Args) -> Result<CmdOut, CliError> {
+    let metrics = Metrics::from(args);
+    metrics.phase_start("load");
     let g = load(args)?;
+    metrics.phase_end("load");
     let algo = args.get("algorithm").unwrap_or("refine");
     if let "cset" | "2hop" | "lcjoin" | "approx" = algo {
         let (budget, _) = budget_from(args)?;
-        if budget.is_active() || Checkpointing::requested(args) {
+        if budget.is_active() || Checkpointing::requested(args) || Metrics::requested(args) {
             return Err(CliError::Usage(format!(
-                "algorithm {algo:?} does not support budget or checkpoint options \
-                 (--timeout/--memory-budget/--trip-after/--checkpoint/--resume); \
-                 budgeted algorithms: refine, base, par"
+                "algorithm {algo:?} does not support budget, checkpoint or metrics options \
+                 (--timeout/--memory-budget/--trip-after/--checkpoint/--resume/--metrics); \
+                 instrumented algorithms: refine, base, par"
             )));
         }
         let (name, skyline) = match algo {
@@ -469,6 +561,7 @@ pub(crate) fn skyline(args: &Args) -> Result<CmdOut, CliError> {
     let mut ck = checkpoint_from(args, &budget)?;
     let resume = ck.resume.take();
     let cfg = nsky_skyline::RefineConfig::default();
+    metrics.phase_start("run");
     let (name, run) = match algo {
         "refine" => (
             "FilterRefineSky",
@@ -500,21 +593,30 @@ pub(crate) fn skyline(args: &Args) -> Result<CmdOut, CliError> {
         }
         other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
     };
+    metrics.phase_end("run");
+    if let Some(rec) = metrics.recorder() {
+        record_skyline_stats(rec, &run.outcome.stats);
+    }
     let out = skyline_text(args, &g, name, &run.outcome.skyline)?;
-    Ok(seal(
+    let mut cmd = seal(
         out,
         run.outcome.completion,
         run.recovery,
         run.snapshot,
         ck,
         &report,
-    ))
+    );
+    metrics.seal(&mut cmd, name, g.fingerprint(), &report)?;
+    Ok(cmd)
 }
 
 /// `nsky group <file> -k K [--measure ...] [--no-prune] [budget flags]
 /// [checkpoint flags]`.
 pub(crate) fn group(args: &Args) -> Result<CmdOut, CliError> {
+    let metrics = Metrics::from(args);
+    metrics.phase_start("load");
     let g = load(args)?;
+    metrics.phase_end("load");
     let k: usize = args.number("k", 5)?;
     let measure = args.get("measure").unwrap_or("closeness");
     let prune = !args.switch("no-prune");
@@ -529,46 +631,54 @@ pub(crate) fn group(args: &Args) -> Result<CmdOut, CliError> {
             let resume = ck.resume.take();
             let r = resume.as_ref();
             let opts = GreedyOptions::optimized();
-            let (label, result, recovery, snapshot) = match (measure, prune) {
+            metrics.phase_start("run");
+            let (label, result, skyline_size, recovery, snapshot) = match (measure, prune) {
                 ("closeness", true) => {
                     let run =
                         nei_sky_group_resumable(&g, Closeness, k, true, &budget, r, ck.sink());
-                    ("NeiSkyGC", run.outcome.greedy, run.recovery, run.snapshot)
+                    let o = run.outcome;
+                    let sky = Some(o.skyline_size);
+                    ("NeiSkyGC", o.greedy, sky, run.recovery, run.snapshot)
                 }
                 ("closeness", false) => {
                     let run =
                         greedy_group_resumable(&g, Closeness, k, &opts, &budget, r, ck.sink());
-                    ("Greedy++", run.outcome, run.recovery, run.snapshot)
+                    ("Greedy++", run.outcome, None, run.recovery, run.snapshot)
                 }
                 ("harmonic", true) => {
                     let run = nei_sky_group_resumable(&g, Harmonic, k, true, &budget, r, ck.sink());
-                    ("NeiSkyGH", run.outcome.greedy, run.recovery, run.snapshot)
+                    let o = run.outcome;
+                    let sky = Some(o.skyline_size);
+                    ("NeiSkyGH", o.greedy, sky, run.recovery, run.snapshot)
                 }
                 _ => {
                     let run = greedy_group_resumable(&g, Harmonic, k, &opts, &budget, r, ck.sink());
-                    ("Greedy-H", run.outcome, run.recovery, run.snapshot)
+                    ("Greedy-H", run.outcome, None, run.recovery, run.snapshot)
                 }
             };
+            metrics.phase_end("run");
+            if let Some(rec) = metrics.recorder() {
+                rec.add(Counter::GainEvaluations, result.gain_evaluations);
+                rec.add(Counter::LazySkips, result.lazy_skips);
+                if let Some(r) = skyline_size {
+                    rec.add(Counter::CandidatesEmitted, r as u64);
+                }
+            }
             let _ = writeln!(out, "engine = {label} ({measure})");
             let _ = writeln!(out, "group: {:?}", result.group);
             let _ = writeln!(out, "score = {:.4}", result.score);
             let _ = writeln!(out, "gain evaluations = {}", result.gain_evaluations);
-            Ok(seal(
-                out,
-                result.completion,
-                recovery,
-                snapshot,
-                ck,
-                &report,
-            ))
+            let mut cmd = seal(out, result.completion, recovery, snapshot, ck, &report);
+            metrics.seal(&mut cmd, label, g.fingerprint(), &report)?;
+            Ok(cmd)
         }
         "betweenness" => {
             let (budget, _) = budget_from(args)?;
-            if budget.is_active() || Checkpointing::requested(args) {
+            if budget.is_active() || Checkpointing::requested(args) || Metrics::requested(args) {
                 return Err(CliError::Usage(
-                    "measure \"betweenness\" does not support budget or checkpoint options \
-                     (--timeout/--memory-budget/--trip-after/--checkpoint/--resume); \
-                     budgeted measures: closeness, harmonic"
+                    "measure \"betweenness\" does not support budget, checkpoint or metrics \
+                     options (--timeout/--memory-budget/--trip-after/--checkpoint/--resume/\
+                     --metrics); instrumented measures: closeness, harmonic"
                         .to_string(),
                 ));
             }
@@ -594,20 +704,26 @@ pub(crate) fn group(args: &Args) -> Result<CmdOut, CliError> {
 /// `nsky clique <file> [--top K] [--no-prune] [budget flags]
 /// [checkpoint flags]`.
 pub(crate) fn clique(args: &Args) -> Result<CmdOut, CliError> {
+    let metrics = Metrics::from(args);
+    metrics.phase_start("load");
     let g = load(args)?;
+    metrics.phase_end("load");
     let top: usize = args.number("top", 1)?;
     let prune = !args.switch("no-prune");
     let (budget, report) = budget_from(args)?;
     let mut ck = checkpoint_from(args, &budget)?;
     let resume = ck.resume.take();
     let mut out = String::new();
-    let (completion, recovery, snapshot) = if top <= 1 {
-        let (label, c, completion, recovery, snapshot) = if prune {
+    metrics.phase_start("run");
+    let (kernel, completion, recovery, snapshot) = if top <= 1 {
+        let (label, c, stats, skyline_size, completion, recovery, snapshot) = if prune {
             let run = nsky_clique::nei_sky_mc_resumable(&g, &budget, resume.as_ref(), ck.sink());
             let o = run.outcome;
             (
                 "NeiSkyMC",
                 o.clique,
+                o.stats,
+                Some(o.skyline_size),
                 o.completion,
                 run.recovery,
                 run.snapshot,
@@ -615,12 +731,26 @@ pub(crate) fn clique(args: &Args) -> Result<CmdOut, CliError> {
         } else {
             let run = nsky_clique::mc_brb_resumable(&g, &budget, resume.as_ref(), ck.sink());
             let o = run.outcome;
-            ("MC-BRB", o.clique, o.completion, run.recovery, run.snapshot)
+            (
+                "MC-BRB",
+                o.clique,
+                o.stats,
+                None,
+                o.completion,
+                run.recovery,
+                run.snapshot,
+            )
         };
+        if let Some(rec) = metrics.recorder() {
+            flush_clique_stats(rec, &stats);
+            if let Some(r) = skyline_size {
+                rec.add(Counter::CandidatesEmitted, r as u64);
+            }
+        }
         let _ = writeln!(out, "engine = {label}");
         let _ = writeln!(out, "ω = {}", c.len());
         let _ = writeln!(out, "clique: {c:?}");
-        (completion, recovery, snapshot)
+        (label, completion, recovery, snapshot)
     } else {
         let mode = if prune {
             nsky_clique::TopkMode::NeiSky
@@ -635,13 +765,24 @@ pub(crate) fn clique(args: &Args) -> Result<CmdOut, CliError> {
             resume.as_ref(),
             ck.sink(),
         );
+        if let Some(rec) = metrics.recorder() {
+            flush_clique_stats(rec, &run.outcome.stats);
+        }
         let _ = writeln!(out, "engine = {mode:?} top-{top}");
         for (i, c) in run.outcome.cliques.iter().enumerate() {
             let _ = writeln!(out, "#{}: size {} {:?}", i + 1, c.len(), c);
         }
-        (run.outcome.completion, run.recovery, run.snapshot)
+        let kernel = if prune {
+            "NeiSkyTopkMCC"
+        } else {
+            "BaseTopkMCC"
+        };
+        (kernel, run.outcome.completion, run.recovery, run.snapshot)
     };
-    Ok(seal(out, completion, recovery, snapshot, ck, &report))
+    metrics.phase_end("run");
+    let mut cmd = seal(out, completion, recovery, snapshot, ck, &report);
+    metrics.seal(&mut cmd, kernel, g.fingerprint(), &report)?;
+    Ok(cmd)
 }
 
 /// `nsky mis <file>`.

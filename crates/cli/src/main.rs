@@ -21,7 +21,11 @@
 //! (closeness/harmonic) commands accept execution-budget flags
 //! (`--timeout`, `--memory-budget`, `--trip-after`, `--check-interval`).
 //! A tripped run prints its best-so-far partial answer plus a
-//! `status = ...` line and exits with code 3 instead of 0.
+//! `status = ...` line and exits with code 3 instead of 0. The same
+//! commands accept `--metrics <path>`, which writes a versioned,
+//! checksummed JSON run report (kernel id, graph fingerprint, phase
+//! timeline, counter table, budget/checkpoint events) for machine
+//! consumption; see `nsky_skyline::obs::RunReport`.
 
 mod args;
 mod commands;
@@ -129,6 +133,12 @@ CHECKPOINTING (same commands as BUDGET):
                         an unusable checkpoint (torn, corrupt, wrong
                         graph or kernel) is discarded with a warning and
                         the run restarts fresh, exiting with code 4
+
+METRICS (same commands as BUDGET):
+  --metrics PATH        write a versioned, checksummed JSON run report
+                        to PATH: schema version, kernel id, graph
+                        fingerprint, phase timeline (load/run spans),
+                        counter table, and budget/checkpoint events
 
 LOADING:
   --max-vertex-id ID    reject edge lists with vertex ids above ID
@@ -465,6 +475,142 @@ mod tests {
             "x.snap",
         ]);
         assert!(err.contains("closeness, harmonic"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metrics_report_round_trips_through_the_std_only_decoder() {
+        use nsky_skyline::obs::{RunReport, SCHEMA_VERSION};
+        let path = write_karate();
+        let m = std::env::temp_dir().join(format!("nsky-metrics-{}.json", std::process::id()));
+        let m = m.to_str().unwrap().to_string();
+        let fingerprint = nsky_datasets::karate().fingerprint();
+
+        // Skyline: stats flushed through the shared flush helper.
+        let out = ok(&["skyline", &path, "--metrics", &m]);
+        assert!(out.contains(&format!("metrics = {m}")), "{out}");
+        let text = std::fs::read_to_string(&m).unwrap();
+        let report = RunReport::from_json(&text).unwrap();
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.kernel, "FilterRefineSky");
+        assert_eq!(report.graph_fingerprint, fingerprint);
+        assert_eq!(report.completion, "Complete");
+        // Karate's skyline has 15 members; every candidate that survives
+        // the filter covers at least those.
+        assert!(
+            report.counter("candidates_emitted").unwrap() >= 15,
+            "{text}"
+        );
+        assert!(report.counter("pair_tests").unwrap() > 0, "{text}");
+        for phase in ["load", "run"] {
+            assert!(
+                report.phases.iter().any(|p| p.name == phase),
+                "missing {phase} span: {text}"
+            );
+        }
+
+        // A truncated report is rejected, not half-parsed.
+        assert!(RunReport::from_json(&text[..text.len() - 8]).is_err());
+
+        // Clique: NeiSkyMC seeds from the skyline and flushes both the
+        // search counters and the seed-pool size.
+        let out = ok(&["clique", &path, "--metrics", &m]);
+        assert!(out.contains("metrics = "), "{out}");
+        let text = std::fs::read_to_string(&m).unwrap();
+        let report = RunReport::from_json(&text).unwrap();
+        assert_eq!(report.kernel, "NeiSkyMC");
+        assert_eq!(report.graph_fingerprint, fingerprint);
+        assert_eq!(report.counter("candidates_emitted"), Some(15));
+        // On karate the heuristic clique already matches ω, so every seed
+        // is skyline/core-pruned and no branching happens — the search is
+        // visible either as prunes or as expanded nodes.
+        let search =
+            report.counter("skyline_prunes").unwrap() + report.counter("nodes_expanded").unwrap();
+        assert!(search > 0, "{text}");
+
+        // Group: the greedy counters land, and the NeiSky engine reports
+        // its restricted pool.
+        let out = ok(&["group", &path, "-k", "2", "--metrics", &m]);
+        assert!(out.contains("metrics = "), "{out}");
+        let report = RunReport::from_json(&std::fs::read_to_string(&m).unwrap()).unwrap();
+        assert_eq!(report.kernel, "NeiSkyGC");
+        assert!(report.counter("gain_evaluations").unwrap() > 0);
+        assert_eq!(report.counter("candidates_emitted"), Some(15));
+
+        std::fs::remove_file(&m).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metrics_report_records_budget_and_checkpoint_events() {
+        use nsky_skyline::obs::RunReport;
+        let path = write_karate();
+        let pid = std::process::id();
+        let m = std::env::temp_dir().join(format!("nsky-metrics-trip-{pid}.json"));
+        let m = m.to_str().unwrap().to_string();
+        let ck = std::env::temp_dir().join(format!("nsky-metrics-ck-{pid}.snap"));
+        let ck = ck.to_str().unwrap().to_string();
+        let out = run(&s(&[
+            "skyline",
+            &path,
+            "--trip-after",
+            "40",
+            "--check-interval",
+            "1",
+            "--checkpoint",
+            &ck,
+            "--metrics",
+            &m,
+        ]))
+        .unwrap();
+        assert_eq!(out.completion, Completion::DeadlineExceeded, "{}", out.text);
+        let report = RunReport::from_json(&std::fs::read_to_string(&m).unwrap()).unwrap();
+        assert_eq!(report.completion, "DeadlineExceeded");
+        assert!(
+            report.events.iter().any(|e| e.contains("--trip-after 40")),
+            "{:?}",
+            report.events
+        );
+        assert!(
+            report.events.iter().any(|e| e.starts_with("checkpoint = ")),
+            "{:?}",
+            report.events
+        );
+        std::fs::remove_file(&ck).ok();
+        std::fs::remove_file(&m).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metrics_flag_validation() {
+        use super::CliError;
+        let path = write_karate();
+        // Uninstrumented algorithms reject the flag up front.
+        let err = fail(&[
+            "skyline",
+            &path,
+            "--algorithm",
+            "cset",
+            "--metrics",
+            "m.json",
+        ]);
+        assert!(err.contains("refine, base, par"), "{err}");
+        let err = fail(&[
+            "group",
+            &path,
+            "-k",
+            "2",
+            "--measure",
+            "betweenness",
+            "--metrics",
+            "m.json",
+        ]);
+        assert!(err.contains("closeness, harmonic"), "{err}");
+        // An unwritable report path is an input error (exit 2), and the
+        // kernel result is forfeited rather than silently unreported.
+        let bad = "/nonexistent-dir/metrics.json";
+        let err = run(&s(&["skyline", &path, "--metrics", bad])).unwrap_err();
+        assert!(matches!(err, CliError::Input(_)), "{err:?}");
         std::fs::remove_file(path).ok();
     }
 

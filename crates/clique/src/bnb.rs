@@ -2,6 +2,7 @@
 
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{BudgetTicker, Completion, ExecutionBudget};
+use nsky_skyline::obs::{Counter, Recorder};
 use nsky_skyline::snapshot::{
     drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
     Writer,
@@ -17,6 +18,18 @@ pub struct CliqueStats {
     pub bound_prunes: u64,
     /// Root searches started (ego subgraphs explored).
     pub root_calls: u64,
+    /// Seed roots skipped by the skyline/core prune before any ego
+    /// search started (stays zero for kernels without that prune).
+    pub skyline_prunes: u64,
+}
+
+/// Flushes search counters into an observability recorder — one bulk
+/// call per field, at the entry-point boundary (never from search loops).
+pub(crate) fn record_clique_stats(rec: &dyn Recorder, stats: &CliqueStats) {
+    rec.add(Counter::NodesExpanded, stats.branches);
+    rec.add(Counter::BoundCuts, stats.bound_prunes);
+    rec.add(Counter::RootCalls, stats.root_calls);
+    rec.add(Counter::SkylinePrunes, stats.skyline_prunes);
 }
 
 /// Outcome of a budgeted clique search. When `completion` is not
@@ -168,6 +181,18 @@ fn peel_candidates(g: &Graph, cand: Vec<VertexId>, min_inside: usize) -> Vec<Ver
 pub fn max_clique_bnb(g: &Graph) -> (Vec<VertexId>, CliqueStats) {
     let run = max_clique_bnb_budgeted(g, &ExecutionBudget::unlimited());
     (run.clique, run.stats)
+}
+
+/// [`max_clique_bnb`] with an observability [`Recorder`] attached: one
+/// `"bnb"` span around the search plus a bulk flush of the run's
+/// [`CliqueStats`] at exit. The result is identical to
+/// [`max_clique_bnb`] — the search loops never touch the recorder.
+pub fn max_clique_bnb_recorded(g: &Graph, rec: &dyn Recorder) -> CliqueRun {
+    rec.phase_start("bnb");
+    let run = max_clique_bnb_budgeted(g, &ExecutionBudget::unlimited());
+    rec.phase_end("bnb");
+    record_clique_stats(rec, &run.stats);
+    run
 }
 
 /// [`max_clique_bnb`] under an [`ExecutionBudget`]. With an unlimited

@@ -8,7 +8,9 @@
 //! vertex with `core(v) + 1 ≤ lb`; (3) for each surviving vertex `u` in
 //! degeneracy order, branch-and-bound over `u`'s *later* neighbors.
 
-use crate::bnb::{max_clique_containing_budgeted, valid_clique, CliqueRun, CliqueStats};
+use crate::bnb::{
+    max_clique_containing_budgeted, record_clique_stats, valid_clique, CliqueRun, CliqueStats,
+};
 use crate::heuristic::heuristic_clique;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::{Graph, VertexId};
@@ -34,6 +36,18 @@ use nsky_skyline::snapshot::{
 pub fn mc_brb(g: &Graph) -> (Vec<VertexId>, CliqueStats) {
     let run = mc_brb_budgeted(g, &ExecutionBudget::unlimited());
     (run.clique, run.stats)
+}
+
+/// [`mc_brb`] with an observability [`nsky_skyline::obs::Recorder`]
+/// attached: one `"mcbrb"` span around the search plus a bulk flush of
+/// the run's [`CliqueStats`] at exit. The result is identical to
+/// [`mc_brb`] — the search loops never touch the recorder.
+pub fn mc_brb_recorded(g: &Graph, rec: &dyn nsky_skyline::obs::Recorder) -> CliqueRun {
+    rec.phase_start("mcbrb");
+    let run = mc_brb_budgeted(g, &ExecutionBudget::unlimited());
+    rec.phase_end("mcbrb");
+    record_clique_stats(rec, &run.stats);
+    run
 }
 
 /// [`mc_brb`] under an [`ExecutionBudget`]. With an unlimited budget the

@@ -9,7 +9,7 @@
 //! so searching only the ego networks of skyline vertices finds a
 //! maximum clique.
 
-use crate::bnb::{max_clique_containing_budgeted, valid_clique, CliqueStats};
+use crate::bnb::{max_clique_containing_budgeted, record_clique_stats, valid_clique, CliqueStats};
 use crate::heuristic::heuristic_clique;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::{Graph, VertexId};
@@ -53,6 +53,24 @@ pub struct NeiSkyMcOutcome {
 /// ```
 pub fn nei_sky_mc(g: &Graph) -> NeiSkyMcOutcome {
     nei_sky_mc_budgeted(g, &ExecutionBudget::unlimited())
+}
+
+/// [`nei_sky_mc`] with an observability [`nsky_skyline::obs::Recorder`]
+/// attached: one `"neisky_mc"` span around the whole run (the internal
+/// skyline computation contributes its own counters through
+/// [`NeiSkyMcOutcome::skyline_size`], flushed as `candidates_emitted`)
+/// plus a bulk flush of the run's [`CliqueStats`] at exit. The result is
+/// identical to [`nei_sky_mc`].
+pub fn nei_sky_mc_recorded(g: &Graph, rec: &dyn nsky_skyline::obs::Recorder) -> NeiSkyMcOutcome {
+    rec.phase_start("neisky_mc");
+    let out = nei_sky_mc(g);
+    rec.phase_end("neisky_mc");
+    record_clique_stats(rec, &out.stats);
+    rec.add(
+        nsky_skyline::obs::Counter::CandidatesEmitted,
+        out.skyline_size as u64,
+    );
+    out
 }
 
 /// [`nei_sky_mc`] under an [`ExecutionBudget`]. With an unlimited budget
@@ -194,6 +212,7 @@ fn neisky_leg(
         }
         allowed[u as usize] = false; // exclude this seed from later runs
         if (deco.core[u as usize] + 1) as usize <= best.len() {
+            stats.skyline_prunes += 1;
             continue;
         }
         // Re-allow u itself as the seed of its own search.

@@ -15,7 +15,7 @@
 //!   the queue — this is what makes rounds `≥ 2` cheaper than a full
 //!   solver re-run, reproducing the paper's Fig. 9 crossover at `k = 2`.
 
-use crate::bnb::{max_clique_containing_budgeted, valid_clique, CliqueStats};
+use crate::bnb::{max_clique_containing_budgeted, record_clique_stats, valid_clique, CliqueStats};
 use crate::mcbrb::mc_brb_budgeted;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::ops::induced_subgraph;
@@ -101,6 +101,23 @@ impl PartialOrd for Entry {
 /// ```
 pub fn top_k_cliques(g: &Graph, k: usize, mode: TopkMode) -> TopkOutcome {
     top_k_cliques_budgeted(g, k, mode, &ExecutionBudget::unlimited())
+}
+
+/// [`top_k_cliques`] with an observability
+/// [`nsky_skyline::obs::Recorder`] attached: one `"topk"` span around
+/// the round loop plus a bulk flush of the aggregated [`CliqueStats`] at
+/// exit. The result is identical to [`top_k_cliques`].
+pub fn top_k_cliques_recorded(
+    g: &Graph,
+    k: usize,
+    mode: TopkMode,
+    rec: &dyn nsky_skyline::obs::Recorder,
+) -> TopkOutcome {
+    rec.phase_start("topk");
+    let out = top_k_cliques(g, k, mode);
+    rec.phase_end("topk");
+    record_clique_stats(rec, &out.stats);
+    out
 }
 
 /// [`top_k_cliques`] under an [`ExecutionBudget`]. With an unlimited
@@ -262,6 +279,7 @@ fn topk_base_leg(
         out.stats.branches += run.stats.branches;
         out.stats.bound_prunes += run.stats.bound_prunes;
         out.stats.root_calls += run.stats.root_calls;
+        out.stats.skyline_prunes += run.stats.skyline_prunes;
         if !run.completion.is_complete() {
             // The round's clique was not proven maximum: drop it.
             out.completion = run.completion;

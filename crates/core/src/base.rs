@@ -15,6 +15,7 @@
 //!   `ablation_early_exit` bench and discussed in EXPERIMENTS.md).
 
 use crate::budget::{Completion, ExecutionBudget};
+use crate::obs::{record_skyline_stats, Recorder};
 use crate::result::{SkylineResult, SkylineStats};
 use crate::snapshot::{
     drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
@@ -70,6 +71,18 @@ pub fn base_sky(g: &Graph) -> SkylineResult {
 /// Algorithm 1 (same output, measured in `ablation_early_exit`).
 pub fn base_sky_early_exit(g: &Graph) -> SkylineResult {
     base_sky_impl(g, ScanMode::EarlyExit, &ExecutionBudget::unlimited())
+}
+
+/// [`base_sky`] with an observability [`Recorder`] attached: one
+/// `"scan"` span around the counting scan plus a bulk flush of the run's
+/// [`SkylineStats`] at exit. The result is byte-identical to
+/// [`base_sky`] — the hot loop itself never touches the recorder.
+pub fn base_sky_recorded(g: &Graph, rec: &dyn Recorder) -> SkylineResult {
+    rec.phase_start("scan");
+    let result = base_sky(g);
+    rec.phase_end("scan");
+    record_skyline_stats(rec, &result.stats);
+    result
 }
 
 /// [`base_sky`] under an [`ExecutionBudget`]. With an unlimited budget

@@ -55,6 +55,7 @@ pub mod domination;
 mod filter_phase;
 pub mod incremental;
 pub mod memory;
+pub mod obs;
 pub mod oracle;
 mod parallel;
 mod refine;
@@ -62,15 +63,20 @@ mod result;
 pub mod snapshot;
 mod two_hop;
 
-pub use base::{base_sky, base_sky_budgeted, base_sky_early_exit, base_sky_resumable};
+pub use base::{
+    base_sky, base_sky_budgeted, base_sky_early_exit, base_sky_recorded, base_sky_resumable,
+};
 pub use budget::{Completion, ExecutionBudget};
 pub use cset::cset_sky;
 pub use filter_phase::{filter_phase, FilterOutcome};
+pub use obs::{Counter, CountingRecorder, NoopRecorder, Recorder, RunReport};
 pub use parallel::{
-    filter_refine_sky_par, filter_refine_sky_par_budgeted, filter_refine_sky_par_resumable,
+    filter_refine_sky_par, filter_refine_sky_par_budgeted, filter_refine_sky_par_recorded,
+    filter_refine_sky_par_resumable,
 };
 pub use refine::{
-    filter_refine_sky, filter_refine_sky_budgeted, filter_refine_sky_resumable, RefineConfig,
+    filter_refine_sky, filter_refine_sky_budgeted, filter_refine_sky_recorded,
+    filter_refine_sky_resumable, RefineConfig,
 };
 pub use result::{SkylineResult, SkylineStats};
 pub use two_hop::two_hop_sky;

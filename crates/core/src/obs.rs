@@ -1,0 +1,970 @@
+//! First-party observability: kernel counters, phase timelines and
+//! machine-readable run reports.
+//!
+//! The paper's central claims are *counter-shaped* — `FilterRefineSky`
+//! wins because the filter phase shrinks the candidate set `C ⊇ R` and
+//! bloom filters cut refine-phase containment work — so every kernel
+//! exposes its counters through a [`Recorder`] and the CLI/bench tier
+//! serializes them as a versioned JSON [`RunReport`].
+//!
+//! ## Recorder contract
+//!
+//! Kernels never call a recorder inside a hot loop. They keep their
+//! existing cheap local counters (e.g. [`SkylineStats`]) and *flush*
+//! them in bulk at entry-point and phase boundaries, so the recorder
+//! sees a handful of virtual calls per run regardless of graph size:
+//!
+//! * [`NoopRecorder`] costs nothing measurable (the `obs_overhead`
+//!   ablation bench keeps this honest);
+//! * [`CountingRecorder`] accumulates atomic counters and per-phase
+//!   monotonic spans behind an injectable [`MonotonicClock`], so tests
+//!   drive it with a [`ManualClock`] and assert exact timelines.
+//!
+//! ## Report schema
+//!
+//! [`RunReport::to_json`] emits schema version [`SCHEMA_VERSION`] with a
+//! trailing FNV-1a checksum over the body; [`RunReport::from_json`] is a
+//! std-only decoder that rejects truncation, bit flips, and unknown
+//! schema versions with a typed [`ReportError`].
+
+use crate::budget::Completion;
+use crate::result::SkylineStats;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version of the JSON run-report schema produced by [`RunReport`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The fixed counter vocabulary shared by every kernel.
+///
+/// Skyline kernels fill the first block (candidate/bloom/probe
+/// counters), clique kernels the search block, greedy kernels the
+/// evaluation block; counters a kernel does not define stay zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Filter-phase candidates emitted (`|C|`; `n` without a filter).
+    CandidatesEmitted,
+    /// Ordered pairs `(u, w)` for which a domination check started.
+    PairTests,
+    /// Bloom-filter containment queries issued (word + bit tests).
+    BloomQueries,
+    /// Bloom queries that answered "maybe contained" (positive).
+    BloomHits,
+    /// Whole-filter word-compare rejections (exact negatives).
+    BloomWordRejects,
+    /// Per-neighbor bit-probe rejections (exact negatives).
+    BloomBitRejects,
+    /// Exact adjacency probes (`NBRcheck` + merge steps).
+    AdjacencyProbes,
+    /// Estimated peak resident bytes of kernel-owned state.
+    PeakBytes,
+    /// Branch-and-bound nodes expanded.
+    NodesExpanded,
+    /// Subtrees cut by the coloring upper bound.
+    BoundCuts,
+    /// Seed roots skipped by a skyline/core prune before expansion.
+    SkylinePrunes,
+    /// Root-level ego searches started.
+    RootCalls,
+    /// Marginal-gain evaluations performed by a greedy engine.
+    GainEvaluations,
+    /// CELF lazy-queue pops resolved without a fresh gain evaluation.
+    LazySkips,
+}
+
+/// Number of [`Counter`] variants (size of a dense counter table).
+pub const COUNTER_COUNT: usize = 14;
+
+impl Counter {
+    /// Every counter, in report order.
+    pub fn all() -> &'static [Counter] {
+        &[
+            Counter::CandidatesEmitted,
+            Counter::PairTests,
+            Counter::BloomQueries,
+            Counter::BloomHits,
+            Counter::BloomWordRejects,
+            Counter::BloomBitRejects,
+            Counter::AdjacencyProbes,
+            Counter::PeakBytes,
+            Counter::NodesExpanded,
+            Counter::BoundCuts,
+            Counter::SkylinePrunes,
+            Counter::RootCalls,
+            Counter::GainEvaluations,
+            Counter::LazySkips,
+        ]
+    }
+
+    /// Dense index of this counter in `[0, COUNTER_COUNT)`.
+    pub fn index(self) -> usize {
+        match self {
+            Counter::CandidatesEmitted => 0,
+            Counter::PairTests => 1,
+            Counter::BloomQueries => 2,
+            Counter::BloomHits => 3,
+            Counter::BloomWordRejects => 4,
+            Counter::BloomBitRejects => 5,
+            Counter::AdjacencyProbes => 6,
+            Counter::PeakBytes => 7,
+            Counter::NodesExpanded => 8,
+            Counter::BoundCuts => 9,
+            Counter::SkylinePrunes => 10,
+            Counter::RootCalls => 11,
+            Counter::GainEvaluations => 12,
+            Counter::LazySkips => 13,
+        }
+    }
+
+    /// The stable snake_case name used in run reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::CandidatesEmitted => "candidates_emitted",
+            Counter::PairTests => "pair_tests",
+            Counter::BloomQueries => "bloom_queries",
+            Counter::BloomHits => "bloom_hits",
+            Counter::BloomWordRejects => "bloom_word_rejects",
+            Counter::BloomBitRejects => "bloom_bit_rejects",
+            Counter::AdjacencyProbes => "adjacency_probes",
+            Counter::PeakBytes => "peak_bytes",
+            Counter::NodesExpanded => "nodes_expanded",
+            Counter::BoundCuts => "bound_cuts",
+            Counter::SkylinePrunes => "skyline_prunes",
+            Counter::RootCalls => "root_calls",
+            Counter::GainEvaluations => "gain_evaluations",
+            Counter::LazySkips => "lazy_skips",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Observability sink threaded through kernel entry points.
+///
+/// Implementations must be cheap to call a *bounded* number of times per
+/// run: kernels flush bulk counter deltas at entry-point and phase
+/// boundaries, never per event.
+pub trait Recorder {
+    /// Adds `delta` to `counter`.
+    fn add(&self, counter: Counter, delta: u64);
+    /// Marks the start of the named phase.
+    fn phase_start(&self, phase: &'static str);
+    /// Marks the end of the most recent open span of the named phase.
+    fn phase_end(&self, phase: &'static str);
+}
+
+/// The zero-cost recorder: every call is a no-op the optimizer deletes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn add(&self, _counter: Counter, _delta: u64) {}
+    #[inline]
+    fn phase_start(&self, _phase: &'static str) {}
+    #[inline]
+    fn phase_end(&self, _phase: &'static str) {}
+}
+
+/// A monotonic nanosecond clock, injectable so span tests are
+/// deterministic (mirrors the `DeadlineClock` pattern in
+/// [`crate::budget`], which only answers *expired?* and cannot stamp
+/// spans).
+pub trait MonotonicClock: Send + Sync {
+    /// Nanoseconds elapsed since an arbitrary fixed origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The default clock: [`Instant`] relative to construction time.
+#[derive(Clone, Copy, Debug)]
+pub struct StdClock {
+    origin: Instant,
+}
+
+impl StdClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> StdClock {
+        StdClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for StdClock {
+    fn default() -> Self {
+        StdClock::new()
+    }
+}
+
+impl MonotonicClock for StdClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A manually advanced clock for deterministic span tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl MonotonicClock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// One completed phase of a run, in clock nanoseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name (e.g. `"filter"`, `"refine"`).
+    pub name: String,
+    /// Clock reading at [`Recorder::phase_start`].
+    pub start_nanos: u64,
+    /// Clock reading at [`Recorder::phase_end`].
+    pub end_nanos: u64,
+}
+
+/// Span bookkeeping behind the [`CountingRecorder`] mutex.
+#[derive(Default)]
+struct SpanLog {
+    closed: Vec<PhaseSpan>,
+    open: Vec<(&'static str, u64)>,
+}
+
+/// The accumulating recorder: a dense atomic counter table plus a
+/// per-phase span log stamped by an injectable [`MonotonicClock`].
+pub struct CountingRecorder {
+    counts: [AtomicU64; COUNTER_COUNT],
+    spans: Mutex<SpanLog>,
+    clock: Box<dyn MonotonicClock>,
+}
+
+impl Default for CountingRecorder {
+    fn default() -> Self {
+        CountingRecorder::new()
+    }
+}
+
+impl fmt::Debug for CountingRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CountingRecorder")
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl CountingRecorder {
+    /// A recorder on the wall clock ([`StdClock`]).
+    pub fn new() -> CountingRecorder {
+        CountingRecorder::with_clock(Box::new(StdClock::new()))
+    }
+
+    /// A recorder on an injected clock (tests pass a [`ManualClock`]).
+    pub fn with_clock(clock: Box<dyn MonotonicClock>) -> CountingRecorder {
+        CountingRecorder {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            spans: Mutex::new(SpanLog::default()),
+            clock,
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn value(&self, counter: Counter) -> u64 {
+        self.counts[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// The full counter table, in report order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        Counter::all()
+            .iter()
+            .map(|&c| (c.name(), self.value(c)))
+            .collect()
+    }
+
+    /// Every completed span, in completion order. Phases still open
+    /// (started but never ended) are not reported.
+    pub fn phases(&self) -> Vec<PhaseSpan> {
+        match self.spans.lock() {
+            Ok(log) => log.closed.clone(),
+            Err(poisoned) => poisoned.into_inner().closed.clone(),
+        }
+    }
+}
+
+impl Recorder for CountingRecorder {
+    fn add(&self, counter: Counter, delta: u64) {
+        self.counts[counter.index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn phase_start(&self, phase: &'static str) {
+        let now = self.clock.now_nanos();
+        let mut log = match self.spans.lock() {
+            Ok(log) => log,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        log.open.push((phase, now));
+    }
+
+    fn phase_end(&self, phase: &'static str) {
+        let now = self.clock.now_nanos();
+        let mut log = match self.spans.lock() {
+            Ok(log) => log,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Close the most recent open span of this phase; an end without
+        // a matching start is ignored (recorders must never panic).
+        if let Some(pos) = log.open.iter().rposition(|(name, _)| *name == phase) {
+            let (name, start_nanos) = log.open.remove(pos);
+            log.closed.push(PhaseSpan {
+                name: name.to_string(),
+                start_nanos,
+                end_nanos: now,
+            });
+        }
+    }
+}
+
+/// Flushes the per-run [`SkylineStats`] counters into a recorder (one
+/// bulk call per field, at the entry-point boundary).
+pub fn record_skyline_stats(rec: &dyn Recorder, stats: &SkylineStats) {
+    rec.add(Counter::CandidatesEmitted, stats.candidate_count as u64);
+    rec.add(Counter::PairTests, stats.pair_tests);
+    rec.add(Counter::BloomQueries, stats.bloom_queries);
+    rec.add(Counter::BloomHits, stats.bloom_hits);
+    rec.add(Counter::BloomWordRejects, stats.bf_word_rejects);
+    rec.add(Counter::BloomBitRejects, stats.bf_bit_rejects);
+    rec.add(Counter::AdjacencyProbes, stats.adjacency_probes);
+    rec.add(Counter::PeakBytes, stats.peak_bytes as u64);
+}
+
+/// Typed decode failure of [`RunReport::from_json`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReportError {
+    /// The checksum trailer is missing: the report was cut short.
+    Truncated,
+    /// The body does not match its checksum (bit flip or hand edit).
+    ChecksumMismatch,
+    /// The report declares a schema version this decoder cannot read.
+    SchemaVersion {
+        /// The version found in the report.
+        found: u64,
+    },
+    /// A structural error, with a static description of what failed.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Truncated => write!(f, "run report truncated (checksum trailer missing)"),
+            ReportError::ChecksumMismatch => write!(f, "run report body fails its checksum"),
+            ReportError::SchemaVersion { found } => {
+                write!(f, "unsupported run-report schema version {found}")
+            }
+            ReportError::Malformed(what) => write!(f, "malformed run report: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// A machine-readable run report: one kernel invocation's identity,
+/// phase timeline, counter table and budget/checkpoint events, with a
+/// schema version and checksum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Schema version of the serialized form ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Kernel label (e.g. `"FilterRefineSky"`).
+    pub kernel: String,
+    /// Fingerprint of the input graph (`Graph::fingerprint`).
+    pub graph_fingerprint: u64,
+    /// The run's [`Completion`], rendered with its `Display` form.
+    pub completion: String,
+    /// Counter table as `(name, value)` rows, in report order.
+    pub counters: Vec<(String, u64)>,
+    /// Completed phase spans, in completion order.
+    pub phases: Vec<PhaseSpan>,
+    /// Budget/checkpoint events, in occurrence order.
+    pub events: Vec<String>,
+}
+
+/// The serialized marker that separates the body from its checksum.
+const CHECKSUM_MARKER: &str = ",\n  \"checksum\": \"";
+
+impl RunReport {
+    /// An empty report for a kernel run.
+    pub fn new(kernel: &str, graph_fingerprint: u64, completion: Completion) -> RunReport {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            kernel: kernel.to_string(),
+            graph_fingerprint,
+            completion: completion.to_string(),
+            counters: Vec::new(),
+            phases: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// A report carrying a [`CountingRecorder`]'s full counter table and
+    /// completed phase spans.
+    pub fn from_recorder(
+        kernel: &str,
+        graph_fingerprint: u64,
+        completion: Completion,
+        rec: &CountingRecorder,
+    ) -> RunReport {
+        let mut report = RunReport::new(kernel, graph_fingerprint, completion);
+        report.counters = rec
+            .counters()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), value))
+            .collect();
+        report.phases = rec.phases();
+        report
+    }
+
+    /// Appends a budget/checkpoint event line.
+    pub fn push_event(&mut self, event: impl Into<String>) {
+        self.events.push(event.into());
+    }
+
+    /// The value of a counter row, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Serializes the report as checksummed JSON.
+    pub fn to_json(&self) -> String {
+        let mut body = String::with_capacity(512);
+        body.push_str("{\n  \"schema_version\": ");
+        push_u64(&mut body, self.schema_version as u64);
+        body.push_str(",\n  \"kernel\": ");
+        push_json_string(&mut body, &self.kernel);
+        body.push_str(",\n  \"graph_fingerprint\": ");
+        push_u64(&mut body, self.graph_fingerprint);
+        body.push_str(",\n  \"completion\": ");
+        push_json_string(&mut body, &self.completion);
+        body.push_str(",\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            body.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_string(&mut body, name);
+            body.push_str(": ");
+            push_u64(&mut body, *value);
+        }
+        body.push_str(if self.counters.is_empty() {
+            "}"
+        } else {
+            "\n  }"
+        });
+        body.push_str(",\n  \"phases\": [");
+        for (i, span) in self.phases.iter().enumerate() {
+            body.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            body.push_str("{\"name\": ");
+            push_json_string(&mut body, &span.name);
+            body.push_str(", \"start_nanos\": ");
+            push_u64(&mut body, span.start_nanos);
+            body.push_str(", \"end_nanos\": ");
+            push_u64(&mut body, span.end_nanos);
+            body.push('}');
+        }
+        body.push_str(if self.phases.is_empty() { "]" } else { "\n  ]" });
+        body.push_str(",\n  \"events\": [");
+        for (i, event) in self.events.iter().enumerate() {
+            body.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_string(&mut body, event);
+        }
+        body.push_str(if self.events.is_empty() { "]" } else { "\n  ]" });
+        let checksum = fnv1a64(body.as_bytes());
+        let mut out = body;
+        out.push_str(CHECKSUM_MARKER);
+        out.push_str(&format!("{checksum:016x}"));
+        out.push_str("\"\n}\n");
+        out
+    }
+
+    /// Writes the JSON form to a sink (the CLI's `--metrics` path, or a
+    /// fault-injecting test sink).
+    pub fn write_to(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        w.write_all(self.to_json().as_bytes())
+    }
+
+    /// Parses and verifies a report produced by [`RunReport::to_json`].
+    ///
+    /// The checksum is verified before anything else, so truncation and
+    /// bit flips are rejected with [`ReportError::Truncated`] /
+    /// [`ReportError::ChecksumMismatch`] rather than surfacing as
+    /// arbitrary parse errors deeper in the body.
+    pub fn from_json(text: &str) -> Result<RunReport, ReportError> {
+        let pos = text.rfind(CHECKSUM_MARKER).ok_or(ReportError::Truncated)?;
+        let body = &text[..pos];
+        let trailer = &text[pos + CHECKSUM_MARKER.len()..];
+        let hex = trailer.get(..16).ok_or(ReportError::Truncated)?;
+        let declared =
+            u64::from_str_radix(hex, 16).map_err(|_| ReportError::Malformed("checksum hex"))?;
+        if !trailer[16..].starts_with("\"\n}") {
+            return Err(ReportError::Truncated);
+        }
+        if fnv1a64(body.as_bytes()) != declared {
+            return Err(ReportError::ChecksumMismatch);
+        }
+
+        let mut cur = Cursor { s: body, i: 0 };
+        cur.eat("{")?;
+        cur.eat("\"schema_version\"")?;
+        cur.eat(":")?;
+        let schema_version = cur.parse_u64()?;
+        if schema_version != SCHEMA_VERSION as u64 {
+            return Err(ReportError::SchemaVersion {
+                found: schema_version,
+            });
+        }
+        cur.eat(",")?;
+        cur.eat("\"kernel\"")?;
+        cur.eat(":")?;
+        let kernel = cur.parse_string()?;
+        cur.eat(",")?;
+        cur.eat("\"graph_fingerprint\"")?;
+        cur.eat(":")?;
+        let graph_fingerprint = cur.parse_u64()?;
+        cur.eat(",")?;
+        cur.eat("\"completion\"")?;
+        cur.eat(":")?;
+        let completion = cur.parse_string()?;
+        cur.eat(",")?;
+        cur.eat("\"counters\"")?;
+        cur.eat(":")?;
+        cur.eat("{")?;
+        let mut counters = Vec::new();
+        if !cur.try_eat("}") {
+            loop {
+                let name = cur.parse_string()?;
+                cur.eat(":")?;
+                let value = cur.parse_u64()?;
+                counters.push((name, value));
+                if !cur.try_eat(",") {
+                    break;
+                }
+            }
+            cur.eat("}")?;
+        }
+        cur.eat(",")?;
+        cur.eat("\"phases\"")?;
+        cur.eat(":")?;
+        cur.eat("[")?;
+        let mut phases = Vec::new();
+        if !cur.try_eat("]") {
+            loop {
+                cur.eat("{")?;
+                cur.eat("\"name\"")?;
+                cur.eat(":")?;
+                let name = cur.parse_string()?;
+                cur.eat(",")?;
+                cur.eat("\"start_nanos\"")?;
+                cur.eat(":")?;
+                let start_nanos = cur.parse_u64()?;
+                cur.eat(",")?;
+                cur.eat("\"end_nanos\"")?;
+                cur.eat(":")?;
+                let end_nanos = cur.parse_u64()?;
+                cur.eat("}")?;
+                phases.push(PhaseSpan {
+                    name,
+                    start_nanos,
+                    end_nanos,
+                });
+                if !cur.try_eat(",") {
+                    break;
+                }
+            }
+            cur.eat("]")?;
+        }
+        cur.eat(",")?;
+        cur.eat("\"events\"")?;
+        cur.eat(":")?;
+        cur.eat("[")?;
+        let mut events = Vec::new();
+        if !cur.try_eat("]") {
+            loop {
+                events.push(cur.parse_string()?);
+                if !cur.try_eat(",") {
+                    break;
+                }
+            }
+            cur.eat("]")?;
+        }
+        cur.skip_ws();
+        if cur.i != cur.s.len() {
+            return Err(ReportError::Malformed("trailing bytes after events"));
+        }
+        Ok(RunReport {
+            schema_version: schema_version as u32,
+            kernel,
+            graph_fingerprint,
+            completion,
+            counters,
+            phases,
+            events,
+        })
+    }
+}
+
+/// FNV-1a 64-bit hash (the report checksum; std-only, stable).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends a decimal `u64` (avoids a `format!` allocation per field).
+fn push_u64(out: &mut String, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    for &b in &buf[i..] {
+        out.push(b as char);
+    }
+}
+
+/// Appends a JSON string literal with the escapes the decoder accepts.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Minimal sequential scanner over the canonical report body.
+struct Cursor<'a> {
+    s: &'a str,
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .s
+            .as_bytes()
+            .get(self.i)
+            .is_some_and(|b| matches!(b, b' ' | b'\n' | b'\r' | b'\t'))
+        {
+            self.i += 1;
+        }
+    }
+
+    /// Consumes the literal (after whitespace) or fails.
+    fn eat(&mut self, lit: &str) -> Result<(), ReportError> {
+        if self.try_eat(lit) {
+            Ok(())
+        } else {
+            Err(ReportError::Malformed("unexpected token"))
+        }
+    }
+
+    /// Consumes the literal (after whitespace) if present.
+    fn try_eat(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if self.s[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, ReportError> {
+        self.skip_ws();
+        let start = self.i;
+        let mut value: u64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.s.as_bytes().get(self.i) {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as u64))
+                .ok_or(ReportError::Malformed("number overflows u64"))?;
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(ReportError::Malformed("expected a number"));
+        }
+        Ok(value)
+    }
+
+    fn parse_string(&mut self) -> Result<String, ReportError> {
+        self.skip_ws();
+        if self.s.as_bytes().get(self.i) != Some(&b'"') {
+            return Err(ReportError::Malformed("expected a string"));
+        }
+        self.i += 1;
+        let mut out = String::new();
+        let mut chars = self.s[self.i..].char_indices();
+        while let Some((off, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.i += off + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = chars
+                                .next()
+                                .and_then(|(_, h)| h.to_digit(16))
+                                .ok_or(ReportError::Malformed("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or(ReportError::Malformed("bad \\u code point"))?,
+                        );
+                    }
+                    _ => return Err(ReportError::Malformed("unknown escape")),
+                },
+                c if (c as u32) < 0x20 => {
+                    return Err(ReportError::Malformed("raw control byte in string"));
+                }
+                c => out.push(c),
+            }
+        }
+        Err(ReportError::Malformed("unterminated string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate_and_enumerate() {
+        let rec = CountingRecorder::new();
+        rec.add(Counter::PairTests, 3);
+        rec.add(Counter::PairTests, 4);
+        rec.add(Counter::BloomHits, 1);
+        assert_eq!(rec.value(Counter::PairTests), 7);
+        assert_eq!(rec.value(Counter::BloomHits), 1);
+        assert_eq!(rec.value(Counter::LazySkips), 0);
+        let table = rec.counters();
+        assert_eq!(table.len(), COUNTER_COUNT);
+        assert_eq!(Counter::all().len(), COUNTER_COUNT);
+        assert!(table.contains(&("pair_tests", 7)));
+    }
+
+    #[test]
+    fn counter_indices_are_dense_and_names_unique() {
+        let mut seen_idx = [false; COUNTER_COUNT];
+        let mut names: Vec<&str> = Vec::new();
+        for &c in Counter::all() {
+            assert!(!seen_idx[c.index()], "duplicate index {}", c.index());
+            seen_idx[c.index()] = true;
+            assert!(!names.contains(&c.name()), "duplicate name {}", c.name());
+            names.push(c.name());
+        }
+        assert!(seen_idx.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn spans_pair_up_under_a_manual_clock() {
+        struct SharedClock(Arc<ManualClock>);
+        impl MonotonicClock for SharedClock {
+            fn now_nanos(&self) -> u64 {
+                self.0.now_nanos()
+            }
+        }
+        let clock = Arc::new(ManualClock::new());
+        let rec = CountingRecorder::with_clock(Box::new(SharedClock(clock.clone())));
+        rec.phase_start("filter");
+        clock.advance(10);
+        rec.phase_end("filter");
+        rec.phase_start("refine");
+        clock.advance(5);
+        rec.phase_start("inner");
+        clock.advance(7);
+        rec.phase_end("inner");
+        rec.phase_end("refine");
+        rec.phase_start("dangling"); // never ended: not reported
+        rec.phase_end("never_started"); // ignored
+        let phases = rec.phases();
+        assert_eq!(
+            phases,
+            vec![
+                PhaseSpan {
+                    name: "filter".into(),
+                    start_nanos: 0,
+                    end_nanos: 10
+                },
+                PhaseSpan {
+                    name: "inner".into(),
+                    start_nanos: 15,
+                    end_nanos: 22
+                },
+                PhaseSpan {
+                    name: "refine".into(),
+                    start_nanos: 10,
+                    end_nanos: 22
+                },
+            ]
+        );
+    }
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::new("FilterRefineSky", 0xdead_beef, Completion::Complete);
+        r.counters = vec![("pair_tests".into(), 42), ("bloom_hits".into(), 7)];
+        r.phases = vec![PhaseSpan {
+            name: "refine".into(),
+            start_nanos: 3,
+            end_nanos: 9,
+        }];
+        r.events = vec!["checkpoint saved to \"x\\y\".snap".into()];
+        r
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample_report();
+        let text = r.to_json();
+        let back = RunReport::from_json(&text).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_round_trip_empty_sections() {
+        let r = RunReport::new("BaseSky", 1, Completion::DeadlineExceeded);
+        let back = RunReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.completion, "DeadlineExceeded");
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let text = sample_report().to_json();
+        // (Cutting a single trailing newline keeps the report intact;
+        // anything reaching the closing brace must be rejected.)
+        for cut in [2, 10, text.len() / 2, text.len() - 2] {
+            let err = RunReport::from_json(&text[..text.len() - cut]).unwrap_err();
+            assert!(
+                matches!(err, ReportError::Truncated | ReportError::Malformed(_)),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let text = sample_report().to_json();
+        let marker = text.rfind(CHECKSUM_MARKER).expect("marker");
+        // Flip one bit in every body byte position: the checksum gate
+        // must catch each one (a digit flip would otherwise parse fine).
+        for pos in (0..marker).step_by(7) {
+            let mut bytes = text.clone().into_bytes();
+            bytes[pos] ^= 0x01;
+            let Ok(corrupt) = String::from_utf8(bytes) else {
+                continue; // invalid UTF-8 cannot even reach the decoder
+            };
+            let err = RunReport::from_json(&corrupt).unwrap_err();
+            assert!(
+                matches!(err, ReportError::ChecksumMismatch | ReportError::Truncated),
+                "pos {pos}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_schema_version_is_typed() {
+        let mut r = sample_report();
+        r.schema_version = 99;
+        let err = RunReport::from_json(&r.to_json()).unwrap_err();
+        assert_eq!(err, ReportError::SchemaVersion { found: 99 });
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let r = sample_report();
+        assert_eq!(r.counter("pair_tests"), Some(42));
+        assert_eq!(r.counter("nonexistent"), None);
+    }
+
+    #[test]
+    fn skyline_stats_flush_covers_every_field() {
+        let rec = CountingRecorder::new();
+        let stats = SkylineStats {
+            pair_tests: 1,
+            bf_word_rejects: 2,
+            bf_bit_rejects: 3,
+            adjacency_probes: 4,
+            bloom_queries: 9,
+            bloom_hits: 4,
+            candidate_count: 5,
+            peak_bytes: 6,
+        };
+        record_skyline_stats(&rec, &stats);
+        assert_eq!(rec.value(Counter::PairTests), 1);
+        assert_eq!(rec.value(Counter::BloomWordRejects), 2);
+        assert_eq!(rec.value(Counter::BloomBitRejects), 3);
+        assert_eq!(rec.value(Counter::AdjacencyProbes), 4);
+        assert_eq!(rec.value(Counter::BloomQueries), 9);
+        assert_eq!(rec.value(Counter::BloomHits), 4);
+        assert_eq!(rec.value(Counter::CandidatesEmitted), 5);
+        assert_eq!(rec.value(Counter::PeakBytes), 6);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ReportError::Truncated.to_string().contains("truncated"));
+        assert!(ReportError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
+        assert!(ReportError::SchemaVersion { found: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

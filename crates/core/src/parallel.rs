@@ -4,6 +4,7 @@
 
 use crate::budget::{BudgetTicker, ExecutionBudget};
 use crate::filter_phase::filter_phase;
+use crate::obs::{record_skyline_stats, Recorder};
 use crate::refine::RefineConfig;
 use crate::result::{SkylineResult, SkylineStats};
 use crate::snapshot::{
@@ -73,6 +74,28 @@ impl Verdict {
 /// ```
 pub fn filter_refine_sky_par(g: &Graph, cfg: &RefineConfig, threads: usize) -> SkylineResult {
     filter_refine_sky_par_budgeted(g, cfg, threads, &ExecutionBudget::unlimited())
+}
+
+/// [`filter_refine_sky_par`] with an observability [`Recorder`]
+/// attached: one `"refine_par"` span around the whole run plus a bulk
+/// flush of the run's [`SkylineStats`] at exit. Workers never touch the
+/// recorder, so the result is byte-identical to
+/// [`filter_refine_sky_par`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn filter_refine_sky_par_recorded(
+    g: &Graph,
+    cfg: &RefineConfig,
+    threads: usize,
+    rec: &dyn Recorder,
+) -> SkylineResult {
+    rec.phase_start("refine_par");
+    let result = filter_refine_sky_par(g, cfg, threads);
+    rec.phase_end("refine_par");
+    record_skyline_stats(rec, &result.stats);
+    result
 }
 
 /// [`filter_refine_sky_par`] under an [`ExecutionBudget`] shared by all

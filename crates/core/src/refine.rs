@@ -3,6 +3,7 @@
 
 use crate::budget::{Completion, ExecutionBudget};
 use crate::filter_phase::filter_phase;
+use crate::obs::{record_skyline_stats, NoopRecorder, Recorder};
 use crate::result::{SkylineResult, SkylineStats};
 use crate::snapshot::{
     drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
@@ -127,7 +128,32 @@ pub fn filter_refine_sky_budgeted(
     cfg: &RefineConfig,
     budget: &ExecutionBudget,
 ) -> SkylineResult {
-    filter_refine_leg(g, cfg, budget, RefineState::fresh()).0
+    filter_refine_leg(g, cfg, budget, RefineState::fresh(), &NoopRecorder).0
+}
+
+/// [`filter_refine_sky`] with an observability [`Recorder`] attached.
+///
+/// The recorder sees the kernel's three phases as spans (`"filter"`,
+/// `"bloom_build"`, `"refine"`) and receives the run's full
+/// [`SkylineStats`] counter table as one bulk flush at exit — never
+/// per-event calls from the hot loops, so a [`NoopRecorder`] run is
+/// byte-identical to [`filter_refine_sky`] and costs nothing measurable
+/// (the `obs_overhead` ablation bench keeps this honest).
+pub fn filter_refine_sky_recorded(
+    g: &Graph,
+    cfg: &RefineConfig,
+    rec: &dyn Recorder,
+) -> SkylineResult {
+    let result = filter_refine_leg(
+        g,
+        cfg,
+        &ExecutionBudget::unlimited(),
+        RefineState::fresh(),
+        rec,
+    )
+    .0;
+    record_skyline_stats(rec, &result.stats);
+    result
 }
 
 /// Resume state of an interrupted [`filter_refine_sky`] run: the refine
@@ -186,7 +212,7 @@ pub fn filter_refine_sky_resumable(
         resume,
         RefineState::fresh,
         |state| {
-            let (result, state) = filter_refine_leg(g, cfg, budget, state);
+            let (result, state) = filter_refine_leg(g, cfg, budget, state, &NoopRecorder);
             let completion = result.completion;
             (result, state, completion)
         },
@@ -199,9 +225,12 @@ fn filter_refine_leg(
     cfg: &RefineConfig,
     budget: &ExecutionBudget,
     state: RefineState,
+    rec: &dyn Recorder,
 ) -> (SkylineResult, RefineState) {
     let n = g.num_vertices();
+    rec.phase_start("filter");
     let filter = filter_phase(g);
+    rec.phase_end("filter");
     let mut stats: SkylineStats = filter.seed_stats();
     // A fresh (or structurally invalid) state starts from the filter
     // phase's dominator array; a resumed one continues where it stopped.
@@ -232,6 +261,7 @@ fn filter_refine_leg(
             },
         );
     }
+    rec.phase_start("bloom_build");
     let filters = NeighborhoodFilters::build(g, filter.candidates.iter().copied(), bloom_cfg);
     stats.peak_bytes = filters.size_bytes() + n * 4 /* dominator */ + n * 4 /* stamps */;
     let mut ticker = budget.ticker();
@@ -286,9 +316,12 @@ fn filter_refine_leg(
         }
     };
 
+    rec.phase_end("bloom_build");
+
     let mut seen: Vec<u32> = vec![u32::MAX; n];
     let mut tripped: Option<Completion> = None;
     let mut verified_upto = filter.candidates.len();
+    rec.phase_start("refine");
     'all: for (idx, &u) in filter.candidates.iter().enumerate().skip(start) {
         if dominator[u as usize] != u {
             continue;
@@ -336,9 +369,13 @@ fn filter_refine_leg(
                     continue;
                 }
                 stats.pair_tests += 1;
-                if word_prefilter && !filters.filter_subset(u, w) {
-                    stats.bf_word_rejects += 1;
-                    continue;
+                if word_prefilter {
+                    stats.bloom_queries += 1;
+                    if !filters.filter_subset(u, w) {
+                        stats.bf_word_rejects += 1;
+                        continue;
+                    }
+                    stats.bloom_hits += 1;
                 }
                 // Verify N(u) ⊆ N[w] neighbor by neighbor. `v` is known
                 // common (w ∈ N(v) ⇒ v ∈ N(w)); `w` itself is in N[w].
@@ -352,11 +389,13 @@ fn filter_refine_leg(
                     if x == w || x == v {
                         continue;
                     }
+                    stats.bloom_queries += 1;
                     if !filters.maybe_contains(w, x) {
                         stats.bf_bit_rejects += 1;
                         dominated = false;
                         break;
                     }
+                    stats.bloom_hits += 1;
                     stats.adjacency_probes += 1;
                     if !g.has_edge(w, x) {
                         dominated = false;
@@ -381,6 +420,7 @@ fn filter_refine_leg(
             }
         }
     }
+    rec.phase_end("refine");
 
     match tripped {
         None => {

@@ -20,6 +20,13 @@ pub struct SkylineStats {
     pub bf_bit_rejects: u64,
     /// Exact adjacency probes performed (`NBRcheck` + merge steps).
     pub adjacency_probes: u64,
+    /// Bloom-filter containment queries issued (word prefilters plus
+    /// per-neighbor bit probes). Always equals
+    /// `bloom_hits + bf_word_rejects + bf_bit_rejects`.
+    pub bloom_queries: u64,
+    /// Bloom queries that answered "maybe contained" (the positive
+    /// outcomes; negatives are exact, split across the reject counters).
+    pub bloom_hits: u64,
     /// Size of the candidate set `C` (equals `n` for algorithms without a
     /// filter phase).
     pub candidate_count: usize,

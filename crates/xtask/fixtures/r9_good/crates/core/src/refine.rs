@@ -1,0 +1,14 @@
+//! Fixture: an instrumented kernel module — one entry point accepts the
+//! observability recorder, which covers the whole module.
+
+/// Open-loop entry point (uninstrumented on purpose).
+pub fn refine_sky(xs: &[u32]) -> u32 {
+    xs.iter().copied().max().unwrap_or(0)
+}
+
+/// Instrumented twin: flushes counters into the recorder.
+pub fn refine_sky_recorded(xs: &[u32], rec: &dyn Recorder) -> u32 {
+    let out = refine_sky(xs);
+    rec.add(Counter::CandidatesEmitted, u64::from(out));
+    out
+}

@@ -17,6 +17,7 @@
 //! | R6 | `design-drift`      | ablation/config flags named in DESIGN.md §6 exist in source |
 //! | R7 | `budget-check`      | loop-bearing functions in kernel modules poll the execution budget (`.check(`) |
 //! | R8 | `snapshot-versioned` | every `impl KernelState for` block declares a `FORMAT_VERSION` const and calls `expect_version(` in `decode` |
+//! | R9 | `obs-instrumented`  | every kernel module exposes at least one public entry point taking an observability `Recorder` |
 //!
 //! A violation can be suppressed at the site with an inline comment
 //! carrying a justification:
@@ -81,6 +82,11 @@ pub enum Rule {
     /// justified suppression), so no snapshot state can be deserialized
     /// without a version gate.
     SnapshotVersioned,
+    /// R9: every kernel module exposes at least one non-test public
+    /// entry point that mentions an observability `Recorder` (or carries
+    /// a justified suppression), so no kernel can land without a way to
+    /// extract counters and phase timings from it.
+    ObsInstrumented,
 }
 
 impl Rule {
@@ -95,6 +101,7 @@ impl Rule {
             Rule::DesignDrift => "design-drift",
             Rule::BudgetCheck => "budget-check",
             Rule::SnapshotVersioned => "snapshot-versioned",
+            Rule::ObsInstrumented => "obs-instrumented",
         }
     }
 
@@ -114,6 +121,7 @@ impl Rule {
             Rule::DesignDrift,
             Rule::BudgetCheck,
             Rule::SnapshotVersioned,
+            Rule::ObsInstrumented,
         ]
     }
 }
@@ -165,6 +173,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     violations.extend(rules::check_design_drift(root)?);
     violations.extend(rules::check_budget_checks(root)?);
     violations.extend(rules::check_snapshot_versioned(root)?);
+    violations.extend(rules::check_obs_instrumented(root)?);
     violations.sort_by(|a, b| {
         a.file
             .cmp(&b.file)

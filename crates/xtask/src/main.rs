@@ -4,7 +4,7 @@
 //! cargo run -p nsky-xtask -- lint [--root <path>]
 //! ```
 //!
-//! `lint` runs the repo-specific policy rules R1–R8 (DESIGN.md §8)
+//! `lint` runs the repo-specific policy rules R1–R9 (DESIGN.md §8)
 //! against the workspace and exits non-zero if any violation is found.
 //! `--root` points the engine at another workspace layout (used by the
 //! fixture self-tests).

@@ -1,4 +1,4 @@
-//! The policy rules R1–R8 (see crate docs and DESIGN.md §8).
+//! The policy rules R1–R9 (see crate docs and DESIGN.md §8).
 
 use std::path::Path;
 
@@ -439,6 +439,62 @@ pub(crate) fn check_snapshot_versioned(root: &Path) -> std::io::Result<Vec<Viola
                     }
                 }
             }
+        }
+    }
+    Ok(out)
+}
+
+/// R9 `obs-instrumented`: the modules that must expose an instrumented
+/// entry point — the R7 kernel modules plus the two NeiSky application
+/// modules (whose hot loops live in the kernels they call, but whose
+/// entry points are what the CLI and benches time).
+const OBS_MODULES: &[&str] = &[
+    "crates/core/src/base.rs",
+    "crates/core/src/refine.rs",
+    "crates/core/src/parallel.rs",
+    "crates/clique/src/bnb.rs",
+    "crates/clique/src/mcbrb.rs",
+    "crates/clique/src/neisky.rs",
+    "crates/clique/src/topk.rs",
+    "crates/centrality/src/greedy.rs",
+    "crates/centrality/src/neisky.rs",
+];
+
+/// R9 `obs-instrumented`: every kernel module with public entry points
+/// must have at least one non-test `pub fn` that mentions a `Recorder`
+/// (the observability hook), or carry a justified suppression on its
+/// first public function. One violation per module — the fix is one new
+/// `*_recorded` entry point, not one per function.
+pub(crate) fn check_obs_instrumented(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for module in OBS_MODULES {
+        let path = root.join(module);
+        if !path.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let file = SourceFile::scan(&text);
+        let pub_fns: Vec<FnSpan> = function_spans(&file)
+            .into_iter()
+            .filter(|s| !s.in_test && is_public_decl(&file.lines[s.start].code))
+            .collect();
+        let Some(first) = pub_fns.first() else {
+            continue;
+        };
+        let instrumented = pub_fns.iter().any(|s| {
+            file.lines[s.start..=s.end]
+                .iter()
+                .any(|l| contains_pattern(&l.code, "Recorder"))
+        });
+        if !instrumented && !file.is_suppressed(Rule::ObsInstrumented, first.start + 1) {
+            out.push(Violation {
+                file: rel(root, &path),
+                line: first.start + 1,
+                rule: Rule::ObsInstrumented,
+                message: format!(
+                    "kernel module `{module}` exposes no observability-instrumented public entry point (add a `*_recorded` fn taking a `Recorder`, or justify a suppression)"
+                ),
+            });
         }
     }
     Ok(out)

@@ -1,6 +1,6 @@
 //! Fixture-based self-tests for the policy lint engine: one
 //! true-positive and one true-negative miniature workspace per rule
-//! R1–R8, a CLI exit-code check, and the capstone assertion that the
+//! R1–R9, a CLI exit-code check, and the capstone assertion that the
 //! real workspace is lint-clean.
 
 use std::path::{Path, PathBuf};
@@ -150,6 +150,22 @@ fn r8_versioned_suppressed_and_test_states_clean() {
     assert_clean("r8_good");
 }
 
+#[test]
+fn r9_uninstrumented_kernel_modules_flagged() {
+    let violations = assert_only_rule("r9_bad", Rule::ObsInstrumented);
+    // One violation per module (at its first public entry point), not
+    // one per uninstrumented function.
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].message.contains("refine.rs"));
+    assert!(violations[0].message.contains("Recorder"));
+    assert!(violations[0].file.ends_with("crates/core/src/refine.rs"));
+}
+
+#[test]
+fn r9_recorded_suppressed_and_private_modules_clean() {
+    assert_clean("r9_good");
+}
+
 /// The capstone: the real workspace passes its own policy.
 #[test]
 fn real_workspace_is_lint_clean() {
@@ -175,7 +191,7 @@ fn real_workspace_is_lint_clean() {
 fn cli_exit_codes_match_findings() {
     let bin = env!("CARGO_BIN_EXE_nsky-xtask");
     for bad in [
-        "r1_bad", "r2_bad", "r3_bad", "r4_bad", "r5_bad", "r6_bad", "r7_bad", "r8_bad",
+        "r1_bad", "r2_bad", "r3_bad", "r4_bad", "r5_bad", "r6_bad", "r7_bad", "r8_bad", "r9_bad",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
@@ -191,6 +207,7 @@ fn cli_exit_codes_match_findings() {
     }
     for good in [
         "r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good", "r7_good", "r8_good",
+        "r9_good",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])

@@ -25,6 +25,11 @@ step cargo test -q
 # to the uninterrupted answer, and every corrupt checkpoint must be
 # rejected with a typed error.
 step cargo test -q -p nsky-integration --test snapshot_faults
+# Observability gate, likewise run by name: every counter the kernels
+# flush must satisfy the accounting identities, NoopRecorder twins must
+# match their uninstrumented entry points field-for-field, and the JSON
+# run report must reject truncated/bit-flipped payloads.
+step cargo test -q -p nsky-integration --test obs_invariants
 
 echo
 echo "verify: all gates passed"

@@ -11,7 +11,9 @@
 use nsky_graph::{Graph, VertexId};
 use nsky_setjoin::lc_join_skyline;
 use nsky_skyline::oracle::naive_skyline;
-use nsky_skyline::{base_sky, cset_sky, filter_refine_sky, two_hop_sky, RefineConfig};
+use nsky_skyline::{
+    base_sky, cset_sky, filter_refine_sky, filter_refine_sky_par, two_hop_sky, RefineConfig,
+};
 
 /// Minimal xorshift64* stream (Vigna 2016), independent of
 /// `nsky_graph::prng::SplitMix64` by construction.
@@ -59,6 +61,103 @@ fn five_hundred_random_graphs_agree() {
         assert_eq!(cset_sky(&g).skyline, truth, "case {case}");
         assert_eq!(two_hop_sky(&g).skyline, truth, "case {case}");
         assert_eq!(lc_join_skyline(&g).skyline, truth, "case {case}");
+    }
+}
+
+/// A chain of closed-twin pairs: vertices `2i` and `2i+1` share the
+/// same closed neighborhood (mutual domination — the filter phase's
+/// tie-break has to keep exactly the right one), and consecutive pairs
+/// are fully connected.
+fn twin_chain(k: usize) -> Graph {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for i in 0..k {
+        let v = (2 * i) as u32;
+        let t = v + 1;
+        edges.push((v, t));
+        if i + 1 < k {
+            for a in [v, t] {
+                for b in [v + 2, v + 3] {
+                    edges.push((a, b));
+                }
+            }
+        }
+    }
+    Graph::from_edges(2 * k, edges)
+}
+
+/// A random soup plus trailing isolated vertices: degree-0 vertices
+/// have an empty closed-neighborhood difference against everyone, the
+/// domination definition's boundary case.
+fn with_isolated(rng: &mut XorShift64Star, extra: usize) -> Graph {
+    let core = random_graph(rng);
+    let n = core.num_vertices() + extra;
+    let edges: Vec<(VertexId, VertexId)> = core.edges().collect();
+    Graph::from_edges(n, edges)
+}
+
+/// Two hubs joined by a bridge, each carrying its own leaves: every
+/// leaf is dominated by its hub, and the hubs dominate across the
+/// bridge only when the leaf counts let them.
+fn double_star(a: usize, b: usize) -> Graph {
+    let mut edges: Vec<(VertexId, VertexId)> = vec![(0, 1)];
+    for leaf in 0..a {
+        edges.push((0, (2 + leaf) as u32));
+    }
+    for leaf in 0..b {
+        edges.push((1, (2 + a + leaf) as u32));
+    }
+    Graph::from_edges(2 + a + b, edges)
+}
+
+/// Complete bipartite `K_{a,b}`: every vertex on the smaller side
+/// dominates every vertex on the larger side, so the skyline collapses
+/// to one side (or everything when `a == b`).
+fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u as u32, (a + v) as u32));
+        }
+    }
+    Graph::from_edges(a + b, edges)
+}
+
+/// Adversarial families aimed at the filter phase's pruning rules:
+/// `BaseSky`, `FilterRefineSky` and the parallel skyline must agree
+/// with the naive oracle on all of them.
+#[test]
+fn adversarial_families_agree() {
+    let mut rng = XorShift64Star::new(0x5EED_CAFE);
+    let mut graphs: Vec<(String, Graph)> = Vec::new();
+    for _ in 0..8 {
+        let k = rng.range(1, 12);
+        graphs.push((format!("twin_chain({k})"), twin_chain(k)));
+        let extra = rng.range(1, 6);
+        graphs.push((
+            format!("isolated(+{extra})"),
+            with_isolated(&mut rng, extra),
+        ));
+        let (a, b) = (rng.range(1, 9), rng.range(1, 9));
+        graphs.push((format!("double_star({a},{b})"), double_star(a, b)));
+        graphs.push((format!("k_bipartite({a},{b})"), complete_bipartite(a, b)));
+    }
+    let cfg = RefineConfig::default();
+    for (label, g) in graphs {
+        let truth = naive_skyline(&g).skyline;
+        let refine = filter_refine_sky(&g, &cfg);
+        assert_eq!(refine.skyline, truth, "{label}: refine");
+        assert_eq!(base_sky(&g).skyline, truth, "{label}: base");
+        assert_eq!(
+            filter_refine_sky_par(&g, &cfg, 3).skyline,
+            truth,
+            "{label}: par"
+        );
+        // The filter phase may over-approximate but never drop a
+        // skyline vertex.
+        assert!(
+            refine.stats.candidate_count >= truth.len(),
+            "{label}: filter dropped a skyline vertex"
+        );
     }
 }
 
