@@ -13,21 +13,22 @@
 /// # Panics
 ///
 /// Panics if `bits == 0`.
-pub fn subset_false_positive_probability(bits: usize, deg_v: usize, uncovered: usize) -> f64 {
+pub fn subset_false_positive_probability(bits: usize, deg_v: u32, uncovered: u32) -> f64 {
     assert!(bits > 0, "filter width must be positive");
     if uncovered == 0 {
         return 1.0; // inclusion actually holds: "maybe" is correct.
     }
-    let occupied = 1.0 - (1.0 - 1.0 / bits as f64).powi(deg_v as i32);
-    occupied.powi(uncovered as i32)
+    // CAST: filter widths are vertex degrees, far below 2^53.
+    let occupied = 1.0 - (1.0 - 1.0 / bits as f64).powf(f64::from(deg_v));
+    occupied.powf(f64::from(uncovered))
 }
 
 /// Expected number of exact `NBRcheck` probes saved by the whole-filter
 /// pre-check for a non-included pair: `deg(u) · (1 − p_fp)` probes are
 /// avoided when the pre-check rejects.
-pub fn expected_probes_saved(bits: usize, deg_u: usize, deg_v: usize, uncovered: usize) -> f64 {
+pub fn expected_probes_saved(bits: usize, deg_u: u32, deg_v: u32, uncovered: u32) -> f64 {
     let p_fp = subset_false_positive_probability(bits, deg_v, uncovered);
-    deg_u as f64 * (1.0 - p_fp)
+    f64::from(deg_u) * (1.0 - p_fp)
 }
 
 #[cfg(test)]

@@ -33,6 +33,8 @@ impl BloomConfig {
     /// rate (see the `ablation_bloom` bench).
     pub fn for_max_degree(dmax: usize, bits_per_element: f64) -> Self {
         assert!(bits_per_element > 0.0, "multiplier must be positive");
+        // CAST: degrees stay far below 2^53; the ceil result is clamped
+        // to MAX_BITS right after, so a saturating cast is harmless.
         let want = ((dmax as f64) * bits_per_element).ceil() as usize;
         BloomConfig {
             bits: want.next_power_of_two().clamp(64, Self::MAX_BITS),

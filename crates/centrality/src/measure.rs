@@ -39,6 +39,7 @@ impl GroupMeasure for Closeness {
     #[inline]
     fn contribution(self, d: u32, n: usize) -> f64 {
         if d == u32::MAX {
+            // CAST: n < 2^32 vertices, exact in f64.
             n as f64
         } else {
             d as f64
@@ -53,6 +54,7 @@ impl GroupMeasure for Closeness {
         if total <= 0.0 {
             f64::INFINITY
         } else {
+            // CAST: n < 2^32 vertices, exact in f64.
             n as f64 / total
         }
     }
@@ -116,7 +118,7 @@ impl GroupMeasure for Decay {
         if d == u32::MAX {
             0.0
         } else {
-            self.delta.powi(d as i32)
+            self.delta.powf(f64::from(d))
         }
     }
 

@@ -68,6 +68,7 @@ fn color_candidates(g: &Graph, cand: &[VertexId]) -> Vec<(VertexId, u32)> {
     let mut out = Vec::with_capacity(cand.len());
     for (ci, class) in classes.iter().enumerate() {
         for &v in class {
+            // CAST: color-class counts are ≤ n ≤ u32::MAX.
             out.push((v, ci as u32 + 1));
         }
     }

@@ -120,6 +120,8 @@ pub fn approx_sky(g: &Graph, epsilon: f64) -> SkylineResult {
             continue;
         }
         // w ε-covers u when it reaches at least this overlap.
+        // CAST: `du` is a u32 degree and ε ∈ [0, 1], so the ceil'd
+        // product lies in [0, du] and fits u32 exactly.
         let needed = ((1.0 - epsilon) * du as f64).ceil() as u32;
         let round = u;
         'scan: for &v in g.neighbors(u) {

@@ -206,7 +206,7 @@ fn base_sky_leg(
         if dominator[u as usize] != u {
             continue; // already resolved by a smaller-ID twin
         }
-        let du = g.degree(u) as u32;
+        let du = g.degree_u32(u);
         if du == 0 {
             continue; // isolated: skyline by convention
         }
@@ -235,7 +235,7 @@ fn base_sky_leg(
                 if count[wi] == du {
                     // N(u) ⊆ N[w].
                     stats.pair_tests += 1;
-                    let dw = g.degree(w) as u32;
+                    let dw = g.degree_u32(w);
                     debug_assert!(dw >= du, "inclusion implies deg(w) ≥ deg(u)");
                     if dw == du {
                         // Mutual twins: smaller ID dominates (Def. 2(2)).

@@ -178,13 +178,18 @@ impl TripClock {
 
     /// Total `expired()` calls observed so far.
     pub fn polls(&self) -> u64 {
+        // ORDERING: statistic counter; readers tolerate staleness and no
+        // other memory is published through it.
         self.polls.load(Ordering::Relaxed)
     }
 }
 
 impl DeadlineClock for TripClock {
     fn expired(&self) -> bool {
+        // ORDERING: pure event counter — no data is gated on its value.
         self.polls.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: the countdown only decides *when* to trip; the trip
+        // itself is published by `ExecutionBudget::trip` with Release.
         self.remaining
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
             .is_err()
@@ -202,12 +207,17 @@ impl CancelToken {
     /// Raises the cooperative cancellation flag: every ticker on the
     /// budget trips with [`Completion::Cancelled`] at its next poll.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        // ORDERING: Release pairs with the Acquire load in
+        // `ExecutionBudget::poll`, so everything the cancelling thread
+        // wrote before calling `cancel()` is visible to the kernel when
+        // it observes the flag and starts unwinding.
+        self.flag.store(true, Ordering::Release);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        // ORDERING: Acquire pairs with the Release store in `cancel`.
+        self.flag.load(Ordering::Acquire)
     }
 }
 
@@ -293,7 +303,10 @@ impl ExecutionBudget {
     /// token arms cancellation polling; take it before starting the
     /// kernel.
     pub fn cancel_token(&self) -> CancelToken {
-        self.cancel_observed.store(true, Ordering::Relaxed);
+        // ORDERING: Release pairs with the Acquire load in `is_active`:
+        // a thread that sees the budget armed also sees the token's
+        // shared flag fully initialized.
+        self.cancel_observed.store(true, Ordering::Release);
         CancelToken {
             flag: Arc::clone(&self.cancel),
         }
@@ -305,7 +318,11 @@ impl ExecutionBudget {
     pub fn is_active(&self) -> bool {
         self.clock.is_some()
             || self.memory_cap.is_some()
-            || self.cancel_observed.load(Ordering::Relaxed)
+            // ORDERING: Acquire pairs with the Release store in
+            // `cancel_token`, so an armed budget is seen fully set up.
+            || self.cancel_observed.load(Ordering::Acquire)
+            // ORDERING: arming config; monotonic and self-contained, the
+            // countdown value itself carries no other state.
             || self.checkpoint_period.load(Ordering::Relaxed) != 0
     }
 
@@ -316,12 +333,17 @@ impl ExecutionBudget {
     /// [`ExecutionBudget::rearm_after_checkpoint`] after persisting the
     /// snapshot to resume counting.
     pub fn set_checkpoint_period(&self, polls: u64) {
+        // ORDERING: configuration counters read only by `poll`; a poll
+        // racing the (re)arming may count one period late, which is
+        // within the checkpoint cadence contract. The CheckpointDue trip
+        // itself is published by `trip` with Release.
         self.checkpoint_period.store(polls, Ordering::Relaxed);
         self.polls_until_checkpoint.store(polls, Ordering::Relaxed);
     }
 
     /// The currently armed checkpoint period in polls (`0` = disarmed).
     pub fn checkpoint_period(&self) -> u64 {
+        // ORDERING: standalone config value; see `set_checkpoint_period`.
         self.checkpoint_period.load(Ordering::Relaxed)
     }
 
@@ -333,17 +355,22 @@ impl ExecutionBudget {
     /// trips are never masked.
     pub fn rearm_after_checkpoint(&self) -> bool {
         let code = Completion::CheckpointDue.code();
+        // ORDERING: AcqRel — Acquire sees the tripping thread's final
+        // writes before clearing, Release publishes the reset countdown
+        // to the next poller; Acquire on failure to read the real trip.
         if self
             .tripped
-            .compare_exchange(code, 0, Ordering::Relaxed, Ordering::Relaxed)
+            .compare_exchange(code, 0, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
             return false;
         }
+        // ORDERING: config counters; see `set_checkpoint_period`.
         self.polls_until_checkpoint.store(
             self.checkpoint_period.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        // ORDERING: approximate accounting; see `charge`.
         self.memory_charged.store(0, Ordering::Relaxed);
         true
     }
@@ -351,12 +378,16 @@ impl ExecutionBudget {
     /// The sticky status: [`Completion::Complete`] until a trip, then
     /// the first trip's status forever.
     pub fn status(&self) -> Completion {
-        Completion::from_code(self.tripped.load(Ordering::Relaxed))
+        // ORDERING: Acquire pairs with the Release in `trip`, so a
+        // reader that observes a trip also observes every write the
+        // tripping thread made before it (its published partial result).
+        Completion::from_code(self.tripped.load(Ordering::Acquire))
     }
 
     /// Bytes charged so far (an approximate high-water mark; charges are
     /// never refunded).
     pub fn charged_bytes(&self) -> usize {
+        // ORDERING: approximate accounting; see `charge`.
         self.memory_charged.load(Ordering::Relaxed)
     }
 
@@ -369,6 +400,10 @@ impl ExecutionBudget {
             return Some(tripped);
         }
         let cap = self.memory_cap?;
+        // ORDERING: the running total is a commutative sum — the cap
+        // comparison uses this RMW's own returned value, and the trip
+        // decision is published by `trip` with Release, so Relaxed loses
+        // nothing.
         let total = self
             .memory_charged
             .fetch_add(bytes, Ordering::Relaxed)
@@ -394,9 +429,13 @@ impl ExecutionBudget {
     /// Publishes a trip (first writer wins) and returns the winning
     /// status.
     fn trip(&self, status: Completion) -> Completion {
+        // ORDERING: AcqRel — Release publishes every write the tripping
+        // thread made before the trip (pairs with the Acquire load in
+        // `status`), Acquire orders this thread behind a winning earlier
+        // trip; Acquire on failure so the loser sees the winner's state.
         match self
             .tripped
-            .compare_exchange(0, status.code(), Ordering::Relaxed, Ordering::Relaxed)
+            .compare_exchange(0, status.code(), Ordering::AcqRel, Ordering::Acquire)
         {
             Ok(_) => status,
             Err(prev) => Completion::from_code(prev),
@@ -411,7 +450,10 @@ impl ExecutionBudget {
         if !tripped.is_complete() {
             return Some(tripped);
         }
-        if self.cancel.load(Ordering::Relaxed) {
+        // ORDERING: Acquire pairs with the Release store in
+        // `CancelToken::cancel`, so the kernel that observes the request
+        // also sees everything the canceller wrote before raising it.
+        if self.cancel.load(Ordering::Acquire) {
             return Some(self.trip(Completion::Cancelled));
         }
         if let Some(clock) = &self.clock {
@@ -419,6 +461,7 @@ impl ExecutionBudget {
                 return Some(self.trip(Completion::DeadlineExceeded));
             }
         }
+        // ORDERING: config counters; see `set_checkpoint_period`.
         if self.checkpoint_period.load(Ordering::Relaxed) != 0 {
             let prev = self.polls_until_checkpoint.fetch_update(
                 Ordering::Relaxed,

@@ -33,7 +33,7 @@ pub fn cset_sky(g: &Graph) -> SkylineResult {
         if dominator[u as usize] != u {
             continue;
         }
-        let du = g.degree(u) as u32;
+        let du = g.degree_u32(u);
         if du == 0 {
             continue;
         }
@@ -52,7 +52,7 @@ pub fn cset_sky(g: &Graph) -> SkylineResult {
                 count[wi] += 1;
                 if count[wi] == du {
                     stats.pair_tests += 1;
-                    if g.degree(w) as u32 == du {
+                    if g.degree_u32(w) == du {
                         if w < u {
                             dominator[u as usize] = w;
                             break 'scan;

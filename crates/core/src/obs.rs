@@ -204,6 +204,7 @@ impl Default for StdClock {
 
 impl MonotonicClock for StdClock {
     fn now_nanos(&self) -> u64 {
+        // CAST: u64 nanoseconds cover ~584 years of process uptime.
         self.origin.elapsed().as_nanos() as u64
     }
 }
@@ -222,12 +223,15 @@ impl ManualClock {
 
     /// Advances the clock by `nanos`.
     pub fn advance(&self, nanos: u64) {
+        // ORDERING: test-clock counter; readers only need eventual
+        // monotonic values, no other memory is published through it.
         self.nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 }
 
 impl MonotonicClock for ManualClock {
     fn now_nanos(&self) -> u64 {
+        // ORDERING: see `advance` — standalone counter read.
         self.nanos.load(Ordering::Relaxed)
     }
 }
@@ -289,6 +293,9 @@ impl CountingRecorder {
 
     /// Current value of one counter.
     pub fn value(&self, counter: Counter) -> u64 {
+        // ORDERING: statistics counter — commutative sums read after the
+        // run joins (the join is the synchronization edge); mid-run
+        // readers accept approximate values by contract.
         self.counts[counter.index()].load(Ordering::Relaxed)
     }
 
@@ -312,6 +319,8 @@ impl CountingRecorder {
 
 impl Recorder for CountingRecorder {
     fn add(&self, counter: Counter, delta: u64) {
+        // ORDERING: hot-path statistics increment; see `value` — the
+        // run's join publishes the final totals.
         self.counts[counter.index()].fetch_add(delta, Ordering::Relaxed);
     }
 
@@ -620,6 +629,7 @@ impl RunReport {
             return Err(ReportError::Malformed("trailing bytes after events"));
         }
         Ok(RunReport {
+            // CAST: validated equal to SCHEMA_VERSION a few lines up.
             schema_version: schema_version as u32,
             kernel,
             graph_fingerprint,
@@ -648,6 +658,7 @@ fn push_u64(out: &mut String, v: u64) {
     let mut v = v;
     loop {
         i -= 1;
+        // CAST: `v % 10` is a single decimal digit.
         buf[i] = b'0' + (v % 10) as u8;
         v /= 10;
         if v == 0 {
@@ -669,8 +680,8 @@ fn push_json_string(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
             }
             c => out.push(c),
         }
@@ -769,7 +780,7 @@ impl<'a> Cursor<'a> {
                     }
                     _ => return Err(ReportError::Malformed("unknown escape")),
                 },
-                c if (c as u32) < 0x20 => {
+                c if u32::from(c) < 0x20 => {
                     return Err(ReportError::Malformed("raw control byte in string"));
                 }
                 c => out.push(c),

@@ -10,6 +10,18 @@ use crate::builder::GraphBuilder;
 /// skyline scans; all graphs in the paper fit comfortably.
 pub type VertexId = u32;
 
+/// Converts a vertex *index* (a `usize` position into a length-`n`
+/// array) back to its [`VertexId`]. Exact for every in-range index:
+/// graphs hold at most `u32::MAX` vertices (asserted at construction),
+/// so algorithms that enumerate positions use this instead of ad-hoc
+/// `as u32` casts.
+#[inline]
+pub fn vid(i: usize) -> VertexId {
+    debug_assert!(u32::try_from(i).is_ok(), "vertex index {i} exceeds u32");
+    // CAST: in-range vertex indices fit VertexId by the builder's size bound.
+    i as VertexId
+}
+
 /// An undirected simple graph in compressed-sparse-row form.
 ///
 /// * adjacency lists are **sorted ascending** and free of duplicates and
@@ -127,6 +139,16 @@ impl Graph {
     #[inline]
     pub fn degree(&self, u: VertexId) -> usize {
         self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Degree `deg(u)` as a `u32`. Exact: degrees are bounded by
+    /// `num_vertices() ≤ u32::MAX` (enforced at construction), and
+    /// kernels that store degrees next to `u32` vertex ids use this to
+    /// stay width-correct without per-site casts.
+    #[inline]
+    pub fn degree_u32(&self, u: VertexId) -> u32 {
+        // CAST: degree ≤ num_vertices ≤ u32::MAX, asserted by the builder.
+        self.degree(u) as u32
     }
 
     /// Maximum degree `dmax` (0 for the empty graph).

@@ -4,7 +4,7 @@
 //! initial heuristic clique and to bound branching; core numbers give the
 //! classic `ω ≤ degeneracy + 1` upper bound.
 
-use crate::csr::{Graph, VertexId};
+use crate::csr::{vid, Graph, VertexId};
 
 /// Result of the `O(n + m)` core decomposition.
 #[derive(Clone, Debug)]
@@ -35,7 +35,7 @@ pub struct CoreDecomposition {
 pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
     let n = g.num_vertices();
     let dmax = g.max_degree();
-    let mut deg: Vec<u32> = g.vertices().map(|u| g.degree(u) as u32).collect();
+    let mut deg: Vec<u32> = g.vertices().map(|u| g.degree_u32(u)).collect();
 
     // Bucket sort vertices by degree.
     let mut bin = vec![0usize; dmax + 2];
@@ -54,7 +54,7 @@ pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
         let mut cursor = bin.clone();
         for u in g.vertices() {
             let d = deg[u as usize] as usize;
-            pos[u as usize] = cursor[d] as u32;
+            pos[u as usize] = vid(cursor[d]);
             vert[cursor[d]] = u;
             cursor[d] += 1;
         }
@@ -78,8 +78,8 @@ pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
                 if v != w {
                     vert[pv] = w;
                     vert[pw] = v;
-                    pos[v as usize] = pw as u32;
-                    pos[w as usize] = pv as u32;
+                    pos[v as usize] = vid(pw);
+                    pos[w as usize] = vid(pv);
                 }
                 bin[dv] += 1;
                 deg[v as usize] -= 1;
@@ -89,7 +89,7 @@ pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
 
     let mut position = vec![0u32; n];
     for (i, &u) in vert.iter().enumerate() {
-        position[u as usize] = i as u32;
+        position[u as usize] = vid(i);
     }
     CoreDecomposition {
         core,

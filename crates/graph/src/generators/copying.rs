@@ -105,10 +105,15 @@ pub fn power_law_configuration(n: usize, beta: f64, dmin: usize, seed: u64) -> G
     let gamma = 1.0 / (beta - 1.0);
     let mut degrees: Vec<usize> = (0..n)
         .map(|i| {
+            // CAST: i < n < 2^32 and dmin ≤ n are exact in f64; the
+            // floored quantile target is non-negative and far below
+            // usize::MAX (saturating `as` covers the pathological tail).
             let q = (i as f64 + 0.5) / n as f64;
             (dmin as f64 * q.powf(-gamma)).floor() as usize
         })
         .collect();
+    // CAST: the degree sum is < 2^53 (u32-indexed graph), so the f64
+    // square root is exact enough, non-negative, and fits usize.
     let cutoff = ((degrees.iter().sum::<usize>() as f64).sqrt() as usize).max(dmin + 1);
     for d in &mut degrees {
         *d = (*d).min(cutoff);

@@ -40,6 +40,8 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
     let (mut u, mut v) = (0usize, 0usize);
     loop {
         let r = 1.0 - rng.next_f64(); // (0, 1]
+                                      // CAST: the geometric skip is non-negative and `as usize`
+                                      // saturates, after which the loop's bound check terminates it.
         let skip = (r.ln() / log1mp).floor() as usize + 1;
         v += skip;
         while v >= n {
@@ -56,6 +58,7 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
 /// The paper's Fig. 6(a) parameterization: `p = Δp · ln(n) / n`.
 pub fn erdos_renyi_scaled(n: usize, delta_p: f64, seed: u64) -> Graph {
     assert!(n >= 2);
+    // CAST: n < 2^32 is exact in f64.
     let p = (delta_p * (n as f64).ln() / n as f64).clamp(0.0, 1.0);
     erdos_renyi(n, p, seed)
 }

@@ -92,6 +92,8 @@ pub fn leafy_preferential(
             let anchor = pick_hub(&adj, &endpoints, &mut rng);
             link(&mut adj, &mut endpoints, &mut b, v, anchor);
             // `extra` ~ floor + Bernoulli(frac) links into N(anchor).
+            // CAST: leaf multipliers are small non-negative floats;
+            // `as usize` saturates the pathological tail.
             let mut extra = leaf_extra.floor() as usize;
             if rng.next_bool(leaf_extra.fract()) {
                 extra += 1;

@@ -38,6 +38,7 @@ pub fn chung_lu_power_law(n: usize, beta: f64, avg_degree: f64, seed: u64) -> Gr
     let i0 = 1.0;
     let mut w: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-gamma)).collect();
     let sum: f64 = w.iter().sum();
+    // CAST: n < 2^32 is exact in f64.
     let scale = avg_degree * n as f64 / sum;
     for x in &mut w {
         *x *= scale;
@@ -64,6 +65,8 @@ fn chung_lu_from_weights_sorted(w: &[f64], total: f64, seed: u64) -> Graph {
         while j < n && p > 0.0 {
             if p < 1.0 {
                 let r = 1.0 - rng.next_f64();
+                // CAST: non-negative geometric skip; `as usize`
+                // saturates and the scan bound terminates the loop.
                 let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
                 j += skip;
             }

@@ -40,4 +40,4 @@ pub mod threshold;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
-pub use csr::{sorted_intersection_count, sorted_is_subset, Graph, VertexId};
+pub use csr::{sorted_intersection_count, sorted_is_subset, vid, Graph, VertexId};

@@ -3,7 +3,7 @@
 //! vertex count `n` and the edge density `ρ` of a base graph.
 
 use crate::builder::GraphBuilder;
-use crate::csr::{Graph, VertexId};
+use crate::csr::{vid, Graph, VertexId};
 use crate::prng::SplitMix64;
 
 /// The subgraph induced by `keep` (need not be sorted; duplicates ignored),
@@ -17,7 +17,7 @@ pub fn induced_subgraph(g: &Graph, keep: &[VertexId]) -> (Graph, Vec<VertexId>) 
     sorted.dedup();
     let mut old_to_new = vec![u32::MAX; g.num_vertices()];
     for (new, &old) in sorted.iter().enumerate() {
-        old_to_new[old as usize] = new as u32;
+        old_to_new[old as usize] = vid(new);
     }
     let mut b = GraphBuilder::new(sorted.len());
     for &old_u in &sorted {
@@ -41,6 +41,8 @@ pub fn induced_subgraph(g: &Graph, keep: &[VertexId]) -> (Graph, Vec<VertexId>) 
 pub fn sample_vertices(g: &Graph, fraction: f64, seed: u64) -> (Graph, Vec<VertexId>) {
     assert!((0.0..=1.0).contains(&fraction), "fraction out of [0,1]");
     let n = g.num_vertices();
+    // CAST: n < 2^32 is exact in f64; the rounded product lies in [0, n]
+    // and `as usize` saturates on the (unreachable) non-finite case.
     let k = ((n as f64) * fraction).round() as usize;
     let mut rng = SplitMix64::new(seed);
     let keep: Vec<VertexId> = rng
@@ -60,6 +62,8 @@ pub fn sample_vertices(g: &Graph, fraction: f64, seed: u64) -> (Graph, Vec<Verte
 pub fn sample_edges(g: &Graph, fraction: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&fraction), "fraction out of [0,1]");
     let m = g.num_edges();
+    // CAST: edge counts are < 2^53 (adjacency is u32-indexed), so the
+    // product is exact in f64 and the rounded value lies in [0, m].
     let k = ((m as f64) * fraction).round() as usize;
     let mut rng = SplitMix64::new(seed);
     let chosen = rng.sample_distinct(m, k.min(m));

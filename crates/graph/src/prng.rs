@@ -58,6 +58,7 @@ impl SplitMix64 {
     /// Uniform `usize` index into a slice of length `len`.
     #[inline]
     pub fn next_index(&mut self, len: usize) -> usize {
+        // CAST: the sampled value is < len, which is a usize.
         self.next_below(len as u64) as usize
     }
 

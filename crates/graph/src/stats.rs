@@ -60,6 +60,7 @@ pub fn power_law_slope_estimate(g: &Graph) -> Option<f64> {
     if pts.len() < 3 {
         return None;
     }
+    // CAST: degree-distribution supports are ≤ n < 2^32, exact in f64.
     let n = pts.len() as f64;
     let sx: f64 = pts.iter().map(|p| p.0).sum();
     let sy: f64 = pts.iter().map(|p| p.1).sum();

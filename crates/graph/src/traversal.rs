@@ -4,7 +4,7 @@
 //! per marginal-gain evaluation, so [`Bfs`] keeps its queue and distance
 //! array allocated across runs ("workhorse collection" pattern).
 
-use crate::csr::{Graph, VertexId};
+use crate::csr::{vid, Graph, VertexId};
 use std::collections::VecDeque;
 
 /// Distance value for unreachable vertices.
@@ -141,7 +141,7 @@ pub fn largest_component(g: &Graph) -> Vec<VertexId> {
     let Some(best) = (0..k).max_by_key(|&c| sizes[c]) else {
         return Vec::new();
     };
-    let best = best as u32;
+    let best = vid(best);
     comp.iter()
         .enumerate()
         .filter(|(_, &c)| c == best)

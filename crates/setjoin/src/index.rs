@@ -50,6 +50,7 @@ impl InvertedIndex {
         let mut cursor = offsets.clone();
         for (rid, rec) in records.iter().enumerate() {
             for &e in rec {
+                // CAST: record ids are u32 by the builder's size bound.
                 postings[cursor[e as usize]] = rid as u32;
                 cursor[e as usize] += 1;
             }
@@ -95,6 +96,7 @@ impl InvertedIndex {
     /// that want different semantics must special-case it.
     pub fn supersets_of(&self, query: &[u32]) -> Vec<u32> {
         if query.is_empty() {
+            // CAST: record count fits u32 by the builder's size bound.
             return (0..self.records as u32).collect();
         }
         // Rarest-first: order the query's postings lists by length.

@@ -67,6 +67,7 @@ impl PrefixTree {
             for &e in &sorted {
                 at = tree.child(at, e);
             }
+            // CAST: query ids are u32 by the builder's size bound.
             tree.nodes[at].queries.push(qid as u32);
         }
         tree
@@ -116,6 +117,7 @@ impl PrefixTree {
     /// Returns, per query id, the ascending record ids containing it.
     pub fn containment_join(&self, index: &InvertedIndex) -> Vec<Vec<u32>> {
         let mut out: Vec<Vec<u32>> = vec![Vec::new(); self.num_queries];
+        // CAST: record count fits u32 by the index builder's bound.
         let all: Vec<u32> = (0..index.num_records() as u32).collect();
         // Explicit DFS stack of (node, candidate list at that node).
         let mut stack: Vec<(usize, std::rc::Rc<Vec<u32>>)> = vec![(0, std::rc::Rc::new(all))];

@@ -1,0 +1,17 @@
+//! Fixture: potentially-lossy `as` casts with no justification.
+
+fn narrow_param(n: usize) -> u32 {
+    n as u32
+}
+
+fn narrow_len(xs: &[u64]) -> u32 {
+    xs.len() as u32
+}
+
+fn float_trunc(x: f64) -> i64 {
+    x.round() as i64
+}
+
+fn unknown_to_narrow(g: &Graph) -> u32 {
+    g.order() as u32
+}

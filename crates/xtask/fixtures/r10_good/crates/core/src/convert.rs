@@ -1,0 +1,34 @@
+//! Fixture: the same casts, justified, rewritten or genuinely lossless.
+
+fn narrow_param(n: usize) -> u32 {
+    // CAST: n is a vertex count, bounded by the u32 builder limit.
+    n as u32
+}
+
+fn narrow_len_rewritten(xs: &[u64]) -> u32 {
+    u32::try_from(xs.len()).unwrap_or(u32::MAX)
+}
+
+fn widening_is_silent(u: u32) -> u64 {
+    u64::from(u) + u as u64
+}
+
+fn identity_is_silent(xs: &[u64]) -> usize {
+    xs.len() as usize
+}
+
+fn unknown_to_wide(g: &Graph) -> usize {
+    g.order() as usize
+}
+
+fn suppressed(n: usize) -> u16 {
+    // nsky-lint: allow(cast-audit) — fixture exercises the waiver path
+    n as u16
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_are_exempt(n: usize) -> u32 {
+        n as u32
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: under-argued atomics in an audited coordination file.
+
+struct Shared {
+    cancel: AtomicBool,
+    steps: AtomicU64,
+}
+
+impl Shared {
+    fn uncommented(&self) -> u64 {
+        self.steps.load(Ordering::Acquire)
+    }
+
+    fn hidden_ordering(&self) {
+        // ORDERING: delegated to a helper, which hides the reasoning.
+        self.steps.store(0, self.ord());
+    }
+
+    fn relaxed_flag(&self) {
+        // ORDERING: relaxed is claimed to be enough here (it is not).
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+}

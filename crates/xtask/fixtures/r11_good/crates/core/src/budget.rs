@@ -1,0 +1,36 @@
+//! Fixture: atomics with named orderings and happens-before rationale.
+
+struct Shared {
+    cancel: AtomicBool,
+    steps: AtomicU64,
+}
+
+impl Shared {
+    fn request_cancel(&self) {
+        // ORDERING: Release pairs with the Acquire load in is_cancelled,
+        // publishing every write made before the request.
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    fn is_cancelled(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in request_cancel.
+        self.cancel.load(Ordering::Acquire)
+    }
+
+    fn count_step(&self) {
+        // ORDERING: monotonic counter, read only after join — Relaxed
+        // suffices because the join itself synchronizes.
+        self.steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn not_an_atomic(v: &mut Vec<u32>) {
+        v.swap(0, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_are_exempt(s: &super::Shared) {
+        s.cancel.store(false, Ordering::Relaxed);
+    }
+}

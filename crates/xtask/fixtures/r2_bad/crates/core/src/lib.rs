@@ -1,5 +1,7 @@
 //! Fixture: panicking escape hatches in non-test library code.
 
+#![forbid(unsafe_code)]
+
 /// Documented, so only `panic-free` fires here.
 pub fn bad_unwrap(x: Option<u32>) -> u32 {
     x.unwrap()

@@ -2,6 +2,8 @@
 //!
 //! Doc comments may mention `x.unwrap()` freely.
 
+#![forbid(unsafe_code)]
+
 /// Strings mentioning panic!( are data, not code.
 pub fn strings_only() -> &'static str {
     "call .unwrap() and panic!( here"

@@ -1,3 +1,4 @@
+// nsky-lint: allow(safety-comment) — audited unsafe below; the crate cannot forbid it
 //! Fixture: unsafe with the required SAFETY comment.
 
 /// Reads the first word.

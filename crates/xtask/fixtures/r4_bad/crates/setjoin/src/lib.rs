@@ -1,5 +1,7 @@
 //! Fixture: undocumented public API.
 
+#![forbid(unsafe_code)]
+
 pub fn undocumented_fn() {}
 
 pub struct UndocumentedStruct;

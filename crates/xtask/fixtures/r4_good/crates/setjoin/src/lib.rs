@@ -1,5 +1,7 @@
 //! Fixture: documented public API, attributes between doc and item.
 
+#![forbid(unsafe_code)]
+
 /// Documented function.
 pub fn documented_fn() {}
 

@@ -1,5 +1,7 @@
 //! Fixture: console output and process exit in a library crate.
 
+#![forbid(unsafe_code)]
+
 /// Documented, so only `no-stdout` fires here.
 pub fn noisy() {
     println!("loading dataset");

@@ -2,6 +2,8 @@
 //!
 //! Doc text may say println! freely.
 
+#![forbid(unsafe_code)]
+
 /// Returns a format string mentioning println!("...").
 pub fn silent() -> &'static str {
     "println! is just data here"

@@ -1,4 +1,6 @@
 //! Fixture: source without the documented flag.
 
+#![forbid(unsafe_code)]
+
 /// Present but unrelated.
 pub fn unrelated() {}

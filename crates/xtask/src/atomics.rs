@@ -1,0 +1,323 @@
+//! R11 `atomic-ordering`: atomic operations must argue their ordering.
+//!
+//! The budget/observability/parallel subsystems coordinate threads with
+//! atomics; an under-synchronized flag there does not crash — it lets a
+//! cancelled kernel keep running or publishes a completion before its
+//! results are visible. R11 audits the files where that state lives
+//! (`parallel.rs`, `budget.rs`, `obs.rs`, `snapshot.rs` of every library
+//! crate) and requires, for every atomic load/store/RMW call:
+//!
+//! 1. an explicit `Ordering` argument at the call site (a wrapper that
+//!    hides the ordering also hides the reasoning),
+//! 2. an `// ORDERING: <happens-before rationale>` comment on the call
+//!    line or within the three lines above it (method chains split
+//!    across lines by rustfmt still count),
+//! 3. **not** `Relaxed` when the receiver is a cross-thread
+//!    completion/cancel flag (named `cancel`/`cancelled`/`done`/
+//!    `complete`/`completion`/`tripped`/`stop`/`stopped`/`finished`/
+//!    `flag`): `Relaxed` on such a flag orders nothing, so an observer
+//!    that sees the flag may still miss the writes it announces. This
+//!    third check is a correctness finding, not a comment-form nit, and
+//!    a suppression does not waive it.
+//!
+//! Calls are recognized as atomic when the receiver identifier is
+//! declared with an `Atomic*` type in the same file, or when the
+//! argument list names an ordering (`Relaxed`/`Acquire`/`Release`/
+//! `AcqRel`/`SeqCst`).
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use crate::source::SourceFile;
+use crate::{library_src_dirs, rel, rust_files, Rule, Violation};
+
+/// File names whose atomics R11 audits (within library crate `src/`).
+const ATOMIC_FILES: &[&str] = &["parallel.rs", "budget.rs", "obs.rs", "snapshot.rs"];
+
+/// Atomic method names (std `core::sync::atomic` surface).
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// The five ordering names.
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Receiver names that denote cross-thread completion/cancel flags.
+const FLAG_NAMES: &[&str] = &[
+    "cancel",
+    "cancelled",
+    "done",
+    "complete",
+    "completion",
+    "tripped",
+    "stop",
+    "stopped",
+    "finished",
+    "flag",
+];
+
+/// R11 over the audited files of every library crate.
+pub(crate) fn check_atomics(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for (crate_name, src_dir) in library_src_dirs(root) {
+        for path in rust_files(&src_dir)? {
+            let audited = path
+                .file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| ATOMIC_FILES.contains(&f));
+            if !audited {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path)?;
+            let file = SourceFile::scan(&text);
+            check_file_atomics(root, &crate_name, &path, &file, &mut out);
+        }
+    }
+    Ok(out)
+}
+
+/// Names declared with an `Atomic*` type in this file (struct fields,
+/// lets, statics: any `name : Atomic…` token sequence).
+fn atomic_names(file: &SourceFile, code: &[usize]) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for k in 2..code.len() {
+        let t = &file.tokens[code[k]];
+        if t.text.starts_with("Atomic")
+            && file.tokens[code[k - 1]].is_punct(":")
+            && file.tokens[code[k - 2]].kind == crate::lex::TokenKind::Ident
+        {
+            names.insert(file.tokens[code[k - 2]].text.clone());
+        }
+    }
+    names
+}
+
+/// Scans one audited file for R11 violations.
+fn check_file_atomics(
+    root: &Path,
+    crate_name: &str,
+    path: &Path,
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    let code = file.code_indices();
+    let atomics = atomic_names(file, &code);
+    for k in 0..code.len() {
+        let t = &file.tokens[code[k]];
+        let is_op = ATOMIC_OPS.contains(&t.text.as_str())
+            && t.kind == crate::lex::TokenKind::Ident
+            && k >= 1
+            && file.tokens[code[k - 1]].is_punct(".")
+            && code
+                .get(k + 1)
+                .is_some_and(|&i| file.tokens[i].is_punct("("));
+        if !is_op || file.in_test(t.line) {
+            continue;
+        }
+        let receiver = receiver_name(file, &code, k);
+        let args = arg_orderings(file, &code, k + 1);
+        let is_atomic = atomics.contains(&receiver) || !args.is_empty();
+        if !is_atomic {
+            continue; // `Vec::swap`, iterator `fetch_update` lookalikes…
+        }
+        let lineno = t.line;
+        let suppressed = file.is_suppressed(Rule::AtomicOrdering, lineno);
+
+        if args.is_empty() && !suppressed {
+            out.push(Violation {
+                file: rel(root, path),
+                line: lineno,
+                rule: Rule::AtomicOrdering,
+                message: format!(
+                    "atomic `.{}(` on `{receiver}` in `{crate_name}` does not name its `Ordering` at the call site",
+                    t.text
+                ),
+            });
+        }
+        if !file.comment_marker_near("ORDERING:", lineno, 3) && !suppressed {
+            out.push(Violation {
+                file: rel(root, path),
+                line: lineno,
+                rule: Rule::AtomicOrdering,
+                message: format!(
+                    "atomic `.{}(` on `{receiver}` lacks an `// ORDERING: <happens-before rationale>` comment",
+                    t.text
+                ),
+            });
+        }
+        // The correctness check: Relaxed on a cross-thread flag. Not
+        // waivable by suppression — rewrite the ordering instead.
+        if args.iter().any(|o| o == "Relaxed") && FLAG_NAMES.contains(&receiver.as_str()) {
+            out.push(Violation {
+                file: rel(root, path),
+                line: lineno,
+                rule: Rule::AtomicOrdering,
+                message: format!(
+                    "`Ordering::Relaxed` on cross-thread flag `{receiver}` (`.{}(`): a Relaxed flag orders no prior writes — use Release on the store and Acquire on the load",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// The receiver identifier of the method call at code index `k` (the
+/// token before the `.`). For an indexed receiver (`counts[i].load`)
+/// this walks back over the `[...]` to the container's name.
+fn receiver_name(file: &SourceFile, code: &[usize], k: usize) -> String {
+    if k < 2 {
+        return String::new();
+    }
+    let mut r = k - 2;
+    if file.tokens[code[r]].is_punct("]") {
+        let mut depth = 0usize;
+        while r > 0 {
+            let t = &file.tokens[code[r]];
+            if t.is_punct("]") {
+                depth += 1;
+            } else if t.is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            r -= 1;
+        }
+        if r == 0 {
+            return String::new();
+        }
+        r -= 1;
+    }
+    file.tokens[code[r]].text.clone()
+}
+
+/// Ordering names appearing in the argument list opened at code index
+/// `open` (the `(` after the method name).
+fn arg_orderings(file: &SourceFile, code: &[usize], open: usize) -> Vec<String> {
+    let mut depth = 0i32;
+    let mut out = Vec::new();
+    for &ti in &code[open..] {
+        let t = &file.tokens[ti];
+        match t.text.as_str() {
+            "(" if t.kind == crate::lex::TokenKind::Punct => depth += 1,
+            ")" if t.kind == crate::lex::TokenKind::Punct => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {
+                if ORDERINGS.contains(&t.text.as_str()) && t.kind == crate::lex::TokenKind::Ident {
+                    out.push(t.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(src: &str) -> Vec<String> {
+        let file = SourceFile::scan(src);
+        let mut out = Vec::new();
+        check_file_atomics(
+            Path::new("/r"),
+            "core",
+            Path::new("/r/budget.rs"),
+            &file,
+            &mut out,
+        );
+        out.into_iter().map(|v| v.message).collect()
+    }
+
+    #[test]
+    fn commented_acquire_release_is_clean() {
+        let src = "\
+struct C { flag: AtomicBool }
+impl C {
+    fn cancel(&self) {
+        // ORDERING: Release pairs with the Acquire load in is_cancelled.
+        self.flag.store(true, Ordering::Release);
+    }
+}
+";
+        assert!(audit(src).is_empty());
+    }
+
+    #[test]
+    fn missing_ordering_comment_is_flagged() {
+        let src = "\
+struct C { bits: AtomicU64 }
+impl C {
+    fn bump(&self) { self.bits.fetch_add(1, Ordering::Relaxed); }
+}
+";
+        let msgs = audit(src);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("ORDERING:"));
+    }
+
+    #[test]
+    fn relaxed_on_cancel_flag_is_an_error_even_with_comment() {
+        let src = "\
+struct C { cancel: AtomicBool }
+impl C {
+    fn go(&self) {
+        // ORDERING: relaxed is enough (it is not)
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+}
+";
+        let msgs = audit(src);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("Relaxed"));
+    }
+
+    #[test]
+    fn hidden_ordering_is_flagged() {
+        let src = "\
+struct C { flag: AtomicBool }
+impl C {
+    fn set(&self) {
+        // ORDERING: delegated
+        self.flag.store(true, self.ord());
+    }
+}
+";
+        let msgs = audit(src);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("name its `Ordering`"));
+    }
+
+    #[test]
+    fn vec_swap_is_not_atomic() {
+        assert!(audit("fn f(v: &mut Vec<u32>) { v.swap(0, 1); }").is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(c: &C) { c.flag.store(true, Ordering::Relaxed); }
+}
+";
+        assert!(audit(src).is_empty());
+    }
+}

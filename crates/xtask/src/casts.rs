@@ -1,0 +1,616 @@
+//! R10 `cast-audit`: potentially-lossy `as` casts need a justification.
+//!
+//! An `as` cast between numeric primitives silently truncates, wraps or
+//! rounds; the skyline kernels index million-vertex adjacency arrays
+//! with exactly such conversions, where a silent `u64 as usize` wrap on
+//! a 32-bit target corrupts bucket indices instead of erroring. R10
+//! finds every `as <numeric-primitive>` cast in library code, decides
+//! whether it can lose information, and requires lossy sites to carry a
+//! `// CAST: <why the value is in range>` comment (same line or up to
+//! two lines above), a justified suppression, or — better — a rewrite
+//! to `try_from`/`From`.
+//!
+//! ## What counts as lossy
+//!
+//! `usize`/`isize` are treated as *interval* widths `[32, 64]` bits (the
+//! targets this workspace supports), so a cast is lossy when it can lose
+//! information on **any** supported target:
+//!
+//! * unsigned→unsigned / signed→signed: lossy iff the source's maximum
+//!   width exceeds the destination's minimum width (`u64 as usize` and
+//!   `usize as u32` are lossy; `u32 as usize` is not),
+//! * signed→unsigned: always lossy (negative values wrap),
+//! * unsigned→signed: lossy iff the source's maximum width reaches the
+//!   destination's minimum width (`u32 as i64` is fine, `u32 as i32` not),
+//! * int→float: lossy iff the integer can exceed the mantissa (24 bits
+//!   for `f32`, 53 for `f64` — so `u64 as f64` is lossy, `u32 as f64` not),
+//! * float→int and `f64 as f32`: always lossy,
+//! * `bool`→int and `char`→(≥32-bit int): lossless.
+//!
+//! ## Local type inference
+//!
+//! The engine is a lexer, not a type checker, so the source type comes
+//! from *local* evidence: typed `let` bindings and `fn` parameters in
+//! the enclosing function, a crate-wide index of `fn` return types, a
+//! method table for unmistakable std calls (`.len()` → `usize`,
+//! `.count_ones()` → `u32`, `.ceil()` → float, …), literal values
+//! (checked against the destination's guaranteed range), `true`/`false`,
+//! and cast chains (`x as u32 as u64` — the second cast's source is
+//! `u32`). When no evidence is found the source is *unknown*, and the
+//! cast is flagged only if the destination is narrow (`u8`/`u16`/`u32`/
+//! `i8`/`i16`/`i32`/`f32`): an unknown value cast to `usize`/`u64`/`f64`
+//! is overwhelmingly a widening in this codebase, and flagging all ~300
+//! of them would bury the real findings in waivers.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::items::ItemKind;
+use crate::lex::{Token, TokenKind};
+use crate::source::SourceFile;
+use crate::{library_src_dirs, rel, rust_files, Rule, Violation};
+
+/// A numeric primitive's shape: signedness and guaranteed width bounds
+/// in bits (`usize`/`isize` span `[32, 64]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ty {
+    /// Integer: `(signed, min_bits, max_bits)`.
+    Int(bool, u32, u32),
+    /// Float: mantissa bits (24 for `f32`, 53 for `f64`).
+    Float(u32),
+    /// `bool` (always 0 or 1).
+    Bool,
+    /// `char` (21 significant bits, never negative).
+    Char,
+}
+
+/// Parses a primitive type name.
+fn prim(name: &str) -> Option<Ty> {
+    Some(match name {
+        "u8" => Ty::Int(false, 8, 8),
+        "u16" => Ty::Int(false, 16, 16),
+        "u32" => Ty::Int(false, 32, 32),
+        "u64" => Ty::Int(false, 64, 64),
+        "u128" => Ty::Int(false, 128, 128),
+        "usize" => Ty::Int(false, 32, 64),
+        "i8" => Ty::Int(true, 8, 8),
+        "i16" => Ty::Int(true, 16, 16),
+        "i32" => Ty::Int(true, 32, 32),
+        "i64" => Ty::Int(true, 64, 64),
+        "i128" => Ty::Int(true, 128, 128),
+        "isize" => Ty::Int(true, 32, 64),
+        "f32" => Ty::Float(24),
+        "f64" => Ty::Float(53),
+        "bool" => Ty::Bool,
+        "char" => Ty::Char,
+        _ => return None,
+    })
+}
+
+/// Destinations narrow enough that an *unknown* source is still flagged.
+fn narrow(dst: Ty) -> bool {
+    match dst {
+        Ty::Int(_, _, max) => max <= 32,
+        Ty::Float(m) => m <= 24,
+        Ty::Bool | Ty::Char => false,
+    }
+}
+
+/// Whether `src as dst` can lose information on any supported target
+/// (`None` source = unknown → defer to [`narrow`]).
+fn lossy(src: Option<Ty>, dst: Ty) -> bool {
+    let Some(src) = src else { return narrow(dst) };
+    if src == dst {
+        return false; // identity cast (e.g. `.len() as usize`)
+    }
+    match (src, dst) {
+        (Ty::Bool, Ty::Int(..)) => false,
+        (Ty::Char, Ty::Int(signed, min, _)) => {
+            // char holds at most 21 significant bits, never negative.
+            let usable = if signed { min - 1 } else { min };
+            usable < 21
+        }
+        (Ty::Int(false, _, smax), Ty::Int(false, dmin, _)) => smax > dmin,
+        (Ty::Int(true, _, smax), Ty::Int(true, dmin, _)) => smax > dmin,
+        (Ty::Int(true, _, _), Ty::Int(false, _, _)) => true,
+        (Ty::Int(false, _, smax), Ty::Int(true, dmin, _)) => smax >= dmin,
+        (Ty::Int(_, _, smax), Ty::Float(mantissa)) => smax > mantissa,
+        (Ty::Float(_), Ty::Int(..)) => true,
+        (Ty::Float(sm), Ty::Float(dm)) => sm > dm,
+        // bool/char destinations (`u8 as char` is compile-checked) and
+        // anything else structurally impossible: not our finding.
+        _ => false,
+    }
+}
+
+/// Guaranteed-representable upper bound of an integer destination (for
+/// the literal fits-check), on the *narrowest* supported target.
+fn int_max(dst: Ty) -> Option<u128> {
+    match dst {
+        Ty::Int(signed, min, _) => {
+            let usable = if signed { min - 1 } else { min };
+            Some(if usable >= 128 {
+                u128::MAX
+            } else {
+                (1u128 << usable) - 1
+            })
+        }
+        // Every u32-range literal is exact in f64; 24-bit in f32.
+        Ty::Float(m) => Some((1u128 << m) - 1),
+        _ => None,
+    }
+}
+
+/// Unmistakable std methods whose return type is fixed by convention.
+fn method_return(name: &str) -> Option<Ty> {
+    match name {
+        "len" | "capacity" | "count" => prim("usize"),
+        "count_ones" | "count_zeros" | "leading_zeros" | "trailing_zeros" | "ilog2" => prim("u32"),
+        "subsec_nanos" => prim("u32"),
+        "as_secs" => prim("u64"),
+        "as_nanos" | "as_micros" | "as_millis" => prim("u128"),
+        // Float math: receiver width is unknown, so assume the wider
+        // f64 — any float→int cast is lossy regardless.
+        "ceil" | "floor" | "round" | "trunc" | "sqrt" | "ln" | "log2" | "log10" | "powf"
+        | "powi" | "exp" => prim("f64"),
+        _ => None,
+    }
+}
+
+/// R10 over every library crate.
+pub(crate) fn check_casts(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for (crate_name, src_dir) in library_src_dirs(root) {
+        // Crate-wide fn-name → return-type index (only unambiguous,
+        // primitive-returning names survive).
+        let mut files = Vec::new();
+        for path in rust_files(&src_dir)? {
+            let text = std::fs::read_to_string(&path)?;
+            files.push((path, SourceFile::scan(&text)));
+        }
+        let mut fn_ret: HashMap<String, Option<Ty>> = HashMap::new();
+        for (_, file) in &files {
+            for item in &file.items {
+                if item.kind == ItemKind::Fn {
+                    let ty = item.ret.as_deref().and_then(prim);
+                    match fn_ret.get(&item.name) {
+                        None => {
+                            fn_ret.insert(item.name.clone(), ty);
+                        }
+                        Some(&prev) if prev != ty => {
+                            fn_ret.insert(item.name.clone(), None);
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        for (path, file) in &files {
+            check_file_casts(root, &crate_name, path, file, &fn_ret, &mut out);
+        }
+    }
+    Ok(out)
+}
+
+/// Scans one file for lossy `as` casts lacking a `// CAST:` comment.
+fn check_file_casts(
+    root: &Path,
+    crate_name: &str,
+    path: &Path,
+    file: &SourceFile,
+    fn_ret: &HashMap<String, Option<Ty>>,
+    out: &mut Vec<Violation>,
+) {
+    let code = file.code_indices();
+    for k in 0..code.len() {
+        let t = &file.tokens[code[k]];
+        if !t.is_ident("as") || k == 0 {
+            continue;
+        }
+        let Some(&dst_i) = code.get(k + 1) else {
+            continue;
+        };
+        let Some(dst) = prim_ident(&file.tokens[dst_i]) else {
+            continue; // `use x as y`, `<T as Trait>`, pointer casts, …
+        };
+        let lineno = t.line;
+        if file.in_test(lineno) {
+            continue;
+        }
+        let src = infer_source(file, &code, k, fn_ret);
+        if !cast_is_lossy(src.clone(), dst, &file.tokens, &code, k) {
+            continue;
+        }
+        if file.comment_marker_near("CAST:", lineno, 2)
+            || file.is_suppressed(Rule::CastAudit, lineno)
+        {
+            continue;
+        }
+        let src_name = match src {
+            Evidence::Known(name, _) => name,
+            Evidence::Literal(_) => "literal".to_string(),
+            Evidence::Unknown => "?".to_string(),
+        };
+        out.push(Violation {
+            file: rel(root, path),
+            line: lineno,
+            rule: Rule::CastAudit,
+            message: format!(
+                "potentially-lossy cast `{src_name} as {}` in `{crate_name}` (justify with `// CAST: <why in range>`, or rewrite with `try_from`/`From`)",
+                file.tokens[dst_i].text
+            ),
+        });
+    }
+}
+
+/// Parses a primitive type out of an identifier token.
+fn prim_ident(t: &Token) -> Option<Ty> {
+    if t.kind == TokenKind::Ident {
+        prim(&t.text)
+    } else {
+        None
+    }
+}
+
+/// What the inference found about a cast's source operand.
+#[derive(Clone, Debug)]
+enum Evidence {
+    /// A primitive type, with the name it was inferred as.
+    Known(String, Ty),
+    /// An integer literal with a parsed magnitude (fits-checked).
+    Literal(u128),
+    /// No local evidence.
+    Unknown,
+}
+
+/// Applies the lossiness matrix to the gathered evidence.
+fn cast_is_lossy(src: Evidence, dst: Ty, tokens: &[Token], code: &[usize], k_as: usize) -> bool {
+    match src {
+        Evidence::Known(_, ty) => lossy(Some(ty), dst),
+        Evidence::Literal(v) => {
+            // A literal is in range iff it fits the destination's
+            // guaranteed range — unless negated (`-1 as u32`): a negated
+            // literal only fits a signed destination. (The exact
+            // `iN::MIN` literal misfires by one; justify by comment.)
+            let negated = k_as >= 2
+                && tokens[code[k_as - 2]].is_punct("-")
+                && (k_as == 2 || unary_context(&tokens[code[k_as - 3]]));
+            let fits = int_max(dst).is_some_and(|max| v <= max);
+            if negated {
+                !matches!(dst, Ty::Int(true, ..)) || !fits
+            } else {
+                int_max(dst).map_or(lossy(None, dst), |max| v > max)
+            }
+        }
+        Evidence::Unknown => lossy(None, dst),
+    }
+}
+
+/// Whether a `-` preceded by this token is unary (start of expression)
+/// rather than binary subtraction.
+fn unary_context(prev: &Token) -> bool {
+    prev.kind == TokenKind::Punct && !matches!(prev.text.as_str(), ")" | "]")
+}
+
+/// Infers the cast source operand's type from local evidence. `k_as` is
+/// the code index of the `as` token; the operand's last token is at
+/// `k_as - 1`.
+fn infer_source(
+    file: &SourceFile,
+    code: &[usize],
+    k_as: usize,
+    fn_ret: &HashMap<String, Option<Ty>>,
+) -> Evidence {
+    let tok = |k: usize| &file.tokens[code[k]];
+    let last = k_as - 1;
+    let t = tok(last);
+
+    // Literals.
+    if let TokenKind::IntLit { value, suffix } = &t.kind {
+        if let Some(sfx) = suffix.as_deref().and_then(prim) {
+            return Evidence::Known(suffix.clone().unwrap_or_default(), sfx);
+        }
+        if let Some(v) = value {
+            return Evidence::Literal(*v);
+        }
+        return Evidence::Unknown;
+    }
+    if let TokenKind::FloatLit { suffix } = &t.kind {
+        let name = suffix.as_deref().unwrap_or("f64");
+        return prim(name).map_or(Evidence::Unknown, |ty| {
+            Evidence::Known(name.to_string(), ty)
+        });
+    }
+    if t.kind == TokenKind::CharLit {
+        return Evidence::Known("char".to_string(), Ty::Char);
+    }
+    if t.is_ident("true") || t.is_ident("false") {
+        return Evidence::Known("bool".to_string(), Ty::Bool);
+    }
+
+    // Cast chain: `x as u32 as u64` — the second cast's source is u32.
+    if t.kind == TokenKind::Ident && last >= 1 && tok(last - 1).is_ident("as") {
+        if let Some(ty) = prim(&t.text) {
+            return Evidence::Known(t.text.clone(), ty);
+        }
+    }
+
+    // Call: `….name(args) as T` — method table, then the fn index.
+    if t.is_punct(")") {
+        if let Some(open) = match_back(file, code, last, "(", ")") {
+            if open >= 1 && tok(open - 1).kind == TokenKind::Ident {
+                let name = tok(open - 1).text.clone();
+                let is_method = open >= 2 && tok(open - 2).is_punct(".");
+                if is_method {
+                    if let Some(ty) = method_return(&name) {
+                        return Evidence::Known(name, ty);
+                    }
+                }
+                if let Some(ty) = fn_ret.get(&name).copied().flatten() {
+                    return Evidence::Known(name, ty);
+                }
+                // `u32::from(x) as T` / `T::try_from(..)` style paths.
+                if open >= 3 && tok(open - 2).is_punct("::") {
+                    if let Some(ty) = prim_ident(tok(open - 3)) {
+                        return Evidence::Known(tok(open - 3).text.clone(), ty);
+                    }
+                }
+            }
+        }
+        return Evidence::Unknown;
+    }
+
+    // Indexing: `xs[i] as T` — element type from the container's
+    // declared type, when it is `Vec<prim>`, `&[prim]` or `[prim; N]`.
+    if t.is_punct("]") {
+        if let Some(open) = match_back(file, code, last, "[", "]") {
+            if open >= 1 && tok(open - 1).kind == TokenKind::Ident {
+                if let Some(container) = local_type(file, code, k_as, &tok(open - 1).text) {
+                    if let Some(elem) = element_type(&container) {
+                        if let Some(ty) = prim(&elem) {
+                            return Evidence::Known(elem, ty);
+                        }
+                    }
+                }
+            }
+        }
+        return Evidence::Unknown;
+    }
+
+    // Plain variable (not a path segment: `Ordering::Relaxed as u8`).
+    if t.kind == TokenKind::Ident && !(last >= 1 && tok(last - 1).is_punct("::")) {
+        if let Some(rendered) = local_type(file, code, k_as, &t.text) {
+            let base = rendered.trim_start_matches('&').trim();
+            if let Some(ty) = prim(base) {
+                return Evidence::Known(base.to_string(), ty);
+            }
+        }
+        return Evidence::Unknown;
+    }
+
+    Evidence::Unknown
+}
+
+/// Walks backward from the closing delimiter at code index `close` to
+/// its matching opener. Returns the opener's code index.
+fn match_back(
+    file: &SourceFile,
+    code: &[usize],
+    close: usize,
+    open: &str,
+    shut: &str,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    for k in (0..=close).rev() {
+        let t = &file.tokens[code[k]];
+        if t.is_punct(shut) {
+            depth += 1;
+        } else if t.is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// The declared type of `name` visible at the cast site: a `fn`
+/// parameter of the enclosing function, or a typed `let name: T` earlier
+/// in its body. Returns the rendered type string.
+fn local_type(file: &SourceFile, code: &[usize], k_as: usize, name: &str) -> Option<String> {
+    let cast_tok = code[k_as];
+    let enclosing = file
+        .items
+        .iter()
+        .filter(|i| i.kind == ItemKind::Fn && i.span.0 <= cast_tok && cast_tok <= i.span.1)
+        .max_by_key(|i| i.span.0)?;
+    // `let name: T = …` between the fn start and the cast.
+    let mut found: Option<String> = None;
+    for k in 0..k_as {
+        let ti = code[k];
+        if ti < enclosing.span.0 || ti > enclosing.span.1 {
+            continue;
+        }
+        if !file.tokens[ti].is_ident("let") {
+            continue;
+        }
+        let mut j = k + 1;
+        if file.tokens[code[j]].is_ident("mut") {
+            j += 1;
+        }
+        if !file.tokens[code[j]].is_ident(name) {
+            continue;
+        }
+        if !file.tokens[code[j + 1]].is_punct(":") {
+            // Untyped let rebinds the name: forget earlier evidence.
+            found = None;
+            continue;
+        }
+        // Render tokens up to `=` or `;` at depth 0.
+        let mut end = j + 2;
+        let mut depth = 0i32;
+        while end < code.len() {
+            let tt = &file.tokens[code[end]];
+            if depth == 0 && (tt.is_punct("=") || tt.is_punct(";")) {
+                break;
+            }
+            match tt.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                _ => {}
+            }
+            end += 1;
+        }
+        found = Some(crate::items::render(&file.tokens, code, j + 2, end));
+    }
+    if found.is_some() {
+        return found;
+    }
+    enclosing
+        .params
+        .iter()
+        .find(|(pat, _)| pat == name || pat.trim_start_matches("mut ").trim() == name)
+        .map(|(_, ty)| ty.clone())
+}
+
+/// Extracts the element type of a rendered container type: `Vec<T>`,
+/// `&[T]`, `[T; N]`, `&Vec<T>`.
+fn element_type(container: &str) -> Option<String> {
+    let c = container.trim_start_matches('&').trim();
+    if let Some(rest) = c.strip_prefix("Vec<") {
+        return rest.strip_suffix('>').map(|s| s.trim().to_string());
+    }
+    if let Some(rest) = c.strip_prefix('[') {
+        let inner = rest.strip_suffix(']')?;
+        let elem = inner.split(';').next()?.trim();
+        return Some(elem.to_string());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(src: &str) -> Vec<usize> {
+        let file = SourceFile::scan(src);
+        let mut fn_ret = HashMap::new();
+        for item in &file.items {
+            if item.kind == ItemKind::Fn {
+                fn_ret.insert(item.name.clone(), item.ret.as_deref().and_then(prim));
+            }
+        }
+        let mut out = Vec::new();
+        check_file_casts(
+            Path::new("/r"),
+            "core",
+            Path::new("/r/x.rs"),
+            &file,
+            &fn_ret,
+            &mut out,
+        );
+        out.into_iter().map(|v| v.line).collect()
+    }
+
+    #[test]
+    fn matrix() {
+        let l = |s, d| lossy(prim(s), prim(d).expect("dst"));
+        assert!(l("usize", "u32"));
+        assert!(l("u64", "usize"));
+        assert!(!l("u32", "usize"));
+        assert!(!l("u32", "u64"));
+        assert!(l("i32", "u32"));
+        assert!(l("u32", "i32"));
+        assert!(!l("u32", "i64"));
+        assert!(l("u64", "f64"));
+        assert!(!l("u32", "f64"));
+        assert!(l("f64", "usize"));
+        assert!(l("f64", "f32"));
+        assert!(!l("f32", "f64"));
+        assert!(!l("u8", "f32"));
+        assert!(!lossy(Some(Ty::Bool), prim("u32").expect("dst")));
+        assert!(!lossy(Some(Ty::Char), prim("u32").expect("dst")));
+        assert!(lossy(Some(Ty::Char), prim("u16").expect("dst")));
+    }
+
+    #[test]
+    fn widening_param_cast_is_clean() {
+        assert!(audit("fn f(u: u32) -> usize { u as usize }").is_empty());
+    }
+
+    #[test]
+    fn narrowing_param_cast_is_flagged() {
+        assert_eq!(audit("fn f(n: usize) -> u32 { n as u32 }"), vec![1]);
+    }
+
+    #[test]
+    fn cast_comment_clears_it() {
+        let src =
+            "fn f(n: usize) -> u32 {\n    // CAST: n < 2^32, graph order bound\n    n as u32\n}";
+        assert!(audit(src).is_empty());
+    }
+
+    #[test]
+    fn let_binding_and_chain() {
+        assert_eq!(
+            audit("fn f() { let x: u64 = g(); h(x as usize); }"),
+            vec![1]
+        );
+        assert!(audit("fn f(x: u16) -> u64 { x as u32 as u64 }").is_empty());
+        assert_eq!(
+            audit("fn f(x: u64) -> u32 { (x as usize) as u32 }"),
+            vec![1, 1]
+        );
+    }
+
+    #[test]
+    fn method_table_and_fn_index() {
+        assert!(audit("fn f(v: &Vec<u32>) -> usize { v.len() as usize }").is_empty());
+        assert_eq!(
+            audit("fn f(x: f64) -> usize { x.ceil() as usize }"),
+            vec![1]
+        );
+        assert_eq!(
+            audit("fn g() -> u64 { 0 }\nfn f() -> usize { g() as usize }"),
+            vec![2]
+        );
+        assert!(audit("fn g() -> u32 { 0 }\nfn f() -> usize { g() as usize }").is_empty());
+    }
+
+    #[test]
+    fn literal_fits_check() {
+        assert!(audit("fn f() -> u8 { 255 as u8 }").is_empty());
+        assert_eq!(audit("fn f() -> u8 { 256 as u8 }"), vec![1]);
+        assert!(audit("fn f() -> u32 { 7 as u32 }").is_empty());
+    }
+
+    #[test]
+    fn unknown_source_policy() {
+        // Unknown → wide target: silent (the common widening idiom).
+        assert!(audit("fn f(g: &G) -> usize { g.order() as usize }").is_empty());
+        // Unknown → narrow target: flagged.
+        assert_eq!(audit("fn f(g: &G) -> u32 { g.order() as u32 }"), vec![1]);
+    }
+
+    #[test]
+    fn indexing_element_type() {
+        assert!(audit("fn f(xs: &[u8], i: usize) -> u32 { xs[i] as u32 }").is_empty());
+        assert_eq!(
+            audit("fn f(xs: &[u64], i: usize) -> u32 { xs[i] as u32 }"),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn non_numeric_as_is_ignored() {
+        assert!(audit("use std::io::Result as IoResult;\nfn f() {}").is_empty());
+        assert!(audit("fn f<T: A>(x: T) -> u64 { <T as A>::id(x) }").is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(n: usize) -> u32 { n as u32 }\n}";
+        assert!(audit(src).is_empty());
+    }
+}

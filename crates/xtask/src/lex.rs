@@ -1,0 +1,763 @@
+//! A std-only Rust lexer for the policy engine.
+//!
+//! Produces a flat stream of spanned [`Token`]s from one `.rs` file.
+//! This is a *lexer*, not a parser: it is exact about what the PR 1
+//! line-blanking scanner could only approximate — raw strings with any
+//! number of `#`s, nested block comments, `'a` lifetimes vs `'a'` char
+//! literals, byte/raw-byte strings, doc comments vs plain comments, and
+//! numeric literals with their suffixes — and every token carries its
+//! 1-based line and column so rules report precise locations.
+//!
+//! Deliberate non-goals: no keyword table beyond what rules ask for
+//! (keywords surface as [`TokenKind::Ident`]), no `>>` vs `> >`
+//! re-splitting for generics (rules never compare shift tokens inside
+//! type arguments), and no interning (files are small and scanned once).
+
+/// What one lexed token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `as`, names). Raw
+    /// identifiers (`r#type`) lex as the bare name.
+    Ident,
+    /// A lifetime (`'a`, `'static`) or loop label (`'outer`).
+    Lifetime,
+    /// Character literal `'x'` (including escapes) or byte char `b'x'`.
+    CharLit,
+    /// String literal: plain, raw (`r#"…"#`), byte (`b"…"`) or raw-byte.
+    StrLit,
+    /// Integer literal. `value` is its parsed magnitude when it fits in
+    /// `u128` (decimal/hex/octal/binary, `_` separators stripped) and
+    /// `suffix` the trailing type suffix, if any (e.g. `u32`).
+    IntLit {
+        /// Parsed magnitude (`None` when out of `u128` range).
+        value: Option<u128>,
+        /// Type suffix (`u8`…`i128`, `usize`, `isize`), if written.
+        suffix: Option<String>,
+    },
+    /// Float literal (`1.5`, `2e9`, `1.0f32`). `suffix` as for ints.
+    FloatLit {
+        /// Type suffix (`f32`/`f64`), if written.
+        suffix: Option<String>,
+    },
+    /// `///` or `/** */` outer doc comment.
+    DocComment,
+    /// `//!` or `/*! */` inner doc comment.
+    InnerDocComment,
+    /// Plain `//` or `/* */` comment (nesting handled).
+    Comment,
+    /// Punctuation / operator, longest-match (`::`, `->`, `..=`, `<<`,
+    /// `&&`, single chars, …).
+    Punct,
+}
+
+/// One token with its source text and position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token's classification.
+    pub kind: TokenKind,
+    /// The token text. For [`TokenKind::Ident`] from a raw identifier
+    /// this is the name without `r#`; for comments and strings it is the
+    /// full source text including delimiters.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// Whether this token is an identifier equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is punctuation equal to `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+
+    /// Whether this token is any kind of comment (doc or plain).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Comment | TokenKind::DocComment | TokenKind::InnerDocComment
+        )
+    }
+}
+
+/// Multi-character punctuation, longest first so `..=` wins over `..`.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes one `.rs` file into tokens (comments included; whitespace
+/// dropped). Unterminated constructs (string/comment at EOF) close at
+/// end of input rather than erroring: the policy engine must degrade
+/// gracefully on code that `rustc` itself would reject.
+pub fn lex(text: &str) -> Vec<Token> {
+    Lexer {
+        chars: text.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize, col: usize) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == 'r' && self.raw_str_lookahead(1) {
+                self.bump(); // r
+                self.raw_string("r", line, col);
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_str_lookahead(2) {
+                self.bump(); // b
+                self.bump(); // r
+                self.raw_string("br", line, col);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.bump(); // b
+                self.string("b", line, col);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump(); // b
+                self.bump(); // '
+                self.char_lit("b'", line, col);
+            } else if c == 'r' && self.peek(1) == Some('#') && ident_start(self.peek(2)) {
+                self.bump(); // r
+                self.bump(); // #
+                self.ident(line, col);
+            } else if c == '"' {
+                self.string("", line, col);
+            } else if c == '\'' {
+                self.quote(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if ident_start(Some(c)) {
+                self.ident(line, col);
+            } else {
+                self.punct(line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // `////…` and `//!…` vs `///…` vs `//…`: four slashes or more is
+        // a plain comment by the reference grammar.
+        let kind = if text.starts_with("///") && !text.starts_with("////") {
+            TokenKind::DocComment
+        } else if text.starts_with("//!") {
+            TokenKind::InnerDocComment
+        } else {
+            TokenKind::Comment
+        };
+        self.push(kind, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        loop {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    self.bump();
+                    self.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (Some(_), _) => {
+                    // Unwrap-free: the match arm guarantees a char.
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                (None, _) => break, // unterminated: close at EOF
+            }
+        }
+        let kind = if text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4 {
+            TokenKind::DocComment
+        } else if text.starts_with("/*!") {
+            TokenKind::InnerDocComment
+        } else {
+            TokenKind::Comment
+        };
+        self.push(kind, text, line, col);
+    }
+
+    /// Whether `r` (at offset `at` from the current position: the chars
+    /// after the prefix) begins a raw string: zero or more `#`s then `"`.
+    fn raw_str_lookahead(&self, at: usize) -> bool {
+        let mut j = at;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        self.peek(j) == Some('"')
+    }
+
+    /// Lexes a raw (or raw-byte) string body after its `r`/`br` prefix.
+    fn raw_string(&mut self, prefix: &str, line: usize, col: usize) {
+        let mut text = String::from(prefix);
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') if (1..=hashes).all(|k| self.peek(k) == Some('#')) => {
+                    text.push('"');
+                    self.bump();
+                    for _ in 0..hashes {
+                        text.push('#');
+                        self.bump();
+                    }
+                    break;
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::StrLit, text, line, col);
+    }
+
+    /// Lexes a plain (or byte) string body starting at its `"`.
+    fn string(&mut self, prefix: &str, line: usize, col: usize) {
+        let mut text = String::from(prefix);
+        text.push('"');
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    self.bump();
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    self.bump();
+                    break;
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::StrLit, text, line, col);
+    }
+
+    /// Disambiguates `'…`: char literal vs lifetime/label. A quote is a
+    /// char literal when it holds an escape (`'\n'`), or when exactly one
+    /// char is followed by a closing quote (`'a'`, `'{'`). Otherwise it
+    /// is a lifetime (`'a`, `'static`) — including `'a` directly before
+    /// `>` or `,` in generics.
+    fn quote(&mut self, line: usize, col: usize) {
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some('\\') => self.char_lit("'", line, col),
+            Some(c) if self.peek(1) == Some('\'') => {
+                // One char then a quote: `'a'` is a char literal. (A
+                // lifetime can never be directly followed by `'`.)
+                let mut text = String::from("'");
+                text.push(c);
+                text.push('\'');
+                self.bump();
+                self.bump();
+                self.push(TokenKind::CharLit, text, line, col);
+            }
+            Some(c) if ident_start(Some(c)) => {
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, text, line, col);
+            }
+            _ => {
+                // Stray quote (invalid Rust): emit as punctuation.
+                self.push(TokenKind::Punct, "'".to_string(), line, col);
+            }
+        }
+    }
+
+    /// Lexes a char/byte-char literal body after its opening quote.
+    fn char_lit(&mut self, prefix: &str, line: usize, col: usize) {
+        let mut text = String::from(prefix);
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    self.bump();
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                Some('\'') => {
+                    text.push('\'');
+                    self.bump();
+                    break;
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::CharLit, text, line, col);
+    }
+
+    fn ident(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        let radix = match (self.peek(0), self.peek(1)) {
+            (Some('0'), Some('x' | 'X')) => 16,
+            (Some('0'), Some('o' | 'O')) => 8,
+            (Some('0'), Some('b' | 'B')) => 2,
+            _ => 10,
+        };
+        if radix != 10 {
+            for _ in 0..2 {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+        }
+        let digit_ok = |c: char| c.is_digit(radix.max(10)) || c == '_';
+        while let Some(c) = self.peek(0) {
+            if digit_ok(c) || (radix == 16 && c.is_ascii_hexdigit()) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut is_float = false;
+        if radix == 10 {
+            // Fraction: `1.5` yes, `1..2` (range) and `1.method()` no.
+            if self.peek(0) == Some('.')
+                && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                && !self
+                    .out
+                    .last()
+                    .is_some_and(|t| t.is_punct(".") || t.is_punct(".."))
+            {
+                is_float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else if self.peek(0) == Some('.')
+                && !self
+                    .peek(1)
+                    .is_some_and(|c| ident_start(Some(c)) || c == '.' || c.is_ascii_digit())
+            {
+                // Trailing-dot float `1.` (not a range, not a method call).
+                is_float = true;
+                text.push('.');
+                self.bump();
+            }
+            // Exponent: `1e9`, `1.5E-3`.
+            if self.peek(0) == Some('e') || self.peek(0) == Some('E') {
+                let sign = usize::from(matches!(self.peek(1), Some('+' | '-')));
+                if self.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    for _ in 0..=sign {
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
+                    }
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Type suffix: `u32`, `f64`, … (an alphabetic run).
+        let mut suffix = String::new();
+        if ident_start(self.peek(0)) {
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    suffix.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        let digits: String = if radix == 10 {
+            text.replace('_', "")
+        } else {
+            text[2..].replace('_', "")
+        };
+        let kind = if is_float {
+            TokenKind::FloatLit {
+                suffix: (!suffix.is_empty()).then(|| suffix.clone()),
+            }
+        } else {
+            TokenKind::IntLit {
+                value: u128::from_str_radix(&digits, radix).ok(),
+                suffix: (!suffix.is_empty()).then(|| suffix.clone()),
+            }
+        };
+        text.push_str(&suffix);
+        self.push(kind, text, line, col);
+    }
+
+    fn punct(&mut self, line: usize, col: usize) {
+        for p in PUNCTS {
+            if self
+                .chars
+                .get(self.pos..self.pos + p.len())
+                .is_some_and(|w| w.iter().collect::<String>() == **p)
+            {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, (*p).to_string(), line, col);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line, col);
+        }
+    }
+}
+
+fn ident_start(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_comment())
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = lex("pub fn f(x: u32) -> u32 { x + 1 }");
+        assert!(toks[0].is_ident("pub"));
+        assert!(toks[1].is_ident("fn"));
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[1].col, 5);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_bare_names() {
+        let toks = lex("let r#type = r#match;");
+        assert!(toks[1].is_ident("type"));
+        assert!(toks[3].is_ident("match"));
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let texts = code_texts("let s = \"unwrap() // not a comment\";");
+        assert!(texts.iter().any(|t| t.contains("unwrap")));
+        // …but only inside the single StrLit token:
+        let toks = lex("let s = \"unwrap()\"; s.unwrap();");
+        let idents: Vec<&Token> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text == "unwrap")
+            .collect();
+        assert_eq!(idents.len(), 1, "only the real call lexes as an ident");
+        assert_eq!(idents[0].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r####"let s = r#"quote " inside"#; let t = r##"x"# y"##;"####);
+        let strs: Vec<&Token> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].text, r###"r#"quote " inside"#"###);
+        assert_eq!(strs[1].text, r###"r##"x"# y"##"###);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r##"let b = b"bytes"; let c = b'\n'; let r = br#"raw"#;"##);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::StrLit).count(),
+            2
+        );
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::CharLit && t.text == "b'\\n'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+        assert!(toks[0].text.contains("inner"));
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        assert_eq!(kinds("/// outer")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("//! inner")[0].0, TokenKind::InnerDocComment);
+        assert_eq!(kinds("//// plain")[0].0, TokenKind::Comment);
+        assert_eq!(kinds("// plain")[0].0, TokenKind::Comment);
+        assert_eq!(kinds("/** outer */")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("/*! inner */")[0].0, TokenKind::InnerDocComment);
+        assert_eq!(kinds("/* plain */")[0].0, TokenKind::Comment);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<&Token> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::CharLit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn labels_and_static_lifetime() {
+        let toks = lex("'outer: loop { break 'outer; } let s: &'static str = \"\";");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'outer"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn char_escapes_and_brace_chars() {
+        let toks = lex(r"let a = '\''; let b = '{'; let c = '\u{1F600}';");
+        let chars: Vec<&Token> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[1].text, "'{'");
+    }
+
+    #[test]
+    fn int_literals_with_values_and_suffixes() {
+        let toks = lex("let a = 1_000u32; let b = 0xFF; let c = 0b1010_1010; let d = 0o17;");
+        let ints: Vec<&TokenKind> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::IntLit { .. }))
+            .map(|t| &t.kind)
+            .collect();
+        assert_eq!(
+            ints[0],
+            &TokenKind::IntLit {
+                value: Some(1000),
+                suffix: Some("u32".to_string())
+            }
+        );
+        assert_eq!(
+            ints[1],
+            &TokenKind::IntLit {
+                value: Some(255),
+                suffix: None
+            }
+        );
+        assert_eq!(
+            ints[2],
+            &TokenKind::IntLit {
+                value: Some(0b1010_1010),
+                suffix: None
+            }
+        );
+        assert_eq!(
+            ints[3],
+            &TokenKind::IntLit {
+                value: Some(0o17),
+                suffix: None
+            }
+        );
+    }
+
+    #[test]
+    fn float_literals_vs_ranges() {
+        let toks = lex("let a = 1.5; let b = 2e9; let c = 1.0f32; for i in 0..10 {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokenKind::FloatLit { .. }))
+                .count(),
+            3
+        );
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        // `0..10` keeps both bounds as ints:
+        assert!(toks.iter().any(|t| t.kind
+            == TokenKind::IntLit {
+                value: Some(10),
+                suffix: None
+            }));
+    }
+
+    #[test]
+    fn float_suffix_without_dot() {
+        let toks = lex("let x = 1f64;");
+        assert!(matches!(
+            &toks[3].kind,
+            TokenKind::FloatLit { suffix: Some(s) } if s == "f64"
+        ));
+    }
+
+    #[test]
+    fn multiline_positions() {
+        let toks = lex("fn a() {}\n  fn b() {}\n");
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("b lexes");
+        assert_eq!((b.line, b.col), (2, 6));
+    }
+
+    #[test]
+    fn multiline_raw_string_spans_lines() {
+        let toks = lex("let s = r#\"line one\nunwrap() {\n\"#; done();");
+        assert_eq!(toks[3].kind, TokenKind::StrLit);
+        let done = toks.iter().find(|t| t.is_ident("done")).expect("done");
+        assert_eq!(done.line, 3);
+    }
+
+    #[test]
+    fn unterminated_constructs_close_at_eof() {
+        assert_eq!(
+            lex("let s = \"open").last().map(|t| t.kind.clone()),
+            Some(TokenKind::StrLit)
+        );
+        assert_eq!(
+            lex("/* open").last().map(|t| t.kind.clone()),
+            Some(TokenKind::Comment)
+        );
+        assert_eq!(
+            lex("let s = r#\"open").last().map(|t| t.kind.clone()),
+            Some(TokenKind::StrLit)
+        );
+    }
+
+    #[test]
+    fn shebang_like_and_attribute_tokens() {
+        let toks = lex("#![forbid(unsafe_code)]\n#[cfg(test)] mod t {}");
+        assert!(toks[0].is_punct("#"));
+        assert!(toks[1].is_punct("!"));
+        assert!(toks.iter().any(|t| t.is_ident("forbid")));
+        assert!(toks.iter().any(|t| t.is_ident("unsafe_code")));
+    }
+}

@@ -18,6 +18,9 @@
 //! | R7 | `budget-check`      | loop-bearing functions in kernel modules poll the execution budget (`.check(`) |
 //! | R8 | `snapshot-versioned` | every `impl KernelState for` block declares a `FORMAT_VERSION` const and calls `expect_version(` in `decode` |
 //! | R9 | `obs-instrumented`  | every kernel module exposes at least one public entry point taking an observability `Recorder` |
+//! | R10 | `cast-audit`       | potentially-lossy `as` casts in library crates carry a `// CAST: <why in range>` justification (or use `try_from`/`From`) |
+//! | R11 | `atomic-ordering`  | atomic ops in the concurrency modules name their `Ordering` explicitly with an `// ORDERING:` rationale; `Relaxed` on cross-thread completion/cancel flags is an error |
+//! | R12 | `api-surface`      | each library crate's public-item surface matches its committed `api/<crate>.surface` baseline (`cargo xtask api --bless` to accept changes) |
 //!
 //! A violation can be suppressed at the site with an inline comment
 //! carrying a justification:
@@ -34,14 +37,29 @@
 //! that enforce it) and is driven entirely by a workspace-root path, so
 //! the fixture suites under `fixtures/` exercise every rule on miniature
 //! workspaces.
+//!
+//! Since PR 5 the engine is syntax-aware: every source-level rule runs
+//! on a real lexed token stream ([`lex`]) and a scanned item tree
+//! ([`scan_items`]) rather than blanked line text, so raw strings,
+//! nested block comments, `'a` lifetimes vs `'a'` char literals and
+//! multi-line declarations are all handled exactly.
+
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+mod atomics;
+mod casts;
+mod items;
+mod lex;
 mod manifest;
 mod rules;
 mod source;
+pub mod surface;
 
+pub use items::{scan_items, Item, ItemKind, Visibility};
+pub use lex::{lex, Token, TokenKind};
 pub use source::SourceFile;
 
 /// Crates that must obey the library policy rules (R1, R2, R4, R5).
@@ -87,6 +105,22 @@ pub enum Rule {
     /// a justified suppression), so no kernel can land without a way to
     /// extract counters and phase timings from it.
     ObsInstrumented,
+    /// R10: every potentially-lossy `as` cast in library crates carries
+    /// a `// CAST: <why the value is in range>` justification (or a
+    /// suppression), nudging new code toward `try_from`/`From`. Lossless
+    /// widenings (`u32 as usize`, `u8 as u64`, …) are exempt.
+    CastAudit,
+    /// R11: every atomic operation in the concurrency-bearing modules
+    /// names its `Ordering` explicitly and carries an `// ORDERING:
+    /// <happens-before rationale>` comment; `Ordering::Relaxed` on a
+    /// cross-thread completion/cancel flag is an error (a suppression
+    /// cannot waive correctness, only the comment-form requirements).
+    AtomicOrdering,
+    /// R12: each library crate's public-item surface (extracted by
+    /// `cargo xtask api`) matches the committed `api/<crate>.surface`
+    /// baseline, so accidental breaking changes surface as reviewed
+    /// diffs. `cargo xtask api --bless` accepts intentional changes.
+    ApiSurface,
 }
 
 impl Rule {
@@ -102,6 +136,9 @@ impl Rule {
             Rule::BudgetCheck => "budget-check",
             Rule::SnapshotVersioned => "snapshot-versioned",
             Rule::ObsInstrumented => "obs-instrumented",
+            Rule::CastAudit => "cast-audit",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::ApiSurface => "api-surface",
         }
     }
 
@@ -122,6 +159,9 @@ impl Rule {
             Rule::BudgetCheck,
             Rule::SnapshotVersioned,
             Rule::ObsInstrumented,
+            Rule::CastAudit,
+            Rule::AtomicOrdering,
+            Rule::ApiSurface,
         ]
     }
 }
@@ -174,6 +214,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     violations.extend(rules::check_budget_checks(root)?);
     violations.extend(rules::check_snapshot_versioned(root)?);
     violations.extend(rules::check_obs_instrumented(root)?);
+    violations.extend(casts::check_casts(root)?);
+    violations.extend(atomics::check_atomics(root)?);
+    violations.extend(surface::check_surfaces(root)?);
     violations.sort_by(|a, b| {
         a.file
             .cmp(&b.file)

@@ -2,22 +2,27 @@
 //!
 //! ```text
 //! cargo run -p nsky-xtask -- lint [--root <path>]
+//! cargo run -p nsky-xtask -- api [--check | --bless] [--root <path>]
 //! ```
 //!
-//! `lint` runs the repo-specific policy rules R1–R9 (DESIGN.md §8)
+//! `lint` runs the repo-specific policy rules R1–R12 (DESIGN.md §8)
 //! against the workspace and exits non-zero if any violation is found.
+//! `api` prints each library crate's public surface; `api --check`
+//! fails on drift from the committed `api/<crate>.surface` baselines
+//! and `api --bless` regenerates them (the intentional-change flow).
 //! `--root` points the engine at another workspace layout (used by the
 //! fixture self-tests).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use nsky_xtask::{lint_workspace, Rule};
+use nsky_xtask::{lint_workspace, surface, Rule};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("api") => api(&args[1..]),
         Some(other) => {
             eprintln!("unknown command `{other}`");
             usage();
@@ -32,6 +37,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!("usage: cargo run -p nsky-xtask -- lint [--root <path>]");
+    eprintln!("       cargo run -p nsky-xtask -- api [--check | --bless] [--root <path>]");
     eprintln!("rules: {}", rule_list());
 }
 
@@ -43,8 +49,11 @@ fn rule_list() -> String {
         .join(", ")
 }
 
-fn lint(args: &[String]) -> ExitCode {
+/// Parses `--root <path>` plus the given boolean flags. Returns the
+/// resolved root and which flags were seen, or an exit code on error.
+fn parse_args(args: &[String], flags: &[&str]) -> Result<(PathBuf, Vec<String>), ExitCode> {
     let mut root: Option<PathBuf> = None;
+    let mut seen = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -52,25 +61,32 @@ fn lint(args: &[String]) -> ExitCode {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--root requires a path");
-                    return ExitCode::from(2);
+                    return Err(ExitCode::from(2));
                 }
             },
+            other if flags.contains(&other) => seen.push(other.to_string()),
             other => {
                 eprintln!("unknown argument `{other}`");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         }
     }
-    let root = match root.or_else(find_workspace_root) {
-        Some(r) => r,
+    match root.or_else(find_workspace_root) {
+        Some(r) => Ok((r, seen)),
         None => {
             eprintln!(
                 "could not locate the workspace root (run from inside the repo or pass --root)"
             );
-            return ExitCode::from(2);
+            Err(ExitCode::from(2))
         }
-    };
+    }
+}
 
+fn lint(args: &[String]) -> ExitCode {
+    let (root, _) = match parse_args(args, &[]) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
     match lint_workspace(&root) {
         Ok(violations) if violations.is_empty() => {
             println!("nsky-xtask lint: clean ({})", rule_list());
@@ -85,6 +101,58 @@ fn lint(args: &[String]) -> ExitCode {
         }
         Err(err) => {
             eprintln!("nsky-xtask lint: I/O error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn api(args: &[String]) -> ExitCode {
+    let (root, flags) = match parse_args(args, &["--check", "--bless"]) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    if flags.iter().any(|f| f == "--bless") {
+        return match surface::bless_surfaces(&root) {
+            Ok(written) => {
+                println!(
+                    "nsky-xtask api: blessed {} baseline(s): {}",
+                    written.len(),
+                    written.join(", ")
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("nsky-xtask api: I/O error: {err}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if flags.iter().any(|f| f == "--check") {
+        return match surface::check_surfaces_cli(&root) {
+            Ok(violations) if violations.is_empty() => {
+                println!("nsky-xtask api: surfaces match baselines");
+                ExitCode::SUCCESS
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!("nsky-xtask api: {} drift(s)", violations.len());
+                ExitCode::FAILURE
+            }
+            Err(err) => {
+                eprintln!("nsky-xtask api: I/O error: {err}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    match surface::render_surfaces(&root) {
+        Ok(s) => {
+            print!("{s}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("nsky-xtask api: I/O error: {err}");
             ExitCode::from(2)
         }
     }

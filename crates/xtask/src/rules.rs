@@ -1,7 +1,16 @@
 //! The policy rules R1–R9 (see crate docs and DESIGN.md §8).
+//!
+//! Source-level rules run on the lexed token stream and the scanned item
+//! tree ([`crate::lex`], [`crate::items`]) — not on blanked text — so a
+//! pattern like `.unwrap()` is three exact tokens (`.`, `unwrap`, `(`),
+//! never a substring that a string literal or comment could fake. R10
+//! (cast audit), R11 (atomic orderings) and R12 (API surface) live in
+//! [`crate::casts`], [`crate::atomics`] and [`crate::surface`].
 
 use std::path::Path;
 
+use crate::items::{Item, ItemKind, Visibility};
+use crate::lex::Token;
 use crate::manifest::{is_path_dep, is_workspace_ref, Manifest};
 use crate::source::SourceFile;
 use crate::{library_src_dirs, rel, rust_files, Rule, Violation, LIBRARY_CRATES};
@@ -67,14 +76,6 @@ fn manifest_suppressed(man: &Manifest, rule: Rule, lineno: usize) -> bool {
     hit(lineno - 1) || (lineno >= 2 && hit(lineno - 2))
 }
 
-/// R2 `panic-free` patterns: panicking escape hatches that must not
-/// appear in non-test library code.
-const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!(", "todo!"];
-
-/// R5 `no-stdout` patterns: libraries must stay silent and must not
-/// terminate the process.
-const STDOUT_PATTERNS: &[&str] = &["println!", "eprintln!", "process::exit"];
-
 /// Source-level rules R2–R5 over the library crates.
 pub(crate) fn check_sources(root: &Path) -> std::io::Result<Vec<Violation>> {
     let mut out = Vec::new();
@@ -90,12 +91,53 @@ pub(crate) fn check_sources(root: &Path) -> std::io::Result<Vec<Violation>> {
             let text = std::fs::read_to_string(&path)?;
             let file = SourceFile::scan(&text);
             check_file(root, &crate_name, &path, &file, &mut out);
+            if path.file_name().is_some_and(|f| f == "lib.rs") {
+                check_forbids_unsafe(root, &crate_name, &path, &file, &mut out);
+            }
         }
     }
     Ok(out)
 }
 
-/// Runs the per-line rules against one scanned library source file.
+/// The R2/R5 token patterns: `(what, rule)` where `what` names the match
+/// for the report.
+type TokenPattern = (&'static str, Rule);
+
+/// Matches one banned construct at code position `k`. Returns the
+/// pattern label on a hit.
+fn banned_at(tokens: &[Token], code: &[usize], k: usize) -> Option<TokenPattern> {
+    let t = &tokens[code[k]];
+    let prev = |n: usize| k.checked_sub(n).map(|i| &tokens[code[i]]);
+    let next = |n: usize| code.get(k + n).map(|&i| &tokens[i]);
+    let method_call = |name: &str| {
+        t.is_ident(name)
+            && prev(1).is_some_and(|p| p.is_punct("."))
+            && next(1).is_some_and(|n| n.is_punct("("))
+    };
+    let macro_call = |name: &str| t.is_ident(name) && next(1).is_some_and(|n| n.is_punct("!"));
+    if method_call("unwrap") {
+        Some((".unwrap()", Rule::PanicFree))
+    } else if method_call("expect") {
+        Some((".expect(", Rule::PanicFree))
+    } else if macro_call("panic") {
+        Some(("panic!(", Rule::PanicFree))
+    } else if macro_call("todo") {
+        Some(("todo!", Rule::PanicFree))
+    } else if macro_call("println") {
+        Some(("println!", Rule::NoStdout))
+    } else if macro_call("eprintln") {
+        Some(("eprintln!", Rule::NoStdout))
+    } else if t.is_ident("process")
+        && next(1).is_some_and(|n| n.is_punct("::"))
+        && next(2).is_some_and(|n| n.is_ident("exit"))
+    {
+        Some(("process::exit", Rule::NoStdout))
+    } else {
+        None
+    }
+}
+
+/// Runs the per-file rules R2–R5 against one scanned library source.
 fn check_file(
     root: &Path,
     crate_name: &str,
@@ -103,16 +145,14 @@ fn check_file(
     file: &SourceFile,
     out: &mut Vec<Violation>,
 ) {
+    // A suppression without a justification never suppresses; flag it so
+    // it cannot linger as dead policy.
     for (idx, line) in file.lines.iter().enumerate() {
-        let lineno = idx + 1;
-
-        // A suppression without a justification never suppresses; flag
-        // it so it cannot linger as dead policy.
         for name in &line.bare {
             if let Some(rule) = Rule::from_name(name) {
                 out.push(Violation {
                     file: rel(root, path),
-                    line: lineno,
+                    line: idx + 1,
                     rule,
                     message: format!(
                         "`nsky-lint: allow({name})` without a justification (add `— <reason>`)"
@@ -120,36 +160,37 @@ fn check_file(
                 });
             }
         }
+    }
 
-        if !line.in_test {
-            for pat in PANIC_PATTERNS {
-                if contains_pattern(&line.code, pat) && !file.is_suppressed(Rule::PanicFree, lineno)
-                {
-                    out.push(Violation {
-                        file: rel(root, path),
-                        line: lineno,
-                        rule: Rule::PanicFree,
-                        message: format!(
+    let code = file.code_indices();
+    for k in 0..code.len() {
+        let t = &file.tokens[code[k]];
+        let lineno = t.line;
+
+        // R2 / R5: panicking escape hatches and console output.
+        if !file.in_test(lineno) {
+            if let Some((pat, rule)) = banned_at(&file.tokens, &code, k) {
+                if !file.is_suppressed(rule, lineno) {
+                    let message = match rule {
+                        Rule::PanicFree => format!(
                             "`{pat}` in non-test library code of `{crate_name}` (return an error, restructure, or justify with a suppression)"
                         ),
-                    });
-                }
-            }
-            for pat in STDOUT_PATTERNS {
-                if contains_pattern(&line.code, pat) && !file.is_suppressed(Rule::NoStdout, lineno)
-                {
+                        _ => format!("`{pat}` in library crate `{crate_name}`"),
+                    };
                     out.push(Violation {
                         file: rel(root, path),
                         line: lineno,
-                        rule: Rule::NoStdout,
-                        message: format!("`{pat}` in library crate `{crate_name}`"),
+                        rule,
+                        message,
                     });
                 }
             }
         }
 
-        if has_unsafe_token(&line.code)
-            && !safety_commented(file, idx)
+        // R3: `unsafe` (an exact keyword token — never a substring of an
+        // identifier, string or comment) needs a `// SAFETY:` comment.
+        if t.is_ident("unsafe")
+            && !file.comment_marker_near("SAFETY:", lineno, 3)
             && !file.is_suppressed(Rule::SafetyComment, lineno)
         {
             out.push(Violation {
@@ -159,115 +200,58 @@ fn check_file(
                 message: "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
             });
         }
+    }
 
-        if !line.in_test
-            && is_public_decl(&line.code)
-            && !is_documented(file, idx)
-            && !file.is_suppressed(Rule::DocPublic, lineno)
+    // R4: undocumented public items, from the item scan (exact
+    // visibility and doc attachment, multi-line declarations included).
+    for item in &file.items {
+        if item.vis == Visibility::Pub
+            && matches!(item.kind, ItemKind::Fn | ItemKind::Struct | ItemKind::Enum)
+            && !item.in_test
+            && !item.has_doc
+            && !file.is_suppressed(Rule::DocPublic, item.line)
         {
             out.push(Violation {
                 file: rel(root, path),
-                line: lineno,
+                line: item.line,
                 rule: Rule::DocPublic,
                 message: format!(
-                    "undocumented public item in `{crate_name}`: `{}`",
-                    line.code.trim()
+                    "undocumented public item in `{crate_name}`: `pub {}`",
+                    item.signature
                 ),
             });
         }
     }
 }
 
-/// Substring match with a left word boundary when the pattern starts
-/// with an identifier character, so `eprintln!` does not also count as
-/// `println!` (while `.unwrap()` may follow any receiver).
-fn contains_pattern(code: &str, pat: &str) -> bool {
-    let ident_start = pat
-        .chars()
-        .next()
-        .is_some_and(|c| c.is_alphanumeric() || c == '_');
-    if !ident_start {
-        return code.contains(pat);
+/// R3's crate-level half: every library crate root must carry
+/// `#![forbid(unsafe_code)]`, so the absence of `unsafe` is a compiler
+/// guarantee, not a grep result. A crate with a sanctioned `unsafe`
+/// block would instead justify a suppression on line 1.
+fn check_forbids_unsafe(
+    root: &Path,
+    crate_name: &str,
+    path: &Path,
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    let code = file.code_indices();
+    let has_forbid = (0..code.len()).any(|k| {
+        file.tokens[code[k]].is_ident("forbid")
+            && code
+                .get(k + 2)
+                .is_some_and(|&i| file.tokens[i].is_ident("unsafe_code"))
+    });
+    if !has_forbid && !file.is_suppressed(Rule::SafetyComment, 1) {
+        out.push(Violation {
+            file: rel(root, path),
+            line: 1,
+            rule: Rule::SafetyComment,
+            message: format!(
+                "library crate `{crate_name}` does not `#![forbid(unsafe_code)]` (add the attribute to lib.rs, or justify a suppression on line 1)"
+            ),
+        });
     }
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(pat) {
-        let abs = start + pos;
-        let before_ok = abs == 0
-            || !code[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok {
-            return true;
-        }
-        start = abs + pat.len();
-    }
-    false
-}
-
-/// Word-boundary test for the `unsafe` keyword in blanked code.
-fn has_unsafe_token(code: &str) -> bool {
-    let mut rest = code;
-    while let Some(pos) = rest.find("unsafe") {
-        let before_ok = pos == 0
-            || !rest[..pos]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = rest[pos + 6..].chars().next();
-        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        rest = &rest[pos + 6..];
-    }
-    false
-}
-
-/// R3: a `// SAFETY:` comment on the same line or one of the three
-/// lines above it.
-fn safety_commented(file: &SourceFile, idx: usize) -> bool {
-    (idx.saturating_sub(3)..=idx).any(|i| file.lines[i].raw.contains("SAFETY:"))
-}
-
-/// R4: `pub fn` / `pub struct` / `pub enum` declarations (plain `pub`
-/// only — `pub(crate)` and narrower are not public API).
-fn is_public_decl(code: &str) -> bool {
-    let mut tokens = code.split_whitespace();
-    if tokens.next() != Some("pub") {
-        return false;
-    }
-    for tok in tokens {
-        match tok {
-            "const" | "async" | "unsafe" | "extern" => continue,
-            "fn" | "struct" | "enum" => return true,
-            _ => return false,
-        }
-    }
-    false
-}
-
-/// Walks upward over attributes looking for a doc comment
-/// (`///`, `/** ... */` or `#[doc]`).
-fn is_documented(file: &SourceFile, idx: usize) -> bool {
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let line = &file.lines[i];
-        let trimmed = line.raw.trim();
-        if trimmed.starts_with("///") || trimmed.starts_with("#[doc") || trimmed.ends_with("*/") {
-            return true;
-        }
-        // Skip attribute lines (including continuation lines of a
-        // multi-line attribute, which end with `]` or `,`) and plain
-        // comments (e.g. lint suppressions), which do not break doc
-        // attachment.
-        if trimmed.starts_with("#[") || trimmed.ends_with(")]") || trimmed.starts_with("//") {
-            continue;
-        }
-        return false;
-    }
-    false
 }
 
 /// R6 `design-drift`: every ablation/config identifier named in
@@ -361,6 +345,31 @@ const KERNEL_MODULES: &[&str] = &[
     "crates/centrality/src/greedy.rs",
 ];
 
+/// Whether the token span of `item` contains a loop keyword.
+fn span_has_loop(file: &SourceFile, item: &Item) -> bool {
+    span_tokens(file, item).any(|t| t.is_ident("for") || t.is_ident("while") || t.is_ident("loop"))
+}
+
+/// Whether the token span of `item` contains a `.check(` call.
+fn span_has_check(file: &SourceFile, item: &Item) -> bool {
+    let (a, b) = item.span;
+    let code: Vec<usize> = (a..=b).filter(|&i| !file.tokens[i].is_comment()).collect();
+    (0..code.len()).any(|k| {
+        file.tokens[code[k]].is_ident("check")
+            && k >= 1
+            && file.tokens[code[k - 1]].is_punct(".")
+            && code
+                .get(k + 1)
+                .is_some_and(|&i| file.tokens[i].is_punct("("))
+    })
+}
+
+/// Non-comment tokens within an item's span.
+fn span_tokens<'a>(file: &'a SourceFile, item: &Item) -> impl Iterator<Item = &'a Token> {
+    let (a, b) = item.span;
+    file.tokens[a..=b].iter().filter(|t| !t.is_comment())
+}
+
 /// R7 `budget-check`: every non-test function in a kernel module that
 /// lexically contains a loop (`for`/`while`/`loop`) must also lexically
 /// contain a budget poll (`.check(`), or carry a justified suppression
@@ -376,24 +385,21 @@ pub(crate) fn check_budget_checks(root: &Path) -> std::io::Result<Vec<Violation>
         }
         let text = std::fs::read_to_string(&path)?;
         let file = SourceFile::scan(&text);
-        for span in function_spans(&file) {
-            if span.in_test {
+        for item in &file.items {
+            if item.kind != ItemKind::Fn || item.in_test {
                 continue;
             }
-            let lines = &file.lines[span.start..=span.end];
-            let has_loop = lines.iter().any(|l| has_loop_token(&l.code));
-            if !has_loop {
+            if !span_has_loop(&file, item) {
                 continue;
             }
-            let has_check = lines.iter().any(|l| l.code.contains(".check("));
-            if !has_check && !file.is_suppressed(Rule::BudgetCheck, span.start + 1) {
+            if !span_has_check(&file, item) && !file.is_suppressed(Rule::BudgetCheck, item.line) {
                 out.push(Violation {
                     file: rel(root, &path),
-                    line: span.start + 1,
+                    line: item.line,
                     rule: Rule::BudgetCheck,
                     message: format!(
                         "kernel function `{}` loops without polling the execution budget (call `ticker.check()` in the loop, or justify a bound with a suppression)",
-                        span.name
+                        item.name
                     ),
                 });
             }
@@ -417,23 +423,27 @@ pub(crate) fn check_snapshot_versioned(root: &Path) -> std::io::Result<Vec<Viola
                 continue;
             }
             let file = SourceFile::scan(&text);
-            for span in impl_kernel_state_spans(&file) {
-                if span.in_test || file.is_suppressed(Rule::SnapshotVersioned, span.start + 1) {
+            for item in &file.items {
+                if item.kind != ItemKind::Impl
+                    || item.trait_name.as_deref() != Some("KernelState")
+                    || item.in_test
+                    || file.is_suppressed(Rule::SnapshotVersioned, item.line)
+                {
                     continue;
                 }
-                let lines = &file.lines[span.start..=span.end];
+                let has = |name: &str| span_tokens(&file, item).any(|t| t.is_ident(name));
                 for (token, why) in [
                     ("FORMAT_VERSION", "declares no `FORMAT_VERSION` const"),
-                    ("expect_version(", "never calls `expect_version(` on decode"),
+                    ("expect_version", "never calls `expect_version(` on decode"),
                 ] {
-                    if !lines.iter().any(|l| l.code.contains(token)) {
+                    if !has(token) {
                         out.push(Violation {
                             file: rel(root, &path),
-                            line: span.start + 1,
+                            line: item.line,
                             rule: Rule::SnapshotVersioned,
                             message: format!(
                                 "snapshot state `{}` in `{crate_name}` {why} (unversioned decode defeats corruption-tolerant recovery; gate it or justify a suppression)",
-                                span.name
+                                item.name
                             ),
                         });
                     }
@@ -474,22 +484,21 @@ pub(crate) fn check_obs_instrumented(root: &Path) -> std::io::Result<Vec<Violati
         }
         let text = std::fs::read_to_string(&path)?;
         let file = SourceFile::scan(&text);
-        let pub_fns: Vec<FnSpan> = function_spans(&file)
-            .into_iter()
-            .filter(|s| !s.in_test && is_public_decl(&file.lines[s.start].code))
+        let pub_fns: Vec<&Item> = file
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn && !i.in_test && i.vis == Visibility::Pub)
             .collect();
         let Some(first) = pub_fns.first() else {
             continue;
         };
-        let instrumented = pub_fns.iter().any(|s| {
-            file.lines[s.start..=s.end]
-                .iter()
-                .any(|l| contains_pattern(&l.code, "Recorder"))
-        });
-        if !instrumented && !file.is_suppressed(Rule::ObsInstrumented, first.start + 1) {
+        let instrumented = pub_fns
+            .iter()
+            .any(|i| span_tokens(&file, i).any(|t| t.is_ident("Recorder")));
+        if !instrumented && !file.is_suppressed(Rule::ObsInstrumented, first.line) {
             out.push(Violation {
                 file: rel(root, &path),
-                line: first.start + 1,
+                line: first.line,
                 rule: Rule::ObsInstrumented,
                 message: format!(
                     "kernel module `{module}` exposes no observability-instrumented public entry point (add a `*_recorded` fn taking a `Recorder`, or justify a suppression)"
@@ -500,261 +509,103 @@ pub(crate) fn check_obs_instrumented(root: &Path) -> std::io::Result<Vec<Violati
     Ok(out)
 }
 
-/// The lexical extent of one `impl KernelState for <Type>` block
-/// (0-based, inclusive), found by brace depth like [`function_spans`].
-fn impl_kernel_state_spans(file: &SourceFile) -> Vec<FnSpan> {
-    let mut spans = Vec::new();
-    let mut depth: i32 = 0;
-    let mut open: Option<(String, usize, i32, bool)> = None;
-    for (idx, line) in file.lines.iter().enumerate() {
-        if open.is_none() {
-            if let Some(pos) = line.code.find("impl KernelState for") {
-                let name: String = line.code[pos + "impl KernelState for".len()..]
-                    .trim_start()
-                    .chars()
-                    .take_while(|c| c.is_alphanumeric() || *c == '_')
-                    .collect();
-                open = Some((name, idx, depth, false));
-            }
-        }
-        for ch in line.code.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    if let Some((_, _, _, entered)) = &mut open {
-                        *entered = true;
-                    }
-                }
-                '}' => {
-                    depth -= 1;
-                    if let Some((name, start, base, entered)) = &open {
-                        if *entered && depth <= *base {
-                            spans.push(FnSpan {
-                                name: name.clone(),
-                                start: *start,
-                                end: idx,
-                                in_test: file.lines[*start].in_test,
-                            });
-                            open = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    spans
-}
-
-/// The lexical extent of one function: declaration line through the line
-/// closing its body (0-based, inclusive). Nested items are folded into
-/// the enclosing function — lexical containment is exactly what R7 asks.
-struct FnSpan {
-    name: String,
-    start: usize,
-    end: usize,
-    in_test: bool,
-}
-
-/// Scans blanked code for function extents by brace depth. Body-less
-/// declarations (trait methods, `extern` items) produce no span.
-fn function_spans(file: &SourceFile) -> Vec<FnSpan> {
-    let mut spans = Vec::new();
-    let mut depth: i32 = 0;
-    // (name, start line, depth at the `fn` keyword, body entered).
-    let mut open: Option<(String, usize, i32, bool)> = None;
-    for (idx, line) in file.lines.iter().enumerate() {
-        if open.is_none() {
-            if let Some(name) = fn_decl_name(&line.code) {
-                open = Some((name, idx, depth, false));
-            }
-        }
-        for ch in line.code.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    if let Some((_, _, _, entered)) = &mut open {
-                        *entered = true;
-                    }
-                }
-                '}' => {
-                    depth -= 1;
-                    if let Some((name, start, base, entered)) = &open {
-                        if *entered && depth <= *base {
-                            spans.push(FnSpan {
-                                name: name.clone(),
-                                start: *start,
-                                end: idx,
-                                in_test: file.lines[*start].in_test,
-                            });
-                            open = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        if let Some((_, _, base, entered)) = &open {
-            // `fn f(...);` — a body-less declaration at its own depth.
-            if !*entered && depth <= *base && line.code.contains(';') {
-                open = None;
-            }
-        }
-    }
-    spans
-}
-
-/// The name following a word-boundary `fn ` token, if the line declares
-/// a function (`fn(` function-pointer types and `Fn(` bounds do not
-/// match: the keyword must be followed by whitespace and a name).
-fn fn_decl_name(code: &str) -> Option<String> {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find("fn") {
-        let abs = start + pos;
-        let before_ok = abs == 0
-            || !code[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let rest = &code[abs + 2..];
-        if before_ok && rest.chars().next().is_some_and(char::is_whitespace) {
-            let name: String = rest
-                .trim_start()
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                return Some(name);
-            }
-        }
-        start = abs + 2;
-    }
-    None
-}
-
-/// Whether blanked code contains a loop keyword (`for`, `while`, `loop`)
-/// at a word boundary.
-fn has_loop_token(code: &str) -> bool {
-    ["for", "while", "loop"].iter().any(|kw| {
-        let mut start = 0;
-        while let Some(pos) = code[start..].find(kw) {
-            let abs = start + pos;
-            let before_ok = abs == 0
-                || !code[..abs]
-                    .chars()
-                    .next_back()
-                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
-            let after_ok = !code[abs + kw.len()..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-            if before_ok && after_ok {
-                return true;
-            }
-            start = abs + kw.len();
-        }
-        false
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn public_decl_detection() {
-        assert!(is_public_decl("pub fn foo() {"));
-        assert!(is_public_decl("pub struct Foo;"));
-        assert!(is_public_decl("pub const unsafe fn w() {"));
-        assert!(is_public_decl("pub enum E {"));
-        assert!(!is_public_decl("pub(crate) fn hidden() {"));
-        assert!(!is_public_decl("pub use foo::bar;"));
-        assert!(!is_public_decl("pub mod m;"));
-        assert!(!is_public_decl("fn private() {"));
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan(src)
+    }
+
+    fn hits(src: &str) -> Vec<&'static str> {
+        let f = scan(src);
+        let code = f.code_indices();
+        (0..code.len())
+            .filter_map(|k| banned_at(&f.tokens, &code, k).map(|(pat, _)| pat))
+            .collect()
     }
 
     #[test]
-    fn pattern_left_boundary() {
-        assert!(contains_pattern("println!(\"x\")", "println!"));
-        assert!(!contains_pattern("eprintln!(\"x\")", "println!"));
-        assert!(contains_pattern("eprintln!(\"x\")", "eprintln!"));
-        assert!(contains_pattern("x.unwrap()", ".unwrap()"));
+    fn banned_patterns_are_token_exact() {
+        assert_eq!(hits("x.unwrap();"), vec![".unwrap()"]);
+        assert_eq!(hits("x.expect(\"why\");"), vec![".expect("]);
+        assert_eq!(hits("panic!(\"boom\");"), vec!["panic!("]);
+        assert_eq!(hits("todo!()"), vec!["todo!"]);
+        assert_eq!(hits("println!(\"x\")"), vec!["println!"]);
+        assert_eq!(hits("eprintln!(\"x\")"), vec!["eprintln!"]);
+        assert_eq!(hits("std::process::exit(1)"), vec!["process::exit"]);
     }
 
     #[test]
-    fn unsafe_token_boundaries() {
-        assert!(has_unsafe_token("unsafe { x }"));
-        assert!(has_unsafe_token("pub unsafe fn f()"));
-        assert!(!has_unsafe_token("let not_unsafe_name = 1;"));
-        assert!(!has_unsafe_token("unsafely()"));
-    }
-
-    #[test]
-    fn fn_decl_names_and_non_declarations() {
-        assert_eq!(fn_decl_name("pub fn foo(x: u32) {"), Some("foo".into()));
-        assert_eq!(
-            fn_decl_name("    fn inner() -> bool {"),
-            Some("inner".into())
+    fn strings_comments_and_lookalikes_do_not_hit() {
+        assert!(hits("let s = \".unwrap()\";").is_empty());
+        assert!(hits("// panic!(\"doc\")").is_empty());
+        assert!(hits("/* todo! */").is_empty());
+        assert!(hits("let unwrap = 1; unwrap_all();").is_empty());
+        assert!(hits("self.expectation(x)").is_empty());
+        assert!(
+            hits("my_println!(\"not std\")").is_empty(),
+            "macro name must match exactly"
         );
-        assert_eq!(fn_decl_name("let f: fn(u32) -> u32 = id;"), None);
-        assert_eq!(fn_decl_name("fn_helper();"), None);
-        assert_eq!(fn_decl_name("impl Fn(u32) bounds"), None);
+        assert!(hits("x.unwrap_or(0)").is_empty());
     }
 
     #[test]
-    fn loop_tokens_at_word_boundaries() {
-        assert!(has_loop_token("for x in xs {"));
-        assert!(has_loop_token("'all: while let Some(v) = it.next() {"));
-        assert!(has_loop_token("loop {"));
-        assert!(!has_loop_token("xs.iter().for_each(|x| f(x));"));
-        assert!(!has_loop_token("let workforce = 3;"));
+    fn multiline_method_calls_hit() {
+        // rustfmt can split `.unwrap()` onto its own line; tokens don't care.
+        assert_eq!(hits("x\n    .unwrap();"), vec![".unwrap()"]);
     }
 
     #[test]
-    fn function_span_extents() {
+    fn forbid_unsafe_detection() {
+        let mut out = Vec::new();
+        let f = scan("#![forbid(unsafe_code)]\npub fn f() {}\n");
+        check_forbids_unsafe(
+            Path::new("/r"),
+            "core",
+            Path::new("/r/lib.rs"),
+            &f,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        let f = scan("//! docs only\npub fn f() {}\n");
+        check_forbids_unsafe(
+            Path::new("/r"),
+            "core",
+            Path::new("/r/lib.rs"),
+            &f,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::SafetyComment);
+    }
+
+    #[test]
+    fn loop_and_check_span_facts() {
         let src = "\
-fn looping(xs: &[u32]) -> u32 {
+fn looping(xs: &[u32], t: &mut BudgetTicker) -> u32 {
     let mut s = 0;
     for &x in xs {
+        if t.check().is_some() { break; }
         s += x;
     }
     s
 }
-
-fn one_liner() -> u32 { 1 }
-
-trait T {
-    fn body_less(&self);
-}
+fn no_loop() -> u32 { workforce() }
+fn foreach_free() { xs.iter().for_each(|x| f(x)); }
 ";
-        let file = SourceFile::scan(src);
-        let spans = function_spans(&file);
-        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, vec!["looping", "one_liner"]);
-        assert_eq!((spans[0].start, spans[0].end), (0, 6));
-        assert_eq!((spans[1].start, spans[1].end), (8, 8));
-    }
-
-    #[test]
-    fn kernel_state_impl_span_extents() {
-        let src = "\
-struct S;
-
-impl KernelState for S {
-    const FORMAT_VERSION: u32 = 1;
-    fn decode(r: &mut Reader<'_>) -> Result<Self, RecoveryError> {
-        r.expect_version(Self::FORMAT_VERSION)?;
-        Ok(S)
-    }
-}
-
-impl Other for S {}
-";
-        let file = SourceFile::scan(src);
-        let spans = impl_kernel_state_spans(&file);
-        assert_eq!(spans.len(), 1);
-        assert_eq!(spans[0].name, "S");
-        assert_eq!((spans[0].start, spans[0].end), (2, 8));
+        let f = scan(src);
+        let fns: Vec<&Item> = f.items.iter().filter(|i| i.kind == ItemKind::Fn).collect();
+        assert!(span_has_loop(&f, fns[0]));
+        assert!(span_has_check(&f, fns[0]));
+        assert!(
+            !span_has_loop(&f, fns[1]),
+            "workforce() is not a loop keyword"
+        );
+        assert!(
+            !span_has_loop(&f, fns[2]),
+            "for_each is an identifier, not the `for` keyword"
+        );
     }
 
     #[test]

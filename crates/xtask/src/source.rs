@@ -1,26 +1,29 @@
-//! Line-oriented Rust source scanner.
+//! Scanned source files: the lexer + item scanner packaged per file.
 //!
-//! The policy rules only need token-level facts ("does real code on this
-//! line call `unwrap()`?"), so instead of a full parser this module runs
-//! a small character state machine that blanks out comments, string
-//! literals and char literals, while tracking `#[cfg(test)]` regions by
-//! brace depth and collecting `nsky-lint: allow(...)` suppressions.
-//! The approximations (a `cfg(test)` substring match, brace-depth region
-//! tracking) are deliberate: they are stable under rustfmt and fail
-//! toward *reporting* rather than hiding a site.
+//! PR 1's `SourceFile` blanked comments and strings line-by-line and
+//! guessed `#[cfg(test)]` regions by brace depth; rules then substring-
+//! matched the blanked text. This version is syntax-aware: it lexes the
+//! file into spanned [`Token`]s ([`crate::lex`]), scans the token stream
+//! into [`Item`]s ([`crate::items`]), and derives exact per-line test
+//! containment from the item tree. Rules query tokens and items instead
+//! of blanked strings, so string literals, comments, raw strings and
+//! nested block comments can never produce false positives, and `'a`
+//! lifetimes are never confused with `'a'` char literals.
+//!
+//! Suppressions stay line-oriented (`// nsky-lint: allow(rule) — why`),
+//! parsed from the raw line text so they work identically in `.rs` and
+//! `Cargo.toml` (`#` comments).
 
+use crate::items::{scan_items, Item};
+use crate::lex::{lex, Token};
 use crate::Rule;
 
-/// One scanned source line.
+/// One scanned source line (suppression facts only; token-level facts
+/// live in [`SourceFile::tokens`]).
 #[derive(Debug)]
 pub struct Line {
     /// The original text.
     pub raw: String,
-    /// The text with comment, string-literal and char-literal contents
-    /// replaced by spaces — token searches run against this.
-    pub code: String,
-    /// Whether the line lies inside a `#[cfg(test)]` item body.
-    pub in_test: bool,
     /// Rule names suppressed on this line via `nsky-lint: allow(...)`.
     pub suppressed: Vec<String>,
     /// Rule names in suppression comments that carried no justification
@@ -28,76 +31,58 @@ pub struct Line {
     pub bare: Vec<String>,
 }
 
-/// A scanned file: lines plus derived per-line facts.
+/// A scanned file: raw lines with suppressions, the lexed token stream,
+/// the scanned items, and per-line `#[cfg(test)]` containment.
 #[derive(Debug)]
 pub struct SourceFile {
     /// Scanned lines, in order.
     pub lines: Vec<Line>,
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum State {
-    Normal,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    Char,
+    /// The lexed tokens (comments included), in source order.
+    pub tokens: Vec<Token>,
+    /// The scanned items (functions, types, impls, mods, …).
+    pub items: Vec<Item>,
+    /// Per-line test containment (1-based lookup via [`SourceFile::in_test`]).
+    test_lines: Vec<bool>,
 }
 
 impl SourceFile {
     /// Scans `text` (the contents of one `.rs` file).
     pub fn scan(text: &str) -> SourceFile {
-        let mut lines = Vec::new();
-        let mut state = State::Normal;
-        let mut depth: i32 = 0;
-        // Stack of brace depths at which a `#[cfg(test)]` body opened.
-        let mut test_regions: Vec<i32> = Vec::new();
-        let mut pending_cfg_test = false;
-
-        for raw in text.lines() {
-            let (code, next_state) = blank_line(raw, state);
-            state = next_state;
-
-            let in_test_before = !test_regions.is_empty();
-            let mut in_test = in_test_before;
-            if code.contains("cfg(test") {
-                pending_cfg_test = true;
-            }
-            for ch in code.chars() {
-                match ch {
-                    '{' => {
-                        if pending_cfg_test {
-                            test_regions.push(depth);
-                            pending_cfg_test = false;
-                            in_test = true;
-                        }
-                        depth += 1;
-                    }
-                    '}' => {
-                        depth -= 1;
-                        if test_regions.last().is_some_and(|&d| depth <= d) {
-                            test_regions.pop();
-                        }
-                    }
-                    // `#[cfg(test)]` directly on a braceless item
-                    // (e.g. `mod tests;`) attaches to nothing further.
-                    ';' if pending_cfg_test && test_regions.is_empty() => {
-                        pending_cfg_test = false;
-                    }
-                    _ => {}
+        let tokens = lex(text);
+        let items = scan_items(&tokens);
+        let lines: Vec<Line> = text
+            .lines()
+            .map(|raw| {
+                let (suppressed, bare) = parse_suppressions(raw);
+                Line {
+                    raw: raw.to_string(),
+                    suppressed,
+                    bare,
+                }
+            })
+            .collect();
+        let mut test_lines = vec![false; lines.len() + 1];
+        for item in &items {
+            if item.in_test {
+                let first = tokens[item.span.0].line;
+                let last = tokens[item.span.1].line;
+                for flag in &mut test_lines[first..=last.min(lines.len())] {
+                    *flag = true;
                 }
             }
-
-            let (suppressed, bare) = parse_suppressions(raw);
-            lines.push(Line {
-                raw: raw.to_string(),
-                code,
-                in_test,
-                suppressed,
-                bare,
-            });
         }
-        SourceFile { lines }
+        SourceFile {
+            lines,
+            tokens,
+            items,
+            test_lines,
+        }
+    }
+
+    /// Whether 1-based line `lineno` lies inside a `#[cfg(test)]` /
+    /// `#[test]` item.
+    pub fn in_test(&self, lineno: usize) -> bool {
+        self.test_lines.get(lineno).copied().unwrap_or(false)
     }
 
     /// Whether `rule` is suppressed for 1-based line `lineno` (a
@@ -109,157 +94,48 @@ impl SourceFile {
                 .get(idx)
                 .is_some_and(|l| l.suppressed.iter().any(|s| s == rule.name()))
         };
-        hit(lineno - 1) || (lineno >= 2 && hit(lineno - 2))
+        lineno >= 1 && (hit(lineno - 1) || (lineno >= 2 && hit(lineno - 2)))
     }
-}
 
-/// Blanks comments/strings in one line, threading multi-line state.
-fn blank_line(raw: &str, mut state: State) -> (String, State) {
-    let mut out = String::with_capacity(raw.len());
-    let chars: Vec<char> = raw.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match state {
-            State::BlockComment(d) => {
-                if c == '*' && next == Some('/') {
-                    state = if d == 1 {
-                        State::Normal
-                    } else {
-                        State::BlockComment(d - 1)
-                    };
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(d + 1);
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(' ');
-                    i += 1;
+    /// Whether a comment containing `marker` sits on `lineno` or above
+    /// it. Walking upward, comment lines are free (a multi-line
+    /// `// MARKER: …` block counts however long it is) while code and
+    /// blank lines consume the `above` budget — so the marker attaches
+    /// across a rustfmt-split statement but not across unrelated code.
+    /// Doc comments count: a `/// SAFETY:` note is still a note.
+    pub fn comment_marker_near(&self, marker: &str, lineno: usize, above: usize) -> bool {
+        if self
+            .lines
+            .get(lineno.wrapping_sub(1))
+            .is_some_and(|l| l.raw.contains(marker))
+        {
+            return true;
+        }
+        let mut budget = above;
+        for l in (1..lineno).rev() {
+            let Some(line) = self.lines.get(l - 1) else {
+                break;
+            };
+            let is_comment = line.raw.trim_start().starts_with("//");
+            if !is_comment {
+                if budget == 0 {
+                    return false;
                 }
+                budget -= 1;
             }
-            State::Str => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    state = State::Normal;
-                    out.push('"');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' && raw_str_closes(&chars, i, hashes) {
-                    state = State::Normal;
-                    out.push('"');
-                    for _ in 0..hashes {
-                        out.push(' ');
-                    }
-                    i += 1 + hashes as usize;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::Char => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '\'' {
-                    state = State::Normal;
-                    out.push('\'');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::Normal => {
-                if c == '/' && next == Some('/') {
-                    // Line comment: blank the rest of the line.
-                    for _ in i..chars.len() {
-                        out.push(' ');
-                    }
-                    i = chars.len();
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    state = State::Str;
-                    out.push('"');
-                    i += 1;
-                } else if c == 'r' && is_raw_str_start(&chars, i) {
-                    let hashes = count_hashes(&chars, i + 1);
-                    state = State::RawStr(hashes);
-                    out.push('r');
-                    for _ in 0..hashes {
-                        out.push(' ');
-                    }
-                    out.push('"');
-                    i += 2 + hashes as usize;
-                } else if c == '\'' && is_char_literal(&chars, i) {
-                    state = State::Char;
-                    out.push('\'');
-                    i += 1;
-                } else {
-                    out.push(c);
-                    i += 1;
-                }
+            if line.raw.contains(marker) {
+                return true;
             }
         }
+        false
     }
-    // Char literals cannot span lines (plain and raw strings can).
-    if state == State::Char {
-        state = State::Normal;
-    }
-    (out, state)
-}
 
-/// `r"` / `r#"`-style raw string start at position `i` (which holds 'r'),
-/// not preceded by an identifier character (so `for r"` matches but
-/// `var"` does not — and `r` as an identifier followed by `"` cannot
-/// occur in valid Rust).
-fn is_raw_str_start(chars: &[char], i: usize) -> bool {
-    if i > 0 {
-        let prev = chars[i - 1];
-        if prev.is_alphanumeric() || prev == '_' {
-            return false;
-        }
-    }
-    let mut j = i + 1;
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    chars.get(j) == Some(&'"')
-}
-
-fn count_hashes(chars: &[char], mut i: usize) -> u32 {
-    let mut n = 0;
-    while chars.get(i) == Some(&'#') {
-        n += 1;
-        i += 1;
-    }
-    n
-}
-
-/// Whether the `"` at `i` closes a raw string with `hashes` trailing `#`s.
-fn raw_str_closes(chars: &[char], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
-}
-
-/// Distinguishes a char literal from a lifetime: `'a'` vs `'a`. A char
-/// literal has a closing quote within a few characters (or an escape).
-fn is_char_literal(chars: &[char], i: usize) -> bool {
-    match chars.get(i + 1) {
-        Some('\\') => true,
-        Some(_) => chars.get(i + 2) == Some(&'\''),
-        None => false,
+    /// Indices of non-comment tokens, in order (the "code view" rules
+    /// iterate).
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_comment())
+            .collect()
     }
 }
 
@@ -290,38 +166,23 @@ pub(crate) fn parse_suppressions(raw: &str) -> (Vec<String>, Vec<String>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lex::TokenKind;
 
     #[test]
-    fn blanks_comments_and_strings() {
+    fn strings_and_comments_produce_no_code_tokens() {
         let f = SourceFile::scan("let x = \"unwrap()\"; // unwrap()\n");
-        assert!(!f.lines[0].code.contains("unwrap"));
+        let code_idents: Vec<&str> = f
+            .code_indices()
+            .into_iter()
+            .filter(|&i| f.tokens[i].kind == TokenKind::Ident)
+            .map(|i| f.tokens[i].text.as_str())
+            .collect();
+        assert_eq!(code_idents, vec!["let", "x"]);
         assert!(f.lines[0].raw.contains("unwrap"));
     }
 
     #[test]
-    fn blanks_block_comments_across_lines() {
-        let f = SourceFile::scan("/* panic!(\n panic!( */ let y = 1;\n");
-        assert!(!f.lines[0].code.contains("panic"));
-        assert!(!f.lines[1].code.contains("panic"));
-        assert!(f.lines[1].code.contains("let y"));
-    }
-
-    #[test]
-    fn blanks_raw_strings_and_chars() {
-        let f = SourceFile::scan("let s = r#\"todo!\"#; let c = '{';\n");
-        assert!(!f.lines[0].code.contains("todo"));
-        // The blanked char literal must not unbalance brace tracking.
-        assert!(!f.lines[0].code.contains('{'));
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let f = SourceFile::scan("fn f<'a>(x: &'a str) -> &'a str { x.trim() }\n");
-        assert!(f.lines[0].code.contains("trim"));
-    }
-
-    #[test]
-    fn cfg_test_region_tracking() {
+    fn cfg_test_region_tracking_is_exact() {
         let src = "\
 fn real() { x.unwrap(); }
 #[cfg(test)]
@@ -331,9 +192,25 @@ mod tests {
 fn real2() {}
 ";
         let f = SourceFile::scan(src);
-        assert!(!f.lines[0].in_test);
-        assert!(f.lines[3].in_test);
-        assert!(!f.lines[5].in_test);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn brace_chars_and_raw_strings_do_not_break_test_regions() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    const C: char = '}';
+    const S: &str = r#\"}}}\"#;
+    fn t() { helper(); }
+}
+fn real() {}
+";
+        let f = SourceFile::scan(src);
+        assert!(f.in_test(5), "test region survives brace-like literals");
+        assert!(!f.in_test(7));
     }
 
     #[test]
@@ -347,18 +224,45 @@ fn real2() {}
     }
 
     #[test]
-    fn multiline_strings_stay_blanked() {
-        let f = SourceFile::scan("let s = \"first line\nstill inside unwrap() {\n\"; let x = 1;\n");
-        assert!(!f.lines[1].code.contains("unwrap"));
-        assert!(!f.lines[1].code.contains('{'));
-        assert!(f.lines[2].code.contains("let x"));
-    }
-
-    #[test]
     fn suppression_applies_to_line_below() {
         let src = "// nsky-lint: allow(panic-free) — fine here\nx.unwrap();\n";
         let f = SourceFile::scan(src);
         assert!(f.is_suppressed(Rule::PanicFree, 2));
         assert!(!f.is_suppressed(Rule::NoStdout, 2));
+    }
+
+    #[test]
+    fn comment_markers_near() {
+        let src = "// SAFETY: bounds checked above\n\nunsafe { go() }\n";
+        let f = SourceFile::scan(src);
+        assert!(f.comment_marker_near("SAFETY:", 3, 3));
+        assert!(
+            f.comment_marker_near("SAFETY:", 3, 1),
+            "blank consumes budget, comment is free"
+        );
+    }
+
+    #[test]
+    fn comment_marker_blocked_by_code() {
+        let src = "// SAFETY: for the other site\nlet a = 1;\nlet b = 2;\nunsafe { go() }\n";
+        let f = SourceFile::scan(src);
+        assert!(!f.comment_marker_near("SAFETY:", 4, 1));
+        assert!(f.comment_marker_near("SAFETY:", 4, 2));
+    }
+
+    #[test]
+    fn comment_marker_in_long_block() {
+        let src = "\
+// ORDERING: Release pairs with the Acquire load in poll,
+// so everything written before cancel() is visible to the
+// kernel when it unwinds.
+self.flag
+    .store(true, Ordering::Release);
+";
+        let f = SourceFile::scan(src);
+        assert!(
+            f.comment_marker_near("ORDERING:", 5, 3),
+            "marker atop a block, op mid-statement"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Fixture-based self-tests for the policy lint engine: one
 //! true-positive and one true-negative miniature workspace per rule
-//! R1–R9, a CLI exit-code check, and the capstone assertion that the
-//! real workspace is lint-clean.
+//! R1–R11, a baseline-drift workspace for R12, a CLI exit-code check,
+//! and the capstone assertion that the real workspace is lint-clean.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -73,7 +73,16 @@ fn r2_tests_strings_docs_and_suppressions_clean() {
 
 #[test]
 fn r3_unsafe_without_safety_flagged() {
-    assert_only_rule("r3_bad", Rule::SafetyComment);
+    let violations = assert_only_rule("r3_bad", Rule::SafetyComment);
+    // The uncommented `unsafe` block, plus the missing crate-level
+    // `#![forbid(unsafe_code)]` (a crate with unsafe cannot carry it).
+    assert_eq!(violations.len(), 2);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.message.contains("#![forbid(unsafe_code)]")),
+        "the forbid-attribute check fires on lib.rs"
+    );
 }
 
 #[test]
@@ -166,6 +175,71 @@ fn r9_recorded_suppressed_and_private_modules_clean() {
     assert_clean("r9_good");
 }
 
+#[test]
+fn r10_lossy_casts_flagged() {
+    let violations = assert_only_rule("r10_bad", Rule::CastAudit);
+    // Narrowing param, `.len()` narrowing, float truncation, and an
+    // unknown source cast to a narrow destination.
+    assert_eq!(violations.len(), 4);
+    assert!(violations[0].message.contains("usize as u32"));
+    assert!(violations[1].message.contains("len as u32"));
+    assert!(violations[2].message.contains("round as i64"));
+    assert!(violations[3].message.contains("? as u32"));
+    assert!(violations[0].file.ends_with("crates/core/src/convert.rs"));
+}
+
+#[test]
+fn r10_justified_rewritten_and_lossless_clean() {
+    assert_clean("r10_good");
+}
+
+#[test]
+fn r11_underargued_atomics_flagged() {
+    let violations = assert_only_rule("r11_bad", Rule::AtomicOrdering);
+    // Missing ORDERING comment, hidden ordering, Relaxed on a flag.
+    assert_eq!(violations.len(), 3);
+    assert!(violations[0].message.contains("ORDERING:"));
+    assert!(violations[1].message.contains("name its `Ordering`"));
+    assert!(violations[2].message.contains("Relaxed"));
+    assert!(violations[2].message.contains("cancel"));
+    assert!(violations[0].file.ends_with("crates/core/src/budget.rs"));
+}
+
+#[test]
+fn r11_named_and_argued_orderings_clean() {
+    assert_clean("r11_good");
+}
+
+#[test]
+fn r12_renamed_pub_fn_drifts_from_baseline() {
+    let violations = assert_only_rule("r12_drift", Rule::ApiSurface);
+    assert_eq!(violations.len(), 1);
+    let msg = &violations[0].message;
+    // The baseline still names `order`; the source renamed it to
+    // `vertex_count` — one line removed, one added.
+    assert!(msg.contains("+1 / -1"), "{msg}");
+    assert!(msg.contains("fn order"), "{msg}");
+    assert!(violations[0].file.ends_with("api/core.surface"));
+}
+
+#[test]
+fn r12_committed_baselines_match_real_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let violations = nsky_xtask::surface::check_surfaces_cli(&root).expect("surfaces render");
+    assert!(
+        violations.is_empty(),
+        "API baselines drifted (run `cargo xtask api --bless` and review):\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 /// The capstone: the real workspace passes its own policy.
 #[test]
 fn real_workspace_is_lint_clean() {
@@ -191,7 +265,18 @@ fn real_workspace_is_lint_clean() {
 fn cli_exit_codes_match_findings() {
     let bin = env!("CARGO_BIN_EXE_nsky-xtask");
     for bad in [
-        "r1_bad", "r2_bad", "r3_bad", "r4_bad", "r5_bad", "r6_bad", "r7_bad", "r8_bad", "r9_bad",
+        "r1_bad",
+        "r2_bad",
+        "r3_bad",
+        "r4_bad",
+        "r5_bad",
+        "r6_bad",
+        "r7_bad",
+        "r8_bad",
+        "r9_bad",
+        "r10_bad",
+        "r11_bad",
+        "r12_drift",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
@@ -207,7 +292,7 @@ fn cli_exit_codes_match_findings() {
     }
     for good in [
         "r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good", "r7_good", "r8_good",
-        "r9_good",
+        "r9_good", "r10_good", "r11_good",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
@@ -218,4 +303,35 @@ fn cli_exit_codes_match_findings() {
     }
     let out = Command::new(bin).output().expect("runs without args");
     assert_eq!(out.status.code(), Some(2), "usage error is exit 2");
+}
+
+/// `api --check` is its own CLI entry point: exit 1 on the injected
+/// pub-fn rename, exit 0 once the baseline is re-blessed (checked
+/// against the real workspace, whose baselines are committed).
+#[test]
+fn cli_api_check_detects_drift() {
+    let bin = env!("CARGO_BIN_EXE_nsky-xtask");
+    let out = Command::new(bin)
+        .args(["api", "--check", "--root"])
+        .arg(fixture("r12_drift"))
+        .output()
+        .expect("api --check runs");
+    assert_eq!(out.status.code(), Some(1), "drift fixture fails the check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("drifted"),
+        "report names the drift: {stdout}"
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(bin)
+        .args(["api", "--check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("api --check runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace baselines are current"
+    );
 }

@@ -18,8 +18,17 @@ step() {
 step cargo fmt --all -- --check
 step cargo clippy --workspace --all-targets -- -D warnings
 step cargo run -q -p nsky-xtask -- lint
+# API-surface gate: each library crate's public surface must match its
+# committed api/<crate>.surface baseline (regenerate intentional
+# changes with `cargo xtask api --bless` and commit the diff).
+step cargo run -q -p nsky-xtask -- api --check
 step cargo build --release
 step cargo test -q
+# Policy-engine self-tests, run by name so a harness filter can never
+# silently drop them: the lexer torture suite and the per-rule fixture
+# workspaces (including the R12 injected-rename drift fixture).
+step cargo test -q -p nsky-xtask --test lexer
+step cargo test -q -p nsky-xtask --test fixtures
 # Crash-safety gate, run by name so a test-harness filter can never
 # silently drop it: every kernel killed at every poll point must resume
 # to the uninterrupted answer, and every corrupt checkpoint must be
