@@ -11,8 +11,10 @@
 //! `NSKY_BENCH_SAMPLES`; `NSKY_QUICK=1` drops it to 3 for smoke runs.
 //!
 //! With [`Group::json_dir`] (or the `NSKY_BENCH_JSON=<dir>` environment
-//! variable) each group also writes `BENCH_<group>.json` in the
-//! [`RunReport`] schema shared with the CLI's `--metrics` flag: one
+//! variable) each group also writes `BENCH_<group>.json` — punctuation
+//! in the group name, such as the `/` in `substrate/bloom`, is rewritten
+//! to `_` for the filename — in the [`RunReport`] schema shared with the
+//! CLI's `--metrics` flag: one
 //! `{id}_min_nanos` / `{id}_median_nanos` / `{id}_samples` counter
 //! triple per benchmark, plus one phase span covering each benchmark's
 //! measurement window.
@@ -63,6 +65,21 @@ fn env_json_dir() -> Option<PathBuf> {
 /// Nanoseconds as a saturating `u64` (585 years of headroom).
 fn nanos_u64(secs: f64) -> u64 {
     (secs * 1e9).min(u64::MAX as f64) as u64
+}
+
+/// Group name rendered safe for a filename: path separators and other
+/// punctuation become `_` so `substrate/bloom` lands in
+/// `BENCH_substrate_bloom.json` instead of a missing subdirectory.
+fn file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 impl Group {
@@ -199,7 +216,7 @@ impl Group {
                     end_nanos: row.end_nanos,
                 });
             }
-            let path = dir.join(format!("BENCH_{}.json", self.name));
+            let path = dir.join(format!("BENCH_{}.json", file_stem(&self.name)));
             let written = std::fs::create_dir_all(&dir)
                 .and_then(|()| std::fs::File::create(&path))
                 .and_then(|mut f| report.write_to(&mut f));
@@ -252,6 +269,22 @@ mod tests {
         for p in &report.phases {
             assert!(p.end_nanos >= p.start_nanos, "{p:?}");
         }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn json_filename_sanitizes_slashed_group_names() {
+        let dir = std::env::temp_dir().join(format!("nsky-bench-slash-{}", std::process::id()));
+        let mut g = Group::new("selftest/slashed");
+        g.sample_size(1).json_dir(&dir);
+        g.bench("sum", || (0..10).sum::<u64>());
+        g.finish();
+        let path = dir.join("BENCH_selftest_slashed.json");
+        let report = RunReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        // The kernel field keeps the exact group name; only the
+        // filename is rewritten.
+        assert_eq!(report.kernel, "bench/selftest/slashed");
         std::fs::remove_file(&path).ok();
         std::fs::remove_dir(&dir).ok();
     }

@@ -168,6 +168,9 @@ impl<'g, M: GroupMeasure> Evaluator<'g, M> {
                 continue;
             }
             for &w in self.g.neighbors(v) {
+                if let Some(status) = ticker.check() {
+                    return Some(status);
+                }
                 if self.stamp[w as usize] == round {
                     continue;
                 }
@@ -465,7 +468,6 @@ pub fn greedy_group_resumable<M: GroupMeasure>(
     )
 }
 
-// nsky-lint: allow(budget-check) — every round loop calls gain(), which polls the ticker at each BFS step
 pub(crate) fn greedy_leg<M: GroupMeasure>(
     g: &Graph,
     measure: M,
@@ -516,6 +518,7 @@ pub(crate) fn greedy_leg<M: GroupMeasure>(
 
     if opts.lazy {
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(pool.len());
+        // nsky-lint: allow(poll-reachability) — bounded: rebuilds the saved lazy queue, at most one entry per pool vertex
         for &(gain, vertex, entry_round) in &state.entries {
             heap.push(HeapEntry {
                 gain,

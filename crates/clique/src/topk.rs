@@ -497,6 +497,7 @@ fn topk_neisky_leg(
         // because their entries are already in the saved queue.
         out.cliques = state.cliques;
         out.seeds = state.seeds;
+        // nsky-lint: allow(poll-reachability) — bounded: replays at most k retired seeds
         for &s in &out.seeds {
             alive[s as usize] = false;
             let _ = dyn_sky.remove_vertex_report(s);
@@ -508,6 +509,12 @@ fn topk_neisky_leg(
         incumbent = state.incumbent;
     } else {
         for s in g.vertices().filter(|&s| dyn_sky.is_skyline(s)) {
+            if let Some(status) = ticker.check() {
+                // Trip during seeding: nothing is retired yet, so the
+                // resume token restarts the (idempotent) seeding scan.
+                out.completion = status;
+                return (out, TopkNeiSkyState::fresh());
+            }
             heap.push(Entry {
                 key: ub(s),
                 exact: false,

@@ -44,6 +44,8 @@ pub struct FilterOutcome {
 /// let out = filter_phase(&clique(6));
 /// assert_eq!(out.candidates, vec![0]);
 /// ```
+// HOT: the O(n + m) filter sweep runs before any budget exists — all
+// scratch is sized up front, the scans themselves must not allocate.
 pub fn filter_phase(g: &Graph) -> FilterOutcome {
     let n = g.num_vertices();
     let mut dominator: Vec<VertexId> = (0..n as VertexId).collect();

@@ -282,6 +282,8 @@ fn parallel_leg(
 /// vertex that dominates `u` (strictly, or a smaller-ID twin),
 /// [`Verdict::Skyline`] if the scan completes without one, or
 /// [`Verdict::Unverified`] if the budget trips mid-scan.
+// HOT: per-candidate scan executed across the worker pool — shared-state
+// writes are stamp-array updates only, never heap growth.
 #[allow(clippy::too_many_arguments)]
 fn refine_one(
     g: &Graph,
@@ -302,6 +304,9 @@ fn refine_one(
     let scan_vs: &[VertexId] = if cfg.scan_min_neighbor {
         let mut best = 0usize;
         for i in 1..nbrs.len() {
+            if ticker.check().is_some() {
+                return Verdict::Unverified;
+            }
             if g.degree(nbrs[i]) < g.degree(nbrs[best]) {
                 best = i;
             }

@@ -1,8 +1,8 @@
 //! `FilterRefineSky` — the paper's Algorithm 3: the filter-refine search
 //! framework with bloom-filter-accelerated inclusion tests.
 
-use crate::budget::{Completion, ExecutionBudget};
-use crate::filter_phase::filter_phase;
+use crate::budget::{BudgetTicker, Completion, ExecutionBudget};
+use crate::filter_phase::{filter_phase, FilterOutcome};
 use crate::obs::{record_skyline_stats, NoopRecorder, Recorder};
 use crate::result::{SkylineResult, SkylineStats};
 use crate::snapshot::{
@@ -220,6 +220,52 @@ pub fn filter_refine_sky_resumable(
     )
 }
 
+/// Builds the candidate-only CSR adjacency: `cand_adj[v]` lists
+/// `N(v) ∩ C` for every vertex, in two O(m) passes (count, then fill).
+/// Both passes poll the ticker once per vertex row, and the adjacency
+/// buffer is charged against the budget before it is allocated; a trip
+/// surfaces as `Err(status)` so the caller can return a partial result.
+// HOT: one of the two O(m) sweeps of the refine leg — no per-row heap
+// traffic allowed; the buffers are sized once, outside the loops.
+fn build_candidate_index(
+    g: &Graph,
+    filter: &FilterOutcome,
+    budget: &ExecutionBudget,
+    ticker: &mut BudgetTicker<'_>,
+) -> Result<(Vec<usize>, Vec<VertexId>), Completion> {
+    let n = g.num_vertices();
+    let mut offsets = vec![0usize; n + 1];
+    for u in g.vertices() {
+        if let Some(status) = ticker.check() {
+            return Err(status);
+        }
+        offsets[u as usize + 1] = offsets[u as usize]
+            + g.neighbors(u)
+                .iter()
+                .filter(|&&w| filter.dominator[w as usize] == w)
+                .count();
+    }
+    if let Some(status) = budget.charge((n + 1) * 8 + offsets[n] * 4) {
+        return Err(status);
+    }
+    let mut adj = vec![0 as VertexId; offsets[n]];
+    let mut cursor = 0usize;
+    for u in g.vertices() {
+        if let Some(status) = ticker.check() {
+            return Err(status);
+        }
+        for &w in g.neighbors(u) {
+            if filter.dominator[w as usize] == w {
+                adj[cursor] = w;
+                cursor += 1;
+            }
+        }
+    }
+    Ok((offsets, adj))
+}
+
+// HOT: the refine scan is the kernel's dominant cost (ROADMAP item 2
+// keeps it allocation-free); every loop below polls the shared ticker.
 fn filter_refine_leg(
     g: &Graph,
     cfg: &RefineConfig,
@@ -268,43 +314,29 @@ fn filter_refine_leg(
 
     // Candidate-only adjacency index (CSR): cand_adj[v] lists N(v) ∩ C.
     let (cand_offsets, cand_adj) = if cfg.candidate_index {
-        let mut offsets = vec![0usize; n + 1];
-        for u in g.vertices() {
-            offsets[u as usize + 1] = offsets[u as usize]
-                + g.neighbors(u)
-                    .iter()
-                    .filter(|&&w| filter.dominator[w as usize] == w)
-                    .count();
-        }
-        if let Some(status) = budget.charge((n + 1) * 8 + offsets[n] * 4) {
-            let verified = verified_prefix(&filter.candidates, start, &dominator);
-            let result = SkylineResult::partial(
-                verified,
-                dominator.clone(),
-                Some(filter.candidates),
-                stats,
-                status,
-            );
-            return (
-                result,
-                RefineState {
-                    dominator,
-                    cursor: start,
-                },
-            );
-        }
-        let mut adj = vec![0 as VertexId; offsets[n]];
-        let mut cursor = 0usize;
-        for u in g.vertices() {
-            for &w in g.neighbors(u) {
-                if filter.dominator[w as usize] == w {
-                    adj[cursor] = w;
-                    cursor += 1;
-                }
+        match build_candidate_index(g, &filter, budget, &mut ticker) {
+            Ok((offsets, adj)) => {
+                stats.peak_bytes += offsets.len() * 8 + adj.len() * 4;
+                (offsets, adj)
+            }
+            Err(status) => {
+                let verified = verified_prefix(&filter.candidates, start, &dominator);
+                let result = SkylineResult::partial(
+                    verified,
+                    dominator.clone(),
+                    Some(filter.candidates),
+                    stats,
+                    status,
+                );
+                return (
+                    result,
+                    RefineState {
+                        dominator,
+                        cursor: start,
+                    },
+                );
             }
         }
-        stats.peak_bytes += offsets.len() * 8 + adj.len() * 4;
-        (offsets, adj)
     } else {
         (Vec::new(), Vec::new())
     };
@@ -341,6 +373,11 @@ fn filter_refine_leg(
         let scan_vs: &[VertexId] = if cfg.scan_min_neighbor {
             let mut best = 0usize;
             for i in 1..nbrs.len() {
+                if let Some(status) = ticker.check() {
+                    tripped = Some(status);
+                    verified_upto = idx; // u's scan did not finish
+                    break 'all;
+                }
                 if g.degree(nbrs[i]) < g.degree(nbrs[best]) {
                     best = i;
                 }

@@ -22,6 +22,8 @@ use nsky_graph::{Graph, VertexId};
 ///
 /// assert_eq!(two_hop_sky(&star(6)).skyline, vec![0]);
 /// ```
+// HOT: the oracle baseline the ablations time against — keep its scan
+// loops allocation-free so comparisons measure algorithm, not allocator.
 pub fn two_hop_sky(g: &Graph) -> SkylineResult {
     let n = g.num_vertices();
     let mut dominator: Vec<VertexId> = (0..n as VertexId).collect();

@@ -1,0 +1,18 @@
+//! Second file of crate `clique`: provides the colliding `dup`
+//! definitions that make `ambiguous_caller` unresolvable.
+
+fn dup() -> u32 {
+    10
+}
+
+mod inner {
+    fn dup() -> u32 {
+        20
+    }
+}
+
+// `shared` is defined in lib.rs of this crate AND in core: same-crate
+// preference picks the clique copy even from another file.
+fn extra_caller() -> u32 {
+    shared()
+}

@@ -1,0 +1,37 @@
+//! Call-graph resolution fixture, crate `clique`: the other half of the
+//! two-crate workspace.
+
+// The second definition of `shared` (see core): callers in this crate
+// resolve here, callers in core resolve there.
+fn shared() -> u32 {
+    2
+}
+
+// Same-crate resolution: `shared` has two global candidates but only
+// one in this crate.
+fn crate_caller() -> u32 {
+    shared()
+}
+
+// Cross-crate resolution: `core_only` is globally unique.
+fn cross_caller() -> u32 {
+    core_only(7)
+}
+
+// Ambiguous in this crate: two files define `dup` (see extra.rs), and
+// this caller names neither specifically — no edge is produced.
+fn ambiguous_caller() -> u32 {
+    dup()
+}
+
+// Recursion across a two-function cycle, for the witness-path test.
+fn ping(n: u32) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    pong(n - 1)
+}
+
+fn pong(n: u32) -> u32 {
+    ping(n)
+}

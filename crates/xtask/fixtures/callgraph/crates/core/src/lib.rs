@@ -1,0 +1,29 @@
+//! Call-graph resolution fixture, crate `core`: exercises same-file
+//! preference, cross-crate unique resolution, and the ambiguity rule.
+
+// Defined in BOTH crates: a caller resolves to its own crate's copy.
+fn shared() -> u32 {
+    1
+}
+
+// Unique across the workspace: callable from the other crate.
+fn core_only(x: u32) -> u32 {
+    x.wrapping_mul(3)
+}
+
+// Same-file resolution beats everything else.
+fn local_caller() -> u32 {
+    shared()
+}
+
+// Polls through a chain: local_poller -> deep_poll -> (primitive).
+fn deep_poll(ticker: &mut BudgetTicker<'_>) -> bool {
+    ticker.check().is_some()
+}
+
+fn local_poller(ticker: &mut BudgetTicker<'_>) -> u32 {
+    if deep_poll(ticker) {
+        return 0;
+    }
+    1
+}

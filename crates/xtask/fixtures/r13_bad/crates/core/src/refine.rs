@@ -1,0 +1,41 @@
+//! R13 fixture: every function passes the lexical R7 pre-pass — a
+//! `.check(` is reachable somewhere — but no loop polls on all paths.
+
+// The poll hides inside a branch: the odd-element iterations complete
+// without ever touching the ticker. R7 (token presence) is satisfied;
+// R13 must flag the loop.
+fn conditional_poll(xs: &[u32], ticker: &mut BudgetTicker<'_>) -> u32 {
+    let mut acc = 0;
+    for &x in xs {
+        if x % 2 == 0 {
+            if ticker.check().is_some() {
+                break;
+            }
+        }
+        acc = fold(acc, x);
+    }
+    acc
+}
+
+// The poll hides inside a helper that itself only polls on one branch:
+// transitive R7 credits `maybe_poll`, all-paths R13 does not.
+fn helper_conditional(xs: &[u32], ticker: &mut BudgetTicker<'_>) -> u32 {
+    let mut acc = 0;
+    for &x in xs {
+        acc = maybe_poll(acc, x, ticker);
+    }
+    acc
+}
+
+fn maybe_poll(acc: u32, x: u32, ticker: &mut BudgetTicker<'_>) -> u32 {
+    if x > 10 {
+        if ticker.check().is_some() {
+            return acc;
+        }
+    }
+    fold(acc, x)
+}
+
+fn fold(acc: u32, x: u32) -> u32 {
+    acc.wrapping_add(x)
+}

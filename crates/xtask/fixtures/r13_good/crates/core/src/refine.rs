@@ -1,0 +1,36 @@
+//! R13 fixture (clean): polls reach every continuing path, including
+//! through a helper. `scan` contains no lexical `.check(` at all — the
+//! pre-PR-6 R7 would have flagged it; the call-graph-aware pre-pass and
+//! the all-paths analysis both credit the helper.
+
+fn scan(xs: &[u32], ticker: &mut BudgetTicker<'_>) -> u32 {
+    let mut acc = 0;
+    for &x in xs {
+        if poll(ticker) {
+            break;
+        }
+        acc = acc.wrapping_add(x);
+    }
+    acc
+}
+
+// Polls unconditionally: the single statement is the poll itself.
+fn poll(ticker: &mut BudgetTicker<'_>) -> bool {
+    ticker.check().is_some()
+}
+
+// A `match` whose scrutinee is the poll: evaluated on every iteration
+// before any arm is chosen.
+fn drain(mut n: u32, ticker: &mut BudgetTicker<'_>) -> u32 {
+    let mut acc = 0;
+    while n > 0 {
+        match ticker.check() {
+            Some(_) => break,
+            None => {
+                acc = acc.wrapping_add(n);
+            }
+        }
+        n -= 1;
+    }
+    acc
+}

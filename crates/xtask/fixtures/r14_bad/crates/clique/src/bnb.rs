@@ -1,0 +1,25 @@
+//! R14 fixture: recursion cycles with no bound parameter and no
+//! termination-argument marker.
+
+// Direct recursion; `chosen` is not a recognized bound name.
+fn expand(pool: &[u32], chosen: usize) -> usize {
+    if pool.is_empty() {
+        return chosen;
+    }
+    expand(&pool[1..], chosen + 1)
+}
+
+// Mutual recursion: both ends of the cycle are flagged.
+fn even_steps(n: u32) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    odd_steps(n - 1)
+}
+
+fn odd_steps(n: u32) -> u32 {
+    if n == 0 {
+        return 1;
+    }
+    even_steps(n - 1)
+}

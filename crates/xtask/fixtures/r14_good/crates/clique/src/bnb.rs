@@ -1,0 +1,26 @@
+//! R14 fixture (clean): every recursion cycle carries a bound — a
+//! recognized parameter, a budget carrier, or a termination argument.
+
+// `depth` is a recognized bound parameter name.
+fn expand(pool: &[u32], depth: usize) -> usize {
+    if pool.is_empty() || depth == 0 {
+        return 0;
+    }
+    expand(&pool[1..], depth - 1) + 1
+}
+
+// A threaded budget carrier bounds the cycle.
+fn search(pool: &[u32], ticker: &mut BudgetTicker<'_>) -> usize {
+    if pool.is_empty() || ticker.check().is_some() {
+        return 0;
+    }
+    search(&pool[1..], ticker) + 1
+}
+
+// RECURSION: structural — recurses on a strictly shorter slice of `pool`
+fn shrink(pool: &[u32]) -> usize {
+    if pool.is_empty() {
+        return 0;
+    }
+    shrink(&pool[1..]) + 1
+}

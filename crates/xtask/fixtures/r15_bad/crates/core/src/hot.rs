@@ -1,0 +1,14 @@
+//! R15 fixture: a `// HOT:`-marked function allocating inside its loop
+//! without `// ALLOC:` justifications.
+
+// HOT: the per-element scan must not touch the allocator
+fn scan(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for &x in xs {
+        let label = format!("v{x}");
+        if label.len() > 1 {
+            out.push(x);
+        }
+    }
+    out
+}

@@ -1,0 +1,25 @@
+//! R15 fixture (clean): hot loops either stay off the allocator
+//! entirely or justify each site with an `// ALLOC:` comment.
+
+// HOT: writes into a caller-provided buffer; no heap traffic at all
+fn fill(xs: &[u32], buf: &mut [u32]) -> usize {
+    let mut i = 0;
+    for &x in xs {
+        buf[i] = x;
+        i += 1;
+    }
+    i
+}
+
+// HOT: the only growth is amortized into a pre-reserved vector
+fn collect_even(xs: &[u32], out: &mut Vec<u32>) -> usize {
+    let mut count = 0;
+    for &x in xs {
+        if x % 2 == 0 {
+            // ALLOC: amortized — `out` is reserved to xs.len() by the caller
+            out.push(x);
+            count += 1;
+        }
+    }
+    count
+}

@@ -1,0 +1,21 @@
+//! R16 fixture: the `solve` twin family drifts — the recorded twin
+//! renames a core parameter and changes the result type.
+
+fn solve(g: &u32, k: u32) -> u32 {
+    g.wrapping_add(k)
+}
+
+fn solve_budgeted(g: &u32, k: u32, ticker: &mut BudgetTicker<'_>) -> u32 {
+    let _ = ticker;
+    g.wrapping_add(k)
+}
+
+fn solve_recorded(g: &u32, limit: u32, rec: &dyn Recorder) -> u64 {
+    let _ = rec;
+    u64::from(g.wrapping_add(limit))
+}
+
+fn solve_resumable(g: &u32, k: u32, budget: &ExecutionBudget) -> ResumableRun<u32> {
+    let _ = budget;
+    resume_with(g, k)
+}

@@ -1,0 +1,21 @@
+//! R16 fixture (clean): all four twins share the core signature; the
+//! resumable twin wraps the budgeted result in `ResumableRun`.
+
+fn solve(g: &u32, k: u32) -> u32 {
+    g.wrapping_add(k)
+}
+
+fn solve_budgeted(g: &u32, k: u32, ticker: &mut BudgetTicker<'_>) -> u32 {
+    let _ = ticker;
+    g.wrapping_add(k)
+}
+
+fn solve_recorded(g: &u32, k: u32, rec: &dyn Recorder) -> u32 {
+    let _ = rec;
+    g.wrapping_add(k)
+}
+
+fn solve_resumable(g: &u32, k: u32, budget: &ExecutionBudget) -> ResumableRun<u32> {
+    let _ = budget;
+    resume_with(g, k)
+}

@@ -1,0 +1,1098 @@
+//! Brace-matched control-flow analysis over the lexed token stream.
+//!
+//! PR 5 made the linter token-exact; this module makes it *flow-aware*.
+//! [`parse_body`] turns a function body (a non-comment token range) into
+//! a statement tree — `if`/`else if`/`else` chains with their condition
+//! extents, `match` statements with per-arm blocks, the three loop forms
+//! (with exact header/body boundaries, including `if let`/`while let`
+//! scrutinees, `for … in …` headers and labeled loops), bare blocks, and
+//! "simple" statements with their embedded `{…}` groups and embedded
+//! loops parsed recursively (so a loop inside a closure passed to
+//! `thread::scope`/`spawn` is analyzed like any other loop).
+//!
+//! On top of the tree, [`FlowAnalysis`] answers the question R13 asks:
+//! *does every non-early-exit path through this loop body reach a budget
+//! poll?* The lattice is three-valued ([`Flow`]): a path either exits
+//! the enclosing context (`return`/`break`/`continue` — exempt fast
+//! paths), is guaranteed to poll, or falls through unpolled. Helper
+//! calls count as polls when the helper is in the caller-provided
+//! polling set (computed transitively by [`crate::callgraph`]).
+//!
+//! Documented approximations, all chosen so real kernel idioms analyze
+//! exactly while the engine stays a statement-level parser:
+//!
+//! * A nested loop whose body polls credits its enclosing context (a
+//!   zero-iteration inner loop would not actually poll).
+//! * A poll in *condition position* (an `if`/`while`/`match` header)
+//!   counts unconditionally; `else if` conditions only credit the arms
+//!   that can evaluate them.
+//! * Embedded `{…}` groups inside a simple statement contribute the
+//!   *union* of their polls (an `if`-expression in a `let` credits the
+//!   statement if either branch polls).
+//! * `continue` is an exempt early exit even though the next iteration
+//!   re-enters the body; a body that polls on every non-`continue` path
+//!   is accepted.
+//! * Call-free leaf loops (no lowercase call target, no nested loop in
+//!   the body) carry no poll obligation: per-iteration work is a few
+//!   machine operations, so the enclosing polled loop bounds them.
+
+use crate::lex::{Token, TokenKind};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+/// A half-open range of *code indices* (indices into the non-comment
+/// token index vector, not raw token indices).
+pub type Range = (usize, usize);
+
+/// A parsed statement sequence with its content extent.
+#[derive(Debug)]
+pub struct Block {
+    /// Code-index extent of the block's contents (braces excluded).
+    pub range: Range,
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One parsed statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// An `if`/`else if`/`else` chain: one condition extent per `if`,
+    /// one block per arm (the trailing `else` block last when present).
+    If {
+        /// Condition extents, one per `if` in the chain.
+        conds: Vec<Range>,
+        /// Arm blocks; `arms.len() == conds.len() + usize::from(has_else)`.
+        arms: Vec<Block>,
+        /// Whether the chain ends in an unconditional `else`.
+        has_else: bool,
+    },
+    /// A `match` statement: scrutinee extent plus `(pattern-and-guard,
+    /// body)` per arm.
+    Match {
+        /// Scrutinee extent (between `match` and the body `{`).
+        head: Range,
+        /// `(pattern + guard extent, arm body)` pairs.
+        arms: Vec<(Range, Block)>,
+    },
+    /// A `for`/`while`/`loop` statement.
+    Loop(Loop),
+    /// A bare `{ … }` block statement.
+    Block(Block),
+    /// Any other statement: the flat (non-embedded) token segments plus
+    /// the embedded blocks and loops parsed out of it, in order.
+    Simple {
+        /// Depth-0 token segments not covered by `inner` constructs.
+        flat: Vec<Range>,
+        /// Embedded `{…}` groups ([`Stmt::Block`]) and embedded loop
+        /// constructs ([`Stmt::Loop`]) found inside the statement.
+        inner: Vec<Stmt>,
+    },
+}
+
+/// One parsed loop.
+#[derive(Debug)]
+pub struct Loop {
+    /// `"for"`, `"while"` or `"loop"`.
+    pub keyword: &'static str,
+    /// 1-based source line of the loop keyword.
+    pub line: usize,
+    /// Header extent: `for`'s pattern+iterable, `while`'s condition
+    /// (scrutinee included for `while let`), empty for `loop`.
+    pub head: Range,
+    /// The loop body.
+    pub body: Block,
+}
+
+/// Three-valued path verdict for a statement or block: every path
+/// either exits the enclosing context, is guaranteed to poll, or falls
+/// through without polling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Every path through the construct leaves early (`return`/`break`/
+    /// `continue`) — exempt from the poll obligation.
+    Exits,
+    /// Every path that continues past the construct has polled.
+    Polls,
+    /// Some continuing path has not polled.
+    Falls,
+}
+
+/// Keywords that can precede `(` without being a call target.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "move", "as", "break", "continue",
+    "unsafe", "let", "else", "ref", "mut",
+];
+
+/// Bounded assertion/pattern macros that do not disqualify a loop from
+/// the call-free leaf exemption (they cannot hide unbounded work).
+const BOUNDED_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "matches",
+    "unreachable",
+];
+
+/// Parses a function body given the enclosing [`SourceFile`] and the
+/// body's raw token extent `(open_brace, close_brace)` (inclusive, as
+/// stored in [`crate::Item::span`] / `sig_end`). Returns the parsed
+/// block and the code-index vector it refers to.
+pub fn parse_body(file: &SourceFile, body_tokens: Range) -> (Vec<usize>, Block) {
+    if file.tokens.is_empty() || body_tokens.0 > body_tokens.1 {
+        return (
+            Vec::new(),
+            Block {
+                range: (0, 0),
+                stmts: Vec::new(),
+            },
+        );
+    }
+    let code: Vec<usize> = (body_tokens.0..=body_tokens.1.min(file.tokens.len() - 1))
+        .filter(|&i| !file.tokens[i].is_comment())
+        .collect();
+    // Skip the surrounding braces when present.
+    let (start, end) = if code.len() >= 2
+        && file.tokens[code[0]].is_punct("{")
+        && file.tokens[code[code.len() - 1]].is_punct("}")
+    {
+        (1, code.len() - 1)
+    } else {
+        (0, code.len())
+    };
+    let block = Parser {
+        tokens: &file.tokens,
+        code: &code,
+    }
+    .parse_block(start, end);
+    (code, block)
+}
+
+/// Statement parser over one code-index vector.
+struct Parser<'a> {
+    tokens: &'a [Token],
+    code: &'a [usize],
+}
+
+impl Parser<'_> {
+    fn tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// The code index of the `}` matching the `{` at `open`.
+    fn matching_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        for k in open..end {
+            let t = self.tok(k);
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+        end.saturating_sub(1)
+    }
+
+    /// Parses the statement sequence in `[start, end)`.
+    fn parse_block(&self, start: usize, end: usize) -> Block {
+        let mut stmts = Vec::new();
+        let mut i = start;
+        while i < end {
+            let (stmt, next) = self.parse_stmt(i, end);
+            if let Some(s) = stmt {
+                stmts.push(s);
+            }
+            i = next.max(i + 1);
+        }
+        Block {
+            range: (start, end),
+            stmts,
+        }
+    }
+
+    /// Parses one statement starting at `i`.
+    fn parse_stmt(&self, i: usize, end: usize) -> (Option<Stmt>, usize) {
+        let t = self.tok(i);
+        if t.is_punct(";") {
+            return (None, i + 1);
+        }
+        // Loop label: `'name: for/while/loop`.
+        if t.kind == TokenKind::Lifetime
+            && i + 2 < end
+            && self.tok(i + 1).is_punct(":")
+            && ["for", "while", "loop"]
+                .iter()
+                .any(|k| self.tok(i + 2).is_ident(k))
+        {
+            return self.parse_stmt(i + 2, end);
+        }
+        if t.is_ident("if") {
+            return self.parse_if(i, end);
+        }
+        if t.is_ident("match") {
+            return self.parse_match(i, end);
+        }
+        if t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+            let (l, next) = self.parse_loop(i, end);
+            return (Some(Stmt::Loop(l)), next);
+        }
+        if t.is_punct("{") {
+            let close = self.matching_brace(i, end);
+            let block = self.parse_block(i + 1, close);
+            return (Some(Stmt::Block(block)), close + 1);
+        }
+        if t.is_ident("unsafe") && i + 1 < end && self.tok(i + 1).is_punct("{") {
+            return self.parse_stmt(i + 1, end);
+        }
+        self.parse_simple(i, end)
+    }
+
+    /// Finds the body `{` of a conditional header starting at `from`:
+    /// the first `{` at zero paren/bracket depth. Rust forbids struct
+    /// literals in condition position, so that brace opens the body.
+    fn plain_cond_end(&self, from: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        for k in from..end {
+            let t = self.tok(k);
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct("{") && depth <= 0 {
+                return k;
+            }
+        }
+        end.saturating_sub(1)
+    }
+
+    /// Finds the body `{` of an `if let` / `while let` header: the `=`
+    /// at zero delimiter depth first (braced patterns are skipped), then
+    /// the first depth-0 `{` after it.
+    fn let_cond_end(&self, from: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        for k in from..end {
+            let t = self.tok(k);
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if t.is_punct("=") && depth <= 0 {
+                return self.plain_cond_end(k + 1, end);
+            }
+        }
+        end.saturating_sub(1)
+    }
+
+    /// Finds the body `{` of a `for pat in expr` header: the ident `in`
+    /// at zero delimiter depth, then the first depth-0 `{` after it.
+    fn for_cond_end(&self, from: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        for k in from..end {
+            let t = self.tok(k);
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if t.is_ident("in") && depth <= 0 {
+                return self.plain_cond_end(k + 1, end);
+            }
+        }
+        end.saturating_sub(1)
+    }
+
+    /// Parses a loop construct with `i` at the loop keyword.
+    fn parse_loop(&self, i: usize, end: usize) -> (Loop, usize) {
+        let t = self.tok(i);
+        let (keyword, open) = if t.is_ident("for") {
+            ("for", self.for_cond_end(i + 1, end))
+        } else if t.is_ident("while") {
+            let is_let = i + 1 < end && self.tok(i + 1).is_ident("let");
+            let open = if is_let {
+                self.let_cond_end(i + 1, end)
+            } else {
+                self.plain_cond_end(i + 1, end)
+            };
+            ("while", open)
+        } else {
+            ("loop", self.plain_cond_end(i + 1, end))
+        };
+        let close = self.matching_brace(open, end);
+        let head = if keyword == "loop" {
+            (i + 1, i + 1)
+        } else {
+            (i + 1, open)
+        };
+        (
+            Loop {
+                keyword,
+                line: t.line,
+                head,
+                body: self.parse_block(open + 1, close),
+            },
+            close + 1,
+        )
+    }
+
+    /// Parses an `if` chain with `i` at `if`.
+    fn parse_if(&self, i: usize, end: usize) -> (Option<Stmt>, usize) {
+        let mut conds = Vec::new();
+        let mut arms = Vec::new();
+        let mut has_else = false;
+        let mut j = i;
+        loop {
+            // `j` is at an `if`.
+            let is_let = j + 1 < end && self.tok(j + 1).is_ident("let");
+            let open = if is_let {
+                self.let_cond_end(j + 1, end)
+            } else {
+                self.plain_cond_end(j + 1, end)
+            };
+            conds.push((j + 1, open));
+            let close = self.matching_brace(open, end);
+            arms.push(self.parse_block(open + 1, close));
+            let k = close + 1;
+            if k < end && self.tok(k).is_ident("else") {
+                if k + 1 < end && self.tok(k + 1).is_ident("if") {
+                    j = k + 1;
+                    continue;
+                }
+                if k + 1 < end && self.tok(k + 1).is_punct("{") {
+                    has_else = true;
+                    let e_close = self.matching_brace(k + 1, end);
+                    arms.push(self.parse_block(k + 2, e_close));
+                    return (
+                        Some(Stmt::If {
+                            conds,
+                            arms,
+                            has_else,
+                        }),
+                        e_close + 1,
+                    );
+                }
+            }
+            return (
+                Some(Stmt::If {
+                    conds,
+                    arms,
+                    has_else,
+                }),
+                k,
+            );
+        }
+    }
+
+    /// Parses a `match` statement with `i` at `match`.
+    fn parse_match(&self, i: usize, end: usize) -> (Option<Stmt>, usize) {
+        let open = self.plain_cond_end(i + 1, end);
+        let close = self.matching_brace(open, end);
+        let head = (i + 1, open);
+        let mut arms = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            // Pattern (+ optional guard) up to the depth-0 `=>`.
+            let pat_start = k;
+            let mut depth = 0i32;
+            let mut arrow = None;
+            let mut m = k;
+            while m < close {
+                let t = self.tok(m);
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    depth -= 1;
+                } else if t.is_punct("=>") && depth <= 0 {
+                    arrow = Some(m);
+                    break;
+                }
+                m += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let body_start = arrow + 1;
+            if body_start < close && self.tok(body_start).is_punct("{") {
+                let b_close = self.matching_brace(body_start, close);
+                arms.push((
+                    (pat_start, arrow),
+                    self.parse_block(body_start + 1, b_close),
+                ));
+                k = b_close + 1;
+                if k < close && self.tok(k).is_punct(",") {
+                    k += 1;
+                }
+            } else {
+                // Expression arm: ends at the next depth-0 `,` or the
+                // match's closing brace.
+                let mut depth = 0i32;
+                let mut e = close;
+                let mut m = body_start;
+                while m < close {
+                    let t = self.tok(m);
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        depth += 1;
+                    } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                        depth -= 1;
+                    } else if t.is_punct(",") && depth <= 0 {
+                        e = m;
+                        break;
+                    }
+                    m += 1;
+                }
+                arms.push(((pat_start, arrow), self.parse_block(body_start, e)));
+                k = e + 1;
+            }
+        }
+        (Some(Stmt::Match { head, arms }), close + 1)
+    }
+
+    /// Parses a simple statement: consume to the terminating depth-0
+    /// `;` (or `end`), capturing embedded `{…}` groups and embedded
+    /// loop constructs along the way.
+    fn parse_simple(&self, i: usize, end: usize) -> (Option<Stmt>, usize) {
+        let mut flat = Vec::new();
+        let mut inner = Vec::new();
+        let mut seg_start = i;
+        let mut depth = 0i32; // paren/bracket depth (braces are jumped)
+        let mut k = i;
+        while k < end {
+            let t = self.tok(k);
+            if t.is_punct("{") {
+                if seg_start < k {
+                    flat.push((seg_start, k));
+                }
+                let close = self.matching_brace(k, end);
+                inner.push(Stmt::Block(self.parse_block(k + 1, close)));
+                k = close + 1;
+                seg_start = k;
+                continue;
+            }
+            // An embedded loop (closure body without braces, `let x =
+            // loop { … }`, macro argument): parse it in full so its body
+            // carries a poll obligation like any other loop. Skip the
+            // leading `for`/`while` of a statement we were called on
+            // mid-token (cannot happen: parse_stmt routes those first).
+            let labeled = t.kind == TokenKind::Lifetime
+                && k + 2 < end
+                && self.tok(k + 1).is_punct(":")
+                && ["for", "while", "loop"]
+                    .iter()
+                    .any(|kw| self.tok(k + 2).is_ident(kw));
+            if labeled || t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+                let at = if labeled { k + 2 } else { k };
+                if seg_start < k {
+                    flat.push((seg_start, k));
+                }
+                let (l, next) = self.parse_loop(at, end);
+                inner.push(Stmt::Loop(l));
+                k = next;
+                seg_start = k;
+                continue;
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct(";") && depth <= 0 {
+                if seg_start < k {
+                    flat.push((seg_start, k));
+                }
+                return (Some(Stmt::Simple { flat, inner }), k + 1);
+            }
+            k += 1;
+        }
+        if seg_start < end {
+            flat.push((seg_start, end));
+        }
+        (Some(Stmt::Simple { flat, inner }), end)
+    }
+}
+
+/// The poll-reachability analysis over a parsed body.
+pub struct FlowAnalysis<'a> {
+    tokens: &'a [Token],
+    code: &'a [usize],
+    /// Names of helper functions known to poll on every continuing path
+    /// (see [`crate::callgraph::polls_all_paths_set`]).
+    polling: &'a HashSet<String>,
+}
+
+/// One loop's poll-obligation verdict.
+#[derive(Debug)]
+pub struct LoopVerdict {
+    /// 1-based line of the loop keyword.
+    pub line: usize,
+    /// The loop keyword (`for`/`while`/`loop`), for the report.
+    pub keyword: &'static str,
+    /// Whether the obligation is met (leaf exemption, a per-iteration
+    /// header poll, or a body that polls on every continuing path).
+    pub satisfied: bool,
+}
+
+impl<'a> FlowAnalysis<'a> {
+    /// Builds an analysis over one parsed body.
+    pub fn new(file: &'a SourceFile, code: &'a [usize], polling: &'a HashSet<String>) -> Self {
+        FlowAnalysis {
+            tokens: &file.tokens,
+            code,
+            polling,
+        }
+    }
+
+    fn tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Whether `[a, b)` contains a poll: a `.check(`/`.charge(` method
+    /// call, or a call to a function in the polling set.
+    pub fn range_polls(&self, (a, b): Range) -> bool {
+        for k in a..b {
+            let t = self.tok(k);
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let called = k + 1 < b && self.tok(k + 1).is_punct("(");
+            if !called {
+                continue;
+            }
+            if (t.text == "check" || t.text == "charge") && k > a && self.tok(k - 1).is_punct(".") {
+                return true;
+            }
+            if self.polling.contains(&t.text) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `[a, b)` contains an early-exit keyword.
+    fn range_exits(&self, (a, b): Range) -> bool {
+        (a..b).any(|k| {
+            let t = self.tok(k);
+            t.is_ident("return") || t.is_ident("break") || t.is_ident("continue")
+        })
+    }
+
+    /// The flow verdict for a block: statements run in sequence, so the
+    /// first statement that exits or guarantees a poll decides.
+    pub fn block_flow(&self, b: &Block) -> Flow {
+        for s in &b.stmts {
+            match self.stmt_flow(s) {
+                Flow::Exits => return Flow::Exits,
+                Flow::Polls => return Flow::Polls,
+                Flow::Falls => {}
+            }
+        }
+        Flow::Falls
+    }
+
+    /// The flow verdict for one statement.
+    fn stmt_flow(&self, s: &Stmt) -> Flow {
+        match s {
+            Stmt::Simple { flat, inner } => {
+                if flat.iter().any(|&r| self.range_exits(r)) {
+                    return Flow::Exits;
+                }
+                let flat_polls = flat.iter().any(|&r| self.range_polls(r));
+                // Embedded blocks and loops contribute polls (union
+                // semantics); their exits belong to closures or inner
+                // loops, so they never exit the statement.
+                let inner_polls = inner
+                    .iter()
+                    .any(|st| matches!(self.stmt_flow(st), Flow::Polls));
+                if flat_polls || inner_polls {
+                    Flow::Polls
+                } else {
+                    Flow::Falls
+                }
+            }
+            Stmt::Block(b) => self.block_flow(b),
+            Stmt::If {
+                conds,
+                arms,
+                has_else,
+            } => {
+                // The first condition is evaluated on every path.
+                if self.range_polls(conds[0]) {
+                    return Flow::Polls;
+                }
+                let mut eff = Vec::with_capacity(arms.len() + 1);
+                for (j, arm) in arms.iter().enumerate() {
+                    let mut f = self.block_flow(arm);
+                    // A path into arm `j` evaluated conditions `0..=j`
+                    // (all of them for the `else` arm).
+                    let evaluated = &conds[..(j + 1).min(conds.len())];
+                    if f == Flow::Falls && evaluated.iter().any(|&c| self.range_polls(c)) {
+                        f = Flow::Polls;
+                    }
+                    eff.push(f);
+                }
+                if !has_else {
+                    // Implicit fallthrough arm: it evaluated every
+                    // condition and ran no body.
+                    eff.push(if conds.iter().any(|&c| self.range_polls(c)) {
+                        Flow::Polls
+                    } else {
+                        Flow::Falls
+                    });
+                }
+                combine(&eff)
+            }
+            Stmt::Match { head, arms } => {
+                if self.range_polls(*head) {
+                    return Flow::Polls;
+                }
+                if arms.is_empty() {
+                    return Flow::Falls;
+                }
+                let eff: Vec<Flow> = arms
+                    .iter()
+                    .map(|(pat, body)| {
+                        let f = self.block_flow(body);
+                        if f == Flow::Falls && self.range_polls(*pat) {
+                            Flow::Polls
+                        } else {
+                            f
+                        }
+                    })
+                    .collect();
+                combine(&eff)
+            }
+            Stmt::Loop(l) => self.loop_stmt_flow(l),
+        }
+    }
+
+    /// What executing a loop *statement* contributes to its enclosing
+    /// block: a polling header or a polling body means at least one poll
+    /// happens (nested-loop credit); `loop` always enters its body, so
+    /// its verdict propagates in full.
+    fn loop_stmt_flow(&self, l: &Loop) -> Flow {
+        if self.range_polls(l.head) {
+            return Flow::Polls;
+        }
+        let body = self.block_flow(&l.body);
+        match l.keyword {
+            "loop" => body,
+            _ => {
+                if body == Flow::Polls {
+                    Flow::Polls
+                } else {
+                    Flow::Falls
+                }
+            }
+        }
+    }
+
+    /// Collects every loop in the body (nested, embedded and closure
+    /// loops included) with its poll-obligation verdict.
+    pub fn loop_verdicts(&self, b: &Block) -> Vec<LoopVerdict> {
+        let mut out = Vec::new();
+        self.collect_loops(b, &mut out);
+        out
+    }
+
+    fn collect_loops(&self, b: &Block, out: &mut Vec<LoopVerdict>) {
+        for s in &b.stmts {
+            match s {
+                Stmt::Loop(l) => {
+                    out.push(LoopVerdict {
+                        line: l.line,
+                        keyword: l.keyword,
+                        satisfied: self.loop_satisfied(l),
+                    });
+                    self.collect_loops(&l.body, out);
+                }
+                Stmt::Block(inner) => self.collect_loops(inner, out),
+                Stmt::If { arms, .. } => {
+                    for a in arms {
+                        self.collect_loops(a, out);
+                    }
+                }
+                Stmt::Match { arms, .. } => {
+                    for (_, a) in arms {
+                        self.collect_loops(a, out);
+                    }
+                }
+                Stmt::Simple { inner, .. } => {
+                    for st in inner {
+                        match st {
+                            Stmt::Loop(l) => {
+                                out.push(LoopVerdict {
+                                    line: l.line,
+                                    keyword: l.keyword,
+                                    satisfied: self.loop_satisfied(l),
+                                });
+                                self.collect_loops(&l.body, out);
+                            }
+                            Stmt::Block(inner_b) => self.collect_loops(inner_b, out),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether one loop meets its poll obligation.
+    fn loop_satisfied(&self, l: &Loop) -> bool {
+        if self.leaf_loop(l) {
+            return true;
+        }
+        // A `while` condition is re-evaluated every iteration, so a
+        // polling condition satisfies the obligation. A `for` header is
+        // evaluated once, so it does not.
+        if l.keyword != "for" && self.range_polls(l.head) {
+            return true;
+        }
+        self.block_flow(&l.body) != Flow::Falls
+    }
+
+    /// The call-free leaf exemption: no nested loops and no lowercase
+    /// call targets in the body (uppercase-initial calls are enum/struct
+    /// constructors; bounded assertion macros are also exempt).
+    fn leaf_loop(&self, l: &Loop) -> bool {
+        if contains_loop(&l.body) {
+            return false;
+        }
+        let (a, b) = l.body.range;
+        !(a..b).any(|k| self.is_call_target(k, b))
+    }
+
+    /// Whether the ident at `ci` is a lowercase call or macro target.
+    fn is_call_target(&self, ci: usize, end: usize) -> bool {
+        let t = self.tok(ci);
+        if t.kind != TokenKind::Ident
+            || NON_CALL_KEYWORDS.iter().any(|k| t.is_ident(k))
+            || !t
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        {
+            return false;
+        }
+        if ci + 1 >= end {
+            return false;
+        }
+        let next = self.tok(ci + 1);
+        if next.is_punct("(") {
+            return true;
+        }
+        next.is_punct("!")
+            && ci + 2 < end
+            && (self.tok(ci + 2).is_punct("(")
+                || self.tok(ci + 2).is_punct("[")
+                || self.tok(ci + 2).is_punct("{"))
+            && !BOUNDED_MACROS.iter().any(|m| t.is_ident(m))
+    }
+}
+
+/// Code-index extents of every loop body in the block, outermost first
+/// (used by R15's allocation scan; token-index keyed results from
+/// [`alloc_sites`] deduplicate the nested overlaps).
+pub fn loop_body_ranges(b: &Block, out: &mut Vec<Range>) {
+    for s in &b.stmts {
+        stmt_loop_body_ranges(s, out);
+    }
+}
+
+fn stmt_loop_body_ranges(s: &Stmt, out: &mut Vec<Range>) {
+    match s {
+        Stmt::Loop(l) => {
+            out.push(l.body.range);
+            loop_body_ranges(&l.body, out);
+        }
+        Stmt::Block(b) => loop_body_ranges(b, out),
+        Stmt::If { arms, .. } => arms.iter().for_each(|a| loop_body_ranges(a, out)),
+        Stmt::Match { arms, .. } => arms.iter().for_each(|(_, a)| loop_body_ranges(a, out)),
+        Stmt::Simple { inner, .. } => inner.iter().for_each(|st| stmt_loop_body_ranges(st, out)),
+    }
+}
+
+/// Whether a block contains any loop (embedded ones included).
+fn contains_loop(b: &Block) -> bool {
+    b.stmts.iter().any(stmt_contains_loop)
+}
+
+fn stmt_contains_loop(s: &Stmt) -> bool {
+    match s {
+        Stmt::Loop(_) => true,
+        Stmt::Block(b) => contains_loop(b),
+        Stmt::If { arms, .. } => arms.iter().any(contains_loop),
+        Stmt::Match { arms, .. } => arms.iter().any(|(_, b)| contains_loop(b)),
+        Stmt::Simple { inner, .. } => inner.iter().any(stmt_contains_loop),
+    }
+}
+
+/// Picks `combine` semantics for branching statements: all arms exit →
+/// the statement exits; no arm falls through unpolled → the statement
+/// polls; otherwise it falls through.
+fn combine(eff: &[Flow]) -> Flow {
+    if eff.iter().all(|&f| f == Flow::Exits) {
+        Flow::Exits
+    } else if eff.iter().all(|&f| f != Flow::Falls) {
+        Flow::Polls
+    } else {
+        Flow::Falls
+    }
+}
+
+/// Heap-allocating call patterns for R15, scanned over a loop body.
+/// Returns `(line, pattern)` pairs keyed by token index so nested-loop
+/// scans can deduplicate.
+pub fn alloc_sites(
+    file: &SourceFile,
+    code: &[usize],
+    (a, b): Range,
+) -> BTreeMap<usize, (usize, String)> {
+    const ALLOC_METHODS: &[&str] = &[
+        "push",
+        "insert",
+        "extend",
+        "extend_from_slice",
+        "to_vec",
+        "to_string",
+        "to_owned",
+        "collect",
+        "clone",
+        "append",
+        "resize",
+    ];
+    const ALLOC_TYPES: &[&str] = &[
+        "Vec", "String", "Box", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
+    ];
+    const ALLOC_MACROS: &[&str] = &["format", "vec"];
+    let tok = |ci: usize| &file.tokens[code[ci]];
+    let mut out = BTreeMap::new();
+    for (k, &ti) in code.iter().enumerate().take(b).skip(a) {
+        let t = &file.tokens[ti];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `.push(…)` and friends.
+        if k > a
+            && tok(k - 1).is_punct(".")
+            && k + 1 < b
+            && tok(k + 1).is_punct("(")
+            && ALLOC_METHODS.contains(&t.text.as_str())
+        {
+            out.insert(ti, (t.line, format!(".{}(", t.text)));
+            continue;
+        }
+        // `format!(…)` / `vec![…]`.
+        if k + 1 < b && tok(k + 1).is_punct("!") && ALLOC_MACROS.contains(&t.text.as_str()) {
+            out.insert(ti, (t.line, format!("{}!", t.text)));
+            continue;
+        }
+        // `Vec::new(…)`, `String::with_capacity(…)`, `Box::new(…)` …
+        if ALLOC_TYPES.contains(&t.text.as_str())
+            && k + 2 < b
+            && tok(k + 1).is_punct("::")
+            && ["new", "with_capacity", "from"]
+                .iter()
+                .any(|m| tok(k + 2).is_ident(m))
+        {
+            out.insert(ti, (t.line, format!("{}::{}", t.text, tok(k + 2).text)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> (SourceFile, Vec<usize>, Block) {
+        let file = SourceFile::scan(src);
+        let item = file
+            .items
+            .iter()
+            .find(|i| i.kind == crate::ItemKind::Fn)
+            .expect("fixture declares a fn")
+            .clone();
+        let (code, block) = parse_body(&file, (item.sig_end, item.span.1));
+        (file, code, block)
+    }
+
+    fn verdicts(src: &str) -> Vec<(usize, bool)> {
+        let (file, code, block) = analyze(src);
+        let polling = HashSet::new();
+        let fa = FlowAnalysis::new(&file, &code, &polling);
+        fa.loop_verdicts(&block)
+            .into_iter()
+            .map(|v| (v.line, v.satisfied))
+            .collect()
+    }
+
+    #[test]
+    fn unconditional_poll_satisfies() {
+        let v = verdicts(
+            "fn f(t: &mut T, xs: &[u32]) {\n\
+             for &x in xs {\n\
+             if t.check().is_some() { break; }\n\
+             work(x);\n\
+             }\n\
+             }",
+        );
+        assert_eq!(v, vec![(2, true)]);
+    }
+
+    #[test]
+    fn conditional_poll_falls_through() {
+        let v = verdicts(
+            "fn f(t: &mut T, xs: &[u32]) {\n\
+             for &x in xs {\n\
+             if x > 3 { t.check(); }\n\
+             work(x);\n\
+             }\n\
+             }",
+        );
+        assert_eq!(v, vec![(2, false)]);
+    }
+
+    #[test]
+    fn leaf_loops_are_exempt() {
+        let v = verdicts("fn f(xs: &mut [u32]) { for i in 1..xs.len() { xs[i] += 1; } }");
+        assert_eq!(v, vec![(1, true)]);
+        // A call in the body disqualifies the exemption.
+        let v = verdicts("fn f(xs: &[u32]) { for i in 1..xs.len() { work(xs[i]); } }");
+        assert_eq!(v, vec![(1, false)]);
+        // Constructors and bounded assertions do not.
+        let v = verdicts(
+            "fn f(xs: &mut [Option<u32>]) { for i in 1..xs.len() { assert!(i > 0); xs[i] = Some(3); } }",
+        );
+        assert_eq!(v, vec![(1, true)]);
+    }
+
+    #[test]
+    fn while_condition_poll_satisfies() {
+        let v = verdicts("fn f(t: &mut T) { while t.check().is_none() { step(); } }");
+        assert_eq!(v, vec![(1, true)]);
+    }
+
+    #[test]
+    fn closure_loops_are_found_and_credited() {
+        // The spawn body's loop polls; both it and the outer loop pass.
+        let v = verdicts(
+            "fn f(t: &mut T, chunks: C) {\n\
+             for c in chunks {\n\
+             scope.spawn(move || {\n\
+             for u in c {\n\
+             if t.check().is_some() { break; }\n\
+             refine(u);\n\
+             }\n\
+             });\n\
+             }\n\
+             }",
+        );
+        assert_eq!(v, vec![(2, true), (4, true)]);
+    }
+
+    #[test]
+    fn match_arms_need_all_paths() {
+        let bad = "fn f(t: &mut T, xs: &[E]) {\n\
+                   for x in xs {\n\
+                   match x {\n\
+                   E::A => { t.check(); }\n\
+                   E::B => { work(); }\n\
+                   }\n\
+                   }\n\
+                   }";
+        assert_eq!(verdicts(bad), vec![(2, false)]);
+        let good = "fn f(t: &mut T, xs: &[E]) {\n\
+                    for x in xs {\n\
+                    match x {\n\
+                    E::A => { t.check(); }\n\
+                    E::B => continue,\n\
+                    E::C => { t.check(); work(); }\n\
+                    }\n\
+                    }\n\
+                    }";
+        assert_eq!(verdicts(good), vec![(2, true)]);
+    }
+
+    #[test]
+    fn labeled_loops_and_early_exits() {
+        let v = verdicts(
+            "fn f(t: &mut T, g: &G) {\n\
+             'all: for u in g.vertices() {\n\
+             'scan: for v in g.neighbors(u) {\n\
+             if t.check().is_some() { break 'all; }\n\
+             if skip(v) { continue 'scan; }\n\
+             visit(v);\n\
+             }\n\
+             }\n\
+             }",
+        );
+        // The inner loop polls; the outer gets nested-loop credit.
+        assert_eq!(v, vec![(2, true), (3, true)]);
+    }
+
+    #[test]
+    fn helper_calls_credit_via_polling_set() {
+        let src = "fn f(xs: &[u32]) { for &x in xs { helper(x); } }";
+        let (file, code, block) = analyze(src);
+        let empty = HashSet::new();
+        let fa = FlowAnalysis::new(&file, &code, &empty);
+        assert!(!fa.loop_verdicts(&block)[0].satisfied);
+        let polling: HashSet<String> = ["helper".to_string()].into_iter().collect();
+        let fa = FlowAnalysis::new(&file, &code, &polling);
+        assert!(fa.loop_verdicts(&block)[0].satisfied);
+    }
+
+    #[test]
+    fn if_let_and_while_let_headers_parse() {
+        let v = verdicts(
+            "fn f(t: &mut T, q: &mut Q) {\n\
+             while let Some(job) = q.pop() {\n\
+             if let Some(status) = t.check() { record(status); return; }\n\
+             run(job);\n\
+             }\n\
+             }",
+        );
+        assert_eq!(v, vec![(2, true)]);
+    }
+
+    #[test]
+    fn question_mark_is_flow_neutral() {
+        let v = verdicts(
+            "fn f(t: &mut T, xs: &[u32]) -> Result<(), E> {\n\
+             for &x in xs {\n\
+             let y = parse(x)?;\n\
+             if t.check().is_some() { break; }\n\
+             use_it(y);\n\
+             }\n\
+             }",
+        );
+        // `?` neither exits nor polls; the later unconditional poll
+        // still covers the continuing path only after the `?` statement
+        // falls through — so the loop is satisfied.
+        assert_eq!(v, vec![(2, true)]);
+    }
+
+    #[test]
+    fn alloc_sites_found() {
+        let (file, code, block) = analyze(
+            "fn f(xs: &[u32], out: &mut Vec<u32>) {\n\
+             for &x in xs {\n\
+             out.push(x);\n\
+             let s = format!(\"{x}\");\n\
+             let v = Vec::new();\n\
+             keep(s, v);\n\
+             }\n\
+             }",
+        );
+        let loops = {
+            let polling = HashSet::new();
+            let fa = FlowAnalysis::new(&file, &code, &polling);
+            fa.loop_verdicts(&block).len()
+        };
+        assert_eq!(loops, 1);
+        let sites = alloc_sites(&file, &code, block.range);
+        let pats: Vec<&str> = sites.values().map(|(_, p)| p.as_str()).collect();
+        assert_eq!(pats, vec![".push(", "format!", "Vec::new"]);
+    }
+}

@@ -21,6 +21,10 @@
 //! | R10 | `cast-audit`       | potentially-lossy `as` casts in library crates carry a `// CAST: <why in range>` justification (or use `try_from`/`From`) |
 //! | R11 | `atomic-ordering`  | atomic ops in the concurrency modules name their `Ordering` explicitly with an `// ORDERING:` rationale; `Relaxed` on cross-thread completion/cancel flags is an error |
 //! | R12 | `api-surface`      | each library crate's public-item surface matches its committed `api/<crate>.surface` baseline (`cargo xtask api --bless` to accept changes) |
+//! | R13 | `poll-reachability` | every loop body in kernel modules reaches a budget poll on all non-early-exit paths, transitively through helpers (flow-aware upgrade of R7, which stays as the fast pre-pass) |
+//! | R14 | `bounded-recursion` | recursion cycles in the kernel crates carry a depth/budget parameter or a `// RECURSION:` termination argument |
+//! | R15 | `hot-loop-alloc`   | loop bodies in `// HOT:`-marked functions do not allocate without an `// ALLOC:` justification |
+//! | R16 | `twin-coherence`   | `*_budgeted`/`*_recorded`/`*_resumable` twins keep pairwise-consistent core signatures; `cargo xtask twins` reports the per-kernel twin count |
 //!
 //! A violation can be suppressed at the site with an inline comment
 //! carrying a justification:
@@ -43,6 +47,13 @@
 //! ([`scan_items`]) rather than blanked line text, so raw strings,
 //! nested block comments, `'a` lifetimes vs `'a'` char literals and
 //! multi-line declarations are all handled exactly.
+//!
+//! Since PR 6 it is also flow-aware: [`cfg`] builds a brace-matched
+//! block/branch/loop tree with exit edges (`return`/`break`/
+//! `continue`/`?`) over the token stream, and [`callgraph`] indexes
+//! every workspace function with its call targets, so R13–R15 reason
+//! about *paths* (does every continuing path through this loop body
+//! reach a poll?) rather than token presence.
 
 #![forbid(unsafe_code)]
 
@@ -50,13 +61,19 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 mod atomics;
+pub mod callgraph;
 mod casts;
+pub mod cfg;
+mod flow;
 mod items;
 mod lex;
 mod manifest;
 mod rules;
 mod source;
 pub mod surface;
+mod twins;
+
+pub use twins::twin_report;
 
 pub use items::{scan_items, Item, ItemKind, Visibility};
 pub use lex::{lex, Token, TokenKind};
@@ -121,6 +138,30 @@ pub enum Rule {
     /// baseline, so accidental breaking changes surface as reviewed
     /// diffs. `cargo xtask api --bless` accepts intentional changes.
     ApiSurface,
+    /// R13: every loop body in a kernel module reaches a budget poll on
+    /// all non-early-exit paths — a `.check(` that only executes inside
+    /// one branch arm does not cover the fallthrough iteration. Polls
+    /// are credited transitively through helper calls whose own bodies
+    /// poll on all paths (bounded call depth). Runs only on functions
+    /// that already pass the lexical R7 pre-pass unsuppressed.
+    PollReachability,
+    /// R14: any recursion cycle in the kernel crates' call graph must
+    /// carry a depth/budget/fuel parameter (or a `BudgetTicker`/
+    /// `ExecutionBudget` carrier), or argue termination with a
+    /// `// RECURSION:` comment near the declaration.
+    BoundedRecursion,
+    /// R15: loop bodies in functions marked with a `// HOT:` comment may
+    /// not call allocating constructors (`Vec::new`, `push`, `format!`,
+    /// `to_vec`, `clone`, map/set inserts, …) without an `// ALLOC:`
+    /// justification at the site — the enforcement rail for the
+    /// allocation-free hot-path discipline (ROADMAP item 2).
+    HotLoopAlloc,
+    /// R16: the `*_budgeted`/`*_recorded`/`*_resumable` twins of each
+    /// kernel entry point keep pairwise-consistent core signatures
+    /// (same non-infrastructure params; recorded preserves the return
+    /// type, resumable wraps it). `cargo xtask twins --check` diffs the
+    /// per-kernel twin count against `api/twins.report`.
+    TwinCoherence,
 }
 
 impl Rule {
@@ -139,7 +180,20 @@ impl Rule {
             Rule::CastAudit => "cast-audit",
             Rule::AtomicOrdering => "atomic-ordering",
             Rule::ApiSurface => "api-surface",
+            Rule::PollReachability => "poll-reachability",
+            Rule::BoundedRecursion => "bounded-recursion",
+            Rule::HotLoopAlloc => "hot-loop-alloc",
+            Rule::TwinCoherence => "twin-coherence",
         }
+    }
+
+    /// The short positional code (`r1` … `r16`) used by `lint --rule`.
+    pub fn code(self) -> String {
+        let idx = Rule::all()
+            .iter()
+            .position(|&r| r == self)
+            .map_or(0, |i| i + 1);
+        format!("r{idx}")
     }
 
     /// Looks a rule up by its stable name.
@@ -162,6 +216,10 @@ impl Rule {
             Rule::CastAudit,
             Rule::AtomicOrdering,
             Rule::ApiSurface,
+            Rule::PollReachability,
+            Rule::BoundedRecursion,
+            Rule::HotLoopAlloc,
+            Rule::TwinCoherence,
         ]
     }
 }
@@ -211,12 +269,13 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     violations.extend(rules::check_manifests(root)?);
     violations.extend(rules::check_sources(root)?);
     violations.extend(rules::check_design_drift(root)?);
-    violations.extend(rules::check_budget_checks(root)?);
+    violations.extend(flow::check_flow(root)?);
     violations.extend(rules::check_snapshot_versioned(root)?);
     violations.extend(rules::check_obs_instrumented(root)?);
     violations.extend(casts::check_casts(root)?);
     violations.extend(atomics::check_atomics(root)?);
     violations.extend(surface::check_surfaces(root)?);
+    violations.extend(twins::check_twins(root)?);
     violations.sort_by(|a, b| {
         a.file
             .cmp(&b.file)

@@ -1,28 +1,37 @@
 //! `nsky-xtask` — workspace policy tooling.
 //!
 //! ```text
-//! cargo run -p nsky-xtask -- lint [--root <path>]
+//! cargo run -p nsky-xtask -- lint [--json] [--rule <rN|name>] [--root <path>]
 //! cargo run -p nsky-xtask -- api [--check | --bless] [--root <path>]
+//! cargo run -p nsky-xtask -- twins [--check | --bless] [--root <path>]
 //! ```
 //!
-//! `lint` runs the repo-specific policy rules R1–R12 (DESIGN.md §8)
-//! against the workspace and exits non-zero if any violation is found.
+//! `lint` runs the repo-specific policy rules R1–R16 (DESIGN.md §8)
+//! against the workspace and exits non-zero if any violation is found;
+//! `--rule` restricts the run to one rule for fast local iteration and
+//! `--json` emits the findings as a checksum-trailed `RunReport`
+//! (schema-versioned, drift-stable: findings sorted by file/line/rule).
 //! `api` prints each library crate's public surface; `api --check`
 //! fails on drift from the committed `api/<crate>.surface` baselines
 //! and `api --bless` regenerates them (the intentional-change flow).
+//! `twins` prints the R16 per-kernel twin-count report; `--check` diffs
+//! it against the committed `api/twins.report` baseline so entry-point
+//! growth fails loudly, `--bless` regenerates the baseline.
 //! `--root` points the engine at another workspace layout (used by the
 //! fixture self-tests).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use nsky_xtask::{lint_workspace, surface, Rule};
+use nsky_skyline::{Completion, RunReport};
+use nsky_xtask::{lint_workspace, surface, twin_report, Rule, Violation};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("api") => api(&args[1..]),
+        Some("twins") => twins(&args[1..]),
         Some(other) => {
             eprintln!("unknown command `{other}`");
             usage();
@@ -36,8 +45,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo run -p nsky-xtask -- lint [--root <path>]");
+    eprintln!("usage: cargo run -p nsky-xtask -- lint [--json] [--rule <rN|name>] [--root <path>]");
     eprintln!("       cargo run -p nsky-xtask -- api [--check | --bless] [--root <path>]");
+    eprintln!("       cargo run -p nsky-xtask -- twins [--check | --bless] [--root <path>]");
     eprintln!("rules: {}", rule_list());
 }
 
@@ -49,11 +59,16 @@ fn rule_list() -> String {
         .join(", ")
 }
 
-/// Parses `--root <path>` plus the given boolean flags. Returns the
-/// resolved root and which flags were seen, or an exit code on error.
-fn parse_args(args: &[String], flags: &[&str]) -> Result<(PathBuf, Vec<String>), ExitCode> {
+/// Parsed command line: the resolved workspace root, which boolean
+/// flags were seen, and the `(option, value)` pairs.
+type ParsedArgs = (PathBuf, Vec<String>, Vec<(String, String)>);
+
+/// Parses `--root <path>`, the given boolean flags, and the given
+/// valued options (`--opt <value>`), or returns an exit code on error.
+fn parse_args(args: &[String], flags: &[&str], valued: &[&str]) -> Result<ParsedArgs, ExitCode> {
     let mut root: Option<PathBuf> = None;
     let mut seen = Vec::new();
+    let mut opts = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -65,6 +80,13 @@ fn parse_args(args: &[String], flags: &[&str]) -> Result<(PathBuf, Vec<String>),
                 }
             },
             other if flags.contains(&other) => seen.push(other.to_string()),
+            other if valued.contains(&other) => match it.next() {
+                Some(v) => opts.push((other.to_string(), v.clone())),
+                None => {
+                    eprintln!("{other} requires a value");
+                    return Err(ExitCode::from(2));
+                }
+            },
             other => {
                 eprintln!("unknown argument `{other}`");
                 return Err(ExitCode::from(2));
@@ -72,7 +94,7 @@ fn parse_args(args: &[String], flags: &[&str]) -> Result<(PathBuf, Vec<String>),
         }
     }
     match root.or_else(find_workspace_root) {
-        Some(r) => Ok((r, seen)),
+        Some(r) => Ok((r, seen, opts)),
         None => {
             eprintln!(
                 "could not locate the workspace root (run from inside the repo or pass --root)"
@@ -82,22 +104,70 @@ fn parse_args(args: &[String], flags: &[&str]) -> Result<(PathBuf, Vec<String>),
     }
 }
 
+/// Renders the lint findings as a schema-versioned `RunReport` with the
+/// FNV checksum trailer, so CI consumes the same stream as kernel runs:
+/// one counter row per rule (report order) plus a `total`, and one event
+/// line per finding, already sorted by file/line/rule.
+fn lint_json(violations: &[Violation]) -> String {
+    let mut report = RunReport::new("nsky-xtask-lint", 0, Completion::Complete);
+    for rule in Rule::all() {
+        let n = violations.iter().filter(|v| v.rule == *rule).count() as u64;
+        report.counters.push((rule.name().to_string(), n));
+    }
+    report
+        .counters
+        .push(("total".to_string(), violations.len() as u64));
+    report.events = violations.iter().map(|v| v.to_string()).collect();
+    report.to_json()
+}
+
 fn lint(args: &[String]) -> ExitCode {
-    let (root, _) = match parse_args(args, &[]) {
+    let (root, flags, opts) = match parse_args(args, &["--json"], &["--rule"]) {
         Ok(v) => v,
         Err(code) => return code,
     };
-    match lint_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("nsky-xtask lint: clean ({})", rule_list());
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
+    let only: Option<Rule> = match opts.iter().find(|(o, _)| o == "--rule") {
+        Some((_, v)) => match Rule::from_name(v)
+            .or_else(|| Rule::all().iter().copied().find(|r| r.code() == *v))
+        {
+            Some(r) => Some(r),
+            None => {
+                eprintln!(
+                    "unknown rule `{v}` (expected r1..r{} or a rule name)",
+                    Rule::all().len()
+                );
+                return ExitCode::from(2);
             }
-            println!("nsky-xtask lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+        },
+        None => None,
+    };
+    let json = flags.iter().any(|f| f == "--json");
+    match lint_workspace(&root) {
+        Ok(mut violations) => {
+            if let Some(rule) = only {
+                violations.retain(|v| v.rule == rule);
+            }
+            if json {
+                println!("{}", lint_json(&violations));
+                return if violations.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            if violations.is_empty() {
+                match only {
+                    Some(rule) => println!("nsky-xtask lint: clean ({rule})"),
+                    None => println!("nsky-xtask lint: clean ({})", rule_list()),
+                }
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!("nsky-xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
         }
         Err(err) => {
             eprintln!("nsky-xtask lint: I/O error: {err}");
@@ -106,8 +176,65 @@ fn lint(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `twins` subcommand: print, check or bless the R16 twin-count
+/// report (baseline at `api/twins.report`).
+fn twins(args: &[String]) -> ExitCode {
+    let (root, flags, _) = match parse_args(args, &["--check", "--bless"], &[]) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let report = match twin_report(&root) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("nsky-xtask twins: I/O error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = root.join("api").join("twins.report");
+    if flags.iter().any(|f| f == "--bless") {
+        if let Err(err) = std::fs::write(&baseline_path, &report) {
+            eprintln!("nsky-xtask twins: I/O error: {err}");
+            return ExitCode::from(2);
+        }
+        println!("nsky-xtask twins: blessed {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+    if flags.iter().any(|f| f == "--check") {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+        if baseline == report {
+            println!(
+                "nsky-xtask twins: report matches baseline ({} famil{})",
+                report.lines().count(),
+                if report.lines().count() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            );
+            return ExitCode::SUCCESS;
+        }
+        for line in report.lines() {
+            if !baseline.lines().any(|b| b == line) {
+                println!("+ {line}");
+            }
+        }
+        for line in baseline.lines() {
+            if !report.lines().any(|r| r == line) {
+                println!("- {line}");
+            }
+        }
+        println!(
+            "nsky-xtask twins: report drifts from {} (run `cargo xtask twins --bless` if the change is intentional)",
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    print!("{report}");
+    ExitCode::SUCCESS
+}
+
 fn api(args: &[String]) -> ExitCode {
-    let (root, flags) = match parse_args(args, &["--check", "--bless"]) {
+    let (root, flags, _) = match parse_args(args, &["--check", "--bless"], &[]) {
         Ok(v) => v,
         Err(code) => return code,
     };

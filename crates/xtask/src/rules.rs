@@ -332,10 +332,11 @@ fn backtick_spans(line: &str) -> Vec<&str> {
     line.split('`').skip(1).step_by(2).collect()
 }
 
-/// R7 `budget-check`: the kernel modules whose hot loops the execution
-/// budget must be able to interrupt (workspace-relative paths; a fixture
-/// or partial workspace simply omits the ones it does not exercise).
-const KERNEL_MODULES: &[&str] = &[
+/// R7 `budget-check` / R13 `poll-reachability`: the kernel modules whose
+/// hot loops the execution budget must be able to interrupt (workspace-
+/// relative paths; a fixture or partial workspace simply omits the ones
+/// it does not exercise). Both rules run in [`crate::flow`].
+pub(crate) const KERNEL_MODULES: &[&str] = &[
     "crates/core/src/base.rs",
     "crates/core/src/refine.rs",
     "crates/core/src/parallel.rs",
@@ -346,66 +347,14 @@ const KERNEL_MODULES: &[&str] = &[
 ];
 
 /// Whether the token span of `item` contains a loop keyword.
-fn span_has_loop(file: &SourceFile, item: &Item) -> bool {
+pub(crate) fn span_has_loop(file: &SourceFile, item: &Item) -> bool {
     span_tokens(file, item).any(|t| t.is_ident("for") || t.is_ident("while") || t.is_ident("loop"))
-}
-
-/// Whether the token span of `item` contains a `.check(` call.
-fn span_has_check(file: &SourceFile, item: &Item) -> bool {
-    let (a, b) = item.span;
-    let code: Vec<usize> = (a..=b).filter(|&i| !file.tokens[i].is_comment()).collect();
-    (0..code.len()).any(|k| {
-        file.tokens[code[k]].is_ident("check")
-            && k >= 1
-            && file.tokens[code[k - 1]].is_punct(".")
-            && code
-                .get(k + 1)
-                .is_some_and(|&i| file.tokens[i].is_punct("("))
-    })
 }
 
 /// Non-comment tokens within an item's span.
 fn span_tokens<'a>(file: &'a SourceFile, item: &Item) -> impl Iterator<Item = &'a Token> {
     let (a, b) = item.span;
     file.tokens[a..=b].iter().filter(|t| !t.is_comment())
-}
-
-/// R7 `budget-check`: every non-test function in a kernel module that
-/// lexically contains a loop (`for`/`while`/`loop`) must also lexically
-/// contain a budget poll (`.check(`), or carry a justified suppression
-/// on its declaration line or the line above. This keeps every kernel
-/// interruptible within one check interval — a new hot loop cannot land
-/// without either a ticker or an argued bound.
-pub(crate) fn check_budget_checks(root: &Path) -> std::io::Result<Vec<Violation>> {
-    let mut out = Vec::new();
-    for module in KERNEL_MODULES {
-        let path = root.join(module);
-        if !path.is_file() {
-            continue;
-        }
-        let text = std::fs::read_to_string(&path)?;
-        let file = SourceFile::scan(&text);
-        for item in &file.items {
-            if item.kind != ItemKind::Fn || item.in_test {
-                continue;
-            }
-            if !span_has_loop(&file, item) {
-                continue;
-            }
-            if !span_has_check(&file, item) && !file.is_suppressed(Rule::BudgetCheck, item.line) {
-                out.push(Violation {
-                    file: rel(root, &path),
-                    line: item.line,
-                    rule: Rule::BudgetCheck,
-                    message: format!(
-                        "kernel function `{}` loops without polling the execution budget (call `ticker.check()` in the loop, or justify a bound with a suppression)",
-                        item.name
-                    ),
-                });
-            }
-        }
-    }
-    Ok(out)
 }
 
 /// R8 `snapshot-versioned`: every `impl KernelState for` block in a
@@ -597,7 +546,7 @@ fn foreach_free() { xs.iter().for_each(|x| f(x)); }
         let f = scan(src);
         let fns: Vec<&Item> = f.items.iter().filter(|i| i.kind == ItemKind::Fn).collect();
         assert!(span_has_loop(&f, fns[0]));
-        assert!(span_has_check(&f, fns[0]));
+        assert!(crate::callgraph::has_poll_primitive(&f, fns[0].span));
         assert!(
             !span_has_loop(&f, fns[1]),
             "workforce() is not a loop keyword"

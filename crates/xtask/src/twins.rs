@@ -1,0 +1,246 @@
+//! R16 `twin-coherence`: signature-drift detection across the
+//! `*_budgeted` / `*_recorded` / `*_resumable` twins of each kernel
+//! entry point, plus the per-kernel twin-count report that makes
+//! ROADMAP item 1 (collapsing the twins into one `ExecutionContext`)
+//! observable as a lint metric.
+//!
+//! A *family* is a base name `X` for which `X_budgeted` exists in the
+//! same file (the budgeted twin is the canonical signature: it is the
+//! one every other twin wraps). Members are `X`, `X_budgeted`,
+//! `X_recorded` and `X_resumable`. Coherence requires:
+//!
+//! * every member's *core* parameter list — parameters whose type does
+//!   not mention an infrastructure carrier ([`INFRA_TYPES`]) — matches
+//!   the budgeted twin's, name and type;
+//! * `X_recorded` returns exactly what `X_budgeted` returns (recording
+//!   must not change semantics);
+//! * `X_resumable`'s return type contains the budgeted return type
+//!   (the `ResumableRun<T>` wrapping convention);
+//! * the base `X`'s return type is exempt (several kernels expose a
+//!   richer tuple on the uninstrumented path by design).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::items::ItemKind;
+use crate::source::SourceFile;
+use crate::{library_src_dirs, rel, rust_files, Rule, Violation};
+
+/// Infrastructure parameter types excluded from the core-signature
+/// comparison: these are exactly what the twins exist to thread.
+const INFRA_TYPES: &[&str] = &[
+    "ExecutionBudget",
+    "Recorder",
+    "Snapshot",
+    "Checkpointer",
+    "BudgetTicker",
+];
+
+/// The twin suffixes, in report order.
+const SUFFIXES: &[&str] = &["budgeted", "recorded", "resumable"];
+
+/// One scanned twin family.
+struct Family {
+    file: std::path::PathBuf,
+    base: String,
+    members: Vec<Member>,
+}
+
+/// One member of a family; the label is `base`/`budgeted`/`recorded`/
+/// `resumable`.
+#[derive(Clone)]
+struct Member {
+    label: &'static str,
+    line: usize,
+    params: Vec<(String, String)>,
+    ret: Option<String>,
+}
+
+/// Whether a parameter's rendered type mentions an infrastructure carrier.
+fn is_infra(ty: &str) -> bool {
+    INFRA_TYPES.iter().any(|t| ty.contains(t))
+}
+
+/// Core (non-infrastructure) parameters of an item.
+fn core_params(params: &[(String, String)]) -> Vec<(String, String)> {
+    params
+        .iter()
+        .filter(|(_, ty)| !is_infra(ty))
+        .cloned()
+        .collect()
+}
+
+/// Scans the workspace for twin families, sorted by file then base name.
+fn scan_families(root: &Path) -> std::io::Result<Vec<(Family, SourceFile)>> {
+    let mut out = Vec::new();
+    for (_, src_dir) in library_src_dirs(root) {
+        for path in rust_files(&src_dir)? {
+            let text = std::fs::read_to_string(&path)?;
+            if !text.contains("_budgeted") {
+                continue;
+            }
+            let file = SourceFile::scan(&text);
+            // Base name -> members, keyed for deterministic order.
+            let mut families: BTreeMap<String, Family> = BTreeMap::new();
+            for item in &file.items {
+                if item.kind != ItemKind::Fn || item.in_test {
+                    continue;
+                }
+                let Some(base) = item.name.strip_suffix("_budgeted") else {
+                    continue;
+                };
+                families.insert(
+                    base.to_string(),
+                    Family {
+                        file: rel(root, &path),
+                        base: base.to_string(),
+                        members: vec![Member {
+                            label: "budgeted",
+                            line: item.line,
+                            params: core_params(&item.params),
+                            ret: item.ret.clone(),
+                        }],
+                    },
+                );
+            }
+            if families.is_empty() {
+                continue;
+            }
+            for item in &file.items {
+                if item.kind != ItemKind::Fn || item.in_test {
+                    continue;
+                }
+                let (base, label) = match item.name.rsplit_once('_') {
+                    Some((b, s)) if SUFFIXES.contains(&s) => {
+                        if s == "budgeted" {
+                            continue; // already the reference member
+                        }
+                        (
+                            b.to_string(),
+                            if s == "recorded" {
+                                "recorded"
+                            } else {
+                                "resumable"
+                            },
+                        )
+                    }
+                    _ => (item.name.clone(), "base"),
+                };
+                if let Some(fam) = families.get_mut(&base) {
+                    fam.members.push(Member {
+                        label,
+                        line: item.line,
+                        params: core_params(&item.params),
+                        ret: item.ret.clone(),
+                    });
+                }
+            }
+            let mut fams: Vec<Family> = families.into_values().collect();
+            // Present members in canonical order: base, budgeted, recorded, resumable.
+            let rank = |l: &str| match l {
+                "base" => 0,
+                "budgeted" => 1,
+                "recorded" => 2,
+                _ => 3,
+            };
+            for f in &mut fams {
+                f.members.sort_by_key(|m| rank(m.label));
+            }
+            for f in fams {
+                out.push((f, SourceFile::scan(&text)));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.file.cmp(&b.0.file).then(a.0.base.cmp(&b.0.base)));
+    Ok(out)
+}
+
+/// Renders one core-parameter list for a violation message.
+fn render_params(params: &[(String, String)]) -> String {
+    let rendered: Vec<String> = params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
+    format!("({})", rendered.join(", "))
+}
+
+/// R16 `twin-coherence` over the workspace at `root`.
+pub(crate) fn check_twins(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for (fam, file) in scan_families(root)? {
+        let Some(reference) = fam.members.iter().find(|m| m.label == "budgeted").cloned() else {
+            continue;
+        };
+        for m in &fam.members {
+            if m.label == "budgeted" || file.is_suppressed(Rule::TwinCoherence, m.line) {
+                continue;
+            }
+            let member_name = if m.label == "base" {
+                fam.base.clone()
+            } else {
+                format!("{}_{}", fam.base, m.label)
+            };
+            if m.params != reference.params {
+                out.push(Violation {
+                    file: fam.file.clone(),
+                    line: m.line,
+                    rule: Rule::TwinCoherence,
+                    message: format!(
+                        "twin `{member_name}` core params {} drift from `{}_budgeted` {} (twins must share the non-infrastructure signature so ROADMAP's entry-point collapse stays mechanical)",
+                        render_params(&m.params),
+                        fam.base,
+                        render_params(&reference.params),
+                    ),
+                });
+            }
+            match m.label {
+                "recorded" if m.ret != reference.ret => {
+                    out.push(Violation {
+                        file: fam.file.clone(),
+                        line: m.line,
+                        rule: Rule::TwinCoherence,
+                        message: format!(
+                            "twin `{member_name}` returns `{}` but `{}_budgeted` returns `{}` (recording must not change the result type)",
+                            m.ret.as_deref().unwrap_or("()"),
+                            fam.base,
+                            reference.ret.as_deref().unwrap_or("()"),
+                        ),
+                    });
+                }
+                "resumable" => {
+                    if let (Some(r), Some(b)) = (m.ret.as_deref(), reference.ret.as_deref()) {
+                        if !r.contains(b) {
+                            out.push(Violation {
+                                file: fam.file.clone(),
+                                line: m.line,
+                                rule: Rule::TwinCoherence,
+                                message: format!(
+                                    "twin `{member_name}` returns `{r}` which does not wrap the budgeted result `{b}` (resumable twins return `ResumableRun<...>` over the same core result)",
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {} // base return is exempt by design
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The twin-count report: one line per family, `file base: N (members)`.
+/// `verify.sh` diffs this against `api/twins.report` so entry-point
+/// growth fails loudly (ROADMAP item 1 wants this number to shrink).
+pub fn twin_report(root: &Path) -> std::io::Result<String> {
+    let mut lines = Vec::new();
+    for (fam, _) in scan_families(root)? {
+        let labels: Vec<&str> = fam.members.iter().map(|m| m.label).collect();
+        lines.push(format!(
+            "{} {}: {} ({})",
+            fam.file.display(),
+            fam.base,
+            fam.members.len(),
+            labels.join(", ")
+        ));
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    Ok(out)
+}

@@ -1,0 +1,241 @@
+//! Torture tests for the flow engine (`nsky_xtask::cfg`) on handwritten
+//! sources: nested loops with labeled breaks, `?` edges, match arms
+//! with early returns, closure-embedded loops, and the hot-loop
+//! allocation scanner.
+
+use std::collections::HashSet;
+
+use nsky_xtask::cfg::{alloc_sites, loop_body_ranges, parse_body, Block, Flow, FlowAnalysis};
+use nsky_xtask::{ItemKind, SourceFile};
+
+/// Scans `src`, parses the body of its FIRST function, and returns the
+/// pieces the analyses need.
+fn analyze(src: &str) -> (SourceFile, Vec<usize>, Block) {
+    let file = SourceFile::scan(src);
+    let item = file
+        .items
+        .iter()
+        .find(|i| i.kind == ItemKind::Fn)
+        .expect("source contains a fn");
+    let (code, block) = parse_body(&file, (item.sig_end, item.span.1));
+    (file, code, block)
+}
+
+fn polling(names: &[&str]) -> HashSet<String> {
+    names.iter().map(|n| n.to_string()).collect()
+}
+
+#[test]
+fn nested_labeled_loops_credit_inner_polls() {
+    let (file, code, block) = analyze(
+        "fn torture(grid: &[Vec<u32>], ticker: &mut T) -> u32 {\n\
+             let mut acc = 0;\n\
+             'rows: for row in grid {\n\
+                 'cols: for &x in row {\n\
+                     if ticker.check().is_some() {\n\
+                         break 'rows;\n\
+                     }\n\
+                     if x == 0 {\n\
+                         continue 'cols;\n\
+                     }\n\
+                     acc += bump(x);\n\
+                 }\n\
+             }\n\
+             acc\n\
+         }",
+    );
+    let polls = polling(&[]);
+    let fa = FlowAnalysis::new(&file, &code, &polls);
+    let verdicts = fa.loop_verdicts(&block);
+    assert_eq!(verdicts.len(), 2, "both loops are analyzed");
+    assert!(
+        verdicts.iter().all(|v| v.satisfied),
+        "the inner poll covers the inner loop and credits the outer one"
+    );
+}
+
+#[test]
+fn question_mark_is_flow_neutral() {
+    // The `?` early-exits are exempt paths; the poll after them still
+    // covers every continuing iteration.
+    let (file, code, block) = analyze(
+        "fn step_through(xs: &[u32], ticker: &mut T) -> Result<u32, E> {\n\
+             let mut acc = 0;\n\
+             for &x in xs {\n\
+                 let y = parse(x)?;\n\
+                 if ticker.check().is_some() {\n\
+                     return Ok(acc);\n\
+                 }\n\
+                 acc += y;\n\
+             }\n\
+             Ok(acc)\n\
+         }",
+    );
+    let polls = polling(&[]);
+    let fa = FlowAnalysis::new(&file, &code, &polls);
+    assert!(fa.loop_verdicts(&block).iter().all(|v| v.satisfied));
+
+    // Without the poll, `?` alone does NOT satisfy the loop: an Ok
+    // iteration falls through to the next one unpolled.
+    let (file, code, block) = analyze(
+        "fn no_poll(xs: &[u32]) -> Result<u32, E> {\n\
+             let mut acc = 0;\n\
+             for &x in xs {\n\
+                 acc += parse(x)?;\n\
+             }\n\
+             Ok(acc)\n\
+         }",
+    );
+    let polls = polling(&[]);
+    let fa = FlowAnalysis::new(&file, &code, &polls);
+    let verdicts = fa.loop_verdicts(&block);
+    assert_eq!(verdicts.len(), 1);
+    assert!(!verdicts[0].satisfied);
+}
+
+#[test]
+fn match_arms_with_early_returns() {
+    // Arm 0 exits, arm 1 polls, arm 2 charges: every continuing path
+    // reaches a poll, so the loop is satisfied.
+    let (file, code, block) = analyze(
+        "fn classify(xs: &[u32], ticker: &mut T) -> u32 {\n\
+             let mut acc = 0;\n\
+             for &x in xs {\n\
+                 match kind(x) {\n\
+                     0 => return acc,\n\
+                     1 => {\n\
+                         if ticker.check().is_some() {\n\
+                             return acc;\n\
+                         }\n\
+                         acc += 1;\n\
+                     }\n\
+                     _ => {\n\
+                         ticker.charge(1);\n\
+                     }\n\
+                 }\n\
+             }\n\
+             acc\n\
+         }",
+    );
+    let polls = polling(&[]);
+    let fa = FlowAnalysis::new(&file, &code, &polls);
+    assert!(fa.loop_verdicts(&block).iter().all(|v| v.satisfied));
+
+    // One arm that neither exits nor polls leaks an unpolled iteration.
+    let (file, code, block) = analyze(
+        "fn leaky(xs: &[u32], ticker: &mut T) -> u32 {\n\
+             let mut acc = 0;\n\
+             for &x in xs {\n\
+                 match kind(x) {\n\
+                     0 => {\n\
+                         if ticker.check().is_some() {\n\
+                             return acc;\n\
+                         }\n\
+                     }\n\
+                     _ => {\n\
+                         acc += bump(x);\n\
+                     }\n\
+                 }\n\
+             }\n\
+             acc\n\
+         }",
+    );
+    let polls = polling(&[]);
+    let fa = FlowAnalysis::new(&file, &code, &polls);
+    let verdicts = fa.loop_verdicts(&block);
+    assert_eq!(verdicts.len(), 1);
+    assert!(!verdicts[0].satisfied);
+}
+
+#[test]
+fn all_paths_returning_is_exits() {
+    let (file, code, block) = analyze(
+        "fn all_exit(x: u32) -> u32 {\n\
+             if x > 0 {\n\
+                 return 1;\n\
+             } else {\n\
+                 return 2;\n\
+             }\n\
+         }",
+    );
+    let polls = polling(&[]);
+    let fa = FlowAnalysis::new(&file, &code, &polls);
+    assert_eq!(fa.block_flow(&block), Flow::Exits);
+}
+
+#[test]
+fn helper_credit_comes_from_the_polling_set() {
+    let src = "fn driver(xs: &[u32], ticker: &mut T) -> u32 {\n\
+             let mut acc = 0;\n\
+             for &x in xs {\n\
+                 acc = helper(acc, x, ticker);\n\
+             }\n\
+             acc\n\
+         }";
+    let (file, code, block) = analyze(src);
+    let polls = polling(&[]);
+    let fa = FlowAnalysis::new(&file, &code, &polls);
+    assert!(!fa.loop_verdicts(&block)[0].satisfied);
+    let polls = polling(&["helper"]);
+    let fa = FlowAnalysis::new(&file, &code, &polls);
+    assert!(
+        fa.loop_verdicts(&block)[0].satisfied,
+        "an all-paths-polling helper satisfies the loop"
+    );
+}
+
+#[test]
+fn closure_embedded_loops_are_found() {
+    let (file, code, block) = analyze(
+        "fn spawned(q: &mut Q, ticker: &mut T) {\n\
+             scope(|s| {\n\
+                 s.spawn(move || {\n\
+                     while let Some(v) = q.pop() {\n\
+                         if ticker.check().is_some() {\n\
+                             return;\n\
+                         }\n\
+                         handle(v);\n\
+                     }\n\
+                 });\n\
+             });\n\
+         }",
+    );
+    let polls = polling(&[]);
+    let fa = FlowAnalysis::new(&file, &code, &polls);
+    let verdicts = fa.loop_verdicts(&block);
+    assert_eq!(
+        verdicts.len(),
+        1,
+        "the closure-nested while-let is analyzed"
+    );
+    assert!(verdicts[0].satisfied);
+}
+
+#[test]
+fn alloc_scan_dedups_nested_loop_bodies() {
+    let (file, code, block) = analyze(
+        "fn hot(xs: &[u32]) -> Vec<String> {\n\
+             let mut out = Vec::new();\n\
+             for &x in xs {\n\
+                 for y in 0..x {\n\
+                     out.push(format!(\"{y}\"));\n\
+                 }\n\
+             }\n\
+             out\n\
+         }",
+    );
+    let mut bodies = Vec::new();
+    loop_body_ranges(&block, &mut bodies);
+    assert_eq!(bodies.len(), 2, "outer and inner loop bodies collected");
+    let mut sites = std::collections::BTreeMap::new();
+    for r in bodies {
+        sites.extend(alloc_sites(&file, &code, r));
+    }
+    let patterns: Vec<&str> = sites.values().map(|(_, p)| p.as_str()).collect();
+    assert_eq!(
+        patterns,
+        vec![".push(", "format!"],
+        "each site reported once despite the nested ranges overlapping; \
+         the Vec::new before the loop is exempt"
+    );
+}

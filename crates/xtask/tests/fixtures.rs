@@ -1,7 +1,8 @@
 //! Fixture-based self-tests for the policy lint engine: one
 //! true-positive and one true-negative miniature workspace per rule
-//! R1–R11, a baseline-drift workspace for R12, a CLI exit-code check,
-//! and the capstone assertion that the real workspace is lint-clean.
+//! R1–R11 and R13–R16, a baseline-drift workspace for R12, CLI
+//! exit-code / `--json` / `--rule` / `twins` contract checks, and the
+//! capstone assertion that the real workspace is lint-clean.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -240,6 +241,87 @@ fn r12_committed_baselines_match_real_crates() {
     );
 }
 
+#[test]
+fn r13_conditional_polls_flagged() {
+    let violations = assert_only_rule("r13_bad", Rule::PollReachability);
+    // A branch-guarded lexical poll and a branch-guarded helper poll:
+    // both loops can complete an iteration without reaching the ticker.
+    assert_eq!(violations.len(), 2);
+    assert!(violations[0].message.contains("conditional_poll"));
+    assert!(violations[1].message.contains("helper_conditional"));
+    assert!(violations[0].file.ends_with("crates/core/src/refine.rs"));
+}
+
+/// The acceptance demo that R13 is strictly stronger than R7: the bad
+/// fixture produces zero `budget-check` findings (its polls exist
+/// lexically, so the pre-pass is satisfied) yet fails
+/// `poll-reachability`; the good fixture's entry loop has no lexical
+/// `.check(` at all — the pre-PR-6 syntactic R7 would have flagged it —
+/// and passes both rules through the helper call chain.
+#[test]
+fn r13_stronger_than_r7() {
+    let violations = lint_fixture("r13_bad");
+    assert!(
+        violations.iter().all(|v| v.rule == Rule::PollReachability),
+        "r13_bad passes R7 but fails R13"
+    );
+    assert_clean("r13_good");
+}
+
+#[test]
+fn r14_unbounded_recursion_flagged() {
+    let violations = assert_only_rule("r14_bad", Rule::BoundedRecursion);
+    // Direct recursion plus both ends of a mutual cycle.
+    assert_eq!(violations.len(), 3);
+    assert!(violations[0].message.contains("expand -> expand"));
+    assert!(violations[1]
+        .message
+        .contains("even_steps -> odd_steps -> even_steps"));
+    assert!(violations[2]
+        .message
+        .contains("odd_steps -> even_steps -> odd_steps"));
+    assert!(violations[0].file.ends_with("crates/clique/src/bnb.rs"));
+}
+
+#[test]
+fn r14_bounded_and_argued_recursion_clean() {
+    assert_clean("r14_good");
+}
+
+#[test]
+fn r15_hot_loop_allocations_flagged() {
+    let violations = assert_only_rule("r15_bad", Rule::HotLoopAlloc);
+    // `format!` and `.push(` inside the HOT loop; the `Vec::new()`
+    // before the loop is exempt.
+    assert_eq!(violations.len(), 2);
+    assert!(violations.iter().any(|v| v.message.contains("format!")));
+    assert!(violations.iter().any(|v| v.message.contains(".push(")));
+    assert!(violations[0].file.ends_with("crates/core/src/hot.rs"));
+}
+
+#[test]
+fn r15_justified_and_allocation_free_hot_loops_clean() {
+    assert_clean("r15_good");
+}
+
+#[test]
+fn r16_twin_signature_drift_flagged() {
+    let violations = assert_only_rule("r16_bad", Rule::TwinCoherence);
+    // The recorded twin renames a core param AND changes the result.
+    assert_eq!(violations.len(), 2);
+    assert!(violations
+        .iter()
+        .all(|v| v.message.contains("solve_recorded")));
+    assert!(violations.iter().any(|v| v.message.contains("limit")));
+    assert!(violations.iter().any(|v| v.message.contains("u64")));
+    assert!(violations[0].file.ends_with("crates/clique/src/bnb.rs"));
+}
+
+#[test]
+fn r16_coherent_twin_family_clean() {
+    assert_clean("r16_good");
+}
+
 /// The capstone: the real workspace passes its own policy.
 #[test]
 fn real_workspace_is_lint_clean() {
@@ -277,6 +359,10 @@ fn cli_exit_codes_match_findings() {
         "r10_bad",
         "r11_bad",
         "r12_drift",
+        "r13_bad",
+        "r14_bad",
+        "r15_bad",
+        "r16_bad",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
@@ -292,7 +378,7 @@ fn cli_exit_codes_match_findings() {
     }
     for good in [
         "r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good", "r7_good", "r8_good",
-        "r9_good", "r10_good", "r11_good",
+        "r9_good", "r10_good", "r11_good", "r13_good", "r14_good", "r15_good", "r16_good",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
@@ -303,6 +389,96 @@ fn cli_exit_codes_match_findings() {
     }
     let out = Command::new(bin).output().expect("runs without args");
     assert_eq!(out.status.code(), Some(2), "usage error is exit 2");
+}
+
+/// `lint --json` emits a checksum-trailed RunReport that round-trips
+/// through the strict decoder, with one counter per rule plus a total
+/// and one event line per finding in the deterministic (file, line,
+/// rule) order — the stream is drift-stable across runs.
+#[test]
+fn cli_lint_json_roundtrips_through_checksum_decoder() {
+    let bin = env!("CARGO_BIN_EXE_nsky-xtask");
+    let out = Command::new(bin)
+        .args(["lint", "--json", "--root"])
+        .arg(fixture("r13_bad"))
+        .output()
+        .expect("lint --json runs");
+    assert_eq!(out.status.code(), Some(1), "findings still fail the lint");
+    let text = String::from_utf8(out.stdout).expect("json is utf-8");
+    let report = nsky_skyline::RunReport::from_json(&text)
+        .expect("lint --json round-trips through the checksum-verified decoder");
+    assert_eq!(report.kernel, "nsky-xtask-lint");
+    assert_eq!(report.completion, "Complete");
+    let counter = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("counter {name} present"))
+    };
+    assert_eq!(counter("poll-reachability"), 2);
+    assert_eq!(counter("budget-check"), 0);
+    assert_eq!(counter("total"), 2);
+    assert_eq!(report.events.len(), 2);
+    assert!(
+        report.events[0].contains("refine.rs:9:") && report.events[1].contains("refine.rs:24:"),
+        "events keep the (file, line, rule) violation order: {:?}",
+        report.events
+    );
+
+    // Corruption is rejected, not silently accepted.
+    let flipped = text.replacen("poll-reachability", "poll-reachabilitY", 1);
+    assert!(nsky_skyline::RunReport::from_json(&flipped).is_err());
+}
+
+/// `lint --rule` filters the findings (and the exit code) to one rule,
+/// addressable by positional code or by name.
+#[test]
+fn cli_lint_rule_filter() {
+    let bin = env!("CARGO_BIN_EXE_nsky-xtask");
+    // r13_bad has only poll-reachability findings: filtering to R7
+    // passes, filtering to R13 (by code and by name) fails.
+    let run = |rule: &str| {
+        Command::new(bin)
+            .args(["lint", "--rule", rule, "--root"])
+            .arg(fixture("r13_bad"))
+            .output()
+            .expect("lint --rule runs")
+    };
+    assert_eq!(run("budget-check").status.code(), Some(0));
+    assert_eq!(run("r13").status.code(), Some(1));
+    assert_eq!(run("poll-reachability").status.code(), Some(1));
+    let out = run("nonsense");
+    assert_eq!(out.status.code(), Some(2), "unknown rule is a usage error");
+}
+
+/// `twins --check` agrees with the committed `api/twins.report`
+/// baseline on the real workspace, and the plain `twins` report names
+/// every `*_budgeted` family.
+#[test]
+fn cli_twins_check_matches_baseline() {
+    let bin = env!("CARGO_BIN_EXE_nsky-xtask");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(bin)
+        .args(["twins", "--check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("twins --check runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "twin-count baseline is current (run `cargo xtask twins --bless` and review): {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let out = Command::new(bin)
+        .args(["twins", "--root"])
+        .arg(&root)
+        .output()
+        .expect("twins runs");
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("filter_refine_sky: 4 (base, budgeted, recorded, resumable)"));
+    assert!(report.contains("max_clique_bnb: 4"));
 }
 
 /// `api --check` is its own CLI entry point: exit 1 on the injected

@@ -24,11 +24,18 @@ step cargo run -q -p nsky-xtask -- lint
 step cargo run -q -p nsky-xtask -- api --check
 step cargo build --release
 step cargo test -q
+# Twin-coherence report gate: the per-kernel twin census must match the
+# committed api/twins.report baseline (regenerate intentional changes
+# with `cargo xtask twins --bless` and commit the diff).
+step cargo run -q -p nsky-xtask -- twins --check
 # Policy-engine self-tests, run by name so a harness filter can never
-# silently drop them: the lexer torture suite and the per-rule fixture
-# workspaces (including the R12 injected-rename drift fixture).
+# silently drop them: the lexer torture suite, the per-rule fixture
+# workspaces (including the R12 injected-rename drift fixture), the
+# flow-engine torture suite, and the call-graph resolution suite.
 step cargo test -q -p nsky-xtask --test lexer
 step cargo test -q -p nsky-xtask --test fixtures
+step cargo test -q -p nsky-xtask --test cfg
+step cargo test -q -p nsky-xtask --test callgraph
 # Crash-safety gate, run by name so a test-harness filter can never
 # silently drop it: every kernel killed at every poll point must resume
 # to the uninterrupted answer, and every corrupt checkpoint must be
