@@ -18,9 +18,9 @@
 use crate::measure::GroupMeasure;
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{BudgetTicker, Completion, ExecutionBudget};
+use nsky_skyline::exec::{self, ExecutionContext};
 use nsky_skyline::snapshot::{
-    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
-    Writer,
+    Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot, Writer,
 };
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -263,15 +263,47 @@ pub fn greedy_group<M: GroupMeasure>(
     k: usize,
     opts: &GreedyOptions,
 ) -> GreedyOutcome {
-    greedy_group_budgeted(g, measure, k, opts, &ExecutionBudget::unlimited())
+    greedy_group_with(g, measure, k, opts, &mut ExecutionContext::new()).outcome
 }
 
-/// [`greedy_group`] with an observability
-/// [`nsky_skyline::obs::Recorder`] attached: one `"greedy"` span around
-/// the selection rounds plus a bulk flush of the run's evaluation
-/// counters (`gain_evaluations`, `lazy_skips`) at exit. The result is
-/// identical to [`greedy_group`] — the round loops never touch the
-/// recorder.
+/// The one entry point: [`greedy_group`] under an [`ExecutionContext`]
+/// — budget, cancellation, checkpoint/resume and observability in any
+/// combination. The recorder sees one `"greedy"` span around the
+/// selection rounds plus a bulk flush of the run's evaluation counters
+/// (`gain_evaluations`, `lazy_skips`) at exit; the round loops never
+/// touch it. When resuming, use the same measure, `k`, and options the
+/// snapshot was taken under — the state embeds none of them, so a
+/// mismatched resume silently maximizes the wrong objective (the graph
+/// fingerprint only pins the graph).
+pub fn greedy_group_with<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    opts: &GreedyOptions,
+    ctx: &mut ExecutionContext<'_>,
+) -> ResumableRun<GreedyOutcome> {
+    let rec = ctx.effective_recorder();
+    rec.phase_start("greedy");
+    let run = exec::drive(
+        ctx,
+        g.fingerprint(),
+        GreedyState::fresh,
+        |mut state, budget| {
+            if !valid_greedy_state(g, &state) {
+                state = GreedyState::fresh();
+            }
+            let (outcome, state) = greedy_leg(g, measure, k, opts, budget, state);
+            let completion = outcome.completion;
+            (outcome, state, completion)
+        },
+    );
+    rec.phase_end("greedy");
+    record_greedy_counters(rec, &run.outcome);
+    run
+}
+
+/// Deprecated twin: use [`greedy_group_with`] with a recorder-armed
+/// context.
 pub fn greedy_group_recorded<M: GroupMeasure>(
     g: &Graph,
     measure: M,
@@ -279,11 +311,14 @@ pub fn greedy_group_recorded<M: GroupMeasure>(
     opts: &GreedyOptions,
     rec: &dyn nsky_skyline::obs::Recorder,
 ) -> GreedyOutcome {
-    rec.phase_start("greedy");
-    let out = greedy_group(g, measure, k, opts);
-    rec.phase_end("greedy");
-    record_greedy_counters(rec, &out);
-    out
+    greedy_group_with(
+        g,
+        measure,
+        k,
+        opts,
+        &mut ExecutionContext::new().recorder(rec),
+    )
+    .outcome
 }
 
 /// Flushes a finished run's evaluation counters into a recorder — one
@@ -296,13 +331,13 @@ pub(crate) fn record_greedy_counters(rec: &dyn nsky_skyline::obs::Recorder, out:
     rec.add(nsky_skyline::obs::Counter::LazySkips, out.lazy_skips);
 }
 
-/// [`greedy_group`] under an [`ExecutionBudget`]. With an unlimited
-/// budget the output is identical to [`greedy_group`]; after a trip the
-/// outcome holds the greedy prefix committed so far (each member was a
-/// genuine per-round argmax) with the trip status in
-/// [`GreedyOutcome::completion`]. Commits are atomic — the budget is
-/// polled between and within gain *evaluations*, never inside the state
-/// update of an already-chosen seed.
+/// Deprecated twin: use [`greedy_group_with`] with a budget-armed
+/// context. With an unlimited budget the output is identical to
+/// [`greedy_group`]; after a trip the outcome holds the greedy prefix
+/// committed so far (each member was a genuine per-round argmax) with
+/// the trip status in [`GreedyOutcome::completion`]. Commits are atomic
+/// — the budget is polled between and within gain *evaluations*, never
+/// inside the state update of an already-chosen seed.
 pub fn greedy_group_budgeted<M: GroupMeasure>(
     g: &Graph,
     measure: M,
@@ -310,7 +345,14 @@ pub fn greedy_group_budgeted<M: GroupMeasure>(
     opts: &GreedyOptions,
     budget: &ExecutionBudget,
 ) -> GreedyOutcome {
-    greedy_leg(g, measure, k, opts, budget, GreedyState::fresh()).0
+    greedy_group_with(
+        g,
+        measure,
+        k,
+        opts,
+        &mut ExecutionContext::new().budget(budget),
+    )
+    .outcome
 }
 
 /// CELF is still seeding its queue with first-round gains.
@@ -437,34 +479,30 @@ pub(crate) fn valid_greedy_state(g: &Graph, st: &GreedyState) -> bool {
         && st.entries.iter().all(|&(_, v, _)| (v as usize) < n)
 }
 
-/// [`greedy_group_budgeted`] with crash-safe checkpoint/resume (see
+/// Deprecated twin: use [`greedy_group_with`] with a context arming
+/// budget, resume and checkpoint sink together (see
 /// `nsky_skyline::snapshot` for the contract). Resume with the same
 /// measure, `k`, and options the snapshot was taken under — the state
 /// embeds none of them, so a mismatched resume silently maximizes the
 /// wrong objective (the graph fingerprint only pins the graph).
-pub fn greedy_group_resumable<M: GroupMeasure>(
+pub fn greedy_group_resumable<'a, M: GroupMeasure>(
     g: &Graph,
     measure: M,
     k: usize,
     opts: &GreedyOptions,
-    budget: &ExecutionBudget,
-    resume: Option<&Snapshot>,
-    sink: Option<&mut dyn Checkpointer>,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
 ) -> ResumableRun<GreedyOutcome> {
-    drive(
-        budget,
-        g.fingerprint(),
-        resume,
-        GreedyState::fresh,
-        |mut state| {
-            if !valid_greedy_state(g, &state) {
-                state = GreedyState::fresh();
-            }
-            let (outcome, state) = greedy_leg(g, measure, k, opts, budget, state);
-            let completion = outcome.completion;
-            (outcome, state, completion)
-        },
-        sink,
+    greedy_group_with(
+        g,
+        measure,
+        k,
+        opts,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
     )
 }
 

@@ -11,15 +11,15 @@
 //! `v` also neighbors `u`.)
 
 use crate::greedy::{
-    greedy_group_budgeted, greedy_leg, record_greedy_counters, valid_greedy_state, GreedyOptions,
-    GreedyOutcome, GreedyState,
+    greedy_leg, record_greedy_counters, valid_greedy_state, GreedyOptions, GreedyOutcome,
+    GreedyState,
 };
 use crate::measure::{Closeness, GroupMeasure, Harmonic};
 use nsky_graph::Graph;
 use nsky_skyline::budget::ExecutionBudget;
+use nsky_skyline::exec::{self, ExecutionContext};
 use nsky_skyline::snapshot::{
-    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
-    Writer,
+    Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot, Writer,
 };
 use nsky_skyline::{filter_refine_sky_budgeted, RefineConfig};
 
@@ -41,15 +41,77 @@ pub fn nei_sky_group<M: GroupMeasure>(
     k: usize,
     lazy: bool,
 ) -> NeiSkyOutcome {
-    nei_sky_group_budgeted(g, measure, k, lazy, &ExecutionBudget::unlimited())
+    nei_sky_group_with(g, measure, k, lazy, &mut ExecutionContext::new()).outcome
 }
 
-/// [`nei_sky_group`] with an observability
-/// [`nsky_skyline::obs::Recorder`] attached: a `"skyline"` span around
-/// the pool computation, a `"greedy"` span around the selection rounds,
-/// and a bulk flush of the skyline size (as `candidates_emitted`) plus
-/// the greedy evaluation counters at exit. The result is identical to
-/// [`nei_sky_group`].
+/// The one entry point: [`nei_sky_group`] under an [`ExecutionContext`]
+/// — budget, cancellation, checkpoint/resume and observability in any
+/// combination. The recorder sees a `"skyline"` span around the pool
+/// computation, a `"greedy"` span around the selection rounds, and a
+/// bulk flush of the greedy evaluation counters plus the skyline size
+/// (as `candidates_emitted`) at exit. One budget is shared by the
+/// skyline computation and the greedy engine: a trip during the skyline
+/// phase restricts the pool to the partially verified skyline (still
+/// valid seeds, possibly missing the best ones); the sticky trip then
+/// stops the greedy engine within one check interval, so the outcome
+/// carries the trip status and whatever greedy prefix was committed.
+/// When checkpointing, only the greedy engine's progress is persisted —
+/// the skyline pool is recomputed on every resume (it is a pure
+/// function of the graph), and a leg that trips during the skyline
+/// phase makes no durable progress (a partial pool cannot anchor the
+/// saved cursor/queue); the checkpoint driver's period backoff
+/// guarantees the phase eventually completes in one leg.
+pub fn nei_sky_group_with<M: GroupMeasure>(
+    g: &Graph,
+    measure: M,
+    k: usize,
+    lazy: bool,
+    ctx: &mut ExecutionContext<'_>,
+) -> ResumableRun<NeiSkyOutcome> {
+    let rec = ctx.effective_recorder();
+    let run = exec::drive(
+        ctx,
+        g.fingerprint(),
+        || NeiSkyGroupState(GreedyState::fresh()),
+        |mut state, budget| {
+            if !valid_greedy_state(g, &state.0) {
+                state = NeiSkyGroupState(GreedyState::fresh());
+            }
+            rec.phase_start("skyline");
+            let sky = filter_refine_sky_budgeted(g, &RefineConfig::default(), budget);
+            rec.phase_end("skyline");
+            let skyline_size = sky.skyline.len();
+            let opts = GreedyOptions {
+                lazy,
+                pruned_bfs: lazy,
+                candidates: Some(sky.skyline),
+            };
+            // On a skyline-phase trip the sticky status makes greedy_leg
+            // return immediately with the state untouched.
+            rec.phase_start("greedy");
+            let (greedy, inner) = greedy_leg(g, measure, k, &opts, budget, state.0);
+            rec.phase_end("greedy");
+            let completion = greedy.completion;
+            (
+                NeiSkyOutcome {
+                    greedy,
+                    skyline_size,
+                },
+                NeiSkyGroupState(inner),
+                completion,
+            )
+        },
+    );
+    record_greedy_counters(rec, &run.outcome.greedy);
+    rec.add(
+        nsky_skyline::obs::Counter::CandidatesEmitted,
+        run.outcome.skyline_size as u64,
+    );
+    run
+}
+
+/// Deprecated twin: use [`nei_sky_group_with`] with a recorder-armed
+/// context.
 pub fn nei_sky_group_recorded<M: GroupMeasure>(
     g: &Graph,
     measure: M,
@@ -57,37 +119,18 @@ pub fn nei_sky_group_recorded<M: GroupMeasure>(
     lazy: bool,
     rec: &dyn nsky_skyline::obs::Recorder,
 ) -> NeiSkyOutcome {
-    rec.phase_start("skyline");
-    let skyline =
-        filter_refine_sky_budgeted(g, &RefineConfig::default(), &ExecutionBudget::unlimited())
-            .skyline;
-    rec.phase_end("skyline");
-    let skyline_size = skyline.len();
-    let opts = GreedyOptions {
+    nei_sky_group_with(
+        g,
+        measure,
+        k,
         lazy,
-        pruned_bfs: lazy,
-        candidates: Some(skyline),
-    };
-    rec.phase_start("greedy");
-    let greedy = greedy_group_budgeted(g, measure, k, &opts, &ExecutionBudget::unlimited());
-    rec.phase_end("greedy");
-    record_greedy_counters(rec, &greedy);
-    rec.add(
-        nsky_skyline::obs::Counter::CandidatesEmitted,
-        skyline_size as u64,
-    );
-    NeiSkyOutcome {
-        greedy,
-        skyline_size,
-    }
+        &mut ExecutionContext::new().recorder(rec),
+    )
+    .outcome
 }
 
-/// [`nei_sky_group`] under an [`ExecutionBudget`] shared by the skyline
-/// computation and the greedy engine. A trip during the skyline phase
-/// restricts the pool to the partially verified skyline (still valid
-/// seeds, possibly missing the best ones); the sticky trip then stops
-/// the greedy engine within one check interval, so the outcome carries
-/// the trip status and whatever greedy prefix was committed.
+/// Deprecated twin: use [`nei_sky_group_with`] with a budget-armed
+/// context.
 pub fn nei_sky_group_budgeted<M: GroupMeasure>(
     g: &Graph,
     measure: M,
@@ -95,17 +138,14 @@ pub fn nei_sky_group_budgeted<M: GroupMeasure>(
     lazy: bool,
     budget: &ExecutionBudget,
 ) -> NeiSkyOutcome {
-    let skyline = filter_refine_sky_budgeted(g, &RefineConfig::default(), budget).skyline;
-    let skyline_size = skyline.len();
-    let opts = GreedyOptions {
+    nei_sky_group_with(
+        g,
+        measure,
+        k,
         lazy,
-        pruned_bfs: lazy,
-        candidates: Some(skyline),
-    };
-    NeiSkyOutcome {
-        greedy: greedy_group_budgeted(g, measure, k, &opts, budget),
-        skyline_size,
-    }
+        &mut ExecutionContext::new().budget(budget),
+    )
+    .outcome
 }
 
 /// Resume state of an interrupted skyline-restricted greedy run: the
@@ -132,52 +172,27 @@ impl KernelState for NeiSkyGroupState {
     }
 }
 
-/// [`nei_sky_group_budgeted`] with crash-safe checkpoint/resume (see
-/// `nsky_skyline::snapshot` for the contract). The skyline pool is
-/// recomputed on every resume — it is a pure function of the graph — and
-/// only the greedy engine's progress is persisted. A leg that trips
-/// during the skyline phase makes no durable progress (a partial pool
-/// cannot anchor the saved cursor/queue); the checkpoint driver's
-/// period backoff guarantees the phase eventually completes in one leg.
-pub fn nei_sky_group_resumable<M: GroupMeasure>(
+/// Deprecated twin: use [`nei_sky_group_with`] with a context arming
+/// budget, resume and checkpoint sink together (see
+/// `nsky_skyline::snapshot` for the contract).
+pub fn nei_sky_group_resumable<'a, M: GroupMeasure>(
     g: &Graph,
     measure: M,
     k: usize,
     lazy: bool,
-    budget: &ExecutionBudget,
-    resume: Option<&Snapshot>,
-    sink: Option<&mut dyn Checkpointer>,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
 ) -> ResumableRun<NeiSkyOutcome> {
-    drive(
-        budget,
-        g.fingerprint(),
-        resume,
-        || NeiSkyGroupState(GreedyState::fresh()),
-        |mut state| {
-            if !valid_greedy_state(g, &state.0) {
-                state = NeiSkyGroupState(GreedyState::fresh());
-            }
-            let sky = filter_refine_sky_budgeted(g, &RefineConfig::default(), budget);
-            let skyline_size = sky.skyline.len();
-            let opts = GreedyOptions {
-                lazy,
-                pruned_bfs: lazy,
-                candidates: Some(sky.skyline),
-            };
-            // On a skyline-phase trip the sticky status makes greedy_leg
-            // return immediately with the state untouched.
-            let (greedy, inner) = greedy_leg(g, measure, k, &opts, budget, state.0);
-            let completion = greedy.completion;
-            (
-                NeiSkyOutcome {
-                    greedy,
-                    skyline_size,
-                },
-                NeiSkyGroupState(inner),
-                completion,
-            )
-        },
-        sink,
+    nei_sky_group_with(
+        g,
+        measure,
+        k,
+        lazy,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
     )
 }
 

@@ -3,7 +3,8 @@
 use crate::args::Args;
 use nsky_graph::{io, Graph, VertexId};
 use nsky_skyline::budget::{Completion, DeadlineClock, ExecutionBudget, TripClock, WallDeadline};
-use nsky_skyline::obs::{record_skyline_stats, Counter, CountingRecorder, Recorder, RunReport};
+use nsky_skyline::exec::ExecutionContext;
+use nsky_skyline::obs::{CountingRecorder, Recorder, RunReport};
 use nsky_skyline::snapshot::{Checkpointer, FileCheckpointer, RecoveryError, Snapshot};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -452,14 +453,21 @@ impl Metrics {
     }
 }
 
-/// Bulk-flush of a clique run's counters. The library's own flush helper
-/// is crate-private to `nsky-clique`, so the CLI mirrors its mapping
-/// through the public [`Counter`] vocabulary.
-fn flush_clique_stats(rec: &CountingRecorder, stats: &nsky_clique::CliqueStats) {
-    rec.add(Counter::NodesExpanded, stats.branches);
-    rec.add(Counter::BoundCuts, stats.bound_prunes);
-    rec.add(Counter::RootCalls, stats.root_calls);
-    rec.add(Counter::SkylinePrunes, stats.skyline_prunes);
+/// One [`ExecutionContext`] from the budget / checkpoint / metrics flags
+/// — the single carrier every instrumented kernel invocation receives.
+/// The kernels flush their own counters and phase spans through the
+/// context's recorder, so the CLI no longer mirrors any flush helper.
+fn context_from<'a>(
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    ck: &'a mut Checkpointing,
+    metrics: &'a Metrics,
+) -> ExecutionContext<'a> {
+    let mut ctx = ExecutionContext::new().budget(budget).resume(resume);
+    if let Some(rec) = metrics.recorder() {
+        ctx = ctx.recorder(rec);
+    }
+    ctx.checkpoint(ck.sink())
 }
 
 fn maybe_write(args: &Args, g: &Graph) -> Result<String, CliError> {
@@ -562,41 +570,25 @@ pub(crate) fn skyline(args: &Args) -> Result<CmdOut, CliError> {
     let resume = ck.resume.take();
     let cfg = nsky_skyline::RefineConfig::default();
     metrics.phase_start("run");
-    let (name, run) = match algo {
-        "refine" => (
-            "FilterRefineSky",
-            nsky_skyline::filter_refine_sky_resumable(
-                &g,
-                &cfg,
-                &budget,
-                resume.as_ref(),
-                ck.sink(),
+    let (name, run) = {
+        let mut ctx = context_from(&budget, resume.as_ref(), &mut ck, &metrics);
+        match algo {
+            "refine" => (
+                "FilterRefineSky",
+                nsky_skyline::filter_refine_sky_with(&g, &cfg, &mut ctx),
             ),
-        ),
-        "base" => (
-            "BaseSky",
-            nsky_skyline::base_sky_resumable(&g, &budget, resume.as_ref(), ck.sink()),
-        ),
-        "par" => {
-            let threads = threads_from(args)?;
-            (
-                "ParFilterRefineSky",
-                nsky_skyline::filter_refine_sky_par_resumable(
-                    &g,
-                    &cfg,
-                    threads,
-                    &budget,
-                    resume.as_ref(),
-                    ck.sink(),
-                ),
-            )
+            "base" => ("BaseSky", nsky_skyline::base_sky_with(&g, &mut ctx)),
+            "par" => {
+                let threads = threads_from(args)?;
+                (
+                    "ParFilterRefineSky",
+                    nsky_skyline::filter_refine_sky_par_with(&g, &cfg, threads, &mut ctx),
+                )
+            }
+            other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
         }
-        other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
     };
     metrics.phase_end("run");
-    if let Some(rec) = metrics.recorder() {
-        record_skyline_stats(rec, &run.outcome.stats);
-    }
     let out = skyline_text(args, &g, name, &run.outcome.skyline)?;
     let mut cmd = seal(
         out,
@@ -623,47 +615,36 @@ pub(crate) fn group(args: &Args) -> Result<CmdOut, CliError> {
     let mut out = String::new();
     match measure {
         "closeness" | "harmonic" => {
-            use nsky_centrality::greedy::{greedy_group_resumable, GreedyOptions};
+            use nsky_centrality::greedy::{greedy_group_with, GreedyOptions};
             use nsky_centrality::measure::{Closeness, Harmonic};
-            use nsky_centrality::neisky::nei_sky_group_resumable;
+            use nsky_centrality::neisky::nei_sky_group_with;
             let (budget, report) = budget_from(args)?;
             let mut ck = checkpoint_from(args, &budget)?;
             let resume = ck.resume.take();
-            let r = resume.as_ref();
             let opts = GreedyOptions::optimized();
             metrics.phase_start("run");
-            let (label, result, skyline_size, recovery, snapshot) = match (measure, prune) {
-                ("closeness", true) => {
-                    let run =
-                        nei_sky_group_resumable(&g, Closeness, k, true, &budget, r, ck.sink());
-                    let o = run.outcome;
-                    let sky = Some(o.skyline_size);
-                    ("NeiSkyGC", o.greedy, sky, run.recovery, run.snapshot)
-                }
-                ("closeness", false) => {
-                    let run =
-                        greedy_group_resumable(&g, Closeness, k, &opts, &budget, r, ck.sink());
-                    ("Greedy++", run.outcome, None, run.recovery, run.snapshot)
-                }
-                ("harmonic", true) => {
-                    let run = nei_sky_group_resumable(&g, Harmonic, k, true, &budget, r, ck.sink());
-                    let o = run.outcome;
-                    let sky = Some(o.skyline_size);
-                    ("NeiSkyGH", o.greedy, sky, run.recovery, run.snapshot)
-                }
-                _ => {
-                    let run = greedy_group_resumable(&g, Harmonic, k, &opts, &budget, r, ck.sink());
-                    ("Greedy-H", run.outcome, None, run.recovery, run.snapshot)
+            let (label, result, recovery, snapshot) = {
+                let mut ctx = context_from(&budget, resume.as_ref(), &mut ck, &metrics);
+                match (measure, prune) {
+                    ("closeness", true) => {
+                        let run = nei_sky_group_with(&g, Closeness, k, true, &mut ctx);
+                        ("NeiSkyGC", run.outcome.greedy, run.recovery, run.snapshot)
+                    }
+                    ("closeness", false) => {
+                        let run = greedy_group_with(&g, Closeness, k, &opts, &mut ctx);
+                        ("Greedy++", run.outcome, run.recovery, run.snapshot)
+                    }
+                    ("harmonic", true) => {
+                        let run = nei_sky_group_with(&g, Harmonic, k, true, &mut ctx);
+                        ("NeiSkyGH", run.outcome.greedy, run.recovery, run.snapshot)
+                    }
+                    _ => {
+                        let run = greedy_group_with(&g, Harmonic, k, &opts, &mut ctx);
+                        ("Greedy-H", run.outcome, run.recovery, run.snapshot)
+                    }
                 }
             };
             metrics.phase_end("run");
-            if let Some(rec) = metrics.recorder() {
-                rec.add(Counter::GainEvaluations, result.gain_evaluations);
-                rec.add(Counter::LazySkips, result.lazy_skips);
-                if let Some(r) = skyline_size {
-                    rec.add(Counter::CandidatesEmitted, r as u64);
-                }
-            }
             let _ = writeln!(out, "engine = {label} ({measure})");
             let _ = writeln!(out, "group: {:?}", result.group);
             let _ = writeln!(out, "score = {:.4}", result.score);
@@ -716,37 +697,24 @@ pub(crate) fn clique(args: &Args) -> Result<CmdOut, CliError> {
     let mut out = String::new();
     metrics.phase_start("run");
     let (kernel, completion, recovery, snapshot) = if top <= 1 {
-        let (label, c, stats, skyline_size, completion, recovery, snapshot) = if prune {
-            let run = nsky_clique::nei_sky_mc_resumable(&g, &budget, resume.as_ref(), ck.sink());
-            let o = run.outcome;
-            (
-                "NeiSkyMC",
-                o.clique,
-                o.stats,
-                Some(o.skyline_size),
-                o.completion,
-                run.recovery,
-                run.snapshot,
-            )
-        } else {
-            let run = nsky_clique::mc_brb_resumable(&g, &budget, resume.as_ref(), ck.sink());
-            let o = run.outcome;
-            (
-                "MC-BRB",
-                o.clique,
-                o.stats,
-                None,
-                o.completion,
-                run.recovery,
-                run.snapshot,
-            )
-        };
-        if let Some(rec) = metrics.recorder() {
-            flush_clique_stats(rec, &stats);
-            if let Some(r) = skyline_size {
-                rec.add(Counter::CandidatesEmitted, r as u64);
+        let (label, c, completion, recovery, snapshot) = {
+            let mut ctx = context_from(&budget, resume.as_ref(), &mut ck, &metrics);
+            if prune {
+                let run = nsky_clique::nei_sky_mc_with(&g, &mut ctx);
+                let o = run.outcome;
+                (
+                    "NeiSkyMC",
+                    o.clique,
+                    o.completion,
+                    run.recovery,
+                    run.snapshot,
+                )
+            } else {
+                let run = nsky_clique::mc_brb_with(&g, &mut ctx);
+                let o = run.outcome;
+                ("MC-BRB", o.clique, o.completion, run.recovery, run.snapshot)
             }
-        }
+        };
         let _ = writeln!(out, "engine = {label}");
         let _ = writeln!(out, "ω = {}", c.len());
         let _ = writeln!(out, "clique: {c:?}");
@@ -757,17 +725,10 @@ pub(crate) fn clique(args: &Args) -> Result<CmdOut, CliError> {
         } else {
             nsky_clique::TopkMode::Base
         };
-        let run = nsky_clique::top_k_cliques_resumable(
-            &g,
-            top,
-            mode,
-            &budget,
-            resume.as_ref(),
-            ck.sink(),
-        );
-        if let Some(rec) = metrics.recorder() {
-            flush_clique_stats(rec, &run.outcome.stats);
-        }
+        let run = {
+            let mut ctx = context_from(&budget, resume.as_ref(), &mut ck, &metrics);
+            nsky_clique::top_k_cliques_with(&g, top, mode, &mut ctx)
+        };
         let _ = writeln!(out, "engine = {mode:?} top-{top}");
         for (i, c) in run.outcome.cliques.iter().enumerate() {
             let _ = writeln!(out, "#{}: size {} {:?}", i + 1, c.len(), c);

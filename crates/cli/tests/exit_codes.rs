@@ -173,3 +173,64 @@ fn unusable_resume_checkpoint_exits_four() {
     std::fs::remove_file(ck).ok();
     std::fs::remove_file(path).ok();
 }
+
+/// The composed regime a long-lived caller actually runs in: `--timeout`,
+/// `--checkpoint` and `--metrics` armed together in one invocation
+/// through the one `ExecutionContext`. The trip must exit 3, leave a
+/// loadable *and resumable* snapshot on disk, and write a run report
+/// whose checksum validates.
+#[test]
+fn timeout_checkpoint_and_metrics_compose_in_one_invocation() {
+    let pid = std::process::id();
+    let path = karate_file("compose");
+    let ck = std::env::temp_dir().join(format!("nsky-exit-compose-ck-{pid}.snap"));
+    let metrics = std::env::temp_dir().join(format!("nsky-exit-compose-m-{pid}.json"));
+    let out = nsky()
+        .arg("skyline")
+        .arg(&path)
+        .args(["--timeout", "0", "--check-interval", "1", "--checkpoint"])
+        .arg(&ck)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("status = DeadlineExceeded"), "{stdout}");
+
+    // The checkpoint on disk is a well-formed snapshot image.
+    nsky_skyline::snapshot::Snapshot::load(&ck).expect("tripped run left no loadable checkpoint");
+
+    // The run report round-trips with a valid checksum and records both
+    // the tripping flag and the checkpoint, from the same invocation.
+    let report =
+        nsky_skyline::obs::RunReport::from_json(&std::fs::read_to_string(&metrics).unwrap())
+            .expect("run report failed checksum validation");
+    assert_eq!(report.completion, "DeadlineExceeded");
+    assert!(
+        report.events.iter().any(|e| e.contains("--timeout 0")),
+        "{:?}",
+        report.events
+    );
+    assert!(
+        report.events.iter().any(|e| e.starts_with("checkpoint = ")),
+        "{:?}",
+        report.events
+    );
+
+    // And the snapshot genuinely resumes: same command, deadline lifted.
+    let out = nsky()
+        .arg("skyline")
+        .arg(&path)
+        .arg("--checkpoint")
+        .arg(&ck)
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("|R| = 15"), "{stdout}");
+    assert!(!ck.exists(), "completed resume kept its checkpoint");
+    std::fs::remove_file(metrics).ok();
+    std::fs::remove_file(path).ok();
+}

@@ -2,10 +2,10 @@
 
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{BudgetTicker, Completion, ExecutionBudget};
+use nsky_skyline::exec::{self, ExecutionContext};
 use nsky_skyline::obs::{Counter, Recorder};
 use nsky_skyline::snapshot::{
-    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
-    Writer,
+    Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot, Writer,
 };
 
 /// Search counters, printed by the harness to show *why* the skyline
@@ -180,28 +180,49 @@ fn peel_candidates(g: &Graph, cand: Vec<VertexId>, min_inside: usize) -> Vec<Ver
 /// assert_eq!(clique, vec![0, 1, 2]);
 /// ```
 pub fn max_clique_bnb(g: &Graph) -> (Vec<VertexId>, CliqueStats) {
-    let run = max_clique_bnb_budgeted(g, &ExecutionBudget::unlimited());
+    let run = max_clique_bnb_with(g, &mut ExecutionContext::new()).outcome;
     (run.clique, run.stats)
 }
 
-/// [`max_clique_bnb`] with an observability [`Recorder`] attached: one
-/// `"bnb"` span around the search plus a bulk flush of the run's
-/// [`CliqueStats`] at exit. The result is identical to
-/// [`max_clique_bnb`] — the search loops never touch the recorder.
-pub fn max_clique_bnb_recorded(g: &Graph, rec: &dyn Recorder) -> CliqueRun {
+/// The one entry point: [`max_clique_bnb`] under an
+/// [`ExecutionContext`] — budget, cancellation, checkpoint/resume and
+/// observability in any combination. The recorder sees one `"bnb"` span
+/// around the search plus a bulk flush of the run's [`CliqueStats`] at
+/// exit; the search loops never touch it. After a trip the returned
+/// clique is the largest found before the trip (anytime semantics — a
+/// valid clique, possibly sub-maximum), and a resumed incumbent is
+/// structurally validated before it is trusted as a bound.
+pub fn max_clique_bnb_with(g: &Graph, ctx: &mut ExecutionContext<'_>) -> ResumableRun<CliqueRun> {
+    let rec = ctx.effective_recorder();
     rec.phase_start("bnb");
-    let run = max_clique_bnb_budgeted(g, &ExecutionBudget::unlimited());
+    let run = exec::drive(
+        ctx,
+        g.fingerprint(),
+        || BnbState { best: Vec::new() },
+        |mut state, budget| {
+            if !valid_clique(g, &state.best) {
+                state.best = Vec::new();
+            }
+            let (run, state) = bnb_leg(g, budget, state);
+            let completion = run.completion;
+            (run, state, completion)
+        },
+    );
     rec.phase_end("bnb");
-    record_clique_stats(rec, &run.stats);
+    record_clique_stats(rec, &run.outcome.stats);
     run
 }
 
-/// [`max_clique_bnb`] under an [`ExecutionBudget`]. With an unlimited
-/// budget the output is identical to [`max_clique_bnb`]; after a trip
-/// the returned clique is the largest found before the trip (anytime
-/// semantics — a valid clique, possibly sub-maximum).
+/// Deprecated twin: use [`max_clique_bnb_with`] with a recorder-armed
+/// context.
+pub fn max_clique_bnb_recorded(g: &Graph, rec: &dyn Recorder) -> CliqueRun {
+    max_clique_bnb_with(g, &mut ExecutionContext::new().recorder(rec)).outcome
+}
+
+/// Deprecated twin: use [`max_clique_bnb_with`] with a budget-armed
+/// context.
 pub fn max_clique_bnb_budgeted(g: &Graph, budget: &ExecutionBudget) -> CliqueRun {
-    bnb_leg(g, budget, BnbState { best: Vec::new() }).0
+    max_clique_bnb_with(g, &mut ExecutionContext::new().budget(budget)).outcome
 }
 
 /// Resume state of an interrupted [`max_clique_bnb`] run: the best
@@ -239,28 +260,21 @@ pub(crate) fn valid_clique(g: &Graph, c: &[VertexId]) -> bool {
         && crate::is_clique(g, c)
 }
 
-/// [`max_clique_bnb_budgeted`] with crash-safe checkpoint/resume (see
+/// Deprecated twin: use [`max_clique_bnb_with`] with a context arming
+/// budget, resume and checkpoint sink together (see
 /// `nsky_skyline::snapshot` for the contract).
-pub fn max_clique_bnb_resumable(
+pub fn max_clique_bnb_resumable<'a>(
     g: &Graph,
-    budget: &ExecutionBudget,
-    resume: Option<&Snapshot>,
-    sink: Option<&mut dyn Checkpointer>,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
 ) -> ResumableRun<CliqueRun> {
-    drive(
-        budget,
-        g.fingerprint(),
-        resume,
-        || BnbState { best: Vec::new() },
-        |mut state| {
-            if !valid_clique(g, &state.best) {
-                state.best = Vec::new();
-            }
-            let (run, state) = bnb_leg(g, budget, state);
-            let completion = run.completion;
-            (run, state, completion)
-        },
-        sink,
+    max_clique_bnb_with(
+        g,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
     )
 }
 

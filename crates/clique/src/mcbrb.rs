@@ -15,9 +15,9 @@ use crate::heuristic::heuristic_clique;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{Completion, ExecutionBudget};
+use nsky_skyline::exec::{self, ExecutionContext};
 use nsky_skyline::snapshot::{
-    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
-    Writer,
+    Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot, Writer,
 };
 
 /// Exact maximum clique (the paper's `MC-BRB` comparison point).
@@ -34,28 +34,47 @@ use nsky_skyline::snapshot::{
 /// assert_eq!(fast.len(), slow.len());
 /// ```
 pub fn mc_brb(g: &Graph) -> (Vec<VertexId>, CliqueStats) {
-    let run = mc_brb_budgeted(g, &ExecutionBudget::unlimited());
+    let run = mc_brb_with(g, &mut ExecutionContext::new()).outcome;
     (run.clique, run.stats)
 }
 
-/// [`mc_brb`] with an observability [`nsky_skyline::obs::Recorder`]
-/// attached: one `"mcbrb"` span around the search plus a bulk flush of
-/// the run's [`CliqueStats`] at exit. The result is identical to
-/// [`mc_brb`] — the search loops never touch the recorder.
-pub fn mc_brb_recorded(g: &Graph, rec: &dyn nsky_skyline::obs::Recorder) -> CliqueRun {
+/// The one entry point: [`mc_brb`] under an [`ExecutionContext`] —
+/// budget, cancellation, checkpoint/resume and observability in any
+/// combination. The recorder sees one `"mcbrb"` span around the search
+/// plus a bulk flush of the run's [`CliqueStats`] at exit; the search
+/// loops never touch it. After a trip the returned clique is the best
+/// found so far — never smaller than the near-linear heuristic lower
+/// bound, which runs before any budgeted search — and a resumed
+/// incumbent is structurally validated before it is trusted.
+pub fn mc_brb_with(g: &Graph, ctx: &mut ExecutionContext<'_>) -> ResumableRun<CliqueRun> {
+    let rec = ctx.effective_recorder();
     rec.phase_start("mcbrb");
-    let run = mc_brb_budgeted(g, &ExecutionBudget::unlimited());
+    let run = exec::drive(
+        ctx,
+        g.fingerprint(),
+        McBrbState::fresh,
+        |mut state, budget| {
+            if !valid_clique(g, &state.best) || state.cursor > g.num_vertices() {
+                state = McBrbState::fresh();
+            }
+            let (run, state) = mcbrb_leg(g, budget, state);
+            let completion = run.completion;
+            (run, state, completion)
+        },
+    );
     rec.phase_end("mcbrb");
-    record_clique_stats(rec, &run.stats);
+    record_clique_stats(rec, &run.outcome.stats);
     run
 }
 
-/// [`mc_brb`] under an [`ExecutionBudget`]. With an unlimited budget the
-/// output is identical to [`mc_brb`]; after a trip the returned clique
-/// is the best found so far — never smaller than the near-linear
-/// heuristic lower bound, which runs before any budgeted search.
+/// Deprecated twin: use [`mc_brb_with`] with a recorder-armed context.
+pub fn mc_brb_recorded(g: &Graph, rec: &dyn nsky_skyline::obs::Recorder) -> CliqueRun {
+    mc_brb_with(g, &mut ExecutionContext::new().recorder(rec)).outcome
+}
+
+/// Deprecated twin: use [`mc_brb_with`] with a budget-armed context.
 pub fn mc_brb_budgeted(g: &Graph, budget: &ExecutionBudget) -> CliqueRun {
-    mcbrb_leg(g, budget, McBrbState::fresh()).0
+    mc_brb_with(g, &mut ExecutionContext::new().budget(budget)).outcome
 }
 
 /// Resume state of an interrupted [`mc_brb`] run: the best clique found
@@ -97,28 +116,21 @@ impl KernelState for McBrbState {
     }
 }
 
-/// [`mc_brb_budgeted`] with crash-safe checkpoint/resume (see
-/// `nsky_skyline::snapshot` for the contract).
-pub fn mc_brb_resumable(
+/// Deprecated twin: use [`mc_brb_with`] with a context arming budget,
+/// resume and checkpoint sink together (see `nsky_skyline::snapshot`
+/// for the contract).
+pub fn mc_brb_resumable<'a>(
     g: &Graph,
-    budget: &ExecutionBudget,
-    resume: Option<&Snapshot>,
-    sink: Option<&mut dyn Checkpointer>,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
 ) -> ResumableRun<CliqueRun> {
-    drive(
-        budget,
-        g.fingerprint(),
-        resume,
-        McBrbState::fresh,
-        |mut state| {
-            if !valid_clique(g, &state.best) || state.cursor > g.num_vertices() {
-                state = McBrbState::fresh();
-            }
-            let (run, state) = mcbrb_leg(g, budget, state);
-            let completion = run.completion;
-            (run, state, completion)
-        },
-        sink,
+    mc_brb_with(
+        g,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
     )
 }
 

@@ -14,9 +14,9 @@ use crate::heuristic::heuristic_clique;
 use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{Completion, ExecutionBudget};
+use nsky_skyline::exec::{self, ExecutionContext};
 use nsky_skyline::snapshot::{
-    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
-    Writer,
+    Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot, Writer,
 };
 use nsky_skyline::{filter_refine_sky_budgeted, RefineConfig};
 
@@ -52,36 +52,54 @@ pub struct NeiSkyMcOutcome {
 /// assert_eq!(nei_sky_mc(&g).clique.len(), mc_brb(&g).0.len());
 /// ```
 pub fn nei_sky_mc(g: &Graph) -> NeiSkyMcOutcome {
-    nei_sky_mc_budgeted(g, &ExecutionBudget::unlimited())
+    nei_sky_mc_with(g, &mut ExecutionContext::new()).outcome
 }
 
-/// [`nei_sky_mc`] with an observability [`nsky_skyline::obs::Recorder`]
-/// attached: one `"neisky_mc"` span around the whole run (the internal
-/// skyline computation contributes its own counters through
-/// [`NeiSkyMcOutcome::skyline_size`], flushed as `candidates_emitted`)
-/// plus a bulk flush of the run's [`CliqueStats`] at exit. The result is
-/// identical to [`nei_sky_mc`].
-pub fn nei_sky_mc_recorded(g: &Graph, rec: &dyn nsky_skyline::obs::Recorder) -> NeiSkyMcOutcome {
+/// The one entry point: [`nei_sky_mc`] under an [`ExecutionContext`] —
+/// budget, cancellation, checkpoint/resume and observability in any
+/// combination. The recorder sees one `"neisky_mc"` span around the
+/// whole run plus a bulk flush of the run's [`CliqueStats`] and the
+/// skyline size (as `candidates_emitted`) at exit. If the budget trips
+/// during the *skyline* computation the partial skyline cannot soundly
+/// seed the root searches (a missing skyline vertex could hide the
+/// maximum clique), so the heuristic clique is returned directly with
+/// the trip status; a trip during the search phase returns the best
+/// clique found so far.
+pub fn nei_sky_mc_with(g: &Graph, ctx: &mut ExecutionContext<'_>) -> ResumableRun<NeiSkyMcOutcome> {
+    let rec = ctx.effective_recorder();
     rec.phase_start("neisky_mc");
-    let out = nei_sky_mc(g);
+    let run = exec::drive(
+        ctx,
+        g.fingerprint(),
+        NeiSkyState::fresh,
+        |mut state, budget| {
+            if !valid_clique(g, &state.best) || state.cursor > g.num_vertices() {
+                state = NeiSkyState::fresh();
+            }
+            let (out, state) = neisky_leg(g, budget, state);
+            let completion = out.completion;
+            (out, state, completion)
+        },
+    );
     rec.phase_end("neisky_mc");
-    record_clique_stats(rec, &out.stats);
+    record_clique_stats(rec, &run.outcome.stats);
     rec.add(
         nsky_skyline::obs::Counter::CandidatesEmitted,
-        out.skyline_size as u64,
+        run.outcome.skyline_size as u64,
     );
-    out
+    run
 }
 
-/// [`nei_sky_mc`] under an [`ExecutionBudget`]. With an unlimited budget
-/// the output is identical to [`nei_sky_mc`]. If the budget trips during
-/// the *skyline* computation the partial skyline cannot soundly seed the
-/// root searches (a missing skyline vertex could hide the maximum
-/// clique), so the heuristic clique is returned directly with the trip
-/// status; a trip during the search phase returns the best clique found
-/// so far.
+/// Deprecated twin: use [`nei_sky_mc_with`] with a recorder-armed
+/// context.
+pub fn nei_sky_mc_recorded(g: &Graph, rec: &dyn nsky_skyline::obs::Recorder) -> NeiSkyMcOutcome {
+    nei_sky_mc_with(g, &mut ExecutionContext::new().recorder(rec)).outcome
+}
+
+/// Deprecated twin: use [`nei_sky_mc_with`] with a budget-armed
+/// context.
 pub fn nei_sky_mc_budgeted(g: &Graph, budget: &ExecutionBudget) -> NeiSkyMcOutcome {
-    neisky_leg(g, budget, NeiSkyState::fresh()).0
+    nei_sky_mc_with(g, &mut ExecutionContext::new().budget(budget)).outcome
 }
 
 /// Resume state of an interrupted [`nei_sky_mc`] run: the best clique
@@ -123,28 +141,21 @@ impl KernelState for NeiSkyState {
     }
 }
 
-/// [`nei_sky_mc_budgeted`] with crash-safe checkpoint/resume (see
+/// Deprecated twin: use [`nei_sky_mc_with`] with a context arming
+/// budget, resume and checkpoint sink together (see
 /// `nsky_skyline::snapshot` for the contract).
-pub fn nei_sky_mc_resumable(
+pub fn nei_sky_mc_resumable<'a>(
     g: &Graph,
-    budget: &ExecutionBudget,
-    resume: Option<&Snapshot>,
-    sink: Option<&mut dyn Checkpointer>,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
 ) -> ResumableRun<NeiSkyMcOutcome> {
-    drive(
-        budget,
-        g.fingerprint(),
-        resume,
-        NeiSkyState::fresh,
-        |mut state| {
-            if !valid_clique(g, &state.best) || state.cursor > g.num_vertices() {
-                state = NeiSkyState::fresh();
-            }
-            let (out, state) = neisky_leg(g, budget, state);
-            let completion = out.completion;
-            (out, state, completion)
-        },
-        sink,
+    nei_sky_mc_with(
+        g,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
     )
 }
 

@@ -21,10 +21,10 @@ use nsky_graph::degeneracy::core_decomposition;
 use nsky_graph::ops::induced_subgraph;
 use nsky_graph::{Graph, VertexId};
 use nsky_skyline::budget::{Completion, ExecutionBudget};
+use nsky_skyline::exec::{self, ExecutionContext};
 use nsky_skyline::incremental::DynamicSkyline;
 use nsky_skyline::snapshot::{
-    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
-    Writer,
+    Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot, Writer,
 };
 use std::collections::BinaryHeap;
 
@@ -100,64 +100,33 @@ impl PartialOrd for Entry {
 /// assert_eq!(out.cliques[1].len(), 4); // seed retired
 /// ```
 pub fn top_k_cliques(g: &Graph, k: usize, mode: TopkMode) -> TopkOutcome {
-    top_k_cliques_budgeted(g, k, mode, &ExecutionBudget::unlimited())
+    top_k_cliques_with(g, k, mode, &mut ExecutionContext::new()).outcome
 }
 
-/// [`top_k_cliques`] with an observability
-/// [`nsky_skyline::obs::Recorder`] attached: one `"topk"` span around
-/// the round loop plus a bulk flush of the aggregated [`CliqueStats`] at
-/// exit. The result is identical to [`top_k_cliques`].
-pub fn top_k_cliques_recorded(
+/// The one entry point: [`top_k_cliques`] under an
+/// [`ExecutionContext`] — budget, cancellation, checkpoint/resume and
+/// observability in any combination. The recorder sees one `"topk"`
+/// span around the round loop plus a bulk flush of the aggregated
+/// [`CliqueStats`] at exit. After a trip the outcome reports every
+/// round completed before the trip (the round in progress is dropped —
+/// its clique was not yet proven maximum for the residual graph). The
+/// two modes persist different state (distinct kernel ids), so a
+/// snapshot taken in one mode resumed in the other is rejected as a
+/// kernel mismatch and the run degrades to a fresh start.
+pub fn top_k_cliques_with(
     g: &Graph,
     k: usize,
     mode: TopkMode,
-    rec: &dyn nsky_skyline::obs::Recorder,
-) -> TopkOutcome {
-    rec.phase_start("topk");
-    let out = top_k_cliques(g, k, mode);
-    rec.phase_end("topk");
-    record_clique_stats(rec, &out.stats);
-    out
-}
-
-/// [`top_k_cliques`] under an [`ExecutionBudget`]. With an unlimited
-/// budget the output is identical to [`top_k_cliques`]; after a trip the
-/// outcome reports every round completed before the trip (the round in
-/// progress is dropped — its clique was not yet proven maximum for the
-/// residual graph) with the trip status in
-/// [`TopkOutcome::completion`].
-pub fn top_k_cliques_budgeted(
-    g: &Graph,
-    k: usize,
-    mode: TopkMode,
-    budget: &ExecutionBudget,
-) -> TopkOutcome {
-    match mode {
-        TopkMode::Base => top_k_base(g, k, budget),
-        TopkMode::NeiSky => top_k_neisky(g, k, budget),
-    }
-}
-
-/// [`top_k_cliques_budgeted`] with crash-safe checkpoint/resume (see
-/// `nsky_skyline::snapshot` for the contract). The two modes persist
-/// different state (distinct kernel ids), so a snapshot taken in one
-/// mode resumed in the other is rejected as a kernel mismatch and the
-/// run degrades to a fresh start.
-pub fn top_k_cliques_resumable(
-    g: &Graph,
-    k: usize,
-    mode: TopkMode,
-    budget: &ExecutionBudget,
-    resume: Option<&Snapshot>,
-    sink: Option<&mut dyn Checkpointer>,
+    ctx: &mut ExecutionContext<'_>,
 ) -> ResumableRun<TopkOutcome> {
-    match mode {
-        TopkMode::Base => drive(
-            budget,
+    let rec = ctx.effective_recorder();
+    rec.phase_start("topk");
+    let run = match mode {
+        TopkMode::Base => exec::drive(
+            ctx,
             g.fingerprint(),
-            resume,
             TopkBaseState::fresh,
-            |mut state| {
+            |mut state, budget| {
                 if !valid_rounds(g, k, &state.cliques, &state.seeds) {
                     state = TopkBaseState::fresh();
                 }
@@ -165,14 +134,12 @@ pub fn top_k_cliques_resumable(
                 let completion = out.completion;
                 (out, state, completion)
             },
-            sink,
         ),
-        TopkMode::NeiSky => drive(
-            budget,
+        TopkMode::NeiSky => exec::drive(
+            ctx,
             g.fingerprint(),
-            resume,
             TopkNeiSkyState::fresh,
-            |mut state| {
+            |mut state, budget| {
                 if !valid_neisky_state(g, k, &state) {
                     state = TopkNeiSkyState::fresh();
                 }
@@ -180,13 +147,55 @@ pub fn top_k_cliques_resumable(
                 let completion = out.completion;
                 (out, state, completion)
             },
-            sink,
         ),
-    }
+    };
+    rec.phase_end("topk");
+    record_clique_stats(rec, &run.outcome.stats);
+    run
 }
 
-fn top_k_base(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
-    topk_base_leg(g, k, budget, TopkBaseState::fresh()).0
+/// Deprecated twin: use [`top_k_cliques_with`] with a recorder-armed
+/// context.
+pub fn top_k_cliques_recorded(
+    g: &Graph,
+    k: usize,
+    mode: TopkMode,
+    rec: &dyn nsky_skyline::obs::Recorder,
+) -> TopkOutcome {
+    top_k_cliques_with(g, k, mode, &mut ExecutionContext::new().recorder(rec)).outcome
+}
+
+/// Deprecated twin: use [`top_k_cliques_with`] with a budget-armed
+/// context.
+pub fn top_k_cliques_budgeted(
+    g: &Graph,
+    k: usize,
+    mode: TopkMode,
+    budget: &ExecutionBudget,
+) -> TopkOutcome {
+    top_k_cliques_with(g, k, mode, &mut ExecutionContext::new().budget(budget)).outcome
+}
+
+/// Deprecated twin: use [`top_k_cliques_with`] with a context arming
+/// budget, resume and checkpoint sink together (see
+/// `nsky_skyline::snapshot` for the contract).
+pub fn top_k_cliques_resumable<'a>(
+    g: &Graph,
+    k: usize,
+    mode: TopkMode,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
+) -> ResumableRun<TopkOutcome> {
+    top_k_cliques_with(
+        g,
+        k,
+        mode,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
+    )
 }
 
 /// Resume state of an interrupted `BaseTopkMCC` run: the fully completed
@@ -298,10 +307,6 @@ fn topk_base_leg(
         seeds: out.seeds.clone(),
     };
     (out, state)
-}
-
-fn top_k_neisky(g: &Graph, k: usize, budget: &ExecutionBudget) -> TopkOutcome {
-    topk_neisky_leg(g, k, budget, TopkNeiSkyState::fresh()).0
 }
 
 /// Resume state of an interrupted `NeiSkyTopkMCC` run: the completed

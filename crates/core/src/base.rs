@@ -15,11 +15,11 @@
 //!   `ablation_early_exit` bench and discussed in EXPERIMENTS.md).
 
 use crate::budget::{Completion, ExecutionBudget};
+use crate::exec::{self, ExecutionContext};
 use crate::obs::{record_skyline_stats, Recorder};
 use crate::result::{SkylineResult, SkylineStats};
 use crate::snapshot::{
-    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
-    Writer,
+    Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot, Writer,
 };
 use nsky_graph::{Graph, VertexId};
 
@@ -63,7 +63,7 @@ enum ScanMode {
 /// assert_eq!(r.skyline, vec![0]); // the hub dominates every leaf
 /// ```
 pub fn base_sky(g: &Graph) -> SkylineResult {
-    base_sky_impl(g, ScanMode::Faithful, &ExecutionBudget::unlimited())
+    base_sky_with(g, &mut ExecutionContext::new()).outcome
 }
 
 /// [`base_sky`] with the scan of a vertex aborted as soon as the vertex
@@ -73,25 +73,47 @@ pub fn base_sky_early_exit(g: &Graph) -> SkylineResult {
     base_sky_impl(g, ScanMode::EarlyExit, &ExecutionBudget::unlimited())
 }
 
-/// [`base_sky`] with an observability [`Recorder`] attached: one
-/// `"scan"` span around the counting scan plus a bulk flush of the run's
-/// [`SkylineStats`] at exit. The result is byte-identical to
-/// [`base_sky`] — the hot loop itself never touches the recorder.
-pub fn base_sky_recorded(g: &Graph, rec: &dyn Recorder) -> SkylineResult {
+/// The one entry point: [`base_sky`] under an [`ExecutionContext`] —
+/// budget, cancellation, checkpoint/resume and observability in any
+/// combination. Opens one `"scan"` phase span around the counting scan
+/// and bulk-flushes the run's [`SkylineStats`] at exit; the hot loop
+/// itself never touches the recorder. With an inert context the outcome
+/// is byte-identical to [`base_sky`]; after a trip it is partial (scans
+/// run in increasing vertex order, so the reported skyline is exactly
+/// the verified prefix — a sound subset of the true skyline) and
+/// [`ResumableRun::snapshot`] carries the resume state.
+pub fn base_sky_with(g: &Graph, ctx: &mut ExecutionContext<'_>) -> ResumableRun<SkylineResult> {
+    let n = g.num_vertices();
+    let rec = ctx.effective_recorder();
     rec.phase_start("scan");
-    let result = base_sky(g);
+    let run = exec::drive(
+        ctx,
+        g.fingerprint(),
+        || BaseSkyState::fresh(n),
+        |mut state, budget| {
+            if state.dominator.len() != n || state.cursor as usize > n {
+                state = BaseSkyState::fresh(n);
+            }
+            let (result, state) = base_sky_leg(g, ScanMode::Faithful, budget, state);
+            let completion = result.completion;
+            (result, state, completion)
+        },
+    );
     rec.phase_end("scan");
-    record_skyline_stats(rec, &result.stats);
-    result
+    record_skyline_stats(rec, &run.outcome.stats);
+    run
 }
 
-/// [`base_sky`] under an [`ExecutionBudget`]. With an unlimited budget
-/// the output is byte-identical to [`base_sky`]; after a trip the result
-/// is partial: scans run in increasing vertex order, so the reported
-/// skyline is exactly the verified prefix — every fixed point below the
-/// first unscanned vertex (a sound subset of the true skyline).
+/// Deprecated twin: use [`base_sky_with`] with a recorder-armed context.
+pub fn base_sky_recorded(g: &Graph, rec: &dyn Recorder) -> SkylineResult {
+    base_sky_with(g, &mut ExecutionContext::new().recorder(rec)).outcome
+}
+
+/// Deprecated twin: use [`base_sky_with`] with a budget-armed context.
+/// With an unlimited budget the output is byte-identical to
+/// [`base_sky`]; after a trip the result is the sound verified prefix.
 pub fn base_sky_budgeted(g: &Graph, budget: &ExecutionBudget) -> SkylineResult {
-    base_sky_impl(g, ScanMode::Faithful, budget)
+    base_sky_with(g, &mut ExecutionContext::new().budget(budget)).outcome
 }
 
 /// Resume state of an interrupted [`base_sky`] run: the dominator array
@@ -131,33 +153,21 @@ impl KernelState for BaseSkyState {
     }
 }
 
-/// [`base_sky_budgeted`] with crash-safe checkpoint/resume: `resume`
-/// feeds back a snapshot from an earlier interrupted run (an unusable
-/// one degrades to a fresh start, reported in
-/// [`ResumableRun::recovery`]), and `sink` receives a snapshot whenever
-/// the budget's checkpoint period elapses. Trip → snapshot → resume is
+/// Deprecated twin: use [`base_sky_with`] with a context arming budget,
+/// resume and checkpoint sink together. Trip → snapshot → resume is
 /// byte-identical to the uninterrupted run (`tests/snapshot_faults.rs`).
-pub fn base_sky_resumable(
+pub fn base_sky_resumable<'a>(
     g: &Graph,
-    budget: &ExecutionBudget,
-    resume: Option<&Snapshot>,
-    sink: Option<&mut dyn Checkpointer>,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
 ) -> ResumableRun<SkylineResult> {
-    let n = g.num_vertices();
-    drive(
-        budget,
-        g.fingerprint(),
-        resume,
-        || BaseSkyState::fresh(n),
-        |mut state| {
-            if state.dominator.len() != n || state.cursor as usize > n {
-                state = BaseSkyState::fresh(n);
-            }
-            let (result, state) = base_sky_leg(g, ScanMode::Faithful, budget, state);
-            let completion = result.completion;
-            (result, state, completion)
-        },
-        sink,
+    base_sky_with(
+        g,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
     )
 }
 

@@ -1,0 +1,241 @@
+//! One execution context per kernel.
+//!
+//! PRs 2–4 grew every kernel three parallel entry-point families —
+//! `*_budgeted` (anytime execution under an [`ExecutionBudget`]),
+//! `*_resumable` (crash-safe checkpoint/resume through the
+//! [`crate::snapshot`] container) and `*_recorded` (bulk-flush
+//! observability through a [`Recorder`]) — which meant no caller could
+//! compose the capabilities: a run could be budgeted *or* recorded, but
+//! not budgeted, recorded, checkpointed and cancellable at once, which
+//! is exactly the regime a long-lived server lives in.
+//!
+//! [`ExecutionContext`] collapses the families. It composes the four
+//! infrastructure carriers — budget (deadline + memory + cancel),
+//! checkpoint resume source, checkpoint sink, recorder — each
+//! defaulting to a no-op, and every kernel exposes exactly one
+//! `*_with(ctx)` entry point threaded through the one generic
+//! [`drive`] poll loop:
+//!
+//! ```text
+//!              ExecutionContext
+//!              ┌───────────────────────────────────────────┐
+//!              │ budget: &ExecutionBudget  (default: inert)│
+//!              │   ├─ deadline clock      (--timeout)      │
+//!              │   ├─ memory accountant   (--memory-budget)│
+//!              │   └─ CancelToken         (cross-thread)   │
+//!              │ resume: Option<&Snapshot> (default: none) │
+//!              │ sink:   Option<&mut dyn Checkpointer>     │
+//!              │ recorder: &dyn Recorder (default: no-op)  │
+//!              └──────────────┬────────────────────────────┘
+//!                             │ exec::drive(ctx, ..)
+//!                             ▼
+//!              ┌───────────────────────────────────────────┐
+//!              │ snapshot::drive leg loop                  │
+//!              │   unpack resume (degrade on corruption)   │
+//!              │   run leg until Complete / trip /         │
+//!              │     CheckpointDue → pack → sink → re-arm  │
+//!              └───────────────────────────────────────────┘
+//! ```
+//!
+//! The old twins survive as one-line shims onto the `*_with` entry
+//! points (enforced by xtask rule R16), so the three families now
+//! *cannot* drift: there is exactly one poll loop, one resume path and
+//! one recorder flush per kernel, and the composed fault matrix
+//! (`tests/tests/fault_matrix.rs`) exercises every kernel under every
+//! single fault and every pairwise fault combination through it.
+
+use crate::budget::{CancelToken, Completion, ExecutionBudget};
+use crate::obs::{NoopRecorder, Recorder};
+use crate::snapshot::{self, Checkpointer, KernelState, ResumableRun, Snapshot};
+
+/// The recorder behind a context nobody instrumented.
+static NOOP: NoopRecorder = NoopRecorder;
+
+/// Everything a kernel invocation runs under: budget, cancellation,
+/// checkpointing and observability, composed into one value with no-op
+/// defaults.
+///
+/// A default context is fully inert — unlimited budget, no resume
+/// snapshot, no checkpoint sink, no-op recorder — so
+/// `kernel_with(g, &mut ExecutionContext::new())` is the plain
+/// uninstrumented run. Each capability is armed independently through
+/// the builder methods, and *any subset* composes: a run can be
+/// budgeted, cancellable, checkpointed and recorded all at once.
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::generators::special::star;
+/// use nsky_skyline::base_sky_with;
+/// use nsky_skyline::exec::ExecutionContext;
+///
+/// let g = star(5);
+/// let run = base_sky_with(&g, &mut ExecutionContext::new());
+/// assert_eq!(run.outcome.skyline, vec![0]);
+/// assert!(run.snapshot.is_none()); // completed: nothing to resume
+/// ```
+pub struct ExecutionContext<'a> {
+    /// Fallback budget when none was injected: unlimited, owned by the
+    /// context so [`ExecutionContext::cancel_token`] and the drive loop
+    /// always have a live budget to poll.
+    owned: ExecutionBudget,
+    budget: Option<&'a ExecutionBudget>,
+    recorder: &'a dyn Recorder,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
+}
+
+impl Default for ExecutionContext<'_> {
+    fn default() -> Self {
+        ExecutionContext::new()
+    }
+}
+
+impl std::fmt::Debug for ExecutionContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionContext")
+            .field("budget_armed", &self.budget.is_some())
+            .field("resume", &self.resume.is_some())
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl<'a> ExecutionContext<'a> {
+    /// A fully inert context: unlimited budget, no resume, no
+    /// checkpoint sink, no-op recorder.
+    pub fn new() -> ExecutionContext<'a> {
+        ExecutionContext {
+            owned: ExecutionBudget::unlimited(),
+            budget: None,
+            recorder: &NOOP,
+            resume: None,
+            sink: None,
+        }
+    }
+
+    /// Arms an [`ExecutionBudget`] (deadline, memory cap, cancellation
+    /// and checkpoint period all ride on it).
+    pub fn budget(mut self, budget: &'a ExecutionBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches an observability [`Recorder`]; kernels open their phase
+    /// spans on it and bulk-flush their counters at exit.
+    pub fn recorder(mut self, rec: &'a dyn Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Feeds back a snapshot from an earlier interrupted run. An
+    /// unusable snapshot (torn, corrupt, wrong graph or kernel) is
+    /// never trusted: the run degrades to a clean fresh start, reported
+    /// in [`ResumableRun::recovery`].
+    pub fn resume(mut self, snapshot: Option<&'a Snapshot>) -> Self {
+        self.resume = snapshot;
+        self
+    }
+
+    /// Attaches a checkpoint sink, handed a freshly packed snapshot
+    /// whenever the budget's checkpoint period elapses and at the final
+    /// trip.
+    pub fn checkpoint(mut self, sink: Option<&'a mut dyn Checkpointer>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The budget the kernel polls: the injected one, or the context's
+    /// own unlimited fallback.
+    pub fn effective_budget(&self) -> &ExecutionBudget {
+        self.budget.unwrap_or(&self.owned)
+    }
+
+    /// The attached recorder (the shared no-op if none was injected).
+    /// Returns the full context lifetime so kernels can hold it across
+    /// a mutable [`drive`] call.
+    pub fn effective_recorder(&self) -> &'a dyn Recorder {
+        self.recorder
+    }
+
+    /// A handle for cancelling this run from another thread. Taking a
+    /// token arms cancellation polling on the effective budget; take it
+    /// before starting the kernel.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.effective_budget().cancel_token()
+    }
+}
+
+/// Runs a kernel to completion (or a real trip) through its
+/// checkpoint-aware leg function, under everything the context
+/// composes. This is the single poll loop behind every `*_with` entry
+/// point; see [`snapshot::drive`] for the leg contract (checkpoint
+/// persistence, budget re-arming, and the period-doubling backoff that
+/// keeps a slow step from livelocking the loop).
+///
+/// `leg` receives the state to continue from plus the effective budget,
+/// and returns the outcome, the state at the stop point, and how the
+/// leg ended.
+pub fn drive<S: KernelState, T>(
+    ctx: &mut ExecutionContext<'_>,
+    graph_fingerprint: u64,
+    initial: impl FnOnce() -> S,
+    mut leg: impl FnMut(S, &ExecutionBudget) -> (T, S, Completion),
+) -> ResumableRun<T> {
+    let budget: &ExecutionBudget = ctx.budget.unwrap_or(&ctx.owned);
+    snapshot::drive(
+        budget,
+        graph_fingerprint,
+        ctx.resume,
+        initial,
+        |state| leg(state, budget),
+        ctx.sink.as_deref_mut(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::TripClock;
+    use crate::obs::CountingRecorder;
+
+    #[test]
+    fn default_context_is_inert() {
+        let ctx = ExecutionContext::new();
+        assert!(!ctx.effective_budget().is_active());
+        assert_eq!(ctx.effective_budget().status(), Completion::Complete);
+    }
+
+    #[test]
+    fn cancel_token_arms_the_owned_budget() {
+        let ctx = ExecutionContext::new();
+        let token = ctx.cancel_token();
+        assert!(ctx.effective_budget().is_active());
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn injected_budget_overrides_the_fallback() {
+        let budget = ExecutionBudget::unlimited()
+            .deadline(TripClock::at_poll(1))
+            .check_interval(1);
+        let ctx = ExecutionContext::new().budget(&budget);
+        assert!(ctx.effective_budget().is_active());
+        let mut ticker = ctx.effective_budget().ticker();
+        assert_eq!(ticker.check(), Some(Completion::DeadlineExceeded));
+    }
+
+    #[test]
+    fn recorder_defaults_to_noop_and_accepts_injection() {
+        let rec = CountingRecorder::new();
+        let ctx = ExecutionContext::new().recorder(&rec);
+        ctx.effective_recorder().phase_start("p");
+        ctx.effective_recorder().phase_end("p");
+        assert_eq!(rec.phases().len(), 1);
+        // The default context's recorder swallows everything.
+        let ctx = ExecutionContext::new();
+        ctx.effective_recorder().phase_start("q");
+        ctx.effective_recorder().phase_end("q");
+    }
+}

@@ -3,13 +3,13 @@
 //! parallel).
 
 use crate::budget::{BudgetTicker, ExecutionBudget};
+use crate::exec::{self, ExecutionContext};
 use crate::filter_phase::filter_phase;
 use crate::obs::{record_skyline_stats, Recorder};
 use crate::refine::RefineConfig;
 use crate::result::{SkylineResult, SkylineStats};
 use crate::snapshot::{
-    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
-    Writer,
+    Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot, Writer,
 };
 use nsky_bloom::{BloomConfig, NeighborhoodFilters};
 use nsky_graph::{Graph, VertexId};
@@ -73,37 +73,44 @@ impl Verdict {
 /// );
 /// ```
 pub fn filter_refine_sky_par(g: &Graph, cfg: &RefineConfig, threads: usize) -> SkylineResult {
-    filter_refine_sky_par_budgeted(g, cfg, threads, &ExecutionBudget::unlimited())
+    filter_refine_sky_par_with(g, cfg, threads, &mut ExecutionContext::new()).outcome
 }
 
-/// [`filter_refine_sky_par`] with an observability [`Recorder`]
-/// attached: one `"refine_par"` span around the whole run plus a bulk
-/// flush of the run's [`SkylineStats`] at exit. Workers never touch the
-/// recorder, so the result is byte-identical to
-/// [`filter_refine_sky_par`].
+/// The one entry point: [`filter_refine_sky_par`] under an
+/// [`ExecutionContext`] — budget, cancellation, checkpoint/resume and
+/// observability in any combination, the budget shared by all worker
+/// threads. The first worker that observes an exhausted budget publishes
+/// the sticky trip; every other worker stops within one check interval.
+/// After a trip the skyline holds exactly the candidates some worker
+/// fully verified (a sound subset of the true skyline — which candidates
+/// those are depends on thread scheduling). The recorder sees one
+/// `"refine_par"` span around the whole run plus a bulk flush of the
+/// run's [`SkylineStats`] at exit; workers never touch it.
 ///
 /// # Panics
 ///
 /// Panics if `threads == 0`.
-pub fn filter_refine_sky_par_recorded(
+pub fn filter_refine_sky_par_with(
     g: &Graph,
     cfg: &RefineConfig,
     threads: usize,
-    rec: &dyn Recorder,
-) -> SkylineResult {
+    ctx: &mut ExecutionContext<'_>,
+) -> ResumableRun<SkylineResult> {
+    assert!(threads > 0, "need at least one worker thread");
+    let rec = ctx.effective_recorder();
     rec.phase_start("refine_par");
-    let result = filter_refine_sky_par(g, cfg, threads);
+    let run = exec::drive(ctx, g.fingerprint(), ParState::fresh, |state, budget| {
+        let (result, state) = parallel_leg(g, cfg, threads, budget, state);
+        let completion = result.completion;
+        (result, state, completion)
+    });
     rec.phase_end("refine_par");
-    record_skyline_stats(rec, &result.stats);
-    result
+    record_skyline_stats(rec, &run.outcome.stats);
+    run
 }
 
-/// [`filter_refine_sky_par`] under an [`ExecutionBudget`] shared by all
-/// worker threads. The first worker that observes an exhausted budget
-/// publishes the sticky trip; every other worker stops within one check
-/// interval. After a trip the skyline holds exactly the candidates some
-/// worker fully verified (a sound subset of the true skyline — which
-/// candidates those are depends on thread scheduling).
+/// Deprecated twin: use [`filter_refine_sky_par_with`] with a
+/// budget-armed context.
 ///
 /// # Panics
 ///
@@ -114,8 +121,22 @@ pub fn filter_refine_sky_par_budgeted(
     threads: usize,
     budget: &ExecutionBudget,
 ) -> SkylineResult {
-    assert!(threads > 0, "need at least one worker thread");
-    parallel_leg(g, cfg, threads, budget, ParState::fresh()).0
+    filter_refine_sky_par_with(g, cfg, threads, &mut ExecutionContext::new().budget(budget)).outcome
+}
+
+/// Deprecated twin: use [`filter_refine_sky_par_with`] with a
+/// recorder-armed context.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn filter_refine_sky_par_recorded(
+    g: &Graph,
+    cfg: &RefineConfig,
+    threads: usize,
+    rec: &dyn Recorder,
+) -> SkylineResult {
+    filter_refine_sky_par_with(g, cfg, threads, &mut ExecutionContext::new().recorder(rec)).outcome
 }
 
 /// Resume state of an interrupted [`filter_refine_sky_par`] run: one
@@ -158,32 +179,29 @@ impl KernelState for ParState {
     }
 }
 
-/// [`filter_refine_sky_par_budgeted`] with crash-safe checkpoint/resume
-/// (see [`crate::snapshot`] for the contract).
+/// Deprecated twin: use [`filter_refine_sky_par_with`] with a context
+/// arming budget, resume and checkpoint sink together (see
+/// [`crate::snapshot`] for the contract).
 ///
 /// # Panics
 ///
 /// Panics if `threads == 0`.
-pub fn filter_refine_sky_par_resumable(
+pub fn filter_refine_sky_par_resumable<'a>(
     g: &Graph,
     cfg: &RefineConfig,
     threads: usize,
-    budget: &ExecutionBudget,
-    resume: Option<&Snapshot>,
-    sink: Option<&mut dyn Checkpointer>,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
 ) -> ResumableRun<SkylineResult> {
-    assert!(threads > 0, "need at least one worker thread");
-    drive(
-        budget,
-        g.fingerprint(),
-        resume,
-        ParState::fresh,
-        |state| {
-            let (result, state) = parallel_leg(g, cfg, threads, budget, state);
-            let completion = result.completion;
-            (result, state, completion)
-        },
-        sink,
+    filter_refine_sky_par_with(
+        g,
+        cfg,
+        threads,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
     )
 }
 

@@ -2,12 +2,12 @@
 //! framework with bloom-filter-accelerated inclusion tests.
 
 use crate::budget::{BudgetTicker, Completion, ExecutionBudget};
+use crate::exec::{self, ExecutionContext};
 use crate::filter_phase::{filter_phase, FilterOutcome};
-use crate::obs::{record_skyline_stats, NoopRecorder, Recorder};
+use crate::obs::{record_skyline_stats, Recorder};
 use crate::result::{SkylineResult, SkylineStats};
 use crate::snapshot::{
-    drive, Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot,
-    Writer,
+    Checkpointer, KernelId, KernelState, Reader, RecoveryError, ResumableRun, Snapshot, Writer,
 };
 use nsky_bloom::{BloomConfig, NeighborhoodFilters};
 use nsky_graph::{Graph, VertexId};
@@ -111,49 +111,60 @@ impl RefineConfig {
 /// assert!(fast.skyline.iter().all(|u| c.binary_search(u).is_ok()));
 /// ```
 pub fn filter_refine_sky(g: &Graph, cfg: &RefineConfig) -> SkylineResult {
-    filter_refine_sky_budgeted(g, cfg, &ExecutionBudget::unlimited())
+    filter_refine_sky_with(g, cfg, &mut ExecutionContext::new()).outcome
 }
 
-/// [`filter_refine_sky`] under an [`ExecutionBudget`]. With an unlimited
-/// budget the output is byte-identical to [`filter_refine_sky`]; after a
-/// trip the result is partial: the skyline holds exactly the candidates
-/// whose refine scan finished undominated before the trip (a sound
-/// subset of the true skyline). The dominant allocations (bloom filters,
-/// the candidate index) are charged against the memory cap *before* they
-/// are made; a refused charge returns a partial result with zero
-/// verified vertices but the filter-phase dominator array and candidate
-/// set intact.
+/// The one entry point: [`filter_refine_sky`] under an
+/// [`ExecutionContext`] — budget, cancellation, checkpoint/resume and
+/// observability in any combination.
+///
+/// The recorder sees the kernel's three phases as spans (`"filter"`,
+/// `"bloom_build"`, `"refine"`) and receives the run's full
+/// [`SkylineStats`] counter table as one bulk flush at exit — never
+/// per-event calls from the hot loops, so a no-op-recorder run is
+/// byte-identical to [`filter_refine_sky`] and costs nothing measurable
+/// (the `obs_overhead` ablation bench keeps this honest). After a budget
+/// trip the outcome is partial — the skyline holds exactly the
+/// candidates whose refine scan finished undominated before the trip (a
+/// sound subset of the true skyline) — and the dominant allocations
+/// (bloom filters, the candidate index) are charged against the memory
+/// cap *before* they are made; a refused charge yields zero verified
+/// vertices but the filter-phase dominator array and candidate set
+/// intact.
+pub fn filter_refine_sky_with(
+    g: &Graph,
+    cfg: &RefineConfig,
+    ctx: &mut ExecutionContext<'_>,
+) -> ResumableRun<SkylineResult> {
+    let rec = ctx.effective_recorder();
+    let run = exec::drive(ctx, g.fingerprint(), RefineState::fresh, |state, budget| {
+        let (result, state) = filter_refine_leg(g, cfg, budget, state, rec);
+        let completion = result.completion;
+        (result, state, completion)
+    });
+    record_skyline_stats(rec, &run.outcome.stats);
+    run
+}
+
+/// Deprecated twin: use [`filter_refine_sky_with`] with a budget-armed
+/// context. With an unlimited budget the output is byte-identical to
+/// [`filter_refine_sky`]; after a trip it is the sound verified prefix.
 pub fn filter_refine_sky_budgeted(
     g: &Graph,
     cfg: &RefineConfig,
     budget: &ExecutionBudget,
 ) -> SkylineResult {
-    filter_refine_leg(g, cfg, budget, RefineState::fresh(), &NoopRecorder).0
+    filter_refine_sky_with(g, cfg, &mut ExecutionContext::new().budget(budget)).outcome
 }
 
-/// [`filter_refine_sky`] with an observability [`Recorder`] attached.
-///
-/// The recorder sees the kernel's three phases as spans (`"filter"`,
-/// `"bloom_build"`, `"refine"`) and receives the run's full
-/// [`SkylineStats`] counter table as one bulk flush at exit — never
-/// per-event calls from the hot loops, so a [`NoopRecorder`] run is
-/// byte-identical to [`filter_refine_sky`] and costs nothing measurable
-/// (the `obs_overhead` ablation bench keeps this honest).
+/// Deprecated twin: use [`filter_refine_sky_with`] with a
+/// recorder-armed context.
 pub fn filter_refine_sky_recorded(
     g: &Graph,
     cfg: &RefineConfig,
     rec: &dyn Recorder,
 ) -> SkylineResult {
-    let result = filter_refine_leg(
-        g,
-        cfg,
-        &ExecutionBudget::unlimited(),
-        RefineState::fresh(),
-        rec,
-    )
-    .0;
-    record_skyline_stats(rec, &result.stats);
-    result
+    filter_refine_sky_with(g, cfg, &mut ExecutionContext::new().recorder(rec)).outcome
 }
 
 /// Resume state of an interrupted [`filter_refine_sky`] run: the refine
@@ -194,29 +205,23 @@ impl KernelState for RefineState {
     }
 }
 
-/// [`filter_refine_sky_budgeted`] with crash-safe checkpoint/resume (see
-/// [`crate::snapshot`] for the contract): `resume` feeds back a snapshot
-/// from an earlier interrupted run, `sink` receives periodic
-/// checkpoints, and the final snapshot of a tripped run rides along in
-/// the returned [`ResumableRun`].
-pub fn filter_refine_sky_resumable(
+/// Deprecated twin: use [`filter_refine_sky_with`] with a context
+/// arming budget, resume and checkpoint sink together (see
+/// [`crate::snapshot`] for the checkpoint/resume contract).
+pub fn filter_refine_sky_resumable<'a>(
     g: &Graph,
     cfg: &RefineConfig,
-    budget: &ExecutionBudget,
-    resume: Option<&Snapshot>,
-    sink: Option<&mut dyn Checkpointer>,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
 ) -> ResumableRun<SkylineResult> {
-    drive(
-        budget,
-        g.fingerprint(),
-        resume,
-        RefineState::fresh,
-        |state| {
-            let (result, state) = filter_refine_leg(g, cfg, budget, state, &NoopRecorder);
-            let completion = result.completion;
-            (result, state, completion)
-        },
-        sink,
+    filter_refine_sky_with(
+        g,
+        cfg,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
     )
 }
 

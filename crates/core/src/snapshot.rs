@@ -680,7 +680,7 @@ pub fn drive<S: KernelState, T>(
     resume: Option<&Snapshot>,
     initial: impl FnOnce() -> S,
     mut leg: impl FnMut(S) -> (T, S, Completion),
-    mut sink: Option<&mut dyn Checkpointer>,
+    mut sink: Option<&mut (dyn Checkpointer + '_)>,
 ) -> ResumableRun<T> {
     let mut recovery = None;
     let mut state = match resume {

@@ -1,0 +1,25 @@
+//! R16 fixture: the family has a `solve_with` context entry point, but
+//! the budgeted twin keeps a poll loop of its own and the recorded twin
+//! never delegates at all.
+
+fn solve(g: &u32, k: u32) -> u32 {
+    solve_with(g, k, &mut ExecutionContext::new()).outcome
+}
+
+fn solve_with(g: &u32, k: u32, ctx: &mut ExecutionContext<'_>) -> ResumableRun<u32> {
+    let _ = ctx;
+    ResumableRun::done(g.wrapping_add(k))
+}
+
+fn solve_budgeted(g: &u32, k: u32, budget: &ExecutionBudget) -> u32 {
+    let mut run = solve_with(g, k, &mut ExecutionContext::new().budget(budget));
+    while !run.outcome_ready() {
+        run = solve_with(g, k, &mut ExecutionContext::new().budget(budget));
+    }
+    run.outcome
+}
+
+fn solve_recorded(g: &u32, k: u32, rec: &dyn Recorder) -> u32 {
+    let _ = rec;
+    g.wrapping_add(k)
+}

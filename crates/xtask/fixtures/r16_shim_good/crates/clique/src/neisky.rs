@@ -1,0 +1,36 @@
+//! R16 fixture (clean): one `solve_with` context entry point; every
+//! twin is a one-line delegating shim with no loop of its own.
+
+fn solve(g: &u32, k: u32) -> u32 {
+    solve_with(g, k, &mut ExecutionContext::new()).outcome
+}
+
+fn solve_with(g: &u32, k: u32, ctx: &mut ExecutionContext<'_>) -> ResumableRun<u32> {
+    let _ = ctx;
+    ResumableRun::done(g.wrapping_add(k))
+}
+
+fn solve_budgeted(g: &u32, k: u32, budget: &ExecutionBudget) -> u32 {
+    solve_with(g, k, &mut ExecutionContext::new().budget(budget)).outcome
+}
+
+fn solve_recorded(g: &u32, k: u32, rec: &dyn Recorder) -> u32 {
+    solve_with(g, k, &mut ExecutionContext::new().recorder(rec)).outcome
+}
+
+fn solve_resumable<'a>(
+    g: &u32,
+    k: u32,
+    budget: &'a ExecutionBudget,
+    resume: Option<&'a Snapshot>,
+    sink: Option<&'a mut dyn Checkpointer>,
+) -> ResumableRun<u32> {
+    solve_with(
+        g,
+        k,
+        &mut ExecutionContext::new()
+            .budget(budget)
+            .resume(resume)
+            .checkpoint(sink),
+    )
+}

@@ -1,28 +1,34 @@
 //! R16 `twin-coherence`: signature-drift detection across the
-//! `*_budgeted` / `*_recorded` / `*_resumable` twins of each kernel
-//! entry point, plus the per-kernel twin-count report that makes
+//! `*_budgeted` / `*_recorded` / `*_resumable` / `*_with` twins of each
+//! kernel entry point, plus the per-kernel twin-count report that makes
 //! ROADMAP item 1 (collapsing the twins into one `ExecutionContext`)
 //! observable as a lint metric.
 //!
 //! A *family* is a base name `X` for which `X_budgeted` exists in the
 //! same file (the budgeted twin is the canonical signature: it is the
 //! one every other twin wraps). Members are `X`, `X_budgeted`,
-//! `X_recorded` and `X_resumable`. Coherence requires:
+//! `X_recorded`, `X_resumable` and `X_with`. Coherence requires:
 //!
 //! * every member's *core* parameter list — parameters whose type does
 //!   not mention an infrastructure carrier ([`INFRA_TYPES`]) — matches
 //!   the budgeted twin's, name and type;
 //! * `X_recorded` returns exactly what `X_budgeted` returns (recording
 //!   must not change semantics);
-//! * `X_resumable`'s return type contains the budgeted return type
-//!   (the `ResumableRun<T>` wrapping convention);
+//! * `X_resumable`'s and `X_with`'s return types contain the budgeted
+//!   return type (the `ResumableRun<T>` wrapping convention);
 //! * the base `X`'s return type is exempt (several kernels expose a
-//!   richer tuple on the uninstrumented path by design).
+//!   richer tuple on the uninstrumented path by design);
+//! * once a family has an `X_with` member — the single
+//!   `ExecutionContext` entry point — every other member must be a
+//!   delegating shim: its body calls `X_with` and contains no loop of
+//!   its own (`loop`/`while`/`for`). A twin that keeps its own poll
+//!   loop next to the context entry point is exactly the drift the
+//!   collapse was meant to end.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use crate::items::ItemKind;
+use crate::items::{Item, ItemKind};
 use crate::source::SourceFile;
 use crate::{library_src_dirs, rel, rust_files, Rule, Violation};
 
@@ -30,6 +36,7 @@ use crate::{library_src_dirs, rel, rust_files, Rule, Violation};
 /// comparison: these are exactly what the twins exist to thread.
 const INFRA_TYPES: &[&str] = &[
     "ExecutionBudget",
+    "ExecutionContext",
     "Recorder",
     "Snapshot",
     "Checkpointer",
@@ -37,7 +44,7 @@ const INFRA_TYPES: &[&str] = &[
 ];
 
 /// The twin suffixes, in report order.
-const SUFFIXES: &[&str] = &["budgeted", "recorded", "resumable"];
+const SUFFIXES: &[&str] = &["budgeted", "recorded", "resumable", "with"];
 
 /// One scanned twin family.
 struct Family {
@@ -47,13 +54,29 @@ struct Family {
 }
 
 /// One member of a family; the label is `base`/`budgeted`/`recorded`/
-/// `resumable`.
+/// `resumable`/`with`.
 #[derive(Clone)]
 struct Member {
     label: &'static str,
     line: usize,
     params: Vec<(String, String)>,
     ret: Option<String>,
+    /// Whether the body mentions the family's `X_with` entry point.
+    calls_with: bool,
+    /// Whether the body contains a `loop`/`while`/`for` of its own.
+    has_loop: bool,
+}
+
+/// Body shape of a member against its family's `X_with` entry point:
+/// does it call it, and does it keep a loop of its own? Comment tokens
+/// never match — only genuine identifiers/keywords count.
+fn body_shape(file: &SourceFile, item: &Item, with_name: &str) -> (bool, bool) {
+    let body = &file.tokens[item.sig_end..=item.span.1];
+    let calls_with = body.iter().any(|t| t.is_ident(with_name));
+    let has_loop = body
+        .iter()
+        .any(|t| t.is_ident("loop") || t.is_ident("while") || t.is_ident("for"));
+    (calls_with, has_loop)
 }
 
 /// Whether a parameter's rendered type mentions an infrastructure carrier.
@@ -89,6 +112,7 @@ fn scan_families(root: &Path) -> std::io::Result<Vec<(Family, SourceFile)>> {
                 let Some(base) = item.name.strip_suffix("_budgeted") else {
                     continue;
                 };
+                let (calls_with, has_loop) = body_shape(&file, item, &format!("{base}_with"));
                 families.insert(
                     base.to_string(),
                     Family {
@@ -99,6 +123,8 @@ fn scan_families(root: &Path) -> std::io::Result<Vec<(Family, SourceFile)>> {
                             line: item.line,
                             params: core_params(&item.params),
                             ret: item.ret.clone(),
+                            calls_with,
+                            has_loop,
                         }],
                     },
                 );
@@ -115,23 +141,25 @@ fn scan_families(root: &Path) -> std::io::Result<Vec<(Family, SourceFile)>> {
                         if s == "budgeted" {
                             continue; // already the reference member
                         }
-                        (
-                            b.to_string(),
-                            if s == "recorded" {
-                                "recorded"
-                            } else {
-                                "resumable"
-                            },
-                        )
+                        let label = match s {
+                            "recorded" => "recorded",
+                            "resumable" => "resumable",
+                            _ => "with",
+                        };
+                        (b.to_string(), label)
                     }
                     _ => (item.name.clone(), "base"),
                 };
                 if let Some(fam) = families.get_mut(&base) {
+                    let (calls_with, has_loop) =
+                        body_shape(&file, item, &format!("{}_with", fam.base));
                     fam.members.push(Member {
                         label,
                         line: item.line,
                         params: core_params(&item.params),
                         ret: item.ret.clone(),
+                        calls_with,
+                        has_loop,
                     });
                 }
             }
@@ -141,7 +169,8 @@ fn scan_families(root: &Path) -> std::io::Result<Vec<(Family, SourceFile)>> {
                 "base" => 0,
                 "budgeted" => 1,
                 "recorded" => 2,
-                _ => 3,
+                "resumable" => 3,
+                _ => 4,
             };
             for f in &mut fams {
                 f.members.sort_by_key(|m| rank(m.label));
@@ -204,7 +233,7 @@ pub(crate) fn check_twins(root: &Path) -> std::io::Result<Vec<Violation>> {
                         ),
                     });
                 }
-                "resumable" => {
+                "resumable" | "with" => {
                     if let (Some(r), Some(b)) = (m.ret.as_deref(), reference.ret.as_deref()) {
                         if !r.contains(b) {
                             out.push(Violation {
@@ -212,13 +241,48 @@ pub(crate) fn check_twins(root: &Path) -> std::io::Result<Vec<Violation>> {
                                 line: m.line,
                                 rule: Rule::TwinCoherence,
                                 message: format!(
-                                    "twin `{member_name}` returns `{r}` which does not wrap the budgeted result `{b}` (resumable twins return `ResumableRun<...>` over the same core result)",
+                                    "twin `{member_name}` returns `{r}` which does not wrap the budgeted result `{b}` (resumable and context twins return `ResumableRun<...>` over the same core result)",
                                 ),
                             });
                         }
                     }
                 }
                 _ => {} // base return is exempt by design
+            }
+        }
+        // Once the family has an `X_with` entry point, every other
+        // member must be a delegating shim: call `X_with`, keep no loop.
+        if fam.members.iter().any(|m| m.label == "with") {
+            for m in &fam.members {
+                if m.label == "with" || file.is_suppressed(Rule::TwinCoherence, m.line) {
+                    continue;
+                }
+                let member_name = if m.label == "base" {
+                    fam.base.clone()
+                } else {
+                    format!("{}_{}", fam.base, m.label)
+                };
+                if !m.calls_with {
+                    out.push(Violation {
+                        file: fam.file.clone(),
+                        line: m.line,
+                        rule: Rule::TwinCoherence,
+                        message: format!(
+                            "twin `{member_name}` does not delegate to `{}_with` (once a family has an ExecutionContext entry point, every twin is a one-line shim over it)",
+                            fam.base,
+                        ),
+                    });
+                } else if m.has_loop {
+                    out.push(Violation {
+                        file: fam.file.clone(),
+                        line: m.line,
+                        rule: Rule::TwinCoherence,
+                        message: format!(
+                            "twin `{member_name}` calls `{}_with` but keeps a `loop`/`while`/`for` of its own (shims must not re-implement the poll loop the context entry point owns)",
+                            fam.base,
+                        ),
+                    });
+                }
             }
         }
     }

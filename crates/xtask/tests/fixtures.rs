@@ -322,6 +322,26 @@ fn r16_coherent_twin_family_clean() {
     assert_clean("r16_good");
 }
 
+#[test]
+fn r16_non_delegating_shims_flagged() {
+    let violations = assert_only_rule("r16_shim_bad", Rule::TwinCoherence);
+    // The budgeted twin delegates but keeps its own loop; the recorded
+    // twin never calls `solve_with` at all.
+    assert_eq!(violations.len(), 2);
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("solve_budgeted") && v.message.contains("loop")));
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("solve_recorded") && v.message.contains("does not delegate")));
+    assert!(violations[0].file.ends_with("crates/clique/src/neisky.rs"));
+}
+
+#[test]
+fn r16_delegating_shims_clean() {
+    assert_clean("r16_shim_good");
+}
+
 /// The capstone: the real workspace passes its own policy.
 #[test]
 fn real_workspace_is_lint_clean() {
@@ -363,6 +383,7 @@ fn cli_exit_codes_match_findings() {
         "r14_bad",
         "r15_bad",
         "r16_bad",
+        "r16_shim_bad",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
@@ -377,8 +398,22 @@ fn cli_exit_codes_match_findings() {
         );
     }
     for good in [
-        "r1_good", "r2_good", "r3_good", "r4_good", "r5_good", "r6_good", "r7_good", "r8_good",
-        "r9_good", "r10_good", "r11_good", "r13_good", "r14_good", "r15_good", "r16_good",
+        "r1_good",
+        "r2_good",
+        "r3_good",
+        "r4_good",
+        "r5_good",
+        "r6_good",
+        "r7_good",
+        "r8_good",
+        "r9_good",
+        "r10_good",
+        "r11_good",
+        "r13_good",
+        "r14_good",
+        "r15_good",
+        "r16_good",
+        "r16_shim_good",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
@@ -477,8 +512,8 @@ fn cli_twins_check_matches_baseline() {
         .output()
         .expect("twins runs");
     let report = String::from_utf8_lossy(&out.stdout);
-    assert!(report.contains("filter_refine_sky: 4 (base, budgeted, recorded, resumable)"));
-    assert!(report.contains("max_clique_bnb: 4"));
+    assert!(report.contains("filter_refine_sky: 5 (base, budgeted, recorded, resumable, with)"));
+    assert!(report.contains("max_clique_bnb: 5"));
 }
 
 /// `api --check` is its own CLI entry point: exit 1 on the injected

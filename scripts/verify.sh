@@ -46,6 +46,12 @@ step cargo test -q -p nsky-integration --test snapshot_faults
 # match their uninstrumented entry points field-for-field, and the JSON
 # run report must reject truncated/bit-flipped payloads.
 step cargo test -q -p nsky-integration --test obs_invariants
+# Composed-fault gate, likewise run by name: every kernel driven through
+# its single `*_with(ctx)` entry point must survive every single fault
+# and every pairwise fault combination (deadline, memory cap, cancel,
+# checkpoint, damaged resume) with sound partial answers, graceful
+# degradation of unusable checkpoints, and byte-identical no-fault runs.
+step cargo test -q -p nsky-integration --test fault_matrix
 
 echo
 echo "verify: all gates passed"
