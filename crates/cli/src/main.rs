@@ -11,6 +11,8 @@
 //! nsky generate <family> --n N [--seed S] [-o out.txt]
 //!     families: er, powerlaw, ba, leafy, affiliation, copying, threshold,
 //!               karate, bombing
+//! nsky serve    <edge-list> [--addr HOST:PORT] [--workers N] [--queue N]
+//!                           [--request-timeout SECS] [--read-timeout SECS]
 //! ```
 //!
 //! Edge lists are whitespace-separated `u v` lines; `#`/`%` comments are
@@ -94,6 +96,7 @@ pub(crate) fn run(raw: &[String]) -> Result<CmdOut, CliError> {
         "clique" => commands::clique(&parsed),
         "mis" => complete(commands::mis(&parsed)),
         "generate" => complete(commands::generate(&parsed)),
+        "serve" => complete(commands::serve(&parsed)),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -112,6 +115,11 @@ USAGE:
   nsky generate <family> --n N [--seed S] [-o out.txt]
                 families: er powerlaw ba leafy affiliation copying
                           threshold karate bombing
+  nsky serve    <edge-list> [--addr HOST:PORT] [--workers N] [--queue N]
+                            [--request-timeout SECS] [--read-timeout SECS]
+                newline-delimited JSON query daemon; blocks until a
+                client sends {\"op\":\"shutdown\"}, then drains and
+                prints the final counters (see DESIGN.md §7 Serving)
 
 BUDGET (skyline refine|base|par, clique, group closeness|harmonic):
   --timeout SECS        stop after a wall-clock deadline

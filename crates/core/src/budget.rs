@@ -197,15 +197,58 @@ impl DeadlineClock for TripClock {
 }
 
 /// A handle for cancelling a running kernel from another thread.
-/// Obtained with [`ExecutionBudget::cancel_token`]; cloneable and cheap.
+/// Obtained with [`ExecutionBudget::cancel_token`] (tied to one budget),
+/// [`CancelToken::new`] (detached), or [`CancelToken::child`] (scoped
+/// under a parent); cloneable and cheap.
+///
+/// Tokens are **single-use**: once raised, a token stays raised forever
+/// (the flag is never reset, so a raised token can never un-cancel a
+/// kernel that already observed it). Long-lived owners — a server
+/// connection serving many requests — must therefore never hand the same
+/// token to two requests: request N's raised flag would instantly cancel
+/// request N+1. The supported pattern is a fresh [`CancelToken::child`]
+/// per request: raising a child never touches the parent or any sibling,
+/// while raising the parent (connection closed, server draining) is
+/// observed by every child. Link the per-request child to the request's
+/// budget with [`ExecutionBudget::cancelled_by`].
 #[derive(Clone, Debug)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Flags of every ancestor, outermost first. Immutable after
+    /// construction and shared by clone, so `child()` is two `Arc`
+    /// bumps plus one small allocation.
+    ancestors: Vec<Arc<AtomicBool>>,
 }
 
 impl CancelToken {
-    /// Raises the cooperative cancellation flag: every ticker on the
-    /// budget trips with [`Completion::Cancelled`] at its next poll.
+    /// A fresh, detached token (no budget, no parent). Use
+    /// [`ExecutionBudget::cancelled_by`] to make a budget observe it.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            ancestors: Vec::new(),
+        }
+    }
+
+    /// A child token scoped under `self`: cancelling the child raises
+    /// only the child's own flag (the parent and any sibling children
+    /// stay live), while cancelling `self` — or any ancestor — is
+    /// observed by the child. This is the reset-free per-request
+    /// pattern: a raised request token can never leak into the next
+    /// request, because the next request gets a new child.
+    pub fn child(&self) -> CancelToken {
+        let mut ancestors = self.ancestors.clone();
+        ancestors.push(Arc::clone(&self.flag));
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            ancestors,
+        }
+    }
+
+    /// Raises the cooperative cancellation flag: every ticker on a
+    /// budget observing this token (or a child of it) trips with
+    /// [`Completion::Cancelled`] at its next poll. Ancestors and
+    /// siblings are unaffected.
     pub fn cancel(&self) {
         // ORDERING: Release pairs with the Acquire load in
         // `ExecutionBudget::poll`, so everything the cancelling thread
@@ -214,10 +257,23 @@ impl CancelToken {
         self.flag.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested on this token or any of
+    /// its ancestors.
     pub fn is_cancelled(&self) -> bool {
         // ORDERING: Acquire pairs with the Release store in `cancel`.
-        self.flag.load(Ordering::Acquire)
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        // ORDERING: Acquire pairs with the Release store a `cancel()`
+        // on the raised ancestor performed, so its prior writes are
+        // visible to the observer here.
+        self.ancestors.iter().any(|a| a.load(Ordering::Acquire))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
     }
 }
 
@@ -241,6 +297,7 @@ pub struct ExecutionBudget {
     clock: Option<Box<dyn DeadlineClock>>,
     cancel: Arc<AtomicBool>,
     cancel_observed: AtomicBool,
+    linked: Option<CancelToken>,
     memory_cap: Option<usize>,
     memory_charged: AtomicUsize,
     tripped: AtomicU8,
@@ -309,7 +366,18 @@ impl ExecutionBudget {
         self.cancel_observed.store(true, Ordering::Release);
         CancelToken {
             flag: Arc::clone(&self.cancel),
+            ancestors: Vec::new(),
         }
+    }
+
+    /// Links an externally owned token (builder style): the budget trips
+    /// with [`Completion::Cancelled`] once `token` — or any of its
+    /// ancestors — is raised. This is how a server wires a per-request
+    /// [`CancelToken::child`] into the request's budget without sharing
+    /// the budget's own flag across requests.
+    pub fn cancelled_by(mut self, token: CancelToken) -> Self {
+        self.linked = Some(token);
+        self
     }
 
     /// Whether any limit is armed (deadline, memory cap, an outstanding
@@ -318,6 +386,7 @@ impl ExecutionBudget {
     pub fn is_active(&self) -> bool {
         self.clock.is_some()
             || self.memory_cap.is_some()
+            || self.linked.is_some()
             // ORDERING: Acquire pairs with the Release store in
             // `cancel_token`, so an armed budget is seen fully set up.
             || self.cancel_observed.load(Ordering::Acquire)
@@ -454,6 +523,9 @@ impl ExecutionBudget {
         // `CancelToken::cancel`, so the kernel that observes the request
         // also sees everything the canceller wrote before raising it.
         if self.cancel.load(Ordering::Acquire) {
+            return Some(self.trip(Completion::Cancelled));
+        }
+        if self.linked.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Some(self.trip(Completion::Cancelled));
         }
         if let Some(clock) = &self.clock {
@@ -602,6 +674,65 @@ mod tests {
         assert!(token.is_cancelled());
         assert_eq!(t.check(), Some(Completion::Cancelled));
         assert_eq!(b.status(), Completion::Cancelled);
+    }
+
+    #[test]
+    fn child_token_is_isolated_from_siblings_and_parent() {
+        let conn = CancelToken::new();
+        // Request N gets a child, runs, and is cancelled mid-flight.
+        let req_n = conn.child();
+        req_n.cancel();
+        assert!(req_n.is_cancelled());
+        assert!(
+            !conn.is_cancelled(),
+            "raising a child never touches the parent"
+        );
+        // Request N+1 gets a *fresh* child: request N's raised flag must
+        // not leak into it — this is the reset-free reuse contract.
+        let req_n1 = conn.child();
+        assert!(!req_n1.is_cancelled());
+        let b = ExecutionBudget::unlimited()
+            .cancelled_by(req_n1.clone())
+            .check_interval(1);
+        assert!(b.is_active(), "a linked token arms polling");
+        assert_eq!(b.ticker().check(), None, "fresh child: no spurious trip");
+        // Raising the parent is observed by every live child.
+        conn.cancel();
+        assert!(req_n1.is_cancelled());
+        assert_eq!(b.ticker().check(), Some(Completion::Cancelled));
+        assert_eq!(b.status(), Completion::Cancelled);
+    }
+
+    #[test]
+    fn grandchild_observes_every_ancestor() {
+        let root = CancelToken::new();
+        let mid = root.child();
+        let leaf = mid.child();
+        assert!(!leaf.is_cancelled());
+        root.cancel();
+        assert!(leaf.is_cancelled(), "grandchild sees the root's flag");
+        assert!(mid.is_cancelled());
+        // A sibling branched off the root after the fact is raised too
+        // (the ancestor flag is already up) — children are per-scope,
+        // not per-construction-order.
+        assert!(root.child().is_cancelled());
+    }
+
+    #[test]
+    fn linked_token_trips_budget_directly() {
+        let token = CancelToken::new();
+        let b = ExecutionBudget::unlimited()
+            .cancelled_by(token.clone())
+            .check_interval(1);
+        let mut t = b.ticker();
+        assert_eq!(t.check(), None);
+        token.cancel();
+        assert_eq!(t.check(), Some(Completion::Cancelled));
+        // The budget's own token is independent of the linked one.
+        let own = ExecutionBudget::unlimited();
+        let own_token = own.cancel_token();
+        token.cancel();
+        assert!(!own_token.is_cancelled());
     }
 
     #[test]

@@ -238,4 +238,120 @@ mod tests {
         ctx.effective_recorder().phase_start("q");
         ctx.effective_recorder().phase_end("q");
     }
+
+    // Degenerate configurations a long-lived server hits in practice:
+    // disarmed/every-poll checkpoint cadences, deadlines that expired
+    // before the kernel even started, and recorder + cancel composed in
+    // one context. `drive` must stay sound (partial ⊆ full) through all
+    // of them.
+    mod degenerate {
+        use super::*;
+        use crate::snapshot::{Checkpointer, RecoveryError, Snapshot};
+        use crate::{base_sky, base_sky_with};
+        use nsky_graph::Graph;
+        use std::time::Duration;
+
+        /// An in-memory sink that only counts saves.
+        struct CountingSink {
+            saves: usize,
+        }
+
+        impl Checkpointer for CountingSink {
+            fn save(&mut self, _snapshot: &Snapshot) -> Result<(), RecoveryError> {
+                self.saves += 1;
+                Ok(())
+            }
+        }
+
+        fn graph() -> Graph {
+            // A double star plus a path: a skyline with both dominated
+            // and undominated vertices.
+            Graph::from_edges(
+                8,
+                [
+                    (0, 1),
+                    (0, 2),
+                    (0, 3),
+                    (4, 1),
+                    (4, 2),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                ],
+            )
+        }
+
+        #[test]
+        fn checkpoint_interval_zero_is_disarmed() {
+            let g = graph();
+            let budget = ExecutionBudget::unlimited().check_interval(1);
+            budget.set_checkpoint_period(0);
+            let mut sink = CountingSink { saves: 0 };
+            let mut ctx = ExecutionContext::new()
+                .budget(&budget)
+                .checkpoint(Some(&mut sink));
+            let run = base_sky_with(&g, &mut ctx);
+            assert_eq!(run.outcome.completion, Completion::Complete);
+            assert_eq!(run.outcome.skyline, base_sky(&g).skyline);
+            assert_eq!(sink.saves, 0, "period 0 must never checkpoint");
+        }
+
+        #[test]
+        fn checkpoint_interval_one_still_converges() {
+            let g = graph();
+            let budget = ExecutionBudget::unlimited().check_interval(1);
+            budget.set_checkpoint_period(1);
+            let mut sink = CountingSink { saves: 0 };
+            let mut ctx = ExecutionContext::new()
+                .budget(&budget)
+                .checkpoint(Some(&mut sink));
+            let run = base_sky_with(&g, &mut ctx);
+            // A checkpoint due on *every* poll must not livelock: the
+            // driver's period backoff still reaches a Complete leg, and
+            // the answer matches the unbudgeted kernel.
+            assert_eq!(run.outcome.completion, Completion::Complete);
+            assert_eq!(run.outcome.skyline, base_sky(&g).skyline);
+            assert!(sink.saves >= 1, "period 1 must checkpoint at least once");
+        }
+
+        #[test]
+        fn expired_deadline_at_entry_returns_sound_partial_immediately() {
+            let g = graph();
+            let budget = ExecutionBudget::with_timeout(Duration::ZERO).check_interval(1);
+            let mut ctx = ExecutionContext::new().budget(&budget);
+            let run = base_sky_with(&g, &mut ctx);
+            assert_eq!(run.outcome.completion, Completion::DeadlineExceeded);
+            // Empty-but-sound: whatever made it in before the first poll
+            // is a subset of the full skyline; nothing is invented.
+            let full = base_sky(&g).skyline;
+            assert!(run.outcome.skyline.iter().all(|v| full.contains(v)));
+            assert!(run.outcome.skyline.len() < full.len());
+        }
+
+        #[test]
+        fn recorder_and_cancel_compose_in_one_context() {
+            let g = graph();
+            let rec = CountingRecorder::new();
+            let token = crate::budget::CancelToken::new();
+            token.cancel();
+            let budget = ExecutionBudget::unlimited()
+                .check_interval(1)
+                .cancelled_by(token);
+            let mut ctx = ExecutionContext::new().budget(&budget).recorder(&rec);
+            let run = base_sky_with(&g, &mut ctx);
+            assert_eq!(run.outcome.completion, Completion::Cancelled);
+            let full = base_sky(&g).skyline;
+            assert!(run.outcome.skyline.iter().all(|v| full.contains(v)));
+            // The recorder observed the run: stats were flushed once at
+            // the end even though the kernel was cancelled mid-flight.
+            assert_eq!(
+                rec.value(crate::obs::Counter::CandidatesEmitted),
+                run.outcome.stats.candidate_count as u64
+            );
+            assert_eq!(
+                rec.value(crate::obs::Counter::PairTests),
+                run.outcome.stats.pair_tests
+            );
+        }
+    }
 }

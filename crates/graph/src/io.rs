@@ -15,6 +15,14 @@ use std::path::Path;
 /// since the graph is sized as `max id + 1`).
 pub const DEFAULT_MAX_VERTEX_ID: VertexId = (1 << 26) - 1;
 
+/// Default cap on one line's length in bytes (64 KiB — three orders of
+/// magnitude above any real edge line, including KONECT's extra weight/
+/// timestamp columns). Without a cap, a single pathological line with no
+/// newline balloons the read buffer to the full input size before the
+/// vertex-id cap ever sees a parsed number; with it, the reader fails
+/// fast with a line-numbered [`ParseError::LineTooLong`].
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 16;
+
 /// Errors from edge-list parsing.
 #[derive(Debug)]
 pub enum ParseError {
@@ -37,6 +45,16 @@ pub enum ParseError {
         /// The cap in force.
         cap: VertexId,
     },
+    /// A line longer than the configured byte cap (guards against one
+    /// newline-free multi-MB line ballooning the read buffer before any
+    /// per-field validation runs). Raised as soon as the cap is crossed,
+    /// without buffering the rest of the line.
+    LineTooLong {
+        /// 1-based line number.
+        line: usize,
+        /// The byte cap in force (line-terminator bytes excluded).
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -53,6 +71,13 @@ impl std::fmt::Display for ParseError {
                      (raise the max-vertex-id limit if the graph really is this large)"
                 )
             }
+            ParseError::LineTooLong { line, limit } => {
+                write!(
+                    f,
+                    "line {line} exceeds the {limit}-byte line cap \
+                     (edge lines are tens of bytes; this input is likely not an edge list)"
+                )
+            }
         }
     }
 }
@@ -61,7 +86,9 @@ impl std::error::Error for ParseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParseError::Io(e) => Some(e),
-            ParseError::Malformed { .. } | ParseError::VertexIdTooLarge { .. } => None,
+            ParseError::Malformed { .. }
+            | ParseError::VertexIdTooLarge { .. }
+            | ParseError::LineTooLong { .. } => None,
         }
     }
 }
@@ -88,10 +115,65 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseError> {
 /// allocation), Windows `\r\n` endings are stripped explicitly, and a
 /// line that is not valid UTF-8 is reported as [`ParseError::Malformed`]
 /// with its 1-based line number instead of a bare, position-free
-/// `InvalidData` I/O error.
+/// `InvalidData` I/O error. Lines longer than
+/// [`DEFAULT_MAX_LINE_BYTES`] fail with [`ParseError::LineTooLong`]
+/// (use [`read_edge_list_limited`] for an explicit cap).
 pub fn read_edge_list_capped<R: BufRead>(
+    reader: R,
+    max_vertex_id: VertexId,
+) -> Result<Graph, ParseError> {
+    read_edge_list_limited(reader, max_vertex_id, DEFAULT_MAX_LINE_BYTES)
+}
+
+/// Reads one line (terminator included) into `buf`, erroring with
+/// [`ParseError::LineTooLong`] the moment the accumulated content
+/// crosses `limit` bytes — the oversized tail is never buffered, so a
+/// newline-free multi-MB line costs at most `limit` bytes of memory.
+/// Returns `false` at EOF with no pending bytes.
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    limit: usize,
+    line: usize,
+) -> Result<bool, ParseError> {
+    loop {
+        let (used, done) = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                return Ok(!buf.is_empty());
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if buf.len() + i > limit {
+                        return Err(ParseError::LineTooLong { line, limit });
+                    }
+                    buf.extend_from_slice(&available[..=i]);
+                    (i + 1, true)
+                }
+                None => {
+                    if buf.len() + available.len() > limit {
+                        return Err(ParseError::LineTooLong { line, limit });
+                    }
+                    buf.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(used);
+        if done {
+            return Ok(true);
+        }
+    }
+}
+
+/// [`read_edge_list_capped`] with an explicit per-line byte cap in
+/// addition to the vertex-id cap: both limits exist so adversarial
+/// input fails fast with a line-numbered error instead of forcing a
+/// large allocation.
+pub fn read_edge_list_limited<R: BufRead>(
     mut reader: R,
     max_vertex_id: VertexId,
+    max_line_bytes: usize,
 ) -> Result<Graph, ParseError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_id: u32 = 0;
@@ -99,7 +181,7 @@ pub fn read_edge_list_capped<R: BufRead>(
     let mut line_no: usize = 0;
     loop {
         buf.clear();
-        if reader.read_until(b'\n', &mut buf)? == 0 {
+        if !read_line_capped(&mut reader, &mut buf, max_line_bytes, line_no + 1)? {
             break; // EOF; a final line without a newline was read above
         }
         line_no += 1;
@@ -283,6 +365,53 @@ mod tests {
             }
             other => panic!("expected VertexIdTooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn multi_mb_single_line_fails_fast_with_line_number() {
+        // A 4 MB newline-free line: without the cap this would balloon
+        // the read buffer to the full input size before any field parse.
+        let mut bytes = b"0 1\n".to_vec();
+        bytes.resize(bytes.len() + (4 << 20), b'7');
+        match read_edge_list(&bytes[..]) {
+            Err(ParseError::LineTooLong { line, limit }) => {
+                assert_eq!(line, 2, "the oversized line is numbered");
+                assert_eq!(limit, DEFAULT_MAX_LINE_BYTES);
+            }
+            other => panic!("expected LineTooLong, got {other:?}"),
+        }
+        // The error fires before the tail is buffered: a tiny explicit
+        // cap rejects an input chunked far past it by the BufReader.
+        let reader = io::BufReader::with_capacity(16, &bytes[..]);
+        match read_edge_list_limited(reader, DEFAULT_MAX_VERTEX_ID, 64) {
+            Err(ParseError::LineTooLong { line, limit }) => {
+                assert_eq!(line, 2);
+                assert_eq!(limit, 64);
+            }
+            other => panic!("expected LineTooLong, got {other:?}"),
+        }
+        let err = read_edge_list(&bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn line_cap_boundary_is_exact() {
+        // Exactly at the cap parses; one byte over fails. Comment lines
+        // obey the cap too (they are read before they are classified).
+        let line = format!("1 2 {}", "w".repeat(60)); // 64 bytes of content
+        assert_eq!(line.len(), 64);
+        let ok = read_edge_list_limited(line.as_bytes(), DEFAULT_MAX_VERTEX_ID, 64).unwrap();
+        assert_eq!(ok.num_edges(), 1);
+        let over = format!("{line}w");
+        match read_edge_list_limited(over.as_bytes(), DEFAULT_MAX_VERTEX_ID, 64) {
+            Err(ParseError::LineTooLong { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected LineTooLong, got {other:?}"),
+        }
+        // CRLF: the \r counts as content only if it fits; a 63-byte
+        // payload + \r still parses under a 64-byte cap.
+        let crlf = format!("1 2 {}\r\n", "w".repeat(58));
+        let g = read_edge_list_limited(crlf.as_bytes(), DEFAULT_MAX_VERTEX_ID, 64).unwrap();
+        assert_eq!(g.num_edges(), 1);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! `nsky-server` — stand-alone daemon binary.
+//!
+//! Loads a graph (edge-list file or named stand-in dataset), binds a
+//! TCP listener, and serves the newline-delimited JSON protocol until a
+//! `shutdown` frame arrives. See DESIGN.md §7 "Serving".
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use nsky_graph::{io, Graph};
+use nsky_server::{Server, ServerConfig};
+
+const HELP: &str = "\
+nsky-server — neighborhood-skyline query daemon
+
+USAGE:
+    nsky-server <EDGE_LIST> [OPTIONS]
+    nsky-server --dataset <NAME> [OPTIONS]
+
+OPTIONS:
+    --dataset <NAME>            serve a built-in dataset (karate, bombing,
+                                or a scalability stand-in name)
+    --addr <HOST:PORT>          bind address        [default: 127.0.0.1:7071]
+    --workers <N>               worker threads      [default: 4]
+    --queue <N>                 accept-queue bound  [default: 64]
+    --default-timeout-ms <N>    per-request deadline when the request
+                                carries none        [default: none]
+    --read-timeout-ms <N>       slow-loris guard    [default: 5000]
+    --max-frame-bytes <N>       request frame cap   [default: 65536]
+    --help                      print this help
+
+Send {\"op\":\"shutdown\"} to drain and stop the daemon.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, message)) => {
+            eprintln!("nsky-server: {message}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+/// Reads `--flag value` from the argument list.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Reads a numeric `--flag value`, defaulting when absent.
+fn numeric(args: &[String], name: &str, default: u64) -> Result<u64, (u8, String)> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(raw) => raw.parse::<u64>().map_err(|_| {
+            (
+                1,
+                format!("{name} expects a non-negative integer, got {raw:?}"),
+            )
+        }),
+    }
+}
+
+fn load_graph(args: &[String]) -> Result<Graph, (u8, String)> {
+    if let Some(name) = flag(args, "--dataset") {
+        return match name {
+            "karate" => Ok(nsky_datasets::karate()),
+            "bombing" => Ok(nsky_datasets::bombing()),
+            other => nsky_datasets::scalability_dataset(other)
+                .map(|spec| spec.build())
+                .ok_or_else(|| (2, format!("unknown dataset {other:?}"))),
+        };
+    }
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| (1, "expected an edge-list file or --dataset NAME".to_owned()))?;
+    io::read_edge_list_file(Path::new(path)).map_err(|e| (2, format!("{path}: {e}")))
+}
+
+fn run(args: &[String]) -> Result<(), (u8, String)> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let graph = load_graph(args)?;
+    let mut config = ServerConfig {
+        addr: flag(args, "--addr").unwrap_or("127.0.0.1:7071").to_owned(),
+        ..ServerConfig::default()
+    };
+    config.workers = usize::try_from(numeric(args, "--workers", 4)?)
+        .map_err(|_| (1, "--workers out of range".to_owned()))?;
+    config.queue_capacity = usize::try_from(numeric(args, "--queue", 64)?)
+        .map_err(|_| (1, "--queue out of range".to_owned()))?;
+    config.max_frame_bytes = usize::try_from(numeric(args, "--max-frame-bytes", 65536)?)
+        .map_err(|_| (1, "--max-frame-bytes out of range".to_owned()))?;
+    config.read_timeout = Duration::from_millis(numeric(args, "--read-timeout-ms", 5000)?);
+    if let Some(ms) = flag(args, "--default-timeout-ms") {
+        let ms = ms
+            .parse::<u64>()
+            .map_err(|_| (1_u8, "--default-timeout-ms expects an integer".to_owned()))?;
+        config.default_timeout = Some(Duration::from_millis(ms));
+    }
+    let n = graph.num_vertices();
+    let handle =
+        Server::start(graph, config).map_err(|e| (2, format!("failed to start server: {e}")))?;
+    println!(
+        "nsky-server listening on {} (n={n}, send {{\"op\":\"shutdown\"}} to stop)",
+        handle.addr()
+    );
+    let stats = handle.join();
+    println!(
+        "nsky-server drained: accepted={} completed={} partial={} shed={} protocol_errors={}",
+        stats.accepted, stats.completed, stats.partial, stats.shed, stats.protocol_errors
+    );
+    Ok(())
+}

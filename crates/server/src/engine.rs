@@ -1,0 +1,340 @@
+//! Per-request query execution: one request, one `ExecutionContext`.
+//!
+//! The engine is the seam between the wire protocol and the kernel
+//! substrate. Every query builds a fresh [`ExecutionBudget`] (deadline,
+//! optional memory cap, the request's own [`CancelToken`] child) and runs
+//! exactly one `*_with` kernel under it, so a tripped budget degrades to
+//! an anytime partial answer — never an error — and a client disconnect
+//! cancels only its own request.
+
+use std::time::Duration;
+
+use nsky_centrality::measure::{Closeness, Harmonic};
+use nsky_centrality::neisky::nei_sky_group_with;
+use nsky_clique::mcbrb::mc_brb_with;
+use nsky_clique::neisky::nei_sky_mc_with;
+use nsky_graph::{Graph, VertexId};
+use nsky_skyline::budget::{CancelToken, ExecutionBudget, TripClock};
+use nsky_skyline::obs::CountingRecorder;
+use nsky_skyline::{
+    base_sky_with, domination, filter_refine_sky_with, Completion, Recorder, RefineConfig,
+};
+
+use crate::json::{self, Value};
+use crate::protocol::ProtocolError;
+
+/// The outcome of one executed query, ready for response assembly.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Kernel identifier recorded in the response's `RunReport`.
+    pub kernel: &'static str,
+    /// How the kernel run ended; anything other than `Complete` marks
+    /// the response `"partial": true`.
+    pub completion: Completion,
+    /// The op-specific result payload.
+    pub result: Value,
+}
+
+/// Builds the per-request budget from the request's knobs.
+///
+/// `trip_after` (a poll-count trip, exact and clock-free) takes
+/// precedence over `timeout_ms` so tests can force deterministic trips;
+/// absent both, `default_timeout` applies. The request's cancel `token`
+/// is always linked so a disconnect trips the budget mid-kernel.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::BadRequest`] for non-numeric knobs.
+pub fn budget_for(
+    req: &Value,
+    default_timeout: Option<Duration>,
+    token: CancelToken,
+) -> Result<ExecutionBudget, ProtocolError> {
+    let mut budget = if let Some(polls) = opt_u64(req, "trip_after")? {
+        ExecutionBudget::unlimited().deadline(TripClock::at_poll(polls))
+    } else if let Some(ms) = opt_u64(req, "timeout_ms")? {
+        ExecutionBudget::with_timeout(Duration::from_millis(ms))
+    } else if let Some(timeout) = default_timeout {
+        ExecutionBudget::with_timeout(timeout)
+    } else {
+        ExecutionBudget::unlimited()
+    };
+    if let Some(mb) = opt_u64(req, "memory_cap_mb")? {
+        let bytes = usize::try_from(mb.saturating_mul(1 << 20)).unwrap_or(usize::MAX);
+        budget = budget.memory_cap(bytes);
+    }
+    if let Some(ticks) = opt_u64(req, "check_interval")? {
+        let ticks = u32::try_from(ticks.min(u64::from(u32::MAX)))
+            .map_err(|_| ProtocolError::BadRequest("check_interval out of range".to_owned()))?;
+        budget = budget.check_interval(ticks);
+    }
+    Ok(budget.cancelled_by(token))
+}
+
+/// Executes one parsed request against the loaded graph.
+///
+/// The recorder is the caller's: the server passes a fresh
+/// `CountingRecorder` per request and folds it into the response's
+/// `RunReport`, so kernels observe a plain [`Recorder`] and the hot
+/// loops keep their bulk-flush contract.
+///
+/// # Errors
+///
+/// Returns a typed [`ProtocolError`] for unknown ops or structurally
+/// invalid arguments; kernel budget trips are *not* errors.
+pub fn execute_query(
+    g: &Graph,
+    req: &Value,
+    default_timeout: Option<Duration>,
+    token: &CancelToken,
+    rec: &CountingRecorder,
+) -> Result<QueryOutcome, ProtocolError> {
+    let op = req
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtocolError::BadRequest("missing string field \"op\"".to_owned()))?;
+    let dyn_rec: &dyn Recorder = rec;
+    match op {
+        "ping" => Ok(QueryOutcome {
+            kernel: "server/ping",
+            completion: Completion::Complete,
+            result: json::obj(vec![("pong", Value::Bool(true))]),
+        }),
+        "skyline" => {
+            let budget = budget_for(req, default_timeout, token.child())?;
+            let algorithm = req
+                .get("algorithm")
+                .and_then(Value::as_str)
+                .unwrap_or("refine");
+            let mut ctx = nsky_skyline::ExecutionContext::new()
+                .budget(&budget)
+                .recorder(dyn_rec);
+            let (kernel, run) = match algorithm {
+                "base" => ("server/base_sky", base_sky_with(g, &mut ctx)),
+                "refine" => (
+                    "server/filter_refine_sky",
+                    filter_refine_sky_with(g, &RefineConfig::default(), &mut ctx),
+                ),
+                other => {
+                    return Err(ProtocolError::BadRequest(format!(
+                        "unknown skyline algorithm {other:?}"
+                    )))
+                }
+            };
+            let outcome = run.outcome;
+            Ok(QueryOutcome {
+                kernel,
+                completion: outcome.completion,
+                result: json::obj(vec![
+                    ("skyline", ids(&outcome.skyline)),
+                    ("size", json::num(outcome.skyline.len() as u64)),
+                    (
+                        "candidates",
+                        json::num(outcome.candidates.as_ref().map_or(0, Vec::len) as u64),
+                    ),
+                ]),
+            })
+        }
+        "dominates" => {
+            let u = vertex(req, "u", g)?;
+            let v = vertex(req, "v", g)?;
+            let result = domination::dominates(g, u, v);
+            Ok(QueryOutcome {
+                kernel: "server/dominates",
+                completion: Completion::Complete,
+                result: json::obj(vec![("dominates", Value::Bool(result))]),
+            })
+        }
+        "clique" => {
+            let budget = budget_for(req, default_timeout, token.child())?;
+            let prune = req.get("prune").and_then(Value::as_bool).unwrap_or(true);
+            let mut ctx = nsky_skyline::ExecutionContext::new()
+                .budget(&budget)
+                .recorder(dyn_rec);
+            let (kernel, clique, completion) = if prune {
+                let run = nei_sky_mc_with(g, &mut ctx);
+                (
+                    "server/nei_sky_mc",
+                    run.outcome.clique,
+                    run.outcome.completion,
+                )
+            } else {
+                let run = mc_brb_with(g, &mut ctx);
+                ("server/mc_brb", run.outcome.clique, run.outcome.completion)
+            };
+            Ok(QueryOutcome {
+                kernel,
+                completion,
+                result: json::obj(vec![
+                    ("size", json::num(clique.len() as u64)),
+                    ("clique", ids(&clique)),
+                ]),
+            })
+        }
+        "group" => {
+            let budget = budget_for(req, default_timeout, token.child())?;
+            let k = usize::try_from(opt_u64(req, "k")?.unwrap_or(2))
+                .map_err(|_| ProtocolError::BadRequest("k out of range".to_owned()))?;
+            let lazy = req.get("lazy").and_then(Value::as_bool).unwrap_or(true);
+            let measure = req
+                .get("measure")
+                .and_then(Value::as_str)
+                .unwrap_or("closeness");
+            let mut ctx = nsky_skyline::ExecutionContext::new()
+                .budget(&budget)
+                .recorder(dyn_rec);
+            let (kernel, run) = match measure {
+                "closeness" => (
+                    "server/nei_sky_group_closeness",
+                    nei_sky_group_with(g, Closeness, k, lazy, &mut ctx),
+                ),
+                "harmonic" => (
+                    "server/nei_sky_group_harmonic",
+                    nei_sky_group_with(g, Harmonic, k, lazy, &mut ctx),
+                ),
+                other => {
+                    return Err(ProtocolError::BadRequest(format!(
+                        "unknown measure {other:?}"
+                    )))
+                }
+            };
+            let outcome = run.outcome;
+            Ok(QueryOutcome {
+                kernel,
+                completion: outcome.greedy.completion,
+                result: json::obj(vec![
+                    ("group", ids(&outcome.greedy.group)),
+                    ("score", Value::Num(outcome.greedy.score)),
+                    ("skyline_size", json::num(outcome.skyline_size as u64)),
+                ]),
+            })
+        }
+        other => Err(ProtocolError::UnknownOp(other.to_owned())),
+    }
+}
+
+/// Renders a vertex list as a JSON array of numbers.
+fn ids(list: &[VertexId]) -> Value {
+    Value::Array(list.iter().map(|&v| json::num(u64::from(v))).collect())
+}
+
+/// Reads an optional non-negative integer field.
+fn opt_u64(req: &Value, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match req.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ProtocolError::BadRequest(format!("field {key:?} must be a non-negative integer"))
+        }),
+    }
+}
+
+/// Reads a required vertex-id field and bounds-checks it.
+fn vertex(req: &Value, key: &str, g: &Graph) -> Result<VertexId, ProtocolError> {
+    let raw = opt_u64(req, key)?
+        .ok_or_else(|| ProtocolError::BadRequest(format!("missing vertex field {key:?}")))?;
+    let id = VertexId::try_from(raw)
+        .map_err(|_| ProtocolError::BadRequest(format!("vertex {key:?} out of range")))?;
+    if (id as usize) < g.num_vertices() {
+        Ok(id)
+    } else {
+        Err(ProtocolError::BadRequest(format!(
+            "vertex {key:?}={id} not in graph (n={})",
+            g.num_vertices()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsky_datasets::karate;
+    use nsky_skyline::filter_refine_sky;
+
+    fn run(req: &str) -> Result<QueryOutcome, ProtocolError> {
+        let g = karate();
+        let parsed = crate::protocol::parse_request(req).unwrap();
+        let rec = CountingRecorder::new();
+        execute_query(&g, &parsed, None, &CancelToken::new(), &rec)
+    }
+
+    #[test]
+    fn skyline_matches_direct_kernel() {
+        let g = karate();
+        let out = run(r#"{"op":"skyline"}"#).unwrap();
+        assert_eq!(out.completion, Completion::Complete);
+        let expected = filter_refine_sky(&g, &RefineConfig::default());
+        let got: Vec<u64> = out
+            .result
+            .get("skyline")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_u64)
+            .collect();
+        let want: Vec<u64> = expected.skyline.iter().map(|&v| u64::from(v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn trip_after_yields_partial_subset() {
+        let g = karate();
+        let out = run(r#"{"op":"skyline","trip_after":1,"check_interval":1}"#).unwrap();
+        assert!(!out.completion.is_complete());
+        let full = filter_refine_sky(&g, &RefineConfig::default());
+        let got: Vec<u64> = out
+            .result
+            .get("skyline")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_u64)
+            .collect();
+        assert!(got
+            .iter()
+            .all(|v| full.skyline.iter().any(|&w| u64::from(w) == *v)));
+    }
+
+    #[test]
+    fn dominates_bounds_checked() {
+        assert!(matches!(
+            run(r#"{"op":"dominates","u":0,"v":9999}"#),
+            Err(ProtocolError::BadRequest(_))
+        ));
+        let out = run(r#"{"op":"dominates","u":33,"v":8}"#).unwrap();
+        assert_eq!(
+            out.result.get("dominates").and_then(Value::as_bool),
+            Some(domination::dominates(&karate(), 33, 8))
+        );
+    }
+
+    #[test]
+    fn clique_and_group_execute() {
+        let clique = run(r#"{"op":"clique"}"#).unwrap();
+        assert!(clique.result.get("size").and_then(Value::as_u64) >= Some(3));
+        let group = run(r#"{"op":"group","k":2,"measure":"harmonic"}"#).unwrap();
+        assert_eq!(
+            group
+                .result
+                .get("group")
+                .and_then(|v| v.as_array())
+                .map(<[Value]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn unknown_op_and_bad_fields_are_typed() {
+        assert!(matches!(
+            run(r#"{"op":"explode"}"#),
+            Err(ProtocolError::UnknownOp(_))
+        ));
+        assert!(matches!(
+            run(r#"{"op":"skyline","trip_after":-1}"#),
+            Err(ProtocolError::BadRequest(_))
+        ));
+        assert!(matches!(
+            run(r#"{"nota":"request"}"#),
+            Err(ProtocolError::BadRequest(_))
+        ));
+    }
+}

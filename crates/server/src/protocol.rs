@@ -1,0 +1,252 @@
+//! Wire protocol: newline-delimited JSON frames with hard caps.
+//!
+//! One request is one line of JSON terminated by `\n`; one response is one
+//! line of JSON terminated by `\n`. A connection may pipeline any number
+//! of request/response exchanges. Frames larger than the configured cap,
+//! frames that are not valid JSON objects, and clients that dribble bytes
+//! slower than the read timeout all receive a typed error response and a
+//! connection teardown — other connections are unaffected.
+
+use std::fmt;
+use std::io::{self, BufRead};
+
+use crate::json::{self, Value};
+
+/// Default cap on a single request frame, in bytes.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Typed protocol-level failures. Each maps to a wire `error` code; after
+/// sending it the server tears the connection down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame was not valid JSON, or not a JSON object.
+    MalformedFrame(String),
+    /// The frame exceeded the configured byte cap before a newline.
+    OversizedFrame {
+        /// The configured cap the frame overran.
+        limit: usize,
+    },
+    /// The client stalled past the read timeout mid-frame (slow loris).
+    ReadTimeout,
+    /// The connection dropped mid-frame (torn frame / half-open close).
+    Disconnected,
+    /// `op` was missing or not one the server understands.
+    UnknownOp(String),
+    /// The request was structurally valid JSON but semantically bad.
+    BadRequest(String),
+}
+
+impl ProtocolError {
+    /// The stable wire code for this error.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::MalformedFrame(_) => "malformed_frame",
+            ProtocolError::OversizedFrame { .. } => "oversized_frame",
+            ProtocolError::ReadTimeout => "read_timeout",
+            ProtocolError::Disconnected => "disconnected",
+            ProtocolError::UnknownOp(_) => "unknown_op",
+            ProtocolError::BadRequest(_) => "bad_request",
+        }
+    }
+
+    /// Renders the one-line error response for this failure.
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        let mut line = json::obj(vec![
+            ("ok", Value::Bool(false)),
+            ("error", json::s(self.code())),
+            ("message", json::s(&self.to_string())),
+        ])
+        .to_string();
+        line.push('\n');
+        line
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::MalformedFrame(detail) => write!(f, "malformed frame: {detail}"),
+            ProtocolError::OversizedFrame { limit } => {
+                write!(f, "frame exceeds the {limit}-byte cap")
+            }
+            ProtocolError::ReadTimeout => f.write_str("read timed out mid-frame"),
+            ProtocolError::Disconnected => f.write_str("connection closed mid-frame"),
+            ProtocolError::UnknownOp(op) => write!(f, "unknown op {op:?}"),
+            ProtocolError::BadRequest(detail) => write!(f, "bad request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Outcome of reading one frame off a connection.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete line was read (newline stripped).
+    Line(String),
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// A protocol fault; the caller should respond (if possible) and tear
+    /// the connection down.
+    Fault(ProtocolError),
+}
+
+/// Reads one newline-terminated frame, enforcing the byte cap.
+///
+/// A cap overrun is detected *before* buffering the oversized tail, so a
+/// hostile client cannot balloon server memory. Timeouts and disconnects
+/// *mid-frame* surface as [`Frame::Fault`]; the same conditions between
+/// frames (empty buffer) are a clean idle close ([`Frame::Eof`]). Only
+/// unexpected I/O errors are returned as `Err`.
+///
+/// # Errors
+///
+/// Returns any I/O error other than timeout/disconnect classes, which are
+/// mapped to typed faults instead.
+pub fn read_frame<R: BufRead>(reader: &mut R, max_frame_bytes: usize) -> io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (used, done) = {
+            let available = match reader.fill_buf() {
+                Ok(available) => available,
+                Err(e) => match classify_io(&e) {
+                    // A timeout or disconnect *between* frames (nothing
+                    // buffered) is an idle keep-alive connection, not a
+                    // protocol fault: close it cleanly. Mid-frame it is a
+                    // slow loris / torn frame and stays typed.
+                    Some(_) if buf.is_empty() => return Ok(Frame::Eof),
+                    Some(fault) => return Ok(Frame::Fault(fault)),
+                    None => return Err(e),
+                },
+            };
+            if available.is_empty() {
+                if buf.is_empty() {
+                    return Ok(Frame::Eof);
+                }
+                return Ok(Frame::Fault(ProtocolError::Disconnected));
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if buf.len() + i > max_frame_bytes {
+                        return Ok(Frame::Fault(ProtocolError::OversizedFrame {
+                            limit: max_frame_bytes,
+                        }));
+                    }
+                    buf.extend_from_slice(&available[..i]);
+                    (i + 1, true)
+                }
+                None => {
+                    if buf.len() + available.len() > max_frame_bytes {
+                        return Ok(Frame::Fault(ProtocolError::OversizedFrame {
+                            limit: max_frame_bytes,
+                        }));
+                    }
+                    buf.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(used);
+        if done {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return match String::from_utf8(buf) {
+                Ok(line) => Ok(Frame::Line(line)),
+                Err(_) => Ok(Frame::Fault(ProtocolError::MalformedFrame(
+                    "frame is not valid UTF-8".to_owned(),
+                ))),
+            };
+        }
+    }
+}
+
+/// Maps I/O error kinds to protocol faults where the protocol defines one.
+fn classify_io(e: &io::Error) -> Option<ProtocolError> {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => Some(ProtocolError::ReadTimeout),
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::UnexpectedEof => Some(ProtocolError::Disconnected),
+        _ => None,
+    }
+}
+
+/// Parses a frame body into a request object.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::MalformedFrame`] when the body is not a JSON
+/// object.
+pub fn parse_request(line: &str) -> Result<Value, ProtocolError> {
+    match json::parse(line) {
+        Ok(v @ Value::Object(_)) => Ok(v),
+        Ok(_) => Err(ProtocolError::MalformedFrame(
+            "request must be a JSON object".to_owned(),
+        )),
+        Err(e) => Err(ProtocolError::MalformedFrame(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn reads_pipelined_frames_and_eof() {
+        let mut r = BufReader::new(&b"{\"op\":\"ping\"}\n{\"op\":\"stats\"}\r\n"[..]);
+        match read_frame(&mut r, 1024).unwrap() {
+            Frame::Line(l) => assert_eq!(l, "{\"op\":\"ping\"}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match read_frame(&mut r, 1024).unwrap() {
+            Frame::Line(l) => assert_eq!(l, "{\"op\":\"stats\"}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(read_frame(&mut r, 1024).unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_buffering() {
+        let big = vec![b'x'; 4 << 20];
+        let mut r = BufReader::new(&big[..]);
+        match read_frame(&mut r, 64).unwrap() {
+            Frame::Fault(ProtocolError::OversizedFrame { limit: 64 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_a_disconnect_fault() {
+        let mut r = BufReader::new(&b"{\"op\":\"sky"[..]);
+        match read_frame(&mut r, 1024).unwrap() {
+            Frame::Fault(ProtocolError::Disconnected) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        assert!(matches!(
+            parse_request("\u{1}\u{2}garbage"),
+            Err(ProtocolError::MalformedFrame(_))
+        ));
+        assert!(matches!(
+            parse_request("[1,2,3]"),
+            Err(ProtocolError::MalformedFrame(_))
+        ));
+    }
+
+    #[test]
+    fn wire_errors_are_single_lines_with_codes() {
+        let wire = ProtocolError::ReadTimeout.to_wire();
+        assert!(wire.ends_with('\n'));
+        let v = json::parse(wire.trim_end()).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("read_timeout"));
+    }
+}

@@ -1,0 +1,585 @@
+//! The daemon: accept loop, bounded queue, worker pool, disconnect
+//! monitor, load shedding and drain-on-shutdown.
+//!
+//! Thread layout: one non-blocking accept loop, `workers` request
+//! threads, and one disconnect monitor. Accepted connections flow
+//! through a bounded queue; when it is full the accept loop *sheds* —
+//! it answers `overloaded` with a `retry_after_ms` hint and closes,
+//! instead of queueing unboundedly. A `shutdown` frame (or
+//! [`ServerHandle::shutdown_and_drain`]) starts a drain: no new
+//! connections are accepted, in-flight requests run to completion, and
+//! once the drain deadline passes the drain [`CancelToken`] is raised so
+//! still-running kernels degrade to partial answers instead of holding
+//! shutdown hostage.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{Builder, JoinHandle};
+use std::time::{Duration, Instant};
+
+use nsky_graph::Graph;
+use nsky_skyline::budget::CancelToken;
+use nsky_skyline::obs::{CountingRecorder, RunReport};
+
+use crate::engine::{execute_query, QueryOutcome};
+use crate::json::{self, Value};
+use crate::protocol::{self, Frame};
+
+/// Tuning knobs for [`Server::start`]. `Default` is production-shaped;
+/// tests shrink the timeouts and the queue to force faults fast.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Number of request worker threads.
+    pub workers: usize,
+    /// Bounded accept-queue depth; connections beyond it are shed.
+    pub queue_capacity: usize,
+    /// Per-frame byte cap (see [`protocol::read_frame`]).
+    pub max_frame_bytes: usize,
+    /// Slow-loris guard: max quiet time mid-frame before teardown.
+    pub read_timeout: Duration,
+    /// Max time a response write may stall before teardown.
+    pub write_timeout: Duration,
+    /// How long a drain waits for in-flight requests before raising the
+    /// drain token and forcing partial answers.
+    pub drain_deadline: Duration,
+    /// Backoff hint attached to `overloaded` responses.
+    pub retry_after_ms: u64,
+    /// Deadline applied to requests that do not carry `timeout_ms`.
+    pub default_timeout: Option<Duration>,
+    /// Disconnect-monitor polling period.
+    pub monitor_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(5),
+            retry_after_ms: 100,
+            default_timeout: None,
+            monitor_poll: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (including ones later shed is *not* counted
+    /// here — shed connections are counted in `shed` only).
+    pub accepted: u64,
+    /// Connections refused with an `overloaded` response.
+    pub shed: u64,
+    /// Requests answered with `"partial": false`.
+    pub completed: u64,
+    /// Requests answered with `"partial": true`.
+    pub partial: u64,
+    /// Requests whose cancel token was raised by a disconnect.
+    pub cancelled: u64,
+    /// Typed protocol errors sent before teardown.
+    pub protocol_errors: u64,
+    /// Connections currently waiting in the accept queue.
+    pub queued: usize,
+    /// Requests currently executing a kernel.
+    pub active: usize,
+}
+
+/// Atomic counter block shared by every server thread.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    partial: AtomicU64,
+    cancelled: AtomicU64,
+    protocol_errors: AtomicU64,
+    active: AtomicUsize,
+}
+
+/// One in-flight request registered with the disconnect monitor.
+struct MonitorEntry {
+    stream: TcpStream,
+    token: CancelToken,
+    done: Arc<AtomicBool>,
+}
+
+struct Shared {
+    graph: Graph,
+    fingerprint: u64,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+    drain_token: CancelToken,
+    counters: Counters,
+    monitor: Mutex<Vec<MonitorEntry>>,
+}
+
+impl Shared {
+    /// Locks a mutex, surviving a poisoned lock: a panicking worker must
+    /// not wedge every other connection (and the fault suite asserts
+    /// zero panics anyway).
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        match m.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            partial: self.counters.partial.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            queued: self.lock(&self.queue).len(),
+            active: self.counters.active.load(Ordering::Relaxed),
+        }
+    }
+
+    fn is_draining(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in
+        // `begin_drain` so a worker that observes the flag also observes
+        // everything written before the drain started.
+        self.draining.load(Ordering::Acquire)
+    }
+
+    fn begin_drain(&self) {
+        // ORDERING: Release pairs with the Acquire in `is_draining`.
+        self.draining.store(true, Ordering::Release);
+        self.available.notify_all();
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown_and_drain`] (or send a `shutdown`
+/// frame and then [`ServerHandle::join`]) to stop it and reap every
+/// thread.
+pub struct Server;
+
+/// Handle to a running server: its bound address, live stats, and the
+/// join/shutdown controls.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Loads `graph` and starts serving on `config.addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the listener cannot bind or
+    /// a thread cannot spawn.
+    pub fn start(graph: Graph, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let fingerprint = graph.fingerprint();
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            graph,
+            fingerprint,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            drain_token: CancelToken::new(),
+            counters: Counters::default(),
+            monitor: Mutex::new(Vec::new()),
+        });
+        let mut threads = Vec::with_capacity(workers + 2);
+        let accept_shared = Arc::clone(&shared);
+        threads.push(
+            Builder::new()
+                .name("nsky-accept".to_owned())
+                .spawn(move || accept_loop(&accept_shared, &listener))?,
+        );
+        for i in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            threads.push(
+                Builder::new()
+                    .name(format!("nsky-worker-{i}"))
+                    .spawn(move || worker_loop(&worker_shared))?,
+            );
+        }
+        let monitor_shared = Arc::clone(&shared);
+        threads.push(
+            Builder::new()
+                .name("nsky-monitor".to_owned())
+                .spawn(move || monitor_loop(&monitor_shared))?,
+        );
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the live counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Starts a drain (idempotent) and blocks until every server thread
+    /// has exited, returning the final counters. This is the leak
+    /// check: a wedged worker would hang the join, not leak silently.
+    pub fn shutdown_and_drain(self) -> ServerStats {
+        self.shared.begin_drain();
+        self.join()
+    }
+
+    /// Blocks until the server exits (a `shutdown` frame or a prior
+    /// drain), reaping every thread.
+    pub fn join(self) -> ServerStats {
+        let ServerHandle {
+            shared, threads, ..
+        } = self;
+        for t in threads {
+            // A panicked thread is already torn down; joining the rest
+            // still reaps every handle.
+            let _ = t.join();
+        }
+        shared.stats()
+    }
+}
+
+/// Accept loop: admits, sheds, and — once draining — supervises the
+/// drain deadline before exiting.
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    while !shared.is_draining() {
+        match listener.accept() {
+            Ok((stream, _)) => admit(shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Drain supervision: give in-flight work `drain_deadline`, then
+    // raise the drain token so kernels trip to partial answers.
+    let start = Instant::now();
+    loop {
+        let idle = shared.lock(&shared.queue).is_empty()
+            && shared.counters.active.load(Ordering::Relaxed) == 0;
+        if idle {
+            break;
+        }
+        if start.elapsed() >= shared.config.drain_deadline {
+            shared.drain_token.cancel();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // ORDERING: Release pairs with the Acquire in `monitor_loop`; the
+    // monitor exits only after the accept loop finished supervising.
+    shared.stopped.store(true, Ordering::Release);
+    shared.available.notify_all();
+}
+
+/// Admits one accepted connection, shedding if the queue is full.
+fn admit(shared: &Shared, mut stream: TcpStream) {
+    {
+        let mut queue = shared.lock(&shared.queue);
+        if queue.len() < shared.config.queue_capacity {
+            queue.push_back(stream);
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.available.notify_one();
+            return;
+        }
+    }
+    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+    let mut line = json::obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", json::s("overloaded")),
+        ("retry_after_ms", json::num(shared.config.retry_after_ms)),
+    ])
+    .to_string();
+    line.push('\n');
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.write_all(line.as_bytes());
+    // Dropping the stream closes the shed connection.
+}
+
+/// Worker loop: pop a connection, serve it, repeat until drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.lock(&shared.queue);
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if shared.is_draining() {
+                    break None;
+                }
+                let pair = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = pair.0;
+            }
+        };
+        match conn {
+            Some(stream) => serve_connection(shared, stream),
+            None => return,
+        }
+    }
+}
+
+/// Serves one connection: pipelined request frames until EOF, fault, or
+/// drain.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    if stream
+        .set_read_timeout(Some(shared.config.read_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(shared.config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let conn_token = shared.drain_token.child();
+    loop {
+        match protocol::read_frame(&mut reader, shared.config.max_frame_bytes) {
+            Err(_) | Ok(Frame::Eof) => return,
+            Ok(Frame::Fault(fault)) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = writer.write_all(fault.to_wire().as_bytes());
+                return;
+            }
+            Ok(Frame::Line(line)) => {
+                let keep_alive = handle_frame(shared, &mut writer, &conn_token, &line);
+                if !keep_alive || shared.is_draining() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Handles one frame; returns whether the connection stays open.
+fn handle_frame(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    conn_token: &CancelToken,
+    line: &str,
+) -> bool {
+    let req = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err(fault) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = writer.write_all(fault.to_wire().as_bytes());
+            return false;
+        }
+    };
+    match req.get("op").and_then(Value::as_str) {
+        Some("shutdown") => {
+            shared.begin_drain();
+            let mut line = json::obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", json::s("shutdown")),
+                ("draining", Value::Bool(true)),
+            ])
+            .to_string();
+            line.push('\n');
+            let _ = writer.write_all(line.as_bytes());
+            false
+        }
+        Some("stats") => {
+            let stats = shared.stats();
+            let mut line = json::obj(vec![
+                ("ok", Value::Bool(true)),
+                ("op", json::s("stats")),
+                (
+                    "result",
+                    json::obj(vec![
+                        ("accepted", json::num(stats.accepted)),
+                        ("shed", json::num(stats.shed)),
+                        ("completed", json::num(stats.completed)),
+                        ("partial", json::num(stats.partial)),
+                        ("cancelled", json::num(stats.cancelled)),
+                        ("protocol_errors", json::num(stats.protocol_errors)),
+                        ("queued", json::num(stats.queued as u64)),
+                        ("active", json::num(stats.active as u64)),
+                    ]),
+                ),
+            ])
+            .to_string();
+            line.push('\n');
+            writer.write_all(line.as_bytes()).is_ok()
+        }
+        _ => serve_request(shared, writer, conn_token, &req),
+    }
+}
+
+/// Runs one query request under its own budget/token/recorder and
+/// writes the one-line response. Returns whether the connection stays
+/// open.
+fn serve_request(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    conn_token: &CancelToken,
+    req: &Value,
+) -> bool {
+    let req_token = conn_token.child();
+    let rec = CountingRecorder::new();
+    let started = Instant::now();
+    shared.counters.active.fetch_add(1, Ordering::Relaxed);
+    let registered = register_monitor(shared, writer, &req_token);
+    let outcome = execute_query(
+        &shared.graph,
+        req,
+        shared.config.default_timeout,
+        &req_token,
+        &rec,
+    );
+    if let Some(done) = registered {
+        done.store(true, Ordering::Release);
+        // Restore blocking mode for the response write; the monitor's
+        // clone shares the flag and flipped it for non-blocking peeks.
+        let _ = writer.set_nonblocking(false);
+    }
+    shared.counters.active.fetch_sub(1, Ordering::Relaxed);
+    match outcome {
+        Ok(outcome) => {
+            let partial = !outcome.completion.is_complete();
+            if partial {
+                shared.counters.partial.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            let line = render_response(shared, req, &outcome, &rec, started);
+            writer.write_all(line.as_bytes()).is_ok()
+        }
+        Err(fault) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = writer.write_all(fault.to_wire().as_bytes());
+            false
+        }
+    }
+}
+
+/// Registers the request with the disconnect monitor; returns the done
+/// flag on success. Failure to clone the socket simply skips disconnect
+/// detection for this request.
+fn register_monitor(
+    shared: &Shared,
+    stream: &TcpStream,
+    token: &CancelToken,
+) -> Option<Arc<AtomicBool>> {
+    let clone = stream.try_clone().ok()?;
+    // The worker does not touch the socket while the kernel runs, so the
+    // monitor flips the shared O_NONBLOCK flag for its peeks; the worker
+    // restores blocking mode before writing the response.
+    clone.set_nonblocking(true).ok()?;
+    let done = Arc::new(AtomicBool::new(false));
+    shared.lock(&shared.monitor).push(MonitorEntry {
+        stream: clone,
+        // A *clone* (same flag), not a child: raising it must be
+        // observed by the budget linked to this request's token.
+        token: token.clone(),
+        done: Arc::clone(&done),
+    });
+    Some(done)
+}
+
+/// Disconnect monitor: peeks every registered in-flight socket; EOF or a
+/// reset raises that request's token so the kernel trips mid-run.
+fn monitor_loop(shared: &Shared) {
+    // ORDERING: Acquire pairs with the Release in `accept_loop`.
+    while !shared.stopped.load(Ordering::Acquire) {
+        std::thread::sleep(shared.config.monitor_poll);
+        let mut entries = shared.lock(&shared.monitor);
+        entries.retain(|entry| {
+            // ORDERING: Acquire pairs with the worker's Release store;
+            // a done request must not be peeked again.
+            if entry.done.load(Ordering::Acquire) {
+                return false;
+            }
+            let mut probe = [0_u8; 1];
+            match entry.stream.peek(&mut probe) {
+                Ok(0) => {
+                    entry.token.cancel();
+                    shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+                Ok(_) => true,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => true,
+                Err(_) => {
+                    entry.token.cancel();
+                    shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        });
+    }
+}
+
+/// Renders the success envelope: result + completion + RunReport.
+fn render_response(
+    shared: &Shared,
+    req: &Value,
+    outcome: &QueryOutcome,
+    rec: &CountingRecorder,
+    started: Instant,
+) -> String {
+    let partial = !outcome.completion.is_complete();
+    let mut report =
+        RunReport::from_recorder(outcome.kernel, shared.fingerprint, outcome.completion, rec);
+    if partial {
+        report.push_event(format!("server: partial answer ({})", outcome.completion));
+    }
+    let op = req.get("op").and_then(Value::as_str).unwrap_or("?");
+    let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let mut line = json::obj(vec![
+        ("ok", Value::Bool(true)),
+        ("op", json::s(op)),
+        ("partial", Value::Bool(partial)),
+        ("completion", json::s(&outcome.completion.to_string())),
+        ("elapsed_ms", json::num(elapsed_ms)),
+        ("result", outcome.result.clone()),
+        ("report", json::s(&report.to_json())),
+    ])
+    .to_string();
+    line.push('\n');
+    line
+}

@@ -1,0 +1,8 @@
+//! Fixture: a server library module that logs to stdout.
+
+#![forbid(unsafe_code)]
+
+/// Documented, so only `no-stdout` fires here.
+pub fn log_request() {
+    println!("accepted connection");
+}

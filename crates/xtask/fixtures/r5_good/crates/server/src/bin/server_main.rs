@@ -1,0 +1,5 @@
+//! Fixture: server binaries under `src/bin` are exempt from `no-stdout`.
+
+fn main() {
+    println!("nsky-server listening");
+}

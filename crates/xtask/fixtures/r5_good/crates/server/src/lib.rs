@@ -1,0 +1,9 @@
+//! Fixture: a quiet server library; its binaries may print.
+
+#![forbid(unsafe_code)]
+
+/// Renders a canned response without touching stdout.
+#[must_use]
+pub fn respond() -> &'static str {
+    "{\"ok\":true}"
+}

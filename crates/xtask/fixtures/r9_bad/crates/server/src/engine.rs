@@ -1,0 +1,7 @@
+//! Fixture: a server query engine whose entry point never accepts an
+//! observability recorder.
+
+/// Executes a query with no way to observe kernel counters.
+pub fn execute_query(xs: &[u32]) -> u32 {
+    xs.iter().copied().sum()
+}

@@ -1,0 +1,13 @@
+//! Fixture: an instrumented server engine.
+
+/// A stand-in observability sink.
+pub trait Recorder {
+    /// Notes one unit of work.
+    fn add(&mut self, n: u64);
+}
+
+/// Executes a query, reporting work to `rec`.
+pub fn execute_query(xs: &[u32], rec: &mut dyn Recorder) -> u32 {
+    rec.add(1);
+    xs.iter().copied().sum()
+}

@@ -91,6 +91,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "centrality",
     "clique",
     "datasets",
+    "server",
 ];
 
 /// The policy rules, in DESIGN.md §8 order.

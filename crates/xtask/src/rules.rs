@@ -417,6 +417,7 @@ const OBS_MODULES: &[&str] = &[
     "crates/clique/src/topk.rs",
     "crates/centrality/src/greedy.rs",
     "crates/centrality/src/neisky.rs",
+    "crates/server/src/engine.rs",
 ];
 
 /// R9 `obs-instrumented`: every kernel module with public entry points

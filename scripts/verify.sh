@@ -52,6 +52,16 @@ step cargo test -q -p nsky-integration --test obs_invariants
 # checkpoint, damaged resume) with sound partial answers, graceful
 # degradation of unusable checkpoints, and byte-identical no-fault runs.
 step cargo test -q -p nsky-integration --test fault_matrix
+# Serving gate, likewise run by name: the byzantine-client matrix (torn
+# frames, garbage, oversized frames, slow loris, floods past the shed
+# threshold, mid-kernel disconnects, shutdown drain) must produce typed
+# errors and sound partial answers with zero panics and zero leaked
+# worker threads.
+step cargo test -q -p nsky-integration --test server_faults
+# Loadgen smoke: the open-loop generator must drive an in-process server
+# end to end with a fault mix and exit zero (healthy requests all
+# succeed) even in quick mode.
+step env NSKY_QUICK=1 cargo run -q --release -p nsky-server --bin nsky-loadgen -- --fault-mix 10
 
 echo
 echo "verify: all gates passed"

@@ -1,0 +1,408 @@
+//! Deterministic fault-injection suite for `nsky-server`, in the spirit
+//! of `fault_matrix.rs`: byzantine clients driven against a real
+//! in-process server.
+//!
+//! Asserts, across the full matrix (torn frames, garbage bytes,
+//! oversized frames, half-open connects, mid-response disconnects,
+//! floods past the shed threshold):
+//!
+//! - zero panics and zero leaked worker threads — every test ends in
+//!   `shutdown_and_drain()`, which joins every server thread;
+//! - partial-answer soundness — a deadline-tripped skyline is a subset
+//!   of the full skyline computed in-process;
+//! - healthy-client latency stays bounded while faulty clients
+//!   misbehave;
+//! - load past the shed threshold yields `overloaded` + `retry_after_ms`
+//!   while an in-flight healthy request still completes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use nsky_server::json::{self, Value};
+use nsky_server::{Server, ServerConfig, ServerHandle};
+use nsky_skyline::obs::RunReport;
+use nsky_skyline::{filter_refine_sky, RefineConfig};
+
+/// Small, aggressive config: faults resolve in milliseconds.
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 4,
+        max_frame_bytes: 4096,
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_millis(300),
+        drain_deadline: Duration::from_millis(500),
+        retry_after_ms: 25,
+        monitor_poll: Duration::from_millis(5),
+        ..ServerConfig::default()
+    }
+}
+
+fn start_karate(config: ServerConfig) -> ServerHandle {
+    Server::start(nsky_datasets::karate(), config).expect("server must start")
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set client read timeout");
+    stream
+}
+
+/// One-shot healthy request: fresh connection, one frame, one response.
+fn request(addr: SocketAddr, line: &str) -> Value {
+    let mut stream = connect(addr);
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send newline");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    json::parse(response.trim_end()).expect("response must be JSON")
+}
+
+/// Polls `stats` until `pred` holds or five seconds pass.
+fn wait_for(handle: &ServerHandle, pred: impl Fn(&nsky_server::ServerStats) -> bool) {
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_secs(5) {
+        if pred(&handle.stats()) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!(
+        "condition not reached within 5s; stats = {:?}",
+        handle.stats()
+    );
+}
+
+fn skyline_ids(resp: &Value) -> Vec<u32> {
+    resp.get("result")
+        .and_then(|r| r.get("skyline"))
+        .and_then(Value::as_array)
+        .expect("skyline array")
+        .iter()
+        .filter_map(Value::as_u64)
+        .map(|v| u32::try_from(v).expect("vertex id"))
+        .collect()
+}
+
+#[test]
+fn healthy_round_trip_all_ops_with_valid_reports() {
+    let handle = start_karate(test_config());
+    let addr = handle.addr();
+    let full = filter_refine_sky(&nsky_datasets::karate(), &RefineConfig::default());
+
+    let resp = request(addr, r#"{"op":"skyline"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(resp.get("partial").and_then(Value::as_bool), Some(false));
+    assert_eq!(skyline_ids(&resp), full.skyline);
+
+    // The embedded report is a checksum-valid RunReport v1.
+    let report_text = resp
+        .get("report")
+        .and_then(Value::as_str)
+        .expect("report field");
+    let report = RunReport::from_json(report_text).expect("checksum-valid report");
+    assert_eq!(report.kernel, "server/filter_refine_sky");
+    assert!(report.counter("candidates_emitted").is_some());
+
+    for (line, field) in [
+        (r#"{"op":"skyline","algorithm":"base"}"#, "skyline"),
+        (r#"{"op":"dominates","u":33,"v":8}"#, "dominates"),
+        (r#"{"op":"clique"}"#, "clique"),
+        (r#"{"op":"clique","prune":false}"#, "clique"),
+        (r#"{"op":"group","k":2}"#, "group"),
+        (r#"{"op":"group","k":2,"measure":"harmonic"}"#, "group"),
+    ] {
+        let resp = request(addr, line);
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "request {line} failed: {resp}"
+        );
+        assert!(
+            resp.get("result").and_then(|r| r.get(field)).is_some(),
+            "request {line} missing result.{field}: {resp}"
+        );
+    }
+
+    let resp = request(addr, r#"{"op":"ping"}"#);
+    assert_eq!(
+        resp.get("result").and_then(|r| r.get("pong")),
+        Some(&Value::Bool(true))
+    );
+
+    // Pipelining: two requests on one connection, two responses.
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n")
+        .expect("pipelined send");
+    let mut reader = BufReader::new(stream);
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("pipelined response");
+        let v = json::parse(line.trim_end()).expect("pipelined JSON");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    let stats = handle.shutdown_and_drain();
+    assert!(stats.completed >= 9);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn deadline_partials_are_sound_subsets_never_errors() {
+    let handle = start_karate(test_config());
+    let addr = handle.addr();
+    let full = filter_refine_sky(&nsky_datasets::karate(), &RefineConfig::default());
+
+    // An exact-poll trip: partial, never an error.
+    let resp = request(
+        addr,
+        r#"{"op":"skyline","trip_after":1,"check_interval":1}"#,
+    );
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(resp.get("partial").and_then(Value::as_bool), Some(true));
+    let partial = skyline_ids(&resp);
+    assert!(
+        partial.iter().all(|v| full.skyline.contains(v)),
+        "partial {partial:?} must be a subset of {:?}",
+        full.skyline
+    );
+    assert!(partial.len() < full.skyline.len());
+
+    // A deadline already expired at entry: still a sound response.
+    let resp = request(addr, r#"{"op":"skyline","timeout_ms":0}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(resp.get("partial").and_then(Value::as_bool), Some(true));
+    let partial = skyline_ids(&resp);
+    assert!(partial.iter().all(|v| full.skyline.contains(v)));
+
+    // The partial's report still decodes and names the trip.
+    let report = RunReport::from_json(
+        resp.get("report")
+            .and_then(Value::as_str)
+            .expect("report on partial"),
+    )
+    .expect("partial report is checksum-valid");
+    assert_eq!(report.completion, "DeadlineExceeded");
+
+    let stats = handle.shutdown_and_drain();
+    assert_eq!(stats.partial, 2);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn byzantine_clients_get_typed_errors_and_healthy_traffic_survives() {
+    let handle = start_karate(test_config());
+    let addr = handle.addr();
+    let healthy = |label: &str| {
+        let started = Instant::now();
+        let resp = request(addr, r#"{"op":"skyline"}"#);
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "healthy request after {label} failed: {resp}"
+        );
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "healthy latency after {label} unbounded: {elapsed:?}"
+        );
+    };
+
+    // Torn frame: half a request, then close. The server reads EOF
+    // mid-frame and tears down without a response.
+    {
+        let mut stream = connect(addr);
+        stream.write_all(b"{\"op\":\"sky").expect("torn send");
+        drop(stream);
+    }
+    healthy("torn frame");
+
+    // Garbage bytes: typed malformed_frame error, then teardown.
+    {
+        let mut stream = connect(addr);
+        stream
+            .write_all(b"\x01\x02 not json at all\n")
+            .expect("garbage send");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("error response");
+        let v = json::parse(line.trim_end()).expect("typed error is JSON");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("malformed_frame")
+        );
+        // Teardown: the next read returns EOF, not another frame.
+        assert_eq!(reader.read_line(&mut line).expect("EOF after teardown"), 0);
+    }
+    healthy("garbage bytes");
+
+    // Oversized frame: rejected before the newline ever arrives.
+    {
+        let mut stream = connect(addr);
+        let junk = vec![b'x'; 64 * 1024];
+        let _ = stream.write_all(&junk);
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        // The server may close before draining our write; both a typed
+        // error line and an empty read are acceptable client views.
+        if reader.read_line(&mut line).unwrap_or(0) > 0 {
+            let v = json::parse(line.trim_end()).expect("typed error is JSON");
+            assert_eq!(
+                v.get("error").and_then(Value::as_str),
+                Some("oversized_frame")
+            );
+        }
+    }
+    healthy("oversized frame");
+
+    // Slow loris / half-open: connect, send half a frame, stall. The
+    // read timeout tears it down with a typed error.
+    {
+        let mut stream = connect(addr);
+        stream.write_all(b"{\"op\"").expect("loris send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) > 0 {
+            let v = json::parse(line.trim_end()).expect("typed error is JSON");
+            assert_eq!(v.get("error").and_then(Value::as_str), Some("read_timeout"));
+        }
+    }
+    healthy("slow loris");
+
+    // Mid-response disconnect: send a request, vanish immediately.
+    {
+        let mut stream = connect(addr);
+        stream
+            .write_all(b"{\"op\":\"skyline\"}\n")
+            .expect("disconnect send");
+        drop(stream);
+    }
+    healthy("mid-response disconnect");
+
+    // The typed-error counters saw the matrix (torn + garbage +
+    // oversized + loris; the mid-response disconnect may complete).
+    wait_for(&handle, |s| s.protocol_errors >= 4);
+
+    let stats = handle.shutdown_and_drain();
+    assert!(stats.protocol_errors >= 4);
+    assert!(stats.completed >= 5, "healthy traffic: {stats:?}");
+}
+
+#[test]
+fn flood_past_shed_threshold_yields_overloaded_with_backoff_hint() {
+    // One worker, tiny queue: the shed path is deterministic.
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        read_timeout: Duration::from_secs(3),
+        ..test_config()
+    };
+    let retry_hint = config.retry_after_ms;
+    let handle = start_karate(config);
+    let addr = handle.addr();
+
+    // A healthy in-flight connection claims the only worker (FIFO: it
+    // was queued first, so the worker is parked reading from it).
+    let mut held = connect(addr);
+    wait_for(&handle, |s| s.accepted == 1 && s.queued == 0);
+
+    // Fill the bounded queue with idle connections.
+    let parked: Vec<TcpStream> = (0..2).map(|_| connect(addr)).collect();
+    wait_for(&handle, |s| s.queued == 2);
+
+    // The next connection must be shed: explicit overloaded response
+    // with the configured Retry-After hint, then close.
+    let flooded = connect(addr);
+    let mut reader = BufReader::new(flooded);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("shed response");
+    let v = json::parse(line.trim_end()).expect("overloaded is JSON");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(v.get("error").and_then(Value::as_str), Some("overloaded"));
+    assert_eq!(
+        v.get("retry_after_ms").and_then(Value::as_u64),
+        Some(retry_hint)
+    );
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_to_string(&mut rest).expect("shed close"),
+        0,
+        "shed connection must be closed"
+    );
+    wait_for(&handle, |s| s.shed >= 1);
+
+    // The held healthy connection still completes within its deadline
+    // while the server is shedding.
+    let started = Instant::now();
+    held.write_all(b"{\"op\":\"skyline\",\"timeout_ms\":2000}\n")
+        .expect("held send");
+    let mut held_reader = BufReader::new(held);
+    let mut response = String::new();
+    held_reader.read_line(&mut response).expect("held response");
+    let v = json::parse(response.trim_end()).expect("held response JSON");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("partial").and_then(Value::as_bool), Some(false));
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "held request exceeded its deadline"
+    );
+
+    drop(parked);
+    let stats = handle.shutdown_and_drain();
+    assert!(stats.shed >= 1);
+}
+
+#[test]
+fn client_disconnect_raises_cancel_mid_kernel() {
+    // A graph big enough that the group kernel cannot finish before the
+    // monitor notices the disconnect (~10ms): the cancel must stop it.
+    let g = nsky_graph::generators::leafy_preferential(5_000, 0.9, 1.0, 8, 42);
+    let handle = Server::start(g, test_config()).expect("server must start");
+    let addr = handle.addr();
+
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"{\"op\":\"group\",\"k\":4,\"lazy\":false,\"check_interval\":1}\n")
+        .expect("send long request");
+    // Vanish with the kernel in flight.
+    drop(stream);
+
+    wait_for(&handle, |s| s.cancelled >= 1);
+
+    // The server is still healthy for other clients.
+    let resp = request(addr, r#"{"op":"ping"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+
+    let stats = handle.shutdown_and_drain();
+    assert!(stats.cancelled >= 1);
+}
+
+#[test]
+fn shutdown_frame_drains_inflight_and_reaps_every_thread() {
+    let handle = start_karate(test_config());
+    let addr = handle.addr();
+
+    // An in-flight request completes before the drain finishes.
+    let resp = request(addr, r#"{"op":"skyline"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+
+    let resp = request(addr, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(resp.get("draining").and_then(Value::as_bool), Some(true));
+
+    // `join` returns only after every server thread exits: the
+    // leak check is that this returns at all.
+    let started = Instant::now();
+    let stats = handle.join();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "drain exceeded its deadline"
+    );
+    assert!(stats.completed >= 1);
+}
