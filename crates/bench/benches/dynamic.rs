@@ -1,0 +1,83 @@
+//! Micro-benchmarks for incremental skyline maintenance: per-delta
+//! cost of `MutableSkyline::apply_batch` against a from-scratch
+//! `filter_refine_sky` recompute on the 8k stand-in graphs. The
+//! maintenance benches apply an effective batch followed by its
+//! inverse so every iteration starts from the same graph; divide the
+//! reported time by twice the batch length for per-delta cost.
+
+use std::collections::BTreeSet;
+
+use nsky_bench::micro::Group;
+use nsky_graph::generators::{affiliation_model, leafy_preferential};
+use nsky_graph::prng::SplitMix64;
+use nsky_graph::{EdgeDelta, Graph};
+use nsky_skyline::{filter_refine_sky, MutableSkyline, RefineConfig};
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("leafy-8k", leafy_preferential(8_000, 0.95, 1.5, 5, 42)),
+        ("affiliation-8k", affiliation_model(8_000, 4, 8, 0.7, 42)),
+    ]
+}
+
+/// A batch of `len` deltas, each effective against the running edge
+/// set (no no-ops), so the reversed inverse batch restores the graph.
+fn effective_batch(rng: &mut SplitMix64, g: &Graph, len: usize) -> Vec<EdgeDelta> {
+    let n = g.num_vertices();
+    let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                edges.insert((u, v));
+            }
+        }
+    }
+    let mut batch = Vec::with_capacity(len);
+    while batch.len() < len {
+        let u = rng.next_index(n) as u32;
+        let v = rng.next_index(n) as u32;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        let insert = rng.next_bool(0.5);
+        if insert == edges.contains(&key) {
+            continue;
+        }
+        if insert {
+            edges.insert(key);
+            batch.push(EdgeDelta::Insert(u, v));
+        } else {
+            edges.remove(&key);
+            batch.push(EdgeDelta::Delete(u, v));
+        }
+    }
+    batch
+}
+
+fn main() {
+    let mut rng = SplitMix64::new(0x0bed_ead5);
+    for (name, g) in graphs() {
+        let batch = effective_batch(&mut rng, &g, 128);
+        let inverse: Vec<EdgeDelta> = batch.iter().rev().map(|d| d.inverse()).collect();
+        let single = &batch[..1];
+        let single_inv = &inverse[inverse.len() - 1..];
+
+        let mut group = Group::new(&format!("dynamic/{name}"));
+        let mut engine = MutableSkyline::new(g.clone());
+        group
+            .sample_size(10)
+            .bench("Maintain1DeltaRoundTrip", || {
+                engine.apply_batch(single);
+                engine.apply_batch(single_inv);
+            })
+            .bench("Maintain128DeltaRoundTrip", || {
+                engine.apply_batch(&batch);
+                engine.apply_batch(&inverse);
+            })
+            .bench("FromScratchRecompute", || {
+                filter_refine_sky(&g, &RefineConfig::default())
+            })
+            .finish();
+    }
+}

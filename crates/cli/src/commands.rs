@@ -746,6 +746,82 @@ pub(crate) fn clique(args: &Args) -> Result<CmdOut, CliError> {
     Ok(cmd)
 }
 
+/// `nsky update <edge-list> <delta-file> [budget flags]
+/// [checkpoint flags] [--metrics path] [-o out.txt]`.
+///
+/// Loads the graph, applies the edge-delta stream through
+/// [`nsky_skyline::MutableSkyline`] (incremental maintenance scoped to
+/// the 2-hop regions of the touched endpoints) and reports the
+/// resulting skyline. A tripped run commits an exact prefix of the
+/// stream — the printed skyline is the exact answer for the graph
+/// after `cursor` deltas — and `--checkpoint`/`--resume` continue it.
+pub(crate) fn update(args: &Args) -> Result<CmdOut, CliError> {
+    let metrics = Metrics::from(args);
+    metrics.phase_start("load");
+    let g = load(args)?;
+    let delta_path = args
+        .positionals
+        .get(2)
+        .ok_or("expected an edge-delta file argument (lines of `+ u v` / `- u v`)")?;
+    let cap: VertexId = args.number("max-vertex-id", io::DEFAULT_MAX_VERTEX_ID)?;
+    let file = std::fs::File::open(delta_path)
+        .map_err(|e| CliError::Input(format!("{delta_path}: {e}")))?;
+    let deltas = io::read_edge_deltas_limited(
+        std::io::BufReader::new(file),
+        cap,
+        io::DEFAULT_MAX_LINE_BYTES,
+    )
+    .map_err(|e| CliError::Input(format!("{delta_path}: {e}")))?;
+    // The engine panics on structurally invalid batches; the CLI turns
+    // that into a proper input error up front.
+    nsky_graph::validate_batch(&deltas, g.num_vertices())
+        .map_err(|e| CliError::Input(format!("{delta_path}: {e}")))?;
+    metrics.phase_end("load");
+    let (budget, report) = budget_from(args)?;
+    let mut ck = checkpoint_from(args, &budget)?;
+    let resume = ck.resume.take();
+    let fingerprint = g.fingerprint();
+    let mut engine = nsky_skyline::MutableSkyline::new(g);
+    metrics.phase_start("run");
+    let run = {
+        let mut ctx = context_from(&budget, resume.as_ref(), &mut ck, &metrics);
+        engine.apply_batch_with(&deltas, &mut ctx)
+    };
+    metrics.phase_end("run");
+    let o = &run.outcome;
+    let mut out = String::new();
+    let _ = writeln!(out, "engine = DynamicMaintain");
+    let _ = writeln!(
+        out,
+        "deltas = {} of {} committed ({} applied, {} no-ops)",
+        o.cursor, o.total, o.stats.applied, o.stats.skipped
+    );
+    let _ = writeln!(
+        out,
+        "dirty vertices = {} scoped refines = {}",
+        o.stats.dirty_vertices, o.stats.scoped_refines
+    );
+    let n = engine.num_vertices();
+    let _ = writeln!(
+        out,
+        "|R| = {} of {} ({:.1}%)",
+        o.skyline.len(),
+        n,
+        100.0 * o.skyline.len() as f64 / n.max(1) as f64
+    );
+    if let Some(path) = args.get("output") {
+        let body: String = o.skyline.iter().map(|u| format!("{u}\n")).collect();
+        std::fs::write(path, body).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+        let _ = writeln!(out, "wrote {path}");
+    } else {
+        let _ = writeln!(out, "skyline: {:?}", o.skyline);
+    }
+    let completion = o.completion;
+    let mut cmd = seal(out, completion, run.recovery, run.snapshot, ck, &report);
+    metrics.seal(&mut cmd, "DynamicMaintain", fingerprint, &report)?;
+    Ok(cmd)
+}
+
 /// `nsky mis <file>`.
 pub(crate) fn mis(args: &Args) -> Result<String, CliError> {
     let g = load(args)?;

@@ -8,6 +8,7 @@
 //!                           [--no-prune]
 //! nsky clique   <edge-list> [--top K] [--no-prune]
 //! nsky mis      <edge-list>
+//! nsky update   <edge-list> <delta-file> [-o out.txt]
 //! nsky generate <family> --n N [--seed S] [-o out.txt]
 //!     families: er, powerlaw, ba, leafy, affiliation, copying, threshold,
 //!               karate, bombing
@@ -95,6 +96,7 @@ pub(crate) fn run(raw: &[String]) -> Result<CmdOut, CliError> {
         "group" => commands::group(&parsed),
         "clique" => commands::clique(&parsed),
         "mis" => complete(commands::mis(&parsed)),
+        "update" => commands::update(&parsed),
         "generate" => complete(commands::generate(&parsed)),
         "serve" => complete(commands::serve(&parsed)),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -115,13 +117,19 @@ USAGE:
   nsky generate <family> --n N [--seed S] [-o out.txt]
                 families: er powerlaw ba leafy affiliation copying
                           threshold karate bombing
+  nsky update   <edge-list> <delta-file> [-o out.txt]
+                applies an edge-delta stream (`+ u v` / `- u v` lines)
+                with incremental skyline maintenance; accepts all
+                BUDGET / CHECKPOINTING / METRICS flags — a tripped run
+                prints the exact skyline of the committed delta prefix
   nsky serve    <edge-list> [--addr HOST:PORT] [--workers N] [--queue N]
                             [--request-timeout SECS] [--read-timeout SECS]
                 newline-delimited JSON query daemon; blocks until a
                 client sends {\"op\":\"shutdown\"}, then drains and
                 prints the final counters (see DESIGN.md §7 Serving)
 
-BUDGET (skyline refine|base|par, clique, group closeness|harmonic):
+BUDGET (skyline refine|base|par, clique, group closeness|harmonic,
+        update):
   --timeout SECS        stop after a wall-clock deadline
   --memory-budget MB    approximate cap on kernel working memory
   --trip-after N        fault injection: trip on the N-th budget poll
@@ -619,6 +627,131 @@ mod tests {
         let bad = "/nonexistent-dir/metrics.json";
         let err = run(&s(&["skyline", &path, "--metrics", bad])).unwrap_err();
         assert!(matches!(err, CliError::Input(_)), "{err:?}");
+        std::fs::remove_file(path).ok();
+    }
+
+    fn write_deltas(lines: &str, tag: &str) -> String {
+        let path =
+            std::env::temp_dir().join(format!("nsky-deltas-{tag}-{}.txt", std::process::id()));
+        std::fs::write(&path, lines).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn update_applies_deltas_and_reports_the_new_skyline() {
+        let path = write_karate();
+        // Isolate vertex 33's twin-region edge and add a fresh edge;
+        // the engine must agree with a from-scratch run on the result.
+        let dpath = write_deltas("# test deltas\n+ 4 33\n- 0 1\n+ 4 33\n", "ok");
+        let out = ok(&["update", &path, &dpath]);
+        assert!(out.contains("engine = DynamicMaintain"), "{out}");
+        assert!(
+            out.contains("deltas = 3 of 3 committed (2 applied, 1 no-ops)"),
+            "{out}"
+        );
+        assert!(out.contains("|R| = "), "{out}");
+        std::fs::remove_file(dpath).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn update_rejects_bad_delta_files_as_input_errors() {
+        use super::CliError;
+        let path = write_karate();
+        // Malformed line: parse error with the line number.
+        let dpath = write_deltas("+ 1 2\n* 3 4\n", "bad-op");
+        let err = run(&s(&["update", &path, &dpath])).unwrap_err();
+        assert!(matches!(err, CliError::Input(_)), "{err:?}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(dpath).ok();
+        // Structurally invalid for this graph: endpoint out of range.
+        let dpath = write_deltas("+ 1 99\n", "oob");
+        let err = run(&s(&["update", &path, &dpath])).unwrap_err();
+        assert!(matches!(err, CliError::Input(_)), "{err:?}");
+        assert!(err.to_string().contains("out of range"), "{err}");
+        std::fs::remove_file(dpath).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn update_trip_resume_round_trip() {
+        let path = write_karate();
+        let body: String = (0..20)
+            .map(|i| format!("- {} {}\n", i % 10, 10 + (i * 3) % 24))
+            .collect();
+        let dpath = write_deltas(&body, "trip");
+        let ck = std::env::temp_dir().join(format!("nsky-up-ck-{}.snap", std::process::id()));
+        let ck = ck.to_str().unwrap().to_string();
+        let out = run(&s(&[
+            "update",
+            &path,
+            &dpath,
+            "--trip-after",
+            "6",
+            "--check-interval",
+            "1",
+            "--checkpoint",
+            &ck,
+        ]))
+        .unwrap();
+        assert_eq!(out.completion, Completion::DeadlineExceeded, "{}", out.text);
+        assert!(
+            out.text.contains("status = DeadlineExceeded"),
+            "{}",
+            out.text
+        );
+        assert!(std::path::Path::new(&ck).exists());
+        // Resume completes the batch and removes the checkpoint.
+        let out = run(&s(&[
+            "update",
+            &path,
+            &dpath,
+            "--checkpoint",
+            &ck,
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(out.completion, Completion::Complete, "{}", out.text);
+        assert!(!out.degraded, "{}", out.text);
+        assert!(
+            out.text.contains("deltas = 20 of 20 committed"),
+            "{}",
+            out.text
+        );
+        assert!(!std::path::Path::new(&ck).exists(), "stale checkpoint kept");
+        // The resumed answer equals a clean full run.
+        let clean = ok(&["update", &path, &dpath]);
+        let sky = |t: &str| {
+            t.lines()
+                .find(|l| l.starts_with("skyline:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(sky(&out.text), sky(&clean));
+        std::fs::remove_file(dpath).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn update_metrics_report_counts_deltas() {
+        use nsky_skyline::obs::RunReport;
+        let path = write_karate();
+        let dpath = write_deltas("+ 4 33\n- 0 1\n- 0 1\n", "metrics");
+        let m = std::env::temp_dir().join(format!("nsky-up-m-{}.json", std::process::id()));
+        let m = m.to_str().unwrap().to_string();
+        let out = ok(&["update", &path, &dpath, "--metrics", &m]);
+        assert!(out.contains(&format!("metrics = {m}")), "{out}");
+        let report = RunReport::from_json(&std::fs::read_to_string(&m).unwrap()).unwrap();
+        assert_eq!(report.kernel, "DynamicMaintain");
+        assert_eq!(
+            report.graph_fingerprint,
+            nsky_datasets::karate().fingerprint()
+        );
+        assert_eq!(report.counter("deltas_applied"), Some(2));
+        assert!(report.counter("dirty_vertices").unwrap() > 0, "{report:?}");
+        assert!(report.counter("scoped_refines").unwrap() > 0, "{report:?}");
+        std::fs::remove_file(&m).ok();
+        std::fs::remove_file(dpath).ok();
         std::fs::remove_file(path).ok();
     }
 

@@ -52,6 +52,7 @@ mod base;
 pub mod budget;
 mod cset;
 pub mod domination;
+pub mod dynamic;
 pub mod exec;
 mod filter_phase;
 pub mod incremental;
@@ -70,6 +71,7 @@ pub use base::{
 };
 pub use budget::{Completion, ExecutionBudget};
 pub use cset::cset_sky;
+pub use dynamic::{BatchStats, MutableSkyline, UpdateOutcome};
 pub use exec::ExecutionContext;
 pub use filter_phase::{filter_phase, FilterOutcome};
 pub use obs::{Counter, CountingRecorder, NoopRecorder, Recorder, RunReport};

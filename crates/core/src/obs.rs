@@ -72,10 +72,18 @@ pub enum Counter {
     GainEvaluations,
     /// CELF lazy-queue pops resolved without a fresh gain evaluation.
     LazySkips,
+    /// Edge deltas *effectively* applied by the dynamic engine
+    /// (no-op duplicates/absences excluded).
+    DeltasApplied,
+    /// Vertices enqueued on the dynamic engine's dirty worklist
+    /// (bounded by the 2-hop regions of the touched endpoints).
+    DirtyVertices,
+    /// Scoped per-vertex re-refine calls run off the dirty worklist.
+    ScopedRefines,
 }
 
 /// Number of [`Counter`] variants (size of a dense counter table).
-pub const COUNTER_COUNT: usize = 14;
+pub const COUNTER_COUNT: usize = 17;
 
 impl Counter {
     /// Every counter, in report order.
@@ -95,6 +103,9 @@ impl Counter {
             Counter::RootCalls,
             Counter::GainEvaluations,
             Counter::LazySkips,
+            Counter::DeltasApplied,
+            Counter::DirtyVertices,
+            Counter::ScopedRefines,
         ]
     }
 
@@ -115,6 +126,9 @@ impl Counter {
             Counter::RootCalls => 11,
             Counter::GainEvaluations => 12,
             Counter::LazySkips => 13,
+            Counter::DeltasApplied => 14,
+            Counter::DirtyVertices => 15,
+            Counter::ScopedRefines => 16,
         }
     }
 
@@ -135,6 +149,9 @@ impl Counter {
             Counter::RootCalls => "root_calls",
             Counter::GainEvaluations => "gain_evaluations",
             Counter::LazySkips => "lazy_skips",
+            Counter::DeltasApplied => "deltas_applied",
+            Counter::DirtyVertices => "dirty_vertices",
+            Counter::ScopedRefines => "scoped_refines",
         }
     }
 }

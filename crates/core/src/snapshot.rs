@@ -75,6 +75,8 @@ pub enum KernelId {
     GreedyGroup,
     /// `nei_sky_group` (skyline-filtered greedy group).
     NeiSkyGroup,
+    /// `MutableSkyline::apply_batch` (incremental edge-delta maintenance).
+    DynamicMaintain,
 }
 
 impl KernelId {
@@ -91,6 +93,7 @@ impl KernelId {
             KernelId::TopkNeiSky => 8,
             KernelId::GreedyGroup => 9,
             KernelId::NeiSkyGroup => 10,
+            KernelId::DynamicMaintain => 11,
         }
     }
 
@@ -106,6 +109,7 @@ impl KernelId {
             8 => KernelId::TopkNeiSky,
             9 => KernelId::GreedyGroup,
             10 => KernelId::NeiSkyGroup,
+            11 => KernelId::DynamicMaintain,
             _ => return None,
         })
     }
@@ -124,6 +128,7 @@ impl std::fmt::Display for KernelId {
             KernelId::TopkNeiSky => "topk-neisky",
             KernelId::GreedyGroup => "greedy-group",
             KernelId::NeiSkyGroup => "neisky-group",
+            KernelId::DynamicMaintain => "dynamic-maintain",
         };
         f.write_str(s)
     }

@@ -1,0 +1,595 @@
+//! Edge-delta streams and a mutation-capable graph view.
+//!
+//! A [`DeltaGraph`] is a packed CSR [`Graph`] plus per-vertex *sorted
+//! overlay* lists: `added[u]` holds neighbors present in the current
+//! graph but not in the CSR base, `removed[u]` holds base neighbors
+//! that have since been deleted. The overlays keep every read O(log d)
+//! or better — degree is O(1), `has_edge` is two binary searches,
+//! neighbor iteration is an allocation-free three-way merge that
+//! preserves sorted order — while writes touch only the two endpoint
+//! lists. When the overlays grow past a fraction of the base,
+//! [`DeltaGraph::compact`] folds them back into a fresh packed CSR in
+//! one O(n + m) merge pass (no sort), restoring pointer-chasing-free
+//! reads.
+//!
+//! Invariants (checked in debug builds, relied on by the merge):
+//!
+//! * `added[u]` is sorted and disjoint from the base adjacency of `u`;
+//! * `removed[u]` is sorted and a subset of the base adjacency of `u`;
+//! * both overlays are symmetric (`v ∈ added[u] ⇔ u ∈ added[v]`);
+//! * the view stays a simple undirected graph — no self-loops, no
+//!   parallel edges — exactly like [`Graph`] itself.
+//!
+//! [`EdgeDelta`] is the unit of mutation. Applying a delta that is
+//! already satisfied (inserting a present edge, deleting an absent
+//! one) is a *no-op*, reported via the `bool` return of
+//! [`DeltaGraph::apply`] so callers can count skips; it never errors.
+//! Structural errors — self-loops, endpoints outside `0..n` — are
+//! caught up front by [`validate_batch`] with the offending batch
+//! index, so a caller can reject a whole batch atomically before
+//! mutating anything.
+
+use crate::csr::{Graph, VertexId};
+use std::fmt;
+
+/// One edge mutation. Endpoints are unordered (the graph is
+/// undirected); `Insert(u, v)` and `Insert(v, u)` are the same delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeDelta {
+    /// Add the edge `{u, v}` (no-op if already present).
+    Insert(VertexId, VertexId),
+    /// Remove the edge `{u, v}` (no-op if already absent).
+    Delete(VertexId, VertexId),
+}
+
+impl EdgeDelta {
+    /// The two endpoints, in the order they were written.
+    #[inline]
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        match self {
+            EdgeDelta::Insert(u, v) | EdgeDelta::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// The delta that exactly undoes this one — assuming this one was
+    /// *effective* (not a no-op): `Insert(u,v).inverse()` is
+    /// `Delete(u,v)` and vice versa.
+    #[inline]
+    pub fn inverse(self) -> EdgeDelta {
+        match self {
+            EdgeDelta::Insert(u, v) => EdgeDelta::Delete(u, v),
+            EdgeDelta::Delete(u, v) => EdgeDelta::Insert(u, v),
+        }
+    }
+
+    /// Whether this is an insertion.
+    #[inline]
+    pub fn is_insert(self) -> bool {
+        matches!(self, EdgeDelta::Insert(..))
+    }
+}
+
+impl fmt::Display for EdgeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeDelta::Insert(u, v) => write!(f, "+ {u} {v}"),
+            EdgeDelta::Delete(u, v) => write!(f, "- {u} {v}"),
+        }
+    }
+}
+
+/// A structurally invalid delta, reported with its 0-based position in
+/// the batch so callers can surface "delta 17 of 400" diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// Both endpoints are the same vertex (the graph is simple).
+    SelfLoop {
+        /// 0-based index of the offending delta in its batch.
+        index: usize,
+        /// The repeated endpoint.
+        vertex: VertexId,
+    },
+    /// An endpoint outside `0..num_vertices` (deltas cannot grow the
+    /// vertex set; size the graph up front).
+    VertexOutOfRange {
+        /// 0-based index of the offending delta in its batch.
+        index: usize,
+        /// The out-of-range endpoint.
+        vertex: VertexId,
+        /// The vertex count in force.
+        num_vertices: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::SelfLoop { index, vertex } => {
+                write!(
+                    f,
+                    "delta {index}: self-loop on vertex {vertex} (graphs are simple)"
+                )
+            }
+            DeltaError::VertexOutOfRange {
+                index,
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "delta {index}: vertex {vertex} out of range (graph has {num_vertices} vertices)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Validates a whole batch against a vertex count: no self-loops, all
+/// endpoints in `0..num_vertices`. Callers that want atomic batch
+/// semantics run this *before* applying anything, so a bad delta in
+/// the middle never leaves the graph half-mutated.
+pub fn validate_batch(deltas: &[EdgeDelta], num_vertices: usize) -> Result<(), DeltaError> {
+    for (index, d) in deltas.iter().enumerate() {
+        let (u, v) = d.endpoints();
+        if u == v {
+            return Err(DeltaError::SelfLoop { index, vertex: u });
+        }
+        for x in [u, v] {
+            if x as usize >= num_vertices {
+                return Err(DeltaError::VertexOutOfRange {
+                    index,
+                    vertex: x,
+                    num_vertices,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Inserts `v` into a sorted list; `false` if already present.
+fn insert_sorted(list: &mut Vec<VertexId>, v: VertexId) -> bool {
+    match list.binary_search(&v) {
+        Ok(_) => false,
+        Err(i) => {
+            list.insert(i, v);
+            true
+        }
+    }
+}
+
+/// Removes `v` from a sorted list; `false` if absent.
+fn remove_sorted(list: &mut Vec<VertexId>, v: VertexId) -> bool {
+    match list.binary_search(&v) {
+        Ok(i) => {
+            list.remove(i);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Overlay half-edges stay below this floor without ever triggering a
+/// compaction — tiny graphs and short bursts never pay the rebuild.
+const COMPACT_MIN_HALF_EDGES: usize = 512;
+
+/// A mutation-capable graph view: packed CSR base + sorted per-vertex
+/// delta overlays (see the module docs for the invariants and cost
+/// model).
+///
+/// # Examples
+///
+/// ```
+/// use nsky_graph::{DeltaGraph, EdgeDelta, Graph};
+///
+/// let mut g = DeltaGraph::from_graph(Graph::from_edges(4, [(0, 1), (1, 2)]));
+/// assert!(g.apply(EdgeDelta::Insert(2, 3)));
+/// assert!(!g.apply(EdgeDelta::Insert(0, 1))); // already present: no-op
+/// assert!(g.apply(EdgeDelta::Delete(0, 1)));
+/// assert_eq!(g.degree(1), 1);
+/// assert_eq!(g.materialize(), Graph::from_edges(4, [(1, 2), (2, 3)]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeltaGraph {
+    base: Graph,
+    added: Vec<Vec<VertexId>>,
+    removed: Vec<Vec<VertexId>>,
+    /// Total overlay entries (`Σ |added[u]| + |removed[u]|`), the
+    /// compaction trigger.
+    overlay_half_edges: usize,
+    num_edges: usize,
+}
+
+impl DeltaGraph {
+    /// Wraps a packed graph with empty overlays.
+    pub fn from_graph(base: Graph) -> DeltaGraph {
+        let n = base.num_vertices();
+        let m = base.num_edges();
+        DeltaGraph {
+            base,
+            added: vec![Vec::new(); n],
+            removed: vec![Vec::new(); n],
+            overlay_half_edges: 0,
+            num_edges: m,
+        }
+    }
+
+    /// Number of vertices `n` (fixed: deltas never grow the view).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Number of undirected edges `m` in the *current* view.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `u` in the current view — O(1).
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.base.degree(u) + self.added[u as usize].len() - self.removed[u as usize].len()
+    }
+
+    /// Whether `{u, v}` is an edge of the current view — two binary
+    /// searches at most.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        if self.base.has_edge(u, v) {
+            self.removed[u as usize].binary_search(&v).is_err()
+        } else {
+            self.added[u as usize].binary_search(&v).is_ok()
+        }
+    }
+
+    /// Visits `N(u)` of the current view in ascending order, without
+    /// allocating: a three-way merge of the base adjacency (minus the
+    /// removed overlay) with the added overlay.
+    pub fn for_each_neighbor(&self, u: VertexId, mut f: impl FnMut(VertexId)) {
+        let base = self.base.neighbors(u);
+        let rem = &self.removed[u as usize];
+        let add = &self.added[u as usize];
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        while i < base.len() || k < add.len() {
+            if i < base.len() {
+                // `rem` is a sorted subset of `base`: lockstep skip.
+                while j < rem.len() && rem[j] < base[i] {
+                    j += 1;
+                }
+                if j < rem.len() && rem[j] == base[i] {
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+            }
+            if i < base.len() && (k >= add.len() || base[i] < add[k]) {
+                f(base[i]);
+                i += 1;
+            } else if k < add.len() {
+                f(add[k]);
+                k += 1;
+            }
+        }
+    }
+
+    /// Collects `N(u)` of the current view into `out` (cleared first),
+    /// sorted ascending. The reusable buffer keeps per-vertex scans
+    /// allocation-free in steady state.
+    pub fn neighbors_into(&self, u: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        self.for_each_neighbor(u, |v| out.push(v));
+    }
+
+    /// Applies one delta. Returns `true` iff the graph changed
+    /// (duplicate inserts and absent deletes are no-ops).
+    ///
+    /// # Panics
+    ///
+    /// On a self-loop or an endpoint outside `0..n` — run
+    /// [`validate_batch`] first for error-valued rejection.
+    pub fn apply(&mut self, delta: EdgeDelta) -> bool {
+        match delta {
+            EdgeDelta::Insert(u, v) => self.insert_edge(u, v),
+            EdgeDelta::Delete(u, v) => self.delete_edge(u, v),
+        }
+    }
+
+    /// Adds the edge `{u, v}`; `false` if already present. Panics like
+    /// [`DeltaGraph::apply`].
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.check_endpoints(u, v);
+        if self.base.has_edge(u, v) {
+            // Present in the base: effective only if currently removed.
+            if remove_sorted(&mut self.removed[u as usize], v) {
+                remove_sorted(&mut self.removed[v as usize], u);
+                self.overlay_half_edges -= 2;
+                self.num_edges += 1;
+                true
+            } else {
+                false
+            }
+        } else if insert_sorted(&mut self.added[u as usize], v) {
+            insert_sorted(&mut self.added[v as usize], u);
+            self.overlay_half_edges += 2;
+            self.num_edges += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes the edge `{u, v}`; `false` if already absent. Panics
+    /// like [`DeltaGraph::apply`].
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.check_endpoints(u, v);
+        if self.base.has_edge(u, v) {
+            if insert_sorted(&mut self.removed[u as usize], v) {
+                insert_sorted(&mut self.removed[v as usize], u);
+                self.overlay_half_edges += 2;
+                self.num_edges -= 1;
+                true
+            } else {
+                false
+            }
+        } else if remove_sorted(&mut self.added[u as usize], v) {
+            remove_sorted(&mut self.added[v as usize], u);
+            self.overlay_half_edges -= 2;
+            self.num_edges -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn check_endpoints(&self, u: VertexId, v: VertexId) {
+        let n = self.num_vertices();
+        assert!(u != v, "self-loop on vertex {u}: graphs are simple");
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range: graph has {n} vertices"
+        );
+    }
+
+    /// Current overlay size in half-edges (`Σ |added| + |removed|`) —
+    /// the compaction pressure gauge.
+    #[inline]
+    pub fn overlay_half_edges(&self) -> usize {
+        self.overlay_half_edges
+    }
+
+    /// Whether the view is fully packed (no overlay entries).
+    #[inline]
+    pub fn is_compacted(&self) -> bool {
+        self.overlay_half_edges == 0
+    }
+
+    /// A packed [`Graph`] snapshot of the current view, built by one
+    /// O(n + m) merge pass (the overlays are already sorted — no sort).
+    pub fn materialize(&self) -> Graph {
+        if self.is_compacted() {
+            return self.base.clone();
+        }
+        let n = self.num_vertices();
+        let mut offsets = vec![0usize; n + 1];
+        for u in 0..n {
+            offsets[u + 1] = offsets[u] + self.degree(u as VertexId);
+        }
+        let mut adj = vec![0 as VertexId; offsets[n]];
+        let mut cursor = 0usize;
+        for u in 0..n {
+            self.for_each_neighbor(u as VertexId, |v| {
+                adj[cursor] = v;
+                cursor += 1;
+            });
+        }
+        debug_assert_eq!(cursor, adj.len());
+        Graph::from_csr(offsets, adj)
+    }
+
+    /// Folds the overlays back into a packed CSR base. Reads after a
+    /// compaction touch only the contiguous base arrays again.
+    pub fn compact(&mut self) {
+        if self.is_compacted() {
+            return;
+        }
+        self.base = self.materialize();
+        for list in &mut self.added {
+            list.clear();
+        }
+        for list in &mut self.removed {
+            list.clear();
+        }
+        self.overlay_half_edges = 0;
+    }
+
+    /// Compacts when the overlays exceed a quarter of the base's
+    /// half-edge count (and a small absolute floor, so short bursts on
+    /// small graphs never pay the rebuild). Returns whether a
+    /// compaction ran. Amortized cost stays O(1) per effective delta:
+    /// each rebuild is O(n + m) and at least m/4 deltas separate two
+    /// rebuilds.
+    pub fn maybe_compact(&mut self) -> bool {
+        if self.overlay_half_edges >= COMPACT_MIN_HALF_EDGES
+            && self.overlay_half_edges * 2 >= self.base.num_edges()
+        {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::SplitMix64;
+
+    /// Ground truth: the same edits replayed on a plain edge set.
+    fn edge_set(g: &Graph) -> Vec<(VertexId, VertexId)> {
+        g.edges().collect()
+    }
+
+    #[test]
+    fn insert_delete_roundtrip_and_noops() {
+        let mut g = DeltaGraph::from_graph(Graph::from_edges(4, [(0, 1), (1, 2)]));
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.insert_edge(0, 1), "duplicate insert is a no-op");
+        assert!(!g.insert_edge(1, 0), "orientation does not matter");
+        assert!(!g.delete_edge(0, 3), "absent delete is a no-op");
+        assert!(g.delete_edge(1, 0));
+        assert!(!g.has_edge(0, 1));
+        assert!(g.insert_edge(0, 1), "re-insert after delete is effective");
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.is_compacted(), "insert+delete of the same edge cancels");
+    }
+
+    #[test]
+    fn overlay_reads_match_materialized_graph() {
+        let base = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (3, 4)]);
+        let mut g = DeltaGraph::from_graph(base);
+        for d in [
+            EdgeDelta::Insert(2, 3),
+            EdgeDelta::Delete(0, 1),
+            EdgeDelta::Insert(4, 5),
+            EdgeDelta::Insert(0, 5),
+        ] {
+            assert!(g.apply(d));
+        }
+        let packed = g.materialize();
+        assert_eq!(packed.num_edges(), g.num_edges());
+        let mut buf = Vec::new();
+        for u in packed.vertices() {
+            assert_eq!(g.degree(u), packed.degree(u), "degree({u})");
+            g.neighbors_into(u, &mut buf);
+            assert_eq!(buf.as_slice(), packed.neighbors(u), "N({u})");
+            for v in packed.vertices() {
+                assert_eq!(g.has_edge(u, v), packed.has_edge(u, v), "edge {u} {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_edits_match_rebuilt_graph() {
+        let mut rng = SplitMix64::new(0x9e3779b97f4a7c15);
+        let n = 24usize;
+        let mut g = DeltaGraph::from_graph(Graph::empty(n));
+        let mut truth: Vec<(VertexId, VertexId)> = Vec::new();
+        for step in 0..2_000 {
+            let u = rng.next_below(n as u64) as VertexId;
+            let mut v = rng.next_below(n as u64) as VertexId;
+            if u == v {
+                v = (v + 1) % n as VertexId;
+            }
+            let key = (u.min(v), u.max(v));
+            let present = truth.contains(&key);
+            if rng.next_bool(0.55) {
+                let changed = g.insert_edge(u, v);
+                assert_eq!(changed, !present, "step {step}: insert {key:?}");
+                if changed {
+                    truth.push(key);
+                }
+            } else {
+                let changed = g.delete_edge(u, v);
+                assert_eq!(changed, present, "step {step}: delete {key:?}");
+                if changed {
+                    truth.retain(|&e| e != key);
+                }
+            }
+            if step % 377 == 0 {
+                g.compact();
+                assert!(g.is_compacted());
+            }
+        }
+        let expect = Graph::from_edges(n, truth.iter().copied());
+        assert_eq!(g.materialize(), expect);
+        assert_eq!(g.num_edges(), expect.num_edges());
+        g.compact();
+        assert_eq!(edge_set(&g.materialize()), edge_set(&expect));
+    }
+
+    #[test]
+    fn compaction_threshold_fires_and_preserves_the_view() {
+        // A graph large enough that the relative threshold, not just
+        // the absolute floor, governs.
+        let base = Graph::from_edges(600, (0..599).map(|i| (i as VertexId, i as VertexId + 1)));
+        let mut g = DeltaGraph::from_graph(base);
+        let mut fired = false;
+        for i in 0..598u32 {
+            g.delete_edge(i, i + 1);
+            fired |= g.maybe_compact();
+        }
+        assert!(fired, "sustained deletes must eventually compact");
+        assert!(g.overlay_half_edges() < 598 * 2);
+        let packed = g.materialize();
+        assert_eq!(packed.num_edges(), 1);
+        assert!(packed.has_edge(598, 599));
+    }
+
+    #[test]
+    fn validate_batch_reports_index_and_kind() {
+        let ds = [
+            EdgeDelta::Insert(0, 1),
+            EdgeDelta::Delete(2, 2),
+            EdgeDelta::Insert(0, 9),
+        ];
+        assert_eq!(
+            validate_batch(&ds, 5),
+            Err(DeltaError::SelfLoop {
+                index: 1,
+                vertex: 2
+            })
+        );
+        assert_eq!(
+            validate_batch(&ds[..1], 5).and(validate_batch(&ds[2..], 5)),
+            Err(DeltaError::VertexOutOfRange {
+                index: 0,
+                vertex: 9,
+                num_vertices: 5
+            })
+        );
+        assert!(validate_batch(&ds[..1], 2).is_ok());
+        let msg = DeltaError::SelfLoop {
+            index: 1,
+            vertex: 2,
+        }
+        .to_string();
+        assert!(msg.contains("delta 1"), "{msg}");
+    }
+
+    #[test]
+    fn inverse_undoes_effective_deltas() {
+        let base = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3)]);
+        let mut g = DeltaGraph::from_graph(base.clone());
+        let script = [
+            EdgeDelta::Insert(0, 4),
+            EdgeDelta::Delete(1, 2),
+            EdgeDelta::Insert(3, 4),
+        ];
+        for d in script {
+            assert!(g.apply(d));
+        }
+        for d in script.iter().rev() {
+            assert!(g.apply(d.inverse()));
+        }
+        assert_eq!(g.materialize(), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = DeltaGraph::from_graph(Graph::empty(3));
+        g.insert_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut g = DeltaGraph::from_graph(Graph::empty(3));
+        g.insert_edge(0, 3);
+    }
+}

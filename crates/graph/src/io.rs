@@ -1,11 +1,27 @@
-//! Plain-text edge-list I/O.
+//! Plain-text edge-list and edge-delta I/O.
 //!
-//! Format: one `u v` pair per line, whitespace-separated; lines starting
-//! with `#` or `%` are comments (the SNAP and KONECT conventions,
-//! respectively). Vertex count is `max id + 1` unless given explicitly.
+//! Edge-list format: one `u v` pair per line, whitespace-separated;
+//! lines starting with `#` or `%` are comments (the SNAP and KONECT
+//! conventions, respectively). Vertex count is `max id + 1` unless
+//! given explicitly.
+//!
+//! Edge-delta format ([`read_edge_deltas`]): one `+ u v` (insert) or
+//! `- u v` (delete) per line, same comment conventions, CRLF
+//! tolerated, same line-length and vertex-id caps. Policy decisions
+//! are split between parse time and apply time:
+//!
+//! * **self-loops** (`+ 3 3`) are *parse* errors — they can never be
+//!   valid, so they fail fast with a line number;
+//! * **unknown vertices** (id ≥ n of the target graph) are *apply*
+//!   errors ([`crate::delta::DeltaError::VertexOutOfRange`]) — the
+//!   parser does not know the target graph, only the id cap;
+//! * **duplicate inserts / absent deletes** are *no-ops* at apply
+//!   time, counted but never failed — a delta file is a log, and logs
+//!   replay idempotently.
 
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, VertexId};
+use crate::delta::EdgeDelta;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
@@ -253,6 +269,106 @@ pub fn read_edge_list_file_capped(
     read_edge_list_capped(io::BufReader::new(file), max_vertex_id)
 }
 
+/// Parses an edge-delta stream (default vertex-id and line caps). See
+/// the module docs for the format and the self-loop / unknown-vertex /
+/// duplicate-edge policy split.
+pub fn read_edge_deltas<R: BufRead>(reader: R) -> Result<Vec<EdgeDelta>, ParseError> {
+    read_edge_deltas_limited(reader, DEFAULT_MAX_VERTEX_ID, DEFAULT_MAX_LINE_BYTES)
+}
+
+/// [`read_edge_deltas`] with explicit vertex-id and per-line byte caps.
+///
+/// Every line is either a comment (`#`/`%`), blank, or
+/// `<op> <u> <v>` with `<op>` ∈ {`+`, `-`}; anything else is
+/// [`ParseError::Malformed`] with its 1-based line number. Self-loops
+/// (`u == v`) are rejected here — they cannot be valid against any
+/// graph — while ids above `max_vertex_id` fail with
+/// [`ParseError::VertexIdTooLarge`] exactly like the edge-list reader.
+pub fn read_edge_deltas_limited<R: BufRead>(
+    mut reader: R,
+    max_vertex_id: VertexId,
+    max_line_bytes: usize,
+) -> Result<Vec<EdgeDelta>, ParseError> {
+    let mut deltas: Vec<EdgeDelta> = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut line_no: usize = 0;
+    loop {
+        buf.clear();
+        if !read_line_capped(&mut reader, &mut buf, max_line_bytes, line_no + 1)? {
+            break;
+        }
+        line_no += 1;
+        let mut bytes = &buf[..];
+        if let [rest @ .., b'\n'] = bytes {
+            bytes = rest;
+        }
+        if let [rest @ .., b'\r'] = bytes {
+            bytes = rest; // Windows CRLF line ending
+        }
+        let t = match std::str::from_utf8(bytes) {
+            Ok(s) => s.trim(),
+            Err(_) => {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    text: String::from_utf8_lossy(bytes).into_owned(),
+                })
+            }
+        };
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let malformed = || ParseError::Malformed {
+            line: line_no,
+            text: t.to_string(),
+        };
+        let mut it = t.split_whitespace();
+        let op = it.next().ok_or_else(malformed)?;
+        let parse = |s: Option<&str>| -> Option<u32> { s.and_then(|x| x.parse().ok()) };
+        let (u, v) = match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => (u, v),
+            _ => return Err(malformed()),
+        };
+        if it.next().is_some() {
+            // Unlike edge lists (KONECT weight columns), a delta line
+            // has exactly three fields; trailing junk is a typo.
+            return Err(malformed());
+        }
+        let big = u.max(v);
+        if big > max_vertex_id {
+            return Err(ParseError::VertexIdTooLarge {
+                line: line_no,
+                id: big,
+                cap: max_vertex_id,
+            });
+        }
+        if u == v {
+            return Err(malformed());
+        }
+        match op {
+            "+" => deltas.push(EdgeDelta::Insert(u, v)),
+            "-" => deltas.push(EdgeDelta::Delete(u, v)),
+            _ => return Err(malformed()),
+        }
+    }
+    Ok(deltas)
+}
+
+/// Reads an edge-delta stream from a file (default caps).
+pub fn read_edge_deltas_file(path: &Path) -> Result<Vec<EdgeDelta>, ParseError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_deltas(io::BufReader::new(file))
+}
+
+/// Writes an edge-delta stream (one `+ u v` / `- u v` line per delta).
+pub fn write_edge_deltas<W: Write>(deltas: &[EdgeDelta], writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nsky edge deltas: {} ops", deltas.len())?;
+    for d in deltas {
+        writeln!(w, "{d}")?;
+    }
+    w.flush()
+}
+
 /// Writes the graph as an edge list (one `u v` line per undirected edge).
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
@@ -412,6 +528,80 @@ mod tests {
         let crlf = format!("1 2 {}\r\n", "w".repeat(58));
         let g = read_edge_list_limited(crlf.as_bytes(), DEFAULT_MAX_VERTEX_ID, 64).unwrap();
         assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn delta_round_trip() {
+        let ds = vec![
+            EdgeDelta::Insert(0, 1),
+            EdgeDelta::Delete(1, 2),
+            EdgeDelta::Insert(7, 3),
+        ];
+        let mut buf = Vec::new();
+        write_edge_deltas(&ds, &mut buf).unwrap();
+        assert_eq!(read_edge_deltas(&buf[..]).unwrap(), ds);
+    }
+
+    #[test]
+    fn delta_comments_blanks_and_crlf() {
+        let unix = "# log\n% konect-style\n\n+ 0 1\n- 1 2\n+ 2 3\n";
+        let dos = "# log\r\n% konect-style\r\n\r\n+ 0 1\r\n- 1 2\r\n+ 2 3\r\n";
+        let parsed = read_edge_deltas(unix.as_bytes()).unwrap();
+        assert_eq!(parsed, read_edge_deltas(dos.as_bytes()).unwrap());
+        assert_eq!(
+            parsed,
+            vec![
+                EdgeDelta::Insert(0, 1),
+                EdgeDelta::Delete(1, 2),
+                EdgeDelta::Insert(2, 3),
+            ]
+        );
+        // Final line without a newline still parses.
+        assert_eq!(read_edge_deltas("+ 4 5".as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delta_malformed_lines_report_position() {
+        for (text, bad_line) in [
+            ("+ 0 1\nnot a delta\n", 2),
+            ("+ 0 1\n* 1 2\n", 2), // unknown op
+            ("+ 0\n", 1),          // missing endpoint
+            ("+ 0 1 extra\n", 1),  // trailing junk: exactly 3 fields
+            ("- 0 1\n+ 3 3\n", 2), // self-loop is a parse error
+            ("+ 0 x\n", 1),        // non-numeric endpoint
+        ] {
+            match read_edge_deltas(text.as_bytes()) {
+                Err(ParseError::Malformed { line, .. }) => {
+                    assert_eq!(line, bad_line, "input {text:?}")
+                }
+                other => panic!("expected malformed error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delta_vertex_id_cap_is_enforced() {
+        match read_edge_deltas("+ 0 4000000000\n".as_bytes()) {
+            Err(ParseError::VertexIdTooLarge { line, id, cap }) => {
+                assert_eq!((line, id, cap), (1, 4_000_000_000, DEFAULT_MAX_VERTEX_ID));
+            }
+            other => panic!("expected VertexIdTooLarge, got {other:?}"),
+        }
+        assert!(read_edge_deltas_limited("+ 0 5\n".as_bytes(), 4, 64).is_err());
+        assert!(read_edge_deltas_limited("+ 0 4\n".as_bytes(), 4, 64).is_ok());
+    }
+
+    #[test]
+    fn delta_line_cap_fails_fast() {
+        let mut bytes = b"+ 0 1\n".to_vec();
+        bytes.resize(bytes.len() + (1 << 20), b'9');
+        match read_edge_deltas(&bytes[..]) {
+            Err(ParseError::LineTooLong { line, limit }) => {
+                assert_eq!(line, 2);
+                assert_eq!(limit, DEFAULT_MAX_LINE_BYTES);
+            }
+            other => panic!("expected LineTooLong, got {other:?}"),
+        }
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * [`stats`] — degree statistics (Table I columns);
 //! * [`threshold`] — threshold graphs (construction, random generation,
 //!   recognition), the class whose vicinal preorder is total;
-//! * [`io`] — whitespace-separated edge-list text I/O;
+//! * [`delta`] — edge-delta streams and [`DeltaGraph`], the CSR-plus-
+//!   overlay mutable view behind incremental skyline maintenance;
+//! * [`io`] — whitespace-separated edge-list text I/O (graphs and
+//!   edge-delta files);
 //! * [`prng`] — a small deterministic SplitMix64/Lehmer PRNG so that every
 //!   generated workload is reproducible across platforms and releases.
 //!
@@ -31,6 +34,7 @@
 mod builder;
 mod csr;
 pub mod degeneracy;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod ops;
@@ -41,3 +45,4 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{sorted_intersection_count, sorted_is_subset, vid, Graph, VertexId};
+pub use delta::{validate_batch, DeltaError, DeltaGraph, EdgeDelta};

@@ -13,11 +13,12 @@ use nsky_centrality::measure::{Closeness, Harmonic};
 use nsky_centrality::neisky::nei_sky_group_with;
 use nsky_clique::mcbrb::mc_brb_with;
 use nsky_clique::neisky::nei_sky_mc_with;
-use nsky_graph::{Graph, VertexId};
+use nsky_graph::{EdgeDelta, Graph, VertexId};
 use nsky_skyline::budget::{CancelToken, ExecutionBudget, TripClock};
 use nsky_skyline::obs::CountingRecorder;
 use nsky_skyline::{
-    base_sky_with, domination, filter_refine_sky_with, Completion, Recorder, RefineConfig,
+    base_sky_with, domination, filter_refine_sky_with, Completion, MutableSkyline, Recorder,
+    RefineConfig,
 };
 
 use crate::json::{self, Value};
@@ -211,6 +212,81 @@ pub fn execute_query(
         }
         other => Err(ProtocolError::UnknownOp(other.to_owned())),
     }
+}
+
+/// Parses and fully validates the `deltas` field of an `update` request
+/// — an array of `"+ u v"` / `"- u v"` strings — against a graph with
+/// `n` vertices. Validation is complete *before* any engine mutation:
+/// a malformed or structurally invalid delta rejects the whole request
+/// with a typed error and the graph is untouched.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::BadRequest`] naming the offending delta
+/// (1-based, as `line N`) for parse failures, and the delta index for
+/// self-loops and out-of-range endpoints.
+pub fn parse_update_deltas(req: &Value, n: usize) -> Result<Vec<EdgeDelta>, ProtocolError> {
+    let arr = req
+        .get("deltas")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ProtocolError::BadRequest("missing array field \"deltas\"".to_owned()))?;
+    let mut text = String::new();
+    for d in arr {
+        let Some(s) = d.as_str() else {
+            return Err(ProtocolError::BadRequest(
+                "deltas must be strings like \"+ u v\" / \"- u v\"".to_owned(),
+            ));
+        };
+        text.push_str(s);
+        text.push('\n');
+    }
+    // The wire format *is* the delta-file format, one delta per array
+    // element, so the file reader's line numbers are delta positions.
+    let deltas = nsky_graph::io::read_edge_deltas(text.as_bytes())
+        .map_err(|e| ProtocolError::BadRequest(format!("deltas: {e}")))?;
+    nsky_graph::validate_batch(&deltas, n)
+        .map_err(|e| ProtocolError::BadRequest(format!("deltas: {e}")))?;
+    Ok(deltas)
+}
+
+/// Runs one `update` request against the server's (already locked)
+/// incremental engine. `deltas` must come from [`parse_update_deltas`]
+/// on the same graph, so the engine's validation cannot fire. A budget
+/// trip commits an exact prefix of the batch — the returned skyline is
+/// the exact answer for the graph after `cursor` deltas — and the
+/// caller publishes that prefix graph as the new epoch.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::BadRequest`] for non-numeric budget knobs.
+pub fn execute_update(
+    engine: &mut MutableSkyline,
+    deltas: &[EdgeDelta],
+    req: &Value,
+    default_timeout: Option<Duration>,
+    token: &CancelToken,
+    rec: &CountingRecorder,
+) -> Result<QueryOutcome, ProtocolError> {
+    let budget = budget_for(req, default_timeout, token.child())?;
+    let dyn_rec: &dyn Recorder = rec;
+    let mut ctx = nsky_skyline::ExecutionContext::new()
+        .budget(&budget)
+        .recorder(dyn_rec);
+    let run = engine.apply_batch_with(deltas, &mut ctx);
+    let o = run.outcome;
+    Ok(QueryOutcome {
+        kernel: "server/dynamic_maintain",
+        completion: o.completion,
+        result: json::obj(vec![
+            ("skyline", ids(&o.skyline)),
+            ("size", json::num(o.skyline.len() as u64)),
+            ("cursor", json::num(o.cursor as u64)),
+            ("total", json::num(o.total as u64)),
+            ("applied", json::num(o.stats.applied)),
+            ("skipped", json::num(o.stats.skipped)),
+            ("edges", json::num(engine.num_edges() as u64)),
+        ]),
+    })
 }
 
 /// Renders a vertex list as a JSON array of numbers.

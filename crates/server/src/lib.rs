@@ -30,6 +30,6 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use engine::{budget_for, execute_query, QueryOutcome};
+pub use engine::{budget_for, execute_query, execute_update, parse_update_deltas, QueryOutcome};
 pub use protocol::ProtocolError;
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -23,10 +23,11 @@ use std::time::{Duration, Instant};
 use nsky_graph::Graph;
 use nsky_skyline::budget::CancelToken;
 use nsky_skyline::obs::{CountingRecorder, RunReport};
+use nsky_skyline::MutableSkyline;
 
-use crate::engine::{execute_query, QueryOutcome};
+use crate::engine::{execute_query, execute_update, parse_update_deltas, QueryOutcome};
 use crate::json::{self, Value};
-use crate::protocol::{self, Frame};
+use crate::protocol::{self, Frame, ProtocolError};
 
 /// Tuning knobs for [`Server::start`]. `Default` is production-shaped;
 /// tests shrink the timeouts and the queue to force faults fast.
@@ -113,9 +114,25 @@ struct MonitorEntry {
     done: Arc<AtomicBool>,
 }
 
-struct Shared {
+/// One published graph version. Queries snapshot the current epoch
+/// (one `Arc` clone under a brief lock) and run entirely against it, so
+/// a concurrent `update` can never tear a read: every response is
+/// computed against exactly one generation, and says which.
+struct Epoch {
+    /// Monotonic version; bumped by every `update` request.
+    generation: u64,
     graph: Graph,
     fingerprint: u64,
+}
+
+struct Shared {
+    /// The current graph epoch; swapped whole by `publish`.
+    epoch: Mutex<Arc<Epoch>>,
+    /// The serialized incremental engine behind `update` requests,
+    /// created lazily from the epoch graph on the first update.
+    /// Holding this lock does not block readers — they keep serving
+    /// the previous epoch until the new one is published.
+    updater: Mutex<Option<MutableSkyline>>,
     config: ServerConfig,
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
@@ -148,6 +165,25 @@ impl Shared {
             queued: self.lock(&self.queue).len(),
             active: self.counters.active.load(Ordering::Relaxed),
         }
+    }
+
+    /// The epoch every read of this request runs against.
+    fn current_epoch(&self) -> Arc<Epoch> {
+        Arc::clone(&self.lock(&self.epoch))
+    }
+
+    /// Publishes `graph` as the next generation and returns its epoch.
+    /// Called only by the (serialized) update path.
+    fn publish(&self, graph: Graph) -> Arc<Epoch> {
+        let fingerprint = graph.fingerprint();
+        let mut slot = self.lock(&self.epoch);
+        let next = Arc::new(Epoch {
+            generation: slot.generation + 1,
+            graph,
+            fingerprint,
+        });
+        *slot = Arc::clone(&next);
+        next
     }
 
     fn is_draining(&self) -> bool {
@@ -192,8 +228,12 @@ impl Server {
         let fingerprint = graph.fingerprint();
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
-            graph,
-            fingerprint,
+            epoch: Mutex::new(Arc::new(Epoch {
+                generation: 0,
+                graph,
+                fingerprint,
+            })),
+            updater: Mutex::new(None),
             config,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -462,13 +502,19 @@ fn serve_request(
     let started = Instant::now();
     shared.counters.active.fetch_add(1, Ordering::Relaxed);
     let registered = register_monitor(shared, writer, &req_token);
-    let outcome = execute_query(
-        &shared.graph,
-        req,
-        shared.config.default_timeout,
-        &req_token,
-        &rec,
-    );
+    let outcome = if req.get("op").and_then(Value::as_str) == Some("update") {
+        run_update(shared, req, &req_token, &rec)
+    } else {
+        let epoch = shared.current_epoch();
+        execute_query(
+            &epoch.graph,
+            req,
+            shared.config.default_timeout,
+            &req_token,
+            &rec,
+        )
+        .map(|o| (o, epoch))
+    };
     if let Some(done) = registered {
         done.store(true, Ordering::Release);
         // Restore blocking mode for the response write; the monitor's
@@ -477,14 +523,14 @@ fn serve_request(
     }
     shared.counters.active.fetch_sub(1, Ordering::Relaxed);
     match outcome {
-        Ok(outcome) => {
+        Ok((outcome, epoch)) => {
             let partial = !outcome.completion.is_complete();
             if partial {
                 shared.counters.partial.fetch_add(1, Ordering::Relaxed);
             } else {
                 shared.counters.completed.fetch_add(1, Ordering::Relaxed);
             }
-            let line = render_response(shared, req, &outcome, &rec, started);
+            let line = render_response(req, &outcome, &rec, started, &epoch);
             writer.write_all(line.as_bytes()).is_ok()
         }
         Err(fault) => {
@@ -496,6 +542,36 @@ fn serve_request(
             false
         }
     }
+}
+
+/// Runs one `update` request: validates fully before any mutation,
+/// applies the batch on the serialized incremental engine, publishes
+/// the resulting graph as the next epoch, and returns that epoch so
+/// the response is stamped with the generation it produced. Reads keep
+/// serving the previous epoch until the publish — a malformed batch is
+/// rejected with zero mutation and the generation does not move.
+fn run_update(
+    shared: &Shared,
+    req: &Value,
+    token: &CancelToken,
+    rec: &CountingRecorder,
+) -> Result<(QueryOutcome, Arc<Epoch>), ProtocolError> {
+    let mut updater = shared.lock(&shared.updater);
+    let current = shared.current_epoch();
+    let deltas = parse_update_deltas(req, current.graph.num_vertices())?;
+    let engine = updater.get_or_insert_with(|| MutableSkyline::new(current.graph.clone()));
+    let outcome = execute_update(
+        engine,
+        &deltas,
+        req,
+        shared.config.default_timeout,
+        token,
+        rec,
+    )?;
+    // A tripped update committed an exact prefix — publish that graph;
+    // the response's `cursor`/`total` say how far it got.
+    let epoch = shared.publish(engine.current_graph());
+    Ok((outcome, epoch))
 }
 
 /// Registers the request with the disconnect monitor; returns the done
@@ -554,17 +630,19 @@ fn monitor_loop(shared: &Shared) {
     }
 }
 
-/// Renders the success envelope: result + completion + RunReport.
+/// Renders the success envelope: result + completion + RunReport,
+/// stamped with the graph generation the request ran against (for an
+/// `update`, the generation it produced).
 fn render_response(
-    shared: &Shared,
     req: &Value,
     outcome: &QueryOutcome,
     rec: &CountingRecorder,
     started: Instant,
+    epoch: &Epoch,
 ) -> String {
     let partial = !outcome.completion.is_complete();
     let mut report =
-        RunReport::from_recorder(outcome.kernel, shared.fingerprint, outcome.completion, rec);
+        RunReport::from_recorder(outcome.kernel, epoch.fingerprint, outcome.completion, rec);
     if partial {
         report.push_event(format!("server: partial answer ({})", outcome.completion));
     }
@@ -575,6 +653,7 @@ fn render_response(
         ("op", json::s(op)),
         ("partial", Value::Bool(partial)),
         ("completion", json::s(&outcome.completion.to_string())),
+        ("generation", json::num(epoch.generation)),
         ("elapsed_ms", json::num(elapsed_ms)),
         ("result", outcome.result.clone()),
         ("report", json::s(&report.to_json())),

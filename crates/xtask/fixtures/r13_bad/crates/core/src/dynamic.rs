@@ -1,0 +1,17 @@
+//! R13 fixture (dynamic maintenance): the dirty-drain loop passes the
+//! lexical R7 pre-pass — a `.check(` is reachable — but only polls on
+//! the iterations that recompute, so a run of already-clean vertices
+//! completes without ever touching the ticker.
+
+fn drain_dirty(dirty: &[u32], stale: &[bool], ticker: &mut BudgetTicker<'_>) -> u32 {
+    let mut committed = 0;
+    for (i, &x) in dirty.iter().enumerate() {
+        if stale[i] {
+            if ticker.check().is_some() {
+                break;
+            }
+            committed = committed.wrapping_add(x);
+        }
+    }
+    committed
+}

@@ -1,0 +1,17 @@
+//! R13 fixture (dynamic maintenance, clean): the commit loop polls on
+//! every iteration but *defers* the trip — a poll whose result is
+//! deliberately ignored still counts, because R13 demands the ticker
+//! be touched on all continuing paths, not that the loop break.
+
+fn commit_dirty(newdom: &[(u32, u32)], dom: &mut [u32], ticker: &mut BudgetTicker<'_>) -> u32 {
+    let mut committed = 0;
+    for &(x, w) in newdom {
+        if ticker.check().is_some() {
+            // Sticky trip: honored at the next delta boundary — the
+            // commit itself must not tear.
+        }
+        dom[x as usize] = w;
+        committed += 1;
+    }
+    committed
+}

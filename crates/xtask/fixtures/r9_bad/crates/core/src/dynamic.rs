@@ -1,0 +1,7 @@
+//! Fixture: a dynamic-maintenance module whose public entry points
+//! never accept an observability recorder.
+
+/// Applies a delta batch with no way to observe its counters.
+pub fn apply_batch(deltas: &[u32]) -> u32 {
+    deltas.iter().copied().sum()
+}

@@ -1,0 +1,14 @@
+//! Fixture: an instrumented dynamic-maintenance module — one entry
+//! point accepts the observability recorder, covering the module.
+
+/// Open-loop entry point (uninstrumented on purpose).
+pub fn apply_batch(deltas: &[u32]) -> u32 {
+    deltas.iter().copied().sum()
+}
+
+/// Instrumented twin: flushes the batch counters into the recorder.
+pub fn apply_batch_recorded(deltas: &[u32], rec: &dyn Recorder) -> u32 {
+    let out = apply_batch(deltas);
+    rec.add(Counter::DeltasApplied, u64::from(out));
+    out
+}

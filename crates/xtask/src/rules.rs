@@ -340,6 +340,7 @@ pub(crate) const KERNEL_MODULES: &[&str] = &[
     "crates/core/src/base.rs",
     "crates/core/src/refine.rs",
     "crates/core/src/parallel.rs",
+    "crates/core/src/dynamic.rs",
     "crates/clique/src/bnb.rs",
     "crates/clique/src/mcbrb.rs",
     "crates/clique/src/topk.rs",
@@ -411,6 +412,7 @@ const OBS_MODULES: &[&str] = &[
     "crates/core/src/base.rs",
     "crates/core/src/refine.rs",
     "crates/core/src/parallel.rs",
+    "crates/core/src/dynamic.rs",
     "crates/clique/src/bnb.rs",
     "crates/clique/src/mcbrb.rs",
     "crates/clique/src/neisky.rs",

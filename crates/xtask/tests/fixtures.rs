@@ -165,14 +165,16 @@ fn r8_versioned_suppressed_and_test_states_clean() {
 fn r9_uninstrumented_kernel_modules_flagged() {
     let violations = assert_only_rule("r9_bad", Rule::ObsInstrumented);
     // One violation per module (at its first public entry point), not
-    // one per uninstrumented function: the core kernel and the server
-    // query engine each fire once.
-    assert_eq!(violations.len(), 2);
-    assert!(violations[0].message.contains("refine.rs"));
-    assert!(violations[0].message.contains("Recorder"));
-    assert!(violations[0].file.ends_with("crates/core/src/refine.rs"));
-    assert!(violations[1].message.contains("engine.rs"));
-    assert!(violations[1].file.ends_with("crates/server/src/engine.rs"));
+    // one per uninstrumented function: the dynamic-maintenance module,
+    // the core kernel and the server query engine each fire once.
+    assert_eq!(violations.len(), 3);
+    assert!(violations[0].message.contains("dynamic.rs"));
+    assert!(violations[0].file.ends_with("crates/core/src/dynamic.rs"));
+    assert!(violations[1].message.contains("refine.rs"));
+    assert!(violations[1].message.contains("Recorder"));
+    assert!(violations[1].file.ends_with("crates/core/src/refine.rs"));
+    assert!(violations[2].message.contains("engine.rs"));
+    assert!(violations[2].file.ends_with("crates/server/src/engine.rs"));
 }
 
 #[test]
@@ -248,12 +250,15 @@ fn r12_committed_baselines_match_real_crates() {
 #[test]
 fn r13_conditional_polls_flagged() {
     let violations = assert_only_rule("r13_bad", Rule::PollReachability);
-    // A branch-guarded lexical poll and a branch-guarded helper poll:
-    // both loops can complete an iteration without reaching the ticker.
-    assert_eq!(violations.len(), 2);
-    assert!(violations[0].message.contains("conditional_poll"));
-    assert!(violations[1].message.contains("helper_conditional"));
-    assert!(violations[0].file.ends_with("crates/core/src/refine.rs"));
+    // A stale-guarded dirty-drain poll, a branch-guarded lexical poll
+    // and a branch-guarded helper poll: each loop can complete an
+    // iteration without reaching the ticker.
+    assert_eq!(violations.len(), 3);
+    assert!(violations[0].message.contains("drain_dirty"));
+    assert!(violations[0].file.ends_with("crates/core/src/dynamic.rs"));
+    assert!(violations[1].message.contains("conditional_poll"));
+    assert!(violations[2].message.contains("helper_conditional"));
+    assert!(violations[1].file.ends_with("crates/core/src/refine.rs"));
 }
 
 /// The acceptance demo that R13 is strictly stronger than R7: the bad
@@ -456,12 +461,14 @@ fn cli_lint_json_roundtrips_through_checksum_decoder() {
             .map(|&(_, v)| v)
             .unwrap_or_else(|| panic!("counter {name} present"))
     };
-    assert_eq!(counter("poll-reachability"), 2);
+    assert_eq!(counter("poll-reachability"), 3);
     assert_eq!(counter("budget-check"), 0);
-    assert_eq!(counter("total"), 2);
-    assert_eq!(report.events.len(), 2);
+    assert_eq!(counter("total"), 3);
+    assert_eq!(report.events.len(), 3);
     assert!(
-        report.events[0].contains("refine.rs:9:") && report.events[1].contains("refine.rs:24:"),
+        report.events[0].contains("dynamic.rs")
+            && report.events[1].contains("refine.rs:9:")
+            && report.events[2].contains("refine.rs:24:"),
         "events keep the (file, line, rule) violation order: {:?}",
         report.events
     );

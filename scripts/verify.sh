@@ -52,6 +52,12 @@ step cargo test -q -p nsky-integration --test obs_invariants
 # checkpoint, damaged resume) with sound partial answers, graceful
 # degradation of unusable checkpoints, and byte-identical no-fault runs.
 step cargo test -q -p nsky-integration --test fault_matrix
+# Dynamic-maintenance gate, likewise run by name: the incremental
+# engine must agree with a from-scratch recompute after every single
+# delta and after randomized batches across generator families, honor
+# inverse round-trips, and turn mid-batch deadline trips into exact
+# committed-prefix answers that resume to convergence.
+step cargo test -q -p nsky-integration --test dynamic_differential
 # Serving gate, likewise run by name: the byzantine-client matrix (torn
 # frames, garbage, oversized frames, slow loris, floods past the shed
 # threshold, mid-kernel disconnects, shutdown drain) must produce typed

@@ -357,6 +357,105 @@ fn greedy_counters_flush_through_the_recorder() {
     assert_eq!(names, ["skyline", "greedy"]);
 }
 
+/// The incremental engine's counters flush exactly, per-delta dirty
+/// sets never exceed the 2-hop bound of the touched endpoints, and a
+/// zero-delta update is a byte-identical no-op on both the witness
+/// array and the counter table.
+#[test]
+fn dynamic_counters_flush_and_respect_the_two_hop_bound() {
+    use nsky_graph::{DeltaGraph, EdgeDelta};
+    use nsky_skyline::{domination, MutableSkyline};
+    let mut rng = SplitMix64::new(0xD1_4411);
+    for (label, g) in sweep() {
+        let n = g.num_vertices();
+        if n < 2 {
+            continue;
+        }
+        let mut engine = MutableSkyline::new(g.clone());
+        for step in 0..12 {
+            let u = (rng.next() % n as u64) as u32;
+            let mut v = (rng.next() % n as u64) as u32;
+            if u == v {
+                v = (v + 1) % n as u32;
+            }
+            let pre = engine.current_graph();
+            let d = if rng.next() % 2 == 0 {
+                EdgeDelta::Insert(u, v)
+            } else {
+                EdgeDelta::Delete(u, v)
+            };
+            let rec = CountingRecorder::new();
+            let out = engine.apply_batch_recorded(&[d], &rec);
+            assert_eq!(out.completion, Completion::Complete, "{label} step {step}");
+
+            // The bulk flush mirrors the outcome stats exactly.
+            assert_eq!(
+                rec.value(Counter::DeltasApplied),
+                out.stats.applied,
+                "{label}"
+            );
+            assert_eq!(
+                rec.value(Counter::DirtyVertices),
+                out.stats.dirty_vertices,
+                "{label}"
+            );
+            assert_eq!(
+                rec.value(Counter::ScopedRefines),
+                out.stats.scoped_refines,
+                "{label}"
+            );
+
+            if out.stats.applied == 0 {
+                // A no-op delta counts as skipped and touches nothing.
+                assert_eq!(out.stats.skipped, 1, "{label} step {step}");
+                assert_eq!(out.stats.dirty_vertices, 0, "{label} step {step}");
+                assert_eq!(engine.num_edges(), pre.num_edges(), "{label} step {step}");
+                continue;
+            }
+            // Complete runs refine exactly the dirty set, and the dirty
+            // set is bounded by the closed 2-hop balls of the touched
+            // endpoints on the edge-present graph (after an insert /
+            // before a delete).
+            assert_eq!(
+                out.stats.scoped_refines, out.stats.dirty_vertices,
+                "{label} step {step}: refines != dirty"
+            );
+            let edge_present = if d.is_insert() {
+                let mut dg = DeltaGraph::from_graph(pre);
+                dg.apply(d);
+                dg.materialize()
+            } else {
+                pre
+            };
+            let mut ball = domination::two_hop_neighbors(&edge_present, u);
+            ball.extend(domination::two_hop_neighbors(&edge_present, v));
+            ball.push(u);
+            ball.push(v);
+            ball.sort_unstable();
+            ball.dedup();
+            assert!(
+                out.stats.dirty_vertices <= ball.len() as u64,
+                "{label} step {step}: dirty {} exceeds 2-hop bound {}",
+                out.stats.dirty_vertices,
+                ball.len()
+            );
+        }
+
+        // Zero-delta update: counters stay zero, the witness array is
+        // byte-identical, and nothing is recorded.
+        let before = engine.dominator().to_vec();
+        let rec = CountingRecorder::new();
+        let out = engine.apply_batch_recorded(&[], &rec);
+        assert_eq!(out.completion, Completion::Complete, "{label}");
+        assert_eq!(engine.dominator(), before.as_slice(), "{label}");
+        assert_eq!(out.stats.applied, 0, "{label}");
+        assert_eq!(out.stats.skipped, 0, "{label}");
+        assert_eq!(rec.value(Counter::DeltasApplied), 0, "{label}");
+        assert_eq!(rec.value(Counter::DirtyVertices), 0, "{label}");
+        assert_eq!(rec.value(Counter::ScopedRefines), 0, "{label}");
+    }
+}
+
 /// A report built from a live recorder survives the JSON round trip;
 /// short writes (via the fault-injected sink) and bit flips are
 /// rejected with the matching typed error, never a garbage report.

@@ -383,6 +383,190 @@ fn client_disconnect_raises_cancel_mid_kernel() {
     assert!(stats.cancelled >= 1);
 }
 
+/// Replays an update batch client-side (the reference for generation
+/// checking below).
+fn apply_local(g: &nsky_graph::Graph, lines: &[&str]) -> nsky_graph::Graph {
+    let text: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    let deltas = nsky_graph::io::read_edge_deltas(text.as_bytes()).expect("test batch parses");
+    let mut view = nsky_graph::DeltaGraph::from_graph(g.clone());
+    for d in deltas {
+        view.apply(d);
+    }
+    view.materialize()
+}
+
+fn deltas_json(lines: &[&str]) -> String {
+    let quoted: Vec<String> = lines.iter().map(|l| format!("\"{l}\"")).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Updates interleaved with concurrent skyline reads: every response is
+/// stamped with a generation, and its payload must be exactly correct
+/// for *that* generation's graph — no torn reads, ever. The reference
+/// graphs are replayed client-side from the same batches.
+#[test]
+fn updates_interleave_with_queries_without_torn_reads() {
+    let handle = start_karate(test_config());
+    let addr = handle.addr();
+    let batches: Vec<Vec<&str>> = vec![
+        vec!["+ 0 9", "- 0 1"],
+        vec!["- 33 32", "+ 4 33"],
+        vec!["+ 0 1", "- 4 33"],
+        vec!["- 0 9", "+ 33 32"],
+    ];
+    // generation g == karate + the first g batches, by construction
+    // (updates are serialized; each bumps the generation by one).
+    let mut graphs = vec![nsky_datasets::karate()];
+    for b in &batches {
+        let next = apply_local(graphs.last().unwrap(), b);
+        graphs.push(next);
+    }
+    let skylines: Vec<Vec<u32>> = graphs
+        .iter()
+        .map(|g| filter_refine_sky(g, &RefineConfig::default()).skyline)
+        .collect();
+
+    let reader = {
+        let skylines = skylines.clone();
+        std::thread::spawn(move || {
+            for _ in 0..40 {
+                let resp = request(addr, r#"{"op":"skyline"}"#);
+                assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+                assert_eq!(resp.get("partial").and_then(Value::as_bool), Some(false));
+                let generation = resp
+                    .get("generation")
+                    .and_then(Value::as_u64)
+                    .expect("stamped generation") as usize;
+                assert!(generation < skylines.len(), "unknown generation");
+                assert_eq!(
+                    skyline_ids(&resp),
+                    skylines[generation],
+                    "torn read: response does not match its own generation {generation}"
+                );
+            }
+        })
+    };
+    for (i, b) in batches.iter().enumerate() {
+        let resp = request(
+            addr,
+            &format!("{{\"op\":\"update\",\"deltas\":{}}}", deltas_json(b)),
+        );
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{resp}"
+        );
+        assert_eq!(resp.get("partial").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            resp.get("generation").and_then(Value::as_u64),
+            Some((i + 1) as u64)
+        );
+        // The update's own payload is the new generation's exact skyline.
+        assert_eq!(skyline_ids(&resp), skylines[i + 1], "update {i}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    reader.join().expect("reader thread must not panic");
+
+    // After the last update, reads land on the final generation.
+    let resp = request(addr, r#"{"op":"skyline"}"#);
+    assert_eq!(
+        resp.get("generation").and_then(Value::as_u64),
+        Some(batches.len() as u64)
+    );
+    assert_eq!(skyline_ids(&resp), *skylines.last().unwrap());
+
+    let stats = handle.shutdown_and_drain();
+    assert_eq!(stats.protocol_errors, 0, "{stats:?}");
+}
+
+/// Byzantine update payloads: every malformed shape gets a typed
+/// `bad_request` (not a teardown panic, not a partial mutation) and the
+/// graph generation never moves — queries keep answering for
+/// generation 0 with the original skyline.
+#[test]
+fn malformed_update_deltas_are_rejected_without_poisoning_the_graph() {
+    let handle = start_karate(test_config());
+    let addr = handle.addr();
+    let full = filter_refine_sky(&nsky_datasets::karate(), &RefineConfig::default());
+    for bad in [
+        r#"{"op":"update"}"#,                            // missing deltas
+        r#"{"op":"update","deltas":"not an array"}"#,    // wrong type
+        r#"{"op":"update","deltas":[42]}"#,              // non-string element
+        r#"{"op":"update","deltas":["* 1 2"]}"#,         // unknown op token
+        r#"{"op":"update","deltas":["+ 1"]}"#,           // missing endpoint
+        r#"{"op":"update","deltas":["+ 1 2 3"]}"#,       // trailing junk
+        r#"{"op":"update","deltas":["+ 3 3"]}"#,         // self-loop
+        r#"{"op":"update","deltas":["+ 0 99"]}"#,        // out of range
+        r#"{"op":"update","deltas":["+ 0 1","- 5 5"]}"#, // poison mid-batch
+    ] {
+        let resp = request(addr, bad);
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "{bad} must be rejected: {resp}"
+        );
+        assert_eq!(
+            resp.get("error").and_then(Value::as_str),
+            Some("bad_request"),
+            "{bad}: {resp}"
+        );
+    }
+    // Zero mutation: still generation 0, still the original skyline.
+    let resp = request(addr, r#"{"op":"skyline"}"#);
+    assert_eq!(resp.get("generation").and_then(Value::as_u64), Some(0));
+    assert_eq!(skyline_ids(&resp), full.skyline);
+    // And the update path still works after the abuse.
+    let resp = request(addr, r#"{"op":"update","deltas":["- 0 1"]}"#);
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{resp}"
+    );
+    assert_eq!(resp.get("generation").and_then(Value::as_u64), Some(1));
+    let stats = handle.shutdown_and_drain();
+    assert!(stats.protocol_errors >= 9, "{stats:?}");
+}
+
+/// A deadline-tripped update commits an exact prefix: the response says
+/// how far it got (`cursor`/`total`), its skyline is exactly the
+/// committed-prefix graph's, and the published generation serves
+/// subsequent reads with that same graph.
+#[test]
+fn tripped_update_publishes_an_exact_prefix_epoch() {
+    let handle = start_karate(test_config());
+    let addr = handle.addr();
+    let lines: Vec<String> = (0..16).map(|i| format!("- {} {}", i % 8, 9 + i)).collect();
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let resp = request(
+        addr,
+        &format!(
+            "{{\"op\":\"update\",\"deltas\":{},\"trip_after\":4,\"check_interval\":1}}",
+            deltas_json(&refs)
+        ),
+    );
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{resp}"
+    );
+    assert_eq!(resp.get("partial").and_then(Value::as_bool), Some(true));
+    let cursor = resp
+        .get("result")
+        .and_then(|r| r.get("cursor"))
+        .and_then(Value::as_u64)
+        .expect("cursor") as usize;
+    assert!(cursor < refs.len(), "{resp}");
+    let prefix_graph = apply_local(&nsky_datasets::karate(), &refs[..cursor]);
+    let expect = filter_refine_sky(&prefix_graph, &RefineConfig::default()).skyline;
+    assert_eq!(skyline_ids(&resp), expect, "partial not exact for prefix");
+    // The prefix epoch is what readers now see.
+    let resp = request(addr, r#"{"op":"skyline"}"#);
+    assert_eq!(resp.get("generation").and_then(Value::as_u64), Some(1));
+    assert_eq!(skyline_ids(&resp), expect);
+    let stats = handle.shutdown_and_drain();
+    assert_eq!(stats.partial, 1, "{stats:?}");
+}
+
 #[test]
 fn shutdown_frame_drains_inflight_and_reaps_every_thread() {
     let handle = start_karate(test_config());
