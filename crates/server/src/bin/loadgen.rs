@@ -13,7 +13,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nsky_server::{Server, ServerConfig};
@@ -44,7 +44,10 @@ NSKY_QUICK=1 shrinks the run; NSKY_BENCH_JSON=<dir> writes
 BENCH_server.json (p50/p99/qps in the RunReport v1 schema).
 ";
 
-/// Shared run state: the arrival cursor and the latency sink.
+/// Shared run state: the arrival cursor and the outcome counters.
+/// Latencies are NOT here — each client thread keeps its own `Vec` and
+/// returns it through `join`, so the hot path never takes a lock (and
+/// `run` never joins while holding one).
 struct Run {
     addr: String,
     op: String,
@@ -58,7 +61,6 @@ struct Run {
     partial: AtomicU64,
     errors: AtomicU64,
     faults_injected: AtomicU64,
-    latencies_nanos: Mutex<Vec<u64>>,
 }
 
 fn main() -> ExitCode {
@@ -148,7 +150,6 @@ fn run(args: &[String]) -> Result<(), (u8, String)> {
         partial: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         faults_injected: AtomicU64::new(0),
-        latencies_nanos: Mutex::new(Vec::with_capacity(requests)),
     });
 
     let mut clients = Vec::with_capacity(concurrency);
@@ -156,8 +157,9 @@ fn run(args: &[String]) -> Result<(), (u8, String)> {
         let state = Arc::clone(&state);
         clients.push(std::thread::spawn(move || client_loop(&state)));
     }
+    let mut lat: Vec<u64> = Vec::with_capacity(requests);
     for c in clients {
-        let _ = c.join();
+        lat.extend(c.join().unwrap_or_default());
     }
     let elapsed = state.start.elapsed();
 
@@ -168,10 +170,6 @@ fn run(args: &[String]) -> Result<(), (u8, String)> {
         0
     };
 
-    let mut lat = match state.latencies_nanos.lock() {
-        Ok(guard) => guard.clone(),
-        Err(poisoned) => poisoned.into_inner().clone(),
-    };
     lat.sort_unstable();
     let pick = |pct: usize| -> u64 {
         if lat.is_empty() {
@@ -243,11 +241,14 @@ fn run(args: &[String]) -> Result<(), (u8, String)> {
 }
 
 /// One client thread: claim arrival slots, pace to the schedule, fire.
-fn client_loop(state: &Run) {
+/// Returns the latencies this thread measured; `run` merges the
+/// per-thread vectors after the joins.
+fn client_loop(state: &Run) -> Vec<u64> {
+    let mut latencies: Vec<u64> = Vec::new();
     loop {
         let i = state.next.fetch_add(1, Ordering::Relaxed);
         if i >= state.requests {
-            return;
+            return latencies;
         }
         // Open-loop pacing: arrival i is due at start + i/rate,
         // regardless of how long earlier requests took.
@@ -271,9 +272,7 @@ fn client_loop(state: &Run) {
                 let lat = done.saturating_sub(scheduled);
                 // CAST: guarded — latencies are far below u64 nanos.
                 let nanos = u64::try_from(lat.as_nanos()).unwrap_or(u64::MAX);
-                if let Ok(mut sink) = state.latencies_nanos.lock() {
-                    sink.push(nanos);
-                }
+                latencies.push(nanos);
                 if partial {
                     state.partial.fetch_add(1, Ordering::Relaxed);
                 } else {

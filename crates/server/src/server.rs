@@ -54,6 +54,11 @@ pub struct ServerConfig {
     pub default_timeout: Option<Duration>,
     /// Disconnect-monitor polling period.
     pub monitor_poll: Duration,
+    /// Enables the `inject_poison` fault op (tests only): a request may
+    /// then poison a named shared mutex to drill the recovery path in
+    /// [`Shared::lock`]. Off by default; production servers reject the
+    /// op like any other unknown one.
+    pub fault_injection: bool,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +74,7 @@ impl Default for ServerConfig {
             retry_after_ms: 100,
             default_timeout: None,
             monitor_poll: Duration::from_millis(10),
+            fault_injection: false,
         }
     }
 }
@@ -196,6 +202,15 @@ impl Shared {
     fn begin_drain(&self) {
         // ORDERING: Release pairs with the Acquire in `is_draining`.
         self.draining.store(true, Ordering::Release);
+        self.notify_waiters();
+    }
+
+    /// Wakes every worker parked on `available`. The queue mutex is
+    /// taken (and immediately dropped) around the notify: a worker
+    /// between its predicate check and its `wait` holds that mutex, so
+    /// notifying under it cannot race into the gap and go unheard.
+    fn notify_waiters(&self) {
+        let _held = self.lock(&self.queue);
         self.available.notify_all();
     }
 }
@@ -338,7 +353,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
     // ORDERING: Release pairs with the Acquire in `monitor_loop`; the
     // monitor exits only after the accept loop finished supervising.
     shared.stopped.store(true, Ordering::Release);
-    shared.available.notify_all();
+    shared.notify_waiters();
 }
 
 /// Admits one accepted connection, shedding if the queue is full.
@@ -461,6 +476,37 @@ fn handle_frame(
             let _ = writer.write_all(line.as_bytes());
             false
         }
+        Some("inject_poison") if shared.config.fault_injection => {
+            let target = req.get("target").and_then(Value::as_str).unwrap_or("");
+            let hit = match target {
+                "epoch" => {
+                    poison(&shared.epoch);
+                    true
+                }
+                "queue" => {
+                    poison(&shared.queue);
+                    true
+                }
+                "monitor" => {
+                    poison(&shared.monitor);
+                    true
+                }
+                "updater" => {
+                    poison(&shared.updater);
+                    true
+                }
+                _ => false,
+            };
+            let mut line = json::obj(vec![
+                ("ok", Value::Bool(hit)),
+                ("op", json::s("inject_poison")),
+                ("target", json::s(target)),
+            ])
+            .to_string();
+            line.push('\n');
+            let _ = writer.write_all(line.as_bytes());
+            hit
+        }
         Some("stats") => {
             let stats = shared.stats();
             let mut line = json::obj(vec![
@@ -486,6 +532,26 @@ fn handle_frame(
         }
         _ => serve_request(shared, writer, conn_token, &req),
     }
+}
+
+/// Test-only fault hook behind [`ServerConfig::fault_injection`]:
+/// poisons `m` by panicking while its guard is held, inside
+/// `catch_unwind` so the serving thread survives its own drill. The
+/// panic hook is silenced around the controlled panic so the fault
+/// suite's output stays free of backtrace spray, and restored before
+/// returning.
+fn poison<T>(m: &Mutex<T>) {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _guard = match m.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // nsky-lint: allow(panic-free) — unwinding past a held guard is the only way to poison a std Mutex
+        panic!("injected poison");
+    }));
+    std::panic::set_hook(hook);
 }
 
 /// Runs one query request under its own budget/token/recorder and
@@ -556,6 +622,10 @@ fn run_update(
     token: &CancelToken,
     rec: &CountingRecorder,
 ) -> Result<(QueryOutcome, Arc<Epoch>), ProtocolError> {
+    // GUARD: the updater mutex is the update path's serializer — it
+    // stays held across the kernel run so two updates can never
+    // interleave deltas into the engine; reads are unaffected (they
+    // clone the published epoch and never touch this lock).
     let mut updater = shared.lock(&shared.updater);
     let current = shared.current_epoch();
     let deltas = parse_update_deltas(req, current.graph.num_vertices())?;
@@ -604,7 +674,10 @@ fn monitor_loop(shared: &Shared) {
     // ORDERING: Acquire pairs with the Release in `accept_loop`.
     while !shared.stopped.load(Ordering::Acquire) {
         std::thread::sleep(shared.config.monitor_poll);
-        let mut entries = shared.lock(&shared.monitor);
+        // Take the registry out and probe without the lock: a stalled
+        // peer must not block `register_monitor` on the worker path.
+        // Requests registered while we probe just wait one poll tick.
+        let mut entries = std::mem::take(&mut *shared.lock(&shared.monitor));
         entries.retain(|entry| {
             // ORDERING: Acquire pairs with the worker's Release store;
             // a done request must not be peeked again.
@@ -627,6 +700,10 @@ fn monitor_loop(shared: &Shared) {
                 }
             }
         });
+        if !entries.is_empty() {
+            // Survivors rejoin whatever was registered meanwhile.
+            shared.lock(&shared.monitor).append(&mut entries);
+        }
     }
 }
 

@@ -1,0 +1,34 @@
+//! R17 fixture: `sum_ab` locks `alpha` then `beta` while `sum_ba` locks
+//! them in the opposite order — the classic ABBA deadlock, visible as a
+//! two-edge cycle in the lock-order graph.
+
+use std::sync::Mutex;
+
+struct Pool {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+fn sum_ab(p: &Pool) -> u32 {
+    let a = match p.alpha.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let b = match p.beta.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    a.wrapping_add(*b)
+}
+
+fn sum_ba(p: &Pool) -> u32 {
+    let b = match p.beta.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let a = match p.alpha.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    b.wrapping_add(*a)
+}

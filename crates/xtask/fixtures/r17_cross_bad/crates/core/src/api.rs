@@ -1,0 +1,27 @@
+//! R17 cross-crate fixture, half one: `advance` takes `head` and then
+//! calls into the `graph` crate's `bump_tail`, which takes `tail` — the
+//! head→tail edge exists only transitively, through the call graph.
+
+use std::sync::Mutex;
+
+struct Store {
+    head: Mutex<u32>,
+    tail: Mutex<u32>,
+}
+
+fn advance(s: &Store) -> u32 {
+    let h = match s.head.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    bump_tail(s);
+    h.wrapping_add(1)
+}
+
+fn grab_head(s: &Store) -> u32 {
+    let h = match s.head.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *h
+}

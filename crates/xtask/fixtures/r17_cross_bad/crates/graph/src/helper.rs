@@ -1,0 +1,21 @@
+//! R17 cross-crate fixture, half two: `rebalance` takes `tail` and then
+//! calls back into the `core` crate's `grab_head`, which takes `head`.
+//! Together with `core::advance` (head → … → tail) the two crates close
+//! a head→tail→head cycle no single file exhibits.
+
+fn bump_tail(s: &Store) -> u32 {
+    let t = match s.tail.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    t.wrapping_add(1)
+}
+
+fn rebalance(s: &Store) -> u32 {
+    let t = match s.tail.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let h = grab_head(s);
+    t.wrapping_add(h)
+}

@@ -1,0 +1,33 @@
+//! R17 fixture (clean): every path acquires `alpha` before `beta`, so
+//! the lock-order graph has one edge and no cycle.
+
+use std::sync::Mutex;
+
+struct Pool {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+fn sum_ab(p: &Pool) -> u32 {
+    let a = match p.alpha.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let b = match p.beta.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    a.wrapping_add(*b)
+}
+
+fn scale_ab(p: &Pool, k: u32) -> u32 {
+    let a = match p.alpha.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let b = match p.beta.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    a.wrapping_mul(k).wrapping_add(*b)
+}

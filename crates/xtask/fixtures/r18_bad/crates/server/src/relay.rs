@@ -1,0 +1,36 @@
+//! R18 fixture: `pump` holds the `buffer` guard across a socket read,
+//! and `stamp` holds the *protected* `epoch` guard across one — the
+//! `// GUARD:` justification on `stamp` is deliberately ignored because
+//! `epoch` is on the protected list.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+struct Relay {
+    buffer: Mutex<Vec<u8>>,
+    epoch: Mutex<u64>,
+}
+
+fn pump(r: &Relay, stream: &mut TcpStream) -> usize {
+    let mut buf = match r.buffer.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut chunk = [0_u8; 64];
+    let n = stream.read(&mut chunk).unwrap_or(0);
+    buf.extend_from_slice(&chunk[..n]);
+    buf.len()
+}
+
+fn stamp(r: &Relay, stream: &mut TcpStream) -> u64 {
+    // GUARD: justifications cannot waive a protected lock
+    let mut e = match r.epoch.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut probe = [0_u8; 1];
+    let _ = stream.read(&mut probe);
+    *e = e.wrapping_add(1);
+    *e
+}

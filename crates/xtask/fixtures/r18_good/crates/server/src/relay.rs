@@ -1,0 +1,43 @@
+//! R18 fixture (clean): the socket read happens before the lock, a
+//! justified hold carries a `// GUARD:` marker, and `drain` releases
+//! its guard with `drop` before touching the socket.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+struct Relay {
+    buffer: Mutex<Vec<u8>>,
+}
+
+fn pump(r: &Relay, stream: &mut TcpStream) -> usize {
+    let mut chunk = [0_u8; 64];
+    let n = stream.read(&mut chunk).unwrap_or(0);
+    let mut buf = match r.buffer.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    buf.extend_from_slice(&chunk[..n]);
+    buf.len()
+}
+
+fn flush_logged(r: &Relay, stream: &mut TcpStream) -> usize {
+    // GUARD: single-writer relay; the peer is a local pipe that cannot stall
+    let buf = match r.buffer.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let _ = stream.write(&buf);
+    buf.len()
+}
+
+fn drain(r: &Relay, stream: &mut TcpStream) -> usize {
+    let mut buf = match r.buffer.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let taken = std::mem::take(&mut *buf);
+    drop(buf);
+    let _ = stream.write(&taken);
+    taken.len()
+}

@@ -1,0 +1,34 @@
+//! R19 fixture: `take_naked` waits outside any loop (a spurious wakeup
+//! falls straight through to the pop), and `submit_unlocked` notifies
+//! after its guard block closed (a waiter between predicate and wait
+//! misses the wakeup).
+
+use std::sync::{Condvar, Mutex};
+
+struct Work {
+    jobs: Mutex<Vec<u32>>,
+    ready: Condvar,
+}
+
+fn take_naked(w: &Work) -> Option<u32> {
+    let jobs = match w.jobs.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut jobs = match w.ready.wait(jobs) {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    jobs.pop()
+}
+
+fn submit_unlocked(w: &Work, job: u32) {
+    {
+        let mut jobs = match w.jobs.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        jobs.push(job);
+    }
+    w.ready.notify_one();
+}

@@ -1,0 +1,49 @@
+//! R19 fixture (clean): both wait forms sit in predicate-retesting
+//! loops (a `while` head, and a `loop` with a conditional `break`), and
+//! every notify fires while the paired mutex is held.
+
+use std::sync::{Condvar, Mutex};
+
+struct Work {
+    jobs: Mutex<Vec<u32>>,
+    ready: Condvar,
+}
+
+fn take(w: &Work) -> u32 {
+    let mut jobs = match w.jobs.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    while jobs.is_empty() {
+        jobs = match w.ready.wait(jobs) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+    }
+    jobs.pop().unwrap_or(0)
+}
+
+fn take_first(w: &Work) -> u32 {
+    let mut jobs = match w.jobs.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    loop {
+        if let Some(job) = jobs.pop() {
+            break job;
+        }
+        jobs = match w.ready.wait(jobs) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+    }
+}
+
+fn submit(w: &Work, job: u32) {
+    let mut jobs = match w.jobs.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    jobs.push(job);
+    w.ready.notify_one();
+}

@@ -1,0 +1,13 @@
+//! R20 fixture: both spawns leak their threads — one drops the handle
+//! on the floor implicitly, one discards it with `let _ =` inside a
+//! loop — and nothing in the crate ever joins.
+
+fn fire_and_forget(job: fn()) {
+    std::thread::spawn(job);
+}
+
+fn discard_handles(jobs: &[fn()]) {
+    for job in jobs {
+        let _ = std::thread::spawn(*job);
+    }
+}

@@ -1,0 +1,35 @@
+//! R20 fixture (clean): the four blessed lifecycles — an all-paths
+//! join, a `thread::scope`, a justified `// DETACH:` daemon, and
+//! handles collected into a vector the crate later joins.
+
+fn run_joined(job: fn()) {
+    let handle = std::thread::spawn(job);
+    let _ = handle.join();
+}
+
+fn run_scoped(jobs: &[fn()]) {
+    std::thread::scope(|scope| {
+        for job in jobs {
+            scope.spawn(*job);
+        }
+    });
+}
+
+fn run_detached(job: fn()) {
+    // DETACH: fixture daemon; it exits with the process
+    std::thread::spawn(job);
+}
+
+fn run_collected(jobs: &[fn()]) -> usize {
+    let mut handles = Vec::new();
+    for job in jobs {
+        handles.push(std::thread::spawn(*job));
+    }
+    let mut done = 0_usize;
+    for handle in handles {
+        if handle.join().is_ok() {
+            done = done.wrapping_add(1);
+        }
+    }
+    done
+}

@@ -22,7 +22,7 @@
 //!   when *every* function bearing it qualifies, so collisions cannot
 //!   launder a non-polling helper.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 use crate::cfg::{parse_body, Block, FlowAnalysis};
@@ -217,6 +217,86 @@ impl CallGraph {
     pub fn polls_anywhere(&self, i: usize, any_names: &HashSet<String>) -> bool {
         let f = &self.fns[i];
         f.has_poll_primitive || f.calls.iter().any(|c| any_names.contains(c))
+    }
+
+    /// Generic any-path name fixpoint: seeds the names of every non-test
+    /// function accepted by `seed`, then for ≤ [`CALL_DEPTH`] rounds
+    /// adds any non-test function that calls a name already in the set.
+    /// Propagation follows only strict call forms (free calls and
+    /// `self.`-methods, [`FnNode::calls_strict`]) — bare-name matching
+    /// over method/qualified forms would infect every `.load(` and
+    /// `Arc::new(` site whenever a workspace fn shares those names.
+    /// The concurrency rules use it for "transitively reaches a blocking
+    /// primitive". The seed predicate receives the function index (for
+    /// [`Self::body`] lookups) and the node.
+    pub fn propagate_names(&self, seed: impl Fn(usize, &FnNode) -> bool) -> HashSet<String> {
+        let mut set: HashSet<String> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(i, f)| !f.in_test && seed(i, f))
+            .map(|(_, f)| f.name.clone())
+            .collect();
+        for _ in 0..CALL_DEPTH {
+            let mut grew = false;
+            for f in &self.fns {
+                if !f.in_test
+                    && !set.contains(&f.name)
+                    && f.calls_strict.iter().any(|c| set.contains(c))
+                {
+                    set.insert(f.name.clone());
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        set
+    }
+
+    /// Generic set-valued name fixpoint: each non-test function starts
+    /// with the facts `seed` assigns it (index-aligned with `fns`), then
+    /// for ≤ [`CALL_DEPTH`] rounds each name unions in the facts of
+    /// every callee name. A name's facts are the union over all
+    /// functions bearing it — conservative under collisions, matching
+    /// the polling fixpoints. R17 uses this for "locks transitively
+    /// acquired by a call to `name`".
+    pub fn propagate_sets(&self, seed: &[BTreeSet<String>]) -> HashMap<String, BTreeSet<String>> {
+        let mut by_name: HashMap<String, BTreeSet<String>> = HashMap::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            by_name
+                .entry(f.name.clone())
+                .or_default()
+                .extend(seed[i].iter().cloned());
+        }
+        for _ in 0..CALL_DEPTH {
+            let mut grew = false;
+            let mut next = by_name.clone();
+            for f in &self.fns {
+                if f.in_test {
+                    continue;
+                }
+                let entry = next.entry(f.name.clone()).or_default();
+                for callee in &f.calls {
+                    if let Some(facts) = by_name.get(callee) {
+                        for fact in facts {
+                            if entry.insert(fact.clone()) {
+                                grew = true;
+                            }
+                        }
+                    }
+                }
+            }
+            by_name = next;
+            if !grew {
+                break;
+            }
+        }
+        by_name
     }
 
     /// Names of functions guaranteed to poll on every continuing path

@@ -511,6 +511,9 @@ impl Parser<'_> {
     }
 }
 
+/// The default primitive methods that count as a poll: budget checks.
+const POLL_PRIMITIVES: &[&str] = &["check", "charge"];
+
 /// The poll-reachability analysis over a parsed body.
 pub struct FlowAnalysis<'a> {
     tokens: &'a [Token],
@@ -518,6 +521,10 @@ pub struct FlowAnalysis<'a> {
     /// Names of helper functions known to poll on every continuing path
     /// (see [`crate::callgraph::polls_all_paths_set`]).
     polling: &'a HashSet<String>,
+    /// Method names that count as the polled primitive itself (`.name(`).
+    /// R13 uses budget polls; R20 reuses the same all-paths lattice with
+    /// `join` as the primitive to prove every spawned thread is joined.
+    primitives: &'static [&'static str],
 }
 
 /// One loop's poll-obligation verdict.
@@ -533,12 +540,25 @@ pub struct LoopVerdict {
 }
 
 impl<'a> FlowAnalysis<'a> {
-    /// Builds an analysis over one parsed body.
+    /// Builds an analysis over one parsed body with the budget-poll
+    /// primitives (`.check(` / `.charge(`).
     pub fn new(file: &'a SourceFile, code: &'a [usize], polling: &'a HashSet<String>) -> Self {
+        Self::with_primitives(file, code, polling, POLL_PRIMITIVES)
+    }
+
+    /// Builds an analysis whose primitive methods are caller-chosen;
+    /// everything else (lattice, exemptions, loop machinery) is shared.
+    pub fn with_primitives(
+        file: &'a SourceFile,
+        code: &'a [usize],
+        polling: &'a HashSet<String>,
+        primitives: &'static [&'static str],
+    ) -> Self {
         FlowAnalysis {
             tokens: &file.tokens,
             code,
             polling,
+            primitives,
         }
     }
 
@@ -546,8 +566,9 @@ impl<'a> FlowAnalysis<'a> {
         &self.tokens[self.code[ci]]
     }
 
-    /// Whether `[a, b)` contains a poll: a `.check(`/`.charge(` method
-    /// call, or a call to a function in the polling set.
+    /// Whether `[a, b)` contains a poll: a primitive method call
+    /// (`.check(`/`.charge(` by default), or a call to a function in the
+    /// polling set.
     pub fn range_polls(&self, (a, b): Range) -> bool {
         for k in a..b {
             let t = self.tok(k);
@@ -558,7 +579,8 @@ impl<'a> FlowAnalysis<'a> {
             if !called {
                 continue;
             }
-            if (t.text == "check" || t.text == "charge") && k > a && self.tok(k - 1).is_punct(".") {
+            if self.primitives.contains(&t.text.as_str()) && k > a && self.tok(k - 1).is_punct(".")
+            {
                 return true;
             }
             if self.polling.contains(&t.text) {

@@ -25,6 +25,10 @@
 //! | R14 | `bounded-recursion` | recursion cycles in the kernel crates carry a depth/budget parameter or a `// RECURSION:` termination argument |
 //! | R15 | `hot-loop-alloc`   | loop bodies in `// HOT:`-marked functions do not allocate without an `// ALLOC:` justification |
 //! | R16 | `twin-coherence`   | `*_budgeted`/`*_recorded`/`*_resumable` twins keep pairwise-consistent core signatures; `cargo xtask twins` reports the per-kernel twin count |
+//! | R17 | `lock-order`       | the acquired-while-holding graph over the named `Mutex` fields is acyclic; `cargo xtask locks --check` diffs it against the committed `api/locks.report` |
+//! | R18 | `guard-held-across-blocking` | no kernel entry, socket/file I/O, condvar wait, sleep or thread spawn/join while a `MutexGuard` is live, unless `// GUARD:`-justified (`Shared::epoch`/`queue` findings are unsuppressible) |
+//! | R19 | `condvar-discipline` | every `Condvar::wait` sits in a predicate-retesting loop; every `notify_*` holds the paired mutex |
+//! | R20 | `thread-lifecycle` | every non-test `spawn` is scoped, joined on all paths, escapes as a handle in a joining crate, or carries a `// DETACH:` justification |
 //!
 //! A violation can be suppressed at the site with an inline comment
 //! carrying a justification:
@@ -67,12 +71,14 @@ pub mod cfg;
 mod flow;
 mod items;
 mod lex;
+mod locks;
 mod manifest;
 mod rules;
 mod source;
 pub mod surface;
 mod twins;
 
+pub use locks::locks_report;
 pub use twins::twin_report;
 
 pub use items::{scan_items, Item, ItemKind, Visibility};
@@ -163,6 +169,31 @@ pub enum Rule {
     /// type, resumable wraps it). `cargo xtask twins --check` diffs the
     /// per-kernel twin count against `api/twins.report`.
     TwinCoherence,
+    /// R17: the acquired-while-holding graph over the workspace's named
+    /// `Mutex` fields (guard-live regions, nested and transitive
+    /// acquisitions through the call graph) contains no cycle. The
+    /// blessed graph is committed as `api/locks.report` and diffed by
+    /// `cargo xtask locks --check` (`--bless` to accept changes).
+    LockOrder,
+    /// R18: no kernel entry point, socket/file I/O, `Condvar` wait,
+    /// sleep or thread spawn/join is reachable while a `MutexGuard` is
+    /// live, unless justified with a `// GUARD:` marker at the
+    /// acquisition or blocking site. Findings under the server's
+    /// `epoch`/`queue` locks are unsuppressible (they sit on the
+    /// serving path), mirroring R11's Relaxed-flag case.
+    GuardBlocking,
+    /// R19: every `Condvar::wait` sits in a loop that re-tests its
+    /// predicate (spurious wakeups fall through otherwise), and every
+    /// `notify_*` happens while the paired mutex — inferred from
+    /// `cv.wait(guard)` sightings — is held (a waiter between its
+    /// predicate check and its wait would miss the wakeup otherwise).
+    CondvarDiscipline,
+    /// R20: every `spawn` in non-test library code is accounted for:
+    /// scoped (`thread::scope`), joined on all continuing paths (the
+    /// R13 all-paths lattice with `join` as the primitive), escaping as
+    /// a `JoinHandle` in a crate that joins elsewhere, or justified
+    /// with a `// DETACH:` marker.
+    ThreadLifecycle,
 }
 
 impl Rule {
@@ -185,6 +216,10 @@ impl Rule {
             Rule::BoundedRecursion => "bounded-recursion",
             Rule::HotLoopAlloc => "hot-loop-alloc",
             Rule::TwinCoherence => "twin-coherence",
+            Rule::LockOrder => "lock-order",
+            Rule::GuardBlocking => "guard-held-across-blocking",
+            Rule::CondvarDiscipline => "condvar-discipline",
+            Rule::ThreadLifecycle => "thread-lifecycle",
         }
     }
 
@@ -221,6 +256,10 @@ impl Rule {
             Rule::BoundedRecursion,
             Rule::HotLoopAlloc,
             Rule::TwinCoherence,
+            Rule::LockOrder,
+            Rule::GuardBlocking,
+            Rule::CondvarDiscipline,
+            Rule::ThreadLifecycle,
         ]
     }
 }
@@ -277,6 +316,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     violations.extend(atomics::check_atomics(root)?);
     violations.extend(surface::check_surfaces(root)?);
     violations.extend(twins::check_twins(root)?);
+    violations.extend(locks::check_locks(root)?);
     violations.sort_by(|a, b| {
         a.file
             .cmp(&b.file)

@@ -4,9 +4,10 @@
 //! cargo run -p nsky-xtask -- lint [--json] [--rule <rN|name>] [--root <path>]
 //! cargo run -p nsky-xtask -- api [--check | --bless] [--root <path>]
 //! cargo run -p nsky-xtask -- twins [--check | --bless] [--root <path>]
+//! cargo run -p nsky-xtask -- locks [--check | --bless] [--root <path>]
 //! ```
 //!
-//! `lint` runs the repo-specific policy rules R1–R16 (DESIGN.md §8)
+//! `lint` runs the repo-specific policy rules R1–R20 (DESIGN.md §8)
 //! against the workspace and exits non-zero if any violation is found;
 //! `--rule` restricts the run to one rule for fast local iteration and
 //! `--json` emits the findings as a checksum-trailed `RunReport`
@@ -17,6 +18,10 @@
 //! `twins` prints the R16 per-kernel twin-count report; `--check` diffs
 //! it against the committed `api/twins.report` baseline so entry-point
 //! growth fails loudly, `--bless` regenerates the baseline.
+//! `locks` prints the R17 lock landscape (declared mutexes, condvar
+//! pairings, acquired-while-holding order edges); `--check` diffs it
+//! against the committed `api/locks.report` baseline so any new lock or
+//! ordering edge fails loudly, `--bless` regenerates the baseline.
 //! `--root` points the engine at another workspace layout (used by the
 //! fixture self-tests).
 
@@ -24,7 +29,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nsky_skyline::{Completion, RunReport};
-use nsky_xtask::{lint_workspace, surface, twin_report, Rule, Violation};
+use nsky_xtask::{lint_workspace, locks_report, surface, twin_report, Rule, Violation};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +37,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(&args[1..]),
         Some("api") => api(&args[1..]),
         Some("twins") => twins(&args[1..]),
+        Some("locks") => locks(&args[1..]),
         Some(other) => {
             eprintln!("unknown command `{other}`");
             usage();
@@ -48,6 +54,7 @@ fn usage() {
     eprintln!("usage: cargo run -p nsky-xtask -- lint [--json] [--rule <rN|name>] [--root <path>]");
     eprintln!("       cargo run -p nsky-xtask -- api [--check | --bless] [--root <path>]");
     eprintln!("       cargo run -p nsky-xtask -- twins [--check | --bless] [--root <path>]");
+    eprintln!("       cargo run -p nsky-xtask -- locks [--check | --bless] [--root <path>]");
     eprintln!("rules: {}", rule_list());
 }
 
@@ -225,6 +232,58 @@ fn twins(args: &[String]) -> ExitCode {
         }
         println!(
             "nsky-xtask twins: report drifts from {} (run `cargo xtask twins --bless` if the change is intentional)",
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    print!("{report}");
+    ExitCode::SUCCESS
+}
+
+/// The `locks` subcommand: print, check or bless the R17 lock-landscape
+/// report (baseline at `api/locks.report`).
+fn locks(args: &[String]) -> ExitCode {
+    let (root, flags, _) = match parse_args(args, &["--check", "--bless"], &[]) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let report = match locks_report(&root) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("nsky-xtask locks: I/O error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = root.join("api").join("locks.report");
+    if flags.iter().any(|f| f == "--bless") {
+        if let Err(err) = std::fs::write(&baseline_path, &report) {
+            eprintln!("nsky-xtask locks: I/O error: {err}");
+            return ExitCode::from(2);
+        }
+        println!("nsky-xtask locks: blessed {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+    if flags.iter().any(|f| f == "--check") {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+        if baseline == report {
+            println!(
+                "nsky-xtask locks: report matches baseline ({} line(s))",
+                report.lines().count()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for line in report.lines() {
+            if !baseline.lines().any(|b| b == line) {
+                println!("+ {line}");
+            }
+        }
+        for line in baseline.lines() {
+            if !report.lines().any(|r| r == line) {
+                println!("- {line}");
+            }
+        }
+        println!(
+            "nsky-xtask locks: report drifts from {} (run `cargo xtask locks --bless` if the change is intentional)",
             baseline_path.display()
         );
         return ExitCode::FAILURE;

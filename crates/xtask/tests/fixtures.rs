@@ -1,6 +1,6 @@
 //! Fixture-based self-tests for the policy lint engine: one
 //! true-positive and one true-negative miniature workspace per rule
-//! R1–R11 and R13–R16, a baseline-drift workspace for R12, CLI
+//! R1–R11 and R13–R20, a baseline-drift workspace for R12, CLI
 //! exit-code / `--json` / `--rule` / `twins` contract checks, and the
 //! capstone assertion that the real workspace is lint-clean.
 
@@ -351,6 +351,96 @@ fn r16_delegating_shims_clean() {
     assert_clean("r16_shim_good");
 }
 
+#[test]
+fn r17_abba_lock_order_cycle_flagged() {
+    let violations = assert_only_rule("r17_bad", Rule::LockOrder);
+    // Each direction of the ABBA pair witnesses the cycle once.
+    assert_eq!(violations.len(), 2);
+    assert!(violations.iter().any(|v| v.message.contains("sum_ab")));
+    assert!(violations.iter().any(|v| v.message.contains("sum_ba")));
+    assert!(violations
+        .iter()
+        .all(|v| v.message.contains("alpha") && v.message.contains("beta")));
+    assert!(violations[0].file.ends_with("crates/server/src/pool.rs"));
+}
+
+#[test]
+fn r17_consistent_lock_order_clean() {
+    assert_clean("r17_good");
+}
+
+#[test]
+fn r17_cross_crate_transitive_cycle_flagged() {
+    let violations = assert_only_rule("r17_cross_bad", Rule::LockOrder);
+    // head→tail closes in `core`, tail→head closes in `graph`; both
+    // edges exist only through the cross-crate call graph.
+    assert_eq!(violations.len(), 2);
+    assert!(violations
+        .iter()
+        .any(|v| v.file.ends_with("core/src/api.rs")));
+    assert!(violations
+        .iter()
+        .any(|v| v.file.ends_with("graph/src/helper.rs")));
+    assert!(violations
+        .iter()
+        .all(|v| v.message.contains("head") && v.message.contains("tail")));
+}
+
+#[test]
+fn r18_guard_across_blocking_flagged() {
+    let violations = assert_only_rule("r18_bad", Rule::GuardBlocking);
+    // `pump` holds `buffer` across a read; `stamp` holds the protected
+    // `epoch` across one and its `// GUARD:` marker is ignored.
+    assert_eq!(violations.len(), 2);
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("buffer") && v.message.contains("pump")));
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("epoch") && v.message.contains("protected")));
+}
+
+#[test]
+fn r18_narrowed_and_justified_guards_clean() {
+    assert_clean("r18_good");
+}
+
+#[test]
+fn r19_naked_wait_and_unlocked_notify_flagged() {
+    let violations = assert_only_rule("r19_bad", Rule::CondvarDiscipline);
+    assert_eq!(violations.len(), 2);
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("take_naked") && v.message.contains("spurious")));
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("submit_unlocked") && v.message.contains("jobs")));
+}
+
+#[test]
+fn r19_predicate_loops_and_locked_notify_clean() {
+    assert_clean("r19_good");
+}
+
+#[test]
+fn r20_leaked_spawns_flagged() {
+    let violations = assert_only_rule("r20_bad", Rule::ThreadLifecycle);
+    // The bare spawn and the `let _ =` discard both leak.
+    assert_eq!(violations.len(), 2);
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("fire_and_forget")));
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("discard_handles")));
+    assert!(violations[0].file.ends_with("crates/graph/src/tasks.rs"));
+}
+
+#[test]
+fn r20_joined_scoped_detached_and_collected_clean() {
+    assert_clean("r20_good");
+}
+
 /// The capstone: the real workspace passes its own policy.
 #[test]
 fn real_workspace_is_lint_clean() {
@@ -393,6 +483,11 @@ fn cli_exit_codes_match_findings() {
         "r15_bad",
         "r16_bad",
         "r16_shim_bad",
+        "r17_bad",
+        "r17_cross_bad",
+        "r18_bad",
+        "r19_bad",
+        "r20_bad",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])
@@ -423,6 +518,10 @@ fn cli_exit_codes_match_findings() {
         "r15_good",
         "r16_good",
         "r16_shim_good",
+        "r17_good",
+        "r18_good",
+        "r19_good",
+        "r20_good",
     ] {
         let out = Command::new(bin)
             .args(["lint", "--root"])

@@ -28,6 +28,11 @@ step cargo test -q
 # committed api/twins.report baseline (regenerate intentional changes
 # with `cargo xtask twins --bless` and commit the diff).
 step cargo run -q -p nsky-xtask -- twins --check
+# Lock-landscape gate: the per-crate mutex/condvar census and the
+# acquired-while-holding order edges must match the committed
+# api/locks.report baseline (regenerate intentional changes with
+# `cargo xtask locks --bless` and commit the diff).
+step cargo run -q -p nsky-xtask -- locks --check
 # Policy-engine self-tests, run by name so a harness filter can never
 # silently drop them: the lexer torture suite, the per-rule fixture
 # workspaces (including the R12 injected-rename drift fixture), the
@@ -36,6 +41,10 @@ step cargo test -q -p nsky-xtask --test lexer
 step cargo test -q -p nsky-xtask --test fixtures
 step cargo test -q -p nsky-xtask --test cfg
 step cargo test -q -p nsky-xtask --test callgraph
+# Concurrency-discipline gate, run by name: the committed lock report,
+# the `locks` CLI, the r17–r20 fixture landscapes, and the `lint --json`
+# counters for the four concurrency rules.
+step cargo test -q -p nsky-xtask --test locks
 # Crash-safety gate, run by name so a test-harness filter can never
 # silently drop it: every kernel killed at every poll point must resume
 # to the uninterrupted answer, and every corrupt checkpoint must be

@@ -590,3 +590,71 @@ fn shutdown_frame_drains_inflight_and_reaps_every_thread() {
     );
     assert!(stats.completed >= 1);
 }
+
+/// Poisons each shared mutex in turn (via the test-only `inject_poison`
+/// op) and asserts the server shrugs: `Shared::lock` recovers through
+/// `into_inner`, so reads, updates and the drain all still work after
+/// every lock has been poisoned once.
+#[test]
+fn poisoned_locks_recover_via_shared_lock() {
+    let handle = start_karate(ServerConfig {
+        fault_injection: true,
+        ..test_config()
+    });
+    let addr = handle.addr();
+    let full = filter_refine_sky(&nsky_datasets::karate(), &RefineConfig::default());
+
+    for target in ["epoch", "queue", "monitor", "updater"] {
+        let resp = request(
+            addr,
+            &format!(r#"{{"op":"inject_poison","target":"{target}"}}"#),
+        );
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "poisoning {target}: {resp}"
+        );
+        // The very next read takes the poisoned locks and must recover.
+        let resp = request(addr, r#"{"op":"skyline"}"#);
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "read after poisoning {target}: {resp}"
+        );
+        assert_eq!(skyline_ids(&resp), full.skyline, "after {target}");
+    }
+
+    // The serialized update path survives its own poisoned mutex too.
+    let resp = request(addr, r#"{"op":"update","deltas":["- 0 1"]}"#);
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{resp}"
+    );
+    assert_eq!(resp.get("generation").and_then(Value::as_u64), Some(1));
+
+    // An unknown target is refused; the connection logic is unharmed.
+    let resp = request(addr, r#"{"op":"inject_poison","target":"nonsense"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+
+    // Drain still joins every thread with poison in the system.
+    let stats = handle.shutdown_and_drain();
+    assert!(stats.completed >= 5, "{stats:?}");
+}
+
+/// With `fault_injection` off (the default), `inject_poison` is just an
+/// unknown op: rejected like any other, with zero effect on the locks.
+#[test]
+fn inject_poison_requires_the_fault_injection_flag() {
+    let handle = start_karate(test_config());
+    let addr = handle.addr();
+    let resp = request(addr, r#"{"op":"inject_poison","target":"queue"}"#);
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(false),
+        "{resp}"
+    );
+    let resp = request(addr, r#"{"op":"skyline"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    handle.shutdown_and_drain();
+}
